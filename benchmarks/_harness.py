@@ -1,0 +1,64 @@
+"""Shared infrastructure for the figure/table reproduction benches.
+
+Every bench regenerates one artifact of the paper's evaluation section.
+Default workloads are scaled down from the paper's 330/15/10 sites so
+``pytest benchmarks/ --benchmark-only`` completes in minutes; set
+``REPRO_FULL=1`` to run at paper scale.  All results are printed as the
+rows/series the paper reports and appended to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pathlib
+
+from repro.datasets.dealers import generate_dealers
+from repro.datasets.disc import generate_disc
+from repro.datasets.products import generate_products
+from repro.evaluation.metrics import PRF
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
+
+#: (n_sites, pages_per_site) for the DEALERS-based benches.
+DEALERS_SCALE = (330, 10) if FULL_SCALE else (40, 8)
+DISC_SCALE = 15 if FULL_SCALE else 8
+PRODUCTS_SCALE = (10, 8) if FULL_SCALE else (10, 6)
+ENUM_SITES = 20 if FULL_SCALE else 10
+
+
+@functools.lru_cache(maxsize=None)
+def dealers_dataset(separate_zip: bool = False):
+    n_sites, pages = DEALERS_SCALE
+    return generate_dealers(
+        n_sites=n_sites, pages_per_site=pages, seed=11, separate_zip=separate_zip
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def disc_dataset():
+    return generate_disc(n_sites=DISC_SCALE, seed=23)
+
+
+@functools.lru_cache(maxsize=None)
+def products_dataset():
+    n_sites, pages = PRODUCTS_SCALE
+    return generate_products(n_sites=n_sites, pages_per_site=pages, seed=37)
+
+
+def write_result(name: str, lines: list[str]) -> None:
+    """Print the paper-style output and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n".join(lines)
+    print(f"\n=== {name} ===\n{body}")
+    (RESULTS_DIR / f"{name}.txt").write_text(body + "\n")
+
+
+def prf_row(label: str, result: PRF) -> str:
+    return (
+        f"{label:8s} precision={result.precision:.3f} "
+        f"recall={result.recall:.3f} f1={result.f1:.3f}"
+    )

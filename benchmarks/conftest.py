@@ -1,0 +1,6 @@
+"""Benchmarks package marker; shared fixtures for the figure benches."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

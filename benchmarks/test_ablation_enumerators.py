@@ -1,0 +1,55 @@
+"""Ablation: enumeration strategy is orthogonal to extraction quality.
+
+Section 7.2 notes TopDown and BottomUp "simply enumerate the wrapper
+space, which is orthogonal to performance of the ranking algorithm" —
+so NTW's selected wrapper must be identical under either enumerator,
+while TopDown is substantially cheaper.
+"""
+
+from _harness import dealers_dataset, write_result
+
+from repro.evaluation.runner import SingleTypeExperiment, split_sites
+from repro.framework.ntw import NoiseTolerantWrapper
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def _run():
+    dataset = dealers_dataset()
+    annotator = dataset.annotator()
+    experiment = SingleTypeExperiment(
+        dataset.sites, annotator, XPathInductor(), gold_type="name"
+    )
+    scorer = experiment.scorer_for("ntw")
+    _, test = split_sites(dataset.sites)
+    rows = []
+    for generated in test[:12]:
+        labels = annotator.annotate(generated.site)
+        if not labels:
+            continue
+        top_down = NoiseTolerantWrapper(
+            XPathInductor(), scorer, enumerator="top_down"
+        ).learn(generated.site, labels)
+        bottom_up = NoiseTolerantWrapper(
+            XPathInductor(), scorer, enumerator="bottom_up"
+        ).learn(generated.site, labels)
+        rows.append(
+            {
+                "site": generated.name,
+                "same_extraction": top_down.extracted == bottom_up.extracted,
+                "td_calls": top_down.enumeration.inductor_calls,
+                "bu_calls": bottom_up.enumeration.inductor_calls,
+            }
+        )
+    return rows
+
+
+def test_ablation_enumerators(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"{r['site']}: identical extraction={r['same_extraction']} "
+        f"calls TopDown={r['td_calls']} BottomUp={r['bu_calls']}"
+        for r in rows
+    ]
+    write_result("ablation_enumerators", lines)
+    assert all(r["same_extraction"] for r in rows)
+    assert sum(r["bu_calls"] for r in rows) > sum(r["td_calls"] for r in rows)

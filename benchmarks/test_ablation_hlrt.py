@@ -1,0 +1,65 @@
+"""Ablation: HLRT's head/tail context vs. plain LR.
+
+WIEN's HLRT variant (paper Sec. 5 notes the analysis extends to it)
+restricts extraction to the window between a learned head and tail.
+On listing pages whose chrome collides with the delimiters, HLRT's
+NAIVE induction is at least as precise as LR's; with noise-free (gold)
+labels, both are dominated by the window restriction, so HLRT can only
+help.  This bench quantifies the effect on DEALERS.
+"""
+
+from _harness import dealers_dataset, write_result
+
+from repro.evaluation.metrics import aggregate, prf
+from repro.evaluation.runner import split_sites
+from repro.framework.naive import NaiveWrapperLearner
+from repro.wrappers.hlrt import HLRTInductor
+from repro.wrappers.lr import LRInductor
+
+
+def _run():
+    dataset = dealers_dataset()
+    annotator = dataset.annotator()
+    _, test = split_sites(dataset.sites)
+    lr_noisy, hlrt_noisy, lr_gold, hlrt_gold = [], [], [], []
+    for generated in test:
+        labels = annotator.annotate(generated.site)
+        gold = generated.gold["name"]
+        if labels:
+            lr_noisy.append(
+                prf(NaiveWrapperLearner(LRInductor()).extract(generated.site, labels), gold)
+            )
+            hlrt_noisy.append(
+                prf(NaiveWrapperLearner(HLRTInductor()).extract(generated.site, labels), gold)
+            )
+        lr_gold.append(
+            prf(NaiveWrapperLearner(LRInductor()).extract(generated.site, gold), gold)
+        )
+        hlrt_gold.append(
+            prf(NaiveWrapperLearner(HLRTInductor()).extract(generated.site, gold), gold)
+        )
+    return (
+        aggregate(lr_noisy),
+        aggregate(hlrt_noisy),
+        aggregate(lr_gold),
+        aggregate(hlrt_gold),
+    )
+
+
+def test_ablation_hlrt(benchmark):
+    lr_noisy, hlrt_noisy, lr_gold, hlrt_gold = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    write_result(
+        "ablation_hlrt",
+        [
+            f"noisy labels  LR   P={lr_noisy.precision:.3f} R={lr_noisy.recall:.3f}",
+            f"noisy labels  HLRT P={hlrt_noisy.precision:.3f} R={hlrt_noisy.recall:.3f}",
+            f"gold labels   LR   P={lr_gold.precision:.3f} R={lr_gold.recall:.3f}",
+            f"gold labels   HLRT P={hlrt_gold.precision:.3f} R={hlrt_gold.recall:.3f}",
+        ],
+    )
+    # With gold labels the head/tail window can only remove non-gold
+    # matches: HLRT precision >= LR precision at equal (perfect) recall.
+    assert hlrt_gold.precision >= lr_gold.precision - 1e-9
+    assert hlrt_gold.recall >= 0.99

@@ -1,0 +1,53 @@
+"""Ablation: the enumeration label-budget cap.
+
+The NTW pipeline subsamples very large label sets before enumeration
+(the wrapper space is driven by distinct contexts, not label counts).
+This ablation sweeps the cap and checks that accuracy saturates well
+below the full label count while enumeration cost keeps growing.
+"""
+
+from _harness import dealers_dataset, write_result
+
+from repro.evaluation.metrics import aggregate, prf
+from repro.evaluation.runner import SingleTypeExperiment, split_sites
+from repro.framework.ntw import NoiseTolerantWrapper
+from repro.wrappers.xpath_inductor import XPathInductor
+
+BUDGETS = (4, 10, 40)
+
+
+def _run():
+    dataset = dealers_dataset()
+    annotator = dataset.annotator()
+    experiment = SingleTypeExperiment(
+        dataset.sites, annotator, XPathInductor(), gold_type="name"
+    )
+    scorer = experiment.scorer_for("ntw")
+    _, test = split_sites(dataset.sites)
+    results = {}
+    for budget in BUDGETS:
+        learner = NoiseTolerantWrapper(
+            XPathInductor(), scorer, max_labels=budget
+        )
+        scores, calls = [], 0
+        for generated in test:
+            labels = annotator.annotate(generated.site)
+            outcome = learner.learn(generated.site, labels)
+            scores.append(prf(outcome.extracted, generated.gold["name"]))
+            if outcome.enumeration is not None:
+                calls += outcome.enumeration.inductor_calls
+        results[budget] = (aggregate(scores).f1, calls)
+    return results
+
+
+def test_ablation_label_budget(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"max_labels={budget:3d}: f1={f1:.3f} total inductor calls={calls}"
+        for budget, (f1, calls) in sorted(results.items())
+    ]
+    write_result("ablation_label_budget", lines)
+    f1_small = results[BUDGETS[0]][0]
+    f1_large = results[BUDGETS[-1]][0]
+    assert f1_large >= f1_small - 1e-9  # more labels never hurt here
+    assert f1_large >= 0.95  # and the default budget is ample

@@ -1,0 +1,40 @@
+"""Ablation: how much page evidence does noise tolerance need?
+
+The ranking model's leverage comes from repeated structure across pages
+and records.  This bench sweeps pages-per-site and reports NTW's F1:
+accuracy should rise (or hold) with more pages, and already be strong
+at modest page counts — the regime the paper's 25-page annotation used.
+"""
+
+from _harness import write_result
+
+from repro.datasets.dealers import generate_dealers
+from repro.evaluation.runner import SingleTypeExperiment
+from repro.wrappers.xpath_inductor import XPathInductor
+
+PAGE_COUNTS = (2, 4, 8)
+N_SITES = 24
+
+
+def _run():
+    results = {}
+    for pages in PAGE_COUNTS:
+        dataset = generate_dealers(n_sites=N_SITES, pages_per_site=pages, seed=11)
+        experiment = SingleTypeExperiment(
+            dataset.sites, dataset.annotator(), XPathInductor(), gold_type="name"
+        )
+        outcomes = experiment.run(methods=("ntw",))
+        results[pages] = outcomes["ntw"].overall
+    return results
+
+
+def test_ablation_pages(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        f"pages/site={pages}: precision={overall.precision:.3f} "
+        f"recall={overall.recall:.3f} f1={overall.f1:.3f}"
+        for pages, overall in sorted(results.items())
+    ]
+    write_result("ablation_pages", lines)
+    assert results[PAGE_COUNTS[-1]].f1 >= results[PAGE_COUNTS[0]].f1 - 0.05
+    assert results[PAGE_COUNTS[-1]].f1 >= 0.95

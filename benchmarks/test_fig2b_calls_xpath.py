@@ -1,0 +1,60 @@
+"""Figure 2(b): number of inductor calls per website — XPATH wrappers.
+
+Same series as Fig. 2(a) with the xpath inductor.
+"""
+
+from _harness import ENUM_SITES, dealers_dataset, write_result
+
+from repro.enumeration import enumerate_bottom_up, enumerate_top_down
+from repro.enumeration.naive import naive_call_count
+from repro.framework.ntw import subsample_labels
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def _run():
+    dataset = dealers_dataset()
+    annotator = dataset.annotator()
+    inductor = XPathInductor()
+    rows = []
+    for generated in dataset.sites[:ENUM_SITES]:
+        labels = subsample_labels(annotator.annotate(generated.site), 24)
+        if len(labels) < 2:
+            continue
+        top_down = enumerate_top_down(inductor, generated.site, labels)
+        bottom_up = enumerate_bottom_up(inductor, generated.site, labels)
+        rows.append(
+            {
+                "site": generated.name,
+                "labels": len(labels),
+                "top_down": top_down.inductor_calls,
+                "bottom_up": bottom_up.inductor_calls,
+                "naive": naive_call_count(labels),
+                "k": top_down.size,
+                "agree": set(top_down.wrappers) == set(bottom_up.wrappers),
+            }
+        )
+    return rows
+
+
+def test_fig2b_calls_xpath(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows.sort(key=lambda r: r["top_down"])
+    lines = [
+        f"{r['site']}: |L|={r['labels']:3d} k={r['k']:3d} "
+        f"TopDown={r['top_down']:4d} BottomUp={r['bottom_up']:5d} "
+        f"Naive=2^|L|-1={r['naive']}"
+        for r in rows
+    ]
+    total_td = sum(r["top_down"] for r in rows)
+    total_bu = sum(r["bottom_up"] for r in rows)
+    lines.append(
+        f"TOTAL TopDown={total_td} BottomUp={total_bu} "
+        f"(BottomUp/TopDown ratio {total_bu / total_td:.1f}x)"
+    )
+    write_result("fig2b_calls_xpath", lines)
+    for r in rows:
+        assert r["agree"]  # both enumerate the same wrapper space
+        assert r["top_down"] == r["k"]
+        assert r["bottom_up"] <= r["k"] * r["labels"]
+        assert r["bottom_up"] < r["naive"]
+    assert total_bu / total_td > 2.0

@@ -1,0 +1,53 @@
+"""Figure 2(c): physical running time of enumeration — XPATH wrappers.
+
+Paper: TopDown finishes in under a second for most websites; BottomUp is
+about an order of magnitude slower; Naive is prohibitively expensive and
+is not run (here its call count stands in for it).
+"""
+
+from _harness import ENUM_SITES, dealers_dataset, write_result
+
+from repro.enumeration import enumerate_bottom_up, enumerate_top_down
+from repro.framework.ntw import subsample_labels
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def _run():
+    dataset = dealers_dataset()
+    annotator = dataset.annotator()
+    inductor = XPathInductor()
+    rows = []
+    for generated in dataset.sites[:ENUM_SITES]:
+        labels = subsample_labels(annotator.annotate(generated.site), 24)
+        if len(labels) < 2:
+            continue
+        top_down = enumerate_top_down(inductor, generated.site, labels)
+        bottom_up = enumerate_bottom_up(inductor, generated.site, labels)
+        rows.append(
+            {
+                "site": generated.name,
+                "td_secs": top_down.seconds,
+                "bu_secs": bottom_up.seconds,
+            }
+        )
+    return rows
+
+
+def test_fig2c_time_xpath(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows.sort(key=lambda r: r["td_secs"])
+    lines = [
+        f"{r['site']}: TopDown={r['td_secs'] * 1000:8.2f}ms "
+        f"BottomUp={r['bu_secs'] * 1000:9.2f}ms"
+        for r in rows
+    ]
+    td_total = sum(r["td_secs"] for r in rows)
+    bu_total = sum(r["bu_secs"] for r in rows)
+    lines.append(
+        f"TOTAL TopDown={td_total:.3f}s BottomUp={bu_total:.3f}s "
+        f"(ratio {bu_total / max(td_total, 1e-9):.1f}x)"
+    )
+    write_result("fig2c_time_xpath", lines)
+    # Shape: TopDown under a second per site; BottomUp slower overall.
+    assert all(r["td_secs"] < 1.0 for r in rows)
+    assert bu_total > td_total

@@ -1,0 +1,32 @@
+"""Figure 2(d): precision/recall/F1 of XPATH wrappers on DEALERS.
+
+Paper shape: NTW reaches ~perfect precision and recall; NAIVE has
+perfect recall but much lower precision (noise over-generalizes rules).
+"""
+
+from _harness import dealers_dataset, prf_row, write_result
+
+from repro.evaluation import SingleTypeExperiment
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def _run():
+    dataset = dealers_dataset()
+    experiment = SingleTypeExperiment(
+        dataset.sites, dataset.annotator(), XPathInductor(), gold_type="name"
+    )
+    return experiment.run(methods=("naive", "ntw"))
+
+
+def test_fig2d_accuracy_xpath_dealers(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    naive = outcomes["naive"].overall
+    ntw = outcomes["ntw"].overall
+    write_result(
+        "fig2d_accuracy_xpath_dealers",
+        [prf_row("NAIVE", naive), prf_row("NTW", ntw)],
+    )
+    assert ntw.precision >= 0.97  # paper: ~1.0
+    assert ntw.recall >= 0.95  # paper: negligible drop from 1.0
+    assert naive.recall >= 0.99  # paper: NAIVE has perfect recall
+    assert naive.precision <= ntw.precision - 0.1  # the headline gap

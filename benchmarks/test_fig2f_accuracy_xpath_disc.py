@@ -1,0 +1,31 @@
+"""Figure 2(f): precision/recall/F1 of XPATH wrappers on DISC.
+
+Paper shape: the noise-tolerant framework achieves perfect precision and
+recall on DISC.
+"""
+
+from _harness import disc_dataset, prf_row, write_result
+
+from repro.evaluation import SingleTypeExperiment
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def _run():
+    dataset = disc_dataset()
+    experiment = SingleTypeExperiment(
+        dataset.sites, dataset.annotator(), XPathInductor(), gold_type="track"
+    )
+    return experiment.run(methods=("naive", "ntw"))
+
+
+def test_fig2f_accuracy_xpath_disc(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    naive = outcomes["naive"].overall
+    ntw = outcomes["ntw"].overall
+    write_result(
+        "fig2f_accuracy_xpath_disc",
+        [prf_row("NAIVE", naive), prf_row("NTW", ntw)],
+    )
+    assert ntw.precision >= 0.97
+    assert ntw.recall >= 0.97
+    assert naive.precision < ntw.precision

@@ -1,0 +1,31 @@
+"""Figure 2(g): precision/recall/F1 of LR wrappers on DISC.
+
+Paper shape: NTW achieves perfect precision and recall on DISC for both
+wrapper inductors.
+"""
+
+from _harness import disc_dataset, prf_row, write_result
+
+from repro.evaluation import SingleTypeExperiment
+from repro.wrappers.lr import LRInductor
+
+
+def _run():
+    dataset = disc_dataset()
+    experiment = SingleTypeExperiment(
+        dataset.sites, dataset.annotator(), LRInductor(), gold_type="track"
+    )
+    return experiment.run(methods=("naive", "ntw"))
+
+
+def test_fig2g_accuracy_lr_disc(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    naive = outcomes["naive"].overall
+    ntw = outcomes["ntw"].overall
+    write_result(
+        "fig2g_accuracy_lr_disc",
+        [prf_row("NAIVE", naive), prf_row("NTW", ntw)],
+    )
+    assert ntw.f1 >= 0.95
+    assert naive.precision < ntw.precision
+    assert naive.recall >= 0.9

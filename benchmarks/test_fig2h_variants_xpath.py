@@ -1,0 +1,38 @@
+"""Figure 2(h): ranking-component ablation for XPATH on DEALERS.
+
+Paper shape: neither NTW-L (labeling errors only) nor NTW-X (list
+goodness only) accounts for the full accuracy by itself; for XPATH,
+NTW-L alone already gets close to the maximum.
+"""
+
+from _harness import dealers_dataset, write_result
+
+from repro.evaluation import SingleTypeExperiment
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def _run():
+    dataset = dealers_dataset()
+    experiment = SingleTypeExperiment(
+        dataset.sites, dataset.annotator(), XPathInductor(), gold_type="name"
+    )
+    return experiment.run(methods=("ntw", "ntw-l", "ntw-x"))
+
+
+def test_fig2h_variants_xpath(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    ntw = outcomes["ntw"].overall.f1
+    ntw_l = outcomes["ntw-l"].overall.f1
+    ntw_x = outcomes["ntw-x"].overall.f1
+    write_result(
+        "fig2h_variants_xpath",
+        [
+            f"NTW    accuracy={ntw:.3f}",
+            f"NTW-L  accuracy={ntw_l:.3f}",
+            f"NTW-X  accuracy={ntw_x:.3f}",
+        ],
+    )
+    # The full model matches or beats each single component (up to
+    # sampling noise on the site macro-average).
+    assert ntw >= max(ntw_l, ntw_x) - 0.01
+    assert ntw_l >= ntw - 0.12  # XPATH: labeling errors nearly suffice

@@ -1,0 +1,40 @@
+"""Figure 2(i): ranking-component ablation for LR on DEALERS.
+
+Paper shape: for LR, labeling errors by themselves do not help much —
+the list-goodness component carries more of the weight than it does for
+XPATH, and only the combination reaches full accuracy.
+"""
+
+from _harness import dealers_dataset, write_result
+
+from repro.evaluation import SingleTypeExperiment
+from repro.wrappers.lr import LRInductor
+
+
+def _run():
+    dataset = dealers_dataset()
+    experiment = SingleTypeExperiment(
+        dataset.sites, dataset.annotator(), LRInductor(), gold_type="name"
+    )
+    return experiment.run(methods=("ntw", "ntw-l", "ntw-x"))
+
+
+def test_fig2i_variants_lr(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    ntw = outcomes["ntw"].overall.f1
+    ntw_l = outcomes["ntw-l"].overall.f1
+    ntw_x = outcomes["ntw-x"].overall.f1
+    write_result(
+        "fig2i_variants_lr",
+        [
+            f"NTW    accuracy={ntw:.3f}",
+            f"NTW-L  accuracy={ntw_l:.3f}",
+            f"NTW-X  accuracy={ntw_x:.3f}",
+        ],
+    )
+    # The full model matches or beats each single component (up to
+    # sampling noise on the site macro-average).
+    assert ntw >= max(ntw_l, ntw_x) - 0.01
+    # The component contributions differ between LR and XPATH; at least
+    # one single-component variant must fall visibly short of NTW.
+    assert min(ntw_l, ntw_x) < ntw - 0.02

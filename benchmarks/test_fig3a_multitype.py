@@ -1,0 +1,112 @@
+"""Figure 3(a): multi-type (name + zipcode) record extraction on DEALERS.
+
+Paper shape: NAIVE's recall (and F1) collapse to ~0 — an imperfect rule
+for either type breaks record assembly — while NTW reaches precision and
+recall close to 1.
+"""
+
+from _harness import dealers_dataset, prf_row, write_result
+
+from repro.annotators.regex import zipcode_annotator
+from repro.evaluation.metrics import aggregate, record_prf
+from repro.evaluation.runner import split_sites
+from repro.framework.multitype import MultiTypeNTW, NaiveMultiType
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def gold_records(generated):
+    """Pair gold names/zips by document order within each page."""
+    records = []
+    for page_index in range(len(generated.site)):
+        sequence = sorted(
+            [(n, "name") for n in generated.gold["name"] if n.page == page_index]
+            + [
+                (z, "zipcode")
+                for z in generated.gold["zipcode"]
+                if z.page == page_index
+            ],
+            key=lambda item: item[0].preorder,
+        )
+        current = None
+        for node_id, type_name in sequence:
+            if type_name == "name":
+                if current:
+                    records.append(tuple(current))
+                current = [("name", node_id)]
+            elif current is not None:
+                current.append(("zipcode", node_id))
+        if current:
+            records.append(tuple(current))
+    return records
+
+
+def fit(train, name_annotator, zip_annotator):
+    triples = {"name": [], "zipcode": []}
+    pairs, type_maps = [], []
+    for generated in train:
+        total = generated.site.total_text_nodes()
+        triples["name"].append(
+            (name_annotator.annotate(generated.site), generated.gold["name"], total)
+        )
+        triples["zipcode"].append(
+            (
+                zip_annotator.annotate(generated.site),
+                generated.gold["zipcode"],
+                total,
+            )
+        )
+        type_map = {n: "name" for n in generated.gold["name"]} | {
+            z: "zipcode" for z in generated.gold["zipcode"]
+        }
+        pairs.append((generated.site, frozenset(type_map)))
+        type_maps.append(type_map)
+    annotation = {t: AnnotationModel.estimate(ts) for t, ts in triples.items()}
+    publication = PublicationModel.fit(
+        pairs, type_maps=type_maps, boundary_type="name"
+    )
+    return annotation, publication
+
+
+def _run():
+    dataset = dealers_dataset(separate_zip=True)
+    name_annotator = dataset.annotator()
+    zip_annotator = zipcode_annotator()
+    train, test = split_sites(dataset.sites)
+    annotation, publication = fit(train, name_annotator, zip_annotator)
+    inductor = XPathInductor()
+    naive_scores, ntw_scores = [], []
+    for generated in test:
+        labels = {
+            "name": name_annotator.annotate(generated.site),
+            "zipcode": zip_annotator.annotate(generated.site),
+        }
+        gold = gold_records(generated)
+        naive = NaiveMultiType(inductor, primary="name").learn(
+            generated.site, labels
+        )
+        naive_records = (
+            [tuple(r.fields) for r in naive.extract_records(generated.site)]
+            if naive
+            else []
+        )
+        naive_scores.append(record_prf(naive_records, gold))
+        result = MultiTypeNTW(
+            inductor, annotation, publication, primary="name"
+        ).learn(generated.site, labels)
+        ntw_scores.append(
+            record_prf([tuple(r.fields) for r in result.records], gold)
+        )
+    return aggregate(naive_scores), aggregate(ntw_scores)
+
+
+def test_fig3a_multitype(benchmark):
+    naive, ntw = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result(
+        "fig3a_multitype",
+        [prf_row("NAIVE", naive), prf_row("NTW", ntw)],
+    )
+    assert naive.recall <= 0.2  # paper: close to 0 (assembly fails)
+    assert ntw.precision >= 0.95
+    assert ntw.recall >= 0.95

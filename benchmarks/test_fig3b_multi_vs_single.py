@@ -1,0 +1,79 @@
+"""Figure 3(b): per-field accuracy of joint (multi-type) vs single-type
+extraction on DEALERS.
+
+Paper shape: extracted jointly, zipcode accuracy matches single-type and
+name accuracy is as good or slightly better — the other type's
+annotations help rank the wrapper via the joint alignment.
+"""
+
+from _harness import dealers_dataset, write_result
+
+from repro.annotators.regex import zipcode_annotator
+from repro.evaluation.metrics import aggregate, prf
+from repro.evaluation.runner import fit_models, split_sites
+from repro.framework.multitype import MultiTypeNTW
+from repro.framework.ntw import NoiseTolerantWrapper
+from repro.ranking.scorer import WrapperScorer
+from repro.wrappers.xpath_inductor import XPathInductor
+
+from test_fig3a_multitype import fit
+
+
+def _run():
+    dataset = dealers_dataset(separate_zip=True)
+    name_annotator = dataset.annotator()
+    zip_annotator = zipcode_annotator()
+    train, test = split_sites(dataset.sites)
+    annotation, publication = fit(train, name_annotator, zip_annotator)
+    inductor = XPathInductor()
+
+    single_models = {
+        "name": fit_models(train, name_annotator, "name"),
+        "zipcode": fit_models(train, zip_annotator, "zipcode"),
+    }
+    single_scores = {"name": [], "zipcode": []}
+    multi_scores = {"name": [], "zipcode": []}
+    for generated in test:
+        labels = {
+            "name": name_annotator.annotate(generated.site),
+            "zipcode": zip_annotator.annotate(generated.site),
+        }
+        for type_name in ("name", "zipcode"):
+            models = single_models[type_name]
+            learner = NoiseTolerantWrapper(
+                inductor, WrapperScorer(models.annotation, models.publication)
+            )
+            extracted = learner.learn(generated.site, labels[type_name]).extracted
+            single_scores[type_name].append(
+                prf(extracted, generated.gold[type_name])
+            )
+        result = MultiTypeNTW(
+            inductor, annotation, publication, primary="name"
+        ).learn(generated.site, labels)
+        for type_name in ("name", "zipcode"):
+            multi_scores[type_name].append(
+                prf(
+                    result.extractions.get(type_name, frozenset()),
+                    generated.gold[type_name],
+                )
+            )
+    return (
+        {t: aggregate(s) for t, s in single_scores.items()},
+        {t: aggregate(s) for t, s in multi_scores.items()},
+    )
+
+
+def test_fig3b_multi_vs_single(benchmark):
+    single, multi = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = []
+    for type_name in ("name", "zipcode"):
+        lines.append(
+            f"{type_name:8s} SINGLE f1={single[type_name].f1:.3f}  "
+            f"MULTI f1={multi[type_name].f1:.3f}"
+        )
+    write_result("fig3b_multi_vs_single", lines)
+    # Joint extraction must not degrade either field materially, and
+    # both modes must be strong.
+    for type_name in ("name", "zipcode"):
+        assert multi[type_name].f1 >= single[type_name].f1 - 0.05
+        assert multi[type_name].f1 >= 0.9

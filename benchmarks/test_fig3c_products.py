@@ -1,0 +1,31 @@
+"""Figure 3(c): precision/recall/F1 of XPath wrappers on PRODUCTS.
+
+Paper shape: the same behaviour as DEALERS and DISC — NTW close to
+perfect, NAIVE recall-perfect but precision-poor.
+"""
+
+from _harness import products_dataset, prf_row, write_result
+
+from repro.evaluation import SingleTypeExperiment
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def _run():
+    dataset = products_dataset()
+    experiment = SingleTypeExperiment(
+        dataset.sites, dataset.annotator(), XPathInductor(), gold_type="name"
+    )
+    return experiment.run(methods=("naive", "ntw"))
+
+
+def test_fig3c_products(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    naive = outcomes["naive"].overall
+    ntw = outcomes["ntw"].overall
+    write_result(
+        "fig3c_products",
+        [prf_row("NAIVE", naive), prf_row("NTW", ntw)],
+    )
+    assert ntw.f1 >= 0.95
+    assert naive.recall >= 0.99
+    assert naive.precision < ntw.precision

@@ -1,0 +1,109 @@
+"""Web-scale extraction: compile a business database from many sites.
+
+The paper's motivating application (Sec. 1): "extract business listings
+from all the store locator pages on the Web... Compiling such a
+database can be immensely useful".  This example runs the full
+unsupervised pipeline over a fleet of generated dealer-locator sites —
+one wrapper learned per site, no per-site human labels — and emits the
+combined (site, name, zipcode) database as CSV, with per-site audit
+numbers against the generator's gold labels.
+
+Run:  python examples/build_business_database.py [output.csv]
+"""
+
+import csv
+import io
+import sys
+
+from repro.annotators.regex import zipcode_annotator
+from repro.datasets import generate_dealers
+from repro.evaluation.metrics import prf
+from repro.evaluation.runner import split_sites
+from repro.framework import MultiTypeNTW
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.wrappers import XPathInductor
+
+
+def fit_models(train, name_annotator, zip_annotator):
+    triples = {"name": [], "zipcode": []}
+    pairs, type_maps = [], []
+    for generated in train:
+        total = generated.site.total_text_nodes()
+        triples["name"].append(
+            (name_annotator.annotate(generated.site), generated.gold["name"], total)
+        )
+        triples["zipcode"].append(
+            (zip_annotator.annotate(generated.site), generated.gold["zipcode"], total)
+        )
+        type_map = {n: "name" for n in generated.gold["name"]} | {
+            z: "zipcode" for z in generated.gold["zipcode"]
+        }
+        pairs.append((generated.site, frozenset(type_map)))
+        type_maps.append(type_map)
+    annotation = {t: AnnotationModel.estimate(ts) for t, ts in triples.items()}
+    publication = PublicationModel.fit(
+        pairs, type_maps=type_maps, boundary_type="name"
+    )
+    return annotation, publication
+
+
+def main() -> None:
+    dataset = generate_dealers(
+        n_sites=14, pages_per_site=6, seed=11, separate_zip=True
+    )
+    name_annotator = dataset.annotator()
+    zip_annotator = zipcode_annotator()
+    train, test = split_sites(dataset.sites)
+    annotation, publication = fit_models(train, name_annotator, zip_annotator)
+    learner = MultiTypeNTW(
+        XPathInductor(), annotation, publication, primary="name"
+    )
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["site", "business_name", "zipcode"])
+    total_rows = 0
+    print("learning one wrapper per site, extracting records:")
+    for generated in test:
+        labels = {
+            "name": name_annotator.annotate(generated.site),
+            "zipcode": zip_annotator.annotate(generated.site),
+        }
+        result = learner.learn(generated.site, labels)
+        names = frozenset(
+            record.get("name")
+            for record in result.records
+            if record.get("name") is not None
+        )
+        audit = prf(names, generated.gold["name"])
+        for record in result.records:
+            name_node = record.get("name")
+            zip_node = record.get("zipcode")
+            writer.writerow(
+                [
+                    generated.name,
+                    generated.site.text_node(name_node).text if name_node else "",
+                    generated.site.text_node(zip_node).text if zip_node else "",
+                ]
+            )
+        total_rows += len(result.records)
+        print(
+            f"  {generated.name}: {len(result.records):3d} records "
+            f"(name audit vs gold: P={audit.precision:.2f} R={audit.recall:.2f})"
+        )
+
+    output = buffer.getvalue()
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"\nwrote {total_rows} records to {sys.argv[1]}")
+    else:
+        preview = output.splitlines()
+        print(f"\nbuilt a database of {total_rows} records; first rows:")
+        for line in preview[:8]:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

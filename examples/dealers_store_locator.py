@@ -1,0 +1,77 @@
+"""DEALERS walkthrough: web-scale store-name extraction, end to end.
+
+Generates a slice of the synthetic DEALERS dataset (the paper's 330
+dealer-locator websites), annotates every site with the shared business
+dictionary, fits the ranking models on half the sites, and compares
+NAIVE vs NTW on the other half — the Fig. 2(d) experiment in miniature,
+with per-site detail and the learned xpath rules printed.
+
+Run:  python examples/dealers_store_locator.py
+"""
+
+from repro.annotators.base import measure_noise
+from repro.datasets import generate_dealers
+from repro.evaluation import SingleTypeExperiment
+from repro.evaluation.metrics import prf
+from repro.framework.naive import NaiveWrapperLearner
+from repro.framework.ntw import NoiseTolerantWrapper
+from repro.wrappers import XPathInductor
+
+
+def main() -> None:
+    dataset = generate_dealers(n_sites=16, pages_per_site=8, seed=11)
+    annotator = dataset.annotator()
+    print(f"generated {len(dataset.sites)} dealer-locator sites")
+    print(f"dictionary size: {len(dataset.dictionary)} business names")
+
+    # Measure the annotator's empirical noise profile (paper: 0.95/0.24).
+    precisions, recalls = [], []
+    for generated in dataset.sites:
+        labels = annotator.annotate(generated.site)
+        precision, recall = measure_noise(
+            labels, generated.gold["name"], generated.site.total_text_nodes()
+        )
+        if labels:
+            precisions.append(precision)
+        recalls.append(recall)
+    print(
+        f"annotator profile: precision~{sum(precisions) / len(precisions):.2f} "
+        f"recall~{sum(recalls) / len(recalls):.2f}"
+    )
+
+    experiment = SingleTypeExperiment(
+        dataset.sites, annotator, XPathInductor(), gold_type="name"
+    )
+    print(
+        f"\nfitted models on {len(experiment.train)} training sites: "
+        f"{experiment.models.annotation!r}"
+    )
+
+    naive_learner = NaiveWrapperLearner(XPathInductor())
+    ntw_learner = NoiseTolerantWrapper(
+        XPathInductor(), experiment.scorer_for("ntw")
+    )
+    print("\nper-site comparison on the held-out half:")
+    for generated in experiment.test:
+        labels = annotator.annotate(generated.site)
+        gold = generated.gold["name"]
+        naive_extracted = naive_learner.extract(generated.site, labels)
+        ntw_result = ntw_learner.learn(generated.site, labels)
+        naive_f1 = prf(naive_extracted, gold).f1
+        ntw_f1 = prf(ntw_result.extracted, gold).f1
+        rule = (
+            ntw_result.best.wrapper.rule() if ntw_result.best else "(no wrapper)"
+        )
+        print(
+            f"  {generated.name} [{generated.metadata['layout']:13s}] "
+            f"naive f1={naive_f1:.2f}  ntw f1={ntw_f1:.2f}  rule: {rule}"
+        )
+
+    outcomes = experiment.run(methods=("naive", "ntw"))
+    print("\naggregate (held-out half):")
+    for method in ("naive", "ntw"):
+        print(f"  {method:5s} {outcomes[method].overall}")
+
+
+if __name__ == "__main__":
+    main()

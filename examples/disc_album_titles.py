@@ -1,0 +1,62 @@
+"""DISC walkthrough: track lists and single-entity album titles.
+
+Exercises two of the paper's tasks on the synthetic discography sites:
+
+1. single-type track extraction with the 11-seed-album dictionary
+   (Fig. 2f) — the annotator misses decorated titles and fires inside
+   review quotes, NTW recovers the exact track list rule;
+2. single-entity album-title extraction (Appendix B.2) — enumerate,
+   discard multi-match wrappers, keep the label-coverage maximisers;
+   sites typically return several co-ranked correct wrappers.
+
+Run:  python examples/disc_album_titles.py
+"""
+
+from repro.datasets import generate_disc
+from repro.evaluation import SingleTypeExperiment
+from repro.framework import SingleEntityLearner
+from repro.wrappers import XPathInductor
+
+
+def main() -> None:
+    dataset = generate_disc(n_sites=8, seed=23)
+    print(
+        f"generated {len(dataset.sites)} discography sites; "
+        f"seed dictionary: {len(dataset.track_dictionary())} tracks "
+        f"from {len(dataset.seed_albums)} albums"
+    )
+
+    # -- task 1: track extraction ------------------------------------------
+    experiment = SingleTypeExperiment(
+        dataset.sites, dataset.annotator(), XPathInductor(), gold_type="track"
+    )
+    outcomes = experiment.run(methods=("naive", "ntw"))
+    print("\ntrack extraction (held-out half):")
+    for method in ("naive", "ntw"):
+        print(f"  {method:5s} {outcomes[method].overall}")
+
+    # -- task 2: single-entity album titles --------------------------------
+    print("\nalbum-title extraction (single entity per page):")
+    learner = SingleEntityLearner(XPathInductor())
+    title_annotator = dataset.title_annotator()
+    for generated in dataset.sites:
+        labels = title_annotator.annotate(generated.site)
+        if not labels:
+            print(f"  {generated.name}: no seed albums annotated, skipped")
+            continue
+        result = learner.learn(generated.site, labels)
+        extracted = result.extracted(generated.site)
+        correct = any(
+            extracted == variant
+            for variant in generated.gold_variants["album_title"]
+        )
+        rules = "; ".join(w.rule() for w in result.winners[:3])
+        print(
+            f"  {generated.name}: correct={correct} "
+            f"co-ranked wrappers={len(result.winners)}"
+        )
+        print(f"    e.g. {rules}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Enumeration walkthrough: the paper's Examples 1-3 step by step.
+
+Builds the 5x4 table of Example 1, places the five labels (two of them
+wrong), and enumerates the wrapper space three ways — exhaustively,
+with the blackbox BottomUp algorithm (Algorithm 1), and with the
+feature-based TopDown algorithm (Algorithm 2) — showing the 8 unique
+wrappers of Equation (2) and the call counts of Theorems 2 and 3.
+
+Run:  python examples/enumeration_walkthrough.py
+"""
+
+from repro.enumeration import (
+    enumerate_bottom_up,
+    enumerate_naive,
+    enumerate_top_down,
+)
+from repro.wrappers import Grid, TableInductor
+
+
+def main() -> None:
+    grid = Grid(5, 4)
+    inductor = TableInductor()
+    # Example 1: rows are business listings, column 0 holds the names.
+    # Labels: n1, n2, n4 (correct), a4 and z5 (wrong).
+    labels = frozenset(
+        {
+            grid.cell(0, 0),  # n1
+            grid.cell(1, 0),  # n2
+            grid.cell(3, 0),  # n4
+            grid.cell(3, 1),  # a4  <- incorrect
+            grid.cell(4, 2),  # z5  <- incorrect
+        }
+    )
+    print(f"labels: {len(labels)} (two of them incorrect)")
+    print(f"naive enumeration would need 2^{len(labels)} - 1 = "
+          f"{2 ** len(labels) - 1} inductor calls\n")
+
+    for name, enumerate_fn in (
+        ("Naive   ", enumerate_naive),
+        ("BottomUp", enumerate_bottom_up),
+        ("TopDown ", enumerate_top_down),
+    ):
+        result = enumerate_fn(inductor, grid, labels)
+        rules = sorted(w.rule() for w in result.wrappers)
+        print(
+            f"{name}: {result.size} unique wrappers, "
+            f"{result.inductor_calls} inductor calls"
+        )
+        print(f"          {rules}")
+
+    print(
+        "\nAll three agree on the 8 wrappers of Equation (2): the five"
+        "\nsingleton cells, the first column (the correct rule), the"
+        "\nfourth row, and the whole table."
+    )
+
+    # Example 3: TABLE as a feature-based inductor.
+    shared = inductor.shared_features(
+        grid, frozenset({grid.cell(0, 0), grid.cell(1, 0), grid.cell(3, 0)})
+    )
+    print(f"\nExample 3: features shared by {{n1, n2, n4}}: {shared}")
+    print("-> generalizes to the entire first column, as in the paper.")
+
+
+if __name__ == "__main__":
+    main()

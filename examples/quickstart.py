@@ -1,0 +1,101 @@
+"""Quickstart: learn a noise-tolerant wrapper for one small website.
+
+Mirrors the paper's Section 1 narrative on the albanyindustries.com
+dealer-locator example: a dictionary annotator produces noisy labels
+(including a false positive), the naive inductor over-generalizes, and
+the noise-tolerant framework recovers the correct rule.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnnotationModel,
+    DictionaryAnnotator,
+    NaiveWrapperLearner,
+    NoiseTolerantWrapper,
+    PublicationModel,
+    Site,
+    WrapperScorer,
+    XPathInductor,
+)
+
+PAGES = [
+    """
+    <html><body>
+    <div class="dealerlinks"><table>
+      <tr><td><u>PORTER FURNITURE</u><br>201 HWY. 30 WEST<br>NEW ALBANY, MS 38652</td></tr>
+      <tr><td><u>WOODLAND FURNITURE</u><br>123 MAIN ST.<br>WOODLAND, MS 39776</td></tr>
+      <tr><td><u>SUMMIT INTERIORS</u><br>77 LAKE AVE.<br>TUPELO, MS 38801</td></tr>
+    </table></div>
+    <div class="promo"><p>BESTBUY</p></div>
+    </body></html>
+    """,
+    """
+    <html><body>
+    <div class="dealerlinks"><table>
+      <tr><td><u>HOUSE OF VALUES</u><br>2565 SO EL CAMINO REAL<br>SAN MATEO, CA 94403</td></tr>
+      <tr><td><u>LULLABY LANE</u><br>532 SAN MATEO AVE.<br>SAN BRUNO, CA 94066</td></tr>
+    </table></div>
+    <div class="promo"><p>OFFICE DEPOT</p></div>
+    </body></html>
+    """,
+]
+
+# A small dictionary of popular business names.  It covers only some of
+# the dealers (low recall) and also matches the promo boxes (noise).
+DICTIONARY = [
+    "PORTER FURNITURE",
+    "HOUSE OF VALUES",
+    "LULLABY LANE",
+    "BESTBUY",
+    "OFFICE DEPOT",
+]
+
+
+def main() -> None:
+    site = Site.from_html("albany-industries", PAGES)
+    labels = DictionaryAnnotator(DICTIONARY).annotate(site)
+    print(f"dictionary annotator labeled {len(labels)} text nodes:")
+    for node_id in sorted(labels):
+        print(f"  page {node_id.page}: {site.text_node(node_id).text!r}")
+
+    inductor = XPathInductor()
+
+    naive = NaiveWrapperLearner(inductor)
+    naive_wrapper = naive.learn(site, labels)
+    print(f"\nNAIVE rule: {naive_wrapper.rule()}")
+    print(f"NAIVE extracts {len(naive_wrapper.extract(site))} nodes (over-general!)")
+
+    # The true dealer list on these pages: one name per row, three text
+    # attributes per record.  We hand the models the paper's DEALERS
+    # annotator profile and a prior fitted on the (tiny) gold list.
+    gold = frozenset(
+        node_id
+        for name in (
+            "PORTER FURNITURE",
+            "WOODLAND FURNITURE",
+            "SUMMIT INTERIORS",
+            "HOUSE OF VALUES",
+            "LULLABY LANE",
+        )
+        for node_id in site.find_text_nodes(name)
+        if site.text_node(node_id).parent.tag == "u"
+    )
+    scorer = WrapperScorer(
+        AnnotationModel.from_rates(p=0.95, r=0.6),
+        PublicationModel.fit([(site, gold)]),
+    )
+    ntw = NoiseTolerantWrapper(inductor, scorer)
+    result = ntw.learn(site, labels)
+    print(f"\nNTW considered {len(result.ranked)} candidate wrappers")
+    print(f"NTW rule:  {result.best.wrapper.rule()}")
+    extracted = result.extracted
+    print(f"NTW extracts {len(extracted)} nodes:")
+    for node_id in sorted(extracted):
+        print(f"  page {node_id.page}: {site.text_node(node_id).text!r}")
+    assert extracted == gold, "NTW should recover exactly the dealer names"
+    print("\nNTW recovered the exact dealer-name list despite the noise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package that PEP 660 editable
+installs require, so `pip install -e .` falls back to this setup.py
+(`setup.py develop`) code path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Automatic annotators — the cheap, noisy supervision of Section 1.
+
+An annotator inspects a site and labels a subset of its text nodes as
+(probably) belonging to the target type.  The framework never assumes
+annotations are correct; it only needs the annotator's noise profile
+``(p, r)``.  Provided implementations:
+
+- :class:`DictionaryAnnotator` — exact-mention matching against an
+  entity dictionary (the paper's business-name and track annotators);
+- :class:`RegexAnnotator` — pattern matching (the zipcode annotator);
+- :class:`OracleNoiseAnnotator` — the Sec. 7.4 controlled annotator that
+  labels true nodes with probability ``p1`` and false nodes with
+  probability ``p2``, for sweeping annotator quality;
+- :class:`UnionAnnotator` — union of other annotators' labels.
+"""
+
+from repro.annotators.base import Annotator, measure_noise
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.annotators.regex import RegexAnnotator
+from repro.annotators.synthetic import OracleNoiseAnnotator
+from repro.annotators.composite import FlippedAnnotator, UnionAnnotator
+
+__all__ = [
+    "Annotator",
+    "DictionaryAnnotator",
+    "FlippedAnnotator",
+    "OracleNoiseAnnotator",
+    "RegexAnnotator",
+    "UnionAnnotator",
+    "measure_noise",
+]

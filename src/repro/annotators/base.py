@@ -1,0 +1,36 @@
+"""Annotator interface and empirical noise measurement."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.site import Site
+from repro.wrappers.base import Labels
+
+
+class Annotator(abc.ABC):
+    """Labels a subset of a site's text nodes with one target type."""
+
+    @abc.abstractmethod
+    def annotate(self, site: Site) -> Labels:
+        """Return the ids of the text nodes this annotator labels."""
+
+
+def measure_noise(
+    labels: Labels, gold: Labels, total_text_nodes: int
+) -> tuple[float, float]:
+    """Empirical ``(precision, recall)`` of a label set against gold.
+
+    Precision is over the emitted labels; recall over the gold nodes.
+    Conventions: an empty label set has precision 1; an empty gold set
+    has recall 1 (nothing to find).
+    """
+    if labels:
+        precision = len(labels & gold) / len(labels)
+    else:
+        precision = 1.0
+    if gold:
+        recall = len(labels & gold) / len(gold)
+    else:
+        recall = 1.0
+    return precision, recall

@@ -1,0 +1,50 @@
+"""Composition and transformation of annotators."""
+
+from __future__ import annotations
+
+from repro.annotators.base import Annotator
+from repro.site import Site
+from repro.wrappers.base import Labels
+
+
+class UnionAnnotator(Annotator):
+    """Labels the union of several annotators' labels.
+
+    Useful for combining complementary dictionaries (e.g. several brand
+    dictionaries) into one higher-recall annotator for the same type.
+    """
+
+    def __init__(self, annotators: list[Annotator]) -> None:
+        if not annotators:
+            raise ValueError("union of zero annotators")
+        self.annotators = list(annotators)
+
+    def annotate(self, site: Site) -> Labels:
+        combined: frozenset = frozenset()
+        for annotator in self.annotators:
+            combined |= annotator.annotate(site)
+        return combined
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UnionAnnotator({self.annotators!r})"
+
+
+class FlippedAnnotator(Annotator):
+    """Labels the complement of another annotator's labels.
+
+    Section 6 notes that when ``1 - p > r`` — the annotator picks wrong
+    nodes with higher probability than right ones — Eq. 4 is maximised
+    by the *complement* of the label set, so one can "flip the output of
+    the annotator and use it instead".  The flipped annotator's noise
+    profile is ``(p', r') = (r-complement, p-complement)``: a node is in
+    the flipped label set exactly when the original annotator skipped it.
+    """
+
+    def __init__(self, inner: Annotator) -> None:
+        self.inner = inner
+
+    def annotate(self, site: Site) -> Labels:
+        return site.text_node_ids() - self.inner.annotate(site)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlippedAnnotator({self.inner!r})"

@@ -1,0 +1,52 @@
+"""Regular-expression annotation.
+
+The paper's zipcode annotator is "a regular expression identifying
+five-digit US zipcodes" (Appendix A.2); its noise comes from five-digit
+street numbers and boilerplate.  :data:`ZIPCODE_PATTERN` reproduces it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.annotators.base import Annotator
+from repro.site import Site
+from repro.wrappers.base import Labels
+
+#: Five consecutive digits appearing as their own word.
+ZIPCODE_PATTERN = r"(?<!\d)\d{5}(?!\d)"
+
+
+class RegexAnnotator(Annotator):
+    """Labels text nodes whose text matches ``pattern``.
+
+    Args:
+        pattern: regular expression searched inside the node text.
+        full_match: when true, the *stripped* node text must match the
+            pattern in full rather than merely contain a match.
+    """
+
+    def __init__(self, pattern: str, full_match: bool = False) -> None:
+        self.pattern = re.compile(pattern)
+        self.full_match = full_match
+
+    def annotate(self, site: Site) -> Labels:
+        found = []
+        for node_id in site.iter_text_node_ids():
+            text = site.text_node(node_id).text.strip()
+            matched = (
+                self.pattern.fullmatch(text)
+                if self.full_match
+                else self.pattern.search(text)
+            )
+            if matched:
+                found.append(node_id)
+        return frozenset(found)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegexAnnotator({self.pattern.pattern!r}, full_match={self.full_match})"
+
+
+def zipcode_annotator() -> RegexAnnotator:
+    """The Appendix A zipcode annotator."""
+    return RegexAnnotator(ZIPCODE_PATTERN)

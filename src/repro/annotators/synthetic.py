@@ -1,0 +1,45 @@
+"""The controlled-noise annotator of Section 7.4.
+
+Takes the set of correct nodes as input and labels each correct node
+with probability ``p1`` and each incorrect node with probability ``p2``.
+The expected recall is ``p1``; the expected precision is
+``n1*p1 / (n1*p1 + n2*p2)`` for ``n1`` correct and ``n2`` incorrect
+nodes — so sweeping ``(p1, p2)`` constructs annotators with any desired
+precision/recall, which is how Table 1 is produced.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.annotators.base import Annotator
+from repro.site import Site
+from repro.wrappers.base import Labels
+
+
+class OracleNoiseAnnotator(Annotator):
+    """Bernoulli corruption of a known gold set."""
+
+    def __init__(self, gold: Labels, p1: float, p2: float, seed: int) -> None:
+        if not (0.0 <= p1 <= 1.0 and 0.0 <= p2 <= 1.0):
+            raise ValueError(f"probabilities must lie in [0, 1]; got {p1}, {p2}")
+        self.gold = gold
+        self.p1 = p1
+        self.p2 = p2
+        self.seed = seed
+
+    def annotate(self, site: Site) -> Labels:
+        rng = random.Random(self.seed)
+        found = []
+        # Iterate in stable site order so the same seed reproduces the
+        # same annotation regardless of set iteration order.
+        for node_id in site.iter_text_node_ids():
+            probability = self.p1 if node_id in self.gold else self.p2
+            if rng.random() < probability:
+                found.append(node_id)
+        return frozenset(found)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OracleNoiseAnnotator(p1={self.p1}, p2={self.p2}, seed={self.seed})"
+        )

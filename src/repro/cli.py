@@ -1,0 +1,189 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands
+-----------
+
+``demo``
+    The Section 1 walkthrough on a tiny built-in site.
+
+``experiment``
+    The Section 7.2/7.3 comparison (NAIVE / NTW / NTW-L / NTW-X) on a
+    generated dataset: ``repro experiment --dataset dealers
+    --inductor xpath --sites 40 --pages 8``.
+
+``enumerate``
+    Wrapper-space enumeration statistics per site (Figures 2a–2c):
+    ``repro enumerate --inductor lr --sites 10``.
+
+Invoke as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets.dealers import generate_dealers
+from repro.datasets.disc import generate_disc
+from repro.datasets.products import generate_products
+from repro.enumeration import enumerate_bottom_up, enumerate_top_down
+from repro.enumeration.naive import naive_call_count
+from repro.evaluation.report import format_per_site_table, format_prf_table
+from repro.evaluation.runner import SingleTypeExperiment
+from repro.framework.ntw import subsample_labels
+from repro.wrappers.hlrt import HLRTInductor
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+INDUCTORS = {
+    "xpath": XPathInductor,
+    "lr": LRInductor,
+    "hlrt": HLRTInductor,
+}
+
+
+def _load_dataset(name: str, sites: int, pages: int, seed: int):
+    """Dataset plus (annotator, gold_type) for its extraction task."""
+    if name == "dealers":
+        dataset = generate_dealers(n_sites=sites, pages_per_site=pages, seed=seed)
+        return dataset.sites, dataset.annotator(), "name"
+    if name == "disc":
+        dataset = generate_disc(n_sites=sites, seed=seed)
+        return dataset.sites, dataset.annotator(), "track"
+    if name == "products":
+        dataset = generate_products(n_sites=sites, pages_per_site=pages, seed=seed)
+        return dataset.sites, dataset.annotator(), "name"
+    raise SystemExit(f"unknown dataset {name!r} (try dealers, disc, products)")
+
+
+def cmd_demo(_: argparse.Namespace) -> int:
+    """Run the quickstart narrative on a built-in two-page site."""
+    from repro.annotators.dictionary import DictionaryAnnotator
+    from repro.framework.naive import NaiveWrapperLearner
+    from repro.framework.ntw import NoiseTolerantWrapper
+    from repro.ranking.annotation import AnnotationModel
+    from repro.ranking.publication import PublicationModel
+    from repro.ranking.scorer import WrapperScorer
+    from repro.site import Site
+
+    pages = [
+        "<div class='dealerlinks'><table>"
+        "<tr><td><u>PORTER FURNITURE</u><br>201 HWY. 30 WEST</td></tr>"
+        "<tr><td><u>WOODLAND FURNITURE</u><br>123 MAIN ST.</td></tr>"
+        "<tr><td><u>SUMMIT INTERIORS</u><br>77 LAKE AVE.</td></tr>"
+        "</table></div><div class='promo'><p>BESTBUY</p></div>",
+        "<div class='dealerlinks'><table>"
+        "<tr><td><u>HOUSE OF VALUES</u><br>2565 EL CAMINO</td></tr>"
+        "<tr><td><u>LULLABY LANE</u><br>532 SAN MATEO AVE.</td></tr>"
+        "</table></div><div class='promo'><p>OFFICE DEPOT</p></div>",
+    ]
+    site = Site.from_html("demo", pages)
+    labels = DictionaryAnnotator(
+        ["PORTER FURNITURE", "LULLABY LANE", "BESTBUY"]
+    ).annotate(site)
+    print(f"noisy labels: {len(labels)}")
+    naive = NaiveWrapperLearner(XPathInductor()).learn(site, labels)
+    print(f"NAIVE rule: {naive.rule()}  -> {len(naive.extract(site))} nodes")
+    gold = frozenset(
+        node_id
+        for node_id in site.iter_text_node_ids()
+        if site.text_node(node_id).parent.tag == "u"
+    )
+    scorer = WrapperScorer(
+        AnnotationModel.from_rates(p=0.95, r=0.5),
+        PublicationModel.fit([(site, gold)]),
+    )
+    result = NoiseTolerantWrapper(XPathInductor(), scorer).learn(site, labels)
+    print(f"NTW rule:   {result.best.wrapper.rule()}")
+    for node_id in sorted(result.extracted):
+        print(f"  extracted: {site.text_node(node_id).text}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run the NAIVE/NTW comparison and print the accuracy tables."""
+    sites, annotator, gold_type = _load_dataset(
+        args.dataset, args.sites, args.pages, args.seed
+    )
+    inductor = INDUCTORS[args.inductor]()
+    experiment = SingleTypeExperiment(
+        sites, annotator, inductor, gold_type=gold_type
+    )
+    methods = tuple(args.methods.split(","))
+    outcomes = experiment.run(methods=methods, evaluate_on=args.evaluate_on)
+    print(
+        format_prf_table(
+            outcomes,
+            title=(
+                f"{args.dataset} / {args.inductor} "
+                f"({len(experiment.test)} held-out sites)"
+            ),
+        )
+    )
+    if args.per_site:
+        print()
+        print(format_per_site_table(outcomes))
+    return 0
+
+
+def cmd_enumerate(args: argparse.Namespace) -> int:
+    """Print per-site enumeration statistics (Figures 2a-2c)."""
+    sites, annotator, _ = _load_dataset(
+        args.dataset, args.sites, args.pages, args.seed
+    )
+    inductor = INDUCTORS[args.inductor]()
+    print(f"{'site':16s} {'|L|':>4s} {'k':>4s} {'TopDown':>8s} {'BottomUp':>9s} {'Naive':>12s}")
+    for generated in sites:
+        labels = subsample_labels(annotator.annotate(generated.site), args.max_labels)
+        if len(labels) < 2:
+            continue
+        top_down = enumerate_top_down(inductor, generated.site, labels)
+        bottom_up = enumerate_bottom_up(inductor, generated.site, labels)
+        print(
+            f"{generated.name:16s} {len(labels):4d} {top_down.size:4d} "
+            f"{top_down.inductor_calls:8d} {bottom_up.inductor_calls:9d} "
+            f"{naive_call_count(labels):12d}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Noise-tolerant wrapper induction (VLDB 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="Section 1 walkthrough")
+    demo.set_defaults(func=cmd_demo)
+
+    exp = sub.add_parser("experiment", help="NAIVE vs NTW accuracy comparison")
+    exp.add_argument("--dataset", default="dealers")
+    exp.add_argument("--inductor", default="xpath", choices=sorted(INDUCTORS))
+    exp.add_argument("--sites", type=int, default=20)
+    exp.add_argument("--pages", type=int, default=8)
+    exp.add_argument("--seed", type=int, default=11)
+    exp.add_argument("--methods", default="naive,ntw")
+    exp.add_argument("--evaluate-on", default="test", choices=("test", "all"))
+    exp.add_argument("--per-site", action="store_true")
+    exp.set_defaults(func=cmd_experiment)
+
+    enum = sub.add_parser("enumerate", help="wrapper-space enumeration stats")
+    enum.add_argument("--dataset", default="dealers")
+    enum.add_argument("--inductor", default="xpath", choices=sorted(INDUCTORS))
+    enum.add_argument("--sites", type=int, default=10)
+    enum.add_argument("--pages", type=int, default=8)
+    enum.add_argument("--seed", type=int, default=11)
+    enum.add_argument("--max-labels", type=int, default=24)
+    enum.set_defaults(func=cmd_enumerate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Dataset generators: the web-publication model as a simulator.
+
+The paper evaluates on crawled websites (330 dealer locators, 15
+discography sites, 10 shopping sites) that we cannot fetch.  Section 2.1
+models how such sites come to be — pick a schema, pick a rendering
+script, render database records into pages — and this subpackage *is*
+that model, run forwards: per-site randomized templates render
+synthetic entity records into HTML pages, with realistic chrome and
+annotator-colliding noise, while tracking exactly which text nodes carry
+which field (the gold labels the paper obtained by hand-building rules).
+
+Entry points: :func:`repro.datasets.dealers.generate_dealers`,
+:func:`repro.datasets.disc.generate_disc`,
+:func:`repro.datasets.products.generate_products`.
+"""
+
+from repro.datasets.sitegen import GeneratedSite, SiteSpec
+from repro.datasets.dealers import generate_dealers
+from repro.datasets.disc import generate_disc
+from repro.datasets.products import generate_products
+
+__all__ = [
+    "GeneratedSite",
+    "SiteSpec",
+    "generate_dealers",
+    "generate_disc",
+    "generate_products",
+]

@@ -1,0 +1,253 @@
+"""The DISC dataset: discography sites with album/track listings.
+
+The paper crawled 15 discography sites (Fig. 8) and annotated track
+names against 11 seed albums (Fig. 9); the annotator measured precision
+0.8 / recall 0.9 *on pages with at least one annotation*.  Errors come
+from track titles matching album titles and from titles quoted inside
+user comments.  This generator reproduces the setting:
+
+- 15 per-site rendering scripts; one page per album; each site carries
+  a random slice of a shared album catalog that always includes several
+  of the 11 seed albums (so every site is annotatable);
+- track titles are occasionally decorated ("(Live)", "(Remastered)" or
+  a leading track number inside the same text node), which breaks exact
+  dictionary matching — the recall knob;
+- review/quote blocks render seed track titles as standalone text nodes
+  — the precision knob;
+- the album title appears consistently in the ``<title>`` tag, the main
+  heading and a breadcrumb, giving the multiple-correct-wrapper
+  situation of the single-entity experiment (App. B.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.datasets.entities import Album, album_catalog
+from repro.datasets.sitegen import GeneratedSite, SiteSpec, assemble_site
+from repro.datasets.templates import Chrome, PageEmitter, make_class
+
+#: Paper scale: 15 sites, 11 seed albums.
+DEFAULT_SITES = 15
+SEED_ALBUMS = 11
+
+
+@dataclass(slots=True)
+class DiscConfig:
+    """Knobs of the DISC generator (targets precision ~0.8, recall ~0.9)."""
+
+    n_sites: int = DEFAULT_SITES
+    catalog_size: int = 70
+    min_albums: int = 18
+    max_albums: int = 30
+    min_seed_albums: int = 4
+    decoration_rate: float = 0.10
+    quote_block_rate: float = 0.22
+    seed: int = 23
+
+
+@dataclass(slots=True)
+class DiscDataset:
+    """The generated dataset plus its seed-track dictionary."""
+
+    sites: list[GeneratedSite]
+    seed_albums: list[Album]
+    config: DiscConfig = field(default_factory=DiscConfig)
+
+    def track_dictionary(self) -> list[str]:
+        return [track for album in self.seed_albums for track in album.tracks]
+
+    def annotator(self) -> DictionaryAnnotator:
+        return DictionaryAnnotator(self.track_dictionary())
+
+    def title_annotator(self) -> DictionaryAnnotator:
+        """Album-title annotator for the single-entity task (App. B.2)."""
+        return DictionaryAnnotator([album.title for album in self.seed_albums])
+
+
+def generate_disc(
+    n_sites: int = DEFAULT_SITES,
+    seed: int = 23,
+    config: DiscConfig | None = None,
+) -> DiscDataset:
+    """Generate the DISC dataset (deterministic in ``seed``)."""
+    if config is None:
+        config = DiscConfig(n_sites=n_sites, seed=seed)
+    catalog = album_catalog(config.catalog_size, seed=config.seed * 1000 + 1)
+    seeds = catalog[:SEED_ALBUMS]
+    sites = [
+        _generate_site(index, catalog, seeds, config)
+        for index in range(config.n_sites)
+    ]
+    return DiscDataset(sites=sites, seed_albums=seeds, config=config)
+
+
+_TRACK_LAYOUTS = ("ol-list", "table-rows", "div-rows")
+_DECORATIONS = [" (Live)", " (Remastered)", " (Bonus Track)", " [Demo]"]
+
+
+def _generate_site(
+    index: int,
+    catalog: list[Album],
+    seeds: list[Album],
+    config: DiscConfig,
+) -> GeneratedSite:
+    site_seed = config.seed * 100000 + index
+    rng = random.Random(site_seed)
+    site_title = f"{make_class(rng).title()} Music Archive {index + 1}"
+    chrome = Chrome.build(rng, site_title)
+    layout = rng.choice(_TRACK_LAYOUTS)
+    container_class = make_class(rng)
+    row_class = make_class(rng)
+
+    n_albums = rng.randrange(config.min_albums, config.max_albums + 1)
+    n_seeds = max(config.min_seed_albums, min(len(seeds), n_albums // 4))
+    chosen_seeds = rng.sample(seeds, n_seeds)
+    others = [album for album in catalog if album not in seeds]
+    chosen = chosen_seeds + rng.sample(others, n_albums - n_seeds)
+    rng.shuffle(chosen)
+
+    seed_track_pool = [track for album in seeds for track in album.tracks]
+
+    rendered = []
+    for page_number, album in enumerate(chosen):
+        page_rng = random.Random(site_seed * 1000 + page_number)
+        out = PageEmitter()
+        _emit_album_page(
+            out,
+            album,
+            chrome,
+            layout,
+            container_class,
+            row_class,
+            seed_track_pool,
+            page_rng,
+            config,
+        )
+        rendered.append((out.html(), out.spans))
+
+    spec = SiteSpec(name=f"disc-{index:02d}", domain="disc", seed=site_seed)
+    generated = assemble_site(
+        spec,
+        rendered,
+        metadata={
+            "layout": layout,
+            "albums": [album.title for album in chosen],
+            "n_seed_albums": n_seeds,
+        },
+    )
+    # Single-entity variants: title in <title>, heading, breadcrumb are
+    # each a complete, consistent one-per-page gold set.
+    variants = [
+        generated.gold.get(key, frozenset())
+        for key in ("title_head", "title_heading", "title_breadcrumb")
+        if generated.gold.get(key)
+    ]
+    generated.gold_variants["album_title"] = [v for v in variants if v]
+    # The canonical gold for the title task is the main heading.
+    generated.gold["album_title"] = generated.gold.get("title_heading", frozenset())
+    return generated
+
+
+def _emit_album_page(
+    out: PageEmitter,
+    album: Album,
+    chrome: Chrome,
+    layout: str,
+    container_class: str,
+    row_class: str,
+    seed_track_pool: list[str],
+    rng: random.Random,
+    config: DiscConfig,
+) -> None:
+    out.raw("<html><head><title>")
+    out.value(album.title, "title_head")
+    out.raw("</title></head><body>")
+    chrome.emit_header(out, rng)
+    out.raw('<p class="crumbs">Albums &gt; ')
+    out.raw("<span>")
+    out.value(album.title, "title_breadcrumb")
+    out.raw("</span></p>")
+    out.raw("<h2>")
+    out.value(album.title, "title_heading")
+    out.raw("</h2><p>")
+    out.text(f"by {album.artist} ({album.year})")
+    out.raw("</p>")
+    _emit_tracks(out, album, layout, container_class, row_class, rng, config)
+    if rng.random() < config.quote_block_rate:
+        _emit_review(out, seed_track_pool, rng)
+    chrome.emit_footer(out, rng)
+
+
+def _track_text(track: str, number: int, rng: random.Random, config: DiscConfig) -> tuple[str, bool]:
+    """Rendered track text and whether it still exactly matches the title."""
+    if rng.random() < config.decoration_rate:
+        style = rng.randrange(2)
+        if style == 0:
+            return track + rng.choice(_DECORATIONS), False
+        return f"{number}. {track}", False
+    return track, True
+
+
+def _emit_tracks(
+    out: PageEmitter,
+    album: Album,
+    layout: str,
+    container_class: str,
+    row_class: str,
+    rng: random.Random,
+    config: DiscConfig,
+) -> None:
+    durations = [f"{rng.randrange(2, 6)}:{rng.randrange(10, 59)}" for _ in album.tracks]
+    if layout == "ol-list":
+        out.raw(f'<ol class="{container_class}">')
+        for number, track in enumerate(album.tracks, start=1):
+            text, _ = _track_text(track, number, rng, config)
+            out.raw(f'<li class="{row_class}"><span>')
+            out.value(text, "track")
+            out.raw("</span><em>")
+            out.text(durations[number - 1])
+            out.raw("</em></li>")
+        out.raw("</ol>")
+    elif layout == "table-rows":
+        out.raw(f'<table class="{container_class}">')
+        for number, track in enumerate(album.tracks, start=1):
+            text, _ = _track_text(track, number, rng, config)
+            out.raw(f"<tr><td>{number}</td><td class=\"{row_class}\">")
+            out.value(text, "track")
+            out.raw("</td><td>")
+            out.text(durations[number - 1])
+            out.raw("</td></tr>")
+        out.raw("</table>")
+    else:
+        out.raw(f'<div class="{container_class}">')
+        for number, track in enumerate(album.tracks, start=1):
+            text, _ = _track_text(track, number, rng, config)
+            out.raw(f'<div class="{row_class}"><b>')
+            out.value(text, "track")
+            out.raw("</b><span>")
+            out.text(durations[number - 1])
+            out.raw("</span></div>")
+        out.raw("</div>")
+
+
+def _emit_review(out: PageEmitter, seed_track_pool: list[str], rng: random.Random) -> None:
+    """A user-review block quoting seed tracks as standalone text nodes."""
+    out.raw('<div class="reviews"><h4>User reviews</h4>')
+    for _ in range(rng.randrange(1, 3)):
+        out.raw("<p>")
+        out.text(
+            rng.choice(
+                [
+                    "Absolutely essential listening.",
+                    "The pressing quality is superb.",
+                    "A classic from start to finish.",
+                ]
+            )
+        )
+        out.raw("</p><blockquote>")
+        out.text(rng.choice(seed_track_pool))
+        out.raw("</blockquote>")
+    out.raw("</div>")

@@ -1,0 +1,233 @@
+"""Deterministic entity pools for the synthetic datasets.
+
+Pools are generated combinatorially from word lists so they are large,
+diverse and reproducible without shipping data files.  All generators
+take explicit sizes and derive every choice from the pool index, so the
+same call always yields the same pool.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+# -- business listings (DEALERS) ---------------------------------------------
+
+_BUSINESS_FIRST = [
+    "OAKWOOD", "PORTER", "WOODLAND", "SUMMIT", "RIVERSIDE", "HERITAGE",
+    "LIBERTY", "PIONEER", "STERLING", "MAGNOLIA", "CRESCENT", "HARBOR",
+    "PRAIRIE", "CEDAR", "WILLOW", "GRANITE", "BLUEBIRD", "REDWOOD",
+    "LAKESIDE", "HILLTOP", "MEADOW", "CYPRESS", "FALCON", "BEACON",
+    "CHESTNUT", "DOGWOOD", "ELMWOOD", "FOXGLOVE", "GOLDENROD", "HICKORY",
+    "IRONWOOD", "JUNIPER", "KINGFISHER", "LANTERN", "MAPLE", "NORTHGATE",
+    "ORCHARD", "PALMETTO", "QUARRY", "ROSEWOOD", "SPRUCE", "THISTLE",
+    "UPLAND", "VALLEY", "WHISPERING", "YELLOWSTONE", "ANCHOR", "BRIDGE",
+]
+
+_BUSINESS_SECOND = [
+    "FURNITURE", "APPLIANCE", "HARDWARE", "ELECTRONICS", "INTERIORS",
+    "HOME CENTER", "GALLERY", "DESIGN", "SUPPLY", "TRADING",
+    "OUTFITTERS", "CABINETS", "LIGHTING", "FLOORING", "KITCHENS",
+    "BEDDING", "DECOR", "WOODWORKS", "UPHOLSTERY", "ANTIQUES",
+]
+
+_BUSINESS_SUFFIX = ["", "", "", " CO.", " INC.", " & SONS", " OUTLET", " DEPOT"]
+
+_STREET_NAMES = [
+    "MAIN", "OAK", "MAPLE", "ELM", "WASHINGTON", "LAKE", "HILL",
+    "PARK", "PINE", "CEDAR", "RIVER", "CHURCH", "SPRING", "MILL",
+    "FRONT", "CENTER", "WALNUT", "JACKSON", "HIGHLAND", "FOREST",
+]
+
+_STREET_SUFFIX = ["ST.", "AVE.", "BLVD.", "RD.", "DR.", "LN.", "HWY. 30"]
+
+_CITIES = [
+    ("NEW ALBANY", "MS"), ("WOODLAND", "MS"), ("SAN MATEO", "CA"),
+    ("SAN JOSE", "CA"), ("SAN BRUNO", "CA"), ("SAN RAFAEL", "CA"),
+    ("SPRINGFIELD", "IL"), ("MADISON", "WI"), ("FRANKLIN", "TN"),
+    ("GREENVILLE", "SC"), ("BRISTOL", "CT"), ("CLINTON", "IA"),
+    ("SALEM", "OR"), ("FAIRVIEW", "NJ"), ("GEORGETOWN", "KY"),
+    ("ARLINGTON", "TX"), ("CLAYTON", "MO"), ("DAYTON", "OH"),
+    ("ASHLAND", "VA"), ("BURLINGTON", "VT"), ("CAMDEN", "ME"),
+    ("DOVER", "DE"), ("EUGENE", "OR"), ("FARGO", "ND"),
+    ("GRAFTON", "WV"), ("HELENA", "MT"), ("ITHACA", "NY"),
+    ("JOPLIN", "MO"), ("KENOSHA", "WI"), ("LAREDO", "TX"),
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Business:
+    """One business-listing record (the DEALERS schema)."""
+
+    name: str
+    street: str
+    city: str
+    state: str
+    zipcode: str
+    phone: str
+
+
+def business_pool(size: int, seed: int = 7001) -> list[Business]:
+    """A deterministic pool of distinct business records."""
+    rng = random.Random(seed)
+    names: list[str] = []
+    seen: set[str] = set()
+    while len(names) < size:
+        name = (
+            rng.choice(_BUSINESS_FIRST)
+            + " "
+            + rng.choice(_BUSINESS_SECOND)
+            + rng.choice(_BUSINESS_SUFFIX)
+        )
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    pool: list[Business] = []
+    for index, name in enumerate(names):
+        city, state = _CITIES[rng.randrange(len(_CITIES))]
+        zipcode = f"{10000 + (index * 137 + rng.randrange(90)) % 89999:05d}"
+        street = (
+            f"{rng.randrange(100, 9900)} "
+            f"{rng.choice(_STREET_NAMES)} {rng.choice(_STREET_SUFFIX)}"
+        )
+        phone = (
+            f"{rng.randrange(200, 999)}-"
+            f"{rng.randrange(200, 999)}-{rng.randrange(1000, 9999)}"
+        )
+        pool.append(
+            Business(
+                name=name,
+                street=street,
+                city=city,
+                state=state,
+                zipcode=zipcode,
+                phone=phone,
+            )
+        )
+    return pool
+
+
+# -- discography (DISC) -------------------------------------------------------
+
+_TRACK_WORDS_A = [
+    "Midnight", "Golden", "Silent", "Electric", "Broken", "Crimson",
+    "Wandering", "Velvet", "Hollow", "Shining", "Distant", "Paper",
+    "Winter", "Summer", "Neon", "Gentle", "Restless", "Faded",
+    "Burning", "Silver", "Lonely", "Hidden", "Rising", "Falling",
+]
+
+_TRACK_WORDS_B = [
+    "River", "Sky", "Heart", "Road", "Dream", "Fire", "Rain",
+    "Shadow", "Light", "Train", "Garden", "Mirror", "Echo",
+    "Harbor", "Window", "Dancer", "Stranger", "Mountain", "Ocean",
+    "Letter", "Season", "Motel", "Station", "Carousel",
+]
+
+_ARTIST_FIRST = [
+    "The", "Miss", "Young", "Old", "Saint", "Big", "Little", "Silver",
+]
+
+_ARTIST_SECOND = [
+    "Harbors", "Nightingales", "Cartographers", "Lanterns", "Foxes",
+    "Wanderers", "Pines", "Meridians", "Satellites", "Arrows",
+    "Malone", "Tiller", "Whitfield", "Corvane", "Ashbury", "Delmar",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Album:
+    """One album with its ordered track listing (the DISC schema)."""
+
+    title: str
+    artist: str
+    year: int
+    tracks: tuple[str, ...]
+
+
+def album_catalog(size: int, seed: int = 7101) -> list[Album]:
+    """A deterministic catalog of distinct albums with track listings."""
+    rng = random.Random(seed)
+    albums: list[Album] = []
+    seen_titles: set[str] = set()
+    seen_tracks: set[str] = set()
+    while len(albums) < size:
+        title = f"{rng.choice(_TRACK_WORDS_A)} {rng.choice(_TRACK_WORDS_B)}"
+        if title in seen_titles:
+            continue
+        seen_titles.add(title)
+        artist = f"{rng.choice(_ARTIST_FIRST)} {rng.choice(_ARTIST_SECOND)}"
+        year = rng.randrange(1962, 2011)
+        n_tracks = rng.randrange(8, 14)
+        tracks: list[str] = []
+        while len(tracks) < n_tracks:
+            track = f"{rng.choice(_TRACK_WORDS_A)} {rng.choice(_TRACK_WORDS_B)}"
+            if rng.random() < 0.3:
+                track += " " + rng.choice(
+                    ["Blues", "Serenade", "Lullaby", "Reprise", "Waltz", "Anthem"]
+                )
+            if track not in seen_tracks and track != title:
+                seen_tracks.add(track)
+                tracks.append(track)
+        albums.append(
+            Album(title=title, artist=artist, year=year, tracks=tuple(tracks))
+        )
+    return albums
+
+
+# -- shopping (PRODUCTS) ------------------------------------------------------
+
+#: Brands whose models form the PRODUCTS dictionary (5 brands, paper App. B.1)
+DICTIONARY_BRANDS = ["Nokia", "Samsung", "Motorola", "LG", "Sony Ericsson"]
+
+#: Brands sold by the shops but absent from the dictionary.
+OTHER_BRANDS = ["HTC", "BlackBerry", "Palm"]
+
+_MODEL_SERIES = {
+    "Nokia": ["N", "E", "C", ""],
+    "Samsung": ["SGH-A", "SGH-T", "SCH-U", "Galaxy "],
+    "Motorola": ["RAZR V", "KRZR K", "ROKR E", "Droid "],
+    "LG": ["VX", "KP", "GD", "Chocolate "],
+    "Sony Ericsson": ["K", "W", "C", "Xperia X"],
+    "HTC": ["Touch ", "Hero ", "Magic ", "Desire "],
+    "BlackBerry": ["Curve 8", "Bold 9", "Pearl 8", "Storm 9"],
+    "Palm": ["Treo 6", "Treo 7", "Centro ", "Pre "],
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Phone:
+    """One cellphone product (the PRODUCTS schema)."""
+
+    name: str  # "<brand> <model>"
+    brand: str
+    price: str
+    rating: str
+
+
+def phone_pool(per_brand: int, seed: int = 7201) -> list[Phone]:
+    """Deterministic phone products across all brands.
+
+    ``per_brand`` phones for each dictionary brand and each other brand.
+    """
+    rng = random.Random(seed)
+    pool: list[Phone] = []
+    seen: set[str] = set()
+    for brand in DICTIONARY_BRANDS + OTHER_BRANDS:
+        series = _MODEL_SERIES[brand]
+        produced = 0
+        while produced < per_brand:
+            model = f"{rng.choice(series)}{rng.randrange(10, 99)}"
+            name = f"{brand} {model}"
+            if name in seen:
+                continue
+            seen.add(name)
+            produced += 1
+            price = f"${rng.randrange(49, 699)}.{rng.choice(['00', '99', '95'])}"
+            rating = f"{rng.randrange(2, 5)}.{rng.randrange(0, 9)} stars"
+            pool.append(Phone(name=name, brand=brand, price=price, rating=rating))
+    return pool
+
+
+def phone_dictionary(pool: list[Phone]) -> list[str]:
+    """The 463-entry-style dictionary: names of dictionary-brand phones."""
+    return [phone.name for phone in pool if phone.brand in DICTIONARY_BRANDS]

@@ -1,0 +1,129 @@
+"""The PRODUCTS dataset: shopping sites selling cellphones (App. B.1).
+
+The paper crawled 10 shopping sites and annotated phone listings with a
+463-entry dictionary built from the Wikipedia model lists of five
+brands.  This generator reproduces the setting: 10 per-site rendering
+scripts, several category pages per site, each listing phones drawn from
+a pool that mixes dictionary brands with out-of-dictionary brands (so
+the annotator's recall is partial by construction), plus "top sellers"
+boxes that repeat dictionary phone names outside the main listing (the
+precision noise).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.datasets.entities import Phone, phone_dictionary, phone_pool
+from repro.datasets.sitegen import GeneratedSite, SiteSpec, assemble_site
+from repro.datasets.templates import Chrome, ListingLayout, PageEmitter
+
+#: Paper scale: 10 shopping sites, 463 dictionary entries.
+DEFAULT_SITES = 10
+DICTIONARY_SIZE = 463
+
+
+@dataclass(slots=True)
+class ProductsConfig:
+    """Knobs of the PRODUCTS generator."""
+
+    n_sites: int = DEFAULT_SITES
+    pages_per_site: int = 8
+    min_records: int = 5
+    max_records: int = 12
+    top_sellers_rate: float = 0.15
+    per_brand: int = 93
+    seed: int = 37
+
+
+@dataclass(slots=True)
+class ProductsDataset:
+    """The generated dataset plus its model dictionary."""
+
+    sites: list[GeneratedSite]
+    dictionary: list[str]
+    config: ProductsConfig = field(default_factory=ProductsConfig)
+
+    def annotator(self) -> DictionaryAnnotator:
+        return DictionaryAnnotator(self.dictionary)
+
+
+def generate_products(
+    n_sites: int = DEFAULT_SITES,
+    pages_per_site: int = 8,
+    seed: int = 37,
+    config: ProductsConfig | None = None,
+) -> ProductsDataset:
+    """Generate the PRODUCTS dataset (deterministic in ``seed``)."""
+    if config is None:
+        config = ProductsConfig(
+            n_sites=n_sites, pages_per_site=pages_per_site, seed=seed
+        )
+    pool = phone_pool(config.per_brand, seed=config.seed * 1000 + 1)
+    dictionary = phone_dictionary(pool)[:DICTIONARY_SIZE]
+    sites = [
+        _generate_site(index, pool, dictionary, config)
+        for index in range(config.n_sites)
+    ]
+    return ProductsDataset(sites=sites, dictionary=dictionary, config=config)
+
+
+_CATEGORIES = [
+    "Smartphones", "Flip phones", "Slider phones", "Camera phones",
+    "Budget phones", "Unlocked phones", "New arrivals", "Refurbished",
+    "Best rated", "On sale",
+]
+
+
+def _generate_site(
+    index: int,
+    pool: list[Phone],
+    dictionary: list[str],
+    config: ProductsConfig,
+) -> GeneratedSite:
+    site_seed = config.seed * 100000 + index
+    rng = random.Random(site_seed)
+    site_title = f"PhoneShop {index + 1}"
+    chrome = Chrome.build(rng, site_title)
+    layout = ListingLayout.build(
+        rng,
+        primary="name",
+        fields=("name", "price", "rating"),
+        own_node_fields={"price": "span"},
+    )
+    gold_types = {"name": "name"}
+
+    rendered = []
+    for page_number in range(config.pages_per_site):
+        page_rng = random.Random(site_seed * 1000 + page_number)
+        n_records = page_rng.randrange(config.min_records, config.max_records + 1)
+        phones = page_rng.sample(pool, n_records)
+        records = [
+            {"name": phone.name, "price": phone.price, "rating": phone.rating}
+            for phone in phones
+        ]
+        out = PageEmitter()
+        category = _CATEGORIES[page_number % len(_CATEGORIES)]
+        chrome.emit_head(out, f"{site_title} — {category}")
+        chrome.emit_header(out, page_rng)
+        noise: list[str] | None = None
+        if page_rng.random() < config.top_sellers_rate:
+            noise = page_rng.sample(dictionary, k=page_rng.randrange(1, 3))
+        chrome.emit_sidebar(
+            out, page_rng, noise_entries=noise, noise_heading="Top sellers"
+        )
+        out.raw("<h2>")
+        out.text(category)
+        out.raw("</h2>")
+        layout.emit(out, records, gold_types)
+        chrome.emit_footer(out, page_rng)
+        rendered.append((out.html(), out.spans))
+
+    spec = SiteSpec(
+        name=f"products-{index:02d}", domain="products", seed=site_seed
+    )
+    return assemble_site(
+        spec, rendered, metadata={"layout": layout.kind, "site_title": site_title}
+    )

@@ -1,0 +1,96 @@
+"""Assembly of generated sites: render -> parse -> resolve gold labels.
+
+The emitters in :mod:`repro.datasets.templates` record the character
+span of every gold value they write.  After parsing, each span is
+resolved to the text node containing it, giving exact gold label sets
+per type — the ground truth the paper obtained by manually writing a
+correct rule per website.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.datasets.templates import GoldSpan
+from repro.htmldom.dom import NodeId, TextNode
+from repro.site import Site
+from repro.wrappers.base import Labels
+
+
+@dataclass(frozen=True, slots=True)
+class SiteSpec:
+    """Identifying parameters of one generated site."""
+
+    name: str
+    domain: str
+    seed: int
+
+
+@dataclass(slots=True)
+class GeneratedSite:
+    """A generated site with its gold labels.
+
+    Attributes:
+        spec: generation parameters (name, domain, per-site seed).
+        site: the parsed pages.
+        gold: per-type gold node-id sets (e.g. ``gold["name"]``).
+        gold_variants: for single-entity tasks, alternative complete gold
+            sets that are each individually correct (paper App. B.2 notes
+            sites can have several consistent locations for the entity).
+        metadata: free-form extras benches may need (record counts, ...).
+    """
+
+    spec: SiteSpec
+    site: Site
+    gold: dict[str, Labels]
+    gold_variants: dict[str, list[Labels]] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class GoldResolutionError(RuntimeError):
+    """A recorded gold span did not land inside a parsed text node."""
+
+
+def resolve_gold(
+    site: Site, spans_per_page: list[list[GoldSpan]]
+) -> dict[str, Labels]:
+    """Map recorded gold spans to the text nodes containing them."""
+    gold: dict[str, set[NodeId]] = {}
+    for page_index, spans in enumerate(spans_per_page):
+        page = site.pages[page_index]
+        text_nodes = [
+            node for node in page.nodes if isinstance(node, TextNode) and node.start >= 0
+        ]
+        starts = [node.start for node in text_nodes]
+        for span in spans:
+            position = bisect.bisect_right(starts, span.start) - 1
+            if position < 0:
+                raise GoldResolutionError(
+                    f"span {span} on page {page_index} precedes all text nodes"
+                )
+            node = text_nodes[position]
+            if not (node.start <= span.start and span.end <= node.end):
+                raise GoldResolutionError(
+                    f"span {span} on page {page_index} not inside the "
+                    f"covering text node [{node.start}, {node.end})"
+                )
+            gold.setdefault(span.type_name, set()).add(node.node_id)
+    return {type_name: frozenset(ids) for type_name, ids in gold.items()}
+
+
+def assemble_site(
+    spec: SiteSpec,
+    rendered_pages: list[tuple[str, list[GoldSpan]]],
+    metadata: dict | None = None,
+) -> GeneratedSite:
+    """Parse rendered pages and resolve their gold spans into a site."""
+    site = Site.from_html(spec.name, [html for html, _ in rendered_pages])
+    gold = resolve_gold(site, [spans for _, spans in rendered_pages])
+    return GeneratedSite(
+        spec=spec, site=site, gold=gold, metadata=metadata or {}
+    )

@@ -1,0 +1,387 @@
+"""Rendering machinery: emitters, chrome, and per-site listing layouts.
+
+A *rendering script* in the paper's publication model is a deterministic
+function from records to HTML.  :class:`PageEmitter` builds the HTML
+string while recording the character span of every gold value it writes,
+so the generator can later resolve gold labels to parsed text nodes
+without any string matching (and therefore without ambiguity when the
+same string also appears as annotator-colliding noise).
+
+:class:`ListingLayout` implements five structural families for listing
+pages (the kinds of markup dealer locators actually use): one-cell-per-
+record tables, one-column-per-field tables, stacked divs, ``ul`` lists
+and definition lists.  All tag classes, field wrappers and orderings are
+drawn per-site from the supplied RNG, giving each generated site a
+distinct rendering script while all pages within a site share one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.htmldom.entities import encode_entities
+
+# -- emitter -------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class GoldSpan:
+    """A gold value's character span in the emitted page."""
+
+    start: int
+    end: int
+    type_name: str
+
+
+class PageEmitter:
+    """Accumulates HTML text and records gold value spans."""
+
+    __slots__ = ("_parts", "_length", "spans")
+
+    def __init__(self) -> None:
+        self._parts: list[str] = []
+        self._length = 0
+        self.spans: list[GoldSpan] = []
+
+    def raw(self, text: str) -> None:
+        """Append literal markup."""
+        self._parts.append(text)
+        self._length += len(text)
+
+    def text(self, text: str) -> None:
+        """Append entity-encoded character data."""
+        self.raw(encode_entities(text))
+
+    def value(self, text: str, type_name: str | None = None) -> None:
+        """Append an encoded value, recording its span when it is gold."""
+        encoded = encode_entities(text)
+        if type_name is not None:
+            self.spans.append(
+                GoldSpan(
+                    start=self._length,
+                    end=self._length + len(encoded),
+                    type_name=type_name,
+                )
+            )
+        self.raw(encoded)
+
+    def html(self) -> str:
+        return "".join(self._parts)
+
+
+# -- shared chrome --------------------------------------------------------------
+
+_CLASS_WORDS = [
+    "main", "content", "results", "listing", "dealer", "store", "info",
+    "panel", "box", "area", "wrap", "block", "grid", "row", "col",
+    "page", "body", "inner", "outer", "list", "data", "view",
+]
+
+_NAV_LABELS = [
+    "Home", "About Us", "Our Products", "Dealer Locator", "Contact Us",
+    "Events", "Employment", "FAQ", "Support", "News", "Careers",
+]
+
+_PROMO_LINES = [
+    "Free shipping on orders over $50!",
+    "Sign up for our newsletter and save 10%.",
+    "Now hiring in all locations.",
+    "Visit our clearance center for weekly deals.",
+    "Financing available on approved credit.",
+    "Follow us for seasonal promotions.",
+]
+
+
+def make_class(rng: random.Random) -> str:
+    """A plausible site-specific CSS class name."""
+    a = rng.choice(_CLASS_WORDS)
+    b = rng.choice(_CLASS_WORDS)
+    style = rng.randrange(3)
+    if style == 0:
+        return f"{a}-{b}"
+    if style == 1:
+        return a + b.capitalize()
+    return a + str(rng.randrange(1, 9))
+
+
+@dataclass(slots=True)
+class Chrome:
+    """Per-site page chrome: header, navigation, sidebar, footer."""
+
+    site_title: str
+    header_class: str
+    nav_class: str
+    sidebar_class: str
+    footer_class: str
+    nav_labels: list[str] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, rng: random.Random, site_title: str) -> "Chrome":
+        labels = rng.sample(_NAV_LABELS, k=rng.randrange(4, 8))
+        return cls(
+            site_title=site_title,
+            header_class=make_class(rng),
+            nav_class=make_class(rng),
+            sidebar_class=make_class(rng),
+            footer_class=make_class(rng),
+            nav_labels=labels,
+        )
+
+    def emit_head(self, out: PageEmitter, page_title: str) -> None:
+        out.raw("<html><head><title>")
+        out.text(page_title)
+        out.raw("</title></head><body>")
+
+    def emit_header(self, out: PageEmitter, rng: random.Random) -> None:
+        out.raw(f'<div class="{self.header_class}"><h1>')
+        out.text(self.site_title)
+        out.raw(f'</h1></div><ul class="{self.nav_class}">')
+        for label in self.nav_labels:
+            out.raw('<li><a href="#">')
+            out.text(label)
+            out.raw("</a></li>")
+        out.raw("</ul>")
+
+    def emit_sidebar(
+        self,
+        out: PageEmitter,
+        rng: random.Random,
+        noise_entries: list[str] | None = None,
+        noise_heading: str = "Featured partners",
+    ) -> None:
+        """Sidebar promo box; ``noise_entries`` become standalone text
+        nodes that can collide with dictionary annotators."""
+        out.raw(f'<div class="{self.sidebar_class}"><p>')
+        out.text(rng.choice(_PROMO_LINES))
+        out.raw("</p>")
+        if noise_entries:
+            out.raw("<h4>")
+            out.text(noise_heading)
+            out.raw("</h4><ul>")
+            for entry in noise_entries:
+                out.raw("<li>")
+                out.text(entry)
+                out.raw("</li>")
+            out.raw("</ul>")
+        out.raw("</div>")
+
+    def emit_footer(self, out: PageEmitter, rng: random.Random) -> None:
+        out.raw(f'<div class="{self.footer_class}"><p>')
+        out.text(f"© 2010 {self.site_title}. All rights reserved.")
+        out.raw("</p><p>")
+        out.text(" | ".join(self.nav_labels[:3]))
+        out.raw("</p></div></body></html>")
+
+
+# -- listing layouts --------------------------------------------------------------
+
+#: Tags a layout may wrap the primary (name) field in.
+_NAME_WRAPS = ["u", "b", "strong", "em", "span", "a"]
+
+LAYOUTS = (
+    "table-cell",
+    "table-columns",
+    "div-stack",
+    "ul-list",
+    "dl-list",
+    "bold-cols",
+)
+
+#: Rotating bold callouts used by the ``bold-cols`` layout.  They share
+#: the name column's exact local character context (``<td><b>...``), so
+#: no LR delimiter pair can isolate the name on such sites — the paper's
+#: "a perfect LR wrapper does not exist for some websites" phenomenon —
+#: while the xpath child-number feature still can.
+_BOLD_PROMOS = ["In Stock", "Call for availability", "Authorized dealer"]
+
+
+@dataclass(slots=True)
+class ListingLayout:
+    """One site's rendering script for a list of field-tuple records.
+
+    ``fields`` is the ordered field list; each record is a mapping from
+    field name to string.  ``primary`` is the field wrapped in its own
+    inline tag (the extraction target); ``own_node_fields`` maps other
+    fields to the inline tag each renders in — distinct tags keep the
+    fields xpath-separable even in flat layouts, which the multi-type
+    experiments need; unmapped fields are plain text lines.
+    """
+
+    kind: str
+    container_class: str
+    item_class: str
+    name_wrap: str
+    primary: str
+    fields: tuple[str, ...]
+    own_node_fields: dict[str, str]
+    include_extras: bool
+
+    @classmethod
+    def build(
+        cls,
+        rng: random.Random,
+        primary: str,
+        fields: tuple[str, ...],
+        own_node_fields: dict[str, str] | None = None,
+        kind: str | None = None,
+    ) -> "ListingLayout":
+        return cls(
+            kind=kind if kind is not None else rng.choice(LAYOUTS),
+            container_class=make_class(rng),
+            item_class=make_class(rng),
+            name_wrap=rng.choice(_NAME_WRAPS),
+            primary=primary,
+            fields=fields,
+            own_node_fields=dict(own_node_fields or {}),
+            include_extras=rng.random() < 0.5,
+        )
+
+    # Each record is a dict field -> value; gold_types maps a field name
+    # to the gold type recorded for it (absent = not gold).
+    def emit(
+        self,
+        out: PageEmitter,
+        records: list[dict[str, str]],
+        gold_types: dict[str, str],
+    ) -> None:
+        emitters = {
+            "table-cell": self._emit_table_cell,
+            "table-columns": self._emit_table_columns,
+            "div-stack": self._emit_div_stack,
+            "ul-list": self._emit_ul_list,
+            "dl-list": self._emit_dl_list,
+            "bold-cols": self._emit_bold_cols,
+        }
+        emitters[self.kind](out, records, gold_types)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _emit_primary(
+        self, out: PageEmitter, value: str, gold_types: dict[str, str]
+    ) -> None:
+        tag = self.name_wrap
+        attrs = ' href="#"' if tag == "a" else ""
+        out.raw(f"<{tag}{attrs}>")
+        out.value(value, gold_types.get(self.primary))
+        out.raw(f"</{tag}>")
+
+    def _emit_field(
+        self, out: PageEmitter, name: str, value: str, gold_types: dict[str, str]
+    ) -> None:
+        tag = self.own_node_fields.get(name)
+        if tag is not None:
+            out.raw(f"<{tag}>")
+            out.value(value, gold_types.get(name))
+            out.raw(f"</{tag}>")
+        else:
+            out.value(value, gold_types.get(name))
+
+    def _emit_extras(self, out: PageEmitter) -> None:
+        if self.include_extras:
+            out.raw('<a href="#">Map &amp; Directions</a>')
+
+    # -- layout families ----------------------------------------------------
+
+    def _emit_table_cell(self, out, records, gold_types) -> None:
+        out.raw(f'<div class="{self.container_class}"><table>')
+        for record in records:
+            out.raw(f'<tr><td class="{self.item_class}">')
+            self._emit_primary(out, record[self.primary], gold_types)
+            out.raw("<br>")
+            for name in self.fields:
+                if name == self.primary:
+                    continue
+                self._emit_field(out, name, record[name], gold_types)
+                out.raw("<br>")
+            out.raw("</td><td>")
+            self._emit_extras(out)
+            out.raw("</td></tr>")
+        out.raw("</table></div>")
+
+    def _emit_table_columns(self, out, records, gold_types) -> None:
+        out.raw(f'<table class="{self.container_class}">')
+        for record in records:
+            out.raw("<tr>")
+            for name in self.fields:
+                out.raw(f'<td class="{self.item_class}">' if name == self.primary else "<td>")
+                if name == self.primary:
+                    self._emit_primary(out, record[name], gold_types)
+                else:
+                    self._emit_field(out, name, record[name], gold_types)
+                out.raw("</td>")
+            if self.include_extras:
+                out.raw("<td>")
+                self._emit_extras(out)
+                out.raw("</td>")
+            out.raw("</tr>")
+        out.raw("</table>")
+
+    def _emit_div_stack(self, out, records, gold_types) -> None:
+        out.raw(f'<div class="{self.container_class}">')
+        for record in records:
+            out.raw(f'<div class="{self.item_class}"><h3>')
+            self._emit_primary(out, record[self.primary], gold_types)
+            out.raw("</h3>")
+            for name in self.fields:
+                if name == self.primary:
+                    continue
+                out.raw("<p>")
+                self._emit_field(out, name, record[name], gold_types)
+                out.raw("</p>")
+            self._emit_extras(out)
+            out.raw("</div>")
+        out.raw("</div>")
+
+    def _emit_ul_list(self, out, records, gold_types) -> None:
+        out.raw(f'<ul class="{self.container_class}">')
+        for record in records:
+            out.raw(f'<li class="{self.item_class}">')
+            self._emit_primary(out, record[self.primary], gold_types)
+            for name in self.fields:
+                if name == self.primary:
+                    continue
+                out.raw("<span>")
+                self._emit_field(out, name, record[name], gold_types)
+                out.raw("</span>")
+            self._emit_extras(out)
+            out.raw("</li>")
+        out.raw("</ul>")
+
+    def _emit_bold_cols(self, out, records, gold_types) -> None:
+        """Plain table; name and a rotating promo both render as
+        ``<td><b>...</b></td>`` between variable-text columns."""
+        other_fields = [n for n in self.fields if n != self.primary]
+        out.raw(f'<table class="{self.container_class}">')
+        for index, record in enumerate(records):
+            out.raw("<tr><td>")
+            self._emit_field(out, other_fields[0], record[other_fields[0]], gold_types)
+            out.raw("</td><td><b>")
+            out.value(record[self.primary], gold_types.get(self.primary))
+            out.raw("</b></td>")
+            for name in other_fields[1:]:
+                out.raw("<td>")
+                self._emit_field(out, name, record[name], gold_types)
+                out.raw("</td>")
+            out.raw("<td><b>")
+            out.text(_BOLD_PROMOS[index % len(_BOLD_PROMOS)])
+            out.raw('</b></td><td><a href="#">Map</a></td></tr>')
+        out.raw("</table>")
+
+    def _emit_dl_list(self, out, records, gold_types) -> None:
+        out.raw(f'<dl class="{self.container_class}">')
+        for record in records:
+            out.raw("<dt>")
+            self._emit_primary(out, record[self.primary], gold_types)
+            out.raw("</dt>")
+            for name in self.fields:
+                if name == self.primary:
+                    continue
+                out.raw("<dd>")
+                self._emit_field(out, name, record[name], gold_types)
+                out.raw("</dd>")
+            if self.include_extras:
+                out.raw("<dd>")
+                self._emit_extras(out)
+                out.raw("</dd>")
+        out.raw("</dl>")

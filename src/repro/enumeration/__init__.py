@@ -1,0 +1,26 @@
+"""Wrapper-space enumeration (paper Sec. 4).
+
+Given labels ``L`` and inductor ``phi``, the wrapper space
+``W(L) = { phi(L1) | nonempty L1 ⊆ L }`` must be enumerated without 2^|L|
+inductor calls.  Three strategies:
+
+- :func:`enumerate_naive` — the exponential baseline (guarded);
+- :func:`enumerate_bottom_up` — Algorithm 1, blackbox, <= k*|L| calls;
+- :func:`enumerate_top_down` — Algorithm 2 for feature-based inductors,
+  exactly k calls.
+
+All return an :class:`EnumerationResult` carrying the deduplicated
+wrappers, the number of inductor calls made, and wall-clock time.
+"""
+
+from repro.enumeration.bottom_up import enumerate_bottom_up
+from repro.enumeration.naive import enumerate_naive
+from repro.enumeration.result import EnumerationResult
+from repro.enumeration.top_down import enumerate_top_down
+
+__all__ = [
+    "EnumerationResult",
+    "enumerate_bottom_up",
+    "enumerate_naive",
+    "enumerate_top_down",
+]

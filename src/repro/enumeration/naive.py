@@ -1,0 +1,54 @@
+"""Exhaustive wrapper-space enumeration — the baseline of Figure 2(a,b).
+
+Calls the inductor on *every* non-empty subset of the labels (2^|L| - 1
+calls), which is what the framework would have to do without the
+structure exploited by Algorithms 1 and 2.  Guarded by a hard cap on
+|L| so benchmarks cannot accidentally hang.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any
+
+from repro.enumeration.result import EnumerationResult
+from repro.wrappers.base import Labels, Wrapper, WrapperInductor
+
+#: Refuse to exhaustively enumerate label sets larger than this.
+MAX_NAIVE_LABELS = 20
+
+
+def enumerate_naive(
+    inductor: WrapperInductor, corpus: Any, labels: Labels
+) -> EnumerationResult:
+    """Enumerate ``W(L)`` by brute force over all non-empty subsets."""
+    if len(labels) > MAX_NAIVE_LABELS:
+        raise ValueError(
+            f"naive enumeration over {len(labels)} labels would need "
+            f"2^{len(labels)} inductor calls; cap is {MAX_NAIVE_LABELS}"
+        )
+    started = time.perf_counter()
+    label_list = sorted(labels)
+    wrappers: dict[Wrapper, None] = {}
+    calls = 0
+    for size in range(1, len(label_list) + 1):
+        for subset in itertools.combinations(label_list, size):
+            wrapper = inductor.induce(corpus, frozenset(subset))
+            calls += 1
+            wrappers.setdefault(wrapper)
+    return EnumerationResult(
+        wrappers=list(wrappers),
+        inductor_calls=calls,
+        seconds=time.perf_counter() - started,
+        algorithm="naive",
+    )
+
+
+def naive_call_count(labels: Labels) -> int:
+    """Number of inductor calls naive enumeration would make (2^|L| - 1).
+
+    Used by the Figure 2(a,b) benches to plot the naive series even where
+    actually running it is prohibitive, exactly as the paper does.
+    """
+    return 2 ** len(labels) - 1

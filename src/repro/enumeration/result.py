@@ -1,0 +1,29 @@
+"""Result container shared by the enumeration algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wrappers.base import Wrapper
+
+
+@dataclass(slots=True)
+class EnumerationResult:
+    """Outcome of enumerating a wrapper space.
+
+    Attributes:
+        wrappers: the deduplicated wrapper space ``W(L)``.
+        inductor_calls: number of calls made to the wrapper inductor.
+        seconds: wall-clock time spent enumerating.
+        algorithm: which strategy produced the result.
+    """
+
+    wrappers: list[Wrapper] = field(default_factory=list)
+    inductor_calls: int = 0
+    seconds: float = 0.0
+    algorithm: str = ""
+
+    @property
+    def size(self) -> int:
+        """Size of the wrapper space (k in the paper's theorems)."""
+        return len(self.wrappers)

@@ -1,0 +1,23 @@
+"""Evaluation: precision/recall/F1 metrics and the experiment runner
+that reproduces the paper's Section 7 methodology (half the sites for
+parameter learning, the rest for measurement)."""
+
+from repro.evaluation.metrics import PRF, aggregate, prf
+from repro.evaluation.runner import (
+    ExperimentModels,
+    MethodOutcome,
+    SingleTypeExperiment,
+    fit_models,
+    split_sites,
+)
+
+__all__ = [
+    "PRF",
+    "ExperimentModels",
+    "MethodOutcome",
+    "SingleTypeExperiment",
+    "aggregate",
+    "fit_models",
+    "prf",
+    "split_sites",
+]

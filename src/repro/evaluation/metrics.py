@@ -1,0 +1,77 @@
+"""Extraction-quality metrics.
+
+Per-site precision/recall are computed over node-id sets against the
+generator's gold; the F1 measure is their harmonic mean.  Dataset-level
+numbers are macro-averages over sites, matching the paper's per-website
+learning and reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wrappers.base import Labels
+
+
+@dataclass(frozen=True, slots=True)
+class PRF:
+    """A precision/recall/F1 triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f}"
+        )
+
+
+def prf(predicted: Labels, gold: Labels) -> PRF:
+    """Precision/recall of a predicted node set against gold.
+
+    Conventions: empty prediction has precision 1 (nothing wrong was
+    said); empty gold has recall 1 (nothing was missed).  An empty
+    prediction against non-empty gold therefore scores F1 = 0 via recall.
+    """
+    if predicted:
+        precision = len(predicted & gold) / len(predicted)
+    else:
+        precision = 1.0
+    if gold:
+        recall = len(predicted & gold) / len(gold)
+    else:
+        recall = 1.0
+    return PRF(precision=precision, recall=recall)
+
+
+def aggregate(results: list[PRF]) -> PRF:
+    """Macro-average precision and recall over sites."""
+    if not results:
+        return PRF(precision=0.0, recall=0.0)
+    return PRF(
+        precision=sum(r.precision for r in results) / len(results),
+        recall=sum(r.recall for r in results) / len(results),
+    )
+
+
+def record_prf(
+    predicted: list[tuple], gold: list[tuple]
+) -> PRF:
+    """Precision/recall over assembled records (exact-tuple match)."""
+    predicted_set = set(predicted)
+    gold_set = set(gold)
+    if predicted_set:
+        precision = len(predicted_set & gold_set) / len(predicted_set)
+    else:
+        precision = 1.0
+    if gold_set:
+        recall = len(predicted_set & gold_set) / len(gold_set)
+    else:
+        recall = 1.0
+    return PRF(precision=precision, recall=recall)

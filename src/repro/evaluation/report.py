@@ -1,0 +1,75 @@
+"""Plain-text report rendering for experiment outcomes.
+
+Used by the command-line interface and handy in notebooks: turns
+:class:`~repro.evaluation.runner.MethodOutcome` maps into the aligned
+tables the paper prints.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import PRF
+from repro.evaluation.runner import MethodOutcome
+
+
+def format_prf_table(
+    outcomes: dict[str, MethodOutcome], title: str = ""
+) -> str:
+    """A compact method x (P, R, F1) table."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'method':8s} {'precision':>9s} {'recall':>9s} {'f1':>9s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for method, outcome in outcomes.items():
+        overall = outcome.overall
+        lines.append(
+            f"{method:8s} {overall.precision:9.3f} "
+            f"{overall.recall:9.3f} {overall.f1:9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_per_site_table(
+    outcomes: dict[str, MethodOutcome], title: str = ""
+) -> str:
+    """Per-site F1 for every method, one row per site."""
+    methods = list(outcomes)
+    if not methods:
+        return title
+    site_names = outcomes[methods[0]].site_names
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'site':16s}" + "".join(f"{m:>10s}" for m in methods)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, name in enumerate(site_names):
+        row = f"{name:16s}"
+        for method in methods:
+            row += f"{outcomes[method].per_site[index].f1:10.3f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_grid(
+    table: dict[tuple[float, float], float],
+    row_values: tuple[float, ...],
+    col_values: tuple[float, ...],
+    corner: str = "p\\r",
+) -> str:
+    """A Table 1 style grid of scalars keyed by (row, col)."""
+    lines = [f"{corner:5s}" + "".join(f"{c:7.2f}" for c in col_values)]
+    for row in row_values:
+        lines.append(
+            f"{row:5.2f}" + "".join(f"{table[(row, c)]:7.2f}" for c in col_values)
+        )
+    return "\n".join(lines)
+
+
+def summarize_prf(result: PRF) -> str:
+    """One-line summary of a PRF triple."""
+    return (
+        f"precision={result.precision:.3f} recall={result.recall:.3f} "
+        f"f1={result.f1:.3f}"
+    )

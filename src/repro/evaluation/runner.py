@@ -1,0 +1,161 @@
+"""The Section 7 experiment harness.
+
+Methodology (paper, "Learning the model parameters"): split the sites of
+a dataset in half; on the training half, estimate the annotator's noise
+profile ``(p, r)`` and fit the two publication-feature distributions
+from the gold lists; on the held-out half, learn wrappers from the noisy
+annotations with each method and score the extractions against gold.
+
+Methods: NAIVE (inductor on all labels), NTW (full ranking), NTW-L
+(annotation term only), NTW-X (publication term only) — the Sec. 7.2 and
+7.3 comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.annotators.base import Annotator
+from repro.datasets.sitegen import GeneratedSite
+from repro.evaluation.metrics import PRF, aggregate, prf
+from repro.framework.naive import NaiveWrapperLearner
+from repro.framework.ntw import NoiseTolerantWrapper
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.ranking.scorer import WrapperScorer
+from repro.wrappers.base import Labels, WrapperInductor
+
+#: The method names understood by the experiment runner.
+METHODS = ("naive", "ntw", "ntw-l", "ntw-x")
+
+
+@dataclass(slots=True)
+class ExperimentModels:
+    """Models fitted on the training half."""
+
+    annotation: AnnotationModel
+    publication: PublicationModel
+
+
+def split_sites(
+    sites: list[GeneratedSite],
+) -> tuple[list[GeneratedSite], list[GeneratedSite]]:
+    """Deterministic half split (even indices train, odd test)."""
+    train = [site for index, site in enumerate(sites) if index % 2 == 0]
+    test = [site for index, site in enumerate(sites) if index % 2 == 1]
+    return train, test
+
+
+def fit_models(
+    train: list[GeneratedSite],
+    annotator: Annotator,
+    gold_type: str,
+    labels_cache: dict[str, Labels] | None = None,
+) -> ExperimentModels:
+    """Estimate ``(p, r)`` and fit the publication prior on ``train``."""
+    triples = []
+    publication_pairs = []
+    for generated in train:
+        labels = _labels_for(generated, annotator, labels_cache)
+        gold = generated.gold.get(gold_type, frozenset())
+        triples.append((labels, gold, generated.site.total_text_nodes()))
+        if gold:
+            publication_pairs.append((generated.site, gold))
+    annotation = AnnotationModel.estimate(triples)
+    publication = PublicationModel.fit(publication_pairs)
+    return ExperimentModels(annotation=annotation, publication=publication)
+
+
+@dataclass(slots=True)
+class MethodOutcome:
+    """Aggregate and per-site results of one method."""
+
+    method: str
+    per_site: list[PRF] = field(default_factory=list)
+    site_names: list[str] = field(default_factory=list)
+
+    @property
+    def overall(self) -> PRF:
+        return aggregate(self.per_site)
+
+
+class SingleTypeExperiment:
+    """Runs the NAIVE/NTW comparison on one dataset + inductor."""
+
+    def __init__(
+        self,
+        sites: list[GeneratedSite],
+        annotator: Annotator,
+        inductor: WrapperInductor,
+        gold_type: str = "name",
+        max_labels: int = 40,
+    ) -> None:
+        self.sites = sites
+        self.annotator = annotator
+        self.inductor = inductor
+        self.gold_type = gold_type
+        self.max_labels = max_labels
+        self._labels_cache: dict[str, Labels] = {}
+        self.train, self.test = split_sites(sites)
+        self.models = fit_models(
+            self.train, annotator, gold_type, self._labels_cache
+        )
+
+    def scorer_for(self, method: str) -> WrapperScorer | None:
+        if method == "naive":
+            return None
+        if method == "ntw":
+            return WrapperScorer(self.models.annotation, self.models.publication)
+        if method == "ntw-l":
+            return WrapperScorer(self.models.annotation, None)
+        if method == "ntw-x":
+            return WrapperScorer(None, self.models.publication)
+        raise ValueError(f"unknown method {method!r}")
+
+    def run(
+        self,
+        methods: tuple[str, ...] = ("naive", "ntw"),
+        evaluate_on: str = "test",
+    ) -> dict[str, MethodOutcome]:
+        """Run the requested methods; returns per-method outcomes."""
+        if evaluate_on == "test":
+            targets = self.test
+        elif evaluate_on == "all":
+            targets = self.sites
+        else:
+            raise ValueError(f"evaluate_on must be 'test' or 'all', got {evaluate_on!r}")
+        outcomes = {method: MethodOutcome(method=method) for method in methods}
+        for generated in targets:
+            labels = _labels_for(generated, self.annotator, self._labels_cache)
+            gold = generated.gold.get(self.gold_type, frozenset())
+            for method in methods:
+                extracted = self._extract(method, generated, labels)
+                outcomes[method].per_site.append(prf(extracted, gold))
+                outcomes[method].site_names.append(generated.name)
+        return outcomes
+
+    def _extract(
+        self, method: str, generated: GeneratedSite, labels: Labels
+    ) -> Labels:
+        if method == "naive":
+            return NaiveWrapperLearner(self.inductor).extract(
+                generated.site, labels
+            )
+        scorer = self.scorer_for(method)
+        learner = NoiseTolerantWrapper(
+            self.inductor, scorer, max_labels=self.max_labels
+        )
+        return learner.learn(generated.site, labels).extracted
+
+
+def _labels_for(
+    generated: GeneratedSite,
+    annotator: Annotator,
+    cache: dict[str, Labels] | None,
+) -> Labels:
+    if cache is not None and generated.name in cache:
+        return cache[generated.name]
+    labels = annotator.annotate(generated.site)
+    if cache is not None:
+        cache[generated.name] = labels
+    return labels

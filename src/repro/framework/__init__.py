@@ -1,0 +1,34 @@
+"""End-to-end extraction pipelines.
+
+- :class:`NoiseTolerantWrapper` — the paper's NTW framework: enumerate
+  the wrapper space of the noisy labels, rank by
+  ``P(L|X) * P(X)``, return the best wrapper (Sec. 3).
+- :class:`NaiveWrapperLearner` — the NAIVE baseline: run the inductor
+  directly on all noisy labels (Sec. 7.2).
+- :mod:`repro.framework.multitype` — record extraction over several
+  types jointly (Appendix A).
+- :mod:`repro.framework.single_entity` — one entity per page
+  (Appendix B.2).
+"""
+
+from repro.framework.naive import NaiveWrapperLearner
+from repro.framework.ntw import NoiseTolerantWrapper, NTWResult
+from repro.framework.multitype import (
+    MultiTypeNTW,
+    MultiTypeWrapper,
+    NaiveMultiType,
+    assemble_records,
+)
+from repro.framework.single_entity import SingleEntityLearner, SingleEntityResult
+
+__all__ = [
+    "MultiTypeNTW",
+    "MultiTypeWrapper",
+    "NTWResult",
+    "NaiveMultiType",
+    "NaiveWrapperLearner",
+    "NoiseTolerantWrapper",
+    "SingleEntityLearner",
+    "SingleEntityResult",
+    "assemble_records",
+]

@@ -1,0 +1,234 @@
+"""Multi-type record extraction (paper Appendix A).
+
+A multi-type wrapper holds one per-type rule and *assembles records* by
+interleaving the per-type extractions in document order.  Assembly on a
+page succeeds when the typed node sequence forms consistent records —
+every group opened by a primary-type node contains at most one node of
+each secondary type, and no secondary node precedes the first primary.
+A page that cannot be assembled produces no records (the inductor
+contract of Appendix A), which is why NAIVE collapses: an over-general
+rule for either type floods the sequence and breaks assembly on every
+page.
+
+Noise tolerance extends the single-type machinery directly: the wrapper
+spaces of the types are enumerated independently (the type is just
+passed through to the inductor), candidates are formed as combinations,
+and ranking multiplies the per-type annotation terms and computes
+``P(X)`` on record segments bounded by the primary type with typed
+tokens enforcing the joint alignment constraint.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.enumeration import enumerate_top_down
+from repro.htmldom.dom import NodeId
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel, list_features
+from repro.site import Site
+from repro.wrappers.base import FeatureBasedInductor, Labels, Wrapper
+
+#: Cap on the number of per-type candidates combined during ranking.
+MAX_CANDIDATES_PER_TYPE = 24
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One assembled record: node ids by type (missing fields absent)."""
+
+    fields: tuple[tuple[str, NodeId], ...]
+
+    def get(self, type_name: str) -> NodeId | None:
+        for name, node_id in self.fields:
+            if name == type_name:
+                return node_id
+        return None
+
+
+def assemble_records(
+    extractions: dict[str, Labels], primary: str, site: Site
+) -> list[Record] | None:
+    """Assemble typed extractions into records, page by page.
+
+    Returns ``None`` when assembly fails on any page that has extracted
+    nodes (the whole wrapper is then considered record-invalid); pages
+    with no extracted nodes are skipped.
+    """
+    records: list[Record] = []
+    by_page: dict[int, list[tuple[NodeId, str]]] = {}
+    for type_name, nodes in extractions.items():
+        for node_id in nodes:
+            by_page.setdefault(node_id.page, []).append((node_id, type_name))
+    for page_index in sorted(by_page):
+        sequence = sorted(by_page[page_index], key=lambda item: item[0].preorder)
+        page_records = _assemble_page(sequence, primary)
+        if page_records is None:
+            return None
+        records.extend(page_records)
+    return records
+
+
+def _assemble_page(
+    sequence: list[tuple[NodeId, str]], primary: str
+) -> list[Record] | None:
+    """Assemble one page's typed node sequence; None on inconsistency."""
+    records: list[Record] = []
+    current: list[tuple[str, NodeId]] | None = None
+    seen_types: set[str] = set()
+    for node_id, type_name in sequence:
+        if type_name == primary:
+            if current is not None:
+                records.append(Record(fields=tuple(current)))
+            current = [(type_name, node_id)]
+            seen_types = {type_name}
+        else:
+            if current is None:
+                return None  # secondary field before any primary
+            if type_name in seen_types:
+                return None  # two values of one type in one record
+            seen_types.add(type_name)
+            current.append((type_name, node_id))
+    if current is not None:
+        records.append(Record(fields=tuple(current)))
+    return records
+
+
+@dataclass(frozen=True, slots=True)
+class MultiTypeWrapper:
+    """Per-type rules plus the primary (record-boundary) type."""
+
+    rules: tuple[tuple[str, Wrapper], ...]
+    primary: str
+
+    def extractions(self, site: Site) -> dict[str, Labels]:
+        return {name: wrapper.extract(site) for name, wrapper in self.rules}
+
+    def extract_records(self, site: Site) -> list[Record]:
+        """Assembled records; empty when assembly fails (App. A contract)."""
+        records = assemble_records(self.extractions(site), self.primary, site)
+        return records if records is not None else []
+
+    def rule(self) -> str:
+        parts = ", ".join(f"{name}: {w.rule()}" for name, w in self.rules)
+        return f"Multi({parts})"
+
+
+class NaiveMultiType:
+    """NAIVE baseline for records: induce each type on all its labels."""
+
+    def __init__(self, inductor: FeatureBasedInductor, primary: str) -> None:
+        self.inductor = inductor
+        self.primary = primary
+
+    def learn(
+        self, site: Site, labels_by_type: dict[str, Labels]
+    ) -> MultiTypeWrapper | None:
+        rules = []
+        for type_name, labels in sorted(labels_by_type.items()):
+            if not labels:
+                return None
+            rules.append((type_name, self.inductor.induce(site, labels)))
+        return MultiTypeWrapper(rules=tuple(rules), primary=self.primary)
+
+
+@dataclass(slots=True)
+class MultiTypeResult:
+    """Outcome of noise-tolerant multi-type learning."""
+
+    best: MultiTypeWrapper | None
+    best_score: float
+    records: list[Record] = field(default_factory=list)
+    extractions: dict[str, Labels] = field(default_factory=dict)
+
+
+class MultiTypeNTW:
+    """Noise-tolerant record extraction (Appendix A.1)."""
+
+    def __init__(
+        self,
+        inductor: FeatureBasedInductor,
+        annotation_models: dict[str, AnnotationModel],
+        publication_model: PublicationModel | None,
+        primary: str,
+        max_labels: int = 40,
+    ) -> None:
+        self.inductor = inductor
+        self.annotation_models = annotation_models
+        self.publication_model = publication_model
+        self.primary = primary
+        self.max_labels = max_labels
+
+    def learn(
+        self, site: Site, labels_by_type: dict[str, Labels]
+    ) -> MultiTypeResult:
+        """Enumerate per-type spaces, rank combinations jointly."""
+        from repro.framework.ntw import subsample_labels
+
+        spaces: dict[str, list[Wrapper]] = {}
+        for type_name, labels in sorted(labels_by_type.items()):
+            if not labels:
+                return MultiTypeResult(best=None, best_score=float("-inf"))
+            enumeration = enumerate_top_down(
+                self.inductor, site, subsample_labels(labels, self.max_labels)
+            )
+            candidates = enumeration.wrappers[:MAX_CANDIDATES_PER_TYPE]
+            spaces[type_name] = candidates
+
+        type_names = sorted(spaces)
+        best: MultiTypeWrapper | None = None
+        best_score = float("-inf")
+        best_extractions: dict[str, Labels] = {}
+        extraction_cache: dict[tuple[str, Wrapper], Labels] = {}
+
+        for combo in itertools.product(*(spaces[t] for t in type_names)):
+            extractions: dict[str, Labels] = {}
+            for type_name, wrapper in zip(type_names, combo):
+                key = (type_name, wrapper)
+                if key not in extraction_cache:
+                    extraction_cache[key] = wrapper.extract(site)
+                extractions[type_name] = extraction_cache[key]
+            score = self._score(site, labels_by_type, extractions)
+            if score > best_score:
+                best_score = score
+                best = MultiTypeWrapper(
+                    rules=tuple(zip(type_names, combo)), primary=self.primary
+                )
+                best_extractions = extractions
+        records: list[Record] = []
+        if best is not None:
+            assembled = assemble_records(best_extractions, self.primary, site)
+            records = assembled if assembled is not None else []
+        return MultiTypeResult(
+            best=best,
+            best_score=best_score,
+            records=records,
+            extractions=best_extractions,
+        )
+
+    def _score(
+        self,
+        site: Site,
+        labels_by_type: dict[str, Labels],
+        extractions: dict[str, Labels],
+    ) -> float:
+        """Joint score: per-type Eq. 4 terms plus the typed-list prior."""
+        score = 0.0
+        for type_name, extracted in extractions.items():
+            model = self.annotation_models[type_name]
+            score += model.log_likelihood(labels_by_type[type_name], extracted)
+        if self.publication_model is not None:
+            type_map = {
+                node_id: type_name
+                for type_name, nodes in extractions.items()
+                for node_id in nodes
+            }
+            features = list_features(
+                site,
+                frozenset(type_map),
+                type_map=type_map,
+                boundary_type=self.primary,
+            )
+            score += self.publication_model.log_prob_features(features)
+        return score

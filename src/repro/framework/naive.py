@@ -1,0 +1,31 @@
+"""The NAIVE baseline (paper Sec. 7.2).
+
+Runs the wrapper inductor directly on the full set of noisy annotations.
+A well-behaved inductor must generalize to cover *every* label, so a
+single bad annotation forces over-generalization — the failure mode that
+motivates the whole framework (Sec. 1's ``//div/tr/td//text()`` example).
+"""
+
+from __future__ import annotations
+
+from repro.site import Site
+from repro.wrappers.base import Labels, Wrapper, WrapperInductor
+
+
+class NaiveWrapperLearner:
+    """Induce one wrapper from all labels, no noise handling."""
+
+    def __init__(self, inductor: WrapperInductor) -> None:
+        self.inductor = inductor
+
+    def learn(self, site: Site, labels: Labels) -> Wrapper | None:
+        """The inductor's wrapper for all of ``labels`` (None if empty)."""
+        if not labels:
+            return None
+        return self.inductor.induce(site, labels)
+
+    def extract(self, site: Site, labels: Labels) -> Labels:
+        wrapper = self.learn(site, labels)
+        if wrapper is None:
+            return frozenset()
+        return wrapper.extract(site)

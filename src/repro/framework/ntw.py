@@ -1,0 +1,102 @@
+"""The noise-tolerant wrapper framework (paper Sec. 3): generate and test.
+
+Given noisy labels ``L`` and a well-behaved inductor ``phi``:
+
+1. enumerate the wrapper space ``W(L)`` (TopDown when the inductor is
+   feature-based, BottomUp otherwise — the choice is orthogonal to
+   extraction quality, Sec. 7.2);
+2. rank every candidate by ``log P(L|X) + log P(X)``;
+3. return the top-ranked wrapper.
+
+Very large label sets are deterministically subsampled before
+enumeration (the wrapper space grows with distinct label contexts, not
+label count, so a stride sample preserves the space in practice);
+ranking always uses the *full* label set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enumeration import (
+    EnumerationResult,
+    enumerate_bottom_up,
+    enumerate_top_down,
+)
+from repro.ranking.scorer import RankedWrapper, WrapperScorer
+from repro.site import Site
+from repro.wrappers.base import FeatureBasedInductor, Labels, WrapperInductor
+
+#: Default cap on the number of labels fed to enumeration.
+MAX_ENUMERATION_LABELS = 40
+
+
+@dataclass(slots=True)
+class NTWResult:
+    """Outcome of noise-tolerant wrapper learning on one site."""
+
+    best: RankedWrapper | None
+    ranked: list[RankedWrapper]
+    enumeration: EnumerationResult | None
+    labels: Labels
+
+    @property
+    def extracted(self) -> Labels:
+        """The extraction of the selected wrapper (empty if none)."""
+        return self.best.extracted if self.best is not None else frozenset()
+
+
+def subsample_labels(labels: Labels, max_labels: int) -> Labels:
+    """Deterministic stride subsample of a label set (document order)."""
+    if len(labels) <= max_labels:
+        return labels
+    ordered = sorted(labels)
+    stride = len(ordered) / max_labels
+    return frozenset(ordered[int(i * stride)] for i in range(max_labels))
+
+
+class NoiseTolerantWrapper:
+    """Enumerate-and-rank wrapper learning from noisy labels."""
+
+    def __init__(
+        self,
+        inductor: WrapperInductor,
+        scorer: WrapperScorer,
+        enumerator: str = "auto",
+        max_labels: int = MAX_ENUMERATION_LABELS,
+    ) -> None:
+        if enumerator not in ("auto", "top_down", "bottom_up"):
+            raise ValueError(f"unknown enumerator {enumerator!r}")
+        if enumerator == "auto":
+            enumerator = (
+                "top_down"
+                if isinstance(inductor, FeatureBasedInductor)
+                else "bottom_up"
+            )
+        if enumerator == "top_down" and not isinstance(
+            inductor, FeatureBasedInductor
+        ):
+            raise TypeError("top_down enumeration needs a feature-based inductor")
+        self.inductor = inductor
+        self.scorer = scorer
+        self.enumerator = enumerator
+        self.max_labels = max_labels
+
+    def learn(self, site: Site, labels: Labels) -> NTWResult:
+        """Learn the best wrapper for ``site`` from noisy ``labels``."""
+        if not labels:
+            return NTWResult(best=None, ranked=[], enumeration=None, labels=labels)
+        enumeration_labels = subsample_labels(labels, self.max_labels)
+        if self.enumerator == "top_down":
+            enumeration = enumerate_top_down(
+                self.inductor, site, enumeration_labels
+            )
+        else:
+            enumeration = enumerate_bottom_up(
+                self.inductor, site, enumeration_labels
+            )
+        ranked = self.scorer.rank(site, enumeration.wrappers, labels)
+        best = ranked[0] if ranked else None
+        return NTWResult(
+            best=best, ranked=ranked, enumeration=enumeration, labels=labels
+        )

@@ -1,0 +1,94 @@
+"""Single-entity extraction (paper Appendix B.2).
+
+When each page holds exactly one entity of interest, the list prior
+``P(X)`` is inapplicable, but the problem is easier: enumerate the
+wrapper space, discard wrappers that extract more than one node from any
+page, and pick the wrapper covering the most annotations (equivalently,
+maximising ``P(L|X)``).  A wrapper trained on a subset containing errors
+over-generalizes, matches several nodes on some page, and is discarded —
+which is why the method is very noise-tolerant.
+
+Several wrappers can tie at the top (pages often carry the entity in
+multiple consistent locations: ``<title>``, heading, breadcrumb); all
+co-winners are returned, as the paper reports observing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.enumeration import enumerate_bottom_up, enumerate_top_down
+from repro.framework.ntw import subsample_labels
+from repro.site import Site
+from repro.wrappers.base import FeatureBasedInductor, Labels, Wrapper, WrapperInductor
+
+
+def extracts_single_entity(site: Site, extracted: Labels) -> bool:
+    """At most one node per page, at least one node somewhere."""
+    if not extracted:
+        return False
+    pages_seen: set[int] = set()
+    for node_id in extracted:
+        if node_id.page in pages_seen:
+            return False
+        pages_seen.add(node_id.page)
+    return True
+
+
+@dataclass(slots=True)
+class SingleEntityResult:
+    """Outcome of single-entity learning on one site."""
+
+    winners: list[Wrapper] = field(default_factory=list)
+    coverage: int = 0
+    considered: int = 0
+
+    @property
+    def best(self) -> Wrapper | None:
+        return self.winners[0] if self.winners else None
+
+    def extracted(self, site: Site) -> Labels:
+        if not self.winners:
+            return frozenset()
+        return self.winners[0].extract(site)
+
+
+class SingleEntityLearner:
+    """Enumerate, filter to one-per-page wrappers, maximise label coverage."""
+
+    def __init__(
+        self, inductor: WrapperInductor, max_labels: int = 40
+    ) -> None:
+        self.inductor = inductor
+        self.max_labels = max_labels
+
+    def learn(self, site: Site, labels: Labels) -> SingleEntityResult:
+        if not labels:
+            return SingleEntityResult()
+        enumeration_labels = subsample_labels(labels, self.max_labels)
+        if isinstance(self.inductor, FeatureBasedInductor):
+            enumeration = enumerate_top_down(
+                self.inductor, site, enumeration_labels
+            )
+        else:
+            enumeration = enumerate_bottom_up(
+                self.inductor, site, enumeration_labels
+            )
+        best_coverage = 0
+        winners: list[Wrapper] = []
+        for wrapper in enumeration.wrappers:
+            extracted = wrapper.extract(site)
+            if not extracts_single_entity(site, extracted):
+                continue
+            coverage = len(extracted & labels)
+            if coverage > best_coverage:
+                best_coverage = coverage
+                winners = [wrapper]
+            elif coverage == best_coverage and coverage > 0:
+                winners.append(wrapper)
+        winners.sort(key=lambda w: w.rule())
+        return SingleEntityResult(
+            winners=winners,
+            coverage=best_coverage,
+            considered=enumeration.size,
+        )

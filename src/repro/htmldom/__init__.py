@@ -1,0 +1,43 @@
+"""HTML substrate: tokenizer, DOM, tree builder, and serializer.
+
+The paper operates on two views of a webpage: the raw character stream
+(consumed by the WIEN/LR wrapper family) and the parsed DOM tree (consumed
+by the XPATH wrapper family and the record-segmentation machinery of the
+ranking model).  This subpackage provides both views from a single parse:
+every text node remembers the character span it occupies in the source
+string, so the two views stay aligned.
+
+The parser is deliberately self-contained (the reproduction environment
+ships neither lxml nor BeautifulSoup) and handles the HTML found in
+script-generated listing pages: void elements, mis-nested table markup,
+unclosed ``<li>``/``<p>``/``<td>``/``<tr>``, attribute quoting variants,
+comments, and entity references.
+"""
+
+from repro.htmldom.dom import (
+    Document,
+    ElementNode,
+    Node,
+    NodeId,
+    TextNode,
+)
+from repro.htmldom.entities import decode_entities, encode_entities
+from repro.htmldom.serializer import to_html, to_structure_tokens
+from repro.htmldom.tokenizer import Token, TokenKind, tokenize
+from repro.htmldom.treebuilder import parse_html
+
+__all__ = [
+    "Document",
+    "ElementNode",
+    "Node",
+    "NodeId",
+    "TextNode",
+    "Token",
+    "TokenKind",
+    "decode_entities",
+    "encode_entities",
+    "parse_html",
+    "to_html",
+    "to_structure_tokens",
+    "tokenize",
+]

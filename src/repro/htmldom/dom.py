@@ -1,0 +1,186 @@
+"""DOM tree for parsed HTML pages.
+
+The tree is a plain parent/children structure with two node kinds —
+elements and text — plus a :class:`Document` wrapper around the root.
+Nodes are assigned a stable :class:`NodeId` ``(page_index, preorder_index)``
+at freeze time, which is what label sets, extraction sets and gold sets
+are keyed by throughout the library (the paper's vector ``A-hat`` of nodes
+across all pages of a site).
+
+Text nodes remember the character span ``[start, end)`` they occupy in
+the page source, which keeps the tree view (XPATH wrappers) aligned with
+the string view (LR wrappers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NodeId:
+    """Stable identity of a node: page index within the site, pre-order index within the page."""
+
+    page: int
+    preorder: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeId({self.page}, {self.preorder})"
+
+
+class Node:
+    """Base class for DOM nodes."""
+
+    __slots__ = ("parent", "node_id")
+
+    def __init__(self) -> None:
+        self.parent: Optional[ElementNode] = None
+        self.node_id: Optional[NodeId] = None
+
+    @property
+    def is_text(self) -> bool:
+        return isinstance(self, TextNode)
+
+    @property
+    def is_element(self) -> bool:
+        return isinstance(self, ElementNode)
+
+    def ancestors(self) -> Iterator["ElementNode"]:
+        """Yield ancestors from the parent up to (and including) the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        """Return the topmost ancestor (the document root element)."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+
+class ElementNode(Node):
+    """An HTML element with a tag name, attributes and ordered children."""
+
+    __slots__ = ("tag", "attrs", "children")
+
+    def __init__(self, tag: str, attrs: dict[str, str] | None = None) -> None:
+        super().__init__()
+        self.tag = tag
+        self.attrs: dict[str, str] = dict(attrs) if attrs else {}
+        self.children: list[Node] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ElementNode {self.tag} id={self.node_id}>"
+
+    def append(self, child: Node) -> None:
+        """Attach ``child`` as the last child of this element."""
+        child.parent = self
+        self.children.append(child)
+
+    def child_elements(self) -> list["ElementNode"]:
+        return [c for c in self.children if isinstance(c, ElementNode)]
+
+    def child_number(self) -> int:
+        """1-based position of this element among same-tag siblings.
+
+        This is the semantics of the xpath child-number filter ``td[2]``:
+        the second ``td`` child of the parent.  The root element has child
+        number 1.
+        """
+        if self.parent is None:
+            return 1
+        position = 0
+        for sibling in self.parent.children:
+            if isinstance(sibling, ElementNode) and sibling.tag == self.tag:
+                position += 1
+                if sibling is self:
+                    return position
+        raise AssertionError("node not found among its parent's children")
+
+    def iter_preorder(self) -> Iterator[Node]:
+        """Yield this node and all descendants in pre-order (document order)."""
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, ElementNode):
+                stack.extend(reversed(node.children))
+
+    def iter_elements(self) -> Iterator["ElementNode"]:
+        for node in self.iter_preorder():
+            if isinstance(node, ElementNode):
+                yield node
+
+    def iter_text_nodes(self) -> Iterator["TextNode"]:
+        for node in self.iter_preorder():
+            if isinstance(node, TextNode):
+                yield node
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        return "".join(t.text for t in self.iter_text_nodes())
+
+
+class TextNode(Node):
+    """A run of character data, with its source span."""
+
+    __slots__ = ("text", "start", "end")
+
+    def __init__(self, text: str, start: int = -1, end: int = -1) -> None:
+        super().__init__()
+        self.text = text
+        self.start = start
+        self.end = end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TextNode {self.text[:24]!r} id={self.node_id}>"
+
+
+class Document:
+    """A parsed page: the root element, the raw source and indexed nodes.
+
+    After construction the tree is *frozen*: every node gets a
+    :class:`NodeId`, and the document exposes ``nodes`` (pre-order list)
+    plus fast lookup maps.  Mutating the tree after freezing is not
+    supported.
+    """
+
+    __slots__ = ("root", "source", "page_index", "nodes", "_by_id", "_text_by_span")
+
+    def __init__(self, root: ElementNode, source: str, page_index: int = 0) -> None:
+        self.root = root
+        self.source = source
+        self.page_index = page_index
+        self.nodes: list[Node] = list(root.iter_preorder())
+        self._by_id: dict[NodeId, Node] = {}
+        self._text_by_span: dict[tuple[int, int], TextNode] = {}
+        for preorder, node in enumerate(self.nodes):
+            node.node_id = NodeId(page=page_index, preorder=preorder)
+            self._by_id[node.node_id] = node
+            if isinstance(node, TextNode) and node.start >= 0:
+                self._text_by_span[(node.start, node.end)] = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Document page={self.page_index} nodes={len(self.nodes)}>"
+
+    def node(self, node_id: NodeId) -> Node:
+        """Look up a node by its id (must belong to this page)."""
+        return self._by_id[node_id]
+
+    def text_nodes(self) -> list[TextNode]:
+        return [n for n in self.nodes if isinstance(n, TextNode)]
+
+    def text_node_at_span(self, start: int, end: int) -> TextNode | None:
+        """Return the text node exactly covering ``[start, end)``, if any."""
+        return self._text_by_span.get((start, end))
+
+    def text_node_containing(self, offset: int) -> TextNode | None:
+        """Return the text node whose source span contains ``offset``."""
+        for node in self.nodes:
+            if isinstance(node, TextNode) and node.start <= offset < node.end:
+                return node
+        return None

@@ -1,0 +1,121 @@
+"""Decoding and encoding of HTML character references.
+
+Only the entities that actually occur in listing-style webpages are given
+named forms; numeric references (decimal and hexadecimal) are decoded in
+full.  Unknown references are left verbatim, which mirrors how lenient
+browsers treat them and keeps the tokenizer total on arbitrary input.
+"""
+
+from __future__ import annotations
+
+NAMED_ENTITIES: dict[str, str] = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "mdash": "—",
+    "ndash": "–",
+    "hellip": "…",
+    "lsquo": "‘",
+    "rsquo": "’",
+    "ldquo": "“",
+    "rdquo": "”",
+    "bull": "•",
+    "middot": "·",
+    "laquo": "«",
+    "raquo": "»",
+    "deg": "°",
+    "frac12": "½",
+    "times": "×",
+    "eacute": "é",
+    "egrave": "è",
+    "agrave": "à",
+    "ccedil": "ç",
+    "uuml": "ü",
+    "ouml": "ö",
+    "auml": "ä",
+    "ntilde": "ñ",
+    "pound": "£",
+    "euro": "€",
+    "yen": "¥",
+    "cent": "¢",
+    "sect": "§",
+    "para": "¶",
+}
+
+_REVERSE_MINIMAL: dict[str, str] = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+}
+
+
+def decode_entities(text: str) -> str:
+    """Decode HTML character references in ``text``.
+
+    Handles named references from :data:`NAMED_ENTITIES` and numeric
+    references (``&#NN;`` and ``&#xHH;``).  Malformed or unknown
+    references are passed through unchanged.
+    """
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        semi = text.find(";", i + 1, i + 12)
+        if semi == -1:
+            out.append(ch)
+            i += 1
+            continue
+        body = text[i + 1 : semi]
+        decoded = _decode_reference(body)
+        if decoded is None:
+            out.append(ch)
+            i += 1
+        else:
+            out.append(decoded)
+            i = semi + 1
+    return "".join(out)
+
+
+def _decode_reference(body: str) -> str | None:
+    """Decode a single reference body (text between ``&`` and ``;``)."""
+    if not body:
+        return None
+    if body[0] == "#":
+        digits = body[1:]
+        try:
+            if digits[:1] in ("x", "X"):
+                code = int(digits[1:], 16)
+            else:
+                code = int(digits, 10)
+        except ValueError:
+            return None
+        if 0 < code <= 0x10FFFF:
+            return chr(code)
+        return None
+    return NAMED_ENTITIES.get(body)
+
+
+def encode_entities(text: str, quote: bool = False) -> str:
+    """Encode the minimal set of characters needed for safe HTML output.
+
+    ``&``, ``<`` and ``>`` are always escaped; double quotes are escaped
+    only when ``quote`` is true (i.e. inside attribute values).
+    """
+    out = text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    if quote:
+        out = out.replace('"', "&quot;")
+    return out

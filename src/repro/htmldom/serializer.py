@@ -1,0 +1,72 @@
+"""Serialization of DOM trees back to HTML and to structural token streams.
+
+``to_html`` produces parseable HTML (used by round-trip tests and by the
+dataset generators).  ``to_structure_tokens`` produces the *structure-only*
+pre-order token stream the ranking model's record segmentation works on:
+every text node is replaced by the special token ``<#text>`` exactly as in
+Section 6 of the paper, since the publication model cares about structure
+and not content.
+"""
+
+from __future__ import annotations
+
+from repro.htmldom.dom import ElementNode, Node, TextNode
+from repro.htmldom.entities import encode_entities
+from repro.htmldom.treebuilder import VOID_ELEMENTS
+
+#: The placeholder token standing in for any text node (paper, Sec. 6).
+TEXT_TOKEN = "<#text>"
+
+
+def to_html(node: Node, indent: int | None = None) -> str:
+    """Serialize ``node`` (and its subtree) to HTML markup.
+
+    With ``indent`` set, children are placed on their own lines with the
+    given indentation width; with ``indent=None`` the output is compact.
+    """
+    parts: list[str] = []
+    _serialize(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _serialize(node: Node, parts: list[str], indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else "\n" + " " * (indent * depth)
+    if isinstance(node, TextNode):
+        parts.append(pad)
+        parts.append(encode_entities(node.text))
+        return
+    assert isinstance(node, ElementNode)
+    attrs = "".join(
+        f' {name}="{encode_entities(value, quote=True)}"'
+        for name, value in node.attrs.items()
+    )
+    parts.append(pad)
+    if node.tag in VOID_ELEMENTS:
+        parts.append(f"<{node.tag}{attrs}>")
+        return
+    parts.append(f"<{node.tag}{attrs}>")
+    for child in node.children:
+        _serialize(child, parts, indent, depth + 1)
+    if indent is not None and node.children:
+        parts.append("\n" + " " * (indent * depth))
+    parts.append(f"</{node.tag}>")
+
+
+def to_structure_tokens(node: Node) -> list[str]:
+    """Pre-order structural token stream of ``node``'s subtree.
+
+    Elements contribute their tag name, text nodes contribute
+    :data:`TEXT_TOKEN`.  This is the alphabet over which the publication
+    model computes schema size and alignment.
+    """
+    tokens: list[str] = []
+    if isinstance(node, TextNode):
+        return [TEXT_TOKEN]
+    assert isinstance(node, ElementNode)
+    for item in node.iter_preorder():
+        if isinstance(item, TextNode):
+            tokens.append(TEXT_TOKEN)
+        else:
+            assert isinstance(item, ElementNode)
+            tokens.append(item.tag)
+    return tokens

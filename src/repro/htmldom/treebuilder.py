@@ -1,0 +1,126 @@
+"""Tree construction: token stream -> :class:`~repro.htmldom.dom.Document`.
+
+Implements the subset of the HTML5 tree-construction rules that matters
+for listing pages: void elements never take children, a handful of
+elements (``li``, ``p``, ``td``, ``tr``, ``option``, ...) are closed
+implicitly by a matching sibling, and stray end tags are dropped rather
+than crashing the parse.  Everything is wrapped under a synthetic
+``<html>`` root if the page does not provide one.
+"""
+
+from __future__ import annotations
+
+from repro.htmldom.dom import Document, ElementNode, TextNode
+from repro.htmldom.tokenizer import Token, TokenKind, tokenize
+
+#: Elements that never have content (their start tag is the whole element).
+VOID_ELEMENTS = frozenset(
+    {
+        "area",
+        "base",
+        "br",
+        "col",
+        "embed",
+        "hr",
+        "img",
+        "input",
+        "link",
+        "meta",
+        "param",
+        "source",
+        "track",
+        "wbr",
+    }
+)
+
+#: When a start tag with tag T arrives and an element listed in
+#: ``IMPLIED_END[T]`` is open above it, those elements are closed first.
+IMPLIED_END: dict[str, frozenset[str]] = {
+    "li": frozenset({"li"}),
+    "p": frozenset({"p"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "tr": frozenset({"tr", "td", "th"}),
+    "option": frozenset({"option"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "thead": frozenset({"tr", "td", "th"}),
+    "tbody": frozenset({"tr", "td", "th", "thead"}),
+    "tfoot": frozenset({"tr", "td", "th", "tbody"}),
+}
+
+#: Implicit closing stops when one of these is the current open element.
+_SCOPE_BARRIERS = frozenset({"table", "html", "body", "div", "ul", "ol", "dl", "select"})
+
+
+def parse_html(html: str, page_index: int = 0) -> Document:
+    """Parse ``html`` into a frozen :class:`Document`.
+
+    The parse is total: any input produces a tree.  Comments and doctype
+    declarations are discarded (the paper's wrappers never reference
+    them); whitespace-only text between structural tags is dropped, while
+    all other text becomes :class:`TextNode` children carrying their
+    source spans.
+    """
+    root = ElementNode("html")
+    stack: list[ElementNode] = [root]
+    saw_explicit_html = False
+
+    for token in tokenize(html):
+        if token.kind is TokenKind.TEXT:
+            _append_text(stack[-1], token)
+        elif token.kind is TokenKind.START_TAG:
+            saw_explicit_html |= token.name == "html"
+            _handle_start_tag(stack, token, root)
+        elif token.kind is TokenKind.END_TAG:
+            _handle_end_tag(stack, token)
+        # COMMENT and DOCTYPE tokens are intentionally dropped.
+
+    if saw_explicit_html and len(root.children) == 1:
+        only = root.children[0]
+        if isinstance(only, ElementNode) and only.tag == "html":
+            only.parent = None
+            return Document(only, html, page_index=page_index)
+    return Document(root, html, page_index=page_index)
+
+
+def _append_text(parent: ElementNode, token: Token) -> None:
+    """Append a text token to ``parent`` unless it is pure whitespace."""
+    if not token.data.strip():
+        return
+    parent.append(TextNode(token.data, start=token.start, end=token.end))
+
+
+def _handle_start_tag(stack: list[ElementNode], token: Token, root: ElementNode) -> None:
+    """Open a new element, applying implied-end-tag rules first."""
+    if token.name == "html":
+        # A real <html> replaces the synthetic root only when it is the
+        # first thing seen; otherwise treat it as a plain element.
+        if stack[-1] is root and not root.children:
+            node = ElementNode("html", token.attrs)
+            root.append(node)
+            stack.append(node)
+            return
+    implied = IMPLIED_END.get(token.name)
+    if implied is not None:
+        while (
+            len(stack) > 1
+            and stack[-1].tag in implied
+            and stack[-1].tag not in _SCOPE_BARRIERS
+        ):
+            stack.pop()
+    node = ElementNode(token.name, token.attrs)
+    stack[-1].append(node)
+    if token.name not in VOID_ELEMENTS and not token.self_closing:
+        stack.append(node)
+
+
+def _handle_end_tag(stack: list[ElementNode], token: Token) -> None:
+    """Close the nearest matching open element; ignore unmatched end tags."""
+    if token.name in VOID_ELEMENTS:
+        return
+    for depth in range(len(stack) - 1, 0, -1):
+        if stack[depth].tag == token.name:
+            del stack[depth:]
+            return
+    # No matching open element: drop the stray end tag.

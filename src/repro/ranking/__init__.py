@@ -1,0 +1,37 @@
+"""Ranking model (paper Sec. 6): score wrappers by ``P(L|X) * P(X)``.
+
+``P(L|X)`` is the annotation-noise term (Eq. 4) parameterised by the
+annotator's noise profile ``(p, r)``; ``P(X)`` is the web-publication
+prior over the *list structure* of the extraction, computed from record
+segments (Fig. 7) via two features — schema size and alignment — with
+kernel-density distributions learned from sample sites of the domain.
+"""
+
+from repro.ranking.annotation import AnnotationModel, NoiseProfile
+from repro.ranking.alignment import (
+    longest_common_substring,
+    schema_size,
+    token_edit_distance,
+)
+from repro.ranking.content import ContentFeature, ContentModel, regex_feature
+from repro.ranking.kde import GaussianKde
+from repro.ranking.publication import ListFeatures, PublicationModel
+from repro.ranking.scorer import RankedWrapper, WrapperScorer
+from repro.ranking.segmentation import record_segments
+
+__all__ = [
+    "AnnotationModel",
+    "ContentFeature",
+    "ContentModel",
+    "GaussianKde",
+    "ListFeatures",
+    "NoiseProfile",
+    "PublicationModel",
+    "RankedWrapper",
+    "WrapperScorer",
+    "longest_common_substring",
+    "record_segments",
+    "regex_feature",
+    "schema_size",
+    "token_edit_distance",
+]

@@ -1,0 +1,91 @@
+"""The annotation-noise model: ``P(L | X)`` (paper Sec. 6, Eq. 4).
+
+The annotator inspects every node independently: a node of the true list
+``X`` enters ``L`` with probability ``r``; a node outside ``X`` enters
+``L`` with probability ``1 - p``.  Dropping wrapper-invariant factors,
+
+    P(L|X)  ∝  (r / (1-p))^|L ∩ X|  *  ((1-r) / p)^|X \\ L|
+
+which this module evaluates in log space.  When ``1 - p < r`` (any
+useful annotator) the score is maximised by ``X = L``; the ``X \\ L``
+term is what balances the publication prior's pull toward larger,
+well-structured lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.wrappers.base import Labels
+
+#: Clamp for estimated probabilities, keeping both Eq. 4 terms finite.
+_EPSILON = 1e-3
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseProfile:
+    """The ``(p, r)`` characterisation of an annotator (Sec. 2.1).
+
+    ``r`` is the per-true-node labeling probability (expected recall);
+    ``p`` is the probability of *not* labeling a non-list node, so the
+    false-positive rate is ``1 - p`` (closely related to, but not equal
+    to, the annotator's precision — see the remark under Eq. 4).
+    """
+
+    p: float
+    r: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.p < 1.0 and 0.0 < self.r < 1.0):
+            raise ValueError(
+                f"noise profile requires 0 < p, r < 1; got p={self.p}, r={self.r}"
+            )
+
+    @property
+    def informative(self) -> bool:
+        """True when hits are evidence for membership (``1 - p < r``)."""
+        return 1.0 - self.p < self.r
+
+
+class AnnotationModel:
+    """Evaluates ``log P(L|X)`` for a fixed label set and noise profile."""
+
+    def __init__(self, profile: NoiseProfile) -> None:
+        self.profile = profile
+        self._log_hit = math.log(profile.r / (1.0 - profile.p))
+        self._log_extra = math.log((1.0 - profile.r) / profile.p)
+
+    @classmethod
+    def from_rates(cls, p: float, r: float) -> "AnnotationModel":
+        clamp = lambda x: min(1.0 - _EPSILON, max(_EPSILON, x))  # noqa: E731
+        return cls(NoiseProfile(p=clamp(p), r=clamp(r)))
+
+    @classmethod
+    def estimate(
+        cls, labeled: list[tuple[Labels, Labels, int]]
+    ) -> "AnnotationModel":
+        """Estimate ``(p, r)`` from ``(labels, gold, total_nodes)`` triples.
+
+        ``r`` is the fraction of gold nodes that got labeled; ``1 - p``
+        is the fraction of non-gold nodes that got labeled, both pooled
+        over the sample (typically the training half of a dataset).
+        """
+        hits = misses = false_hits = negatives = 0
+        for labels, gold, total_nodes in labeled:
+            hits += len(labels & gold)
+            misses += len(gold - labels)
+            false_hits += len(labels - gold)
+            negatives += max(0, total_nodes - len(gold))
+        r = hits / (hits + misses) if hits + misses else 0.5
+        fp_rate = false_hits / negatives if negatives else 0.0
+        return cls.from_rates(p=1.0 - fp_rate, r=r)
+
+    def log_likelihood(self, labels: Labels, extracted: Labels) -> float:
+        """``log P(L|X)`` up to the wrapper-invariant constant (Eq. 4)."""
+        covered = len(labels & extracted)
+        extra = len(extracted) - covered
+        return covered * self._log_hit + extra * self._log_extra
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AnnotationModel(p={self.profile.p:.3f}, r={self.profile.r:.3f})"

@@ -1,0 +1,156 @@
+"""The web-publication prior ``P(X)`` (paper Sec. 6 and 6.1).
+
+A candidate extraction ``X`` is scored by how good a *list* it forms:
+its record segments (Fig. 7) are reduced to the two features of
+Sec. 6.1 — schema size and alignment — and ``P(X)`` is the product of
+the learned per-feature densities.  Feature distributions are learned
+per domain from the gold lists of a sample of training sites, exactly as
+"Learning the model parameters" prescribes (half the websites).
+
+Candidates that form no segments at all (fewer than two extracted nodes
+on every page) receive a fixed degenerate log-probability learned from
+the frequency of that event in training data, floored to a strong
+penalty — a single-node-per-page "list" is a poor list in a listing
+domain.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.htmldom.dom import NodeId
+from repro.ranking.alignment import (
+    DISTANCE_CAP,
+    MAX_PAIRS,
+    sample_pairs,
+    schema_size,
+    token_edit_distance,
+)
+from repro.ranking.kde import DENSITY_FLOOR, GaussianKde
+from repro.ranking.segmentation import record_segments
+from repro.site import Site
+from repro.wrappers.base import Labels
+
+
+@dataclass(frozen=True, slots=True)
+class ListFeatures:
+    """The Sec. 6.1 feature vector of one candidate list."""
+
+    schema_size: int
+    alignment: int
+    n_segments: int
+
+    @property
+    def degenerate(self) -> bool:
+        return self.n_segments == 0
+
+
+def list_features(
+    site: Site,
+    extracted: Labels,
+    type_map: Mapping[NodeId, str] | None = None,
+    boundary_type: str | None = None,
+    max_pairs: int = MAX_PAIRS,
+) -> ListFeatures:
+    """Compute schema size (min over pairs) and alignment (max over pairs)."""
+    segments = record_segments(
+        site,
+        extracted,
+        type_map=type_map,
+        boundary_type=boundary_type,
+        max_segments=max_pairs + 1,
+    )
+    pairs = sample_pairs(len(segments), max_pairs=max_pairs)
+    if not pairs:
+        return ListFeatures(schema_size=0, alignment=0, n_segments=len(segments))
+    worst_alignment = 0
+    smallest_schema: int | None = None
+    for i, j in pairs:
+        a, b = segments[i], segments[j]
+        distance = token_edit_distance(a, b, cap=DISTANCE_CAP)
+        worst_alignment = max(worst_alignment, distance)
+        size = schema_size(a, b)
+        smallest_schema = size if smallest_schema is None else min(smallest_schema, size)
+    return ListFeatures(
+        schema_size=smallest_schema or 0,
+        alignment=worst_alignment,
+        n_segments=len(segments),
+    )
+
+
+class PublicationModel:
+    """``log P(X)`` from learned schema-size and alignment densities."""
+
+    def __init__(
+        self,
+        schema_kde: GaussianKde,
+        alignment_kde: GaussianKde,
+        degenerate_log_prob: float | None = None,
+    ) -> None:
+        self.schema_kde = schema_kde
+        self.alignment_kde = alignment_kde
+        if degenerate_log_prob is None:
+            degenerate_log_prob = 2.0 * math.log(DENSITY_FLOOR)
+        self.degenerate_log_prob = degenerate_log_prob
+
+    @classmethod
+    def fit(
+        cls,
+        training: list[tuple[Site, Labels]],
+        type_maps: list[Mapping[NodeId, str] | None] | None = None,
+        boundary_type: str | None = None,
+    ) -> "PublicationModel":
+        """Learn the feature distributions from ``(site, gold list)`` pairs."""
+        if not training:
+            raise ValueError("cannot fit a publication model to zero sites")
+        schema_samples: list[float] = []
+        alignment_samples: list[float] = []
+        degenerate = 0
+        for index, (site, gold) in enumerate(training):
+            type_map = type_maps[index] if type_maps is not None else None
+            features = list_features(
+                site, gold, type_map=type_map, boundary_type=boundary_type
+            )
+            if features.degenerate:
+                degenerate += 1
+                continue
+            schema_samples.append(features.schema_size)
+            alignment_samples.append(features.alignment)
+        if not schema_samples:
+            # A purely single-entity training domain: fall back to neutral
+            # densities so the annotation term dominates.
+            schema_samples = [1.0]
+            alignment_samples = [0.0]
+        degenerate_rate = degenerate / len(training)
+        degenerate_log_prob = (
+            math.log(max(DENSITY_FLOOR, degenerate_rate))
+            + math.log(DENSITY_FLOOR)
+        )
+        return cls(
+            schema_kde=GaussianKde(schema_samples),
+            alignment_kde=GaussianKde(alignment_samples),
+            degenerate_log_prob=degenerate_log_prob,
+        )
+
+    def log_prob_features(self, features: ListFeatures) -> float:
+        """``log P(X)`` of a candidate with the given list features."""
+        if features.degenerate:
+            return self.degenerate_log_prob
+        return self.schema_kde.log_density(
+            features.schema_size
+        ) + self.alignment_kde.log_density(features.alignment)
+
+    def log_prob(
+        self,
+        site: Site,
+        extracted: Labels,
+        type_map: Mapping[NodeId, str] | None = None,
+        boundary_type: str | None = None,
+    ) -> float:
+        return self.log_prob_features(
+            list_features(
+                site, extracted, type_map=type_map, boundary_type=boundary_type
+            )
+        )

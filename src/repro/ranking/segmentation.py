@@ -1,0 +1,92 @@
+"""Record segmentation (paper Sec. 6, Fig. 7).
+
+Given the extraction ``X`` of a candidate wrapper, the nodes of ``X``
+are used as record boundaries: a pre-order traversal of each page is cut
+at every consecutive pair of extracted nodes, yielding *record segments*
+— possibly cyclically shifted relative to the true records, which is
+harmless because only the structural similarity between segments
+matters.  Text nodes are replaced by the ``<#text>`` placeholder; for
+multi-type extraction the extracted nodes themselves are replaced by a
+per-type marker (``<name>``, ``<zipcode>``, ...), which is how the joint
+alignment constraint of Appendix A enters the edit distance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.htmldom.dom import ElementNode, NodeId
+from repro.htmldom.serializer import TEXT_TOKEN
+from repro.site import Site
+from repro.wrappers.base import Labels
+
+#: Truncation bound for a single segment's token sequence.  Over-general
+#: wrappers produce near-page-sized segments; beyond this length the
+#: alignment feature is already saturated and the cost would be wasted.
+MAX_SEGMENT_TOKENS = 160
+
+
+def page_tokens(
+    site: Site, page_index: int, type_map: Mapping[NodeId, str] | None = None
+) -> list[str]:
+    """Pre-order structural token stream of one page.
+
+    Elements contribute their tag, text nodes contribute ``<#text>``, and
+    nodes present in ``type_map`` contribute ``<{type}>`` instead.
+    """
+    tokens: list[str] = []
+    for node in site.pages[page_index].nodes:
+        if type_map is not None and node.node_id in type_map:
+            tokens.append(f"<{type_map[node.node_id]}>")
+        elif isinstance(node, ElementNode):
+            tokens.append(node.tag)
+        else:
+            tokens.append(TEXT_TOKEN)
+    return tokens
+
+
+def record_segments(
+    site: Site,
+    extracted: Labels,
+    type_map: Mapping[NodeId, str] | None = None,
+    boundary_type: str | None = None,
+    max_segments: int | None = None,
+    max_segment_tokens: int = MAX_SEGMENT_TOKENS,
+) -> list[tuple[str, ...]]:
+    """Record segments induced by ``extracted`` over all pages of ``site``.
+
+    Args:
+        site: the site being scored.
+        extracted: the candidate list ``X`` (node ids).
+        type_map: optional node -> type-name map (multi-type extraction).
+        boundary_type: with ``type_map``, only nodes of this type act as
+            record boundaries (Appendix A segments by one chosen type).
+        max_segments: optional cap on the number of returned segments
+            (deterministic: evenly strided over the full list).
+        max_segment_tokens: truncation bound per segment.
+
+    Returns:
+        A list of token tuples, one per record segment.  Pages containing
+        fewer than two boundary nodes contribute no segments.
+    """
+    by_page: dict[int, list[NodeId]] = {}
+    for node_id in extracted:
+        if boundary_type is not None and type_map is not None:
+            if type_map.get(node_id) != boundary_type:
+                continue
+        by_page.setdefault(node_id.page, []).append(node_id)
+
+    segments: list[tuple[str, ...]] = []
+    for page_index in sorted(by_page):
+        boundaries = sorted(by_page[page_index], key=lambda n: n.preorder)
+        if len(boundaries) < 2:
+            continue
+        tokens = page_tokens(site, page_index, type_map=type_map)
+        for first, second in zip(boundaries, boundaries[1:]):
+            segment = tokens[first.preorder : second.preorder]
+            segments.append(tuple(segment[:max_segment_tokens]))
+
+    if max_segments is not None and len(segments) > max_segments:
+        stride = len(segments) / max_segments
+        segments = [segments[int(i * stride)] for i in range(max_segments)]
+    return segments

@@ -1,0 +1,51 @@
+"""Wrapper languages and their inductors.
+
+Three concrete inductors are provided, all *well-behaved* in the sense of
+Definition 1 (fidelity, closure, monotonicity) and all *feature-based* in
+the sense of Section 4.2:
+
+- :class:`~repro.wrappers.table.TableInductor` — the paper's pedagogical
+  TABLE inductor over an abstract grid (Examples 1–3);
+- :class:`~repro.wrappers.lr.LRInductor` — the WIEN LR family: a pair of
+  delimiter strings over the raw character stream;
+- :class:`~repro.wrappers.xpath_inductor.XPathInductor` — root-path
+  feature intersection rendered as an xpath of the supported fragment.
+
+``HLRTInductor`` extends LR with head/tail context (paper Sec. 5 notes the
+analysis extends to HLRT).
+"""
+
+from repro.wrappers.base import (
+    FeatureBasedInductor,
+    Wrapper,
+    WrapperInductor,
+)
+from repro.wrappers.hlrt import HLRTInductor, HLRTWrapper
+from repro.wrappers.lr import LRInductor, LRWrapper
+from repro.wrappers.properties import (
+    check_closure,
+    check_fidelity,
+    check_monotonicity,
+    is_well_behaved,
+)
+from repro.wrappers.table import Grid, TableInductor, TableWrapper
+from repro.wrappers.xpath_inductor import XPathInductor, XPathWrapper
+
+__all__ = [
+    "FeatureBasedInductor",
+    "Grid",
+    "HLRTInductor",
+    "HLRTWrapper",
+    "LRInductor",
+    "LRWrapper",
+    "TableInductor",
+    "TableWrapper",
+    "Wrapper",
+    "WrapperInductor",
+    "XPathInductor",
+    "XPathWrapper",
+    "check_closure",
+    "check_fidelity",
+    "check_monotonicity",
+    "is_well_behaved",
+]

@@ -1,0 +1,171 @@
+"""Core wrapper interfaces.
+
+A :class:`Wrapper` is a learned rule; applying it to a corpus yields the
+set of extracted node ids (for single-type extraction the paper
+identifies a wrapper with its output, Sec. 4).  A
+:class:`WrapperInductor` learns a wrapper from a set of labeled node ids.
+
+Corpora are duck-typed: the HTML inductors work on
+:class:`repro.site.Site`, the pedagogical TABLE inductor works on
+:class:`repro.wrappers.table.Grid`.  All label and extraction sets are
+``frozenset[NodeId]`` so they can be hashed, compared and used as keys.
+
+:class:`FeatureBasedInductor` is the Section 4.2 specialization: every
+candidate node carries a feature map (attribute -> value, at most one
+value per attribute per node), induction is feature-set intersection, and
+``subdivision`` is the primitive the TopDown enumeration algorithm needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+from repro.htmldom.dom import NodeId
+
+Labels = frozenset[NodeId]
+
+#: A feature attribute (hashable, inductor-specific), e.g. ``("L", 3)``
+#: for "the 3 characters preceding the node" or ``(2, "tag")`` for "the
+#: tag name of the grandparent".
+Attribute = Hashable
+
+
+class Wrapper(abc.ABC):
+    """A learned extraction rule.
+
+    Concrete wrappers must be immutable, hashable and comparable by
+    *rule* (two wrappers with the same rule are the same wrapper); the
+    enumeration algorithms rely on this for deduplication.
+    """
+
+    @abc.abstractmethod
+    def extract(self, corpus: Any) -> Labels:
+        """Apply the rule; return the extracted node ids."""
+
+    @abc.abstractmethod
+    def rule(self) -> str:
+        """Human-readable form of the rule (e.g. an xpath)."""
+
+
+class WrapperInductor(abc.ABC):
+    """Learns a wrapper from (noise-free) labeled examples.
+
+    The noise-tolerant framework (Sec. 3) treats the inductor as a
+    blackbox: it only relies on the *well-behaved* properties of
+    Definition 1, which all inductors in this package satisfy.
+    """
+
+    @abc.abstractmethod
+    def induce(self, corpus: Any, labels: Labels) -> Wrapper:
+        """Learn a wrapper from ``labels`` (non-empty)."""
+
+    @abc.abstractmethod
+    def candidates(self, corpus: Any) -> Labels:
+        """The universe of extractable node ids in ``corpus``."""
+
+    def closure(self, corpus: Any, labels: Labels, universe: Labels) -> Labels:
+        """``phi-breve(s) = phi(s) ∩ L`` — the closure operator of Sec. 4.1."""
+        return self.induce(corpus, labels).extract(corpus) & universe
+
+
+class FeatureBasedInductor(WrapperInductor):
+    """A wrapper inductor defined by per-node feature maps (Sec. 4.2).
+
+    ``phi(L) = { n | F(n) ⊇ ∩_{l∈L} F(l) }`` over the candidate universe.
+    Subclasses supply the feature maps (or per-attribute values) and a
+    wrapper factory for the intersected feature set; this base class
+    provides induction and ``subdivision``.
+    """
+
+    @abc.abstractmethod
+    def feature_map(self, corpus: Any, node_id: NodeId) -> dict[Attribute, Hashable]:
+        """All features of ``node_id`` as an attribute -> value mapping.
+
+        Inductors with unbounded attribute families (LR) may instead
+        override :meth:`value` and :meth:`attribute_stream` and raise
+        here; the default implementations below only use those two.
+        """
+
+    def value(self, corpus: Any, node_id: NodeId, attr: Attribute) -> Hashable | None:
+        """Value of one attribute for one node (None if absent)."""
+        return self.feature_map(corpus, node_id).get(attr)
+
+    @abc.abstractmethod
+    def attribute_stream(
+        self, corpus: Any, labels: Labels
+    ) -> Iterator[Attribute]:
+        """Attributes relevant to ``labels``, for TopDown subdivision.
+
+        The stream must include every attribute that can separate two
+        labels in ``labels`` (attributes on which all labels agree or
+        which no label has can be skipped — they never subdivide).
+        """
+
+    @abc.abstractmethod
+    def wrapper_for_features(
+        self, corpus: Any, features: dict[Attribute, Hashable]
+    ) -> Wrapper:
+        """Build the concrete wrapper matching ``features``."""
+
+    def induce(self, corpus: Any, labels: Labels) -> Wrapper:
+        if not labels:
+            raise ValueError("cannot induce a wrapper from zero labels")
+        return self.wrapper_for_features(
+            corpus, self.shared_features(corpus, labels)
+        )
+
+    def shared_features(
+        self, corpus: Any, labels: Labels
+    ) -> dict[Attribute, Hashable]:
+        """Intersection of the label feature maps (most specific rule)."""
+        label_list = sorted(labels)
+        shared = dict(self.feature_map(corpus, label_list[0]))
+        for node_id in label_list[1:]:
+            other = self.feature_map(corpus, node_id)
+            for attr in list(shared):
+                if other.get(attr) != shared[attr]:
+                    del shared[attr]
+            if not shared:
+                break
+        return shared
+
+    def subdivision(
+        self, corpus: Any, subset: Labels, attr: Attribute
+    ) -> list[Labels]:
+        """Partition ``subset`` by the value of ``attr`` (Sec. 4.2).
+
+        Nodes lacking the attribute belong to no part, so the parts need
+        not cover ``subset``.
+        """
+        groups: dict[Hashable, set[NodeId]] = {}
+        for node_id in subset:
+            value = self.value(corpus, node_id, attr)
+            if value is not None:
+                groups.setdefault(value, set()).add(node_id)
+        return [frozenset(group) for group in groups.values()]
+
+    def matches(
+        self,
+        corpus: Any,
+        node_id: NodeId,
+        features: dict[Attribute, Hashable],
+    ) -> bool:
+        """Does ``node_id``'s feature map contain all of ``features``?"""
+        node_features = self.feature_map(corpus, node_id)
+        return all(node_features.get(a) == v for a, v in features.items())
+
+
+def extract_by_features(
+    inductor: FeatureBasedInductor,
+    corpus: Any,
+    features: dict[Attribute, Hashable],
+    candidates: Iterable[NodeId],
+) -> Labels:
+    """Generic feature-matching extraction over a candidate universe."""
+    return frozenset(
+        node_id
+        for node_id in candidates
+        if inductor.matches(corpus, node_id, features)
+    )

@@ -1,0 +1,185 @@
+"""HLRT wrappers — WIEN's head/tail extension of LR (paper Sec. 5).
+
+An HLRT rule adds a *head* string ``H`` and a *tail* string ``T`` to the
+``(left, right)`` delimiter pair: extraction only applies between the
+first occurrence of ``H`` and the first subsequent occurrence of ``T`` on
+each page, which lets the wrapper ignore navigation chrome and footers
+that happen to contain matching delimiters.
+
+Induction: ``left``/``right`` as in LR; ``H`` is the longest string
+that ends immediately before the page's first label and is shared by
+every page (the longest common suffix of the pre-first-label page
+prefixes — its first occurrence is therefore at or before the first
+item, so it can only exclude leading chrome, never data).  ``T`` must
+satisfy WIEN's consistency constraint — it has to occur *after the last
+item* on every page but *never between items*, otherwise extraction
+stops mid-list — so it is chosen from whole-tag candidate substrings of
+the post-last-label region, taking the first candidate that never
+appears between the first and last label of any labeled page.  Empty
+``H``/``T`` disable the respective restriction, so HLRT degrades
+gracefully to LR.  The paper notes the enumeration/ranking analysis of
+LR extends to HLRT; this class is provided as that extension and is
+exercised by tests and an ablation bench rather than the headline
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.htmldom.dom import NodeId, TextNode
+from repro.site import Site
+from repro.wrappers.base import Labels, Wrapper, WrapperInductor
+from repro.wrappers.lr import (
+    LRInductor,
+    _common_prefix,
+    _common_suffix,
+)
+
+#: Cap on head/tail length, mirroring the LR delimiter cap.
+MAX_CONTEXT_LENGTH = 256
+
+
+@dataclass(frozen=True, slots=True)
+class HLRTWrapper(Wrapper):
+    """An HLRT rule: head, left, right, tail."""
+
+    head: str
+    left: str
+    right: str
+    tail: str
+
+    def extract(self, corpus: Site) -> Labels:
+        found: set[NodeId] = set()
+        for page in corpus.pages:
+            source = page.source
+            window_start = 0
+            window_end = len(source)
+            if self.head:
+                at = source.find(self.head)
+                if at == -1:
+                    continue
+                window_start = at + len(self.head)
+            if self.tail:
+                at = source.find(self.tail, window_start)
+                if at != -1:
+                    window_end = at
+            for node in page.nodes:
+                if not isinstance(node, TextNode) or node.start < 0:
+                    continue
+                if node.start < window_start or node.end > window_end:
+                    continue
+                if node.start < len(self.left):
+                    continue
+                if not source.startswith(self.left, node.start - len(self.left)):
+                    continue
+                if not source.startswith(self.right, node.end):
+                    continue
+                found.add(node.node_id)
+        return frozenset(found)
+
+    def rule(self) -> str:
+        return (
+            f"HLRT(head={self.head!r}, left={self.left!r}, "
+            f"right={self.right!r}, tail={self.tail!r})"
+        )
+
+
+class HLRTInductor(WrapperInductor):
+    """Induces :class:`HLRTWrapper` rules from labeled text nodes."""
+
+    def __init__(self, max_context_length: int = MAX_CONTEXT_LENGTH) -> None:
+        self.max_context_length = max_context_length
+        self._lr = LRInductor(max_delimiter_length=max_context_length)
+
+    def induce(self, corpus: Site, labels: Labels) -> HLRTWrapper:
+        if not labels:
+            raise ValueError("cannot induce a wrapper from zero labels")
+        lr = self._lr.induce(corpus, labels)
+        head = self._common_head(corpus, labels)
+        tail = self._common_tail(corpus, labels)
+        return HLRTWrapper(head=head, left=lr.left, right=lr.right, tail=tail)
+
+    def candidates(self, corpus: Site) -> Labels:
+        return corpus.text_node_ids()
+
+    def _common_head(self, corpus: Site, labels: Labels) -> str:
+        """Longest common suffix of the page prefixes before the first label."""
+        prefixes: list[str] = []
+        for page_index, first_start in self._label_bounds(corpus, labels, first=True):
+            source = corpus.pages[page_index].source
+            prefixes.append(
+                source[max(0, first_start - self.max_context_length) : first_start]
+            )
+        if not prefixes:
+            return ""
+        return _common_suffix(iter(prefixes))
+
+    def _common_tail(self, corpus: Site, labels: Labels) -> str:
+        """A tag substring after every page's last label, never between labels.
+
+        Candidates are whole tags (``</table>``, ``<div ...`` prefixes)
+        drawn from the first labeled page's post-region in order of
+        appearance; the first candidate consistent with every labeled
+        page wins.  Returns ``""`` (no tail restriction) when no
+        consistent candidate exists.
+        """
+        first_bounds = dict(self._label_bounds(corpus, labels, first=True))
+        last_bounds = dict(self._label_bounds(corpus, labels, first=False))
+        if not last_bounds:
+            return ""
+        regions = []
+        posts = []
+        for page_index, last_end in sorted(last_bounds.items()):
+            source = corpus.pages[page_index].source
+            first_start = first_bounds[page_index]
+            regions.append(source[first_start:last_end])
+            posts.append(source[last_end : last_end + 4 * self.max_context_length])
+        for candidate in _tag_candidates(posts[0]):
+            if all(candidate in post for post in posts) and not any(
+                candidate in region for region in regions
+            ):
+                return candidate
+        return ""
+
+    def _label_bounds(
+        self, corpus: Site, labels: Labels, first: bool
+    ) -> list[tuple[int, int]]:
+        """Per labeled page: (page, start of first label) or (page, end of last)."""
+        return _label_bounds(corpus, labels, first)
+
+
+def _tag_candidates(post: str) -> list[str]:
+    """Whole-tag substrings of ``post`` in order of appearance."""
+    candidates: list[str] = []
+    position = 0
+    while True:
+        open_at = post.find("<", position)
+        if open_at == -1:
+            break
+        close_at = post.find(">", open_at)
+        if close_at == -1:
+            break
+        candidates.append(post[open_at : close_at + 1])
+        position = open_at + 1
+    return candidates
+
+
+def _label_bounds(
+    corpus: Site, labels: Labels, first: bool
+) -> list[tuple[int, int]]:
+    """Per labeled page: (page, start of first label) or (page, end of last)."""
+    bounds: dict[int, int] = {}
+    for node_id in labels:
+        node = corpus.text_node(node_id)
+        if node.start < 0:
+            continue
+        if first:
+            current = bounds.get(node_id.page)
+            if current is None or node.start < current:
+                bounds[node_id.page] = node.start
+        else:
+            current = bounds.get(node_id.page)
+            if current is None or node.end > current:
+                bounds[node_id.page] = node.end
+    return sorted(bounds.items())

@@ -1,0 +1,229 @@
+"""The WIEN LR wrapper family (Kushmerick et al.), Section 5 of the paper.
+
+An LR wrapper is a pair of delimiter strings ``(left, right)``.  The
+paper proves LR is feature-based: node ``n`` has attribute ``Lk`` = the
+``k`` characters immediately preceding it in the document and ``Rk`` =
+the ``k`` characters immediately following it.  Induction is therefore
+"longest common preceding string, longest common following string".
+
+Following that characterization, extraction here is evaluated over the
+text-node universe: a text node matches ``(left, right)`` when its
+source-character context ends with ``left`` and continues with ``right``.
+This keeps LR provably well-behaved (it is a feature intersection) while
+preserving the paper's headline behaviour — with noisy labels the common
+delimiters collapse to short, promiscuous strings (often a single ``>``
+/ ``<``) and the wrapper grossly over-generalizes.  The classic
+WIEN "scan for minimal delimited substrings" procedure is also provided
+(:meth:`LRWrapper.scan_page`) for completeness and examples.
+
+Delimiter length is capped (:data:`MAX_DELIMITER_LENGTH`) — listing pages
+repeat markup, so common contexts can otherwise grow with page size and
+slow induction without changing any experimental outcome.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.htmldom.dom import NodeId, TextNode
+from repro.site import Site
+from repro.wrappers.base import (
+    Attribute,
+    FeatureBasedInductor,
+    Labels,
+    Wrapper,
+)
+
+#: Upper bound on delimiter length considered during induction.
+MAX_DELIMITER_LENGTH = 256
+
+
+@dataclass(frozen=True, slots=True)
+class LRWrapper(Wrapper):
+    """An LR rule: the pair of delimiter strings."""
+
+    left: str
+    right: str
+
+    def extract(self, corpus: Site) -> Labels:
+        """Text nodes whose immediate context matches both delimiters."""
+        found: set[NodeId] = set()
+        for page in corpus.pages:
+            source = page.source
+            for node in page.nodes:
+                if not isinstance(node, TextNode) or node.start < 0:
+                    continue
+                if node.start < len(self.left):
+                    continue
+                if not source.startswith(self.left, node.start - len(self.left)):
+                    continue
+                if not source.startswith(self.right, node.end):
+                    continue
+                found.add(node.node_id)
+        return frozenset(found)
+
+    def scan_page(self, source: str) -> list[tuple[int, int]]:
+        """Classic WIEN extraction: minimal ``left``..``right`` spans.
+
+        Scans the raw string, returning ``[start, end)`` spans of the
+        minimal substrings delimited by the pair.  Provided for
+        demonstration; the framework's evaluation uses :meth:`extract`.
+        """
+        if not self.left or not self.right:
+            return []
+        spans: list[tuple[int, int]] = []
+        cursor = 0
+        while True:
+            open_at = source.find(self.left, cursor)
+            if open_at == -1:
+                break
+            start = open_at + len(self.left)
+            close_at = source.find(self.right, start)
+            if close_at == -1:
+                break
+            spans.append((start, close_at))
+            cursor = close_at + len(self.right)
+        return spans
+
+    def rule(self) -> str:
+        return f"LR({self.left!r}, {self.right!r})"
+
+
+class LRInductor(FeatureBasedInductor):
+    """Induces :class:`LRWrapper` rules from labeled text nodes."""
+
+    def __init__(self, max_delimiter_length: int = MAX_DELIMITER_LENGTH) -> None:
+        self.max_delimiter_length = max_delimiter_length
+
+    # -- blackbox interface -------------------------------------------------
+
+    def induce(self, corpus: Site, labels: Labels) -> LRWrapper:
+        if not labels:
+            raise ValueError("cannot induce a wrapper from zero labels")
+        contexts = [self._context(corpus, node_id) for node_id in sorted(labels)]
+        left = _common_suffix((before for before, _ in contexts))
+        right = _common_prefix((after for _, after in contexts))
+        return LRWrapper(left=left, right=right)
+
+    def candidates(self, corpus: Site) -> Labels:
+        return corpus.text_node_ids()
+
+    # -- feature-based interface --------------------------------------------
+
+    def feature_map(self, corpus: Site, node_id: NodeId) -> dict[Attribute, Hashable]:
+        before, after = self._context(corpus, node_id)
+        features: dict[Attribute, Hashable] = {}
+        for k in range(1, len(before) + 1):
+            features[("L", k)] = before[-k:]
+        for k in range(1, len(after) + 1):
+            features[("R", k)] = after[:k]
+        return features
+
+    def value(self, corpus: Site, node_id: NodeId, attr: Attribute) -> Hashable | None:
+        side, k = attr
+        before, after = self._context(corpus, node_id)
+        if side == "L":
+            return before[-k:] if len(before) >= k else None
+        return after[:k] if len(after) >= k else None
+
+    def attribute_stream(self, corpus: Site, labels: Labels) -> Iterator[Attribute]:
+        """Yield ``L1..Lk`` and ``R1..Rk`` up to the separating depth.
+
+        Two labels stop sharing ``Lk`` once ``k`` exceeds the length of
+        their longest common preceding string, so attributes beyond
+        ``1 + max pairwise common length`` can never subdivide further.
+        """
+        contexts = [self._context(corpus, node_id) for node_id in sorted(labels)]
+        befores = [before for before, _ in contexts]
+        afters = [after for _, after in contexts]
+        for k in range(1, _separation_depth(befores, reverse=True) + 1):
+            yield ("L", k)
+        for k in range(1, _separation_depth(afters, reverse=False) + 1):
+            yield ("R", k)
+
+    def wrapper_for_features(
+        self, corpus: Site, features: dict[Attribute, Hashable]
+    ) -> LRWrapper:
+        left = ""
+        right = ""
+        for (side, k), value in features.items():
+            if side == "L" and k > len(left):
+                left = str(value)
+            elif side == "R" and k > len(right):
+                right = str(value)
+        return LRWrapper(left=left, right=right)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _context(self, corpus: Site, node_id: NodeId) -> tuple[str, str]:
+        """(preceding, following) character context of a text node."""
+        node = corpus.text_node(node_id)
+        source = corpus.pages[node_id.page].source
+        limit = self.max_delimiter_length
+        before = source[max(0, node.start - limit) : node.start]
+        after = source[node.end : node.end + limit]
+        return before, after
+
+
+def _common_suffix(strings: Iterator[str] | Any) -> str:
+    """Longest common suffix of the given strings."""
+    iterator = iter(strings)
+    try:
+        common = next(iterator)
+    except StopIteration:
+        return ""
+    for text in iterator:
+        limit = min(len(common), len(text))
+        k = 0
+        while k < limit and common[-1 - k] == text[-1 - k]:
+            k += 1
+        common = common[len(common) - k :] if k else ""
+        if not common:
+            break
+    return common
+
+
+def _common_prefix(strings: Iterator[str] | Any) -> str:
+    """Longest common prefix of the given strings."""
+    iterator = iter(strings)
+    try:
+        common = next(iterator)
+    except StopIteration:
+        return ""
+    for text in iterator:
+        limit = min(len(common), len(text))
+        k = 0
+        while k < limit and common[k] == text[k]:
+            k += 1
+        common = common[:k]
+        if not common:
+            break
+    return common
+
+
+def _separation_depth(strings: list[str], reverse: bool) -> int:
+    """Smallest depth beyond which no pair of strings can be subdivided.
+
+    For each pair, the separating depth is one past the length of their
+    common prefix (suffix when ``reverse``); the stream must cover the
+    maximum over pairs, bounded by the longest string.
+    """
+    if len(strings) <= 1:
+        return min(1, len(strings[0])) if strings else 0
+    depth = 1
+    for i, a in enumerate(strings):
+        for b in strings[i + 1 :]:
+            limit = min(len(a), len(b))
+            k = 0
+            if reverse:
+                while k < limit and a[-1 - k] == b[-1 - k]:
+                    k += 1
+            else:
+                while k < limit and a[k] == b[k]:
+                    k += 1
+            # Separation happens at k + 1 (a differing character or one
+            # string running out); cap by the longer string's length.
+            depth = max(depth, min(k + 1, max(len(a), len(b))))
+    return depth

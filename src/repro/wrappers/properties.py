@@ -1,0 +1,74 @@
+"""Checkers for the *well-behaved* properties of Definition 1.
+
+The enumeration algorithms are only correct for inductors satisfying
+fidelity (``L ⊆ phi(L)``), closure (``phi(L) = phi(L ∪ {l})`` for any
+``l ∈ phi(L)``) and monotonicity (``L1 ⊆ L2 ⇒ phi(L1) ⊆ phi(L2)``).
+These functions verify the properties on concrete label sets; the test
+suite drives them with hypothesis-generated inputs for all inductors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.wrappers.base import Labels, WrapperInductor
+
+
+def check_fidelity(
+    inductor: WrapperInductor, corpus: Any, labels: Labels
+) -> bool:
+    """``L ⊆ phi(L)``."""
+    if not labels:
+        return True
+    return labels <= inductor.induce(corpus, labels).extract(corpus)
+
+
+def check_closure(
+    inductor: WrapperInductor, corpus: Any, labels: Labels
+) -> bool:
+    """``l ∈ phi(L) ⇒ phi(L) = phi(L ∪ {l})`` for every extracted ``l``."""
+    if not labels:
+        return True
+    extracted = inductor.induce(corpus, labels).extract(corpus)
+    universe = inductor.candidates(corpus)
+    for extra in extracted & universe:
+        grown = inductor.induce(corpus, labels | {extra}).extract(corpus)
+        if grown != extracted:
+            return False
+    return True
+
+
+def check_monotonicity(
+    inductor: WrapperInductor, corpus: Any, labels: Labels
+) -> bool:
+    """``L1 ⊆ L2 ⇒ phi(L1) ⊆ phi(L2)`` over one-element extensions and
+    all 2-subsets (a practical, falsifiable approximation of the full
+    quantifier)."""
+    if not labels:
+        return True
+    full = inductor.induce(corpus, labels).extract(corpus)
+    label_list = sorted(labels)
+    subsets = [frozenset(label_list[:-1])] if len(label_list) > 1 else []
+    subsets.extend(
+        frozenset(pair) for pair in itertools.combinations(label_list, 2)
+    )
+    subsets.extend(frozenset({l}) for l in label_list)
+    for subset in subsets:
+        if not subset:
+            continue
+        part = inductor.induce(corpus, subset).extract(corpus)
+        if not part <= full:
+            return False
+    return True
+
+
+def is_well_behaved(
+    inductor: WrapperInductor, corpus: Any, labels: Labels
+) -> bool:
+    """All three Definition 1 properties on the given label set."""
+    return (
+        check_fidelity(inductor, corpus, labels)
+        and check_closure(inductor, corpus, labels)
+        and check_monotonicity(inductor, corpus, labels)
+    )

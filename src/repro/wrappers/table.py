@@ -1,0 +1,108 @@
+"""The TABLE wrapper inductor of the paper's Examples 1–3.
+
+TABLE works on an abstract grid of cells.  Induction from labels:
+
+- a single label generalizes to just itself;
+- labels all in one row (or one column) generalize to that row (column);
+- labels spanning at least two rows *and* two columns generalize to the
+  whole table.
+
+Example 3 shows TABLE is feature-based with attributes ``row`` and
+``col``; this implementation is exactly that formulation, so the same
+code path exercises both the blackbox (BottomUp) and the feature-based
+(TopDown) enumeration algorithms in tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass
+
+from repro.htmldom.dom import NodeId
+from repro.wrappers.base import (
+    Attribute,
+    FeatureBasedInductor,
+    Labels,
+    Wrapper,
+)
+
+
+class Grid:
+    """An ``n_rows x n_cols`` grid of cells, the corpus TABLE works on.
+
+    Cells are identified by :class:`NodeId` with ``page=0`` and
+    ``preorder = row * n_cols + col`` (both zero-based), so label sets on
+    grids use the same currency as label sets on HTML sites.
+    """
+
+    __slots__ = ("n_rows", "n_cols")
+
+    def __init__(self, n_rows: int, n_cols: int) -> None:
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+
+    def cell(self, row: int, col: int) -> NodeId:
+        """Node id of the cell at (row, col), zero-based."""
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise IndexError(f"cell ({row}, {col}) outside {self!r}")
+        return NodeId(page=0, preorder=row * self.n_cols + col)
+
+    def position(self, node_id: NodeId) -> tuple[int, int]:
+        """Inverse of :meth:`cell`."""
+        return divmod(node_id.preorder, self.n_cols)
+
+    def all_cells(self) -> frozenset[NodeId]:
+        return frozenset(
+            NodeId(page=0, preorder=i) for i in range(self.n_rows * self.n_cols)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Grid {self.n_rows}x{self.n_cols}>"
+
+
+@dataclass(frozen=True, slots=True)
+class TableWrapper(Wrapper):
+    """A TABLE rule: a fixed row, a fixed column, a single cell, or everything.
+
+    ``row``/``col`` are zero-based; ``None`` means unconstrained.  Both
+    ``None`` selects the whole table; both set selects one cell.
+    """
+
+    row: int | None
+    col: int | None
+
+    def extract(self, corpus: Grid) -> Labels:
+        rows = range(corpus.n_rows) if self.row is None else (self.row,)
+        cols = range(corpus.n_cols) if self.col is None else (self.col,)
+        return frozenset(corpus.cell(r, c) for r in rows for c in cols)
+
+    def rule(self) -> str:
+        if self.row is None and self.col is None:
+            return "table"
+        if self.row is None:
+            return f"col[{self.col}]"
+        if self.col is None:
+            return f"row[{self.row}]"
+        return f"cell[{self.row},{self.col}]"
+
+
+class TableInductor(FeatureBasedInductor):
+    """Feature-based TABLE inductor (attributes ``row`` and ``col``)."""
+
+    def feature_map(self, corpus: Grid, node_id: NodeId) -> dict[Attribute, Hashable]:
+        row, col = corpus.position(node_id)
+        return {"row": row, "col": col}
+
+    def attribute_stream(self, corpus: Grid, labels: Labels) -> Iterator[Attribute]:
+        yield "row"
+        yield "col"
+
+    def wrapper_for_features(
+        self, corpus: Grid, features: dict[Attribute, Hashable]
+    ) -> TableWrapper:
+        return TableWrapper(row=features.get("row"), col=features.get("col"))
+
+    def candidates(self, corpus: Grid) -> Labels:
+        return corpus.all_cells()

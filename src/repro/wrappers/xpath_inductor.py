@@ -1,0 +1,176 @@
+"""The XPATH wrapper inductor (Dalvi et al., SIGMOD'09; paper Sec. 5).
+
+Every text node is described by the properties of its root path: at
+position 1 (its parent element), position 2 (grandparent), and so on up
+to the page root, the features are the tag name, the child number (the
+node's 1-based index among same-tag siblings — the semantics of the
+xpath filter ``td[2]``), and each HTML attribute.  Induction is the
+intersection of the label feature sets — the most specific rule in the
+fragment consistent with all labels — and extraction matches any text
+node whose features contain the intersection.
+
+The learned wrapper renders to an xpath of the supported fragment
+(:meth:`XPathWrapper.to_xpath`); rendering is exact (evaluating the
+xpath reproduces ``extract``) whenever every position carrying a
+child-number constraint also carries a tag constraint, which
+:attr:`XPathWrapper.exactly_renderable` reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass
+
+from repro.htmldom.dom import Document, ElementNode, NodeId, TextNode
+from repro.site import Site
+from repro.wrappers.base import (
+    Attribute,
+    FeatureBasedInductor,
+    Labels,
+    Wrapper,
+)
+from repro.xpathlang.ast import (
+    AttributePredicate,
+    Axis,
+    LocationPath,
+    PositionPredicate,
+    Predicate,
+    Step,
+)
+
+#: Feature attributes are ``(position, kind)`` with position >= 1 counted
+#: from the text node's parent upward; kind is ``"tag"``, ``"childnum"``
+#: or ``"@<attrname>"``.
+PathAttribute = tuple[int, str]
+
+
+def _node_features(node: TextNode) -> dict[PathAttribute, Hashable]:
+    """Root-path feature map of a text node."""
+    features: dict[PathAttribute, Hashable] = {}
+    position = 0
+    for ancestor in node.ancestors():
+        position += 1
+        features[(position, "tag")] = ancestor.tag
+        features[(position, "childnum")] = ancestor.child_number()
+        for name, value in ancestor.attrs.items():
+            features[(position, "@" + name)] = value
+    return features
+
+
+class _FeatureIndex:
+    """Per-site cache of text-node feature maps (computed once per page).
+
+    ``as_set`` holds the same features as frozensets of items so that
+    wrapper matching is a single C-speed subset test.
+    """
+
+    __slots__ = ("by_node", "as_set")
+
+    def __init__(self, site: Site) -> None:
+        self.by_node: dict[NodeId, dict[PathAttribute, Hashable]] = {}
+        self.as_set: dict[NodeId, frozenset] = {}
+        for page in site.pages:
+            for node in page.nodes:
+                if isinstance(node, TextNode):
+                    features = _node_features(node)
+                    self.by_node[node.node_id] = features
+                    self.as_set[node.node_id] = frozenset(features.items())
+
+
+_INDEX_CACHE: dict[int, tuple[Site, _FeatureIndex]] = {}
+
+
+def _index_for(site: Site) -> _FeatureIndex:
+    """Feature index for ``site``, cached by object identity."""
+    cached = _INDEX_CACHE.get(id(site))
+    if cached is not None and cached[0] is site:
+        return cached[1]
+    index = _FeatureIndex(site)
+    if len(_INDEX_CACHE) > 64:  # keep the cache bounded across many sites
+        _INDEX_CACHE.clear()
+    _INDEX_CACHE[id(site)] = (site, index)
+    return index
+
+
+@dataclass(frozen=True)
+class XPathWrapper(Wrapper):
+    """An XPATH rule: a frozen root-path feature set."""
+
+    features: frozenset[tuple[PathAttribute, Hashable]]
+
+    def extract(self, corpus: Site) -> Labels:
+        index = _index_for(corpus)
+        wanted = self.features
+        return frozenset(
+            node_id
+            for node_id, feature_set in index.as_set.items()
+            if wanted <= feature_set
+        )
+
+    @property
+    def exactly_renderable(self) -> bool:
+        """True when :meth:`to_xpath` evaluates to exactly ``extract``.
+
+        A child-number constraint at a position with no tag constraint
+        renders as an unfiltered ``*`` step, which is strictly more
+        general than the feature test.
+        """
+        positions_with_childnum = {
+            pos for (pos, kind), _ in self.features if kind == "childnum"
+        }
+        positions_with_tag = {
+            pos for (pos, kind), _ in self.features if kind == "tag"
+        }
+        return positions_with_childnum <= positions_with_tag
+
+    def to_xpath(self) -> LocationPath:
+        """Render the feature set as a path in the supported fragment."""
+        by_position: dict[int, dict[str, Hashable]] = {}
+        for (position, kind), value in self.features:
+            by_position.setdefault(position, {})[kind] = value
+        max_position = max(by_position, default=0)
+        steps: list[Step] = []
+        for position in range(max_position, 0, -1):
+            kinds = by_position.get(position, {})
+            predicates: list[Predicate] = []
+            test = str(kinds.get("tag", "*"))
+            if "childnum" in kinds and "tag" in kinds:
+                predicates.append(PositionPredicate(int(kinds["childnum"])))
+            for kind, value in sorted(kinds.items()):
+                if kind.startswith("@"):
+                    predicates.append(
+                        AttributePredicate(name=kind[1:], value=str(value))
+                    )
+            axis = Axis.DESCENDANT if position == max_position else Axis.CHILD
+            steps.append(Step(axis=axis, test=test, predicates=tuple(predicates)))
+        if not steps:
+            steps = [Step(axis=Axis.DESCENDANT, test="*", predicates=())]
+        return LocationPath(steps=tuple(steps), selects_text=True)
+
+    def rule(self) -> str:
+        return str(self.to_xpath())
+
+
+class XPathInductor(FeatureBasedInductor):
+    """Induces :class:`XPathWrapper` rules from labeled text nodes."""
+
+    def feature_map(self, corpus: Site, node_id: NodeId) -> dict[Attribute, Hashable]:
+        return _index_for(corpus).by_node[node_id]
+
+    def attribute_stream(self, corpus: Site, labels: Labels) -> Iterator[Attribute]:
+        """All attributes any label carries (finite: bounded by tree depth)."""
+        seen: set[Attribute] = set()
+        index = _index_for(corpus)
+        for node_id in sorted(labels):
+            for attr in index.by_node[node_id]:
+                if attr not in seen:
+                    seen.add(attr)
+                    yield attr
+
+    def wrapper_for_features(
+        self, corpus: Site, features: dict[Attribute, Hashable]
+    ) -> XPathWrapper:
+        return XPathWrapper(features=frozenset(features.items()))
+
+    def candidates(self, corpus: Site) -> Labels:
+        return corpus.text_node_ids()

@@ -1,0 +1,28 @@
+"""XPath substrate: the fragment of xpath used by the XPATH wrapper family.
+
+The paper (Sec. 5, following Dalvi et al., SIGMOD'09) uses a simple
+fragment: child steps (``/``), descendant steps (``//``), the wildcard
+name test (``*``), attribute filters (``[@class='x']``), child-number
+filters (``td[2]``) and a trailing ``text()`` step.  This subpackage
+provides a parser to an AST and an evaluator over
+:class:`repro.htmldom.Document` trees.
+"""
+
+from repro.xpathlang.ast import (
+    AttributePredicate,
+    LocationPath,
+    PositionPredicate,
+    Step,
+)
+from repro.xpathlang.evaluator import evaluate
+from repro.xpathlang.parser import XPathSyntaxError, parse_xpath
+
+__all__ = [
+    "AttributePredicate",
+    "LocationPath",
+    "PositionPredicate",
+    "Step",
+    "XPathSyntaxError",
+    "evaluate",
+    "parse_xpath",
+]

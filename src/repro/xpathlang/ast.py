@@ -1,0 +1,72 @@
+"""AST node types for the xpath fragment.
+
+A :class:`LocationPath` is a sequence of :class:`Step` objects plus a flag
+for a trailing ``text()`` step.  Each step has an axis (``child`` or
+``descendant``), a name test (a tag name or ``*``), and a list of
+predicates — positional (``[2]``) or attribute-equality (``[@a='v']``).
+
+All AST types are immutable and hashable so wrappers built on them can be
+deduplicated and used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Axis(enum.Enum):
+    CHILD = "/"
+    DESCENDANT = "//"
+
+
+@dataclass(frozen=True, slots=True)
+class PositionPredicate:
+    """``[n]`` — keep the n-th node (1-based) of the current candidate list
+    within each parent group."""
+
+    position: int
+
+    def __str__(self) -> str:
+        return f"[{self.position}]"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributePredicate:
+    """``[@name='value']`` — keep nodes whose attribute equals ``value``."""
+
+    name: str
+    value: str
+
+    def __str__(self) -> str:
+        escaped = self.value.replace("'", "\\'")
+        return f"[@{self.name}='{escaped}']"
+
+
+Predicate = PositionPredicate | AttributePredicate
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One location step: axis, name test, and predicates (applied in order)."""
+
+    axis: Axis
+    test: str  # tag name, or "*" for any element
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        return f"{self.axis.value}{self.test}" + "".join(str(p) for p in self.predicates)
+
+
+@dataclass(frozen=True, slots=True)
+class LocationPath:
+    """An absolute location path, optionally ending in ``/text()``."""
+
+    steps: tuple[Step, ...]
+    selects_text: bool = False
+
+    def __str__(self) -> str:
+        body = "".join(str(s) for s in self.steps)
+        if self.selects_text:
+            return body + "/text()"
+        return body

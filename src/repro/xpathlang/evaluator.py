@@ -1,0 +1,131 @@
+"""Evaluator for the xpath fragment over :class:`repro.htmldom.Document`.
+
+Semantics follow XPath 1.0 restricted to the fragment:
+
+- a child step maps each context element to its matching element
+  children;
+- a descendant step (``//``) maps each context element to matching
+  elements anywhere below it, with positional predicates evaluated
+  *within each parent group* (the expansion of ``//td[2]`` via
+  ``descendant-or-self::node()/child::td[2]``);
+- predicates apply in order, and a positional predicate re-ranks the
+  list filtered so far;
+- a trailing ``text()`` step selects the text-node children of the final
+  element set.
+
+Results are returned in document order without duplicates.
+"""
+
+from __future__ import annotations
+
+from repro.htmldom.dom import Document, ElementNode, Node, TextNode
+from repro.xpathlang.ast import (
+    AttributePredicate,
+    Axis,
+    LocationPath,
+    PositionPredicate,
+    Step,
+)
+from repro.xpathlang.parser import parse_xpath
+
+
+def evaluate(path: LocationPath | str, document: Document) -> list[Node]:
+    """Evaluate ``path`` against ``document``; return matched nodes in document order."""
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    context: list[ElementNode] = [document.root]
+    for index, step in enumerate(path.steps):
+        if index == 0:
+            # The (implicit) document node sits above the root element, so
+            # the first step can select the root element itself: "/html"
+            # addresses it directly and "//div" may match it via
+            # descendant-or-self.
+            root_group = (
+                [document.root]
+                if step.test in ("*", document.root.tag)
+                else []
+            )
+            matched = _apply_predicates(root_group, step.predicates)
+            if step.axis is Axis.DESCENDANT:
+                matched = matched + _apply_step(context, step)
+            context = _document_order_elements(matched)
+        else:
+            context = _apply_step(context, step)
+        if not context:
+            break
+    if path.selects_text:
+        found: list[Node] = []
+        for element in context:
+            found.extend(c for c in element.children if isinstance(c, TextNode))
+        return _document_order(found, document)
+    return _document_order(list(context), document)
+
+
+def _apply_step(context: list[ElementNode], step: Step) -> list[ElementNode]:
+    """Apply one location step to the current context node list."""
+    results: list[ElementNode] = []
+    seen: set[int] = set()
+    for node in context:
+        if step.axis is Axis.DESCENDANT:
+            groups = _descendant_groups(node, step.test)
+        else:
+            groups = [_select_children(node, step.test)]
+        for group in groups:
+            for matched in _apply_predicates(group, step.predicates):
+                if id(matched) not in seen:
+                    seen.add(id(matched))
+                    results.append(matched)
+    return results
+
+
+def _select_children(parent: ElementNode, test: str) -> list[ElementNode]:
+    return [
+        c
+        for c in parent.children
+        if isinstance(c, ElementNode) and (test == "*" or c.tag == test)
+    ]
+
+
+def _descendant_groups(node: ElementNode, test: str) -> list[list[ElementNode]]:
+    """Matching descendants of ``node``, grouped by parent (document order).
+
+    Grouping by parent is what gives positional predicates their XPath
+    meaning under the ``//`` axis.  ``node`` itself participates as a
+    parent (descendant-or-self), but is never a result.
+    """
+    groups: list[list[ElementNode]] = []
+    for element in node.iter_elements():
+        group = _select_children(element, test)
+        if group:
+            groups.append(group)
+    return groups
+
+
+def _apply_predicates(group: list[ElementNode], predicates: tuple) -> list[ElementNode]:
+    current = group
+    for predicate in predicates:
+        if isinstance(predicate, PositionPredicate):
+            index = predicate.position - 1
+            current = [current[index]] if 0 <= index < len(current) else []
+        else:
+            assert isinstance(predicate, AttributePredicate)
+            current = [
+                n for n in current if n.attrs.get(predicate.name) == predicate.value
+            ]
+    return current
+
+
+def _document_order(nodes: list[Node], document: Document) -> list[Node]:
+    """Sort ``nodes`` by pre-order index and drop duplicates."""
+    unique: dict[int, Node] = {}
+    for node in nodes:
+        unique.setdefault(id(node), node)
+    return sorted(unique.values(), key=lambda n: n.node_id.preorder)
+
+
+def _document_order_elements(nodes: list[ElementNode]) -> list[ElementNode]:
+    """Deduplicate elements, preserving document order by pre-order index."""
+    unique: dict[int, ElementNode] = {}
+    for node in nodes:
+        unique.setdefault(id(node), node)
+    return sorted(unique.values(), key=lambda n: n.node_id.preorder)

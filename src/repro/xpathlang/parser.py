@@ -1,0 +1,161 @@
+"""Recursive-descent parser for the xpath fragment.
+
+Accepted grammar (whitespace-insensitive between tokens)::
+
+    path       := step-list ( "/text()" )?
+    step-list  := ( "/" | "//" ) step ( ( "/" | "//" ) step )*
+    step       := nametest predicate*
+    nametest   := NAME | "*"
+    predicate  := "[" INTEGER "]"
+                | "[@" NAME "=" ( "'" chars "'" | '"' chars '"' ) "]"
+
+Examples: ``//div[@class='dealerlinks']/tr/td/u/text()``,
+``//table[1]/tr/td[2]/text()``, ``//*``.
+"""
+
+from __future__ import annotations
+
+from repro.xpathlang.ast import (
+    AttributePredicate,
+    Axis,
+    LocationPath,
+    PositionPredicate,
+    Predicate,
+    Step,
+)
+
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_:."
+)
+
+
+class XPathSyntaxError(ValueError):
+    """Raised when the input is not a valid path in the fragment."""
+
+
+class _Cursor:
+    """Tiny scanning helper with single-token lookahead over a string."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos : self.pos + n]
+
+    def take(self, expected: str) -> None:
+        if not self.text.startswith(expected, self.pos):
+            raise XPathSyntaxError(
+                f"expected {expected!r} at position {self.pos} in {self.text!r}"
+            )
+        self.pos += len(expected)
+
+    def take_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise XPathSyntaxError(
+                f"expected a name at position {start} in {self.text!r}"
+            )
+        return self.text[start : self.pos]
+
+    def take_integer(self) -> int:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        if self.pos == start:
+            raise XPathSyntaxError(
+                f"expected an integer at position {start} in {self.text!r}"
+            )
+        return int(self.text[start : self.pos])
+
+    def take_quoted(self) -> str:
+        quote = self.peek()
+        if quote not in "'\"":
+            raise XPathSyntaxError(
+                f"expected a quoted string at position {self.pos} in {self.text!r}"
+            )
+        self.pos += 1
+        start = self.pos
+        out: list[str] = []
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "\\" and self.peek(2) in ("\\'", '\\"'):
+                out.append(self.text[self.pos + 1])
+                self.pos += 2
+                continue
+            if ch == quote:
+                self.pos += 1
+                return "".join(out)
+            out.append(ch)
+            self.pos += 1
+        raise XPathSyntaxError(f"unterminated string starting at {start} in {self.text!r}")
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse ``text`` into a :class:`LocationPath`.
+
+    Raises:
+        XPathSyntaxError: if the input is not in the supported fragment.
+    """
+    cursor = _Cursor(text.strip())
+    steps: list[Step] = []
+    selects_text = False
+    if cursor.eof():
+        raise XPathSyntaxError("empty xpath")
+    while not cursor.eof():
+        axis = _parse_axis(cursor)
+        if cursor.peek(6) == "text()":
+            cursor.take("text()")
+            if axis is not Axis.CHILD or not steps:
+                raise XPathSyntaxError("text() must be a trailing /text() step")
+            selects_text = True
+            break
+        steps.append(_parse_step(cursor, axis))
+    if not cursor.eof():
+        raise XPathSyntaxError(
+            f"trailing characters at position {cursor.pos} in {text!r}"
+        )
+    if not steps:
+        raise XPathSyntaxError("xpath has no steps")
+    return LocationPath(steps=tuple(steps), selects_text=selects_text)
+
+
+def _parse_axis(cursor: _Cursor) -> Axis:
+    if cursor.peek(2) == "//":
+        cursor.take("//")
+        return Axis.DESCENDANT
+    cursor.take("/")
+    return Axis.CHILD
+
+
+def _parse_step(cursor: _Cursor, axis: Axis) -> Step:
+    if cursor.peek() == "*":
+        cursor.take("*")
+        test = "*"
+    else:
+        test = cursor.take_name().lower()
+    predicates: list[Predicate] = []
+    while cursor.peek() == "[":
+        predicates.append(_parse_predicate(cursor))
+    return Step(axis=axis, test=test, predicates=tuple(predicates))
+
+
+def _parse_predicate(cursor: _Cursor) -> Predicate:
+    cursor.take("[")
+    if cursor.peek() == "@":
+        cursor.take("@")
+        name = cursor.take_name().lower()
+        cursor.take("=")
+        value = cursor.take_quoted()
+        cursor.take("]")
+        return AttributePredicate(name=name, value=value)
+    position = cursor.take_integer()
+    cursor.take("]")
+    return PositionPredicate(position=position)

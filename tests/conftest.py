@@ -1,0 +1,117 @@
+"""Shared fixtures: sample pages, sites, grids and small datasets.
+
+Dataset fixtures are session-scoped — generation is deterministic, so
+sharing them across test modules is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.dealers import generate_dealers
+from repro.datasets.disc import generate_disc
+from repro.datasets.products import generate_products
+from repro.site import Site
+from repro.wrappers.table import Grid
+
+DEALER_PAGE_TEMPLATE = """
+<html><head><title>Dealers near {zipcode}</title></head><body>
+<div class="header"><h1>Acme Dealer Locator</h1></div>
+<ul class="nav"><li>Home</li><li>About Us</li><li>Contact</li></ul>
+<div class="dealerlinks">
+ <table>
+  {rows}
+ </table>
+</div>
+<div class="footer"><p>&copy; 2010 Acme</p></div>
+</body></html>
+"""
+
+DEALER_ROW_TEMPLATE = (
+    '<tr><td><u>{name}</u><br>{street}<br>{city}</td>'
+    '<td><a href="#">Map</a></td></tr>'
+)
+
+DEALERS_BY_PAGE = [
+    [
+        ("PORTER FURNITURE", "201 HWY. 30 WEST", "NEW ALBANY, MS 38652"),
+        ("WOODLAND FURNITURE", "123 MAIN ST.", "WOODLAND, MS 39776"),
+        ("SUMMIT INTERIORS", "77 LAKE AVE.", "TUPELO, MS 38801"),
+    ],
+    [
+        ("HOUSE OF VALUES", "2565 SO EL CAMINO REAL", "SAN MATEO, CA 94403"),
+        ("KIDDIE WORLD CENTER", "1899 W. SAN CARLOS ST.", "SAN JOSE, CA 95128"),
+    ],
+    [
+        ("LULLABY LANE", "532 SAN MATEO AVE.", "SAN BRUNO, CA 94066"),
+        ("HELLERS FOR CHILDREN", "514 4TH STREET", "SAN RAFAEL, CA 94901"),
+        ("STANLEY GALLERY", "90 POST ST.", "SAN FRANCISCO, CA 94102"),
+        ("BAYSIDE KIDS", "12 HARBOR BLVD.", "SAUSALITO, CA 94965"),
+    ],
+]
+
+
+def _dealer_page(zipcode: str, dealers) -> str:
+    rows = "\n  ".join(
+        DEALER_ROW_TEMPLATE.format(name=n, street=s, city=c) for n, s, c in dealers
+    )
+    return DEALER_PAGE_TEMPLATE.format(zipcode=zipcode, rows=rows)
+
+
+@pytest.fixture(scope="session")
+def dealer_site() -> Site:
+    """A hand-written 3-page dealer-locator site (paper Fig. 1 style)."""
+    pages = [
+        _dealer_page(zipcode, dealers)
+        for zipcode, dealers in zip(("38652", "94403", "94066"), DEALERS_BY_PAGE)
+    ]
+    return Site.from_html("acme-dealers", pages)
+
+
+@pytest.fixture(scope="session")
+def dealer_names() -> list[str]:
+    return [name for page in DEALERS_BY_PAGE for name, _, _ in page]
+
+
+@pytest.fixture(scope="session")
+def paper_grid() -> Grid:
+    """The 5x4 table of the paper's Example 1."""
+    return Grid(5, 4)
+
+
+@pytest.fixture(scope="session")
+def paper_labels(paper_grid):
+    """The label set {n1, n2, n4, a4, z5} of Example 1 (two are wrong)."""
+    return frozenset(
+        {
+            paper_grid.cell(0, 0),  # n1
+            paper_grid.cell(1, 0),  # n2
+            paper_grid.cell(3, 0),  # n4
+            paper_grid.cell(3, 1),  # a4  (incorrect label)
+            paper_grid.cell(4, 2),  # z5  (incorrect label)
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dealers():
+    """A small deterministic DEALERS dataset shared across tests."""
+    return generate_dealers(n_sites=8, pages_per_site=6, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_dealers_zip():
+    """DEALERS with zipcodes as their own text nodes (multi-type tests)."""
+    return generate_dealers(n_sites=8, pages_per_site=6, seed=11, separate_zip=True)
+
+
+@pytest.fixture(scope="session")
+def small_disc():
+    """A small deterministic DISC dataset shared across tests."""
+    return generate_disc(n_sites=4, seed=23)
+
+
+@pytest.fixture(scope="session")
+def small_products():
+    """A small deterministic PRODUCTS dataset shared across tests."""
+    return generate_products(n_sites=4, pages_per_site=5, seed=37)

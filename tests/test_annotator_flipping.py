@@ -1,0 +1,68 @@
+"""Tests for the Sec. 6 annotator-flipping remark.
+
+When ``1 - p > r`` the annotator labels wrong nodes more often than
+right ones; Eq. 4 is then maximised by the complement of the label set,
+so flipping the annotator's output restores an informative signal.
+"""
+
+import pytest
+
+from repro.annotators import FlippedAnnotator, OracleNoiseAnnotator
+from repro.ranking.annotation import AnnotationModel, NoiseProfile
+from repro.site import Site
+
+
+@pytest.fixture()
+def site():
+    rows = "".join(
+        f"<tr><td><u>N{i}</u></td><td>A{i}</td></tr>" for i in range(1, 7)
+    )
+    return Site.from_html("flip", [f"<table>{rows}</table>"])
+
+
+@pytest.fixture()
+def gold(site):
+    return frozenset(
+        node_id
+        for i in range(1, 7)
+        for node_id in site.find_text_nodes(f"N{i}")
+    )
+
+
+class TestEq4FlipIdentity:
+    def test_uninformative_profile_prefers_complement(self, site, gold):
+        """With 1-p > r, Eq. 4 scores the complement of L above L."""
+        model = AnnotationModel(NoiseProfile(p=0.3, r=0.4))  # 1-p=0.7 > r
+        universe = site.text_node_ids()
+        labels = gold  # pretend the annotator emitted these
+        complement = universe - labels
+        assert model.log_likelihood(labels, complement) > model.log_likelihood(
+            labels, labels
+        )
+
+    def test_informative_profile_prefers_labels(self, site, gold):
+        model = AnnotationModel(NoiseProfile(p=0.9, r=0.4))
+        universe = site.text_node_ids()
+        assert model.log_likelihood(gold, gold) > model.log_likelihood(
+            gold, universe - gold
+        )
+
+
+class TestFlippedAnnotatorRecoversSignal:
+    def test_flip_of_anti_annotator_is_informative(self, site, gold):
+        """An annotator that labels mostly *non*-gold nodes becomes a
+        decent gold annotator after flipping."""
+        anti = OracleNoiseAnnotator(gold, p1=0.05, p2=0.95, seed=13)
+        flipped = FlippedAnnotator(anti)
+        labels = flipped.annotate(site)
+        hit_rate = len(labels & gold) / len(gold)
+        universe = site.text_node_ids()
+        false_rate = len(labels - gold) / max(1, len(universe - gold))
+        assert hit_rate > 0.7
+        assert false_rate < 0.3
+
+    def test_double_flip_is_identity(self, site, gold):
+        anti = OracleNoiseAnnotator(gold, p1=0.2, p2=0.8, seed=5)
+        once = FlippedAnnotator(anti)
+        twice = FlippedAnnotator(once)
+        assert twice.annotate(site) == anti.annotate(site)

@@ -1,0 +1,147 @@
+"""Tests for the automatic annotators."""
+
+import pytest
+
+from repro.annotators import (
+    DictionaryAnnotator,
+    OracleNoiseAnnotator,
+    RegexAnnotator,
+    UnionAnnotator,
+    measure_noise,
+)
+from repro.annotators.dictionary import normalize_mention
+from repro.annotators.regex import zipcode_annotator
+from repro.site import Site
+
+
+@pytest.fixture()
+def site():
+    return Site.from_html(
+        "ann",
+        [
+            "<ul><li>Office Depot</li><li>BestBuy</li><li>Corner Store</li>"
+            "<li>38652</li><li>Call 38652 today</li><li>123456</li></ul>"
+        ],
+    )
+
+
+class TestNormalizeMention:
+    def test_case_folding(self):
+        assert normalize_mention("BestBuy") == normalize_mention("BESTBUY")
+
+    def test_whitespace_collapse(self):
+        assert normalize_mention("  Office   Depot \n") == "office depot"
+
+
+class TestDictionaryAnnotator:
+    def test_exact_mentions_labeled(self, site):
+        annotator = DictionaryAnnotator(["Office Depot", "BestBuy"])
+        labels = annotator.annotate(site)
+        texts = {site.text_node(n).text for n in labels}
+        assert texts == {"Office Depot", "BestBuy"}
+
+    def test_case_insensitive(self, site):
+        annotator = DictionaryAnnotator(["OFFICE DEPOT"])
+        assert len(annotator.annotate(site)) == 1
+
+    def test_no_partial_matches(self, site):
+        annotator = DictionaryAnnotator(["Office"])
+        assert annotator.annotate(site) == frozenset()
+
+    def test_rejects_empty_dictionary(self):
+        with pytest.raises(ValueError):
+            DictionaryAnnotator([])
+
+    def test_blank_entries_ignored(self):
+        with pytest.raises(ValueError):
+            DictionaryAnnotator(["", "   "])
+
+
+class TestRegexAnnotator:
+    def test_search_mode(self, site):
+        labels = zipcode_annotator().annotate(site)
+        texts = {site.text_node(n).text for n in labels}
+        assert texts == {"38652", "Call 38652 today"}
+
+    def test_full_match_mode(self, site):
+        annotator = RegexAnnotator(r"\d{5}", full_match=True)
+        labels = annotator.annotate(site)
+        texts = {site.text_node(n).text for n in labels}
+        assert texts == {"38652"}
+
+    def test_zipcode_rejects_six_digits(self, site):
+        labels = zipcode_annotator().annotate(site)
+        texts = {site.text_node(n).text for n in labels}
+        assert "123456" not in texts
+
+
+class TestOracleNoiseAnnotator:
+    def test_deterministic_for_seed(self, site):
+        gold = frozenset(site.find_text_nodes("Office Depot"))
+        a = OracleNoiseAnnotator(gold, p1=0.7, p2=0.1, seed=5).annotate(site)
+        b = OracleNoiseAnnotator(gold, p1=0.7, p2=0.1, seed=5).annotate(site)
+        assert a == b
+
+    def test_p1_one_p2_zero_is_perfect(self, site):
+        gold = frozenset(site.find_text_nodes("Office Depot"))
+        labels = OracleNoiseAnnotator(gold, p1=1.0, p2=0.0, seed=1).annotate(site)
+        assert labels == gold
+
+    def test_p1_zero_labels_no_gold(self, site):
+        gold = frozenset(site.find_text_nodes("Office Depot"))
+        labels = OracleNoiseAnnotator(gold, p1=0.0, p2=0.0, seed=1).annotate(site)
+        assert labels == frozenset()
+
+    def test_rates_approximately_respected(self, small_dealers):
+        generated = small_dealers.sites[0]
+        gold = generated.gold["name"]
+        labels = OracleNoiseAnnotator(gold, p1=0.5, p2=0.0, seed=3).annotate(
+            generated.site
+        )
+        recall = len(labels & gold) / len(gold)
+        assert 0.2 < recall < 0.8
+        assert labels <= gold
+
+    def test_invalid_probability(self, site):
+        with pytest.raises(ValueError):
+            OracleNoiseAnnotator(frozenset(), p1=1.5, p2=0.0, seed=1)
+
+
+class TestUnionAnnotator:
+    def test_union(self, site):
+        union = UnionAnnotator(
+            [
+                DictionaryAnnotator(["Office Depot"]),
+                DictionaryAnnotator(["BestBuy"]),
+            ]
+        )
+        assert len(union.annotate(site)) == 2
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            UnionAnnotator([])
+
+
+class TestMeasureNoise:
+    def test_perfect(self):
+        from repro.htmldom.dom import NodeId
+
+        gold = frozenset({NodeId(0, 1), NodeId(0, 2)})
+        assert measure_noise(gold, gold, 10) == (1.0, 1.0)
+
+    def test_empty_labels(self):
+        from repro.htmldom.dom import NodeId
+
+        gold = frozenset({NodeId(0, 1)})
+        precision, recall = measure_noise(frozenset(), gold, 10)
+        assert precision == 1.0
+        assert recall == 0.0
+
+    def test_half_precision(self):
+        from repro.htmldom.dom import NodeId
+
+        gold = frozenset({NodeId(0, 1)})
+        labels = frozenset({NodeId(0, 1), NodeId(0, 2)})
+        precision, recall = measure_noise(labels, gold, 10)
+        assert precision == 0.5
+        assert recall == 1.0

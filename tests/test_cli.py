@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_parses(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.dataset == "dealers"
+        assert args.inductor == "xpath"
+        assert args.methods == "naive,ntw"
+
+    def test_experiment_custom(self):
+        args = build_parser().parse_args(
+            ["experiment", "--dataset", "disc", "--inductor", "lr", "--sites", "4"]
+        )
+        assert args.dataset == "disc"
+        assert args.inductor == "lr"
+        assert args.sites == 4
+
+    def test_unknown_inductor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--inductor", "magic"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "NAIVE rule" in out
+        assert "NTW rule" in out
+        assert "PORTER FURNITURE" in out
+
+    def test_experiment_runs(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "--dataset",
+                "dealers",
+                "--sites",
+                "6",
+                "--pages",
+                "4",
+                "--per-site",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "naive" in out
+        assert "ntw" in out
+        assert "f1" in out
+
+    def test_experiment_lr(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--dataset",
+                    "dealers",
+                    "--inductor",
+                    "lr",
+                    "--sites",
+                    "4",
+                    "--pages",
+                    "4",
+                    "--methods",
+                    "ntw",
+                ]
+            )
+            == 0
+        )
+        assert "ntw" in capsys.readouterr().out
+
+    def test_enumerate_runs(self, capsys):
+        assert (
+            main(
+                ["enumerate", "--sites", "3", "--pages", "4", "--max-labels", "12"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "TopDown" in out
+        assert "BottomUp" in out
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--dataset", "nope", "--sites", "2"])

@@ -1,0 +1,163 @@
+"""Tests for the rendering machinery: every layout family, chrome, and
+the LR-hostile ``bold-cols`` construction."""
+
+import random
+
+import pytest
+
+from repro.datasets.templates import (
+    LAYOUTS,
+    Chrome,
+    ListingLayout,
+    PageEmitter,
+    make_class,
+)
+from repro.htmldom.treebuilder import parse_html
+from repro.site import Site
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+# Field values deliberately share no trailing/leading characters, so the
+# only common LR context is the markup itself (as on real listing pages
+# where streets, cities and phones vary freely).
+RECORDS = [
+    {"name": "ALPHA STORES", "street": "1 Main St.", "phone": "555-0001"},
+    {"name": "BETA OUTLET", "street": "2 Oak Avenue", "phone": "661-33"},
+    {"name": "GAMMA DEPOT", "street": "3 Elm Road", "phone": "910-7742"},
+]
+
+FIELDS = ("name", "street", "phone")
+
+
+def render(kind: str, seed: int = 3) -> tuple[str, list]:
+    rng = random.Random(seed)
+    layout = ListingLayout.build(rng, primary="name", fields=FIELDS, kind=kind)
+    out = PageEmitter()
+    out.raw("<html><body>")
+    layout.emit(out, RECORDS, {"name": "name"})
+    out.raw("</body></html>")
+    return out.html(), out.spans
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_renders_parseable_page(self, kind):
+        html, spans = render(kind)
+        doc = parse_html(html)
+        assert doc.text_nodes()
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_gold_spans_cover_names(self, kind):
+        html, spans = render(kind)
+        assert len(spans) == len(RECORDS)
+        for span, record in zip(spans, RECORDS):
+            assert html[span.start : span.end] == record["name"]
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_gold_names_resolve_to_text_nodes(self, kind):
+        html, spans = render(kind)
+        doc = parse_html(html)
+        for span in spans:
+            node = doc.text_node_containing(span.start)
+            assert node is not None
+            assert node.start <= span.start and span.end <= node.end
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_all_field_values_present(self, kind):
+        html, _ = render(kind)
+        doc = parse_html(html)
+        text = doc.root.text_content()
+        for record in RECORDS:
+            for value in record.values():
+                assert value in text
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_name_xpath_separable(self, kind):
+        """On every layout the XPATH inductor isolates names exactly."""
+        html, spans = render(kind)
+        site = Site.from_html("t", [html])
+        gold = frozenset(
+            site.pages[0].text_node_containing(span.start).node_id
+            for span in spans
+        )
+        wrapper = XPathInductor().induce(site, gold)
+        assert wrapper.extract(site) == gold
+
+
+class TestBoldCols:
+    def test_lr_cannot_isolate_names(self):
+        """The defining property: no LR delimiter pair separates the
+        name column from the rotating bold promo column."""
+        html, spans = render("bold-cols")
+        site = Site.from_html("t", [html])
+        gold = frozenset(
+            site.pages[0].text_node_containing(span.start).node_id
+            for span in spans
+        )
+        wrapper = LRInductor().induce(site, gold)
+        extracted = wrapper.extract(site)
+        assert gold < extracted  # promos leak in
+        leaked = {site.text_node(n).text for n in extracted - gold}
+        assert leaked <= {
+            "In Stock",
+            "Call for availability",
+            "Authorized dealer",
+        }
+
+    def test_xpath_still_isolates_names(self):
+        html, spans = render("bold-cols")
+        site = Site.from_html("t", [html])
+        gold = frozenset(
+            site.pages[0].text_node_containing(span.start).node_id
+            for span in spans
+        )
+        assert XPathInductor().induce(site, gold).extract(site) == gold
+
+
+class TestChrome:
+    def test_header_nav_footer(self):
+        rng = random.Random(1)
+        chrome = Chrome.build(rng, "Test Site")
+        out = PageEmitter()
+        chrome.emit_head(out, "Page One")
+        chrome.emit_header(out, rng)
+        chrome.emit_sidebar(out, rng, noise_entries=["BESTBUY"])
+        chrome.emit_footer(out, rng)
+        doc = parse_html(out.html())
+        text = doc.root.text_content()
+        assert "Test Site" in text
+        assert "BESTBUY" in text
+        assert "©" in text
+
+    def test_noise_entries_are_standalone_nodes(self):
+        rng = random.Random(2)
+        chrome = Chrome.build(rng, "S")
+        out = PageEmitter()
+        out.raw("<html><body>")
+        chrome.emit_sidebar(out, rng, noise_entries=["OFFICE DEPOT"])
+        out.raw("</body></html>")
+        doc = parse_html(out.html())
+        matches = [
+            t for t in doc.text_nodes() if t.text.strip() == "OFFICE DEPOT"
+        ]
+        assert len(matches) == 1
+
+    def test_sidebar_without_noise(self):
+        rng = random.Random(3)
+        chrome = Chrome.build(rng, "S")
+        out = PageEmitter()
+        chrome.emit_sidebar(out, rng, noise_entries=None)
+        assert "<h4>" not in out.html()
+
+
+class TestMakeClass:
+    def test_deterministic_per_rng_state(self):
+        assert make_class(random.Random(7)) == make_class(random.Random(7))
+
+    def test_produces_valid_css_tokens(self):
+        rng = random.Random(9)
+        for _ in range(50):
+            name = make_class(rng)
+            assert name
+            assert " " not in name
+            assert "<" not in name

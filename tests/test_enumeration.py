@@ -1,0 +1,175 @@
+"""Tests for the enumeration algorithms (paper Sec. 4, Theorems 1-3).
+
+The key property: Naive, BottomUp and TopDown produce identical wrapper
+spaces; TopDown makes exactly k inductor calls; BottomUp makes at most
+k * |L|.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumeration import (
+    enumerate_bottom_up,
+    enumerate_naive,
+    enumerate_top_down,
+)
+from repro.enumeration.naive import MAX_NAIVE_LABELS, naive_call_count
+from repro.site import Site
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.table import Grid, TableInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+GRID = Grid(5, 4)
+
+_SITE = Site.from_html(
+    "enum",
+    [
+        "<div><table>"
+        "<tr><td><u>N1</u></td><td>S1</td></tr>"
+        "<tr><td><u>N2</u></td><td>S2</td></tr>"
+        "</table><p>promo</p></div>",
+        "<div><table><tr><td><u>N3</u></td><td>S3</td></tr></table><p>ad</p></div>",
+    ],
+)
+_SITE_IDS = sorted(_SITE.iter_text_node_ids())
+
+grid_labels = st.sets(
+    st.sampled_from(sorted(GRID.all_cells())), min_size=1, max_size=7
+).map(frozenset)
+
+site_labels = st.sets(st.sampled_from(_SITE_IDS), min_size=1, max_size=5).map(
+    frozenset
+)
+
+
+class TestPaperExample2:
+    """Example 2 walks BottomUp over the Example 1 labels."""
+
+    def test_wrapper_space_is_exactly_eight(self, paper_grid, paper_labels):
+        result = enumerate_naive(TableInductor(), paper_grid, paper_labels)
+        assert result.size == 8
+
+    def test_bottom_up_matches_naive(self, paper_grid, paper_labels):
+        naive = enumerate_naive(TableInductor(), paper_grid, paper_labels)
+        bottom_up = enumerate_bottom_up(TableInductor(), paper_grid, paper_labels)
+        assert set(naive.wrappers) == set(bottom_up.wrappers)
+
+    def test_top_down_matches_naive(self, paper_grid, paper_labels):
+        naive = enumerate_naive(TableInductor(), paper_grid, paper_labels)
+        top_down = enumerate_top_down(TableInductor(), paper_grid, paper_labels)
+        assert set(naive.wrappers) == set(top_down.wrappers)
+
+    def test_expected_rules(self, paper_grid, paper_labels):
+        result = enumerate_top_down(TableInductor(), paper_grid, paper_labels)
+        rules = sorted(w.rule() for w in result.wrappers)
+        assert rules == [
+            "cell[0,0]",
+            "cell[1,0]",
+            "cell[3,0]",
+            "cell[3,1]",
+            "cell[4,2]",
+            "col[0]",
+            "row[3]",
+            "table",
+        ]
+
+    def test_top_down_call_count_is_k(self, paper_grid, paper_labels):
+        result = enumerate_top_down(TableInductor(), paper_grid, paper_labels)
+        assert result.inductor_calls == result.size == 8
+
+    def test_bottom_up_call_bound(self, paper_grid, paper_labels):
+        result = enumerate_bottom_up(TableInductor(), paper_grid, paper_labels)
+        assert result.inductor_calls <= result.size * len(paper_labels)
+
+
+class TestNaive:
+    def test_call_count_formula(self):
+        labels = frozenset({GRID.cell(0, 0), GRID.cell(1, 1), GRID.cell(2, 2)})
+        result = enumerate_naive(TableInductor(), GRID, labels)
+        assert result.inductor_calls == naive_call_count(labels) == 7
+
+    def test_refuses_oversized_label_sets(self):
+        big_grid = Grid(6, 6)
+        labels = frozenset(sorted(big_grid.all_cells())[: MAX_NAIVE_LABELS + 1])
+        with pytest.raises(ValueError):
+            enumerate_naive(TableInductor(), big_grid, labels)
+
+    def test_empty_label_set(self):
+        result = enumerate_naive(TableInductor(), GRID, frozenset())
+        assert result.size == 0
+        assert result.inductor_calls == 0
+
+
+class TestAgreementProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(grid_labels)
+    def test_three_algorithms_agree_on_grids(self, labels):
+        inductor = TableInductor()
+        naive = enumerate_naive(inductor, GRID, labels)
+        bottom_up = enumerate_bottom_up(inductor, GRID, labels)
+        top_down = enumerate_top_down(inductor, GRID, labels)
+        assert set(naive.wrappers) == set(bottom_up.wrappers)
+        assert set(naive.wrappers) == set(top_down.wrappers)
+
+    @settings(max_examples=25, deadline=None)
+    @given(site_labels)
+    def test_three_algorithms_agree_for_xpath(self, labels):
+        inductor = XPathInductor()
+        naive = enumerate_naive(inductor, _SITE, labels)
+        bottom_up = enumerate_bottom_up(inductor, _SITE, labels)
+        top_down = enumerate_top_down(inductor, _SITE, labels)
+        assert set(naive.wrappers) == set(bottom_up.wrappers)
+        assert set(naive.wrappers) == set(top_down.wrappers)
+
+    @settings(max_examples=25, deadline=None)
+    @given(site_labels)
+    def test_three_algorithms_agree_for_lr(self, labels):
+        inductor = LRInductor()
+        naive = enumerate_naive(inductor, _SITE, labels)
+        bottom_up = enumerate_bottom_up(inductor, _SITE, labels)
+        top_down = enumerate_top_down(inductor, _SITE, labels)
+        assert set(naive.wrappers) == set(bottom_up.wrappers)
+        assert set(naive.wrappers) == set(top_down.wrappers)
+
+    @settings(max_examples=50, deadline=None)
+    @given(grid_labels)
+    def test_theorem3_exactly_k_calls(self, labels):
+        result = enumerate_top_down(TableInductor(), GRID, labels)
+        assert result.inductor_calls == result.size
+
+    @settings(max_examples=50, deadline=None)
+    @given(grid_labels)
+    def test_theorem2_call_bound(self, labels):
+        result = enumerate_bottom_up(TableInductor(), GRID, labels)
+        assert result.inductor_calls <= max(1, result.size * len(labels))
+
+    @settings(max_examples=25, deadline=None)
+    @given(site_labels)
+    def test_full_label_wrapper_always_present(self, labels):
+        inductor = XPathInductor()
+        full = inductor.induce(_SITE, labels)
+        result = enumerate_top_down(inductor, _SITE, labels)
+        assert full in set(result.wrappers)
+
+    @settings(max_examples=25, deadline=None)
+    @given(site_labels)
+    def test_singleton_wrappers_always_present(self, labels):
+        inductor = XPathInductor()
+        result = enumerate_top_down(inductor, _SITE, labels)
+        wrappers = set(result.wrappers)
+        for node_id in labels:
+            assert inductor.induce(_SITE, frozenset({node_id})) in wrappers
+
+
+class TestTopDownGuards:
+    def test_requires_feature_based(self):
+        class NotFeatureBased:
+            pass
+
+        with pytest.raises(TypeError):
+            enumerate_top_down(NotFeatureBased(), GRID, frozenset())
+
+    def test_empty_labels(self):
+        result = enumerate_top_down(TableInductor(), GRID, frozenset())
+        assert result.size == 0

@@ -1,0 +1,61 @@
+"""Scaling regressions for enumeration (paper Sec. 3's n x n remark).
+
+"If given all possible n^2 labels on an n x n table, the 2^(n^2) subsets
+result in only n^2 + 2n + 1 unique wrappers" — check the closed form,
+and that call counts track the theorems as the instance grows.
+"""
+
+import pytest
+
+from repro.enumeration import enumerate_bottom_up, enumerate_top_down
+from repro.wrappers.table import Grid, TableInductor
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+class TestFullGridWrapperSpace:
+    def test_closed_form_size(self, n):
+        grid = Grid(n, n)
+        labels = grid.all_cells()
+        result = enumerate_top_down(TableInductor(), grid, labels)
+        assert result.size == n * n + 2 * n + 1
+
+    def test_top_down_calls_equal_k(self, n):
+        grid = Grid(n, n)
+        result = enumerate_top_down(TableInductor(), grid, grid.all_cells())
+        assert result.inductor_calls == result.size
+
+    def test_bottom_up_within_bound(self, n):
+        grid = Grid(n, n)
+        labels = grid.all_cells()
+        result = enumerate_bottom_up(TableInductor(), grid, labels)
+        assert result.inductor_calls <= result.size * len(labels)
+
+    def test_bottom_up_agrees_with_top_down(self, n):
+        grid = Grid(n, n)
+        labels = grid.all_cells()
+        bottom_up = enumerate_bottom_up(TableInductor(), grid, labels)
+        top_down = enumerate_top_down(TableInductor(), grid, labels)
+        assert set(bottom_up.wrappers) == set(top_down.wrappers)
+
+
+class TestRectangularGrids:
+    def test_rows_by_cols_closed_form(self):
+        # For an r x c grid with all labels: every cell, every row,
+        # every column, plus the whole table.
+        grid = Grid(3, 5)
+        result = enumerate_top_down(TableInductor(), grid, grid.all_cells())
+        assert result.size == 3 * 5 + 3 + 5 + 1
+
+    def test_single_row_grid(self):
+        """With one row, every label shares row=0, so the whole-table
+        wrapper is unreachable: the space is the 4 cells plus the row."""
+        grid = Grid(1, 4)
+        result = enumerate_top_down(TableInductor(), grid, grid.all_cells())
+        rules = {w.rule() for w in result.wrappers}
+        assert rules == {
+            "cell[0,0]",
+            "cell[0,1]",
+            "cell[0,2]",
+            "cell[0,3]",
+            "row[0]",
+        }

@@ -1,0 +1,118 @@
+"""Tests for metrics and the experiment runner."""
+
+import pytest
+
+from repro.evaluation.metrics import PRF, aggregate, prf, record_prf
+from repro.evaluation.runner import (
+    METHODS,
+    SingleTypeExperiment,
+    fit_models,
+    split_sites,
+)
+from repro.htmldom.dom import NodeId
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def ids(*preorders):
+    return frozenset(NodeId(0, p) for p in preorders)
+
+
+class TestPRF:
+    def test_perfect(self):
+        result = prf(ids(1, 2), ids(1, 2))
+        assert result.precision == result.recall == result.f1 == 1.0
+
+    def test_half_precision(self):
+        result = prf(ids(1, 2), ids(1))
+        assert result.precision == 0.5
+        assert result.recall == 1.0
+        assert result.f1 == pytest.approx(2 / 3)
+
+    def test_empty_prediction_convention(self):
+        result = prf(frozenset(), ids(1))
+        assert result.precision == 1.0
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_empty_gold_convention(self):
+        result = prf(ids(1), frozenset())
+        assert result.recall == 1.0
+
+    def test_both_empty(self):
+        result = prf(frozenset(), frozenset())
+        assert result.f1 == 1.0
+
+    def test_aggregate_macro_averages(self):
+        combined = aggregate([PRF(1.0, 0.0), PRF(0.0, 1.0)])
+        assert combined.precision == 0.5
+        assert combined.recall == 0.5
+
+    def test_aggregate_empty(self):
+        assert aggregate([]).f1 == 0.0
+
+    def test_str_format(self):
+        assert "F1=" in str(PRF(0.5, 0.5))
+
+
+class TestRecordPRF:
+    def test_exact_tuple_matching(self):
+        gold = [(("name", NodeId(0, 1)), ("zip", NodeId(0, 2)))]
+        assert record_prf(gold, gold).f1 == 1.0
+
+    def test_partial(self):
+        gold = [("a",), ("b",)]
+        predicted = [("a",), ("c",)]
+        result = record_prf(predicted, gold)
+        assert result.precision == 0.5
+        assert result.recall == 0.5
+
+
+class TestSplitAndFit:
+    def test_split_is_half_and_disjoint(self, small_dealers):
+        train, test = split_sites(small_dealers.sites)
+        assert len(train) + len(test) == len(small_dealers.sites)
+        assert not ({s.name for s in train} & {s.name for s in test})
+
+    def test_fit_models_estimates_profile(self, small_dealers):
+        train, _ = split_sites(small_dealers.sites)
+        models = fit_models(train, small_dealers.annotator(), "name")
+        profile = models.annotation.profile
+        assert profile.r < 0.5  # the dictionary has low recall
+        assert profile.p > 0.8
+
+
+class TestSingleTypeExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self, small_dealers):
+        return SingleTypeExperiment(
+            small_dealers.sites,
+            small_dealers.annotator(),
+            XPathInductor(),
+            gold_type="name",
+        )
+
+    def test_all_methods_run(self, experiment):
+        outcomes = experiment.run(methods=METHODS)
+        assert set(outcomes) == set(METHODS)
+        for outcome in outcomes.values():
+            assert len(outcome.per_site) == len(experiment.test)
+
+    def test_ntw_beats_naive(self, experiment):
+        outcomes = experiment.run(methods=("naive", "ntw"))
+        assert outcomes["ntw"].overall.f1 >= outcomes["naive"].overall.f1
+
+    def test_naive_recall_is_high(self, experiment):
+        outcomes = experiment.run(methods=("naive",))
+        assert outcomes["naive"].overall.recall >= 0.9
+
+    def test_evaluate_on_all(self, experiment, small_dealers):
+        outcomes = experiment.run(methods=("ntw",), evaluate_on="all")
+        assert len(outcomes["ntw"].per_site) == len(small_dealers.sites)
+
+    def test_unknown_method_rejected(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.run(methods=("magic",))
+
+    def test_unknown_split_rejected(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.run(methods=("ntw",), evaluate_on="everything")

@@ -1,0 +1,67 @@
+"""Tests for report rendering."""
+
+from repro.evaluation.metrics import PRF
+from repro.evaluation.report import (
+    format_grid,
+    format_per_site_table,
+    format_prf_table,
+    summarize_prf,
+)
+from repro.evaluation.runner import MethodOutcome
+
+
+def outcome(method, values):
+    result = MethodOutcome(method=method)
+    for index, (precision, recall) in enumerate(values):
+        result.per_site.append(PRF(precision, recall))
+        result.site_names.append(f"site-{index}")
+    return result
+
+
+class TestPrfTable:
+    def test_contains_all_methods(self):
+        outcomes = {
+            "naive": outcome("naive", [(0.5, 1.0)]),
+            "ntw": outcome("ntw", [(1.0, 1.0)]),
+        }
+        table = format_prf_table(outcomes, title="demo")
+        assert "demo" in table
+        assert "naive" in table
+        assert "ntw" in table
+        assert "1.000" in table
+
+    def test_values_are_macro_averages(self):
+        outcomes = {"m": outcome("m", [(1.0, 0.0), (0.0, 1.0)])}
+        table = format_prf_table(outcomes)
+        assert "0.500" in table
+
+
+class TestPerSiteTable:
+    def test_one_row_per_site(self):
+        outcomes = {
+            "ntw": outcome("ntw", [(1.0, 1.0), (0.5, 0.5)]),
+        }
+        table = format_per_site_table(outcomes)
+        assert "site-0" in table
+        assert "site-1" in table
+
+    def test_empty_outcomes(self):
+        assert format_per_site_table({}, title="t") == "t"
+
+
+class TestGrid:
+    def test_table1_layout(self):
+        table = {(0.1, 0.05): 0.4, (0.1, 0.3): 0.7, (0.9, 0.05): 0.7, (0.9, 0.3): 0.97}
+        text = format_grid(table, (0.1, 0.9), (0.05, 0.3))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "0.97" in lines[-1]
+        assert lines[0].startswith("p\\r")
+
+
+class TestSummarize:
+    def test_one_line(self):
+        line = summarize_prf(PRF(1.0, 0.5))
+        assert "precision=1.000" in line
+        assert "f1=" in line
+        assert "\n" not in line

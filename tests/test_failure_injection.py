@@ -1,0 +1,153 @@
+"""Failure injection: the pipeline must degrade gracefully, not crash.
+
+Wrapper induction runs against whatever HTML the crawler hands it:
+truncated transfers, botched markup, pages with no lists, annotators
+that label nothing or everything.  These tests drive such inputs
+through every layer.
+"""
+
+import pytest
+
+from repro.annotators import DictionaryAnnotator, FlippedAnnotator
+from repro.enumeration import enumerate_bottom_up, enumerate_top_down
+from repro.framework.naive import NaiveWrapperLearner
+from repro.framework.ntw import NoiseTolerantWrapper
+from repro.framework.single_entity import SingleEntityLearner
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.ranking.scorer import WrapperScorer
+from repro.site import Site
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+GOOD_PAGE = (
+    "<div class='r'><table>"
+    "<tr><td><u>N1</u></td><td>A1</td></tr>"
+    "<tr><td><u>N2</u></td><td>A2</td></tr>"
+    "</table></div>"
+)
+
+BROKEN_PAGES = [
+    GOOD_PAGE[: len(GOOD_PAGE) // 2],  # truncated transfer
+    "<div><table><tr><td><u>N3</u><td>A3<tr><td><u>N4",  # unclosed soup
+    "plain text, no markup at all",
+    "",  # empty body
+    "<p>&bogus; &#xFFFFFFF; <<<>>></p>",  # entity & bracket garbage
+    GOOD_PAGE,  # one good page among the wreckage
+]
+
+
+@pytest.fixture()
+def wrecked_site():
+    return Site.from_html("wrecked", BROKEN_PAGES)
+
+
+@pytest.fixture()
+def scorer():
+    clean = Site.from_html("clean", [GOOD_PAGE])
+    gold = frozenset(
+        node_id
+        for text in ("N1", "N2")
+        for node_id in clean.find_text_nodes(text)
+    )
+    return WrapperScorer(
+        AnnotationModel.from_rates(p=0.9, r=0.5),
+        PublicationModel.fit([(clean, gold)]),
+    )
+
+
+class TestParsingWreckage:
+    def test_every_page_parses(self, wrecked_site):
+        assert len(wrecked_site) == len(BROKEN_PAGES)
+
+    def test_text_nodes_have_valid_spans(self, wrecked_site):
+        for page in wrecked_site.pages:
+            for node in page.text_nodes():
+                assert 0 <= node.start <= node.end <= len(page.source)
+
+
+class TestPipelineOnWreckage:
+    def _labels(self, site):
+        return frozenset(
+            node_id
+            for text in ("N1", "N3", "A1")
+            for node_id in site.find_text_nodes(text)
+        )
+
+    def test_xpath_ntw_does_not_crash(self, wrecked_site, scorer):
+        labels = self._labels(wrecked_site)
+        result = NoiseTolerantWrapper(XPathInductor(), scorer).learn(
+            wrecked_site, labels
+        )
+        assert result.best is not None
+        assert result.extracted  # extracted something
+
+    def test_lr_ntw_does_not_crash(self, wrecked_site, scorer):
+        labels = self._labels(wrecked_site)
+        result = NoiseTolerantWrapper(LRInductor(), scorer).learn(
+            wrecked_site, labels
+        )
+        assert result.best is not None
+
+    def test_naive_does_not_crash(self, wrecked_site):
+        labels = self._labels(wrecked_site)
+        assert NaiveWrapperLearner(XPathInductor()).extract(
+            wrecked_site, labels
+        )
+
+    def test_enumerators_agree_on_wreckage(self, wrecked_site):
+        labels = self._labels(wrecked_site)
+        for inductor in (XPathInductor(), LRInductor()):
+            top_down = enumerate_top_down(inductor, wrecked_site, labels)
+            bottom_up = enumerate_bottom_up(inductor, wrecked_site, labels)
+            assert set(top_down.wrappers) == set(bottom_up.wrappers)
+
+    def test_single_entity_on_sparse_site(self, wrecked_site):
+        labels = frozenset(wrecked_site.find_text_nodes("N1"))
+        result = SingleEntityLearner(XPathInductor()).learn(
+            wrecked_site, labels
+        )
+        # May or may not find a winner, but must not crash and any
+        # winner must match at most one node per page.
+        if result.winners:
+            extracted = result.extracted(wrecked_site)
+            pages = [n.page for n in extracted]
+            assert len(pages) == len(set(pages))
+
+
+class TestDegenerateAnnotations:
+    def test_label_everything(self, wrecked_site, scorer):
+        labels = wrecked_site.text_node_ids()
+        result = NoiseTolerantWrapper(
+            XPathInductor(), scorer, max_labels=16
+        ).learn(wrecked_site, labels)
+        assert result.best is not None
+
+    def test_label_first_node_only(self, wrecked_site, scorer):
+        first = min(wrecked_site.text_node_ids())
+        result = NoiseTolerantWrapper(XPathInductor(), scorer).learn(
+            wrecked_site, frozenset({first})
+        )
+        assert first in result.extracted
+
+    def test_flipped_annotator_complements(self, wrecked_site):
+        inner = DictionaryAnnotator(["N1"])
+        flipped = FlippedAnnotator(inner)
+        inner_labels = inner.annotate(wrecked_site)
+        flipped_labels = flipped.annotate(wrecked_site)
+        assert inner_labels & flipped_labels == frozenset()
+        assert inner_labels | flipped_labels == wrecked_site.text_node_ids()
+
+    def test_dictionary_on_empty_site(self):
+        site = Site.from_html("empty", ["", "   "])
+        assert DictionaryAnnotator(["X"]).annotate(site) == frozenset()
+
+
+class TestSingletonSite:
+    def test_one_page_one_record(self, scorer):
+        site = Site.from_html("tiny", ["<p><b>ONLY</b></p>"])
+        labels = frozenset(site.find_text_nodes("ONLY"))
+        result = NoiseTolerantWrapper(XPathInductor(), scorer).learn(
+            site, labels
+        )
+        assert result.extracted == labels

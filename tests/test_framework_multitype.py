@@ -1,0 +1,168 @@
+"""Tests for multi-type record extraction (Appendix A)."""
+
+import pytest
+
+from repro.annotators.regex import zipcode_annotator
+from repro.framework.multitype import (
+    MultiTypeNTW,
+    MultiTypeWrapper,
+    NaiveMultiType,
+    Record,
+    assemble_records,
+)
+from repro.htmldom.dom import NodeId
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.site import Site
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+def nid(page, preorder):
+    return NodeId(page=page, preorder=preorder)
+
+
+class TestAssembly:
+    def test_simple_alternation(self):
+        site = Site.from_html("x", ["<p>a</p>"])
+        extractions = {
+            "name": frozenset({nid(0, 1), nid(0, 5)}),
+            "zipcode": frozenset({nid(0, 3), nid(0, 7)}),
+        }
+        records = assemble_records(extractions, "name", site)
+        assert records is not None
+        assert len(records) == 2
+        assert records[0].get("zipcode") == nid(0, 3)
+
+    def test_missing_secondary_allowed(self):
+        site = Site.from_html("x", ["<p>a</p>"])
+        extractions = {
+            "name": frozenset({nid(0, 1), nid(0, 5)}),
+            "zipcode": frozenset({nid(0, 7)}),
+        }
+        records = assemble_records(extractions, "name", site)
+        assert records is not None
+        assert records[0].get("zipcode") is None
+
+    def test_secondary_before_primary_fails(self):
+        site = Site.from_html("x", ["<p>a</p>"])
+        extractions = {
+            "name": frozenset({nid(0, 5)}),
+            "zipcode": frozenset({nid(0, 1)}),
+        }
+        assert assemble_records(extractions, "name", site) is None
+
+    def test_duplicate_secondary_fails(self):
+        site = Site.from_html("x", ["<p>a</p>"])
+        extractions = {
+            "name": frozenset({nid(0, 1)}),
+            "zipcode": frozenset({nid(0, 3), nid(0, 4)}),
+        }
+        assert assemble_records(extractions, "name", site) is None
+
+    def test_pages_assembled_independently(self):
+        site = Site.from_html("x", ["<p>a</p>", "<p>b</p>"])
+        extractions = {
+            "name": frozenset({nid(0, 1), nid(1, 1)}),
+            "zipcode": frozenset({nid(0, 2), nid(1, 2)}),
+        }
+        records = assemble_records(extractions, "name", site)
+        assert len(records) == 2
+
+    def test_record_get_missing_type(self):
+        record = Record(fields=(("name", nid(0, 1)),))
+        assert record.get("zipcode") is None
+
+
+@pytest.fixture(scope="module")
+def zipped_dataset(request):
+    from repro.datasets.dealers import generate_dealers
+
+    return generate_dealers(n_sites=6, pages_per_site=6, seed=11, separate_zip=True)
+
+
+def _models(dataset):
+    name_ann = dataset.annotator()
+    zip_ann = zipcode_annotator()
+    triples = {"name": [], "zipcode": []}
+    pairs, type_maps = [], []
+    for generated in dataset.sites[:3]:
+        total = generated.site.total_text_nodes()
+        triples["name"].append(
+            (name_ann.annotate(generated.site), generated.gold["name"], total)
+        )
+        triples["zipcode"].append(
+            (zip_ann.annotate(generated.site), generated.gold["zipcode"], total)
+        )
+        type_map = {n: "name" for n in generated.gold["name"]} | {
+            z: "zipcode" for z in generated.gold["zipcode"]
+        }
+        pairs.append((generated.site, frozenset(type_map)))
+        type_maps.append(type_map)
+    annotation = {t: AnnotationModel.estimate(ts) for t, ts in triples.items()}
+    publication = PublicationModel.fit(
+        pairs, type_maps=type_maps, boundary_type="name"
+    )
+    return name_ann, zip_ann, annotation, publication
+
+
+class TestMultiTypeLearning:
+    def test_ntw_beats_naive_on_records(self, zipped_dataset):
+        name_ann, zip_ann, annotation, publication = _models(zipped_dataset)
+        inductor = XPathInductor()
+        ntw_hits = naive_hits = total = 0
+        for generated in zipped_dataset.sites[3:]:
+            labels = {
+                "name": name_ann.annotate(generated.site),
+                "zipcode": zip_ann.annotate(generated.site),
+            }
+            gold_names = generated.gold["name"]
+            naive = NaiveMultiType(inductor, primary="name").learn(
+                generated.site, labels
+            )
+            naive_records = naive.extract_records(generated.site) if naive else []
+            result = MultiTypeNTW(
+                inductor, annotation, publication, primary="name"
+            ).learn(generated.site, labels)
+            total += len(gold_names)
+            naive_hits += sum(
+                1 for r in naive_records if r.get("name") in gold_names
+            )
+            ntw_hits += sum(
+                1 for r in result.records if r.get("name") in gold_names
+            )
+        assert ntw_hits > naive_hits
+        assert ntw_hits == total
+
+    def test_ntw_extractions_match_gold(self, zipped_dataset):
+        name_ann, zip_ann, annotation, publication = _models(zipped_dataset)
+        generated = zipped_dataset.sites[3]
+        labels = {
+            "name": name_ann.annotate(generated.site),
+            "zipcode": zip_ann.annotate(generated.site),
+        }
+        result = MultiTypeNTW(
+            XPathInductor(), annotation, publication, primary="name"
+        ).learn(generated.site, labels)
+        assert result.extractions["name"] == generated.gold["name"]
+        assert result.extractions["zipcode"] == generated.gold["zipcode"]
+
+    def test_empty_type_labels_yield_no_wrapper(self, zipped_dataset):
+        _, _, annotation, publication = _models(zipped_dataset)
+        generated = zipped_dataset.sites[3]
+        result = MultiTypeNTW(
+            XPathInductor(), annotation, publication, primary="name"
+        ).learn(generated.site, {"name": frozenset(), "zipcode": frozenset()})
+        assert result.best is None
+
+    def test_wrapper_rule_mentions_types(self):
+        from repro.wrappers.xpath_inductor import XPathWrapper
+
+        wrapper = MultiTypeWrapper(
+            rules=(
+                ("name", XPathWrapper(frozenset())),
+                ("zipcode", XPathWrapper(frozenset())),
+            ),
+            primary="name",
+        )
+        assert "name:" in wrapper.rule()
+        assert "zipcode:" in wrapper.rule()

@@ -1,0 +1,51 @@
+"""Tests for the NAIVE baseline learner."""
+
+import pytest
+
+from repro.framework.naive import NaiveWrapperLearner
+from repro.site import Site
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+@pytest.fixture()
+def site():
+    return Site.from_html(
+        "naive",
+        [
+            "<table><tr><td><u>N1</u></td><td>A1</td></tr>"
+            "<tr><td><u>N2</u></td><td>A2</td></tr></table>"
+        ],
+    )
+
+
+class TestNaiveLearner:
+    def test_learn_returns_inductor_wrapper(self, site):
+        labels = frozenset(site.find_text_nodes("N1"))
+        learner = NaiveWrapperLearner(XPathInductor())
+        wrapper = learner.learn(site, labels)
+        assert wrapper == XPathInductor().induce(site, labels)
+
+    def test_learn_empty_labels_returns_none(self, site):
+        assert NaiveWrapperLearner(XPathInductor()).learn(site, frozenset()) is None
+
+    def test_extract_empty_labels_returns_empty(self, site):
+        assert (
+            NaiveWrapperLearner(LRInductor()).extract(site, frozenset())
+            == frozenset()
+        )
+
+    def test_extract_covers_labels(self, site):
+        labels = frozenset(
+            site.find_text_nodes("N1") + site.find_text_nodes("A2")
+        )
+        extracted = NaiveWrapperLearner(XPathInductor()).extract(site, labels)
+        assert labels <= extracted
+
+    def test_single_bad_label_floods_extraction(self, site):
+        clean = frozenset(
+            site.find_text_nodes("N1") + site.find_text_nodes("N2")
+        )
+        noisy = clean | frozenset(site.find_text_nodes("A1"))
+        learner = NaiveWrapperLearner(XPathInductor())
+        assert len(learner.extract(site, noisy)) > len(learner.extract(site, clean))

@@ -1,0 +1,136 @@
+"""Tests for the noise-tolerant wrapper pipeline."""
+
+import pytest
+
+from repro.framework.naive import NaiveWrapperLearner
+from repro.framework.ntw import (
+    MAX_ENUMERATION_LABELS,
+    NoiseTolerantWrapper,
+    subsample_labels,
+)
+from repro.htmldom.dom import NodeId
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.ranking.scorer import WrapperScorer
+from repro.site import Site
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+@pytest.fixture()
+def site():
+    def page(rows):
+        body = "".join(
+            f"<tr><td><u>{n}</u></td><td>{a}</td><td>{p}</td></tr>"
+            for n, a, p in rows
+        )
+        return f"<div class='res'><table>{body}</table></div><div class='x'><p>promo</p></div>"
+
+    return Site.from_html(
+        "pipeline",
+        [
+            page([("N1", "A1", "P1"), ("N2", "A2", "P2"), ("N3", "A3", "P3")]),
+            page([("N4", "A4", "P4"), ("N5", "A5", "P5")]),
+        ],
+    )
+
+
+@pytest.fixture()
+def gold(site):
+    return frozenset(
+        node_id
+        for i in range(1, 6)
+        for node_id in site.find_text_nodes(f"N{i}")
+    )
+
+
+@pytest.fixture()
+def scorer(site, gold):
+    return WrapperScorer(
+        AnnotationModel.from_rates(p=0.95, r=0.6),
+        PublicationModel.fit([(site, gold)]),
+    )
+
+
+def noisy(site, gold):
+    """Four correct labels plus the promo node (a false positive)."""
+    return frozenset(sorted(gold)[:4]) | frozenset(site.find_text_nodes("promo"))
+
+
+class TestSubsampleLabels:
+    def test_small_sets_unchanged(self):
+        labels = frozenset({NodeId(0, i) for i in range(5)})
+        assert subsample_labels(labels, 10) == labels
+
+    def test_large_sets_reduced(self):
+        labels = frozenset({NodeId(0, i) for i in range(100)})
+        sampled = subsample_labels(labels, 10)
+        assert len(sampled) == 10
+        assert sampled <= labels
+
+    def test_deterministic(self):
+        labels = frozenset({NodeId(0, i) for i in range(100)})
+        assert subsample_labels(labels, 7) == subsample_labels(labels, 7)
+
+
+class TestNoiseTolerantWrapper:
+    def test_recovers_from_noise_xpath(self, site, gold, scorer):
+        learner = NoiseTolerantWrapper(XPathInductor(), scorer)
+        result = learner.learn(site, noisy(site, gold))
+        assert result.extracted == gold
+
+    def test_recovers_from_noise_lr(self, site, gold, scorer):
+        learner = NoiseTolerantWrapper(LRInductor(), scorer)
+        result = learner.learn(site, noisy(site, gold))
+        assert result.extracted == gold
+
+    def test_naive_fails_on_same_input(self, site, gold):
+        naive = NaiveWrapperLearner(XPathInductor())
+        extracted = naive.extract(site, noisy(site, gold))
+        assert extracted != gold
+        assert gold < extracted  # over-generalization, not misses
+
+    def test_bottom_up_enumerator_agrees(self, site, gold, scorer):
+        top_down = NoiseTolerantWrapper(
+            XPathInductor(), scorer, enumerator="top_down"
+        ).learn(site, noisy(site, gold))
+        bottom_up = NoiseTolerantWrapper(
+            XPathInductor(), scorer, enumerator="bottom_up"
+        ).learn(site, noisy(site, gold))
+        assert top_down.extracted == bottom_up.extracted
+
+    def test_empty_labels(self, site, scorer):
+        result = NoiseTolerantWrapper(XPathInductor(), scorer).learn(
+            site, frozenset()
+        )
+        assert result.best is None
+        assert result.extracted == frozenset()
+
+    def test_ranked_list_is_sorted(self, site, gold, scorer):
+        result = NoiseTolerantWrapper(XPathInductor(), scorer).learn(
+            site, noisy(site, gold)
+        )
+        scores = [rw.score for rw in result.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rejects_unknown_enumerator(self, scorer):
+        with pytest.raises(ValueError):
+            NoiseTolerantWrapper(XPathInductor(), scorer, enumerator="magic")
+
+    def test_top_down_requires_feature_based(self, scorer):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            NoiseTolerantWrapper(Opaque(), scorer, enumerator="top_down")
+
+    def test_default_max_labels(self, scorer):
+        learner = NoiseTolerantWrapper(XPathInductor(), scorer)
+        assert learner.max_labels == MAX_ENUMERATION_LABELS
+
+    def test_enumeration_result_attached(self, site, gold, scorer):
+        result = NoiseTolerantWrapper(XPathInductor(), scorer).learn(
+            site, noisy(site, gold)
+        )
+        assert result.enumeration is not None
+        assert result.enumeration.size == len(result.ranked)

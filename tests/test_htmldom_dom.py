@@ -1,0 +1,99 @@
+"""Tests for DOM navigation primitives."""
+
+import pytest
+
+from repro.htmldom.dom import ElementNode, NodeId, TextNode
+from repro.htmldom.treebuilder import parse_html
+
+
+@pytest.fixture()
+def doc():
+    return parse_html(
+        "<div><table>"
+        "<tr><td>a</td><td>b</td></tr>"
+        "<tr><td>c</td><td>d</td><th>h</th></tr>"
+        "</table></div>"
+    )
+
+
+class TestNavigation:
+    def test_ancestors_order(self, doc):
+        first_text = doc.text_nodes()[0]
+        chain = [a.tag for a in first_text.ancestors()]
+        assert chain == ["td", "tr", "table", "div", "html"]
+
+    def test_root(self, doc):
+        assert doc.text_nodes()[0].root() is doc.root
+
+    def test_child_elements_excludes_text(self, doc):
+        td = doc.text_nodes()[0].parent
+        assert td.child_elements() == []
+
+    def test_is_text_is_element(self, doc):
+        assert doc.text_nodes()[0].is_text
+        assert not doc.text_nodes()[0].is_element
+        assert doc.root.is_element
+
+    def test_text_content(self, doc):
+        table = doc.root.children[0].children[0]
+        assert table.text_content() == "abcdh"
+
+    def test_iter_text_nodes_in_document_order(self, doc):
+        texts = [t.text for t in doc.root.iter_text_nodes()]
+        assert texts == ["a", "b", "c", "d", "h"]
+
+
+class TestChildNumber:
+    def test_same_tag_siblings(self, doc):
+        table = doc.root.children[0].children[0]
+        second_row = table.children[1]
+        tds = [c for c in second_row.children if c.tag == "td"]
+        th = [c for c in second_row.children if c.tag == "th"][0]
+        assert tds[0].child_number() == 1
+        assert tds[1].child_number() == 2
+        # th is the first *th*, not the third cell
+        assert th.child_number() == 1
+
+    def test_root_child_number(self, doc):
+        assert doc.root.child_number() == 1
+
+    def test_mixed_tags_counted_separately(self):
+        doc = parse_html("<div><p>a</p><span>b</span><p>c</p></div>")
+        div = doc.root.children[0]
+        p_nodes = [c for c in div.children if c.tag == "p"]
+        assert [p.child_number() for p in p_nodes] == [1, 2]
+
+
+class TestNodeId:
+    def test_ordering(self):
+        assert NodeId(0, 5) < NodeId(0, 9) < NodeId(1, 0)
+
+    def test_hashable_and_equal(self):
+        assert NodeId(1, 2) == NodeId(1, 2)
+        assert len({NodeId(1, 2), NodeId(1, 2)}) == 1
+
+    def test_frozen(self):
+        node_id = NodeId(0, 0)
+        with pytest.raises(AttributeError):
+            node_id.page = 3  # type: ignore[misc]
+
+
+class TestManualConstruction:
+    def test_append_sets_parent(self):
+        parent = ElementNode("div")
+        child = TextNode("x")
+        parent.append(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_preorder_of_manual_tree(self):
+        root = ElementNode("html")
+        a = ElementNode("a")
+        b = ElementNode("b")
+        root.append(a)
+        a.append(TextNode("t"))
+        root.append(b)
+        tags = [
+            getattr(n, "tag", "#text") for n in root.iter_preorder()
+        ]
+        assert tags == ["html", "a", "#text", "b"]

@@ -1,0 +1,81 @@
+"""Tests for HTML entity decoding/encoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.htmldom.entities import decode_entities, encode_entities
+
+
+class TestDecodeEntities:
+    def test_plain_text_unchanged(self):
+        assert decode_entities("hello world") == "hello world"
+
+    def test_named_amp(self):
+        assert decode_entities("Smith &amp; Sons") == "Smith & Sons"
+
+    def test_named_lt_gt(self):
+        assert decode_entities("&lt;b&gt;") == "<b>"
+
+    def test_named_quot_apos(self):
+        assert decode_entities("&quot;x&apos;") == "\"x'"
+
+    def test_nbsp_becomes_nonbreaking_space(self):
+        assert decode_entities("a&nbsp;b") == "a\xa0b"
+
+    def test_copy_sign(self):
+        assert decode_entities("&copy; 2010") == "© 2010"
+
+    def test_decimal_reference(self):
+        assert decode_entities("&#65;") == "A"
+
+    def test_hex_reference(self):
+        assert decode_entities("&#x41;") == "A"
+
+    def test_hex_reference_uppercase_x(self):
+        assert decode_entities("&#X41;") == "A"
+
+    def test_unknown_named_reference_left_verbatim(self):
+        assert decode_entities("&bogus;") == "&bogus;"
+
+    def test_unterminated_reference_left_verbatim(self):
+        assert decode_entities("a & b") == "a & b"
+
+    def test_reference_without_semicolon(self):
+        assert decode_entities("&ampx") == "&ampx"
+
+    def test_out_of_range_numeric_left_verbatim(self):
+        assert decode_entities("&#1114112;") == "&#1114112;"
+
+    def test_zero_numeric_left_verbatim(self):
+        assert decode_entities("&#0;") == "&#0;"
+
+    def test_adjacent_references(self):
+        assert decode_entities("&lt;&gt;&amp;") == "<>&"
+
+    def test_empty_string(self):
+        assert decode_entities("") == ""
+
+    def test_malformed_numeric(self):
+        assert decode_entities("&#xZZ;") == "&#xZZ;"
+
+
+class TestEncodeEntities:
+    def test_escapes_angle_brackets(self):
+        assert encode_entities("<b>") == "&lt;b&gt;"
+
+    def test_escapes_ampersand_first(self):
+        assert encode_entities("&lt;") == "&amp;lt;"
+
+    def test_quote_only_when_requested(self):
+        assert encode_entities('a"b') == 'a"b'
+        assert encode_entities('a"b', quote=True) == "a&quot;b"
+
+    @given(st.text())
+    def test_roundtrip_decode_of_encode(self, text):
+        assert decode_entities(encode_entities(text, quote=True)) == text
+
+    @given(st.text())
+    def test_encoded_output_has_no_raw_markup_chars(self, text):
+        encoded = encode_entities(text)
+        assert "<" not in encoded
+        assert ">" not in encoded

@@ -1,0 +1,65 @@
+"""Tests for HTML serialization and structural token streams."""
+
+from repro.htmldom.serializer import TEXT_TOKEN, to_html, to_structure_tokens
+from repro.htmldom.treebuilder import parse_html
+
+
+def reparse(html: str):
+    return parse_html(to_html(parse_html(html).root))
+
+
+class TestToHtml:
+    def test_roundtrip_preserves_structure(self):
+        source = '<div class="x"><table><tr><td><u>A</u><br>B</td></tr></table></div>'
+        first = parse_html(source)
+        second = reparse(source)
+        assert to_structure_tokens(first.root) == to_structure_tokens(second.root)
+
+    def test_roundtrip_preserves_text(self):
+        source = "<p>Smith &amp; Sons</p>"
+        doc = reparse(source)
+        assert doc.root.text_content() == "Smith & Sons"
+
+    def test_void_elements_not_closed(self):
+        html = to_html(parse_html("<td>a<br>b</td>").root)
+        assert "<br>" in html
+        assert "</br>" not in html
+
+    def test_attributes_quoted_and_escaped(self):
+        html = to_html(parse_html('<div class="a&amp;b">x</div>').root)
+        assert 'class="a&amp;b"' in html
+
+    def test_indented_output_reparses_identically(self):
+        source = "<div><p>one</p><p>two</p></div>"
+        pretty = to_html(parse_html(source).root, indent=2)
+        assert "\n" in pretty
+        assert to_structure_tokens(parse_html(pretty).root) == to_structure_tokens(
+            parse_html(source).root
+        )
+
+
+class TestStructureTokens:
+    def test_text_nodes_become_placeholder(self):
+        doc = parse_html("<td><u>PORTER</u></td>")
+        assert to_structure_tokens(doc.root) == ["html", "td", "u", TEXT_TOKEN]
+
+    def test_preorder_order(self):
+        doc = parse_html("<div><p>a</p><span>b</span></div>")
+        assert to_structure_tokens(doc.root) == [
+            "html",
+            "div",
+            "p",
+            TEXT_TOKEN,
+            "span",
+            TEXT_TOKEN,
+        ]
+
+    def test_single_text_node(self):
+        doc = parse_html("<p>x</p>")
+        text = doc.text_nodes()[0]
+        assert to_structure_tokens(text) == [TEXT_TOKEN]
+
+    def test_identical_structure_different_content(self):
+        a = parse_html("<td><u>PORTER</u><br>201 HWY</td>")
+        b = parse_html("<td><u>WOODLAND</u><br>123 MAIN</td>")
+        assert to_structure_tokens(a.root) == to_structure_tokens(b.root)

@@ -1,0 +1,166 @@
+"""Tests for HTML tree construction."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.htmldom.dom import ElementNode, TextNode
+from repro.htmldom.treebuilder import parse_html
+
+
+def tags_under(element) -> list[str]:
+    return [c.tag for c in element.children if isinstance(c, ElementNode)]
+
+
+class TestBasicTrees:
+    def test_root_is_html(self):
+        doc = parse_html("<p>x</p>")
+        assert doc.root.tag == "html"
+
+    def test_explicit_html_root_is_merged(self):
+        doc = parse_html("<html><body><p>x</p></body></html>")
+        assert doc.root.tag == "html"
+        assert tags_under(doc.root) == ["body"]
+
+    def test_nesting(self):
+        doc = parse_html("<div><table><tr><td>x</td></tr></table></div>")
+        div = doc.root.children[0]
+        assert div.tag == "div"
+        table = div.children[0]
+        tr = table.children[0]
+        td = tr.children[0]
+        assert [table.tag, tr.tag, td.tag] == ["table", "tr", "td"]
+        assert td.children[0].text == "x"
+
+    def test_attributes_preserved(self):
+        doc = parse_html('<div class="dealerlinks">x</div>')
+        assert doc.root.children[0].attrs == {"class": "dealerlinks"}
+
+    def test_whitespace_only_text_dropped(self):
+        doc = parse_html("<div>\n   <p>x</p>\n </div>")
+        div = doc.root.children[0]
+        assert len(div.children) == 1
+
+    def test_text_node_spans_recorded(self):
+        source = "<td>PORTER</td>"
+        doc = parse_html(source)
+        node = doc.text_nodes()[0]
+        assert source[node.start : node.end] == "PORTER"
+
+    def test_comments_dropped(self):
+        doc = parse_html("<div><!-- hidden -->x</div>")
+        div = doc.root.children[0]
+        assert len(div.children) == 1
+        assert isinstance(div.children[0], TextNode)
+
+    def test_doctype_dropped(self):
+        doc = parse_html("<!DOCTYPE html><p>x</p>")
+        assert tags_under(doc.root) == ["p"]
+
+
+class TestVoidElements:
+    def test_br_takes_no_children(self):
+        doc = parse_html("<td>a<br>b</td>")
+        td = doc.root.children[0]
+        kinds = [type(c).__name__ for c in td.children]
+        assert kinds == ["TextNode", "ElementNode", "TextNode"]
+
+    def test_img_and_input(self):
+        doc = parse_html('<div><img src="x.png"><input name="q">text</div>')
+        div = doc.root.children[0]
+        assert tags_under(div) == ["img", "input"]
+        assert div.children[-1].text == "text"
+
+    def test_stray_void_end_tag_ignored(self):
+        doc = parse_html("<div>a</br>b</div>")
+        div = doc.root.children[0]
+        assert div.text_content() == "ab"
+
+
+class TestImpliedEndTags:
+    def test_unclosed_li(self):
+        doc = parse_html("<ul><li>a<li>b<li>c</ul>")
+        ul = doc.root.children[0]
+        assert tags_under(ul) == ["li", "li", "li"]
+
+    def test_unclosed_td_and_tr(self):
+        doc = parse_html("<table><tr><td>a<td>b<tr><td>c</table>")
+        table = doc.root.children[0]
+        rows = tags_under(table)
+        assert rows == ["tr", "tr"]
+        assert tags_under(table.children[0]) == ["td", "td"]
+        assert tags_under(table.children[1]) == ["td"]
+
+    def test_unclosed_p(self):
+        doc = parse_html("<div><p>one<p>two</div>")
+        div = doc.root.children[0]
+        assert tags_under(div) == ["p", "p"]
+
+    def test_dt_dd_alternation(self):
+        doc = parse_html("<dl><dt>term<dd>def<dt>term2<dd>def2</dl>")
+        dl = doc.root.children[0]
+        assert tags_under(dl) == ["dt", "dd", "dt", "dd"]
+
+    def test_li_nested_in_inner_list_not_closed_by_outer(self):
+        doc = parse_html("<ul><li>a<ul><li>b</li></ul></li><li>c</li></ul>")
+        outer = doc.root.children[0]
+        assert len(tags_under(outer)) == 2
+
+    def test_unmatched_end_tag_dropped(self):
+        doc = parse_html("<div>a</span>b</div>")
+        assert doc.root.children[0].text_content() == "ab"
+
+    def test_end_tag_closes_intervening_elements(self):
+        doc = parse_html("<div><b>x</div>")
+        # </div> closes the open <b> too
+        assert doc.root.children[0].tag == "div"
+        assert len(doc.root.children) == 1
+
+
+class TestDocumentIndex:
+    def test_preorder_ids_are_dense(self):
+        doc = parse_html("<div><p>a</p><p>b</p></div>")
+        ids = [n.node_id.preorder for n in doc.nodes]
+        assert ids == list(range(len(doc.nodes)))
+
+    def test_node_lookup_roundtrip(self):
+        doc = parse_html("<div><p>a</p></div>")
+        for node in doc.nodes:
+            assert doc.node(node.node_id) is node
+
+    def test_text_node_at_span(self):
+        source = "<td>HELLO</td>"
+        doc = parse_html(source)
+        node = doc.text_nodes()[0]
+        assert doc.text_node_at_span(node.start, node.end) is node
+
+    def test_text_node_containing(self):
+        source = "<td>HELLO</td>"
+        doc = parse_html(source)
+        node = doc.text_nodes()[0]
+        assert doc.text_node_containing(node.start + 2) is node
+
+    def test_page_index_propagates(self):
+        doc = parse_html("<p>x</p>", page_index=7)
+        assert all(n.node_id.page == 7 for n in doc.nodes)
+
+
+class TestParserProperties:
+    @given(st.text(max_size=200))
+    def test_never_crashes(self, text):
+        doc = parse_html(text)
+        assert doc.root.tag == "html"
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["<div>", "</div>", "<td>", "x", "<br>", "<li>", "</table>", "<b >"]
+            ),
+            max_size=40,
+        )
+    )
+    def test_soup_preorder_is_consistent(self, parts):
+        doc = parse_html("".join(parts))
+        nodes = list(doc.root.iter_preorder())
+        assert nodes == doc.nodes
+        for node in nodes[1:]:
+            assert node.parent is not None

@@ -1,0 +1,116 @@
+"""Integration tests: the paper's narrative end-to-end on all datasets.
+
+Each test asserts a *shape* claim from the evaluation section — who wins
+and roughly by how much — on small deterministic dataset slices.
+"""
+
+import pytest
+
+from repro.annotators import OracleNoiseAnnotator
+from repro.evaluation import SingleTypeExperiment
+from repro.evaluation.runner import split_sites
+from repro.framework.ntw import NoiseTolerantWrapper
+from repro.ranking.scorer import WrapperScorer
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+class TestDealersNarrative:
+    """Fig. 2(d,e): NTW ~perfect; NAIVE keeps recall, loses precision."""
+
+    @pytest.fixture(scope="class")
+    def outcomes_xpath(self, small_dealers):
+        experiment = SingleTypeExperiment(
+            small_dealers.sites, small_dealers.annotator(), XPathInductor()
+        )
+        return experiment.run(methods=("naive", "ntw", "ntw-l", "ntw-x"))
+
+    def test_ntw_precision_near_one(self, outcomes_xpath):
+        assert outcomes_xpath["ntw"].overall.precision >= 0.95
+
+    def test_ntw_recall_near_one(self, outcomes_xpath):
+        assert outcomes_xpath["ntw"].overall.recall >= 0.95
+
+    def test_naive_recall_perfect_precision_poor(self, outcomes_xpath):
+        naive = outcomes_xpath["naive"].overall
+        assert naive.recall >= 0.99
+        assert naive.precision < outcomes_xpath["ntw"].overall.precision
+
+    def test_variants_do_not_beat_full_ntw(self, outcomes_xpath):
+        full = outcomes_xpath["ntw"].overall.f1
+        assert outcomes_xpath["ntw-l"].overall.f1 <= full + 1e-9
+        assert outcomes_xpath["ntw-x"].overall.f1 <= full + 1e-9
+
+
+class TestLRvsXPath:
+    """Fig. 2(e): LR over-generalizes more severely than XPATH."""
+
+    def test_naive_lr_precision_below_naive_xpath(self, small_dealers):
+        xpath_exp = SingleTypeExperiment(
+            small_dealers.sites, small_dealers.annotator(), XPathInductor()
+        )
+        lr_exp = SingleTypeExperiment(
+            small_dealers.sites, small_dealers.annotator(), LRInductor()
+        )
+        xpath_naive = xpath_exp.run(methods=("naive",))["naive"].overall
+        lr_naive = lr_exp.run(methods=("naive",))["naive"].overall
+        assert lr_naive.precision <= xpath_naive.precision
+
+
+class TestDiscNarrative:
+    """Fig. 2(f,g): near-perfect NTW accuracy on DISC."""
+
+    def test_ntw_high_accuracy(self, small_disc):
+        experiment = SingleTypeExperiment(
+            small_disc.sites,
+            small_disc.annotator(),
+            XPathInductor(),
+            gold_type="track",
+        )
+        outcomes = experiment.run(methods=("naive", "ntw"))
+        assert outcomes["ntw"].overall.f1 >= 0.95
+        assert outcomes["ntw"].overall.f1 > outcomes["naive"].overall.f1
+
+
+class TestProductsNarrative:
+    """Fig. 3(c): same behaviour on the PRODUCTS domain."""
+
+    def test_ntw_high_accuracy(self, small_products):
+        experiment = SingleTypeExperiment(
+            small_products.sites,
+            small_products.annotator(),
+            XPathInductor(),
+            gold_type="name",
+        )
+        outcomes = experiment.run(methods=("naive", "ntw"))
+        assert outcomes["ntw"].overall.f1 >= 0.9
+        assert outcomes["ntw"].overall.f1 > outcomes["naive"].overall.f1
+
+
+class TestControlledAnnotators:
+    """Sec. 7.4 / Table 1: graceful degradation with annotator quality."""
+
+    def test_accuracy_grows_with_recall(self, small_dealers):
+        train, test = split_sites(small_dealers.sites)
+        from repro.evaluation.runner import fit_models
+
+        results = {}
+        for r in (0.05, 0.3):
+            scores = []
+            for generated in test:
+                gold = generated.gold["name"]
+                annotator = OracleNoiseAnnotator(
+                    gold, p1=r, p2=0.002, seed=generated.spec.seed
+                )
+                models = fit_models(train, annotator, "name")
+                learner = NoiseTolerantWrapper(
+                    XPathInductor(),
+                    WrapperScorer(models.annotation, models.publication),
+                )
+                labels = annotator.annotate(generated.site)
+                extracted = learner.learn(generated.site, labels).extracted
+                from repro.evaluation.metrics import prf
+
+                scores.append(prf(extracted, gold).f1)
+            results[r] = sum(scores) / len(scores)
+        assert results[0.3] >= results[0.05]

@@ -1,0 +1,142 @@
+"""Property tests for the paper's formal machinery (Sec. 4 and App. C).
+
+Beyond the algorithm-agreement tests, these check the structural lemmas
+the proofs rest on: idempotence of the closure operator (Lemma C.1),
+the closed-set/wrapper bijection (Lemma C.2), and the equivalence of
+blackbox induction with feature intersection for the feature-based
+inductors (Sec. 4.2, Theorems 4 and 5).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.site import Site
+from repro.wrappers.base import extract_by_features
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.table import Grid, TableInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+GRID = Grid(4, 5)
+
+SITE = Site.from_html(
+    "claims",
+    [
+        "<div class='a'><table>"
+        "<tr><td><u>N1</u></td><td>S1</td></tr>"
+        "<tr><td><u>N2</u></td><td>S2</td></tr>"
+        "</table></div><ul><li>p1</li><li>p2</li></ul>",
+        "<div class='a'><table>"
+        "<tr><td><u>N3</u></td><td>S3</td></tr>"
+        "</table></div><ul><li>p3</li></ul>",
+    ],
+)
+SITE_IDS = sorted(SITE.iter_text_node_ids())
+
+grid_labels = st.sets(
+    st.sampled_from(sorted(GRID.all_cells())), min_size=1, max_size=6
+).map(frozenset)
+
+site_labels = st.sets(st.sampled_from(SITE_IDS), min_size=1, max_size=5).map(
+    frozenset
+)
+
+
+class TestClosureOperator:
+    """Lemma C.1: phi(s) = phi(phi-breve(s)); phi-breve is idempotent."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(grid_labels)
+    def test_wrapper_unchanged_by_closure_table(self, labels):
+        inductor = TableInductor()
+        universe = labels  # L is the label set itself here
+        closure = inductor.closure(GRID, labels, universe)
+        assert inductor.induce(GRID, labels) == inductor.induce(GRID, closure)
+
+    @settings(max_examples=30, deadline=None)
+    @given(site_labels)
+    def test_wrapper_unchanged_by_closure_xpath(self, labels):
+        inductor = XPathInductor()
+        closure = inductor.closure(SITE, labels, labels)
+        assert inductor.induce(SITE, labels) == inductor.induce(SITE, closure)
+
+    @settings(max_examples=30, deadline=None)
+    @given(site_labels, site_labels)
+    def test_closure_idempotent(self, labels, universe_extra):
+        inductor = XPathInductor()
+        universe = labels | universe_extra
+        once = inductor.closure(SITE, labels, universe)
+        twice = inductor.closure(SITE, once, universe)
+        assert once == twice
+
+
+class TestClosedSetWrapperBijection:
+    """Lemma C.2: distinct closed sets induce distinct wrappers."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sets(st.sampled_from(SITE_IDS), min_size=2, max_size=6).map(frozenset)
+    )
+    def test_bijection_over_label_universe(self, universe):
+        inductor = XPathInductor()
+        import itertools
+
+        closed_sets = set()
+        for size in range(1, len(universe) + 1):
+            for subset in itertools.combinations(sorted(universe), size):
+                subset = frozenset(subset)
+                if inductor.closure(SITE, subset, universe) == subset:
+                    closed_sets.add(subset)
+        wrappers = {inductor.induce(SITE, s) for s in closed_sets}
+        assert len(wrappers) == len(closed_sets)
+
+
+class TestFeatureEquivalence:
+    """Blackbox induction == feature-intersection matching (Sec. 4.2)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(site_labels)
+    def test_xpath_extraction_equals_feature_match(self, labels):
+        inductor = XPathInductor()
+        wrapper = inductor.induce(SITE, labels)
+        shared = inductor.shared_features(SITE, labels)
+        by_features = extract_by_features(
+            inductor, SITE, shared, inductor.candidates(SITE)
+        )
+        assert wrapper.extract(SITE) == by_features
+
+    @settings(max_examples=30, deadline=None)
+    @given(site_labels)
+    def test_lr_extraction_equals_feature_match(self, labels):
+        """Theorem 4's surprise: LR is expressible as feature matching
+        over the Lk/Rk attributes."""
+        inductor = LRInductor(max_delimiter_length=32)
+        wrapper = inductor.induce(SITE, labels)
+        shared = inductor.shared_features(SITE, labels)
+        by_features = extract_by_features(
+            inductor, SITE, shared, inductor.candidates(SITE)
+        )
+        assert wrapper.extract(SITE) == by_features
+
+    @settings(max_examples=50, deadline=None)
+    @given(grid_labels)
+    def test_table_extraction_equals_feature_match(self, labels):
+        inductor = TableInductor()
+        wrapper = inductor.induce(GRID, labels)
+        shared = inductor.shared_features(GRID, labels)
+        by_features = extract_by_features(
+            inductor, GRID, shared, inductor.candidates(GRID)
+        )
+        assert wrapper.extract(GRID) == by_features
+
+
+class TestSection1Narrative:
+    """The introduction's over-generalization claim, quantified."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.sampled_from(SITE_IDS), min_size=1, max_size=3).map(frozenset))
+    def test_adding_labels_never_shrinks_extraction(self, labels):
+        inductor = XPathInductor()
+        base = inductor.induce(SITE, labels).extract(SITE)
+        for extra in SITE_IDS:
+            grown = inductor.induce(SITE, labels | {extra}).extract(SITE)
+            assert base <= grown

@@ -1,0 +1,143 @@
+"""Tests for list-structure features: edit distance, LCS, schema size."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htmldom.serializer import TEXT_TOKEN
+from repro.ranking.alignment import (
+    longest_common_substring,
+    sample_pairs,
+    schema_size,
+    token_edit_distance,
+)
+
+tokens = st.lists(st.sampled_from(["tr", "td", "u", "br", TEXT_TOKEN]), max_size=25)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert token_edit_distance(("a", "b"), ("a", "b")) == 0
+
+    def test_empty_vs_nonempty(self):
+        assert token_edit_distance((), ("a", "b", "c")) == 3
+
+    def test_both_empty(self):
+        assert token_edit_distance((), ()) == 0
+
+    def test_substitution(self):
+        assert token_edit_distance(("a", "b", "c"), ("a", "x", "c")) == 1
+
+    def test_insertion(self):
+        assert token_edit_distance(("a", "c"), ("a", "b", "c")) == 1
+
+    def test_classic_example(self):
+        assert token_edit_distance(tuple("kitten"), tuple("sitting")) == 3
+
+    def test_cap_returns_cap(self):
+        assert token_edit_distance(tuple("aaaa"), tuple("bbbb"), cap=2) == 2
+
+    def test_cap_no_effect_below(self):
+        assert token_edit_distance(tuple("ab"), tuple("ax"), cap=10) == 1
+
+    def test_cap_on_length_difference(self):
+        assert token_edit_distance(tuple("a" * 50), (), cap=5) == 5
+
+    @settings(max_examples=60, deadline=None)
+    @given(tokens, tokens)
+    def test_symmetry(self, a, b):
+        assert token_edit_distance(tuple(a), tuple(b)) == token_edit_distance(
+            tuple(b), tuple(a)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(tokens)
+    def test_identity(self, a):
+        assert token_edit_distance(tuple(a), tuple(a)) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(tokens, tokens, tokens)
+    def test_triangle_inequality(self, a, b, c):
+        ab = token_edit_distance(tuple(a), tuple(b))
+        bc = token_edit_distance(tuple(b), tuple(c))
+        ac = token_edit_distance(tuple(a), tuple(c))
+        assert ac <= ab + bc
+
+    @settings(max_examples=60, deadline=None)
+    @given(tokens, tokens)
+    def test_bounded_by_longer_sequence(self, a, b):
+        distance = token_edit_distance(tuple(a), tuple(b))
+        assert distance <= max(len(a), len(b))
+
+    @settings(max_examples=60, deadline=None)
+    @given(tokens, tokens, st.integers(1, 10))
+    def test_capped_is_min_of_true_and_cap(self, a, b, cap):
+        true = token_edit_distance(tuple(a), tuple(b))
+        capped = token_edit_distance(tuple(a), tuple(b), cap=cap)
+        assert capped == min(true, cap)
+
+
+class TestLongestCommonSubstring:
+    def test_simple(self):
+        assert longest_common_substring(tuple("abcdef"), tuple("zcdez")) == tuple(
+            "cde"
+        )
+
+    def test_no_overlap(self):
+        assert longest_common_substring(tuple("abc"), tuple("xyz")) == ()
+
+    def test_empty_inputs(self):
+        assert longest_common_substring((), tuple("abc")) == ()
+
+    def test_full_match(self):
+        assert longest_common_substring(tuple("abc"), tuple("abc")) == tuple("abc")
+
+    @settings(max_examples=50, deadline=None)
+    @given(tokens, tokens)
+    def test_result_is_substring_of_both(self, a, b):
+        common = list(longest_common_substring(tuple(a), tuple(b)))
+        if common:
+            assert any(
+                a[i : i + len(common)] == common for i in range(len(a))
+            )
+            assert any(
+                b[i : i + len(common)] == common for i in range(len(b))
+            )
+
+
+class TestSchemaSize:
+    def test_counts_text_tokens_in_lcs(self):
+        a = ("tr", "td", TEXT_TOKEN, "td", TEXT_TOKEN, "br")
+        b = ("x", "tr", "td", TEXT_TOKEN, "td", TEXT_TOKEN, "br")
+        assert schema_size(a, b) == 2
+
+    def test_zero_when_no_common_text(self):
+        assert schema_size(("tr", "td"), ("tr", "td")) == 0
+
+    def test_counts_type_markers(self):
+        a = ("td", "<name>", "td", "<zipcode>")
+        b = ("td", "<name>", "td", "<zipcode>")
+        assert schema_size(a, b) == 2
+
+
+class TestSamplePairs:
+    def test_fewer_than_two(self):
+        assert sample_pairs(0) == []
+        assert sample_pairs(1) == []
+
+    def test_two_segments(self):
+        assert sample_pairs(2) == [(0, 1)]
+
+    def test_includes_first_last(self):
+        assert (0, 3) in sample_pairs(4)
+
+    def test_capped(self):
+        pairs = sample_pairs(500, max_pairs=10)
+        assert len(pairs) == 10
+
+    def test_pairs_are_valid_indices(self):
+        for count in (2, 3, 7, 50):
+            for i, j in sample_pairs(count, max_pairs=8):
+                assert 0 <= i < count
+                assert 0 <= j < count
+                assert i != j

@@ -1,0 +1,120 @@
+"""Tests for the annotation-noise model (Eq. 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htmldom.dom import NodeId
+from repro.ranking.annotation import AnnotationModel, NoiseProfile
+
+
+def ids(*preorders):
+    return frozenset(NodeId(page=0, preorder=p) for p in preorders)
+
+
+class TestNoiseProfile:
+    def test_valid_profile(self):
+        profile = NoiseProfile(p=0.95, r=0.24)
+        assert profile.informative
+
+    def test_uninformative_profile(self):
+        assert not NoiseProfile(p=0.2, r=0.5).informative
+
+    @pytest.mark.parametrize("p,r", [(0.0, 0.5), (1.0, 0.5), (0.5, 0.0), (0.5, 1.0)])
+    def test_rejects_degenerate_rates(self, p, r):
+        with pytest.raises(ValueError):
+            NoiseProfile(p=p, r=r)
+
+
+class TestLogLikelihood:
+    def test_maximized_at_x_equal_l(self):
+        """With an informative annotator, Eq. 4 peaks at X = L."""
+        model = AnnotationModel.from_rates(p=0.9, r=0.5)
+        labels = ids(1, 2, 3)
+        best = model.log_likelihood(labels, labels)
+        assert best > model.log_likelihood(labels, ids(1, 2))
+        assert best > model.log_likelihood(labels, ids(1, 2, 3, 4))
+        assert best > model.log_likelihood(labels, ids(4, 5, 6))
+
+    def test_covered_labels_raise_score(self):
+        model = AnnotationModel.from_rates(p=0.9, r=0.5)
+        labels = ids(1, 2, 3)
+        assert model.log_likelihood(labels, ids(1, 2)) > model.log_likelihood(
+            labels, ids(1)
+        )
+
+    def test_extra_nodes_lower_score(self):
+        model = AnnotationModel.from_rates(p=0.9, r=0.5)
+        labels = ids(1, 2)
+        base = model.log_likelihood(labels, ids(1, 2))
+        assert model.log_likelihood(labels, ids(1, 2, 9)) < base
+
+    def test_recall_governs_extra_node_penalty(self):
+        """Higher annotator recall penalises unlabeled extractions more
+        (the paper's X3 discussion in Sec. 3)."""
+        labels = ids(1, 2)
+        high_recall = AnnotationModel.from_rates(p=0.9, r=0.9)
+        low_recall = AnnotationModel.from_rates(p=0.9, r=0.2)
+        extra = ids(1, 2, 5, 6, 7)
+        drop_high = high_recall.log_likelihood(labels, extra) - high_recall.log_likelihood(labels, labels)
+        drop_low = low_recall.log_likelihood(labels, extra) - low_recall.log_likelihood(labels, labels)
+        assert drop_high < drop_low
+
+    def test_matches_closed_form(self):
+        model = AnnotationModel.from_rates(p=0.8, r=0.3)
+        labels = ids(1, 2, 3, 4)
+        extracted = ids(3, 4, 5)
+        expected = 2 * math.log(0.3 / 0.2) + 1 * math.log(0.7 / 0.8)
+        assert model.log_likelihood(labels, extracted) == pytest.approx(expected)
+
+    def test_empty_extraction_scores_zero(self):
+        model = AnnotationModel.from_rates(p=0.9, r=0.5)
+        assert model.log_likelihood(ids(1, 2), frozenset()) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.sets(st.integers(0, 30), max_size=10),
+        st.sets(st.integers(0, 30), max_size=10),
+        st.floats(0.55, 0.99),
+        st.floats(0.05, 0.95),
+    )
+    def test_finite_for_any_sets(self, label_ids, extracted_ids, p, r):
+        model = AnnotationModel.from_rates(p=p, r=r)
+        value = model.log_likelihood(
+            frozenset(NodeId(0, i) for i in label_ids),
+            frozenset(NodeId(0, i) for i in extracted_ids),
+        )
+        assert math.isfinite(value)
+
+
+class TestEstimation:
+    def test_estimates_recall(self):
+        gold = ids(*range(10))
+        labels = ids(*range(3))  # 3 of 10 gold labeled, no FPs
+        model = AnnotationModel.estimate([(labels, gold, 100)])
+        assert model.profile.r == pytest.approx(0.3, abs=0.01)
+
+    def test_estimates_false_positive_rate(self):
+        gold = ids(*range(10))
+        labels = gold | ids(100, 101, 102)  # 3 FPs among 90 negatives
+        model = AnnotationModel.estimate([(labels, gold, 100)])
+        assert 1.0 - model.profile.p == pytest.approx(3 / 90, abs=0.01)
+
+    def test_pools_over_sites(self):
+        gold_a, gold_b = ids(1, 2), ids(3, 4)
+        model = AnnotationModel.estimate(
+            [(ids(1), gold_a, 50), (ids(3, 4), gold_b, 50)]
+        )
+        assert model.profile.r == pytest.approx(0.75, abs=0.01)
+
+    def test_clamps_extremes(self):
+        gold = ids(1, 2)
+        model = AnnotationModel.estimate([(gold, gold, 10)])
+        assert 0.0 < model.profile.p < 1.0
+        assert 0.0 < model.profile.r < 1.0
+
+    def test_empty_sample_gives_neutral_recall(self):
+        model = AnnotationModel.estimate([(frozenset(), frozenset(), 0)])
+        assert model.profile.r == pytest.approx(0.5)

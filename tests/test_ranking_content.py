@@ -1,0 +1,119 @@
+"""Tests for the domain-specific content-feature extension (Sec. 6.1)."""
+
+import pytest
+
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.content import (
+    HAS_PHONE,
+    HAS_ZIPCODE,
+    ContentFeature,
+    ContentModel,
+    regex_feature,
+)
+from repro.ranking.publication import PublicationModel
+from repro.ranking.scorer import WrapperScorer
+from repro.site import Site
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+@pytest.fixture()
+def site():
+    rows = "".join(
+        f"<tr><td><u>STORE {i}</u></td><td>{i} MAIN ST</td>"
+        f"<td>{38650 + i}</td><td>662-534-{1000 + i}</td></tr>"
+        for i in range(1, 6)
+    )
+    return Site.from_html("content", [f"<table>{rows}</table>"])
+
+
+def nodes_of_column(site, column):
+    """Node ids of the column-th td text in every row (1-based)."""
+    found = []
+    for node_id in site.iter_text_node_ids():
+        node = site.text_node(node_id)
+        parent = node.parent if node.parent.tag != "u" else node.parent.parent
+        if parent.tag == "td" and parent.child_number() == column:
+            found.append(node_id)
+    return frozenset(found)
+
+
+class TestContentFeature:
+    def test_zipcode_fraction(self, site):
+        zips = nodes_of_column(site, 3)
+        assert HAS_ZIPCODE.fraction(site, zips) == 1.0
+        names = nodes_of_column(site, 1)
+        assert HAS_ZIPCODE.fraction(site, names) == 0.0
+
+    def test_phone_fraction(self, site):
+        phones = nodes_of_column(site, 4)
+        assert HAS_PHONE.fraction(site, phones) == 1.0
+
+    def test_empty_extraction(self, site):
+        assert HAS_ZIPCODE.fraction(site, frozenset()) == 0.0
+
+    def test_regex_feature_factory(self):
+        feature = regex_feature("digits", r"^\d+$")
+        assert feature.name == "digits"
+        assert feature.predicate("123")
+        assert not feature.predicate("x")
+
+    def test_custom_predicate(self, site):
+        caps = ContentFeature("all-caps", lambda t: t.isupper())
+        names = nodes_of_column(site, 1)
+        assert caps.fraction(site, names) == 1.0
+
+
+class TestContentModel:
+    def test_fit_and_score(self, site):
+        names = nodes_of_column(site, 1)
+        zips = nodes_of_column(site, 3)
+        model = ContentModel.fit([HAS_ZIPCODE], [(site, names)])
+        # Gold name lists contain no zipcodes; a zip-free candidate
+        # scores higher than an all-zip candidate.
+        assert model.log_prob(site, names) > model.log_prob(site, zips)
+
+    def test_fit_requires_features(self, site):
+        with pytest.raises(ValueError):
+            ContentModel.fit([], [(site, nodes_of_column(site, 1))])
+
+    def test_fit_requires_gold(self, site):
+        with pytest.raises(ValueError):
+            ContentModel.fit([HAS_ZIPCODE], [(site, frozenset())])
+
+
+class TestScorerIntegration:
+    def test_content_term_enters_score(self, site):
+        names = nodes_of_column(site, 1)
+        content = ContentModel.fit([HAS_ZIPCODE], [(site, names)])
+        scorer = WrapperScorer(
+            AnnotationModel.from_rates(p=0.9, r=0.5),
+            PublicationModel.fit([(site, names)]),
+            content_model=content,
+        )
+        wrapper = XPathInductor().induce(site, names)
+        ranked = scorer.score_wrapper(site, wrapper, names)
+        assert ranked.log_content != 0.0
+        assert ranked.score == pytest.approx(
+            ranked.log_annotation + ranked.log_publication + ranked.log_content
+        )
+
+    def test_content_breaks_structural_ties(self, site):
+        """Names and zip columns are structurally symmetric; the content
+        feature is what separates them for a label-free scorer."""
+        names = nodes_of_column(site, 1)
+        zips = nodes_of_column(site, 3)
+        content = ContentModel.fit(
+            [HAS_ZIPCODE], [(site, names)]
+        )
+        scorer = WrapperScorer(
+            None,
+            PublicationModel.fit([(site, names)]),
+            content_model=content,
+        )
+        inductor = XPathInductor()
+        candidates = [
+            inductor.induce(site, names),
+            inductor.induce(site, zips),
+        ]
+        ranked = scorer.rank(site, candidates, frozenset())
+        assert ranked[0].extracted == names

@@ -1,0 +1,75 @@
+"""Tests for the Gaussian KDE."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranking.kde import DENSITY_FLOOR, MIN_BANDWIDTH, GaussianKde
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GaussianKde([])
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            GaussianKde([1.0], bandwidth=0.0)
+
+    def test_identical_samples_get_floor_bandwidth(self):
+        kde = GaussianKde([4, 4, 4, 4])
+        assert kde.bandwidth == MIN_BANDWIDTH
+
+    def test_explicit_bandwidth(self):
+        kde = GaussianKde([1, 2, 3], bandwidth=2.0)
+        assert kde.bandwidth == 2.0
+
+
+class TestDensity:
+    def test_peaks_at_data(self):
+        kde = GaussianKde([4, 4, 4, 5, 3])
+        assert kde.density(4) > kde.density(10)
+
+    def test_floor_far_away(self):
+        kde = GaussianKde([0.0])
+        assert kde.density(1e6) == DENSITY_FLOOR
+
+    def test_log_density_consistent(self):
+        kde = GaussianKde([1, 2, 3])
+        assert kde.log_density(2) == pytest.approx(math.log(kde.density(2)))
+
+    def test_symmetric_around_single_sample(self):
+        kde = GaussianKde([5.0])
+        assert kde.density(4.0) == pytest.approx(kde.density(6.0))
+
+    def test_smooths_between_integers(self):
+        kde = GaussianKde([3, 5])
+        assert kde.density(4) > DENSITY_FLOOR
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 60), min_size=1, max_size=30),
+        st.integers(-10, 80),
+    )
+    def test_density_positive_and_finite(self, samples, x):
+        kde = GaussianKde(samples)
+        value = kde.density(x)
+        assert value >= DENSITY_FLOOR
+        assert math.isfinite(value)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=2, max_size=20))
+    def test_normalization_approximately_one(self, samples):
+        """Riemann sum of the density over a wide grid is close to 1
+        (modulo the floor, which only adds mass)."""
+        kde = GaussianKde(samples)
+        lo = min(samples) - 8 * kde.bandwidth
+        hi = max(samples) + 8 * kde.bandwidth
+        steps = 2000
+        width = (hi - lo) / steps
+        total = sum(
+            kde.density(lo + (i + 0.5) * width) for i in range(steps)
+        ) * width
+        assert total == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,105 @@
+"""Tests for the combined wrapper scorer and its ablation variants."""
+
+import pytest
+
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.ranking.scorer import WrapperScorer
+from repro.site import Site
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+@pytest.fixture()
+def site():
+    rows = "".join(
+        f"<tr><td><u>N{i}</u></td><td>A{i}</td><td>P{i}</td></tr>"
+        for i in range(1, 6)
+    )
+    return Site.from_html("score", [f"<table>{rows}</table>"])
+
+
+@pytest.fixture()
+def gold(site):
+    return frozenset(
+        node_id
+        for i in range(1, 6)
+        for node_id in site.find_text_nodes(f"N{i}")
+    )
+
+
+@pytest.fixture()
+def models(site, gold):
+    annotation = AnnotationModel.from_rates(p=0.95, r=0.6)
+    publication = PublicationModel.fit([(site, gold)])
+    return annotation, publication
+
+
+def noisy_labels(site, gold):
+    """Three correct labels plus one incorrect one."""
+    wrong = frozenset(site.find_text_nodes("A2"))
+    correct = frozenset(sorted(gold)[:3])
+    return correct | wrong
+
+
+class TestScorer:
+    def test_requires_some_component(self):
+        with pytest.raises(ValueError):
+            WrapperScorer(None, None)
+
+    def test_ranks_correct_wrapper_first(self, site, gold, models):
+        annotation, publication = models
+        inductor = XPathInductor()
+        labels = noisy_labels(site, gold)
+        candidates = [
+            inductor.induce(site, frozenset(sorted(gold)[:3])),  # correct rule
+            inductor.induce(site, labels),  # over-general rule
+        ]
+        scorer = WrapperScorer(annotation, publication)
+        ranked = scorer.rank(site, candidates, labels)
+        assert ranked[0].extracted == gold
+
+    def test_score_decomposition_sums(self, site, gold, models):
+        annotation, publication = models
+        scorer = WrapperScorer(annotation, publication)
+        wrapper = XPathInductor().induce(site, frozenset(sorted(gold)[:2]))
+        ranked = scorer.score_wrapper(site, wrapper, gold)
+        assert ranked.score == pytest.approx(
+            ranked.log_annotation + ranked.log_publication
+        )
+
+    def test_annotation_only_variant(self, site, gold, models):
+        annotation, _ = models
+        scorer = WrapperScorer(annotation, None)
+        wrapper = XPathInductor().induce(site, gold)
+        ranked = scorer.score_wrapper(site, wrapper, gold)
+        assert ranked.log_publication == 0.0
+        assert ranked.features is None
+
+    def test_publication_only_variant(self, site, gold, models):
+        _, publication = models
+        scorer = WrapperScorer(None, publication)
+        wrapper = XPathInductor().induce(site, gold)
+        ranked = scorer.score_wrapper(site, wrapper, gold)
+        assert ranked.log_annotation == 0.0
+        assert ranked.features is not None
+
+    def test_rank_is_deterministic(self, site, gold, models):
+        annotation, publication = models
+        inductor = XPathInductor()
+        labels = noisy_labels(site, gold)
+        candidates = [
+            inductor.induce(site, frozenset({label})) for label in sorted(labels)
+        ]
+        scorer = WrapperScorer(annotation, publication)
+        first = [rw.wrapper.rule() for rw in scorer.rank(site, candidates, labels)]
+        second = [rw.wrapper.rule() for rw in scorer.rank(site, candidates, labels)]
+        assert first == second
+
+    def test_precomputed_extraction_respected(self, site, gold, models):
+        annotation, _ = models
+        scorer = WrapperScorer(annotation, None)
+        wrapper = XPathInductor().induce(site, gold)
+        ranked = scorer.score_wrapper(
+            site, wrapper, gold, extracted=frozenset()
+        )
+        assert ranked.extracted == frozenset()

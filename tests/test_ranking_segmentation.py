@@ -1,0 +1,138 @@
+"""Tests for record segmentation (paper Sec. 6 / Fig. 7)."""
+
+import pytest
+
+from repro.htmldom.serializer import TEXT_TOKEN
+from repro.ranking.segmentation import page_tokens, record_segments
+from repro.site import Site
+
+
+@pytest.fixture()
+def listing_site():
+    return Site.from_html(
+        "seg",
+        [
+            "<table>"
+            "<tr><td><u>N1</u></td><td>A1</td></tr>"
+            "<tr><td><u>N2</u></td><td>A2</td></tr>"
+            "<tr><td><u>N3</u></td><td>A3</td></tr>"
+            "</table>"
+        ],
+    )
+
+
+def name_ids(site):
+    return frozenset(
+        node_id
+        for text in ("N1", "N2", "N3")
+        for node_id in site.find_text_nodes(text)
+    )
+
+
+class TestPageTokens:
+    def test_stream_matches_preorder(self, listing_site):
+        tokens = page_tokens(listing_site, 0)
+        assert tokens[0] == "html"
+        assert tokens.count(TEXT_TOKEN) == 6
+        assert tokens.count("tr") == 3
+
+    def test_type_map_replaces_tokens(self, listing_site):
+        names = name_ids(listing_site)
+        type_map = {n: "name" for n in names}
+        tokens = page_tokens(listing_site, 0, type_map=type_map)
+        assert tokens.count("<name>") == 3
+        assert tokens.count(TEXT_TOKEN) == 3
+
+
+class TestRecordSegments:
+    def test_consecutive_boundaries(self, listing_site):
+        segments = record_segments(listing_site, name_ids(listing_site))
+        # 3 boundaries on one page -> 2 segments.
+        assert len(segments) == 2
+
+    def test_segments_are_structurally_identical(self, listing_site):
+        segments = record_segments(listing_site, name_ids(listing_site))
+        assert segments[0] == segments[1]
+
+    def test_segment_content(self, listing_site):
+        segments = record_segments(listing_site, name_ids(listing_site))
+        # Each record: <#text>(name) ... up to the next name text node.
+        assert segments[0][0] == TEXT_TOKEN
+        assert "tr" in segments[0]
+        assert "td" in segments[0]
+
+    def test_cyclic_shift_preserves_similarity(self, listing_site):
+        """Using the address nodes as boundaries still yields identical
+        segments (the paper's shifted-record observation)."""
+        addresses = frozenset(
+            node_id
+            for text in ("A1", "A2", "A3")
+            for node_id in listing_site.find_text_nodes(text)
+        )
+        segments = record_segments(listing_site, addresses)
+        assert len(segments) == 2
+        assert segments[0] == segments[1]
+
+    def test_fewer_than_two_boundaries_no_segments(self, listing_site):
+        single = frozenset(listing_site.find_text_nodes("N1"))
+        assert record_segments(listing_site, single) == []
+
+    def test_empty_extraction(self, listing_site):
+        assert record_segments(listing_site, frozenset()) == []
+
+    def test_max_segments_cap(self, listing_site):
+        segments = record_segments(
+            listing_site, name_ids(listing_site), max_segments=1
+        )
+        assert len(segments) == 1
+
+    def test_max_segment_tokens_truncates(self, listing_site):
+        segments = record_segments(
+            listing_site, name_ids(listing_site), max_segment_tokens=3
+        )
+        assert all(len(s) <= 3 for s in segments)
+
+    def test_boundary_type_filters(self, listing_site):
+        names = name_ids(listing_site)
+        addresses = frozenset(
+            node_id
+            for text in ("A1", "A2", "A3")
+            for node_id in listing_site.find_text_nodes(text)
+        )
+        type_map = {n: "name" for n in names} | {a: "addr" for a in addresses}
+        segments = record_segments(
+            listing_site,
+            names | addresses,
+            type_map=type_map,
+            boundary_type="name",
+        )
+        assert len(segments) == 2
+        assert segments[0].count("<addr>") == 1
+
+    def test_multipage_segments(self):
+        page = "<ul><li>X1</li><li>X2</li></ul>"
+        site = Site.from_html("two", [page, page])
+        extracted = frozenset(site.find_text_nodes("X1")) | frozenset(
+            site.find_text_nodes("X2")
+        )
+        segments = record_segments(site, extracted)
+        # one segment per page (two boundaries each)
+        assert len(segments) == 2
+
+    def test_irregular_list_segments_differ(self):
+        site = Site.from_html(
+            "irregular",
+            [
+                "<div><p><b>N1</b></p><table><tr><td>junk</td></tr></table>"
+                "<span><b>N2</b></span><ul><li>x</li><li>y</li></ul>"
+                "<i><b>N3</b></i></div>"
+            ],
+        )
+        extracted = frozenset(
+            node_id
+            for text in ("N1", "N2", "N3")
+            for node_id in site.find_text_nodes(text)
+        )
+        segments = record_segments(site, extracted)
+        assert len(segments) == 2
+        assert segments[0] != segments[1]

@@ -1,0 +1,59 @@
+"""Tests for the Site container."""
+
+import pytest
+
+from repro.htmldom.dom import NodeId
+from repro.site import Site
+
+
+@pytest.fixture()
+def site():
+    return Site.from_html(
+        "s",
+        ["<p>alpha</p><p>beta</p>", "<div><span>gamma</span></div>"],
+    )
+
+
+class TestSite:
+    def test_page_count(self, site):
+        assert len(site) == 2
+
+    def test_page_indices_are_consecutive(self, site):
+        assert [p.page_index for p in site.pages] == [0, 1]
+
+    def test_node_resolution_across_pages(self, site):
+        for node_id in site.iter_text_node_ids():
+            node = site.node(node_id)
+            assert node.node_id == node_id
+
+    def test_text_node_rejects_elements(self, site):
+        root_id = site.pages[0].root.node_id
+        with pytest.raises(TypeError):
+            site.text_node(root_id)
+
+    def test_iter_text_node_ids_in_order(self, site):
+        ids = list(site.iter_text_node_ids())
+        assert ids == sorted(ids)
+
+    def test_total_text_nodes(self, site):
+        assert site.total_text_nodes() == 3
+
+    def test_find_text_nodes(self, site):
+        found = site.find_text_nodes("gamma")
+        assert len(found) == 1
+        assert found[0].page == 1
+
+    def test_find_text_nodes_strips(self, site):
+        assert site.find_text_nodes("  alpha  ")
+
+    def test_mismatched_page_index_rejected(self):
+        from repro.htmldom.treebuilder import parse_html
+
+        pages = [parse_html("<p>x</p>", page_index=5)]
+        with pytest.raises(ValueError):
+            Site("bad", pages)
+
+    def test_text_node_ids_frozenset(self, site):
+        ids = site.text_node_ids()
+        assert isinstance(ids, frozenset)
+        assert len(ids) == 3

@@ -1,0 +1,87 @@
+"""Tests for the generic wrapper/inductor machinery in ``wrappers.base``."""
+
+import pytest
+
+from repro.wrappers.base import extract_by_features
+from repro.wrappers.table import Grid, TableInductor
+
+
+@pytest.fixture()
+def grid():
+    return Grid(3, 3)
+
+
+@pytest.fixture()
+def inductor():
+    return TableInductor()
+
+
+class TestSharedFeatures:
+    def test_single_label_keeps_all_features(self, grid, inductor):
+        cell = grid.cell(1, 2)
+        assert inductor.shared_features(grid, frozenset({cell})) == {
+            "row": 1,
+            "col": 2,
+        }
+
+    def test_intersection_drops_disagreements(self, grid, inductor):
+        labels = frozenset({grid.cell(0, 1), grid.cell(2, 1)})
+        assert inductor.shared_features(grid, labels) == {"col": 1}
+
+    def test_empty_intersection(self, grid, inductor):
+        labels = frozenset({grid.cell(0, 0), grid.cell(1, 1)})
+        assert inductor.shared_features(grid, labels) == {}
+
+    def test_order_independent(self, grid, inductor):
+        a = frozenset({grid.cell(0, 0), grid.cell(0, 2), grid.cell(0, 1)})
+        assert inductor.shared_features(grid, a) == {"row": 0}
+
+
+class TestMatches:
+    def test_superset_matches(self, grid, inductor):
+        assert inductor.matches(grid, grid.cell(1, 1), {"row": 1})
+
+    def test_disagreement_rejects(self, grid, inductor):
+        assert not inductor.matches(grid, grid.cell(1, 1), {"row": 2})
+
+    def test_empty_constraint_matches_all(self, grid, inductor):
+        for cell in grid.all_cells():
+            assert inductor.matches(grid, cell, {})
+
+
+class TestExtractByFeatures:
+    def test_column_constraint(self, grid, inductor):
+        result = extract_by_features(
+            inductor, grid, {"col": 0}, grid.all_cells()
+        )
+        assert result == frozenset(grid.cell(r, 0) for r in range(3))
+
+    def test_restricted_candidate_universe(self, grid, inductor):
+        candidates = [grid.cell(0, 0), grid.cell(0, 1)]
+        result = extract_by_features(inductor, grid, {"row": 0}, candidates)
+        assert result == frozenset(candidates)
+
+
+class TestClosureHelper:
+    def test_closure_intersects_with_universe(self, grid, inductor):
+        labels = frozenset({grid.cell(0, 0), grid.cell(1, 0)})
+        universe = labels | {grid.cell(2, 0)}
+        closure = inductor.closure(grid, labels, universe)
+        # phi generalizes to the whole column; the closure keeps only
+        # universe members.
+        assert closure == universe
+
+    def test_closure_of_closed_set_is_itself(self, grid, inductor):
+        labels = frozenset({grid.cell(0, 0)})
+        assert inductor.closure(grid, labels, labels) == labels
+
+
+class TestInduceGuards:
+    def test_empty_labels_rejected(self, grid, inductor):
+        with pytest.raises(ValueError):
+            inductor.induce(grid, frozenset())
+
+    def test_value_defaults_to_feature_map(self, grid, inductor):
+        cell = grid.cell(2, 1)
+        assert inductor.value(grid, cell, "row") == 2
+        assert inductor.value(grid, cell, "missing") is None

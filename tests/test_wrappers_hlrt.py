@@ -1,0 +1,79 @@
+"""Tests for the HLRT extension."""
+
+import pytest
+
+from repro.site import Site
+from repro.wrappers.hlrt import HLRTInductor, HLRTWrapper
+from repro.wrappers.lr import LRInductor
+
+
+@pytest.fixture()
+def site_with_chrome():
+    """Names and the footer sponsor share the exact ``<td><u>`` context,
+    so plain LR cannot exclude the sponsor but HLRT's tail can."""
+
+    def page(names, footer_name):
+        rows = "".join(f"<tr><td><u>{n}</u></td></tr>" for n in names)
+        return (
+            "<div id='head'>Welcome</div><!-- start -->"
+            f"<table>{rows}</table>"
+            "<div id='foot'><table><tr><td><u>"
+            f"{footer_name}</u></td></tr></table></div>"
+        )
+
+    return Site.from_html(
+        "chromey",
+        [
+            page(["ALPHA", "BETA"], "SPONSOR ONE"),
+            page(["GAMMA"], "SPONSOR TWO"),
+        ],
+    )
+
+
+def label(site, text):
+    (node_id,) = site.find_text_nodes(text)
+    return node_id
+
+
+class TestHLRT:
+    def test_head_restriction_excludes_footer(self, site_with_chrome):
+        site = site_with_chrome
+        labels = frozenset(
+            {label(site, "ALPHA"), label(site, "BETA"), label(site, "GAMMA")}
+        )
+        lr = LRInductor().induce(site, labels)
+        lr_texts = {site.text_node(n).text for n in lr.extract(site)}
+        # Plain LR also captures the footer sponsors (same <u> context).
+        assert "SPONSOR ONE" in lr_texts
+        hlrt = HLRTInductor().induce(site, labels)
+        hlrt_texts = {site.text_node(n).text for n in hlrt.extract(site)}
+        assert "SPONSOR ONE" not in hlrt_texts
+        assert {"ALPHA", "BETA", "GAMMA"} <= hlrt_texts
+
+    def test_degrades_to_lr_with_empty_head_tail(self, site_with_chrome):
+        site = site_with_chrome
+        wrapper = HLRTWrapper(head="", left="<u>", right="</u>", tail="")
+        from repro.wrappers.lr import LRWrapper
+
+        assert wrapper.extract(site) == LRWrapper("<u>", "</u>").extract(site)
+
+    def test_missing_head_on_page_extracts_nothing_there(self, site_with_chrome):
+        site = site_with_chrome
+        wrapper = HLRTWrapper(
+            head="<!-- nonexistent -->", left="<u>", right="</u>", tail=""
+        )
+        assert wrapper.extract(site) == frozenset()
+
+    def test_fidelity(self, site_with_chrome):
+        site = site_with_chrome
+        labels = frozenset({label(site, "ALPHA"), label(site, "BETA")})
+        wrapper = HLRTInductor().induce(site, labels)
+        assert labels <= wrapper.extract(site)
+
+    def test_empty_labels_rejected(self, site_with_chrome):
+        with pytest.raises(ValueError):
+            HLRTInductor().induce(site_with_chrome, frozenset())
+
+    def test_rule_text(self):
+        wrapper = HLRTWrapper(head="H", left="L", right="R", tail="T")
+        assert "HLRT" in wrapper.rule()

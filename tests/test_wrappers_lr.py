@@ -1,0 +1,158 @@
+"""Tests for the WIEN LR inductor."""
+
+import pytest
+
+from repro.site import Site
+from repro.wrappers.lr import LRInductor, LRWrapper, _common_prefix, _common_suffix
+
+
+@pytest.fixture()
+def site():
+    return Site.from_html(
+        "shop",
+        [
+            "<table><tr><td><u>ALPHA</u></td><td>one</td></tr>"
+            "<tr><td><u>BETA</u></td><td>two</td></tr></table>",
+            "<table><tr><td><u>GAMMA</u></td><td>three</td></tr></table>",
+        ],
+    )
+
+
+def label_with_text(site, text):
+    (node_id,) = site.find_text_nodes(text)
+    return node_id
+
+
+class TestCommonStrings:
+    def test_common_prefix(self):
+        assert _common_prefix(iter(["abcd", "abxy", "abz"])) == "ab"
+
+    def test_common_prefix_empty(self):
+        assert _common_prefix(iter(["abc", "xyz"])) == ""
+
+    def test_common_suffix(self):
+        assert _common_suffix(iter(["xyzd>", "ab d>", "d>"])) == "d>"
+
+    def test_common_suffix_whole_string(self):
+        assert _common_suffix(iter(["abc", "abc"])) == "abc"
+
+    def test_empty_iterator(self):
+        assert _common_prefix(iter([])) == ""
+        assert _common_suffix(iter([])) == ""
+
+
+class TestInduction:
+    def test_delimiters_from_u_labels(self, site):
+        inductor = LRInductor()
+        labels = frozenset(
+            {label_with_text(site, "ALPHA"), label_with_text(site, "BETA")}
+        )
+        wrapper = inductor.induce(site, labels)
+        assert wrapper.left.endswith("<u>")
+        assert wrapper.right.startswith("</u>")
+
+    def test_extraction_covers_all_u_nodes(self, site):
+        inductor = LRInductor()
+        labels = frozenset(
+            {label_with_text(site, "ALPHA"), label_with_text(site, "BETA")}
+        )
+        extracted = inductor.induce(site, labels).extract(site)
+        texts = sorted(site.text_node(n).text for n in extracted)
+        assert texts == ["ALPHA", "BETA", "GAMMA"]
+
+    def test_single_label_learns_long_context(self, site):
+        inductor = LRInductor()
+        labels = frozenset({label_with_text(site, "GAMMA")})
+        wrapper = inductor.induce(site, labels)
+        # Context extends beyond the immediate <u> tag.
+        assert len(wrapper.left) > len("<u>")
+
+    def test_noisy_label_overgeneralizes(self, site):
+        # Adding a non-name label (different context) shortens the
+        # delimiters and floods the extraction — Sec. 1's failure mode.
+        inductor = LRInductor()
+        clean = frozenset(
+            {label_with_text(site, "ALPHA"), label_with_text(site, "BETA")}
+        )
+        noisy = clean | {label_with_text(site, "two")}
+        clean_count = len(inductor.induce(site, clean).extract(site))
+        noisy_count = len(inductor.induce(site, noisy).extract(site))
+        assert noisy_count > clean_count
+
+    def test_empty_labels_rejected(self, site):
+        with pytest.raises(ValueError):
+            LRInductor().induce(site, frozenset())
+
+    def test_delimiter_cap_respected(self, site):
+        inductor = LRInductor(max_delimiter_length=4)
+        labels = frozenset({label_with_text(site, "GAMMA")})
+        wrapper = inductor.induce(site, labels)
+        assert len(wrapper.left) <= 4
+        assert len(wrapper.right) <= 4
+
+
+class TestFeatureView:
+    def test_feature_values_match_context(self, site):
+        inductor = LRInductor()
+        node_id = label_with_text(site, "ALPHA")
+        assert inductor.value(site, node_id, ("L", 3)) == "<u>"
+        assert inductor.value(site, node_id, ("R", 4)) == "</u>"
+
+    def test_value_none_beyond_document_start(self, site):
+        inductor = LRInductor()
+        first_text = sorted(site.iter_text_node_ids())[0]
+        node = site.text_node(first_text)
+        too_long = node.start + 1
+        assert inductor.value(site, first_text, ("L", too_long)) is None
+
+    def test_feature_map_agrees_with_value(self, site):
+        inductor = LRInductor(max_delimiter_length=16)
+        node_id = label_with_text(site, "BETA")
+        features = inductor.feature_map(site, node_id)
+        for attr, value in features.items():
+            assert inductor.value(site, node_id, attr) == value
+
+    def test_wrapper_for_features_takes_longest(self, site):
+        inductor = LRInductor()
+        wrapper = inductor.wrapper_for_features(
+            site, {("L", 1): ">", ("L", 3): "<u>", ("R", 2): "</"}
+        )
+        assert wrapper == LRWrapper(left="<u>", right="</")
+
+    def test_attribute_stream_is_finite(self, site):
+        inductor = LRInductor()
+        labels = frozenset(
+            {label_with_text(site, "ALPHA"), label_with_text(site, "one")}
+        )
+        attrs = list(inductor.attribute_stream(site, labels))
+        assert attrs
+        assert len(attrs) < 1000
+
+
+class TestScanExtraction:
+    def test_scan_finds_minimal_spans(self):
+        wrapper = LRWrapper(left="<td>", right="</td>")
+        spans = wrapper.scan_page("<td>a</td><td>bb</td>")
+        assert spans == [(4, 5), (14, 16)]
+
+    def test_scan_empty_delimiters(self):
+        assert LRWrapper(left="", right="x").scan_page("xyz") == []
+
+    def test_scan_no_match(self):
+        assert LRWrapper(left="<q>", right="</q>").scan_page("<td>a</td>") == []
+
+    def test_scan_agrees_with_extract_on_clean_markup(self, site):
+        inductor = LRInductor()
+        labels = frozenset(
+            {label_with_text(site, "ALPHA"), label_with_text(site, "BETA")}
+        )
+        wrapper = inductor.induce(site, labels)
+        for page in site.pages:
+            node_spans = {
+                (site.text_node(n).start, site.text_node(n).end)
+                for n in wrapper.extract(site)
+                if n.page == page.page_index
+            }
+            scan_spans = set(wrapper.scan_page(page.source))
+            # Every extracted node's span is found by the classic scan.
+            assert node_spans <= scan_spans

@@ -1,0 +1,121 @@
+"""Well-behavedness (Definition 1) for all inductors, incl. property tests.
+
+Theorems 4 and 5 of the paper state LR and XPATH are well-behaved; the
+TABLE inductor is argued well-behaved in Sec. 4.  These tests check
+fidelity, closure and monotonicity on concrete and hypothesis-generated
+label sets over both grid and HTML corpora.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.site import Site
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.properties import (
+    check_closure,
+    check_fidelity,
+    check_monotonicity,
+    is_well_behaved,
+)
+from repro.wrappers.table import Grid, TableInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+GRID = Grid(4, 5)
+
+_HTML_PAGES = [
+    "<div class='a'><table>"
+    "<tr><td><u>N1</u></td><td>S1</td><td><b>P1</b></td></tr>"
+    "<tr><td><u>N2</u></td><td>S2</td><td><b>P2</b></td></tr>"
+    "</table></div><ul><li>x1</li><li>x2</li></ul>",
+    "<div class='a'><table>"
+    "<tr><td><u>N3</u></td><td>S3</td><td><b>P3</b></td></tr>"
+    "</table></div><ul><li>x3</li></ul>",
+]
+HTML_SITE = Site.from_html("props", _HTML_PAGES)
+HTML_TEXT_IDS = sorted(HTML_SITE.iter_text_node_ids())
+
+grid_labels = st.sets(
+    st.sampled_from(sorted(GRID.all_cells())), min_size=1, max_size=6
+).map(frozenset)
+
+html_labels = st.sets(
+    st.sampled_from(HTML_TEXT_IDS), min_size=1, max_size=5
+).map(frozenset)
+
+
+class TestTableWellBehaved:
+    @settings(max_examples=60, deadline=None)
+    @given(grid_labels)
+    def test_fidelity(self, labels):
+        assert check_fidelity(TableInductor(), GRID, labels)
+
+    @settings(max_examples=60, deadline=None)
+    @given(grid_labels)
+    def test_closure(self, labels):
+        assert check_closure(TableInductor(), GRID, labels)
+
+    @settings(max_examples=60, deadline=None)
+    @given(grid_labels)
+    def test_monotonicity(self, labels):
+        assert check_monotonicity(TableInductor(), GRID, labels)
+
+
+class TestXPathWellBehaved:
+    @settings(max_examples=40, deadline=None)
+    @given(html_labels)
+    def test_fidelity(self, labels):
+        assert check_fidelity(XPathInductor(), HTML_SITE, labels)
+
+    @settings(max_examples=40, deadline=None)
+    @given(html_labels)
+    def test_closure(self, labels):
+        assert check_closure(XPathInductor(), HTML_SITE, labels)
+
+    @settings(max_examples=40, deadline=None)
+    @given(html_labels)
+    def test_monotonicity(self, labels):
+        assert check_monotonicity(XPathInductor(), HTML_SITE, labels)
+
+
+class TestLRWellBehaved:
+    @settings(max_examples=40, deadline=None)
+    @given(html_labels)
+    def test_fidelity(self, labels):
+        assert check_fidelity(LRInductor(), HTML_SITE, labels)
+
+    @settings(max_examples=40, deadline=None)
+    @given(html_labels)
+    def test_closure(self, labels):
+        assert check_closure(LRInductor(), HTML_SITE, labels)
+
+    @settings(max_examples=40, deadline=None)
+    @given(html_labels)
+    def test_monotonicity(self, labels):
+        assert check_monotonicity(LRInductor(), HTML_SITE, labels)
+
+
+class TestCheckers:
+    def test_empty_labels_vacuously_pass(self):
+        inductor = TableInductor()
+        assert check_fidelity(inductor, GRID, frozenset())
+        assert check_closure(inductor, GRID, frozenset())
+        assert check_monotonicity(inductor, GRID, frozenset())
+
+    def test_is_well_behaved_combines_all(self, dealer_site):
+        labels = frozenset(
+            dealer_site.find_text_nodes("PORTER FURNITURE")
+            + dealer_site.find_text_nodes("HOUSE OF VALUES")
+        )
+        assert is_well_behaved(XPathInductor(), dealer_site, labels)
+
+    def test_detects_misbehaving_inductor(self):
+        """A deliberately broken inductor must fail fidelity."""
+
+        class Broken(TableInductor):
+            def induce(self, corpus, labels):
+                # Always returns a single fixed cell — ignores labels.
+                return super().induce(corpus, frozenset({corpus.cell(0, 0)}))
+
+        labels = frozenset({GRID.cell(1, 1), GRID.cell(2, 2)})
+        assert not check_fidelity(Broken(), GRID, labels)

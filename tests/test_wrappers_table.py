@@ -1,0 +1,120 @@
+"""Tests for the TABLE inductor — the paper's Examples 1 and 3."""
+
+import pytest
+
+from repro.wrappers.table import Grid, TableInductor, TableWrapper
+
+
+@pytest.fixture()
+def grid():
+    return Grid(5, 4)
+
+
+@pytest.fixture()
+def inductor():
+    return TableInductor()
+
+
+class TestGrid:
+    def test_cell_roundtrip(self, grid):
+        for row in range(5):
+            for col in range(4):
+                assert grid.position(grid.cell(row, col)) == (row, col)
+
+    def test_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell(5, 0)
+        with pytest.raises(IndexError):
+            grid.cell(0, 4)
+
+    def test_all_cells_count(self, grid):
+        assert len(grid.all_cells()) == 20
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Grid(0, 3)
+
+
+class TestInduction:
+    def test_single_label_returns_itself(self, grid, inductor):
+        n1 = grid.cell(0, 0)
+        wrapper = inductor.induce(grid, frozenset({n1}))
+        assert wrapper.extract(grid) == frozenset({n1})
+
+    def test_same_column_generalizes_to_column(self, grid, inductor):
+        labels = frozenset({grid.cell(0, 0), grid.cell(1, 0)})
+        wrapper = inductor.induce(grid, labels)
+        assert wrapper == TableWrapper(row=None, col=0)
+        assert wrapper.extract(grid) == frozenset(
+            grid.cell(r, 0) for r in range(5)
+        )
+
+    def test_same_row_generalizes_to_row(self, grid, inductor):
+        labels = frozenset({grid.cell(3, 0), grid.cell(3, 1)})
+        wrapper = inductor.induce(grid, labels)
+        assert wrapper == TableWrapper(row=3, col=None)
+
+    def test_spanning_labels_generalize_to_table(self, grid, inductor):
+        # {a4, z5} from Example 1 spans two rows and two columns.
+        labels = frozenset({grid.cell(3, 1), grid.cell(4, 2)})
+        wrapper = inductor.induce(grid, labels)
+        assert wrapper == TableWrapper(row=None, col=None)
+        assert wrapper.extract(grid) == grid.all_cells()
+
+    def test_empty_labels_rejected(self, grid, inductor):
+        with pytest.raises(ValueError):
+            inductor.induce(grid, frozenset())
+
+    def test_example3_feature_view(self, grid, inductor):
+        # Example 3: features of n1 are {(row, 1), (col, 1)} (1-based in
+        # the paper; zero-based here).
+        features = inductor.feature_map(grid, grid.cell(0, 0))
+        assert features == {"row": 0, "col": 0}
+
+    def test_example3_intersection_is_column(self, grid, inductor):
+        labels = frozenset(
+            {grid.cell(0, 0), grid.cell(1, 0), grid.cell(3, 0)}
+        )
+        shared = inductor.shared_features(grid, labels)
+        assert shared == {"col": 0}
+
+    def test_example3_empty_intersection_is_table(self, grid, inductor):
+        labels = frozenset({grid.cell(0, 0), grid.cell(3, 1)})
+        shared = inductor.shared_features(grid, labels)
+        assert shared == {}
+        wrapper = inductor.wrapper_for_features(grid, shared)
+        assert wrapper.extract(grid) == grid.all_cells()
+
+
+class TestWrapperRules:
+    def test_rules_are_distinct(self, grid):
+        rules = {
+            TableWrapper(row=None, col=None).rule(),
+            TableWrapper(row=1, col=None).rule(),
+            TableWrapper(row=None, col=1).rule(),
+            TableWrapper(row=1, col=1).rule(),
+        }
+        assert len(rules) == 4
+
+    def test_wrappers_hashable(self):
+        assert TableWrapper(row=1, col=2) == TableWrapper(row=1, col=2)
+        assert hash(TableWrapper(row=1, col=2)) == hash(TableWrapper(row=1, col=2))
+
+
+class TestSubdivision:
+    def test_subdivision_by_col(self, grid, inductor):
+        subset = frozenset(
+            {grid.cell(0, 0), grid.cell(1, 0), grid.cell(3, 1), grid.cell(4, 2)}
+        )
+        parts = inductor.subdivision(grid, subset, "col")
+        sizes = sorted(len(p) for p in parts)
+        assert sizes == [1, 1, 2]
+
+    def test_subdivision_parts_are_disjoint(self, grid, inductor):
+        subset = grid.all_cells()
+        parts = inductor.subdivision(grid, subset, "row")
+        seen = set()
+        for part in parts:
+            assert not (part & seen)
+            seen |= part
+        assert seen == subset

@@ -1,0 +1,170 @@
+"""Tests for the XPATH inductor: features, induction, rendering."""
+
+import pytest
+
+from repro.site import Site
+from repro.wrappers.xpath_inductor import XPathInductor, XPathWrapper
+from repro.xpathlang import evaluate
+
+
+@pytest.fixture()
+def site():
+    return Site.from_html(
+        "shop",
+        [
+            "<div class='main'><table>"
+            "<tr><td><u>ALPHA</u></td><td>one</td></tr>"
+            "<tr><td><u>BETA</u></td><td>two</td></tr>"
+            "</table></div><div class='side'><ul><li>noise</li></ul></div>",
+            "<div class='main'><table>"
+            "<tr><td><u>GAMMA</u></td><td>three</td></tr>"
+            "</table></div><div class='side'><ul><li>promo</li></ul></div>",
+        ],
+    )
+
+
+def label(site, text):
+    (node_id,) = site.find_text_nodes(text)
+    return node_id
+
+
+class TestFeatures:
+    def test_position_one_is_parent(self, site):
+        inductor = XPathInductor()
+        features = inductor.feature_map(site, label(site, "ALPHA"))
+        assert features[(1, "tag")] == "u"
+        assert features[(2, "tag")] == "td"
+        assert features[(3, "tag")] == "tr"
+
+    def test_childnumber_feature(self, site):
+        inductor = XPathInductor()
+        one = inductor.feature_map(site, label(site, "one"))
+        assert one[(1, "tag")] == "td"
+        assert one[(1, "childnum")] == 2
+
+    def test_html_attribute_feature(self, site):
+        inductor = XPathInductor()
+        features = inductor.feature_map(site, label(site, "ALPHA"))
+        depth = max(pos for pos, _ in features)
+        assert features[(depth - 1, "@class")] == "main"
+
+    def test_attribute_stream_covers_all_label_attrs(self, site):
+        inductor = XPathInductor()
+        labels = frozenset({label(site, "ALPHA"), label(site, "one")})
+        stream = list(inductor.attribute_stream(site, labels))
+        assert len(stream) == len(set(stream))
+        for node_id in labels:
+            for attr in inductor.feature_map(site, node_id):
+                assert attr in stream
+
+
+class TestInduction:
+    def test_clean_labels_learn_precise_rule(self, site):
+        inductor = XPathInductor()
+        labels = frozenset({label(site, "ALPHA"), label(site, "BETA")})
+        extracted = inductor.induce(site, labels).extract(site)
+        texts = sorted(site.text_node(n).text for n in extracted)
+        assert texts == ["ALPHA", "BETA", "GAMMA"]
+
+    def test_noisy_label_overgeneralizes(self, site):
+        inductor = XPathInductor()
+        clean = frozenset({label(site, "ALPHA"), label(site, "BETA")})
+        noisy = clean | {label(site, "noise")}
+        clean_set = inductor.induce(site, clean).extract(site)
+        noisy_set = inductor.induce(site, noisy).extract(site)
+        assert clean_set < noisy_set
+
+    def test_single_label_extracts_consistent_position(self, site):
+        inductor = XPathInductor()
+        wrapper = inductor.induce(site, frozenset({label(site, "ALPHA")}))
+        extracted = wrapper.extract(site)
+        texts = sorted(site.text_node(n).text for n in extracted)
+        # ALPHA is in row 1; GAMMA occupies the same position on page 2.
+        assert texts == ["ALPHA", "GAMMA"]
+
+    def test_candidates_are_all_text_nodes(self, site):
+        inductor = XPathInductor()
+        assert inductor.candidates(site) == site.text_node_ids()
+
+
+class TestRendering:
+    def test_rendered_xpath_evaluates_to_extraction(self, site):
+        inductor = XPathInductor()
+        labels = frozenset({label(site, "ALPHA"), label(site, "BETA")})
+        wrapper = inductor.induce(site, labels)
+        assert wrapper.exactly_renderable
+        path = wrapper.to_xpath()
+        for page in site.pages:
+            evaluated = {n.node_id for n in evaluate(path, page)}
+            extracted = {
+                n for n in wrapper.extract(site) if n.page == page.page_index
+            }
+            assert evaluated == extracted
+
+    def test_rendering_includes_class_filter(self, site):
+        inductor = XPathInductor()
+        labels = frozenset({label(site, "ALPHA"), label(site, "BETA")})
+        rule = inductor.induce(site, labels).rule()
+        assert "@class='main'" in rule
+        assert rule.endswith("/text()")
+
+    def test_empty_feature_wrapper_renders_wildcard(self):
+        wrapper = XPathWrapper(features=frozenset())
+        assert wrapper.rule() == "//*/text()"
+
+    def test_gap_positions_render_as_wildcard(self):
+        wrapper = XPathWrapper(
+            features=frozenset({((1, "tag"), "u"), ((3, "tag"), "tr")})
+        )
+        assert wrapper.rule() == "//tr/*/u/text()"
+
+    def test_childnum_without_tag_not_exactly_renderable(self):
+        wrapper = XPathWrapper(features=frozenset({((1, "childnum"), 2)}))
+        assert not wrapper.exactly_renderable
+
+    def test_wrapper_equality_by_features(self):
+        a = XPathWrapper(features=frozenset({((1, "tag"), "u")}))
+        b = XPathWrapper(features=frozenset({((1, "tag"), "u")}))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPaperFigure1:
+    """The Section 1 narrative: one bad label over-generalizes the rule."""
+
+    @pytest.fixture()
+    def figure1(self):
+        page = (
+            "<div class='dealerlinks'><table>"
+            "<tr><td><u>PORTER FURNITURE</u><br>201 HWY. 30 West<br>"
+            "NEW ALBANY, MS 38652</td></tr>"
+            "<tr><td><u>WOODLAND FURNITURE</u><br>123 Main St.<br>"
+            "WOODLAND, MS 3977</td></tr>"
+            "</table></div>"
+        )
+        return Site.from_html("albany", [page])
+
+    def test_clean_rule_extracts_only_names(self, figure1):
+        inductor = XPathInductor()
+        labels = frozenset(
+            {
+                label(figure1, "PORTER FURNITURE"),
+                label(figure1, "WOODLAND FURNITURE"),
+            }
+        )
+        extracted = inductor.induce(figure1, labels).extract(figure1)
+        texts = sorted(figure1.text_node(n).text for n in extracted)
+        assert texts == ["PORTER FURNITURE", "WOODLAND FURNITURE"]
+
+    def test_bad_label_pulls_in_all_td_text(self, figure1):
+        inductor = XPathInductor()
+        labels = frozenset(
+            {
+                label(figure1, "PORTER FURNITURE"),
+                label(figure1, "WOODLAND FURNITURE"),
+                label(figure1, "WOODLAND, MS 3977"),  # label "3" in Fig. 1
+            }
+        )
+        extracted = inductor.induce(figure1, labels).extract(figure1)
+        # The over-generalized rule now matches every text under td.
+        assert len(extracted) == 6

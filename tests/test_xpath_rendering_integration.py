@@ -1,0 +1,58 @@
+"""Integration property: learned XPATH wrappers render to xpaths whose
+evaluation reproduces feature-based extraction, across the full variety
+of generated site templates.
+
+This ties the three substrates together: the dataset generator's
+rendering scripts, the feature-based inductor, and the xpath engine.
+"""
+
+import pytest
+
+from repro.framework.ntw import subsample_labels
+from repro.wrappers.xpath_inductor import XPathInductor
+from repro.xpathlang import evaluate
+
+
+def _check_equivalence(site, labels):
+    inductor = XPathInductor()
+    wrapper = inductor.induce(site, labels)
+    if not wrapper.exactly_renderable:
+        pytest.skip("wrapper has a childnum constraint without a tag")
+    path = wrapper.to_xpath()
+    evaluated = set()
+    for page in site.pages:
+        evaluated |= {node.node_id for node in evaluate(path, page)}
+    assert evaluated == set(wrapper.extract(site))
+
+
+class TestRenderingEquivalenceAcrossTemplates:
+    def test_dealers_gold_wrappers(self, small_dealers):
+        for generated in small_dealers.sites:
+            _check_equivalence(generated.site, generated.gold["name"])
+
+    def test_dealers_phone_wrappers(self, small_dealers):
+        for generated in small_dealers.sites:
+            _check_equivalence(generated.site, generated.gold["phone"])
+
+    def test_disc_track_wrappers(self, small_disc):
+        for generated in small_disc.sites:
+            _check_equivalence(generated.site, generated.gold["track"])
+
+    def test_products_name_wrappers(self, small_products):
+        for generated in small_products.sites:
+            _check_equivalence(generated.site, generated.gold["name"])
+
+    def test_noisy_label_wrappers(self, small_dealers):
+        """Equivalence holds for wrappers induced from noisy labels too."""
+        annotator = small_dealers.annotator()
+        for generated in small_dealers.sites[:4]:
+            labels = subsample_labels(
+                annotator.annotate(generated.site), 12
+            )
+            if labels:
+                _check_equivalence(generated.site, labels)
+
+    def test_singleton_label_wrappers(self, small_dealers):
+        for generated in small_dealers.sites[:3]:
+            first = min(generated.gold["name"])
+            _check_equivalence(generated.site, frozenset({first}))

@@ -1,0 +1,172 @@
+"""Tests for the xpath fragment: parser and evaluator."""
+
+import pytest
+
+from repro.htmldom.treebuilder import parse_html
+from repro.xpathlang import (
+    XPathSyntaxError,
+    evaluate,
+    parse_xpath,
+)
+from repro.xpathlang.ast import Axis, PositionPredicate, AttributePredicate
+
+
+class TestParser:
+    def test_simple_descendant(self):
+        path = parse_xpath("//td")
+        assert len(path.steps) == 1
+        assert path.steps[0].axis is Axis.DESCENDANT
+        assert path.steps[0].test == "td"
+        assert not path.selects_text
+
+    def test_child_chain(self):
+        path = parse_xpath("//table/tr/td")
+        assert [s.axis for s in path.steps] == [
+            Axis.DESCENDANT,
+            Axis.CHILD,
+            Axis.CHILD,
+        ]
+
+    def test_text_selector(self):
+        path = parse_xpath("//td/text()")
+        assert path.selects_text
+
+    def test_attribute_predicate(self):
+        path = parse_xpath("//div[@class='dealerlinks']")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, AttributePredicate)
+        assert predicate.name == "class"
+        assert predicate.value == "dealerlinks"
+
+    def test_double_quoted_attribute(self):
+        path = parse_xpath('//div[@class="x y"]')
+        assert path.steps[0].predicates[0].value == "x y"
+
+    def test_position_predicate(self):
+        path = parse_xpath("//td[2]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, PositionPredicate)
+        assert predicate.position == 2
+
+    def test_combined_predicates(self):
+        path = parse_xpath("//table[1]/tr/td[2]/text()")
+        assert path.steps[0].predicates == (PositionPredicate(1),)
+        assert path.steps[2].predicates == (PositionPredicate(2),)
+
+    def test_wildcard(self):
+        path = parse_xpath("//*")
+        assert path.steps[0].test == "*"
+
+    def test_paper_example_roundtrip(self):
+        text = "//div[@class='content']/table[1]/tr/td[2]/text()"
+        assert str(parse_xpath(text)) == text
+
+    def test_escaped_quote_in_value(self):
+        path = parse_xpath("//div[@title='it\\'s']")
+        assert path.steps[0].predicates[0].value == "it's"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "td",
+            "//",
+            "//td[",
+            "//td[@]",
+            "//td[@a=']",
+            "//td[1.5]",
+            "//text()",
+            "//td/text()/b",
+            "//td[@a='x'",
+        ],
+    )
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+
+@pytest.fixture()
+def doc():
+    return parse_html(
+        """
+        <html><body>
+        <div class='dealerlinks'>
+          <table>
+            <tr><td><u>A1</u></td><td>B1</td></tr>
+            <tr><td><u>A2</u></td><td>B2</td></tr>
+          </table>
+        </div>
+        <div class='other'>
+          <table><tr><td>C1</td></tr></table>
+        </div>
+        </body></html>
+        """
+    )
+
+
+def texts(nodes):
+    return [n.text for n in nodes]
+
+
+class TestEvaluator:
+    def test_descendant_tag(self, doc):
+        assert len(evaluate("//td", doc)) == 5
+
+    def test_attribute_filter(self, doc):
+        result = evaluate("//div[@class='dealerlinks']//u/text()", doc)
+        assert texts(result) == ["A1", "A2"]
+
+    def test_child_vs_descendant(self, doc):
+        assert evaluate("//div/u", doc) == []
+        assert len(evaluate("//div//u", doc)) == 2
+
+    def test_position_within_parent_groups(self, doc):
+        result = evaluate("//td[2]/text()", doc)
+        assert texts(result) == ["B1", "B2"]
+
+    def test_position_on_rows(self, doc):
+        result = evaluate("//tr[2]/td[1]/u/text()", doc)
+        assert texts(result) == ["A2"]
+
+    def test_wildcard_step(self, doc):
+        result = evaluate("//table/tr/*[1]/u/text()", doc)
+        assert texts(result) == ["A1", "A2"]
+
+    def test_text_of_all_tds(self, doc):
+        result = evaluate("//td/text()", doc)
+        assert texts(result) == ["B1", "B2", "C1"]
+
+    def test_no_match(self, doc):
+        assert evaluate("//section", doc) == []
+
+    def test_absolute_root_step(self, doc):
+        assert evaluate("/html", doc) == [doc.root]
+
+    def test_root_matchable_by_descendant_axis(self, doc):
+        assert doc.root in evaluate("//html", doc)
+
+    def test_results_in_document_order(self, doc):
+        result = evaluate("//td", doc)
+        orders = [n.node_id.preorder for n in result]
+        assert orders == sorted(orders)
+
+    def test_results_deduplicated(self, doc):
+        result = evaluate("//div//table", doc)
+        assert len(result) == len({id(n) for n in result})
+
+    def test_string_and_ast_agree(self, doc):
+        text = "//div[@class='dealerlinks']/table/tr/td/u/text()"
+        assert evaluate(text, doc) == evaluate(parse_xpath(text), doc)
+
+    def test_position_filter_out_of_range(self, doc):
+        assert evaluate("//tr[9]", doc) == []
+
+    def test_paper_figure1_rule(self):
+        doc = parse_html(
+            "<div class='dealerlinks'><table>"
+            "<tr><td><u>PORTER FURNITURE</u><br>201 HWY<br>NEW ALBANY</td></tr>"
+            "<tr><td><u>WOODLAND FURNITURE</u><br>123 MAIN<br>WOODLAND</td></tr>"
+            "</table></div>"
+        )
+        result = evaluate("//div[@class='dealerlinks']//td/u/text()", doc)
+        assert texts(result) == ["PORTER FURNITURE", "WOODLAND FURNITURE"]
