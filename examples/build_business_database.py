@@ -2,82 +2,77 @@
 
 The paper's motivating application (Sec. 1): "extract business listings
 from all the store locator pages on the Web... Compiling such a
-database can be immensely useful".  This example runs the full
-unsupervised pipeline over a fleet of generated dealer-locator sites —
-one wrapper learned per site, no per-site human labels — and emits the
-combined (site, name, zipcode) database as CSV, with per-site audit
-numbers against the generator's gold labels.
+database can be immensely useful".  This example runs the pipeline the
+way a production deployment would, via the :mod:`repro.api` facade:
 
-Run:  python examples/build_business_database.py [output.csv]
+1. **learn phase** — one wrapper per site per field (name, zipcode),
+   learned from noisy automatic annotations and saved to disk as JSON
+   :class:`~repro.api.WrapperArtifact` files;
+2. **apply phase** — the artifacts are loaded back and re-applied with
+   *no relearning* (on a real crawl this is the step that runs over
+   millions of pages), records are assembled, and the combined
+   (site, name, zipcode) database is emitted as CSV with per-site audit
+   numbers against the generator's gold labels.
+
+Run:  python examples/build_business_database.py [output.csv] [wrapper_dir]
 """
 
 import csv
 import io
 import sys
+from pathlib import Path
 
 from repro.annotators.regex import zipcode_annotator
+from repro.api import Extractor, ExtractorConfig, WrapperArtifact
 from repro.datasets import generate_dealers
 from repro.evaluation.metrics import prf
 from repro.evaluation.runner import split_sites
-from repro.framework import MultiTypeNTW
-from repro.ranking.annotation import AnnotationModel
-from repro.ranking.publication import PublicationModel
-from repro.wrappers import XPathInductor
+from repro.framework.multitype import assemble_records
 
 
-def fit_models(train, name_annotator, zip_annotator):
-    triples = {"name": [], "zipcode": []}
-    pairs, type_maps = [], []
-    for generated in train:
-        total = generated.site.total_text_nodes()
-        triples["name"].append(
-            (name_annotator.annotate(generated.site), generated.gold["name"], total)
-        )
-        triples["zipcode"].append(
-            (zip_annotator.annotate(generated.site), generated.gold["zipcode"], total)
-        )
-        type_map = {n: "name" for n in generated.gold["name"]} | {
-            z: "zipcode" for z in generated.gold["zipcode"]
-        }
-        pairs.append((generated.site, frozenset(type_map)))
-        type_maps.append(type_map)
-    annotation = {t: AnnotationModel.estimate(ts) for t, ts in triples.items()}
-    publication = PublicationModel.fit(
-        pairs, type_maps=type_maps, boundary_type="name"
-    )
-    return annotation, publication
+def learn_and_save(train, test, annotators, gold_type_of, wrapper_dir: Path) -> None:
+    """Learn one artifact per (site, field) and save them all as JSON."""
+    print("learn phase: one wrapper per site per field, saved to disk")
+    for field, annotator in annotators.items():
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="ntw"))
+        extractor.fit(train, annotator, gold_type_of[field])
+        result = extractor.learn_many(test, annotator=annotator)
+        for outcome in result.failures:
+            print(f"  {outcome.site}/{field}: FAILED ({outcome.error})")
+        for outcome in result.successes:
+            outcome.artifact.save(wrapper_dir / f"{outcome.site}--{field}.json")
+        print(f"  {field}: {result.summary()}")
 
 
-def main() -> None:
-    dataset = generate_dealers(
-        n_sites=14, pages_per_site=6, seed=11, separate_zip=True
-    )
-    name_annotator = dataset.annotator()
-    zip_annotator = zipcode_annotator()
-    train, test = split_sites(dataset.sites)
-    annotation, publication = fit_models(train, name_annotator, zip_annotator)
-    learner = MultiTypeNTW(
-        XPathInductor(), annotation, publication, primary="name"
-    )
-
+def apply_and_emit(test, gold_type_of, wrapper_dir: Path) -> tuple[str, int]:
+    """Load saved artifacts, re-extract (no relearning), build the CSV."""
+    print("apply phase: reloading artifacts, extracting records:")
+    # One artifact per (site, field): key by filename stem, not site name.
+    artifacts = {
+        path.stem: WrapperArtifact.load(path)
+        for path in sorted(wrapper_dir.glob("*.json"))
+    }
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["site", "business_name", "zipcode"])
     total_rows = 0
-    print("learning one wrapper per site, extracting records:")
     for generated in test:
-        labels = {
-            "name": name_annotator.annotate(generated.site),
-            "zipcode": zip_annotator.annotate(generated.site),
-        }
-        result = learner.learn(generated.site, labels)
+        extractions = {}
+        for field in gold_type_of:
+            artifact = artifacts.get(f"{generated.name}--{field}")
+            if artifact is not None:
+                extractions[field] = artifact.apply(generated.site)
+        if "name" not in extractions:
+            continue
+        records = (
+            assemble_records(extractions, primary="name", site=generated.site)
+            or []
+        )
         names = frozenset(
-            record.get("name")
-            for record in result.records
-            if record.get("name") is not None
+            record.get("name") for record in records if record.get("name")
         )
         audit = prf(names, generated.gold["name"])
-        for record in result.records:
+        for record in records:
             name_node = record.get("name")
             zip_node = record.get("zipcode")
             writer.writerow(
@@ -87,13 +82,29 @@ def main() -> None:
                     generated.site.text_node(zip_node).text if zip_node else "",
                 ]
             )
-        total_rows += len(result.records)
+        total_rows += len(records)
         print(
-            f"  {generated.name}: {len(result.records):3d} records "
+            f"  {generated.name}: {len(records):3d} records "
             f"(name audit vs gold: P={audit.precision:.2f} R={audit.recall:.2f})"
         )
+    return buffer.getvalue(), total_rows
 
-    output = buffer.getvalue()
+
+def main() -> None:
+    # separate_zip renders zipcodes as their own text nodes, enabling
+    # multi-field (name, zipcode) records.
+    dataset = generate_dealers(
+        n_sites=14, pages_per_site=6, seed=11, separate_zip=True
+    )
+    annotators = {"name": dataset.annotator(), "zipcode": zipcode_annotator()}
+    gold_type_of = {"name": "name", "zipcode": "zipcode"}
+    train, test = split_sites(dataset.sites)
+
+    wrapper_dir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("business_wrappers")
+    wrapper_dir.mkdir(parents=True, exist_ok=True)
+    learn_and_save(train, test, annotators, gold_type_of, wrapper_dir)
+    output, total_rows = apply_and_emit(test, gold_type_of, wrapper_dir)
+
     if len(sys.argv) > 1:
         with open(sys.argv[1], "w", encoding="utf-8") as handle:
             handle.write(output)
@@ -103,6 +114,7 @@ def main() -> None:
         print(f"\nbuilt a database of {total_rows} records; first rows:")
         for line in preview[:8]:
             print(f"  {line}")
+    print(f"wrappers persisted in {wrapper_dir}/ — rerun apply without relearning")
 
 
 if __name__ == "__main__":

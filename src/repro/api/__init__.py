@@ -1,0 +1,89 @@
+"""``repro.api`` — the public entry point for extraction at scale.
+
+This package is the stable surface every caller (CLI, benchmarks,
+examples, downstream code) builds on:
+
+- **registries** (:mod:`repro.api.registry`): string-keyed plugin
+  registries for inductors, annotators, enumerators and datasets, with
+  decorator-based registration;
+- **facade** (:mod:`repro.api.extractor`): :class:`Extractor`, driven by
+  an :class:`ExtractorConfig`, turning noisy labels into learned
+  wrappers;
+- **artifacts** (:mod:`repro.api.artifacts`): :class:`WrapperArtifact`,
+  the serializable learn-once/apply-many record of a learned wrapper;
+- **batch** (:mod:`repro.api.batch`): ``learn_many``/``apply_many`` with
+  pluggable executors and per-site error isolation.
+
+Quickstart::
+
+    from repro.api import Extractor, ExtractorConfig, load_dataset
+
+    bundle = load_dataset("dealers", sites=8, pages=6, seed=11)
+    train, test = bundle.sites[::2], bundle.sites[1::2]
+    extractor = Extractor(ExtractorConfig(inductor="xpath", method="ntw"))
+    extractor.fit(train, bundle.annotator, bundle.gold_type)
+
+    result = extractor.learn_many(test, annotator=bundle.annotator)
+    for outcome in result.successes:
+        outcome.artifact.save(f"wrappers/{outcome.site}.json")
+"""
+
+from repro.api.artifacts import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    SchemaVersionError,
+    WrapperArtifact,
+    load_artifacts,
+)
+from repro.api.batch import (
+    BatchResult,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SiteOutcome,
+    apply_many,
+    learn_many,
+    resolve_executor,
+)
+from repro.api.extractor import (
+    METHODS,
+    Extractor,
+    ExtractorConfig,
+    ExtractorError,
+)
+from repro.api.registry import (
+    ANNOTATORS,
+    DATASETS,
+    ENUMERATORS,
+    INDUCTORS,
+    DatasetBundle,
+    Registry,
+    RegistryError,
+    load_dataset,
+)
+
+__all__ = [
+    "ANNOTATORS",
+    "ArtifactError",
+    "BatchResult",
+    "DATASETS",
+    "DatasetBundle",
+    "ENUMERATORS",
+    "Extractor",
+    "ExtractorConfig",
+    "ExtractorError",
+    "INDUCTORS",
+    "METHODS",
+    "ProcessPoolExecutor",
+    "Registry",
+    "RegistryError",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "SerialExecutor",
+    "SiteOutcome",
+    "WrapperArtifact",
+    "apply_many",
+    "learn_many",
+    "load_artifacts",
+    "load_dataset",
+    "resolve_executor",
+]

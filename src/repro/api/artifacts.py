@@ -1,0 +1,148 @@
+"""Serializable wrapper artifacts — learn once, re-apply anywhere.
+
+The paper's economics (Sec. 1) hinge on wrappers being *cheap to
+re-apply*: learning runs once per site over a handful of labeled pages,
+extraction runs over millions of pages.  A :class:`WrapperArtifact` is
+the learned half of that split made durable: the wrapper rule as a
+portable spec (see :meth:`repro.wrappers.base.Wrapper.to_spec`), the
+score decomposition that selected it, and enough provenance to audit or
+reproduce the learning run.  Artifacts round-trip through JSON under a
+versioned schema, and :meth:`WrapperArtifact.apply` re-extracts from any
+site without touching the learning machinery.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.site import Site
+from repro.wrappers.base import Labels, Wrapper, wrapper_from_spec
+
+#: Version of the artifact JSON schema.  Bump on incompatible change;
+#: loading rejects any other version rather than guessing.
+SCHEMA_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """An artifact payload that cannot be understood."""
+
+
+class SchemaVersionError(ArtifactError):
+    """An artifact written under a different schema version."""
+
+
+@dataclass(slots=True)
+class WrapperArtifact:
+    """A learned wrapper, serialized: rule spec + score + provenance.
+
+    Attributes:
+        wrapper_spec: portable rule spec (``Wrapper.to_spec`` output).
+        rule: human-readable rule string, for logs and reports.
+        site: name of the site the wrapper was learned on.
+        inductor: registry key of the inductor that produced the rule.
+        method: learning method (``naive``/``ntw``/``ntw-l``/``ntw-x``).
+        score: score decomposition of the selected wrapper (empty for
+            methods that do not rank, i.e. ``naive``).
+        provenance: free-form learning context (config, label counts,
+            wrapper-space size, library version).
+        schema_version: artifact schema version (see :data:`SCHEMA_VERSION`).
+    """
+
+    wrapper_spec: dict
+    rule: str
+    site: str = ""
+    inductor: str = ""
+    method: str = ""
+    score: dict = field(default_factory=dict)
+    provenance: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # -- execution ---------------------------------------------------------
+
+    def wrapper(self) -> Wrapper:
+        """Rebuild the concrete wrapper from the stored spec."""
+        return wrapper_from_spec(self.wrapper_spec)
+
+    def apply(self, site: Site) -> Labels:
+        """Extract from ``site`` with the stored rule — no relearning."""
+        return self.wrapper().extract(site)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WrapperArtifact":
+        if not isinstance(payload, dict):
+            raise ArtifactError(f"artifact payload must be a dict; got {type(payload).__name__}")
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchemaVersionError(
+                f"artifact schema version {version!r} is not supported "
+                f"(this library reads version {SCHEMA_VERSION})"
+            )
+        spec = payload.get("wrapper_spec")
+        if not isinstance(spec, dict) or "kind" not in spec:
+            raise ArtifactError("artifact is missing a wrapper_spec with a 'kind'")
+        artifact = cls(
+            wrapper_spec=spec,
+            rule=str(payload.get("rule", "")),
+            site=str(payload.get("site", "")),
+            inductor=str(payload.get("inductor", "")),
+            method=str(payload.get("method", "")),
+            score=dict(payload.get("score") or {}),
+            provenance=dict(payload.get("provenance") or {}),
+            schema_version=SCHEMA_VERSION,
+        )
+        # Fail on unknown spec kinds at load time, not first apply().
+        artifact.wrapper()
+        return artifact
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WrapperArtifact":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ArtifactError(f"artifact is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact as JSON; returns the path written."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WrapperArtifact":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def load_artifacts(directory: str | Path) -> dict[str, WrapperArtifact]:
+    """Load every ``*.json`` artifact in a directory, keyed by site name.
+
+    Two files claiming the same site (e.g. per-field wrappers saved as
+    ``site--name.json`` / ``site--zipcode.json``) are ambiguous under a
+    site-keyed view, so duplicates raise :class:`ArtifactError` instead
+    of silently dropping all but one; load such files individually with
+    :meth:`WrapperArtifact.load`.
+    """
+    artifacts: dict[str, WrapperArtifact] = {}
+    sources: dict[str, Path] = {}
+    for path in sorted(Path(directory).glob("*.json")):
+        artifact = WrapperArtifact.load(path)
+        key = artifact.site or path.stem
+        if key in artifacts:
+            raise ArtifactError(
+                f"both {sources[key].name} and {path.name} claim site {key!r}; "
+                "load per-field artifacts individually with WrapperArtifact.load"
+            )
+        artifacts[key] = artifact
+        sources[key] = path
+    return artifacts

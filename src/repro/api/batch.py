@@ -1,0 +1,291 @@
+"""Batch execution: many sites, pluggable executors, isolated failures.
+
+The paper's target workload is *large scale* — hundreds of sites, each
+learned independently.  This module runs :class:`~repro.api.extractor.Extractor`
+learning (``learn_many``) and artifact application (``apply_many``) over
+a fleet of sites with:
+
+- a pluggable executor — :class:`SerialExecutor` (default) or
+  :class:`ProcessPoolExecutor` over ``concurrent.futures`` — chosen per
+  call, with the string shorthands ``"serial"`` and ``"process"``;
+- deterministic result ordering — outcomes always come back in input
+  order, whatever the executor's scheduling;
+- per-site error isolation — a site whose pages fail to parse, whose
+  labels are empty, or whose learning blows up is recorded as a
+  :class:`SiteOutcome` failure while every other site proceeds.
+
+Sites may be given as :class:`~repro.site.Site` objects, dataset
+:class:`~repro.datasets.sitegen.GeneratedSite` records, or raw
+``(name, [html, ...])`` pairs; raw pages are parsed *inside* the
+isolated task so parser failures are per-site failures, not run
+failures.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.annotators.base import Annotator
+from repro.api.artifacts import WrapperArtifact
+from repro.api.extractor import Extractor
+from repro.datasets.sitegen import GeneratedSite
+from repro.site import Site
+from repro.wrappers.base import Labels
+
+#: A site input: parsed, generated, or raw ``(name, page_sources)``.
+SiteLike = Site | GeneratedSite | tuple[str, Sequence[str]]
+
+
+@dataclass(slots=True)
+class SiteOutcome:
+    """Result of one site's task: success payload or recorded failure."""
+
+    index: int
+    site: str
+    ok: bool
+    artifact: WrapperArtifact | None = None
+    extracted: Labels | None = None
+    error: str | None = None
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Ordered outcomes of a batch run, success/failure views included."""
+
+    outcomes: list[SiteOutcome] = field(default_factory=list)
+
+    @property
+    def successes(self) -> list[SiteOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def failures(self) -> list[SiteOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def artifacts(self) -> list[WrapperArtifact]:
+        """Artifacts of the successful sites, in input order."""
+        return [
+            outcome.artifact
+            for outcome in self.outcomes
+            if outcome.ok and outcome.artifact is not None
+        ]
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def summary(self) -> str:
+        return f"{len(self.successes)}/{len(self.outcomes)} sites ok"
+
+
+# -- executors --------------------------------------------------------------
+
+
+class SerialExecutor:
+    """Run tasks in-process, one after another."""
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolExecutor:
+    """Fan tasks out over a ``concurrent.futures`` process pool.
+
+    Tasks and results cross process boundaries, so everything involved
+    (extractor, sites, artifacts) must be picklable — true for all
+    built-in components.  Result order matches input order.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if len(items) <= 1:  # avoid pool startup cost for trivial batches
+            return [fn(item) for item in items]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            return list(pool.map(fn, items))
+
+
+#: Executor protocol: anything with ``map(fn, items) -> list``.
+Executor = SerialExecutor | ProcessPoolExecutor
+
+
+def resolve_executor(executor: "Executor | str | None") -> Executor:
+    """Accept an executor instance, a shorthand string, or None (serial)."""
+    if executor is None or executor == "serial":
+        return SerialExecutor()
+    if executor == "process":
+        return ProcessPoolExecutor()
+    if hasattr(executor, "map"):
+        return executor
+    raise ValueError(
+        f"executor must be 'serial', 'process' or have a .map method; "
+        f"got {executor!r}"
+    )
+
+
+# -- site resolution ---------------------------------------------------------
+
+
+def site_name(item: SiteLike, index: int) -> str:
+    """Best-effort display name of a site input (never raises)."""
+    try:
+        if isinstance(item, (Site, GeneratedSite)):
+            return item.name
+        if isinstance(item, tuple) and len(item) == 2:
+            return str(item[0])
+    except Exception:  # pragma: no cover - defensive
+        pass
+    return f"site-{index}"
+
+
+def _resolve_site(item: SiteLike) -> Site:
+    """Materialize a site input, parsing raw HTML when necessary.
+
+    Runs inside the isolated per-site task so that parse failures are
+    recorded per site instead of aborting the batch.
+    """
+    if isinstance(item, GeneratedSite):
+        return item.site
+    if isinstance(item, Site):
+        return item
+    if isinstance(item, tuple) and len(item) == 2:
+        name, pages = item
+        return Site.from_html(str(name), list(pages))
+    raise TypeError(
+        f"cannot interpret {type(item).__name__} as a site "
+        "(expected Site, GeneratedSite, or (name, [html]) pair)"
+    )
+
+
+# -- tasks (module-level so process pools can pickle them) -------------------
+
+
+@dataclass(slots=True)
+class _LearnTask:
+    index: int
+    name: str
+    extractor: Extractor
+    item: SiteLike
+    labels: Labels | None
+    annotator: Annotator | None
+
+
+def _run_learn_task(task: _LearnTask) -> SiteOutcome:
+    try:
+        site = _resolve_site(task.item)
+        labels = task.labels
+        if labels is None:
+            if task.annotator is None:
+                raise ValueError("no labels and no annotator for this site")
+            labels = task.annotator.annotate(site)
+        artifact = task.extractor.learn(site, labels, site_name=task.name)
+        return SiteOutcome(
+            index=task.index, site=task.name, ok=True, artifact=artifact
+        )
+    except Exception as error:
+        return SiteOutcome(
+            index=task.index,
+            site=task.name,
+            ok=False,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+
+@dataclass(slots=True)
+class _ApplyTask:
+    index: int
+    name: str
+    artifact: WrapperArtifact
+    item: SiteLike
+
+
+def _run_apply_task(task: _ApplyTask) -> SiteOutcome:
+    try:
+        site = _resolve_site(task.item)
+        extracted = task.artifact.apply(site)
+        return SiteOutcome(
+            index=task.index,
+            site=task.name,
+            ok=True,
+            artifact=task.artifact,
+            extracted=extracted,
+        )
+    except Exception as error:
+        return SiteOutcome(
+            index=task.index,
+            site=task.name,
+            ok=False,
+            artifact=task.artifact,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def learn_many(
+    extractor: Extractor,
+    sites: Sequence[SiteLike],
+    labels: Sequence[Labels] | None = None,
+    annotator: Annotator | None = None,
+    executor: "Executor | str | None" = None,
+) -> BatchResult:
+    """Learn one wrapper artifact per site.
+
+    Labels come either from ``labels`` (one set per site, positional) or
+    from ``annotator`` (run inside each site's isolated task).  Outcomes
+    are returned in input order; failures never abort the batch.
+    """
+    sites = list(sites)
+    if labels is not None and len(labels) != len(sites):
+        raise ValueError(
+            f"labels ({len(labels)}) and sites ({len(sites)}) must pair up"
+        )
+    tasks = [
+        _LearnTask(
+            index=index,
+            name=site_name(item, index),
+            extractor=extractor,
+            item=item,
+            labels=labels[index] if labels is not None else None,
+            annotator=annotator if labels is None else None,
+        )
+        for index, item in enumerate(sites)
+    ]
+    outcomes = resolve_executor(executor).map(_run_learn_task, tasks)
+    return BatchResult(outcomes=sorted(outcomes, key=lambda o: o.index))
+
+
+def apply_many(
+    artifacts: Sequence[WrapperArtifact],
+    sites: Sequence[SiteLike],
+    executor: "Executor | str | None" = None,
+) -> BatchResult:
+    """Apply saved artifacts to sites (paired positionally).
+
+    Re-extraction only — no learning machinery is touched.  Outcomes are
+    returned in input order with per-site error isolation.
+    """
+    artifacts = list(artifacts)
+    sites = list(sites)
+    if len(artifacts) != len(sites):
+        raise ValueError(
+            f"artifacts ({len(artifacts)}) and sites ({len(sites)}) must pair up"
+        )
+    tasks = [
+        _ApplyTask(
+            index=index,
+            name=site_name(item, index),
+            artifact=artifact,
+            item=item,
+        )
+        for index, (artifact, item) in enumerate(zip(artifacts, sites))
+    ]
+    outcomes = resolve_executor(executor).map(_run_apply_task, tasks)
+    return BatchResult(outcomes=sorted(outcomes, key=lambda o: o.index))

@@ -1,0 +1,307 @@
+"""The :class:`Extractor` facade: config in, artifacts out.
+
+One object wires together everything a learning run needs — inductor,
+enumeration strategy, noise/publication models, ranking weights — from a
+plain :class:`ExtractorConfig`.  ``learn`` returns a serializable
+:class:`~repro.api.artifacts.WrapperArtifact`; ``apply`` re-runs a saved
+artifact on new pages.  The CLI, the batch layer and the examples are
+all thin layers over this class.
+
+Typical use::
+
+    from repro.api import Extractor, ExtractorConfig
+
+    extractor = Extractor(ExtractorConfig(inductor="xpath", method="ntw"))
+    extractor.fit(train_sites, annotator, gold_type="name")
+    artifact = extractor.learn(site, labels)
+    artifact.save("wrappers/site.json")
+    ...
+    extracted = artifact.apply(new_site)   # no relearning
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import TYPE_CHECKING
+
+from repro.api.artifacts import WrapperArtifact
+from repro.api.registry import INDUCTORS
+from repro.datasets.sitegen import GeneratedSite
+from repro.framework.naive import NaiveWrapperLearner
+from repro.framework.ntw import MAX_ENUMERATION_LABELS, NoiseTolerantWrapper
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.content import ContentModel
+from repro.ranking.publication import PublicationModel
+from repro.ranking.scorer import WrapperScorer
+from repro.site import Site
+from repro.wrappers.base import Labels, WrapperInductor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.annotators.base import Annotator
+    from repro.api.batch import BatchResult, Executor
+
+#: The learning methods the facade understands (paper Sec. 7.2/7.3).
+METHODS = ("naive", "ntw", "ntw-l", "ntw-x")
+
+
+class ExtractorError(RuntimeError):
+    """A learning/apply request the current configuration cannot serve."""
+
+
+@dataclass(slots=True)
+class ExtractorConfig:
+    """Declarative configuration of an extraction pipeline.
+
+    Attributes:
+        inductor: registry key in :data:`repro.api.registry.INDUCTORS`.
+        method: ``naive`` (no noise handling) or an NTW variant.
+        enumerator: ``auto``, ``top_down`` or ``bottom_up``.
+        max_labels: enumeration label cap (ranking uses all labels).
+        annotation_p / annotation_r: fallback annotator noise profile,
+            used when no annotation model has been fitted or supplied.
+        annotation_weight / publication_weight: scorer term weights.
+    """
+
+    inductor: str = "xpath"
+    method: str = "ntw"
+    enumerator: str = "auto"
+    max_labels: int = MAX_ENUMERATION_LABELS
+    annotation_p: float = 0.95
+    annotation_r: float = 0.5
+    annotation_weight: float = 1.0
+    publication_weight: float = 1.0
+
+    def validate(self, known_inductor: bool = True) -> None:
+        """Check the config; ``known_inductor=False`` skips the registry
+        check (used when an inductor *instance* is supplied directly)."""
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r} (choose from {', '.join(METHODS)})"
+            )
+        if known_inductor and self.inductor not in INDUCTORS:
+            raise ValueError(
+                f"unknown inductor {self.inductor!r} "
+                f"(registered: {', '.join(INDUCTORS.names())})"
+            )
+        if self.enumerator not in ("auto", "top_down", "bottom_up"):
+            raise ValueError(f"unknown enumerator {self.enumerator!r}")
+        if self.max_labels <= 0:
+            raise ValueError(
+                f"max_labels must be a positive integer; got {self.max_labels}"
+            )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExtractorConfig":
+        """Build a config from a dict, ignoring unknown keys.
+
+        Unknown keys are tolerated so artifacts written by newer
+        versions (whose provenance embeds their config) stay readable.
+        """
+        known = {f.name for f in fields(cls)}
+        config = cls(**{k: v for k, v in payload.items() if k in known})
+        config.validate()
+        return config
+
+
+class Extractor:
+    """Config-driven facade over learning, scoring and extraction."""
+
+    def __init__(
+        self,
+        config: ExtractorConfig | None = None,
+        annotation_model: AnnotationModel | None = None,
+        publication_model: PublicationModel | None = None,
+        content_model: ContentModel | None = None,
+        inductor: WrapperInductor | None = None,
+    ) -> None:
+        """Build a facade from ``config``.
+
+        ``inductor`` optionally supplies a pre-built inductor instance
+        (e.g. one with non-default parameters); the config's inductor
+        name is then set from the instance for artifact provenance.
+        """
+        self.config = replace(config) if config is not None else ExtractorConfig()
+        if inductor is not None:
+            self.config.inductor = _inductor_name(inductor)
+            self.config.validate(known_inductor=False)
+            self.inductor: WrapperInductor = inductor
+        else:
+            self.config.validate()
+            self.inductor = INDUCTORS.create(self.config.inductor)
+        self.annotation_model = annotation_model
+        self.publication_model = publication_model
+        self.content_model = content_model
+
+    # -- model fitting -----------------------------------------------------
+
+    def fit(
+        self,
+        train: list[GeneratedSite],
+        annotator: "Annotator",
+        gold_type: str = "name",
+    ) -> "Extractor":
+        """Fit the noise profile and publication prior on training sites.
+
+        Mirrors the paper's "Learning the model parameters": estimate
+        ``(p, r)`` from the annotator's hits against gold, fit the
+        publication feature densities from the gold lists.  Returns
+        ``self`` for chaining.
+        """
+        from repro.evaluation.runner import fit_models
+
+        models = fit_models(train, annotator, gold_type)
+        self.annotation_model = models.annotation
+        self.publication_model = models.publication
+        return self
+
+    def _annotation_model(self) -> AnnotationModel:
+        if self.annotation_model is not None:
+            return self.annotation_model
+        return AnnotationModel.from_rates(
+            p=self.config.annotation_p, r=self.config.annotation_r
+        )
+
+    def scorer(self) -> WrapperScorer | None:
+        """The ranking scorer for the configured method (None for naive)."""
+        method = self.config.method
+        if method == "naive":
+            return None
+        needs_publication = method in ("ntw", "ntw-x")
+        if needs_publication and self.publication_model is None:
+            raise ExtractorError(
+                f"method {method!r} needs a publication model; call "
+                "Extractor.fit(train, annotator, gold_type) or pass "
+                "publication_model= (or use method='ntw-l')"
+            )
+        annotation = self._annotation_model() if method in ("ntw", "ntw-l") else None
+        publication = self.publication_model if needs_publication else None
+        return WrapperScorer(
+            annotation,
+            publication,
+            content_model=self.content_model,
+            annotation_weight=self.config.annotation_weight,
+            publication_weight=self.config.publication_weight,
+        )
+
+    # -- single-site learning / extraction ---------------------------------
+
+    def learn(
+        self,
+        site: Site | GeneratedSite,
+        labels: Labels,
+        site_name: str | None = None,
+    ) -> WrapperArtifact:
+        """Learn a wrapper from noisy ``labels``; return its artifact.
+
+        Raises :class:`ExtractorError` when no wrapper can be learned
+        (no labels, or an empty wrapper space).
+        """
+        site = _as_site(site)
+        name = site_name or site.name
+        if not labels:
+            raise ExtractorError(f"no labels to learn from on site {name!r}")
+        provenance = {
+            "config": self.config.to_dict(),
+            "n_labels": len(labels),
+            "n_pages": len(site),
+            "repro_version": _library_version(),
+        }
+        if self.config.method == "naive":
+            wrapper = NaiveWrapperLearner(self.inductor).learn(site, labels)
+            score: dict = {}
+        else:
+            learner = NoiseTolerantWrapper(
+                self.inductor,
+                self.scorer(),
+                enumerator=self.config.enumerator,
+                max_labels=self.config.max_labels,
+            )
+            result = learner.learn(site, labels)
+            if result.best is None:
+                raise ExtractorError(
+                    f"no wrapper survived ranking on site {name!r}"
+                )
+            wrapper = result.best.wrapper
+            score = {
+                "total": result.best.score,
+                "log_annotation": result.best.log_annotation,
+                "log_publication": result.best.log_publication,
+                "log_content": result.best.log_content,
+            }
+            if result.enumeration is not None:
+                provenance["wrapper_space"] = result.enumeration.size
+                provenance["inductor_calls"] = result.enumeration.inductor_calls
+        return WrapperArtifact(
+            wrapper_spec=wrapper.to_spec(),
+            rule=wrapper.rule(),
+            site=name,
+            inductor=self.config.inductor,
+            method=self.config.method,
+            score=score,
+            provenance=provenance,
+        )
+
+    def annotate_and_learn(
+        self, site: Site | GeneratedSite, annotator: "Annotator"
+    ) -> WrapperArtifact:
+        """Annotate ``site`` then learn — the fully automatic pipeline."""
+        resolved = _as_site(site)
+        return self.learn(resolved, annotator.annotate(resolved))
+
+    def apply(self, artifact: WrapperArtifact, site: Site | GeneratedSite) -> Labels:
+        """Extract from ``site`` using a saved artifact (no relearning)."""
+        return artifact.apply(_as_site(site))
+
+    # -- batch -------------------------------------------------------------
+
+    def learn_many(
+        self,
+        sites,
+        labels: list[Labels] | None = None,
+        annotator: "Annotator | None" = None,
+        executor: "Executor | str | None" = None,
+    ) -> "BatchResult":
+        """Learn one artifact per site with per-site error isolation."""
+        from repro.api.batch import learn_many
+
+        return learn_many(
+            self, sites, labels=labels, annotator=annotator, executor=executor
+        )
+
+    def apply_many(
+        self,
+        artifacts,
+        sites,
+        executor: "Executor | str | None" = None,
+    ) -> "BatchResult":
+        """Apply saved artifacts across sites (positional pairing)."""
+        from repro.api.batch import apply_many
+
+        return apply_many(artifacts, sites, executor=executor)
+
+
+def _inductor_name(inductor: WrapperInductor) -> str:
+    """Registry key of an inductor instance (class name when unregistered)."""
+    for name, factory in INDUCTORS.items():
+        if isinstance(factory, type) and type(inductor) is factory:
+            return name
+    return type(inductor).__name__
+
+
+def _as_site(site: Site | GeneratedSite) -> Site:
+    """Accept either a bare :class:`Site` or a dataset's generated site."""
+    if isinstance(site, GeneratedSite):
+        return site.site
+    return site
+
+
+def _library_version() -> str:
+    try:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+    except Exception:  # pragma: no cover - defensive
+        return "unknown"

@@ -1,0 +1,213 @@
+"""String-keyed component registries — the plugin surface of the facade.
+
+Every pluggable component family (wrapper inductors, annotators,
+enumeration strategies, dataset loaders) gets one :class:`Registry`.
+Registration is decorator-based::
+
+    @INDUCTORS.register("xpath")
+    class XPathInductor(...): ...
+
+    @DATASETS.register("dealers")
+    def _load_dealers(sites, pages, seed): ...
+
+so external code can add components without touching the CLI or the
+facade; ``repro list-components`` and every ``choices=`` argument pick
+new entries up automatically.  The registries replace the ad-hoc
+``INDUCTORS`` dict and ``_load_dataset`` dispatch the CLI used to carry.
+
+Dataset loaders return a :class:`DatasetBundle` — the dataset's sites
+normalized with the annotator and gold type of its extraction task, the
+triple every experiment and batch run needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Any, Generic, TypeVar
+
+from repro.annotators import (
+    Annotator,
+    DictionaryAnnotator,
+    FlippedAnnotator,
+    OracleNoiseAnnotator,
+    RegexAnnotator,
+    UnionAnnotator,
+)
+from repro.annotators.regex import zipcode_annotator
+from repro.datasets.dealers import generate_dealers
+from repro.datasets.disc import generate_disc
+from repro.datasets.products import generate_products
+from repro.datasets.sitegen import GeneratedSite
+from repro.enumeration import (
+    enumerate_bottom_up,
+    enumerate_naive,
+    enumerate_top_down,
+)
+from repro.wrappers.hlrt import HLRTInductor
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.table import TableInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """Lookup of an unregistered component name."""
+
+
+class Registry(Generic[T]):
+    """A named string -> component mapping with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+        self._meta: dict[str, dict] = {}
+
+    def register(self, name: str, obj: T | None = None, **meta):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Keyword ``meta`` attaches capability metadata to the entry
+        (e.g. ``corpus="grid"`` on an inductor that does not operate on
+        HTML sites), retrievable via :meth:`meta`.  Duplicate names are
+        rejected — a registry is a global namespace, and silent
+        replacement would make component resolution depend on import
+        order.
+        """
+        if obj is not None:
+            self._add(name, obj, meta)
+            return obj
+
+        def decorate(target: T) -> T:
+            self._add(name, target, meta)
+            return target
+
+        return decorate
+
+    def _add(self, name: str, obj: T, meta: dict) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered "
+                f"({self._entries[name]!r})"
+            )
+        self._entries[name] = obj
+        self._meta[name] = dict(meta)
+
+    def meta(self, name: str) -> dict:
+        """Capability metadata attached at registration (empty if none)."""
+        self.get(name)  # raise RegistryError for unknown names
+        return dict(self._meta[name])
+
+    def get(self, name: str) -> T:
+        """The registered component, or :class:`RegistryError` with hints."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r} (registered: {known})"
+            ) from None
+
+    def create(self, name: str, *args: Any, **kwargs: Any):
+        """Call the registered factory/class with the given arguments."""
+        factory = self.get(name)
+        if not callable(factory):
+            raise TypeError(f"{self.kind} {name!r} is not callable")
+        return factory(*args, **kwargs)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def items(self) -> list[tuple[str, T]]:
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Registry {self.kind}: {', '.join(self.names())}>"
+
+
+@dataclass(slots=True)
+class DatasetBundle:
+    """A loaded dataset normalized for the facade.
+
+    Attributes:
+        name: registry key of the loader that produced it.
+        sites: the generated sites (with gold labels).
+        annotator: the dataset's noisy annotator.
+        gold_type: the gold type of the single-type extraction task.
+    """
+
+    name: str
+    sites: list[GeneratedSite]
+    annotator: Annotator
+    gold_type: str
+
+
+#: Wrapper inductors, keyed by the names the CLI and configs use.
+#: ``corpus`` declares what the inductor extracts from; only ``site``
+#: inductors apply to HTML datasets (and thus to the CLI's workloads).
+INDUCTORS: Registry[Callable[..., Any]] = Registry("inductor")
+INDUCTORS.register("xpath", XPathInductor, corpus="site")
+INDUCTORS.register("lr", LRInductor, corpus="site")
+INDUCTORS.register("hlrt", HLRTInductor, corpus="site")
+INDUCTORS.register("table", TableInductor, corpus="grid")
+
+
+def site_inductor_names() -> tuple[str, ...]:
+    """Registered inductors that operate on HTML sites."""
+    return tuple(
+        name
+        for name in INDUCTORS.names()
+        if INDUCTORS.meta(name).get("corpus", "site") == "site"
+    )
+
+#: Annotator classes/factories.
+ANNOTATORS: Registry[Callable[..., Annotator]] = Registry("annotator")
+ANNOTATORS.register("dictionary", DictionaryAnnotator)
+ANNOTATORS.register("regex", RegexAnnotator)
+ANNOTATORS.register("zipcode", zipcode_annotator)
+ANNOTATORS.register("oracle-noise", OracleNoiseAnnotator)
+ANNOTATORS.register("union", UnionAnnotator)
+ANNOTATORS.register("flipped", FlippedAnnotator)
+
+#: Enumeration strategies (signature: ``(inductor, corpus, labels)``).
+ENUMERATORS: Registry[Callable[..., Any]] = Registry("enumerator")
+ENUMERATORS.register("top_down", enumerate_top_down)
+ENUMERATORS.register("bottom_up", enumerate_bottom_up)
+ENUMERATORS.register("naive", enumerate_naive)
+
+#: Dataset loaders (signature: ``(sites, pages, seed) -> DatasetBundle``).
+DATASETS: Registry[Callable[..., DatasetBundle]] = Registry("dataset")
+
+
+@DATASETS.register("dealers")
+def _load_dealers(sites: int = 20, pages: int = 8, seed: int = 11) -> DatasetBundle:
+    dataset = generate_dealers(n_sites=sites, pages_per_site=pages, seed=seed)
+    return DatasetBundle("dealers", dataset.sites, dataset.annotator(), "name")
+
+
+@DATASETS.register("disc")
+def _load_disc(sites: int = 20, pages: int = 8, seed: int = 11) -> DatasetBundle:
+    dataset = generate_disc(n_sites=sites, seed=seed)
+    return DatasetBundle("disc", dataset.sites, dataset.annotator(), "track")
+
+
+@DATASETS.register("products")
+def _load_products(sites: int = 20, pages: int = 8, seed: int = 11) -> DatasetBundle:
+    dataset = generate_products(n_sites=sites, pages_per_site=pages, seed=seed)
+    return DatasetBundle("products", dataset.sites, dataset.annotator(), "name")
+
+
+def load_dataset(name: str, sites: int, pages: int, seed: int) -> DatasetBundle:
+    """Load a registered dataset by name (convenience over ``DATASETS``)."""
+    return DATASETS.create(name, sites=sites, pages=pages, seed=seed)

@@ -1,7 +1,19 @@
-"""Command-line interface: run the paper's experiments from a shell.
+"""Command-line interface over the :mod:`repro.api` facade.
 
 Subcommands
 -----------
+
+``learn``
+    Learn one wrapper per site and save the artifacts as JSON:
+    ``repro learn --dataset dealers --inductor xpath --out wrappers/``.
+
+``apply``
+    Load saved artifacts and re-extract from (re)generated sites
+    without relearning: ``repro apply --artifacts wrappers/ --dataset
+    dealers``.
+
+``list-components``
+    Show every registered inductor, annotator, enumerator and dataset.
 
 ``demo``
     The Section 1 walkthrough on a tiny built-in site.
@@ -15,55 +27,57 @@ Subcommands
     Wrapper-space enumeration statistics per site (Figures 2a–2c):
     ``repro enumerate --inductor lr --sites 10``.
 
-Invoke as ``python -m repro ...``.
+All commands resolve components through the registries in
+:mod:`repro.api.registry`; registering a new inductor or dataset makes
+it reachable from every subcommand.  Invoke as ``python -m repro ...``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.datasets.dealers import generate_dealers
-from repro.datasets.disc import generate_disc
-from repro.datasets.products import generate_products
+from repro.api import (
+    ANNOTATORS,
+    DATASETS,
+    ENUMERATORS,
+    INDUCTORS,
+    Extractor,
+    ExtractorConfig,
+    METHODS,
+    apply_many,
+    learn_many,
+    load_artifacts,
+    load_dataset,
+)
+from repro.api.batch import ProcessPoolExecutor, SerialExecutor
+from repro.api.registry import RegistryError, site_inductor_names
 from repro.enumeration import enumerate_bottom_up, enumerate_top_down
 from repro.enumeration.naive import naive_call_count
+from repro.evaluation.metrics import prf
 from repro.evaluation.report import format_per_site_table, format_prf_table
-from repro.evaluation.runner import SingleTypeExperiment
+from repro.evaluation.runner import SingleTypeExperiment, split_sites
 from repro.framework.ntw import subsample_labels
-from repro.wrappers.hlrt import HLRTInductor
-from repro.wrappers.lr import LRInductor
-from repro.wrappers.xpath_inductor import XPathInductor
-
-INDUCTORS = {
-    "xpath": XPathInductor,
-    "lr": LRInductor,
-    "hlrt": HLRTInductor,
-}
 
 
-def _load_dataset(name: str, sites: int, pages: int, seed: int):
-    """Dataset plus (annotator, gold_type) for its extraction task."""
-    if name == "dealers":
-        dataset = generate_dealers(n_sites=sites, pages_per_site=pages, seed=seed)
-        return dataset.sites, dataset.annotator(), "name"
-    if name == "disc":
-        dataset = generate_disc(n_sites=sites, seed=seed)
-        return dataset.sites, dataset.annotator(), "track"
-    if name == "products":
-        dataset = generate_products(n_sites=sites, pages_per_site=pages, seed=seed)
-        return dataset.sites, dataset.annotator(), "name"
-    raise SystemExit(f"unknown dataset {name!r} (try dealers, disc, products)")
+def _dataset_or_exit(name: str, sites: int, pages: int, seed: int):
+    try:
+        return load_dataset(name, sites=sites, pages=pages, seed=seed)
+    except RegistryError as error:
+        # KeyError str() wraps the message in quotes; unwrap for the shell.
+        raise SystemExit(error.args[0]) from None
+
+
+def _executor_for(workers: int):
+    return ProcessPoolExecutor(max_workers=workers) if workers > 1 else SerialExecutor()
 
 
 def cmd_demo(_: argparse.Namespace) -> int:
     """Run the quickstart narrative on a built-in two-page site."""
     from repro.annotators.dictionary import DictionaryAnnotator
-    from repro.framework.naive import NaiveWrapperLearner
-    from repro.framework.ntw import NoiseTolerantWrapper
-    from repro.ranking.annotation import AnnotationModel
+    from repro.api import WrapperArtifact
     from repro.ranking.publication import PublicationModel
-    from repro.ranking.scorer import WrapperScorer
     from repro.site import Site
 
     pages = [
@@ -82,32 +96,130 @@ def cmd_demo(_: argparse.Namespace) -> int:
         ["PORTER FURNITURE", "LULLABY LANE", "BESTBUY"]
     ).annotate(site)
     print(f"noisy labels: {len(labels)}")
-    naive = NaiveWrapperLearner(XPathInductor()).learn(site, labels)
-    print(f"NAIVE rule: {naive.rule()}  -> {len(naive.extract(site))} nodes")
     gold = frozenset(
         node_id
         for node_id in site.iter_text_node_ids()
         if site.text_node(node_id).parent.tag == "u"
     )
-    scorer = WrapperScorer(
-        AnnotationModel.from_rates(p=0.95, r=0.5),
-        PublicationModel.fit([(site, gold)]),
+    naive = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+    naive_artifact = naive.learn(site, labels)
+    print(
+        f"NAIVE rule: {naive_artifact.rule}  "
+        f"-> {len(naive_artifact.apply(site))} nodes"
     )
-    result = NoiseTolerantWrapper(XPathInductor(), scorer).learn(site, labels)
-    print(f"NTW rule:   {result.best.wrapper.rule()}")
-    for node_id in sorted(result.extracted):
+    ntw = Extractor(
+        ExtractorConfig(
+            inductor="xpath", method="ntw", annotation_p=0.95, annotation_r=0.5
+        ),
+        publication_model=PublicationModel.fit([(site, gold)]),
+    )
+    artifact = ntw.learn(site, labels)
+    print(f"NTW rule:   {artifact.rule}")
+    # The artifact is plain JSON: round-trip it and extract without relearning.
+    reloaded = WrapperArtifact.from_json(artifact.to_json())
+    for node_id in sorted(reloaded.apply(site)):
         print(f"  extracted: {site.text_node(node_id).text}")
+    return 0
+
+
+def cmd_learn(args: argparse.Namespace) -> int:
+    """Fit models on the training half, learn artifacts, save as JSON."""
+    bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
+    train, test = split_sites(bundle.sites)
+    targets = bundle.sites if args.split == "all" else test
+    config = ExtractorConfig(
+        inductor=args.inductor,
+        method=args.method,
+        max_labels=args.max_labels,
+    )
+    try:
+        extractor = Extractor(config)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if args.method != "naive":
+        extractor.fit(train, bundle.annotator, bundle.gold_type)
+    result = learn_many(
+        extractor,
+        targets,
+        annotator=bundle.annotator,
+        executor=_executor_for(args.workers),
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for outcome in result.successes:
+        path = outcome.artifact.save(out_dir / f"{outcome.site}.json")
+        print(f"  {outcome.site}: {outcome.artifact.rule}")
+        print(f"    -> {path}")
+    for outcome in result.failures:
+        print(f"  {outcome.site}: FAILED ({outcome.error})")
+    print(f"learned {result.summary()}; artifacts in {out_dir}/")
+    return 0 if result.successes else 1
+
+
+def cmd_apply(args: argparse.Namespace) -> int:
+    """Load saved artifacts and re-extract from regenerated sites."""
+    from repro.api import ArtifactError
+
+    try:
+        artifacts_by_site = load_artifacts(args.artifacts)
+    except ArtifactError as error:
+        raise SystemExit(f"cannot load artifacts from {args.artifacts!r}: {error}") from None
+    except OSError as error:
+        raise SystemExit(f"cannot read {args.artifacts!r}: {error}") from None
+    if not artifacts_by_site:
+        raise SystemExit(f"no artifacts found in {args.artifacts!r}")
+    bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
+    sites_by_name = {generated.name: generated for generated in bundle.sites}
+    matched = sorted(set(artifacts_by_site) & set(sites_by_name))
+    if not matched:
+        raise SystemExit(
+            f"no artifact matches a site of dataset {args.dataset!r} "
+            f"(artifacts: {', '.join(sorted(artifacts_by_site))})"
+        )
+    artifacts = [artifacts_by_site[name] for name in matched]
+    targets = [sites_by_name[name] for name in matched]
+    result = apply_many(artifacts, targets, executor=_executor_for(args.workers))
+    scores = []
+    for outcome in result.outcomes:
+        if not outcome.ok:
+            print(f"  {outcome.site}: FAILED ({outcome.error})")
+            continue
+        generated = sites_by_name[outcome.site]
+        gold = generated.gold.get(bundle.gold_type, frozenset())
+        line = f"  {outcome.site}: {len(outcome.extracted)} nodes"
+        if gold:
+            score = prf(outcome.extracted, gold)
+            scores.append(score)
+            line += (
+                f"  (P={score.precision:.2f} R={score.recall:.2f} "
+                f"F1={score.f1:.2f})"
+            )
+        print(line)
+    if scores:
+        mean_f1 = sum(score.f1 for score in scores) / len(scores)
+        print(f"applied {result.summary()}; mean F1 vs gold: {mean_f1:.2f}")
+    else:
+        print(f"applied {result.summary()}")
+    return 0 if result.successes else 1
+
+
+def cmd_list_components(_: argparse.Namespace) -> int:
+    """Print every registered component, one registry per section."""
+    for registry in (INDUCTORS, ANNOTATORS, ENUMERATORS, DATASETS):
+        print(f"{registry.kind}s:")
+        for name, component in registry.items():
+            target = getattr(component, "__name__", repr(component))
+            print(f"  {name:12s} {target}")
+    print(f"methods:\n  {', '.join(METHODS)}")
     return 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run the NAIVE/NTW comparison and print the accuracy tables."""
-    sites, annotator, gold_type = _load_dataset(
-        args.dataset, args.sites, args.pages, args.seed
-    )
-    inductor = INDUCTORS[args.inductor]()
+    bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
+    inductor = INDUCTORS.create(args.inductor)
     experiment = SingleTypeExperiment(
-        sites, annotator, inductor, gold_type=gold_type
+        bundle.sites, bundle.annotator, inductor, gold_type=bundle.gold_type
     )
     methods = tuple(args.methods.split(","))
     outcomes = experiment.run(methods=methods, evaluate_on=args.evaluate_on)
@@ -128,13 +240,17 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 def cmd_enumerate(args: argparse.Namespace) -> int:
     """Print per-site enumeration statistics (Figures 2a-2c)."""
-    sites, annotator, _ = _load_dataset(
-        args.dataset, args.sites, args.pages, args.seed
-    )
-    inductor = INDUCTORS[args.inductor]()
+    if args.max_labels <= 0:
+        raise SystemExit(
+            f"--max-labels must be a positive integer; got {args.max_labels}"
+        )
+    bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
+    inductor = INDUCTORS.create(args.inductor)
     print(f"{'site':16s} {'|L|':>4s} {'k':>4s} {'TopDown':>8s} {'BottomUp':>9s} {'Naive':>12s}")
-    for generated in sites:
-        labels = subsample_labels(annotator.annotate(generated.site), args.max_labels)
+    for generated in bundle.sites:
+        labels = subsample_labels(
+            bundle.annotator.annotate(generated.site), args.max_labels
+        )
         if len(labels) < 2:
             continue
         top_down = enumerate_top_down(inductor, generated.site, labels)
@@ -147,33 +263,62 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_dataset_args(
+    parser: argparse.ArgumentParser, sites: int, pages: int
+) -> None:
+    parser.add_argument("--dataset", default="dealers")
+    parser.add_argument("--sites", type=int, default=sites)
+    parser.add_argument("--pages", type=int, default=pages)
+    parser.add_argument("--seed", type=int, default=11)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Noise-tolerant wrapper induction (VLDB 2011 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    inductor_choices = sorted(site_inductor_names())
 
     demo = sub.add_parser("demo", help="Section 1 walkthrough")
     demo.set_defaults(func=cmd_demo)
 
+    learn = sub.add_parser("learn", help="learn wrappers, save artifacts")
+    _add_dataset_args(learn, sites=8, pages=6)
+    learn.add_argument("--inductor", default="xpath", choices=inductor_choices)
+    learn.add_argument("--method", default="ntw", choices=METHODS)
+    learn.add_argument("--max-labels", type=int, default=40)
+    learn.add_argument("--split", default="test", choices=("test", "all"))
+    learn.add_argument("--workers", type=int, default=1)
+    learn.add_argument(
+        "--out", default="artifacts", help="directory for artifact JSON files"
+    )
+    learn.set_defaults(func=cmd_learn)
+
+    apply_ = sub.add_parser("apply", help="apply saved artifacts, no relearning")
+    _add_dataset_args(apply_, sites=8, pages=6)
+    apply_.add_argument(
+        "--artifacts", required=True, help="directory of artifact JSON files"
+    )
+    apply_.add_argument("--workers", type=int, default=1)
+    apply_.set_defaults(func=cmd_apply)
+
+    components = sub.add_parser(
+        "list-components", help="show registered components"
+    )
+    components.set_defaults(func=cmd_list_components)
+
     exp = sub.add_parser("experiment", help="NAIVE vs NTW accuracy comparison")
-    exp.add_argument("--dataset", default="dealers")
-    exp.add_argument("--inductor", default="xpath", choices=sorted(INDUCTORS))
-    exp.add_argument("--sites", type=int, default=20)
-    exp.add_argument("--pages", type=int, default=8)
-    exp.add_argument("--seed", type=int, default=11)
+    _add_dataset_args(exp, sites=20, pages=8)
+    exp.add_argument("--inductor", default="xpath", choices=inductor_choices)
     exp.add_argument("--methods", default="naive,ntw")
     exp.add_argument("--evaluate-on", default="test", choices=("test", "all"))
     exp.add_argument("--per-site", action="store_true")
     exp.set_defaults(func=cmd_experiment)
 
     enum = sub.add_parser("enumerate", help="wrapper-space enumeration stats")
-    enum.add_argument("--dataset", default="dealers")
-    enum.add_argument("--inductor", default="xpath", choices=sorted(INDUCTORS))
-    enum.add_argument("--sites", type=int, default=10)
-    enum.add_argument("--pages", type=int, default=8)
-    enum.add_argument("--seed", type=int, default=11)
+    _add_dataset_args(enum, sites=10, pages=8)
+    enum.add_argument("--inductor", default="xpath", choices=inductor_choices)
     enum.add_argument("--max-labels", type=int, default=24)
     enum.set_defaults(func=cmd_enumerate)
     return parser

@@ -9,6 +9,10 @@ annotations with each method and score the extractions against gold.
 Methods: NAIVE (inductor on all labels), NTW (full ranking), NTW-L
 (annotation term only), NTW-X (publication term only) — the Sec. 7.2 and
 7.3 comparisons.
+
+Per-site learning runs through the :class:`repro.api.Extractor` facade,
+so the experiment exercises exactly the pipeline (and artifact
+round-trip) that production callers use.
 """
 
 from __future__ import annotations
@@ -16,10 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.annotators.base import Annotator
+from repro.api.extractor import Extractor, ExtractorConfig, ExtractorError
 from repro.datasets.sitegen import GeneratedSite
 from repro.evaluation.metrics import PRF, aggregate, prf
-from repro.framework.naive import NaiveWrapperLearner
-from repro.framework.ntw import NoiseTolerantWrapper
 from repro.ranking.annotation import AnnotationModel
 from repro.ranking.publication import PublicationModel
 from repro.ranking.scorer import WrapperScorer
@@ -101,16 +104,20 @@ class SingleTypeExperiment:
             self.train, annotator, gold_type, self._labels_cache
         )
 
+    def extractor_for(self, method: str) -> Extractor:
+        """The facade configured for ``method`` with the fitted models."""
+        config = ExtractorConfig(method=method, max_labels=self.max_labels)
+        return Extractor(
+            config,
+            annotation_model=self.models.annotation,
+            publication_model=self.models.publication,
+            inductor=self.inductor,
+        )
+
     def scorer_for(self, method: str) -> WrapperScorer | None:
         if method == "naive":
             return None
-        if method == "ntw":
-            return WrapperScorer(self.models.annotation, self.models.publication)
-        if method == "ntw-l":
-            return WrapperScorer(self.models.annotation, None)
-        if method == "ntw-x":
-            return WrapperScorer(None, self.models.publication)
-        raise ValueError(f"unknown method {method!r}")
+        return self.extractor_for(method).scorer()
 
     def run(
         self,
@@ -137,15 +144,14 @@ class SingleTypeExperiment:
     def _extract(
         self, method: str, generated: GeneratedSite, labels: Labels
     ) -> Labels:
-        if method == "naive":
-            return NaiveWrapperLearner(self.inductor).extract(
-                generated.site, labels
+        try:
+            artifact = self.extractor_for(method).learn(
+                generated.site, labels, site_name=generated.name
             )
-        scorer = self.scorer_for(method)
-        learner = NoiseTolerantWrapper(
-            self.inductor, scorer, max_labels=self.max_labels
-        )
-        return learner.learn(generated.site, labels).extracted
+        except ExtractorError:
+            # No labels / empty wrapper space: the method extracts nothing.
+            return frozenset()
+        return artifact.apply(generated.site)
 
 
 def _labels_for(

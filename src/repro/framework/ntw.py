@@ -47,7 +47,15 @@ class NTWResult:
 
 
 def subsample_labels(labels: Labels, max_labels: int) -> Labels:
-    """Deterministic stride subsample of a label set (document order)."""
+    """Deterministic stride subsample of a label set (document order).
+
+    ``max_labels`` must be positive; enumeration needs at least one
+    label and a zero/negative cap would otherwise divide by zero.
+    """
+    if max_labels <= 0:
+        raise ValueError(
+            f"max_labels must be a positive integer; got {max_labels}"
+        )
     if len(labels) <= max_labels:
         return labels
     ordered = sorted(labels)
@@ -77,6 +85,10 @@ class NoiseTolerantWrapper:
             inductor, FeatureBasedInductor
         ):
             raise TypeError("top_down enumeration needs a feature-based inductor")
+        if max_labels <= 0:
+            raise ValueError(
+                f"max_labels must be a positive integer; got {max_labels}"
+            )
         self.inductor = inductor
         self.scorer = scorer
         self.enumerator = enumerator

@@ -47,6 +47,11 @@ class WrapperScorer:
         content_model: optional domain-specific content features
             (Sec. 6.1's extension point); ``None`` matches the paper's
             headline configuration.
+        annotation_weight / publication_weight / content_weight:
+            multipliers on the component log-probabilities.  The paper's
+            score weighs both terms equally (all 1.0); the weights let
+            callers trade annotation evidence against the publication
+            prior without refitting either model.
     """
 
     def __init__(
@@ -54,12 +59,25 @@ class WrapperScorer:
         annotation_model: AnnotationModel | None,
         publication_model: PublicationModel | None,
         content_model: ContentModel | None = None,
+        annotation_weight: float = 1.0,
+        publication_weight: float = 1.0,
+        content_weight: float = 1.0,
     ) -> None:
         if annotation_model is None and publication_model is None:
             raise ValueError("at least one ranking component is required")
+        for name, weight in (
+            ("annotation_weight", annotation_weight),
+            ("publication_weight", publication_weight),
+            ("content_weight", content_weight),
+        ):
+            if weight < 0:
+                raise ValueError(f"{name} must be non-negative; got {weight}")
         self.annotation_model = annotation_model
         self.publication_model = publication_model
         self.content_model = content_model
+        self.annotation_weight = annotation_weight
+        self.publication_weight = publication_weight
+        self.content_weight = content_weight
 
     def score_wrapper(
         self,
@@ -75,17 +93,23 @@ class WrapperScorer:
             extracted = wrapper.extract(site)
         log_annotation = 0.0
         if self.annotation_model is not None:
-            log_annotation = self.annotation_model.log_likelihood(labels, extracted)
+            log_annotation = self.annotation_weight * (
+                self.annotation_model.log_likelihood(labels, extracted)
+            )
         log_publication = 0.0
         features: ListFeatures | None = None
         if self.publication_model is not None:
             features = list_features(
                 site, extracted, type_map=type_map, boundary_type=boundary_type
             )
-            log_publication = self.publication_model.log_prob_features(features)
+            log_publication = self.publication_weight * (
+                self.publication_model.log_prob_features(features)
+            )
         log_content = 0.0
         if self.content_model is not None:
-            log_content = self.content_model.log_prob(site, extracted)
+            log_content = self.content_weight * (
+                self.content_model.log_prob(site, extracted)
+            )
         return RankedWrapper(
             wrapper=wrapper,
             extracted=extracted,

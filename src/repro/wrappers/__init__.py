@@ -19,6 +19,9 @@ from repro.wrappers.base import (
     FeatureBasedInductor,
     Wrapper,
     WrapperInductor,
+    spec_kind,
+    spec_kinds,
+    wrapper_from_spec,
 )
 from repro.wrappers.hlrt import HLRTInductor, HLRTWrapper
 from repro.wrappers.lr import LRInductor, LRWrapper
@@ -48,4 +51,7 @@ __all__ = [
     "check_fidelity",
     "check_monotonicity",
     "is_well_behaved",
+    "spec_kind",
+    "spec_kinds",
+    "wrapper_from_spec",
 ]

@@ -20,11 +20,53 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Hashable, Iterable, Iterator
-from typing import Any
+from typing import Any, ClassVar
 
 from repro.htmldom.dom import NodeId
 
 Labels = frozenset[NodeId]
+
+#: Registered spec kinds -> wrapper class, populated by :func:`spec_kind`.
+_SPEC_KINDS: dict[str, type["Wrapper"]] = {}
+
+
+def spec_kind(kind: str):
+    """Class decorator registering a wrapper class under a spec ``kind``.
+
+    The kind is the dispatch key of the portable wrapper-spec format
+    (see :meth:`Wrapper.to_spec`); registration makes the class
+    reachable from :func:`wrapper_from_spec`.
+    """
+
+    def register(cls: type["Wrapper"]) -> type["Wrapper"]:
+        existing = _SPEC_KINDS.get(kind)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"spec kind {kind!r} already registered to {existing.__name__}"
+            )
+        cls.SPEC_KIND = kind
+        _SPEC_KINDS[kind] = cls
+        return cls
+
+    return register
+
+
+def spec_kinds() -> tuple[str, ...]:
+    """All registered wrapper spec kinds (sorted)."""
+    return tuple(sorted(_SPEC_KINDS))
+
+
+def wrapper_from_spec(spec: dict) -> "Wrapper":
+    """Rebuild a wrapper from its portable spec (``to_spec`` inverse)."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ValueError(f"wrapper spec must be a dict with a 'kind'; got {spec!r}")
+    kind = spec["kind"]
+    cls = _SPEC_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown wrapper spec kind {kind!r} (known: {', '.join(spec_kinds())})"
+        )
+    return cls.from_spec(spec)
 
 #: A feature attribute (hashable, inductor-specific), e.g. ``("L", 3)``
 #: for "the 3 characters preceding the node" or ``(2, "tag")`` for "the
@@ -38,7 +80,15 @@ class Wrapper(abc.ABC):
     Concrete wrappers must be immutable, hashable and comparable by
     *rule* (two wrappers with the same rule are the same wrapper); the
     enumeration algorithms rely on this for deduplication.
+
+    Wrappers are also *portable*: :meth:`to_spec` captures the rule as a
+    JSON-safe dict (with a ``kind`` dispatch key) and
+    :func:`wrapper_from_spec` rebuilds it, so a learned rule can be
+    saved once and re-applied to new pages without relearning.
     """
+
+    #: Dispatch key of the portable spec format, set by :func:`spec_kind`.
+    SPEC_KIND: ClassVar[str | None] = None
 
     @abc.abstractmethod
     def extract(self, corpus: Any) -> Labels:
@@ -47,6 +97,19 @@ class Wrapper(abc.ABC):
     @abc.abstractmethod
     def rule(self) -> str:
         """Human-readable form of the rule (e.g. an xpath)."""
+
+    def to_spec(self) -> dict:
+        """The rule as a JSON-safe dict; inverse of :func:`wrapper_from_spec`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a portable spec"
+        )
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Wrapper":
+        """Rebuild a wrapper of this class from its spec dict."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not define a portable spec"
+        )
 
 
 class WrapperInductor(abc.ABC):

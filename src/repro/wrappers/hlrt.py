@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from repro.htmldom.dom import NodeId, TextNode
 from repro.site import Site
-from repro.wrappers.base import Labels, Wrapper, WrapperInductor
+from repro.wrappers.base import Labels, Wrapper, WrapperInductor, spec_kind
 from repro.wrappers.lr import (
     LRInductor,
     _common_prefix,
@@ -40,6 +40,7 @@ from repro.wrappers.lr import (
 MAX_CONTEXT_LENGTH = 256
 
 
+@spec_kind("hlrt")
 @dataclass(frozen=True, slots=True)
 class HLRTWrapper(Wrapper):
     """An HLRT rule: head, left, right, tail."""
@@ -48,6 +49,24 @@ class HLRTWrapper(Wrapper):
     left: str
     right: str
     tail: str
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": "hlrt",
+            "head": self.head,
+            "left": self.left,
+            "right": self.right,
+            "tail": self.tail,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "HLRTWrapper":
+        return cls(
+            head=str(spec["head"]),
+            left=str(spec["left"]),
+            right=str(spec["right"]),
+            tail=str(spec["tail"]),
+        )
 
     def extract(self, corpus: Site) -> Labels:
         found: set[NodeId] = set()

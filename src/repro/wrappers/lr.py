@@ -34,18 +34,27 @@ from repro.wrappers.base import (
     FeatureBasedInductor,
     Labels,
     Wrapper,
+    spec_kind,
 )
 
 #: Upper bound on delimiter length considered during induction.
 MAX_DELIMITER_LENGTH = 256
 
 
+@spec_kind("lr")
 @dataclass(frozen=True, slots=True)
 class LRWrapper(Wrapper):
     """An LR rule: the pair of delimiter strings."""
 
     left: str
     right: str
+
+    def to_spec(self) -> dict:
+        return {"kind": "lr", "left": self.left, "right": self.right}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "LRWrapper":
+        return cls(left=str(spec["left"]), right=str(spec["right"]))
 
     def extract(self, corpus: Site) -> Labels:
         """Text nodes whose immediate context matches both delimiters."""

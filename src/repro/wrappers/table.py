@@ -24,6 +24,7 @@ from repro.wrappers.base import (
     FeatureBasedInductor,
     Labels,
     Wrapper,
+    spec_kind,
 )
 
 
@@ -62,6 +63,7 @@ class Grid:
         return f"<Grid {self.n_rows}x{self.n_cols}>"
 
 
+@spec_kind("table")
 @dataclass(frozen=True, slots=True)
 class TableWrapper(Wrapper):
     """A TABLE rule: a fixed row, a fixed column, a single cell, or everything.
@@ -72,6 +74,18 @@ class TableWrapper(Wrapper):
 
     row: int | None
     col: int | None
+
+    def to_spec(self) -> dict:
+        return {"kind": "table", "row": self.row, "col": self.col}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "TableWrapper":
+        row = spec["row"]
+        col = spec["col"]
+        return cls(
+            row=int(row) if row is not None else None,
+            col=int(col) if col is not None else None,
+        )
 
     def extract(self, corpus: Grid) -> Labels:
         rows = range(corpus.n_rows) if self.row is None else (self.row,)

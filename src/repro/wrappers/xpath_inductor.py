@@ -28,6 +28,7 @@ from repro.wrappers.base import (
     FeatureBasedInductor,
     Labels,
     Wrapper,
+    spec_kind,
 )
 from repro.xpathlang.ast import (
     AttributePredicate,
@@ -92,11 +93,34 @@ def _index_for(site: Site) -> _FeatureIndex:
     return index
 
 
+@spec_kind("xpath")
 @dataclass(frozen=True)
 class XPathWrapper(Wrapper):
     """An XPATH rule: a frozen root-path feature set."""
 
     features: frozenset[tuple[PathAttribute, Hashable]]
+
+    def to_spec(self) -> dict:
+        """Portable spec: features as sorted ``[position, kind, value]`` rows.
+
+        Feature values are tag names / attribute values (strings) or
+        child numbers (ints), so the rows survive a JSON round-trip
+        unchanged.
+        """
+        rows = sorted(
+            [position, kind, value]
+            for (position, kind), value in self.features
+        )
+        return {"kind": "xpath", "features": rows}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "XPathWrapper":
+        return cls(
+            features=frozenset(
+                ((int(position), str(kind)), value)
+                for position, kind, value in spec["features"]
+            )
+        )
 
     def extract(self, corpus: Site) -> Labels:
         index = _index_for(corpus)

@@ -1,0 +1,186 @@
+"""Artifact round-trips: learn -> JSON -> apply must reproduce learning.
+
+The acceptance bar for the serializable-artifact layer: for every
+inductor, ``Extractor.learn()`` followed by a JSON round-trip and
+``artifact.apply(site)`` yields the *identical* extraction of a fresh
+``NoiseTolerantWrapper.learn()`` run with the same models.
+"""
+
+import pytest
+
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.api import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    Extractor,
+    ExtractorConfig,
+    SchemaVersionError,
+    WrapperArtifact,
+    load_artifacts,
+)
+from repro.framework.ntw import NoiseTolerantWrapper
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.ranking.scorer import WrapperScorer
+from repro.wrappers import wrapper_from_spec
+from repro.wrappers.hlrt import HLRTWrapper
+from repro.wrappers.lr import LRWrapper
+from repro.wrappers.table import TableWrapper
+from repro.wrappers.xpath_inductor import XPathInductor, XPathWrapper
+
+INDUCTOR_KEYS = ("xpath", "lr", "hlrt")
+
+
+@pytest.fixture(scope="module")
+def gold(dealer_site):
+    return frozenset(
+        node_id
+        for node_id in dealer_site.iter_text_node_ids()
+        if dealer_site.text_node(node_id).parent.tag == "u"
+    )
+
+
+@pytest.fixture(scope="module")
+def labels(dealer_site, dealer_names):
+    # A partial dictionary plus a colliding chrome word: noisy labels.
+    return DictionaryAnnotator(dealer_names[:6] + ["Contact"]).annotate(dealer_site)
+
+
+@pytest.fixture(scope="module")
+def publication_model(dealer_site, gold):
+    return PublicationModel.fit([(dealer_site, gold)])
+
+
+class TestWrapperSpecs:
+    def test_xpath_spec_roundtrip(self, dealer_site, labels):
+        wrapper = XPathInductor().induce(dealer_site, labels)
+        rebuilt = wrapper_from_spec(wrapper.to_spec())
+        assert isinstance(rebuilt, XPathWrapper)
+        assert rebuilt == wrapper
+        assert rebuilt.extract(dealer_site) == wrapper.extract(dealer_site)
+
+    def test_lr_spec_roundtrip(self):
+        wrapper = LRWrapper(left="<u>", right="</u>")
+        assert wrapper_from_spec(wrapper.to_spec()) == wrapper
+
+    def test_hlrt_spec_roundtrip(self):
+        wrapper = HLRTWrapper(head="<table>", left="<u>", right="</u>", tail="</table>")
+        assert wrapper_from_spec(wrapper.to_spec()) == wrapper
+
+    def test_table_spec_roundtrip(self):
+        for wrapper in (TableWrapper(row=2, col=None), TableWrapper(row=None, col=1)):
+            assert wrapper_from_spec(wrapper.to_spec()) == wrapper
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown wrapper spec kind"):
+            wrapper_from_spec({"kind": "quantum"})
+
+    def test_specless_payload_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            wrapper_from_spec({"left": "<u>"})
+
+
+class TestArtifactRoundTrip:
+    @pytest.mark.parametrize("inductor_key", INDUCTOR_KEYS)
+    def test_json_roundtrip_reproduces_fresh_learn(
+        self, inductor_key, dealer_site, labels, publication_model
+    ):
+        config = ExtractorConfig(
+            inductor=inductor_key, method="ntw", annotation_p=0.95, annotation_r=0.5
+        )
+        extractor = Extractor(config, publication_model=publication_model)
+        artifact = extractor.learn(dealer_site, labels)
+
+        # Fresh, facade-free run with the same models.
+        from repro.api.registry import INDUCTORS
+
+        scorer = WrapperScorer(
+            AnnotationModel.from_rates(p=0.95, r=0.5), publication_model
+        )
+        fresh = NoiseTolerantWrapper(INDUCTORS.create(inductor_key), scorer).learn(
+            dealer_site, labels
+        )
+        assert fresh.best is not None
+
+        reloaded = WrapperArtifact.from_json(artifact.to_json())
+        assert reloaded.apply(dealer_site) == fresh.extracted
+        assert reloaded.rule == fresh.best.wrapper.rule()
+        assert reloaded.inductor == inductor_key
+        assert reloaded.method == "ntw"
+
+    @pytest.mark.parametrize("inductor_key", INDUCTOR_KEYS)
+    def test_save_load_file(
+        self, inductor_key, dealer_site, labels, publication_model, tmp_path
+    ):
+        extractor = Extractor(
+            ExtractorConfig(inductor=inductor_key, method="ntw"),
+            publication_model=publication_model,
+        )
+        artifact = extractor.learn(dealer_site, labels)
+        path = artifact.save(tmp_path / f"{inductor_key}.json")
+        reloaded = WrapperArtifact.load(path)
+        assert reloaded.apply(dealer_site) == artifact.apply(dealer_site)
+        assert reloaded.provenance == artifact.provenance
+        assert reloaded.score == artifact.score
+
+    def test_load_artifacts_directory(
+        self, dealer_site, labels, publication_model, tmp_path
+    ):
+        extractor = Extractor(
+            ExtractorConfig(method="ntw"), publication_model=publication_model
+        )
+        artifact = extractor.learn(dealer_site, labels, site_name="acme")
+        artifact.save(tmp_path / "acme.json")
+        loaded = load_artifacts(tmp_path)
+        assert set(loaded) == {"acme"}
+        assert loaded["acme"].apply(dealer_site) == artifact.apply(dealer_site)
+
+    def test_load_artifacts_rejects_duplicate_site(
+        self, dealer_site, labels, publication_model, tmp_path
+    ):
+        extractor = Extractor(
+            ExtractorConfig(method="ntw"), publication_model=publication_model
+        )
+        artifact = extractor.learn(dealer_site, labels, site_name="acme")
+        artifact.save(tmp_path / "acme--name.json")
+        artifact.save(tmp_path / "acme--zipcode.json")
+        with pytest.raises(ArtifactError, match="claim site 'acme'"):
+            load_artifacts(tmp_path)
+
+
+class TestArtifactSchema:
+    def _payload(self, dealer_site, labels):
+        wrapper = XPathInductor().induce(dealer_site, labels)
+        return WrapperArtifact(
+            wrapper_spec=wrapper.to_spec(), rule=wrapper.rule()
+        ).to_dict()
+
+    def test_version_mismatch_rejected(self, dealer_site, labels):
+        payload = self._payload(dealer_site, labels)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError, match="not supported"):
+            WrapperArtifact.from_dict(payload)
+
+    def test_missing_version_rejected(self, dealer_site, labels):
+        payload = self._payload(dealer_site, labels)
+        del payload["schema_version"]
+        with pytest.raises(SchemaVersionError):
+            WrapperArtifact.from_dict(payload)
+
+    def test_missing_spec_rejected(self):
+        with pytest.raises(ArtifactError, match="wrapper_spec"):
+            WrapperArtifact.from_dict({"schema_version": SCHEMA_VERSION})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            WrapperArtifact.from_json("{nope")
+
+    def test_unknown_spec_kind_rejected_at_load(self):
+        with pytest.raises(ValueError, match="unknown wrapper spec kind"):
+            WrapperArtifact.from_dict(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "wrapper_spec": {"kind": "quantum"},
+                    "rule": "?",
+                }
+            )

@@ -1,0 +1,123 @@
+"""Batch layer: deterministic ordering, error isolation, executors."""
+
+import pytest
+
+from repro.api import (
+    Extractor,
+    ExtractorConfig,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    apply_many,
+    learn_many,
+    load_dataset,
+    resolve_executor,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("dealers", sites=6, pages=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def fitted_extractor(bundle):
+    train = bundle.sites[::2]
+    extractor = Extractor(ExtractorConfig(inductor="xpath", method="ntw"))
+    return extractor.fit(train, bundle.annotator, bundle.gold_type)
+
+
+@pytest.fixture(scope="module")
+def test_sites(bundle):
+    return bundle.sites[1::2]
+
+
+class TestLearnMany:
+    def test_all_sites_succeed_in_order(self, fitted_extractor, bundle, test_sites):
+        result = learn_many(fitted_extractor, test_sites, annotator=bundle.annotator)
+        assert len(result) == len(test_sites)
+        assert not result.failures
+        assert [o.site for o in result.outcomes] == [s.name for s in test_sites]
+        assert [o.index for o in result.outcomes] == list(range(len(test_sites)))
+        for outcome in result.outcomes:
+            assert outcome.artifact is not None
+            assert outcome.artifact.site == outcome.site
+
+    def test_unparsable_site_is_isolated(self, fitted_extractor, bundle, test_sites):
+        """A site whose pages fail to parse is a per-site failure only."""
+        mixed = [test_sites[0], ("broken", [None]), test_sites[1]]
+        result = learn_many(fitted_extractor, mixed, annotator=bundle.annotator)
+        assert len(result) == 3
+        assert [o.ok for o in result.outcomes] == [True, False, True]
+        failure = result.outcomes[1]
+        assert failure.site == "broken"
+        assert failure.artifact is None
+        assert failure.error
+        # The healthy sites still produced artifacts.
+        assert len(result.artifacts) == 2
+
+    def test_empty_labels_site_is_isolated(self, fitted_extractor, test_sites):
+        labels = [frozenset()] * len(test_sites)
+        result = learn_many(fitted_extractor, test_sites, labels=labels)
+        assert not result.successes
+        assert all("no labels" in o.error for o in result.failures)
+
+    def test_explicit_labels_must_pair_up(self, fitted_extractor, test_sites):
+        with pytest.raises(ValueError, match="must pair up"):
+            learn_many(fitted_extractor, test_sites, labels=[frozenset()])
+
+    def test_no_labels_no_annotator_is_per_site_failure(
+        self, fitted_extractor, test_sites
+    ):
+        result = learn_many(fitted_extractor, test_sites[:1])
+        assert not result.successes
+        assert "no labels and no annotator" in result.failures[0].error
+
+    def test_process_pool_matches_serial(self, fitted_extractor, bundle, test_sites):
+        serial = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator,
+            executor=SerialExecutor(),
+        )
+        pooled = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator,
+            executor=ProcessPoolExecutor(max_workers=2),
+        )
+        assert [o.artifact.rule for o in serial.successes] == [
+            o.artifact.rule for o in pooled.successes
+        ]
+
+
+class TestApplyMany:
+    def test_apply_matches_direct_extraction(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        learned = learn_many(fitted_extractor, test_sites, annotator=bundle.annotator)
+        applied = apply_many(learned.artifacts, test_sites)
+        assert not applied.failures
+        for outcome, generated in zip(applied.outcomes, test_sites):
+            assert outcome.extracted == outcome.artifact.apply(generated.site)
+
+    def test_apply_isolates_bad_sites(self, fitted_extractor, bundle, test_sites):
+        learned = learn_many(fitted_extractor, test_sites, annotator=bundle.annotator)
+        artifacts = learned.artifacts[:2]
+        targets = [test_sites[0], ("broken", [None])]
+        result = apply_many(artifacts, targets)
+        assert [o.ok for o in result.outcomes] == [True, False]
+        assert result.outcomes[1].error
+
+    def test_length_mismatch_rejected(self, fitted_extractor, bundle, test_sites):
+        learned = learn_many(fitted_extractor, test_sites, annotator=bundle.annotator)
+        with pytest.raises(ValueError, match="must pair up"):
+            apply_many(learned.artifacts, test_sites[:1])
+
+
+class TestExecutors:
+    def test_resolve_shorthands(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("process"), ProcessPoolExecutor)
+        custom = SerialExecutor()
+        assert resolve_executor(custom) is custom
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(ValueError, match="executor"):
+            resolve_executor(42)

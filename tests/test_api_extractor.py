@@ -1,0 +1,168 @@
+"""Extractor facade: config validation, method wiring, scorer weights."""
+
+import pytest
+
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.api import Extractor, ExtractorConfig, ExtractorError
+from repro.ranking.annotation import AnnotationModel
+from repro.ranking.publication import PublicationModel
+from repro.ranking.scorer import WrapperScorer
+
+
+@pytest.fixture(scope="module")
+def labels(dealer_site, dealer_names):
+    return DictionaryAnnotator(dealer_names[:6] + ["Contact"]).annotate(dealer_site)
+
+
+@pytest.fixture(scope="module")
+def gold(dealer_site):
+    return frozenset(
+        node_id
+        for node_id in dealer_site.iter_text_node_ids()
+        if dealer_site.text_node(node_id).parent.tag == "u"
+    )
+
+
+@pytest.fixture(scope="module")
+def publication_model(dealer_site, gold):
+    return PublicationModel.fit([(dealer_site, gold)])
+
+
+class TestExtractorConfig:
+    def test_defaults_valid(self):
+        ExtractorConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"method": "magic"}, "unknown method"),
+            ({"inductor": "magic"}, "unknown inductor"),
+            ({"enumerator": "sideways"}, "unknown enumerator"),
+            ({"max_labels": 0}, "max_labels"),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            ExtractorConfig(**kwargs).validate()
+
+    def test_dict_roundtrip(self):
+        config = ExtractorConfig(inductor="lr", method="ntw-l", max_labels=12)
+        assert ExtractorConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_ignores_unknown_keys(self):
+        config = ExtractorConfig.from_dict(
+            {"inductor": "lr", "some_future_knob": True}
+        )
+        assert config.inductor == "lr"
+
+    def test_invalid_config_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            Extractor(ExtractorConfig(method="magic"))
+
+
+class TestMethodWiring:
+    def test_ntw_requires_publication_model(self, dealer_site, labels):
+        extractor = Extractor(ExtractorConfig(method="ntw"))
+        with pytest.raises(ExtractorError, match="publication model"):
+            extractor.learn(dealer_site, labels)
+
+    def test_ntw_l_works_without_publication_model(
+        self, dealer_site, dealer_names, gold
+    ):
+        # Annotation-only ranking (no publication prior) recovers gold
+        # from a partial dictionary, as long as no chrome collision makes
+        # the noise structurally consistent across pages.
+        clean_labels = DictionaryAnnotator(dealer_names[:6]).annotate(dealer_site)
+        extractor = Extractor(ExtractorConfig(method="ntw-l"))
+        artifact = extractor.learn(dealer_site, clean_labels)
+        assert artifact.apply(dealer_site) == gold
+        assert artifact.method == "ntw-l"
+        assert "total" in artifact.score
+
+    def test_naive_artifact_has_no_score(self, dealer_site, labels):
+        extractor = Extractor(ExtractorConfig(method="naive"))
+        artifact = extractor.learn(dealer_site, labels)
+        assert artifact.score == {}
+        assert artifact.method == "naive"
+        # Naive over-generalizes on noisy labels but still extracts.
+        assert artifact.apply(dealer_site)
+
+    def test_empty_labels_rejected(self, dealer_site):
+        extractor = Extractor(ExtractorConfig(method="naive"))
+        with pytest.raises(ExtractorError, match="no labels"):
+            extractor.learn(dealer_site, frozenset())
+
+    def test_provenance_records_run(self, dealer_site, labels, publication_model):
+        extractor = Extractor(
+            ExtractorConfig(method="ntw"), publication_model=publication_model
+        )
+        artifact = extractor.learn(dealer_site, labels)
+        assert artifact.provenance["n_labels"] == len(labels)
+        assert artifact.provenance["n_pages"] == len(dealer_site)
+        assert artifact.provenance["config"]["method"] == "ntw"
+        assert artifact.provenance["wrapper_space"] >= 1
+
+    def test_annotate_and_learn(self, dealer_site, dealer_names, gold):
+        extractor = Extractor(ExtractorConfig(method="ntw-l"))
+        artifact = extractor.annotate_and_learn(
+            dealer_site, DictionaryAnnotator(dealer_names[:6])
+        )
+        assert artifact.apply(dealer_site) == gold
+
+    def test_fit_estimates_models(self):
+        from repro.api import load_dataset
+        from repro.evaluation.runner import split_sites
+
+        bundle = load_dataset("dealers", sites=4, pages=4, seed=11)
+        train, _ = split_sites(bundle.sites)
+        extractor = Extractor(ExtractorConfig(method="ntw"))
+        extractor.fit(train, bundle.annotator, bundle.gold_type)
+        assert extractor.annotation_model is not None
+        assert extractor.publication_model is not None
+        assert extractor.scorer() is not None
+
+
+class TestScorerWeights:
+    def test_weights_scale_components(self, dealer_site, labels, gold, publication_model):
+        annotation = AnnotationModel.from_rates(p=0.95, r=0.5)
+        plain = WrapperScorer(annotation, publication_model)
+        weighted = WrapperScorer(
+            annotation,
+            publication_model,
+            annotation_weight=2.0,
+            publication_weight=0.5,
+        )
+        base = plain.score_wrapper(dealer_site, _IdentityWrapper(gold), labels)
+        scaled = weighted.score_wrapper(dealer_site, _IdentityWrapper(gold), labels)
+        assert scaled.log_annotation == pytest.approx(2.0 * base.log_annotation)
+        assert scaled.log_publication == pytest.approx(0.5 * base.log_publication)
+
+    def test_negative_weight_rejected(self, publication_model):
+        with pytest.raises(ValueError, match="annotation_weight"):
+            WrapperScorer(
+                AnnotationModel.from_rates(p=0.9, r=0.5),
+                publication_model,
+                annotation_weight=-1.0,
+            )
+
+    def test_config_weights_reach_scorer(self, publication_model):
+        extractor = Extractor(
+            ExtractorConfig(method="ntw", annotation_weight=3.0, publication_weight=0.5),
+            publication_model=publication_model,
+        )
+        scorer = extractor.scorer()
+        assert scorer.annotation_weight == 3.0
+        assert scorer.publication_weight == 0.5
+
+
+class _IdentityWrapper:
+    """A stub wrapper extracting a fixed node set (scorer only needs that)."""
+
+    def __init__(self, nodes):
+        self._nodes = nodes
+
+    def extract(self, _site):
+        return self._nodes
+
+    def rule(self):
+        return "identity"

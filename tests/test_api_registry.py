@@ -1,0 +1,103 @@
+"""Tests for the repro.api component registries."""
+
+import pytest
+
+from repro.api import (
+    ANNOTATORS,
+    DATASETS,
+    ENUMERATORS,
+    INDUCTORS,
+    DatasetBundle,
+    Registry,
+    RegistryError,
+    load_dataset,
+)
+from repro.wrappers.xpath_inductor import XPathInductor
+
+
+class TestRegistry:
+    def test_register_direct_and_get(self):
+        registry = Registry("widget")
+        registry.register("a", int)
+        assert registry.get("a") is int
+        assert "a" in registry
+
+    def test_register_as_decorator(self):
+        registry = Registry("widget")
+
+        @registry.register("fancy")
+        class Fancy:
+            pass
+
+        assert registry.get("fancy") is Fancy
+        assert registry.create("fancy").__class__ is Fancy
+
+    def test_duplicate_name_rejected(self):
+        registry = Registry("widget")
+        registry.register("a", int)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a", float)
+
+    def test_empty_name_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(ValueError, match="non-empty string"):
+            registry.register("", int)
+
+    def test_unknown_name_lists_known(self):
+        registry = Registry("widget")
+        registry.register("alpha", int)
+        with pytest.raises(RegistryError, match="alpha"):
+            registry.get("beta")
+
+    def test_names_sorted(self):
+        registry = Registry("widget")
+        registry.register("zz", int)
+        registry.register("aa", int)
+        assert registry.names() == ("aa", "zz")
+        assert list(registry) == ["aa", "zz"]
+        assert len(registry) == 2
+
+    def test_metadata_attached_at_registration(self):
+        registry = Registry("widget")
+        registry.register("a", int, corpus="grid", experimental=True)
+        registry.register("b", int)
+        assert registry.meta("a") == {"corpus": "grid", "experimental": True}
+        assert registry.meta("b") == {}
+        with pytest.raises(RegistryError):
+            registry.meta("missing")
+
+
+class TestBuiltinRegistries:
+    def test_inductors(self):
+        assert {"xpath", "lr", "hlrt", "table"} <= set(INDUCTORS.names())
+        assert isinstance(INDUCTORS.create("xpath"), XPathInductor)
+
+    def test_site_inductors_exclude_grid_corpus(self):
+        from repro.api.registry import site_inductor_names
+
+        names = site_inductor_names()
+        assert {"xpath", "lr", "hlrt"} <= set(names)
+        assert "table" not in names
+
+    def test_annotators(self):
+        assert {"dictionary", "regex", "zipcode"} <= set(ANNOTATORS.names())
+
+    def test_enumerators(self):
+        assert {"top_down", "bottom_up", "naive"} <= set(ENUMERATORS.names())
+
+    def test_datasets(self):
+        assert {"dealers", "disc", "products"} <= set(DATASETS.names())
+
+
+class TestLoadDataset:
+    def test_dealers_bundle(self):
+        bundle = load_dataset("dealers", sites=2, pages=2, seed=11)
+        assert isinstance(bundle, DatasetBundle)
+        assert bundle.gold_type == "name"
+        assert len(bundle.sites) == 2
+        labels = bundle.annotator.annotate(bundle.sites[0].site)
+        assert isinstance(labels, frozenset)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(RegistryError, match="unknown dataset"):
+            load_dataset("nope", sites=2, pages=2, seed=1)

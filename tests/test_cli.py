@@ -95,3 +95,66 @@ class TestCommands:
     def test_unknown_dataset_exits(self):
         with pytest.raises(SystemExit):
             main(["experiment", "--dataset", "nope", "--sites", "2"])
+
+
+class TestLearnApply:
+    """The learn -> save -> load -> apply loop, end to end on dealers."""
+
+    DATASET_ARGS = ["--dataset", "dealers", "--sites", "4", "--pages", "4"]
+
+    def test_learn_then_apply(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert (
+            main(["learn", *self.DATASET_ARGS, "--out", str(out_dir)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "learned 2/2 sites ok" in out
+        saved = sorted(path.name for path in out_dir.glob("*.json"))
+        assert saved == ["dealers-001.json", "dealers-003.json"]
+
+        assert (
+            main(["apply", *self.DATASET_ARGS, "--artifacts", str(out_dir)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "applied 2/2 sites ok" in out
+        assert "F1=" in out
+
+    def test_learn_naive_method(self, tmp_path, capsys):
+        out_dir = tmp_path / "naive"
+        code = main(
+            ["learn", *self.DATASET_ARGS, "--method", "naive", "--out", str(out_dir)]
+        )
+        assert code == 0
+        assert list(out_dir.glob("*.json"))
+
+    def test_apply_missing_artifacts_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no artifacts"):
+            main(["apply", *self.DATASET_ARGS, "--artifacts", str(tmp_path)])
+
+    def test_apply_unmatched_artifacts_exits(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["learn", *self.DATASET_ARGS, "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="no artifact matches"):
+            main(
+                [
+                    "apply",
+                    "--dataset",
+                    "disc",
+                    "--sites",
+                    "2",
+                    "--artifacts",
+                    str(out_dir),
+                ]
+            )
+
+
+class TestListComponents:
+    def test_lists_all_registries(self, capsys):
+        assert main(["list-components"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("inductors:", "annotators:", "enumerators:", "datasets:"):
+            assert expected in out
+        assert "xpath" in out
+        assert "dealers" in out
+        assert "ntw" in out

@@ -72,6 +72,19 @@ class TestSubsampleLabels:
         labels = frozenset({NodeId(0, i) for i in range(100)})
         assert subsample_labels(labels, 7) == subsample_labels(labels, 7)
 
+    def test_zero_max_labels_rejected(self):
+        labels = frozenset({NodeId(0, i) for i in range(5)})
+        with pytest.raises(ValueError, match="max_labels must be a positive"):
+            subsample_labels(labels, 0)
+
+    def test_negative_max_labels_rejected(self):
+        with pytest.raises(ValueError, match="max_labels must be a positive"):
+            subsample_labels(frozenset(), -3)
+
+    def test_learner_rejects_nonpositive_max_labels(self, scorer):
+        with pytest.raises(ValueError, match="max_labels"):
+            NoiseTolerantWrapper(XPathInductor(), scorer, max_labels=0)
+
 
 class TestNoiseTolerantWrapper:
     def test_recovers_from_noise_xpath(self, site, gold, scorer):
