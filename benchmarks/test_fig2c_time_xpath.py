@@ -3,7 +3,16 @@
 Paper: TopDown finishes in under a second for most websites; BottomUp is
 about an order of magnitude slower; Naive is prohibitively expensive and
 is not run (here its call count stands in for it).
+
+The evaluation engine builds per-site state (feature index, posting
+trie) once and shares it across every stage that touches the site, so
+each site's shared state is warmed explicitly before timing — otherwise
+whichever algorithm happens to run first is charged the one-time build
+and the TopDown/BottomUp comparison depends on run order.  The warm
+cost is reported as its own column and total.
 """
+
+import time
 
 from _harness import ENUM_SITES, dealers_dataset, write_result
 
@@ -21,11 +30,16 @@ def _run():
         labels = subsample_labels(annotator.annotate(generated.site), 24)
         if len(labels) < 2:
             continue
+        warm_started = time.perf_counter()
+        # One induce + extract builds the site's shared engine state.
+        inductor.induce(generated.site, labels).extract(generated.site)
+        warm_secs = time.perf_counter() - warm_started
         top_down = enumerate_top_down(inductor, generated.site, labels)
         bottom_up = enumerate_bottom_up(inductor, generated.site, labels)
         rows.append(
             {
                 "site": generated.name,
+                "warm_secs": warm_secs,
                 "td_secs": top_down.seconds,
                 "bu_secs": bottom_up.seconds,
             }
@@ -38,14 +52,17 @@ def test_fig2c_time_xpath(benchmark):
     rows.sort(key=lambda r: r["td_secs"])
     lines = [
         f"{r['site']}: TopDown={r['td_secs'] * 1000:8.2f}ms "
-        f"BottomUp={r['bu_secs'] * 1000:9.2f}ms"
+        f"BottomUp={r['bu_secs'] * 1000:9.2f}ms "
+        f"(engine warm {r['warm_secs'] * 1000:6.2f}ms)"
         for r in rows
     ]
     td_total = sum(r["td_secs"] for r in rows)
     bu_total = sum(r["bu_secs"] for r in rows)
+    warm_total = sum(r["warm_secs"] for r in rows)
     lines.append(
         f"TOTAL TopDown={td_total:.3f}s BottomUp={bu_total:.3f}s "
-        f"(ratio {bu_total / max(td_total, 1e-9):.1f}x)"
+        f"(ratio {bu_total / max(td_total, 1e-9):.1f}x; "
+        f"engine warm {warm_total:.3f}s)"
     )
     write_result("fig2c_time_xpath", lines)
     # Shape: TopDown under a second per site; BottomUp slower overall.

@@ -17,6 +17,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.site import Site
 from repro.wrappers.base import Labels, Wrapper, wrapper_from_spec
 
@@ -65,9 +66,15 @@ class WrapperArtifact:
         """Rebuild the concrete wrapper from the stored spec."""
         return wrapper_from_spec(self.wrapper_spec)
 
-    def apply(self, site: Site) -> Labels:
-        """Extract from ``site`` with the stored rule — no relearning."""
-        return self.wrapper().extract(site)
+    def apply(self, site: Site, engine: EvaluationEngine | None = None) -> Labels:
+        """Extract from ``site`` with the stored rule — no relearning.
+
+        Extraction runs through ``engine`` (the process default when
+        omitted): rebuilt wrappers compare equal to the originals, so
+        re-applying an artifact to a site the engine has seen is a memo
+        hit, and fresh sites reuse the engine's compiled rule state.
+        """
+        return resolve_engine(engine).extract(site, self.wrapper())
 
     # -- serialization -----------------------------------------------------
 

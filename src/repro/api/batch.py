@@ -19,6 +19,15 @@ Sites may be given as :class:`~repro.site.Site` objects, dataset
 ``(name, [html, ...])`` pairs; raw pages are parsed *inside* the
 isolated task so parser failures are per-site failures, not run
 failures.
+
+Batch runs share evaluation state through the extractor's
+:class:`~repro.engine.EvaluationEngine` and the sites' own derived
+caches: under the serial executor, learning several fields over the
+same sites (or re-applying many artifacts to one site) reuses page
+indexes, posting tries and extraction memos instead of rebuilding them
+per task.  Under the process executor each worker rebuilds its caches
+once per shipped site — engines pickle empty and sites pickle without
+derived state; caches are acceleration, not payload.
 """
 
 from __future__ import annotations

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 from repro.api.artifacts import WrapperArtifact
 from repro.api.registry import INDUCTORS
 from repro.datasets.sitegen import GeneratedSite
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.framework.naive import NaiveWrapperLearner
 from repro.framework.ntw import MAX_ENUMERATION_LABELS, NoiseTolerantWrapper
 from repro.ranking.annotation import AnnotationModel
@@ -116,12 +117,18 @@ class Extractor:
         publication_model: PublicationModel | None = None,
         content_model: ContentModel | None = None,
         inductor: WrapperInductor | None = None,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         """Build a facade from ``config``.
 
         ``inductor`` optionally supplies a pre-built inductor instance
         (e.g. one with non-default parameters); the config's inductor
         name is then set from the instance for artifact provenance.
+        ``engine`` optionally supplies a shared evaluation engine; one
+        engine is threaded through every learn/apply call this facade
+        makes, so batch jobs reuse page indexes and extraction memos
+        across wrappers and fields of the same site (the process-wide
+        default engine is used when omitted).
         """
         self.config = replace(config) if config is not None else ExtractorConfig()
         if inductor is not None:
@@ -134,6 +141,7 @@ class Extractor:
         self.annotation_model = annotation_model
         self.publication_model = publication_model
         self.content_model = content_model
+        self.engine = resolve_engine(engine)
 
     # -- model fitting -----------------------------------------------------
 
@@ -218,6 +226,7 @@ class Extractor:
                 self.scorer(),
                 enumerator=self.config.enumerator,
                 max_labels=self.config.max_labels,
+                engine=self.engine,
             )
             result = learner.learn(site, labels)
             if result.best is None:
@@ -253,7 +262,7 @@ class Extractor:
 
     def apply(self, artifact: WrapperArtifact, site: Site | GeneratedSite) -> Labels:
         """Extract from ``site`` using a saved artifact (no relearning)."""
-        return artifact.apply(_as_site(site))
+        return artifact.apply(_as_site(site), engine=self.engine)
 
     # -- batch -------------------------------------------------------------
 

@@ -1,0 +1,28 @@
+"""Shared evaluation engine: indexed pages, compiled rules, batched
+candidate extraction.
+
+See :mod:`repro.engine.core` for the cache hierarchy and lifecycle and
+:mod:`repro.engine.trie` for the prefix-sharing posting trie used to
+evaluate enumerated candidate sets in batch.
+"""
+
+from repro.engine.core import (
+    EvaluationEngine,
+    SiteCache,
+    get_engine,
+    register_extractor,
+    resolve_engine,
+    text_span_table,
+)
+from repro.engine.trie import FeatureTrie, build_postings
+
+__all__ = [
+    "EvaluationEngine",
+    "FeatureTrie",
+    "SiteCache",
+    "build_postings",
+    "get_engine",
+    "register_extractor",
+    "resolve_engine",
+    "text_span_table",
+]

@@ -1,0 +1,187 @@
+"""The shared evaluation engine: one cache hierarchy for the hot path.
+
+Every stage that applies wrappers to pages — BottomUp closure
+evaluation, candidate ranking, artifact ``apply()``, batch jobs — used
+to re-derive everything per call: per-node feature maps, posting sets,
+extraction results.  The engine splits that state by lifetime:
+
+- **page indexes** live on the frozen
+  :class:`~repro.htmldom.dom.Document` (built at freeze time, valid
+  forever);
+- **site-derived structures** (feature indexes, posting tries, text-span
+  tables) are memoized on the :class:`~repro.site.Site` itself via
+  :meth:`~repro.site.Site.derived` — sites are immutable, so the
+  structures are valid for the site's lifetime and shared by *every*
+  engine that touches the site (no double builds when a pipeline
+  threads its own engine);
+- **extraction memos** (wrapper → extracted labels, per site) live
+  here, in :class:`EvaluationEngine`, bounded and identity-keyed.
+
+Wrapper classes register a compiled extractor — ``(site, wrapper) ->
+labels`` — via :func:`register_extractor`; the engine dispatches
+``extract``/``batch_extract`` through the registry and the memo.  The
+batch path evaluates an enumerated candidate set in one pass, sharing
+posting-trie prefixes and memo hits across candidates.
+
+A default process-wide engine (:func:`get_engine`) serves ad-hoc
+``wrapper.extract(site)`` calls; pipelines
+(:class:`~repro.framework.ntw.NoiseTolerantWrapper`,
+:class:`~repro.api.extractor.Extractor`, the batch layer) thread one
+engine instance through learn → rank → apply so every stage hits the
+same memos.  Engines pickle empty: caches are transient acceleration
+state, never payload.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.htmldom.dom import Document, Node
+from repro.site import Site
+from repro.wrappers.base import Labels, Wrapper
+from repro.xpathlang.ast import LocationPath
+from repro.xpathlang.compiled import CompiledPath, compile_xpath
+
+#: Max per-site memo tables per engine before the table is cleared wholesale.
+_MAX_SITE_CACHES = 64
+
+#: Wrapper class -> compiled extractor ``(site, wrapper) -> Labels``.
+_EXTRACTORS: dict[type, Callable[[Any, Any], Labels]] = {}
+
+
+def register_extractor(wrapper_cls: type):
+    """Class-keyed registration of a compiled extractor.
+
+    Wrapper modules call this at import time; the engine never imports
+    wrapper modules, so the dependency arrow stays wrappers → engine.
+    A compiled extractor must never call ``wrapper.extract`` — wrapper
+    ``extract`` methods delegate to the engine, and the compiler is
+    what breaks that loop.
+    """
+
+    def register(fn: Callable[[Any, Any], Labels]):
+        _EXTRACTORS[wrapper_cls] = fn
+        return fn
+
+    return register
+
+
+def text_span_table(site) -> list[tuple[str, list]]:
+    """Per page: ``(source, sorted (start, end, node) span table)``.
+
+    The string-view wrapper families (LR, HLRT) match text nodes by
+    their source character context; this table gives them the sourced
+    text nodes of every page without re-walking trees.  Memoized on the
+    site; duck-typed page collections are served uncached.
+    """
+
+    def build(target) -> list[tuple[str, list]]:
+        return [(page.source, page.text_spans()) for page in target.pages]
+
+    if isinstance(site, Site):
+        return site.derived("text_spans", build)
+    return build(site)
+
+
+class SiteCache:
+    """One engine's per-site state: the wrapper → extraction memo.
+
+    (Site-derived evaluation structures live on the site itself, via
+    :meth:`repro.site.Site.derived` — see the module docstring.)
+    """
+
+    __slots__ = ("site", "extractions")
+
+    def __init__(self, site: Site) -> None:
+        self.site = site
+        self.extractions: dict[Wrapper, Labels] = {}
+
+
+class EvaluationEngine:
+    """Shared, bounded extraction memos for wrapper evaluation."""
+
+    __slots__ = ("_site_caches",)
+
+    def __init__(self) -> None:
+        self._site_caches: dict[int, SiteCache] = {}
+
+    # Engines ride along on picklable pipeline objects (Extractor) into
+    # process pools; memos are identity-keyed and transient, so an
+    # engine always pickles as a fresh, empty engine.
+    def __reduce__(self):
+        return (EvaluationEngine, ())
+
+    def site_cache(self, site: Site) -> SiteCache:
+        """The memo slot for ``site`` (created on first use)."""
+        cached = self._site_caches.get(id(site))
+        if cached is not None and cached.site is site:
+            return cached
+        if len(self._site_caches) >= _MAX_SITE_CACHES:
+            self._site_caches.clear()
+        cache = SiteCache(site)
+        self._site_caches[id(site)] = cache
+        return cache
+
+    # -- wrapper extraction -------------------------------------------------
+
+    def extract(self, corpus: Any, wrapper: Wrapper) -> Labels:
+        """Apply ``wrapper`` to ``corpus`` through the compiled path.
+
+        Wrappers with a registered compiler are evaluated through it —
+        memoized per ``(site, wrapper)`` for real :class:`Site` corpora,
+        uncached for duck-typed page collections.  Wrappers without a
+        compiler fall back to their own ``extract`` (safe: only
+        compiler-backed wrapper classes delegate ``extract`` here).
+        """
+        compiler = _EXTRACTORS.get(type(wrapper))
+        if compiler is None:
+            return wrapper.extract(corpus)
+        if not isinstance(corpus, Site):
+            return compiler(corpus, wrapper)
+        memo = self.site_cache(corpus).extractions
+        extracted = memo.get(wrapper)
+        if extracted is None:
+            extracted = compiler(corpus, wrapper)
+            memo[wrapper] = extracted
+        return extracted
+
+    def batch_extract(
+        self, corpus: Any, wrappers: Sequence[Wrapper]
+    ) -> list[Labels]:
+        """Extractions for a candidate set, in input order.
+
+        Sharing happens through the site-derived caches: posting-trie
+        prefixes common to several candidates are intersected once, and
+        candidates already evaluated (this batch or any earlier stage on
+        the same engine) are memo hits.
+        """
+        return [self.extract(corpus, wrapper) for wrapper in wrappers]
+
+    # -- compiled xpath evaluation ------------------------------------------
+
+    def evaluate_path(
+        self, path: LocationPath | str | CompiledPath, document: Document
+    ) -> list[Node]:
+        """Index-backed xpath evaluation (compiled once, memoized per page)."""
+        if not isinstance(path, CompiledPath):
+            path = compile_xpath(path)
+        return path.evaluate(document)
+
+    def clear(self) -> None:
+        """Drop every memo (results are unaffected; only speed is)."""
+        self._site_caches.clear()
+
+
+#: The default process-wide engine behind ad-hoc ``wrapper.extract`` calls.
+_DEFAULT_ENGINE = EvaluationEngine()
+
+
+def get_engine() -> EvaluationEngine:
+    """The default engine (one per process)."""
+    return _DEFAULT_ENGINE
+
+
+def resolve_engine(engine: EvaluationEngine | None) -> EvaluationEngine:
+    """``engine`` itself, or the process default when ``None``."""
+    return engine if engine is not None else _DEFAULT_ENGINE

@@ -1,0 +1,104 @@
+"""Prefix-sharing batch evaluation of feature-set wrappers.
+
+The enumerated candidate space of a feature-based inductor is a family
+of feature sets that overlap heavily: every candidate is a superset of
+the features shared by its label subset, so candidates for one site
+share long common cores.  :class:`FeatureTrie` exploits that overlap —
+it maps each feature item to its *posting set* (the node ids carrying
+the item) and evaluates a wrapper as the intersection of its items'
+postings, walking a trie keyed by a canonical item order so that shared
+prefixes are intersected exactly once per site, however many candidates
+(or ranking passes) reuse them.
+
+Item order is most-selective-first: rare items (small postings) come
+first, so intersections shrink immediately and the cached prefix sets
+stay small.  Posting sizes are per-site constants, which keeps the
+order canonical across every wrapper evaluated on the site.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.htmldom.dom import NodeId
+
+#: Trie-node layout: the set at this prefix plus child edges by item.
+#: (plain tuples keep the hot path allocation-light).
+_SET = 0
+_CHILDREN = 1
+
+#: Reset threshold: a trie that outgrows this many nodes is discarded
+#: (prefix sets are frozensets of NodeId; unbounded growth across very
+#: long sessions would otherwise pin memory).
+_MAX_TRIE_NODES = 65536
+
+_EMPTY: frozenset[NodeId] = frozenset()
+
+
+class FeatureTrie:
+    """Shared-prefix evaluator over a fixed posting index.
+
+    Args:
+        postings: feature item -> frozenset of node ids carrying it.
+        universe: result for the empty feature set (every candidate
+            node, typically all text nodes of the site).
+    """
+
+    __slots__ = ("postings", "universe", "_order_keys", "_root", "_nodes")
+
+    def __init__(
+        self,
+        postings: Mapping[Hashable, frozenset[NodeId]],
+        universe: frozenset[NodeId],
+    ) -> None:
+        self.postings = postings
+        self.universe = universe
+        # Canonical total order: ascending posting size, then a stable
+        # textual key (items mix tuple shapes, so they are not directly
+        # comparable).
+        self._order_keys: dict[Hashable, tuple[int, str]] = {
+            item: (len(nodes), repr(item)) for item, nodes in postings.items()
+        }
+        self._root: list = [universe, {}]
+        self._nodes = 1
+
+    def lookup(self, items: Iterable[Hashable]) -> frozenset[NodeId]:
+        """Nodes whose feature set contains every item (∩ of postings)."""
+        order_keys = self._order_keys
+        missing_key = (len(self.universe) + 1, "")
+        ordered = sorted(
+            items, key=lambda item: order_keys.get(item, missing_key)
+        )
+        if self._nodes > _MAX_TRIE_NODES:
+            self._root = [self.universe, {}]
+            self._nodes = 1
+        node = self._root
+        postings = self.postings
+        for item in ordered:
+            child = node[_CHILDREN].get(item)
+            if child is None:
+                parent_set: frozenset[NodeId] = node[_SET]
+                posting = postings.get(item)
+                current = parent_set & posting if posting else _EMPTY
+                child = [current, {}]
+                node[_CHILDREN][item] = child
+                self._nodes += 1
+            node = child
+            if not node[_SET]:
+                return _EMPTY
+        return node[_SET]
+
+
+def build_postings(
+    feature_sets: Mapping[NodeId, frozenset],
+) -> dict[Hashable, frozenset[NodeId]]:
+    """Invert per-node feature sets into per-item posting sets."""
+    raw: dict[Hashable, set[NodeId]] = {}
+    for node_id, items in feature_sets.items():
+        for item in items:
+            bucket = raw.get(item)
+            if bucket is None:
+                raw[item] = {node_id}
+            else:
+                bucket.add(node_id)
+    return {item: frozenset(nodes) for item, nodes in raw.items()}

@@ -7,6 +7,13 @@ expanded set is pushed back (unless it is all of ``L``).  Soundness,
 completeness and the ``k * |L|`` call bound are Theorems 1 and 2; the
 test suite checks the output against naive enumeration and the call
 bound against the wrapper-space size.
+
+Wrapper evaluation goes through the shared engine: each expansion round
+batches the newly induced wrappers and extracts them together, so
+posting-trie prefixes shared between sibling expansions are intersected
+once and rules re-induced from different subsets are memo hits.  The
+traversal (and therefore the enumerated space) is unchanged — closures
+are processed in the exact order of the unbatched algorithm.
 """
 
 from __future__ import annotations
@@ -15,14 +22,19 @@ import heapq
 import time
 from typing import Any
 
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.enumeration.result import EnumerationResult
 from repro.wrappers.base import Labels, Wrapper, WrapperInductor
 
 
 def enumerate_bottom_up(
-    inductor: WrapperInductor, corpus: Any, labels: Labels
+    inductor: WrapperInductor,
+    corpus: Any,
+    labels: Labels,
+    engine: EvaluationEngine | None = None,
 ) -> EnumerationResult:
     """Enumerate ``W(L)`` with at most ``k * |L|`` inductor calls."""
+    engine = resolve_engine(engine)
     started = time.perf_counter()
     wrappers: dict[Wrapper, None] = {}
     calls = 0
@@ -35,15 +47,28 @@ def enumerate_bottom_up(
 
     while heap:
         _, _, subset = heapq.heappop(heap)
+        # Round 1: induce the wrappers of every uncached expansion.
+        expansions: list[tuple[Labels, Wrapper | None]] = []
+        fresh: list[Wrapper] = []
         for label in sorted(labels - subset):
             grown = subset | {label}
-            extracted = extraction_cache.get(grown)
-            if extracted is None:
+            if grown in extraction_cache:
+                expansions.append((grown, None))
+            else:
                 wrapper = inductor.induce(corpus, grown)
                 calls += 1
-                extracted = wrapper.extract(corpus)
-                extraction_cache[grown] = extracted
                 wrappers.setdefault(wrapper)
+                expansions.append((grown, wrapper))
+                fresh.append(wrapper)
+        # Round 2: evaluate the round's new wrappers as one batch.
+        extracted_batch = iter(engine.batch_extract(corpus, fresh))
+        # Round 3: closure bookkeeping, in the original expansion order.
+        for grown, wrapper in expansions:
+            if wrapper is None:
+                extracted = extraction_cache[grown]
+            else:
+                extracted = next(extracted_batch)
+                extraction_cache[grown] = extracted
             closure = extracted & labels
             if closure != labels and closure not in queued:
                 queued.add(closure)

@@ -5,6 +5,12 @@ subset by each attribute in the inductor's attribute stream.  For
 feature-based inductors the resulting family ``Z`` is exactly the closed
 subsets of ``L``, each of which contributes one unique wrapper
 (Lemma C.2), so the inductor is called exactly ``k`` times (Theorem 3).
+
+Unlike BottomUp, TopDown never evaluates a wrapper — subdivision works
+on label features alone — so it takes no evaluation engine.  The
+candidate set it returns is materialized in one engine batch by the
+caller (see :meth:`repro.framework.ntw.NoiseTolerantWrapper.learn`),
+which is where the shared posting-trie evaluation happens.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.enumeration import (
     EnumerationResult,
     enumerate_bottom_up,
@@ -64,7 +65,16 @@ def subsample_labels(labels: Labels, max_labels: int) -> Labels:
 
 
 class NoiseTolerantWrapper:
-    """Enumerate-and-rank wrapper learning from noisy labels."""
+    """Enumerate-and-rank wrapper learning from noisy labels.
+
+    One :class:`~repro.engine.EvaluationEngine` is threaded through the
+    whole run — BottomUp closure evaluation, the candidate-set batch and
+    ranking all hit the same site caches — so no rule is ever evaluated
+    twice on a site.  Pass ``engine`` to share caches across stages (the
+    :class:`~repro.api.extractor.Extractor` facade shares its engine
+    across every site of a batch job); the process default is used
+    otherwise.
+    """
 
     def __init__(
         self,
@@ -72,6 +82,7 @@ class NoiseTolerantWrapper:
         scorer: WrapperScorer,
         enumerator: str = "auto",
         max_labels: int = MAX_ENUMERATION_LABELS,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         if enumerator not in ("auto", "top_down", "bottom_up"):
             raise ValueError(f"unknown enumerator {enumerator!r}")
@@ -93,6 +104,7 @@ class NoiseTolerantWrapper:
         self.scorer = scorer
         self.enumerator = enumerator
         self.max_labels = max_labels
+        self.engine = resolve_engine(engine)
 
     def learn(self, site: Site, labels: Labels) -> NTWResult:
         """Learn the best wrapper for ``site`` from noisy ``labels``."""
@@ -100,14 +112,18 @@ class NoiseTolerantWrapper:
             return NTWResult(best=None, ranked=[], enumeration=None, labels=labels)
         enumeration_labels = subsample_labels(labels, self.max_labels)
         if self.enumerator == "top_down":
+            # TopDown never evaluates wrappers itself; the candidate
+            # set is materialized in one engine batch by rank() below.
             enumeration = enumerate_top_down(
                 self.inductor, site, enumeration_labels
             )
         else:
             enumeration = enumerate_bottom_up(
-                self.inductor, site, enumeration_labels
+                self.inductor, site, enumeration_labels, engine=self.engine
             )
-        ranked = self.scorer.rank(site, enumeration.wrappers, labels)
+        ranked = self.scorer.rank(
+            site, enumeration.wrappers, labels, engine=self.engine
+        )
         best = ranked[0] if ranked else None
         return NTWResult(
             best=best, ranked=ranked, enumeration=enumeration, labels=labels

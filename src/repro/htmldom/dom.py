@@ -10,10 +10,19 @@ across all pages of a site).
 Text nodes remember the character span ``[start, end)`` they occupy in
 the page source, which keeps the tree view (XPATH wrappers) aligned with
 the string view (LR wrappers).
+
+Freezing also builds the per-page indexes the evaluation engine runs on
+(see :mod:`repro.engine`): elements grouped by tag in document order
+(with parallel pre-order lists for subtree range queries), matching
+children grouped by ``(parent, tag)``, an attribute-value index, a
+sorted text-span table, plus cached child numbers and subtree spans on
+every element.  The tree is immutable after freezing, so the indexes
+never go stale.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Optional
@@ -65,13 +74,16 @@ class Node:
 class ElementNode(Node):
     """An HTML element with a tag name, attributes and ordered children."""
 
-    __slots__ = ("tag", "attrs", "children")
+    __slots__ = ("tag", "attrs", "children", "_child_no", "_subtree_end")
 
     def __init__(self, tag: str, attrs: dict[str, str] | None = None) -> None:
         super().__init__()
         self.tag = tag
         self.attrs: dict[str, str] = dict(attrs) if attrs else {}
         self.children: list[Node] = []
+        # Filled in at Document freeze time; None while the tree is loose.
+        self._child_no: Optional[int] = None
+        self._subtree_end: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ElementNode {self.tag} id={self.node_id}>"
@@ -89,8 +101,11 @@ class ElementNode(Node):
 
         This is the semantics of the xpath child-number filter ``td[2]``:
         the second ``td`` child of the parent.  The root element has child
-        number 1.
+        number 1.  Frozen documents cache the number at freeze time; the
+        sibling scan below only runs for loose (unfrozen) trees.
         """
+        if self._child_no is not None:
+            return self._child_no
         if self.parent is None:
             return 1
         position = 0
@@ -145,11 +160,27 @@ class Document:
 
     After construction the tree is *frozen*: every node gets a
     :class:`NodeId`, and the document exposes ``nodes`` (pre-order list)
-    plus fast lookup maps.  Mutating the tree after freezing is not
-    supported.
+    plus fast lookup maps and the per-page query indexes the evaluation
+    engine relies on.  Mutating the tree after freezing is not supported.
     """
 
-    __slots__ = ("root", "source", "page_index", "nodes", "_by_id", "_text_by_span")
+    __slots__ = (
+        "root",
+        "source",
+        "page_index",
+        "nodes",
+        "_by_id",
+        "_text_by_span",
+        "_elements_by_tag",
+        "_preorders_by_tag",
+        "_children_by_tag",
+        "_by_attr",
+        "_preorders_by_attr",
+        "_span_starts",
+        "_span_nodes",
+        "_all_elements",
+        "_all_element_preorders",
+    )
 
     def __init__(self, root: ElementNode, source: str, page_index: int = 0) -> None:
         self.root = root
@@ -158,11 +189,74 @@ class Document:
         self.nodes: list[Node] = list(root.iter_preorder())
         self._by_id: dict[NodeId, Node] = {}
         self._text_by_span: dict[tuple[int, int], TextNode] = {}
+        spans: list[tuple[int, int, TextNode]] = []
         for preorder, node in enumerate(self.nodes):
             node.node_id = NodeId(page=page_index, preorder=preorder)
             self._by_id[node.node_id] = node
             if isinstance(node, TextNode) and node.start >= 0:
                 self._text_by_span[(node.start, node.end)] = node
+                spans.append((node.start, node.end, node))
+        self._build_indexes(spans)
+
+    def _build_indexes(self, spans: list[tuple[int, int, TextNode]]) -> None:
+        """Build the frozen query indexes in two O(n) passes."""
+        # Sorted span table: text nodes by source position, for bisect
+        # lookups (spans of distinct text nodes never overlap).
+        spans.sort(key=lambda entry: entry[0])
+        self._span_starts: list[int] = [start for start, _, _ in spans]
+        self._span_nodes: list[tuple[int, int, TextNode]] = spans
+        # Tag / attribute / parent-group indexes plus cached child
+        # numbers, all in one pre-order pass (document order).
+        elements_by_tag: dict[str, list[ElementNode]] = {}
+        preorders_by_tag: dict[str, list[int]] = {}
+        children_by_tag: dict[tuple[int, str], list[ElementNode]] = {}
+        by_attr: dict[tuple[str, str], list[ElementNode]] = {}
+        preorders_by_attr: dict[tuple[str, str], list[int]] = {}
+        all_elements: list[ElementNode] = []
+        all_preorders: list[int] = []
+        for node in self.nodes:
+            if not isinstance(node, ElementNode):
+                continue
+            preorder = node.node_id.preorder
+            all_elements.append(node)
+            all_preorders.append(preorder)
+            elements_by_tag.setdefault(node.tag, []).append(node)
+            preorders_by_tag.setdefault(node.tag, []).append(preorder)
+            for name, value in node.attrs.items():
+                key = (name, value)
+                by_attr.setdefault(key, []).append(node)
+                preorders_by_attr.setdefault(key, []).append(preorder)
+            counts: dict[str, int] = {}
+            for child in node.children:
+                if isinstance(child, ElementNode):
+                    number = counts.get(child.tag, 0) + 1
+                    counts[child.tag] = number
+                    child._child_no = number
+                    children_by_tag.setdefault(
+                        (preorder, child.tag), []
+                    ).append(child)
+        self.root._child_no = 1
+        self._elements_by_tag = elements_by_tag
+        self._preorders_by_tag = preorders_by_tag
+        self._children_by_tag = children_by_tag
+        self._by_attr = by_attr
+        self._preorders_by_attr = preorders_by_attr
+        self._all_elements = all_elements
+        self._all_element_preorders = all_preorders
+        # Subtree spans: walking the pre-order list with an open-element
+        # stack, an element's subtree ends where the first node appears
+        # whose parent sits at or below it on the stack.
+        stack: list[ElementNode] = []
+        for node in self.nodes:
+            parent = node.parent
+            while stack and stack[-1] is not parent:
+                closed = stack.pop()
+                closed._subtree_end = node.node_id.preorder
+            if isinstance(node, ElementNode):
+                stack.append(node)
+        total = len(self.nodes)
+        while stack:
+            stack.pop()._subtree_end = total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Document page={self.page_index} nodes={len(self.nodes)}>"
@@ -179,8 +273,90 @@ class Document:
         return self._text_by_span.get((start, end))
 
     def text_node_containing(self, offset: int) -> TextNode | None:
-        """Return the text node whose source span contains ``offset``."""
-        for node in self.nodes:
-            if isinstance(node, TextNode) and node.start <= offset < node.end:
-                return node
+        """Return the text node whose source span contains ``offset``.
+
+        Bisects the sorted span table: the only candidate is the span
+        with the greatest start at or before ``offset`` (text-node spans
+        never overlap).
+        """
+        at = bisect_right(self._span_starts, offset) - 1
+        if at < 0:
+            return None
+        start, end, node = self._span_nodes[at]
+        if start <= offset < end:
+            return node
         return None
+
+    def text_spans(self) -> list[tuple[int, int, TextNode]]:
+        """Sorted ``(start, end, node)`` table of sourced text nodes."""
+        return self._span_nodes
+
+    # -- element query indexes (frozen at construction) ---------------------
+    #
+    # All accessors below may return the internal index lists directly
+    # (that is what makes them cheap enough for the evaluation hot
+    # path); callers MUST treat the results as immutable — mutating
+    # them would corrupt the frozen indexes for every later query.
+
+    def elements_with_tag(self, tag: str) -> list[ElementNode]:
+        """All elements with ``tag`` (``"*"`` for any), document order.
+
+        Returns a shared index list — do not mutate (true of every
+        query accessor on this class).
+        """
+        if tag == "*":
+            return self._all_elements
+        return self._elements_by_tag.get(tag, [])
+
+    def child_elements_with_tag(
+        self, parent: ElementNode, tag: str
+    ) -> list[ElementNode]:
+        """Element children of ``parent`` matching ``tag``, in order."""
+        if tag == "*":
+            return parent.child_elements()
+        return self._children_by_tag.get((parent.node_id.preorder, tag), [])
+
+    def descendant_elements(self, element: ElementNode, tag: str) -> list[ElementNode]:
+        """Descendants of ``element`` matching ``tag``, document order.
+
+        Uses the pre-order contiguity of subtrees: descendants are
+        exactly the elements whose pre-order index falls in the open
+        interval ``(element.preorder, subtree_end)``, found by bisecting
+        the per-tag pre-order list.  ``element`` itself is excluded.
+        """
+        if tag == "*":
+            elements = self._all_elements
+            preorders = self._all_element_preorders
+        else:
+            elements = self._elements_by_tag.get(tag)
+            if elements is None:
+                return []
+            preorders = self._preorders_by_tag[tag]
+        return self._subtree_slice(element, elements, preorders)
+
+    def elements_with_attr(self, name: str, value: str) -> list[ElementNode]:
+        """Elements carrying attribute ``name`` = ``value``, document order."""
+        return self._by_attr.get((name, value), [])
+
+    def descendant_elements_with_attr(
+        self, element: ElementNode, name: str, value: str
+    ) -> list[ElementNode]:
+        """Descendants of ``element`` with ``name`` = ``value``, document order."""
+        elements = self._by_attr.get((name, value))
+        if elements is None:
+            return []
+        preorders = self._preorders_by_attr[(name, value)]
+        return self._subtree_slice(element, elements, preorders)
+
+    @staticmethod
+    def _subtree_slice(
+        element: ElementNode,
+        elements: list[ElementNode],
+        preorders: list[int],
+    ) -> list[ElementNode]:
+        preorder = element.node_id.preorder
+        lo = bisect_right(preorders, preorder)
+        hi = bisect_left(preorders, element._subtree_end, lo)
+        if lo == 0 and hi == len(elements):
+            return elements
+        return elements[lo:hi]

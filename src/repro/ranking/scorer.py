@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.htmldom.dom import NodeId
 from repro.ranking.annotation import AnnotationModel
 from repro.ranking.content import ContentModel
@@ -126,23 +127,34 @@ class WrapperScorer:
         labels: Labels,
         type_map: Mapping[NodeId, str] | None = None,
         boundary_type: str | None = None,
+        engine: EvaluationEngine | None = None,
     ) -> list[RankedWrapper]:
         """Score all wrappers; best first, deterministic tie-breaking.
 
-        Ties break toward smaller extractions (the more specific rule),
-        then by rule string, so results are stable across runs.
+        The candidate set is evaluated as one batch through ``engine``
+        (the process default when not supplied): extractions computed
+        during enumeration on the same engine are memo hits, and fresh
+        candidates share posting-trie prefixes.  Ties break toward
+        smaller extractions (the more specific rule), then by rule
+        string, so results are stable across runs; the sort key —
+        including the rendered rule — is computed once per candidate,
+        not once per comparison.
         """
+        extractions = resolve_engine(engine).batch_extract(site, wrappers)
         ranked = [
             self.score_wrapper(
                 site,
                 wrapper,
                 labels,
+                extracted=extracted,
                 type_map=type_map,
                 boundary_type=boundary_type,
             )
-            for wrapper in wrappers
+            for wrapper, extracted in zip(wrappers, extractions)
         ]
-        ranked.sort(
-            key=lambda rw: (-rw.score, len(rw.extracted), rw.wrapper.rule())
-        )
-        return ranked
+        keyed = [
+            ((-rw.score, len(rw.extracted), rw.wrapper.rule()), index, rw)
+            for index, rw in enumerate(ranked)
+        ]
+        keyed.sort(key=lambda entry: entry[:2])
+        return [rw for _, _, rw in keyed]

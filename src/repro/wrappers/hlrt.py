@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import get_engine, register_extractor, text_span_table
 from repro.htmldom.dom import NodeId, TextNode
 from repro.site import Site
 from repro.wrappers.base import Labels, Wrapper, WrapperInductor, spec_kind
@@ -69,39 +70,45 @@ class HLRTWrapper(Wrapper):
         )
 
     def extract(self, corpus: Site) -> Labels:
-        found: set[NodeId] = set()
-        for page in corpus.pages:
-            source = page.source
-            window_start = 0
-            window_end = len(source)
-            if self.head:
-                at = source.find(self.head)
-                if at == -1:
-                    continue
-                window_start = at + len(self.head)
-            if self.tail:
-                at = source.find(self.tail, window_start)
-                if at != -1:
-                    window_end = at
-            for node in page.nodes:
-                if not isinstance(node, TextNode) or node.start < 0:
-                    continue
-                if node.start < window_start or node.end > window_end:
-                    continue
-                if node.start < len(self.left):
-                    continue
-                if not source.startswith(self.left, node.start - len(self.left)):
-                    continue
-                if not source.startswith(self.right, node.end):
-                    continue
-                found.add(node.node_id)
-        return frozenset(found)
+        """Windowed delimiter matching, via the engine's span table."""
+        return get_engine().extract(corpus, self)
 
     def rule(self) -> str:
         return (
             f"HLRT(head={self.head!r}, left={self.left!r}, "
             f"right={self.right!r}, tail={self.tail!r})"
         )
+
+
+@register_extractor(HLRTWrapper)
+def _extract_hlrt(site: Site, wrapper: HLRTWrapper) -> Labels:
+    """Compiled extraction: per-page head/tail window over the cached
+    span table, then the LR delimiter test on the raw source."""
+    left = wrapper.left
+    left_len = len(left)
+    found: list[NodeId] = []
+    for source, spans in text_span_table(site):
+        window_start = 0
+        window_end = len(source)
+        if wrapper.head:
+            at = source.find(wrapper.head)
+            if at == -1:
+                continue
+            window_start = at + len(wrapper.head)
+        if wrapper.tail:
+            at = source.find(wrapper.tail, window_start)
+            if at != -1:
+                window_end = at
+        for start, end, node in spans:
+            if start < window_start or end > window_end:
+                continue
+            if start < left_len:
+                continue
+            if source.startswith(left, start - left_len) and source.startswith(
+                wrapper.right, end
+            ):
+                found.append(node.node_id)
+    return frozenset(found)
 
 
 class HLRTInductor(WrapperInductor):

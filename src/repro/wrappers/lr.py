@@ -27,6 +27,7 @@ from collections.abc import Hashable, Iterator
 from dataclasses import dataclass
 from typing import Any
 
+from repro.engine import get_engine, register_extractor, text_span_table
 from repro.htmldom.dom import NodeId, TextNode
 from repro.site import Site
 from repro.wrappers.base import (
@@ -57,21 +58,12 @@ class LRWrapper(Wrapper):
         return cls(left=str(spec["left"]), right=str(spec["right"]))
 
     def extract(self, corpus: Site) -> Labels:
-        """Text nodes whose immediate context matches both delimiters."""
-        found: set[NodeId] = set()
-        for page in corpus.pages:
-            source = page.source
-            for node in page.nodes:
-                if not isinstance(node, TextNode) or node.start < 0:
-                    continue
-                if node.start < len(self.left):
-                    continue
-                if not source.startswith(self.left, node.start - len(self.left)):
-                    continue
-                if not source.startswith(self.right, node.end):
-                    continue
-                found.add(node.node_id)
-        return frozenset(found)
+        """Text nodes whose immediate context matches both delimiters.
+
+        Runs through the engine: the per-site span table replaces the
+        tree walk and the result is memoized per ``(site, wrapper)``.
+        """
+        return get_engine().extract(corpus, self)
 
     def scan_page(self, source: str) -> list[tuple[int, int]]:
         """Classic WIEN extraction: minimal ``left``..``right`` spans.
@@ -98,6 +90,24 @@ class LRWrapper(Wrapper):
 
     def rule(self) -> str:
         return f"LR({self.left!r}, {self.right!r})"
+
+
+@register_extractor(LRWrapper)
+def _extract_lr(site: Site, wrapper: LRWrapper) -> Labels:
+    """Compiled extraction over the site's cached text-span table."""
+    left = wrapper.left
+    right = wrapper.right
+    left_len = len(left)
+    found: list[NodeId] = []
+    for source, spans in text_span_table(site):
+        for start, end, node in spans:
+            if start < left_len:
+                continue
+            if source.startswith(left, start - left_len) and source.startswith(
+                right, end
+            ):
+                found.append(node.node_id)
+    return frozenset(found)
 
 
 class LRInductor(FeatureBasedInductor):
@@ -167,7 +177,24 @@ class LRInductor(FeatureBasedInductor):
     # -- helpers --------------------------------------------------------------
 
     def _context(self, corpus: Site, node_id: NodeId) -> tuple[str, str]:
-        """(preceding, following) character context of a text node."""
+        """(preceding, following) character context of a text node.
+
+        Contexts are cached on the site (keyed by the delimiter cap,
+        which changes the slices) — induction revisits the same label
+        contexts throughout an enumeration.
+        """
+        if isinstance(corpus, Site):
+            contexts = corpus.derived(
+                ("lr.contexts", self.max_delimiter_length), lambda site: {}
+            )
+            cached = contexts.get(node_id)
+            if cached is None:
+                cached = self._compute_context(corpus, node_id)
+                contexts[node_id] = cached
+            return cached
+        return self._compute_context(corpus, node_id)
+
+    def _compute_context(self, corpus: Site, node_id: NodeId) -> tuple[str, str]:
         node = corpus.text_node(node_id)
         source = corpus.pages[node_id.page].source
         limit = self.max_delimiter_length

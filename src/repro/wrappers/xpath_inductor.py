@@ -21,6 +21,12 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterator
 from dataclasses import dataclass
 
+from repro.engine import (
+    FeatureTrie,
+    build_postings,
+    get_engine,
+    register_extractor,
+)
 from repro.htmldom.dom import Document, ElementNode, NodeId, TextNode
 from repro.site import Site
 from repro.wrappers.base import (
@@ -62,7 +68,10 @@ class _FeatureIndex:
     """Per-site cache of text-node feature maps (computed once per page).
 
     ``as_set`` holds the same features as frozensets of items so that
-    wrapper matching is a single C-speed subset test.
+    wrapper matching is a single C-speed subset test.  Feature maps
+    depend only on the text node's parent chain, so nodes sharing a
+    parent share one map (and one frozenset) — the dicts are treated as
+    read-only throughout the inductor.
     """
 
     __slots__ = ("by_node", "as_set")
@@ -71,26 +80,44 @@ class _FeatureIndex:
         self.by_node: dict[NodeId, dict[PathAttribute, Hashable]] = {}
         self.as_set: dict[NodeId, frozenset] = {}
         for page in site.pages:
+            by_parent: dict[int, tuple[dict, frozenset]] = {}
             for node in page.nodes:
-                if isinstance(node, TextNode):
+                if not isinstance(node, TextNode):
+                    continue
+                key = id(node.parent)
+                shared = by_parent.get(key)
+                if shared is None:
                     features = _node_features(node)
-                    self.by_node[node.node_id] = features
-                    self.as_set[node.node_id] = frozenset(features.items())
+                    shared = (features, frozenset(features.items()))
+                    by_parent[key] = shared
+                self.by_node[node.node_id] = shared[0]
+                self.as_set[node.node_id] = shared[1]
 
 
-_INDEX_CACHE: dict[int, tuple[Site, _FeatureIndex]] = {}
+def _build_trie(site: Site) -> FeatureTrie:
+    index = _index_for(site)
+    return FeatureTrie(
+        build_postings(index.as_set), universe=frozenset(index.as_set)
+    )
+
+
+def _site_trie(site: Site) -> FeatureTrie:
+    """The site's posting trie (built from the feature index on demand)."""
+    if isinstance(site, Site):
+        return site.derived("xpath.trie", _build_trie)
+    return _build_trie(site)
 
 
 def _index_for(site: Site) -> _FeatureIndex:
-    """Feature index for ``site``, cached by object identity."""
-    cached = _INDEX_CACHE.get(id(site))
-    if cached is not None and cached[0] is site:
-        return cached[1]
-    index = _FeatureIndex(site)
-    if len(_INDEX_CACHE) > 64:  # keep the cache bounded across many sites
-        _INDEX_CACHE.clear()
-    _INDEX_CACHE[id(site)] = (site, index)
-    return index
+    """Feature index for ``site``, memoized on the site itself.
+
+    Both induction (feature maps, attribute streams) and extraction
+    (posting trie) read this one structure, whatever engine instance is
+    driving — duck-typed page collections are served uncached.
+    """
+    if isinstance(site, Site):
+        return site.derived("xpath.features", _FeatureIndex)
+    return _FeatureIndex(site)
 
 
 @spec_kind("xpath")
@@ -123,13 +150,14 @@ class XPathWrapper(Wrapper):
         )
 
     def extract(self, corpus: Site) -> Labels:
-        index = _index_for(corpus)
-        wanted = self.features
-        return frozenset(
-            node_id
-            for node_id, feature_set in index.as_set.items()
-            if wanted <= feature_set
-        )
+        """Extraction through the engine: a posting-trie intersection.
+
+        Equivalent (node for node) to testing ``self.features`` as a
+        subset of every text node's feature set; the engine memoizes
+        the result per ``(site, wrapper)`` and shares trie prefixes
+        with every other wrapper evaluated on the site.
+        """
+        return get_engine().extract(corpus, self)
 
     @property
     def exactly_renderable(self) -> bool:
@@ -173,6 +201,13 @@ class XPathWrapper(Wrapper):
 
     def rule(self) -> str:
         return str(self.to_xpath())
+
+
+@register_extractor(XPathWrapper)
+def _extract_xpath(site: Site, wrapper: XPathWrapper) -> Labels:
+    """Compiled extraction: intersect the posting sets of the rule's
+    features via the site's shared prefix trie."""
+    return _site_trie(site).lookup(wrapper.features)
 
 
 class XPathInductor(FeatureBasedInductor):

@@ -4,8 +4,12 @@ The paper (Sec. 5, following Dalvi et al., SIGMOD'09) uses a simple
 fragment: child steps (``/``), descendant steps (``//``), the wildcard
 name test (``*``), attribute filters (``[@class='x']``), child-number
 filters (``td[2]``) and a trailing ``text()`` step.  This subpackage
-provides a parser to an AST and an evaluator over
-:class:`repro.htmldom.Document` trees.
+provides a parser to an AST and two evaluators over
+:class:`repro.htmldom.Document` trees: the tree-walking reference
+interpreter (:func:`evaluate`) and the compiled, index-backed evaluator
+(:func:`compile_xpath` / :class:`CompiledPath`) used by the evaluation
+engine, which memoizes per ``(path, page)`` and is node-for-node
+equivalent to the interpreter.
 """
 
 from repro.xpathlang.ast import (
@@ -14,15 +18,19 @@ from repro.xpathlang.ast import (
     PositionPredicate,
     Step,
 )
+from repro.xpathlang.compiled import CompiledPath, compile_xpath, evaluate_compiled
 from repro.xpathlang.evaluator import evaluate
 from repro.xpathlang.parser import XPathSyntaxError, parse_xpath
 
 __all__ = [
     "AttributePredicate",
+    "CompiledPath",
     "LocationPath",
     "PositionPredicate",
     "Step",
     "XPathSyntaxError",
+    "compile_xpath",
     "evaluate",
+    "evaluate_compiled",
     "parse_xpath",
 ]

@@ -1,0 +1,254 @@
+"""Compiled, index-aware evaluation of the xpath fragment.
+
+:func:`repro.xpathlang.evaluator.evaluate` interprets a path by walking
+the tree: every ``//`` step re-visits the whole subtree of each context
+node.  :class:`CompiledPath` evaluates the same fragment against the
+frozen per-page indexes a :class:`~repro.htmldom.dom.Document` builds at
+freeze time — per-tag element lists with subtree range queries (bisect
+over pre-order indexes), ``(parent, tag)`` child groups, and the
+attribute-value index — and memoizes results per ``(path, page)``.
+
+The interpreter stays untouched as the reference oracle: for every path
+in the fragment the compiled evaluator returns node-for-node identical
+results (the equivalence test suite enforces this on generated pages).
+
+Semantics notes mirrored from the interpreter:
+
+- positional predicates select *within each parent group* under ``//``;
+- predicates apply in order, so a positional predicate re-ranks the
+  list filtered so far;
+- the first step may select the root element itself (``/html`` or
+  ``//div`` via descendant-or-self);
+- a trailing ``text()`` selects text-node children of the final
+  element set, and results come back in document order, deduplicated.
+"""
+
+from __future__ import annotations
+
+from repro.htmldom.dom import Document, ElementNode, Node, TextNode
+from repro.xpathlang.ast import (
+    AttributePredicate,
+    Axis,
+    LocationPath,
+    PositionPredicate,
+    Step,
+)
+from repro.xpathlang.evaluator import _apply_predicates
+from repro.xpathlang.parser import parse_xpath
+
+#: Bound on per-path page memos and on the compiled-path cache; caches
+#: are cleared wholesale when they outgrow it (same policy as the site
+#: caches in :mod:`repro.engine`).
+_CACHE_LIMIT = 256
+
+
+class CompiledPath:
+    """A location path compiled for index-backed evaluation.
+
+    Instances are cheap, immutable and safe to share; obtain them
+    through :func:`compile_xpath`, which deduplicates by path.  Results
+    are memoized per page (keyed by document identity), so re-applying
+    one compiled path across a site's pages does the work once per page.
+    """
+
+    __slots__ = ("path", "_steps", "_positional", "_memo")
+
+    def __init__(self, path: LocationPath) -> None:
+        self.path = path
+        self._steps: tuple[Step, ...] = path.steps
+        # Steps with no positional predicate can ignore parent grouping:
+        # attribute filters are order-independent, which unlocks the
+        # flat per-tag / per-attribute indexes.
+        self._positional: tuple[bool, ...] = tuple(
+            any(isinstance(p, PositionPredicate) for p in step.predicates)
+            for step in self._steps
+        )
+        self._memo: dict[int, tuple[Document, tuple[Node, ...]]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledPath({str(self.path)!r})"
+
+    def evaluate(self, document: Document) -> list[Node]:
+        """Evaluate against ``document``; matched nodes in document order."""
+        return list(self.evaluate_cached(document))
+
+    def evaluate_cached(self, document: Document) -> tuple[Node, ...]:
+        """Memoized evaluation — the shared tuple, do not mutate."""
+        key = id(document)
+        hit = self._memo.get(key)
+        if hit is not None and hit[0] is document:
+            return hit[1]
+        result = tuple(self._evaluate(document))
+        if len(self._memo) >= _CACHE_LIMIT:
+            self._memo.clear()
+        self._memo[key] = (document, result)
+        return result
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _evaluate(self, document: Document) -> list[Node]:
+        context = self._first_step(document)
+        for index in range(1, len(self._steps)):
+            if not context:
+                break
+            step = self._steps[index]
+            if step.axis is Axis.CHILD:
+                context = self._child_step(document, context, index)
+            else:
+                context = self._descendant_step(document, context, index)
+        if self.path.selects_text:
+            found: list[Node] = []
+            for element in context:
+                found.extend(
+                    c for c in element.children if isinstance(c, TextNode)
+                )
+            return _ordered(found)
+        return _ordered(context)
+
+    def _first_step(self, document: Document) -> list[ElementNode]:
+        """The first step may select the root itself (descendant-or-self)."""
+        step = self._steps[0]
+        root = document.root
+        root_group = [root] if step.test in ("*", root.tag) else []
+        matched = _apply_predicates(root_group, step.predicates)
+        if step.axis is Axis.DESCENDANT:
+            matched = matched + self._descendant_step(document, [root], 0)
+        return _ordered_elements(matched)
+
+    def _child_step(
+        self, document: Document, context: list[ElementNode], index: int
+    ) -> list[ElementNode]:
+        step = self._steps[index]
+        results: list[ElementNode] = []
+        seen: set[int] = set()
+        for node in context:
+            group = document.child_elements_with_tag(node, step.test)
+            if not group:
+                continue
+            for matched in _apply_predicates(group, step.predicates):
+                if id(matched) not in seen:
+                    seen.add(id(matched))
+                    results.append(matched)
+        return results
+
+    def _descendant_step(
+        self, document: Document, context: list[ElementNode], index: int
+    ) -> list[ElementNode]:
+        step = self._steps[index]
+        if not self._positional[index]:
+            return self._descendant_flat(document, context, step)
+        return self._descendant_grouped(document, context, step)
+
+    def _descendant_flat(
+        self, document: Document, context: list[ElementNode], step: Step
+    ) -> list[ElementNode]:
+        """``//`` step without positional predicates: parent grouping is
+        irrelevant, so filter flat index slices (document order)."""
+        attr_predicates = step.predicates
+        results: list[ElementNode] = []
+        seen: set[int] = set()
+        for node in context:
+            candidates = self._flat_candidates(document, node, step)
+            for matched in candidates:
+                key = id(matched)
+                if key in seen:
+                    continue
+                attrs = matched.attrs
+                for predicate in attr_predicates:
+                    if attrs.get(predicate.name) != predicate.value:
+                        break
+                else:
+                    seen.add(key)
+                    results.append(matched)
+        return results
+
+    @staticmethod
+    def _flat_candidates(
+        document: Document, node: ElementNode, step: Step
+    ) -> list[ElementNode]:
+        """Smallest index slice covering the step's descendants of ``node``.
+
+        With attribute predicates present, the attribute-value index may
+        be far more selective than the tag index; start from whichever
+        posting list is shorter and let the remaining tests filter.
+        """
+        by_tag = document.descendant_elements(node, step.test)
+        best = by_tag
+        for predicate in step.predicates:
+            assert isinstance(predicate, AttributePredicate)
+            by_attr = document.descendant_elements_with_attr(
+                node, predicate.name, predicate.value
+            )
+            if len(by_attr) < len(best):
+                best = by_attr
+        if best is not by_tag and step.test != "*":
+            test = step.test
+            best = [element for element in best if element.tag == test]
+        return best
+
+    def _descendant_grouped(
+        self, document: Document, context: list[ElementNode], step: Step
+    ) -> list[ElementNode]:
+        """``//`` step with positional predicates: positions count within
+        each parent group, so matched descendants are regrouped by parent
+        (slices are in document order, hence groups keep sibling order)."""
+        results: list[ElementNode] = []
+        seen: set[int] = set()
+        for node in context:
+            matched = document.descendant_elements(node, step.test)
+            if not matched:
+                continue
+            groups: dict[int, list[ElementNode]] = {}
+            order: list[int] = []
+            for element in matched:
+                parent_key = id(element.parent)
+                group = groups.get(parent_key)
+                if group is None:
+                    groups[parent_key] = [element]
+                    order.append(parent_key)
+                else:
+                    group.append(element)
+            for parent_key in order:
+                for chosen in _apply_predicates(
+                    groups[parent_key], step.predicates
+                ):
+                    if id(chosen) not in seen:
+                        seen.add(id(chosen))
+                        results.append(chosen)
+        return results
+
+
+def _ordered(nodes: list[Node]) -> list[Node]:
+    """Document order, deduplicated (final result contract)."""
+    unique: dict[int, Node] = {}
+    for node in nodes:
+        unique.setdefault(id(node), node)
+    return sorted(unique.values(), key=lambda n: n.node_id.preorder)
+
+
+def _ordered_elements(nodes: list[ElementNode]) -> list[ElementNode]:
+    unique: dict[int, ElementNode] = {}
+    for node in nodes:
+        unique.setdefault(id(node), node)
+    return sorted(unique.values(), key=lambda n: n.node_id.preorder)
+
+
+_COMPILED: dict[LocationPath, CompiledPath] = {}
+
+
+def compile_xpath(path: LocationPath | str) -> CompiledPath:
+    """Compile ``path`` (parsing strings), deduplicated by location path."""
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    compiled = _COMPILED.get(path)
+    if compiled is None:
+        if len(_COMPILED) >= _CACHE_LIMIT:
+            _COMPILED.clear()
+        compiled = CompiledPath(path)
+        _COMPILED[path] = compiled
+    return compiled
+
+
+def evaluate_compiled(path: LocationPath | str, document: Document) -> list[Node]:
+    """Drop-in, index-backed equivalent of :func:`repro.xpathlang.evaluate`."""
+    return compile_xpath(path).evaluate(document)

@@ -1,0 +1,226 @@
+"""Unit tests for the evaluation engine: caches, trie, threading."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.engine import (
+    EvaluationEngine,
+    FeatureTrie,
+    build_postings,
+    get_engine,
+    resolve_engine,
+)
+from repro.engine.core import _MAX_SITE_CACHES
+from repro.htmldom.dom import NodeId
+from repro.site import Site
+from repro.wrappers.xpath_inductor import XPathInductor
+
+PAGES = [
+    "<html><body><table>"
+    "<tr><td><u>ALPHA</u></td><td>x</td></tr>"
+    "<tr><td><u>BETA</u></td><td>y</td></tr>"
+    "</table></body></html>",
+    "<html><body><table>"
+    "<tr><td><u>GAMMA</u></td><td>z</td></tr>"
+    "</table></body></html>",
+]
+
+
+def _site(name="engine-site"):
+    return Site.from_html(name, PAGES)
+
+
+class TestSiteCaches:
+    def test_site_cache_identity_and_reuse(self):
+        engine = EvaluationEngine()
+        site = _site()
+        cache = engine.site_cache(site)
+        assert cache is engine.site_cache(site)
+        assert cache.site is site
+
+    def test_site_cache_bound_clears_wholesale(self):
+        engine = EvaluationEngine()
+        sites = [_site(f"s{i}") for i in range(_MAX_SITE_CACHES + 1)]
+        caches = [engine.site_cache(site) for site in sites]
+        # The over-bound insertion cleared the table; the newest slot
+        # survives and earlier sites get fresh slots on re-request.
+        assert engine.site_cache(sites[-1]) is caches[-1]
+        assert engine.site_cache(sites[0]) is not caches[0]
+
+    def test_extraction_memo_hits_across_equal_wrappers(self):
+        engine = EvaluationEngine()
+        site = _site()
+        inductor = XPathInductor()
+        labels = frozenset(list(site.iter_text_node_ids())[:2])
+        first = inductor.induce(site, labels)
+        second = inductor.induce(site, labels)
+        assert first == second and first is not second
+        a = engine.extract(site, first)
+        b = engine.extract(site, second)  # equal wrapper -> memo hit
+        assert a is b
+
+    def test_clear_drops_caches_but_not_results(self):
+        engine = EvaluationEngine()
+        site = _site()
+        wrapper = XPathInductor().induce(site, site.text_node_ids())
+        before = engine.extract(site, wrapper)
+        engine.clear()
+        assert engine.extract(site, wrapper) == before
+
+    def test_engine_pickles_empty(self):
+        engine = EvaluationEngine()
+        site = _site()
+        engine.site_cache(site).extractions[object()] = frozenset()
+        clone = pickle.loads(pickle.dumps(engine))
+        assert isinstance(clone, EvaluationEngine)
+        assert clone.site_cache(site).extractions == {}
+
+    def test_site_pickles_without_derived_state(self):
+        site = _site()
+        wrapper = XPathInductor().induce(site, site.text_node_ids())
+        extracted = wrapper.extract(site)
+        assert site._derived  # derived structures were built
+        clone = pickle.loads(pickle.dumps(site))
+        assert clone._derived == {}
+        assert clone._stripped_index is None
+        # ... and rebuild on demand with identical results.
+        rebuilt = XPathInductor().induce(clone, clone.text_node_ids())
+        assert rebuilt.extract(clone) == extracted
+
+    def test_resolve_engine_defaults_to_process_engine(self):
+        assert resolve_engine(None) is get_engine()
+        custom = EvaluationEngine()
+        assert resolve_engine(custom) is custom
+
+    def test_non_site_corpus_falls_back_to_wrapper_extract(self):
+        from repro.wrappers.table import Grid, TableInductor
+
+        grid = Grid(3, 3)
+        inductor = TableInductor()
+        labels = frozenset({grid.cell(0, 0), grid.cell(1, 0)})
+        wrapper = inductor.induce(grid, labels)
+        engine = EvaluationEngine()
+        assert engine.extract(grid, wrapper) == wrapper.extract(grid)
+        assert engine.batch_extract(grid, [wrapper]) == [wrapper.extract(grid)]
+
+    def test_duck_typed_site_like_corpus_does_not_recurse(self):
+        """A bare object with .pages must extract, not loop through the
+        engine's fallback (regression: wrapper.extract <-> engine.extract)."""
+
+        class PageBundle:
+            def __init__(self, pages):
+                self.pages = pages
+
+        site = _site()
+        duck = PageBundle(site.pages)
+        from repro.wrappers.lr import LRInductor
+
+        for inductor in (XPathInductor(), LRInductor()):
+            wrapper = inductor.induce(site, site.text_node_ids())
+            assert wrapper.extract(duck) == wrapper.extract(site)
+
+    def test_derived_structures_shared_across_engines(self):
+        """Threading a non-default engine must not rebuild site-derived
+        structures already built under another engine (regression:
+        split-brain caching between induction and extraction)."""
+        site = _site()
+        inductor = XPathInductor()
+        labels = site.text_node_ids()
+        wrapper = inductor.induce(site, labels)  # builds the feature index
+        index_before = site._derived.get("xpath.features")
+        assert index_before is not None
+        custom = EvaluationEngine()
+        custom.extract(site, wrapper)  # builds the trie, reuses the index
+        assert site._derived["xpath.features"] is index_before
+        trie = site._derived.get("xpath.trie")
+        assert trie is not None
+        get_engine().extract(site, wrapper)
+        assert site._derived["xpath.trie"] is trie
+
+
+class TestFeatureTrie:
+    def _postings(self):
+        n = [NodeId(0, i) for i in range(6)]
+        feature_sets = {
+            n[0]: frozenset({"a", "b", "c"}),
+            n[1]: frozenset({"a", "b"}),
+            n[2]: frozenset({"a", "c"}),
+            n[3]: frozenset({"a"}),
+            n[4]: frozenset({"b", "c"}),
+            n[5]: frozenset({"d"}),
+        }
+        return n, feature_sets
+
+    def test_lookup_is_posting_intersection(self):
+        n, feature_sets = self._postings()
+        trie = FeatureTrie(build_postings(feature_sets), frozenset(n))
+        assert trie.lookup(frozenset()) == frozenset(n)
+        assert trie.lookup({"a"}) == {n[0], n[1], n[2], n[3]}
+        assert trie.lookup({"a", "b"}) == {n[0], n[1]}
+        assert trie.lookup({"a", "b", "c"}) == {n[0]}
+        assert trie.lookup({"b", "c"}) == {n[0], n[4]}
+        assert trie.lookup({"d"}) == {n[5]}
+
+    def test_missing_item_yields_empty(self):
+        n, feature_sets = self._postings()
+        trie = FeatureTrie(build_postings(feature_sets), frozenset(n))
+        assert trie.lookup({"nope"}) == frozenset()
+        assert trie.lookup({"a", "nope"}) == frozenset()
+
+    def test_shared_prefixes_are_cached(self):
+        n, feature_sets = self._postings()
+        trie = FeatureTrie(build_postings(feature_sets), frozenset(n))
+        first = trie.lookup({"a", "b"})
+        again = trie.lookup({"a", "b"})
+        assert first is again  # same cached leaf set
+
+    def test_build_postings_inverts_feature_sets(self):
+        n, feature_sets = self._postings()
+        postings = build_postings(feature_sets)
+        assert postings["a"] == {n[0], n[1], n[2], n[3]}
+        assert postings["d"] == {n[5]}
+
+
+class TestEngineThreading:
+    def test_ntw_threads_one_engine_through_learn(self):
+        from repro.framework.ntw import NoiseTolerantWrapper
+        from repro.ranking.annotation import AnnotationModel
+        from repro.ranking.scorer import WrapperScorer
+
+        site = _site()
+        engine = EvaluationEngine()
+        scorer = WrapperScorer(AnnotationModel.from_rates(p=0.9, r=0.5), None)
+        learner = NoiseTolerantWrapper(
+            XPathInductor(), scorer, engine=engine
+        )
+        assert learner.engine is engine
+        labels = frozenset(site.find_text_nodes("ALPHA")) | frozenset(
+            site.find_text_nodes("BETA")
+        )
+        result = learner.learn(site, labels)
+        assert result.best is not None
+        # Every enumerated candidate was evaluated through this engine.
+        memo = engine.site_cache(site).extractions
+        for ranked in result.ranked:
+            assert memo[ranked.wrapper] == ranked.extracted
+
+    def test_extractor_facade_owns_an_engine_and_applies_through_it(self):
+        from repro.api import Extractor, ExtractorConfig
+
+        site = _site()
+        engine = EvaluationEngine()
+        extractor = Extractor(
+            ExtractorConfig(inductor="xpath", method="ntw-l"), engine=engine
+        )
+        labels = frozenset(site.find_text_nodes("ALPHA")) | frozenset(
+            site.find_text_nodes("BETA")
+        )
+        artifact = extractor.learn(site, labels)
+        extracted = extractor.apply(artifact, site)
+        assert extracted == artifact.apply(site)
+        # The artifact's rebuilt wrapper hit this engine's memo.
+        assert any(
+            memo_wrapper == artifact.wrapper()
+            for memo_wrapper in engine.site_cache(site).extractions
+        )

@@ -1,0 +1,268 @@
+"""Evaluator equivalence: compiled/indexed evaluation vs the reference.
+
+Property-style suites over sitegen-generated pages (DEALERS, DISC,
+PRODUCTS) plus adversarial hand-written pages:
+
+- the compiled xpath evaluator must match the tree-walking interpreter
+  node-for-node (same node objects, same order) for child/descendant
+  steps, positional and attribute predicates, and ``text()`` tails —
+  on a fixed fragment-covering path catalog and on seeded random paths
+  generated from each page's own tags/attributes;
+- engine-backed wrapper extraction (posting trie / span tables) must
+  be bitwise identical to the seed per-call semantics, re-implemented
+  here verbatim as oracles.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import EvaluationEngine
+from repro.htmldom.dom import TextNode
+from repro.xpathlang import compile_xpath, evaluate, parse_xpath
+from repro.wrappers.hlrt import HLRTInductor
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.xpath_inductor import XPathInductor, _index_for
+
+#: Fragment-covering catalog: child + descendant axes, positional and
+#: attribute predicates (alone, stacked, and ordered), text() tails,
+#: wildcards, and paths that match nothing.
+PATH_CATALOG = [
+    "/html",
+    "//html",
+    "//*",
+    "//table",
+    "//td",
+    "//td[1]",
+    "//td[2]",
+    "//td[7]",
+    "//tr[2]/td",
+    "//table[1]/tr/td",
+    "//tr/td[1]",
+    "//td/text()",
+    "//tr/td[2]/text()",
+    "//u/text()",
+    "/html/body//u/text()",
+    "//div//tr/td[1]",
+    "//*[2]",
+    "//*[2]/text()",
+    "//div[@class='dealerlinks']//td/text()",
+    "//td[@class='missing']",
+    "//span[@class='name']/text()",
+    "//li[3]",
+    "//table//td[2]",
+    "//nosuchtag//td",
+    "//body/*[1]",
+]
+
+
+def _sample_pages():
+    """A spread of generated pages from every dataset family."""
+    from repro.datasets.dealers import generate_dealers
+    from repro.datasets.disc import generate_disc
+    from repro.datasets.products import generate_products
+
+    pages = []
+    for generated in generate_dealers(n_sites=4, pages_per_site=3, seed=11).sites:
+        pages.extend(generated.site.pages)
+    for generated in generate_disc(n_sites=2, seed=23).sites:
+        pages.extend(generated.site.pages[:3])
+    for generated in generate_products(n_sites=2, pages_per_site=3, seed=37).sites:
+        pages.extend(generated.site.pages)
+    return pages
+
+
+def _sample_sites():
+    from repro.datasets.dealers import generate_dealers
+
+    return [g.site for g in generate_dealers(n_sites=5, pages_per_site=4, seed=7).sites]
+
+
+def _assert_same_nodes(path, page, reference, compiled):
+    assert len(reference) == len(compiled), (str(path), page.page_index)
+    for expected, got in zip(reference, compiled):
+        assert expected is got, (str(path), page.page_index, expected, got)
+
+
+class TestCompiledPathEquivalence:
+    def test_catalog_paths_match_interpreter_node_for_node(self):
+        pages = _sample_pages()
+        assert len(pages) >= 20
+        for page in pages:
+            for path in PATH_CATALOG:
+                _assert_same_nodes(
+                    path, page, evaluate(path, page), compile_xpath(path).evaluate(page)
+                )
+
+    def test_random_paths_match_interpreter(self):
+        """Seeded random paths built from each page's own vocabulary."""
+        rng = random.Random(1234)
+        pages = _sample_pages()
+        for page in pages:
+            tags = sorted({e.tag for e in page.root.iter_elements()})
+            attrs = sorted(
+                {
+                    (name, value)
+                    for e in page.root.iter_elements()
+                    for name, value in e.attrs.items()
+                }
+            )
+            for _ in range(30):
+                steps = []
+                for depth in range(rng.randint(1, 4)):
+                    axis = rng.choice(["/", "//"]) if depth else "//"
+                    test = rng.choice(tags + ["*"])
+                    predicates = ""
+                    if rng.random() < 0.4:
+                        predicates += f"[{rng.randint(1, 4)}]"
+                    if attrs and rng.random() < 0.4:
+                        name, value = rng.choice(attrs)
+                        quoted = value.replace("\\", "\\\\").replace("'", "\\'")
+                        predicates += f"[@{name}='{quoted}']"
+                    steps.append(f"{axis}{test}{predicates}")
+                text = "/text()" if rng.random() < 0.5 else ""
+                path = "".join(steps) + text
+                _assert_same_nodes(
+                    path, page, evaluate(path, page), compile_xpath(path).evaluate(page)
+                )
+
+    def test_learned_wrapper_paths_match_interpreter(self):
+        """Rendered rules of induced wrappers, evaluated both ways."""
+        inductor = XPathInductor()
+        for site in _sample_sites():
+            universe = sorted(inductor.candidates(site))
+            rng = random.Random(99)
+            for _ in range(10):
+                labels = frozenset(rng.sample(universe, k=rng.randint(1, 5)))
+                wrapper = inductor.induce(site, labels)
+                path = wrapper.to_xpath()
+                for page in site.pages:
+                    _assert_same_nodes(
+                        path,
+                        page,
+                        evaluate(path, page),
+                        compile_xpath(path).evaluate(page),
+                    )
+
+    def test_memoized_evaluation_is_stable(self):
+        page = _sample_pages()[0]
+        compiled = compile_xpath("//td/text()")
+        first = compiled.evaluate_cached(page)
+        second = compiled.evaluate_cached(page)
+        assert first is second  # memo hit, shared tuple
+        assert list(first) == evaluate("//td/text()", page)
+
+    def test_compile_xpath_deduplicates(self):
+        a = compile_xpath("//tr/td[2]/text()")
+        b = compile_xpath(parse_xpath("//tr/td[2]/text()"))
+        assert a is b
+
+
+# -- wrapper extraction vs seed semantics -----------------------------------
+
+
+def _seed_xpath_extract(wrapper, site):
+    """The seed's per-call subset test, verbatim."""
+    index = _index_for(site)
+    wanted = wrapper.features
+    return frozenset(
+        node_id
+        for node_id, feature_set in index.as_set.items()
+        if wanted <= feature_set
+    )
+
+
+def _seed_lr_extract(wrapper, site):
+    """The seed's page-walking LR extraction, verbatim."""
+    found = set()
+    for page in site.pages:
+        source = page.source
+        for node in page.nodes:
+            if not isinstance(node, TextNode) or node.start < 0:
+                continue
+            if node.start < len(wrapper.left):
+                continue
+            if not source.startswith(wrapper.left, node.start - len(wrapper.left)):
+                continue
+            if not source.startswith(wrapper.right, node.end):
+                continue
+            found.add(node.node_id)
+    return frozenset(found)
+
+
+def _seed_hlrt_extract(wrapper, site):
+    """The seed's windowed HLRT extraction, verbatim."""
+    found = set()
+    for page in site.pages:
+        source = page.source
+        window_start = 0
+        window_end = len(source)
+        if wrapper.head:
+            at = source.find(wrapper.head)
+            if at == -1:
+                continue
+            window_start = at + len(wrapper.head)
+        if wrapper.tail:
+            at = source.find(wrapper.tail, window_start)
+            if at != -1:
+                window_end = at
+        for node in page.nodes:
+            if not isinstance(node, TextNode) or node.start < 0:
+                continue
+            if node.start < window_start or node.end > window_end:
+                continue
+            if node.start < len(wrapper.left):
+                continue
+            if not source.startswith(wrapper.left, node.start - len(wrapper.left)):
+                continue
+            if not source.startswith(wrapper.right, node.end):
+                continue
+            found.add(node.node_id)
+    return frozenset(found)
+
+
+@pytest.mark.parametrize(
+    "inductor,oracle",
+    [
+        (XPathInductor(), _seed_xpath_extract),
+        (LRInductor(), _seed_lr_extract),
+        (HLRTInductor(), _seed_hlrt_extract),
+    ],
+    ids=["xpath", "lr", "hlrt"],
+)
+def test_engine_extraction_matches_seed_semantics(inductor, oracle):
+    engine = EvaluationEngine()
+    for site in _sample_sites():
+        universe = sorted(inductor.candidates(site))
+        rng = random.Random(4321)
+        wrappers = [
+            inductor.induce(site, frozenset(rng.sample(universe, k=k)))
+            for k in (1, 1, 2, 3, 5, 8)
+        ]
+        batched = engine.batch_extract(site, wrappers)
+        for wrapper, extracted in zip(wrappers, batched):
+            expected = oracle(wrapper, site)
+            assert extracted == expected, wrapper.rule()
+            # Single-path and memoized extraction agree with the batch.
+            assert engine.extract(site, wrapper) == expected
+            assert wrapper.extract(site) == expected
+
+
+def test_empty_feature_wrapper_extracts_every_text_node():
+    """No constraints -> the whole candidate universe (seed behavior)."""
+    from repro.wrappers.xpath_inductor import XPathWrapper
+
+    site = _sample_sites()[0]
+    wrapper = XPathWrapper(features=frozenset())
+    assert wrapper.extract(site) == site.text_node_ids()
+
+
+def test_foreign_site_features_extract_nothing():
+    """Features absent from a site have empty postings -> empty result."""
+    from repro.wrappers.xpath_inductor import XPathWrapper
+
+    site = _sample_sites()[0]
+    wrapper = XPathWrapper(features=frozenset({((1, "tag"), "nosuchtag")}))
+    assert wrapper.extract(site) == frozenset()

@@ -97,3 +97,98 @@ class TestManualConstruction:
             getattr(n, "tag", "#text") for n in root.iter_preorder()
         ]
         assert tags == ["html", "a", "#text", "b"]
+
+
+class TestFrozenIndexes:
+    """The query indexes a Document builds at freeze time."""
+
+    def test_elements_with_tag_in_document_order(self, doc):
+        tds = doc.elements_with_tag("td")
+        assert [t.tag for t in tds] == ["td"] * 4
+        preorders = [t.node_id.preorder for t in tds]
+        assert preorders == sorted(preorders)
+        assert doc.elements_with_tag("nosuch") == []
+
+    def test_elements_with_tag_wildcard_is_all_elements(self, doc):
+        everything = doc.elements_with_tag("*")
+        assert everything == [
+            n for n in doc.nodes if getattr(n, "tag", None) is not None
+        ]
+
+    def test_child_elements_with_tag(self, doc):
+        table = doc.root.children[0].children[0]
+        second_row = table.children[1]
+        assert [c.text_content() for c in doc.child_elements_with_tag(second_row, "td")] == ["c", "d"]
+        assert [c.text_content() for c in doc.child_elements_with_tag(second_row, "th")] == ["h"]
+        assert doc.child_elements_with_tag(second_row, "div") == []
+        assert doc.child_elements_with_tag(second_row, "*") == second_row.child_elements()
+
+    def test_descendant_elements_bisects_subtree_ranges(self, doc):
+        table = doc.root.children[0].children[0]
+        rows = doc.elements_with_tag("tr")
+        assert [t.text_content() for t in doc.descendant_elements(table, "td")] == ["a", "b", "c", "d"]
+        assert [t.text_content() for t in doc.descendant_elements(rows[0], "td")] == ["a", "b"]
+        assert [t.text_content() for t in doc.descendant_elements(rows[1], "td")] == ["c", "d"]
+        # The table is a descendant of the root, but never of itself.
+        assert table in doc.descendant_elements(doc.root, "table")
+        assert table not in doc.descendant_elements(table, "table")
+        assert doc.descendant_elements(rows[0], "tr") == []
+
+    def test_descendant_wildcard_excludes_self(self, doc):
+        table = doc.root.children[0].children[0]
+        descendants = doc.descendant_elements(table, "*")
+        assert table not in descendants
+        assert len(descendants) == 7  # 2 tr + 4 td + 1 th
+
+    def test_attribute_value_index(self):
+        doc = parse_html(
+            "<div class='x'><p class='x'>one</p><p class='y'>two</p></div>"
+        )
+        xs = doc.elements_with_attr("class", "x")
+        assert [e.tag for e in xs] == ["div", "p"]
+        assert doc.elements_with_attr("class", "z") == []
+        div = xs[0]
+        assert [e.tag for e in doc.descendant_elements_with_attr(div, "class", "x")] == ["p"]
+
+    def test_child_numbers_cached_at_freeze(self, doc):
+        for element in doc.root.iter_elements():
+            assert element._child_no is not None
+        tds = doc.elements_with_tag("td")
+        assert [t.child_number() for t in tds] == [1, 2, 1, 2]
+
+    def test_subtree_spans_cover_descendants_exactly(self, doc):
+        for element in doc.root.iter_elements():
+            inside = {
+                n.node_id.preorder
+                for n in element.iter_preorder()
+                if n is not element
+            }
+            span = set(
+                range(element.node_id.preorder + 1, element._subtree_end)
+            )
+            assert inside == span
+
+
+class TestTextNodeContaining:
+    def test_bisect_matches_linear_scan(self, doc):
+        for offset in range(len(doc.source) + 5):
+            expected = next(
+                (
+                    n
+                    for n in doc.nodes
+                    if isinstance(n, TextNode) and n.start <= offset < n.end
+                ),
+                None,
+            )
+            assert doc.text_node_containing(offset) is expected
+
+    def test_outside_any_span(self, doc):
+        assert doc.text_node_containing(-1) is None
+        assert doc.text_node_containing(10**9) is None
+
+    def test_text_spans_sorted(self, doc):
+        spans = doc.text_spans()
+        starts = [s for s, _, _ in spans]
+        assert starts == sorted(starts)
+        for start, end, node in spans:
+            assert (node.start, node.end) == (start, end)

@@ -46,6 +46,31 @@ class TestSite:
     def test_find_text_nodes_strips(self, site):
         assert site.find_text_nodes("  alpha  ")
 
+    def test_find_text_nodes_index_built_once_and_isolated(self, site):
+        first = site.find_text_nodes("gamma")
+        index = site._stripped_index
+        assert index is not None
+        second = site.find_text_nodes("gamma")
+        assert site._stripped_index is index  # built once
+        assert first == second
+        # Callers get copies; mutating a result never corrupts the map.
+        second.append("junk")
+        assert site.find_text_nodes("gamma") == first
+
+    def test_find_text_nodes_results_in_site_order(self, site):
+        everything = [
+            node_id
+            for node_id in site.iter_text_node_ids()
+            if site.text_node(node_id).text.strip()
+        ]
+        recovered = []
+        for node_id in everything:
+            text = site.text_node(node_id).text
+            for found in site.find_text_nodes(text):
+                if found not in recovered:
+                    recovered.append(found)
+        assert [n for n in recovered if n in everything] == everything
+
     def test_mismatched_page_index_rejected(self):
         from repro.htmldom.treebuilder import parse_html
 
