@@ -1,0 +1,176 @@
+"""Batch-layer throughput: pages/sec for learn and apply over a fleet.
+
+This is the end-to-end bench for the site-affine scheduler
+(:mod:`repro.api.scheduler`): a generated multi-site DEALERS fleet is
+learned and applied through the serial executor and through
+:class:`~repro.api.WorkerPool` at 1/2/4 workers, reporting pages/sec
+for each.  The apply side additionally contrasts a *cold* first pass
+(sites shipped, derived caches built) with a *warm* second pass on the
+same persistent pool (interned sites, memo hits) — the reuse the
+paper's learn-once/apply-at-scale economics depend on.
+
+Correctness is asserted unconditionally (identical rules and
+extractions across every executor); the parallel speedup assertion only
+applies where it physically can hold (>= 4 usable cores).  Results go
+to ``results/throughput_batch.txt`` and a run is appended to the
+``results/BENCH_throughput.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+from _harness import FULL_SCALE, RESULTS_DIR, write_result
+
+from repro.api import (
+    Extractor,
+    ExtractorConfig,
+    SerialExecutor,
+    WorkerPool,
+    apply_many,
+    learn_many,
+    load_dataset,
+)
+
+#: (n_sites, pages_per_site) of the generated fleet; learning runs on
+#: the odd half (the even half fits the models).
+FLEET_SCALE = (96, 8) if FULL_SCALE else (48, 6)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _timed(fn):
+    gc.collect()  # keep cyclic-GC pauses out of the timed region
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_throughput_batch():
+    n_sites, pages = FLEET_SCALE
+    bundle = load_dataset("dealers", sites=n_sites, pages=pages, seed=11)
+    train, fleet = bundle.sites[::2], bundle.sites[1::2]
+    extractor = Extractor(
+        ExtractorConfig(inductor="xpath", method="ntw")
+    ).fit(train, bundle.annotator, bundle.gold_type)
+    total_pages = sum(len(generated.site.pages) for generated in fleet)
+    # The fleet is fed as raw (name, [html]) pairs — the crawler-shaped
+    # workload: pages arrive as strings, parsing happens inside each
+    # site's task (serially for the serial executor, on the owning
+    # worker for pools), and nothing is warm unless an executor made it
+    # warm.
+    raw_fleet = [
+        (generated.name, [page.source for page in generated.site.pages])
+        for generated in fleet
+    ]
+
+    def fresh_fleet():
+        """A cold view of the fleet (raw pages share the sources, carry
+        no parse trees, derived caches or engine memos)."""
+        return list(raw_fleet)
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    lines = [
+        f"fleet: {len(fleet)} sites, {total_pages} pages "
+        f"({cores} usable cores)"
+    ]
+    record: dict = {
+        "timestamp": time.time(),
+        "fleet_sites": len(fleet),
+        "fleet_pages": total_pages,
+        "cores": cores,
+        "learn_pages_per_s": {},
+        "apply_pages_per_s": {},
+    }
+
+    # -- learn: serial executor vs worker pools -----------------------------
+    serial_fleet = fresh_fleet()
+    serial, serial_s = _timed(
+        lambda: learn_many(
+            extractor, serial_fleet, annotator=bundle.annotator,
+            executor=SerialExecutor(),
+        )
+    )
+    assert not serial.failures
+    baseline_rules = [outcome.artifact.rule for outcome in serial.outcomes]
+    record["learn_pages_per_s"]["serial"] = total_pages / serial_s
+    lines.append(
+        f"learn  serial      {total_pages / serial_s:8.1f} pages/s  "
+        f"({serial_s:.3f}s)"
+    )
+    pool_rates = {}
+    for workers in WORKER_COUNTS:
+        cold_fleet = fresh_fleet()
+        with WorkerPool(max_workers=workers) as pool:
+            pool.start()  # measure dispatch, not process spawning
+            pooled, pooled_s = _timed(
+                lambda: pool.learn(
+                    extractor, cold_fleet, annotator=bundle.annotator
+                )
+            )
+        assert [o.artifact.rule for o in pooled.outcomes] == baseline_rules
+        rate = total_pages / pooled_s
+        pool_rates[workers] = rate
+        record["learn_pages_per_s"][f"pool-{workers}"] = rate
+        lines.append(
+            f"learn  pool x{workers}     {rate:8.1f} pages/s  "
+            f"({pooled_s:.3f}s, {serial_s / pooled_s:.2f}x serial)"
+        )
+
+    # -- apply: cold shipping vs warm interned sites ------------------------
+    artifacts = serial.artifacts
+    apply_serial_fleet = fresh_fleet()
+    serial_applied, serial_apply_s = _timed(
+        lambda: apply_many(artifacts, apply_serial_fleet, executor=SerialExecutor())
+    )
+    record["apply_pages_per_s"]["serial"] = total_pages / serial_apply_s
+    lines.append(
+        f"apply  serial      {total_pages / serial_apply_s:8.1f} pages/s  "
+        f"({serial_apply_s:.3f}s)"
+    )
+    apply_fleet = fresh_fleet()
+    with WorkerPool(max_workers=min(2, max(WORKER_COUNTS))) as pool:
+        pool.start()
+        cold, cold_s = _timed(lambda: pool.apply(artifacts, apply_fleet))
+        warm, warm_s = _timed(lambda: pool.apply(artifacts, apply_fleet))
+        rerun, rerun_s = _timed(lambda: pool.apply(artifacts, apply_fleet))
+    warm_s = min(warm_s, rerun_s)
+    assert [o.extracted for o in cold.outcomes] == [
+        o.extracted for o in serial_applied.outcomes
+    ]
+    assert [o.extracted for o in warm.outcomes] == [
+        o.extracted for o in cold.outcomes
+    ]
+    record["apply_pages_per_s"]["pool-cold"] = total_pages / cold_s
+    record["apply_pages_per_s"]["pool-warm"] = total_pages / warm_s
+    lines.append(
+        f"apply  pool cold   {total_pages / cold_s:8.1f} pages/s  ({cold_s:.3f}s)"
+    )
+    lines.append(
+        f"apply  pool warm   {total_pages / warm_s:8.1f} pages/s  "
+        f"({warm_s:.3f}s, {cold_s / warm_s:.2f}x cold)"
+    )
+
+    # Warm workers must beat the cold pool on the second pass: interned
+    # sites and engine memos replace shipping and cache rebuilds.
+    assert warm_s < cold_s, (
+        f"warm apply ({warm_s:.3f}s) should beat cold apply ({cold_s:.3f}s)"
+    )
+    # Parallel speedup only where the hardware allows it.
+    if cores >= 4:
+        speedup = pool_rates[4] / record["learn_pages_per_s"]["serial"]
+        assert speedup >= 2.0, (
+            f"4-worker learn speedup {speedup:.2f}x < 2x on {cores} cores"
+        )
+
+    write_result("throughput_batch", lines)
+    trajectory = RESULTS_DIR / "BENCH_throughput.json"
+    history = (
+        json.loads(trajectory.read_text()) if trajectory.exists() else []
+    )
+    history.append(record)
+    trajectory.write_text(json.dumps(history, indent=2) + "\n")

@@ -12,7 +12,10 @@ examples, downstream code) builds on:
 - **artifacts** (:mod:`repro.api.artifacts`): :class:`WrapperArtifact`,
   the serializable learn-once/apply-many record of a learned wrapper;
 - **batch** (:mod:`repro.api.batch`): ``learn_many``/``apply_many`` with
-  pluggable executors and per-site error isolation.
+  pluggable executors and per-site error isolation;
+- **scheduler** (:mod:`repro.api.scheduler`): the site-affine
+  :class:`WorkerPool` — persistent warm-engine workers, sharded
+  dispatch, streaming ``learn_stream``/``apply_stream`` outcomes.
 
 Quickstart::
 
@@ -60,6 +63,12 @@ from repro.api.registry import (
     RegistryError,
     load_dataset,
 )
+from repro.api.scheduler import (
+    SchedulerStats,
+    WorkerPool,
+    apply_stream,
+    learn_stream,
+)
 
 __all__ = [
     "ANNOTATORS",
@@ -77,12 +86,16 @@ __all__ = [
     "Registry",
     "RegistryError",
     "SCHEMA_VERSION",
+    "SchedulerStats",
     "SchemaVersionError",
     "SerialExecutor",
     "SiteOutcome",
+    "WorkerPool",
     "WrapperArtifact",
     "apply_many",
+    "apply_stream",
     "learn_many",
+    "learn_stream",
     "load_artifacts",
     "load_dataset",
     "resolve_executor",

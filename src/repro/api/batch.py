@@ -5,9 +5,11 @@ learned independently.  This module runs :class:`~repro.api.extractor.Extractor`
 learning (``learn_many``) and artifact application (``apply_many``) over
 a fleet of sites with:
 
-- a pluggable executor — :class:`SerialExecutor` (default) or
-  :class:`ProcessPoolExecutor` over ``concurrent.futures`` — chosen per
-  call, with the string shorthands ``"serial"`` and ``"process"``;
+- a pluggable executor — :class:`SerialExecutor` (default),
+  :class:`ProcessPoolExecutor` over ``concurrent.futures``, or the
+  site-affine :class:`~repro.api.scheduler.WorkerPool` — chosen per
+  call, with the string shorthands ``"serial"``, ``"process"`` and
+  ``"pool"``;
 - deterministic result ordering — outcomes always come back in input
   order, whatever the executor's scheduling;
 - per-site error isolation — a site whose pages fail to parse, whose
@@ -25,16 +27,23 @@ Batch runs share evaluation state through the extractor's
 caches: under the serial executor, learning several fields over the
 same sites (or re-applying many artifacts to one site) reuses page
 indexes, posting tries and extraction memos instead of rebuilding them
-per task.  Under the process executor each worker rebuilds its caches
-once per shipped site — engines pickle empty and sites pickle without
-derived state; caches are acceleration, not payload.
+per task.  Under the process executor the shared extractor/annotator
+are shipped once per worker (via the pool initializer, not per task)
+and tasks travel in chunks scaled to the batch, but each worker still
+rebuilds site caches once per shipped site — engines pickle empty and
+sites pickle without derived state; caches are acceleration, not
+payload.  A :class:`~repro.api.scheduler.WorkerPool` goes further:
+persistent workers keep warm engines and interned sites between tasks
+and between batches, with shard-affine dispatch.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import os
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.annotators.base import Annotator
 from repro.api.artifacts import WrapperArtifact
@@ -42,6 +51,9 @@ from repro.api.extractor import Extractor
 from repro.datasets.sitegen import GeneratedSite
 from repro.site import Site
 from repro.wrappers.base import Labels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scheduler import WorkerPool
 
 #: A site input: parsed, generated, or raw ``(name, page_sources)``.
 SiteLike = Site | GeneratedSite | tuple[str, Sequence[str]]
@@ -91,6 +103,29 @@ class BatchResult:
 
 # -- executors --------------------------------------------------------------
 
+#: Worker-process shared batch context: the extractor/annotator shipped
+#: once per pool worker through the initializer instead of once per
+#: task.  Only ever *populated* inside pool worker processes (or a
+#: transient in-process fallback for trivial batches); the serial path
+#: keeps tasks self-contained, so threaded callers never race on it.
+_SHARED: dict = {}
+
+
+def _set_shared(payload: dict) -> None:
+    """(Re)place the process-local shared batch context."""
+    _SHARED.clear()
+    _SHARED.update(payload)
+
+
+def _map_with_shared(fn: Callable, items: list, shared: dict) -> list:
+    """Run tasks in-process under a temporary shared context."""
+    previous = dict(_SHARED)
+    _set_shared(shared)
+    try:
+        return [fn(item) for item in items]
+    finally:
+        _set_shared(previous)
+
 
 class SerialExecutor:
     """Run tasks in-process, one after another."""
@@ -104,11 +139,27 @@ class ProcessPoolExecutor:
 
     Tasks and results cross process boundaries, so everything involved
     (extractor, sites, artifacts) must be picklable — true for all
-    built-in components.  Result order matches input order.
+    built-in components.  Result order matches input order.  Tasks are
+    submitted with an explicit chunksize scaled to the batch
+    (``len(items) / (workers * 4)``) instead of the default 1, so big
+    fleets do not pay one IPC round-trip per site.
     """
+
+    #: Tasks cross a process boundary here, so ``learn_many`` strips the
+    #: shared extractor/annotator from them and ships it once per worker
+    #: via ``map_tasks``.
+    ships_shared = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers
+
+    def _resolved_workers(self) -> int:
+        return self.max_workers or os.cpu_count() or 1
+
+    def _chunksize(self, n_items: int) -> int:
+        # ~4 chunks per worker: large enough to amortize pickling, small
+        # enough that one slow site cannot starve the tail.
+        return max(1, -(-n_items // (self._resolved_workers() * 4)))
 
     def map(self, fn: Callable, items: Iterable) -> list:
         items = list(items)
@@ -117,24 +168,53 @@ class ProcessPoolExecutor:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.max_workers
         ) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(fn, items, chunksize=self._chunksize(len(items))))
+
+    def map_tasks(self, fn: Callable, items: Iterable, shared: dict) -> list:
+        """``map`` with the shared context shipped once per worker.
+
+        The shared extractor/annotator ride the pool *initializer* —
+        pickled once per worker process — so the per-task payload is
+        only the site reference and labels.
+        """
+        items = list(items)
+        if len(items) <= 1:  # avoid pool startup cost for trivial batches
+            return _map_with_shared(fn, items, shared)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_set_shared,
+            initargs=(shared,),
+        ) as pool:
+            return list(pool.map(fn, items, chunksize=self._chunksize(len(items))))
 
 
-#: Executor protocol: anything with ``map(fn, items) -> list``.
+#: Executor protocol: anything with ``map(fn, items) -> list``; the
+#: site-affine :class:`~repro.api.scheduler.WorkerPool` is routed
+#: through its own batch entry points.
 Executor = SerialExecutor | ProcessPoolExecutor
 
 
-def resolve_executor(executor: "Executor | str | None") -> Executor:
-    """Accept an executor instance, a shorthand string, or None (serial)."""
+def resolve_executor(executor: "Executor | WorkerPool | str | None"):
+    """Accept an executor instance, a shorthand string, or None (serial).
+
+    The ``"pool"`` shorthand builds a throwaway
+    :class:`~repro.api.scheduler.WorkerPool`; ``learn_many`` /
+    ``apply_many`` close pools they created this way, direct callers
+    own the returned pool.
+    """
     if executor is None or executor == "serial":
         return SerialExecutor()
     if executor == "process":
         return ProcessPoolExecutor()
-    if hasattr(executor, "map"):
+    if executor == "pool":
+        from repro.api.scheduler import WorkerPool
+
+        return WorkerPool()
+    if hasattr(executor, "map") or hasattr(executor, "iter_learn_outcomes"):
         return executor
     raise ValueError(
-        f"executor must be 'serial', 'process' or have a .map method; "
-        f"got {executor!r}"
+        f"executor must be 'serial', 'process', 'pool' or have a .map "
+        f"method; got {executor!r}"
     )
 
 
@@ -179,10 +259,10 @@ def _resolve_site(item: SiteLike) -> Site:
 class _LearnTask:
     index: int
     name: str
-    extractor: Extractor
+    extractor: Extractor | None  # None -> resolved from the shared context
     item: SiteLike
     labels: Labels | None
-    annotator: Annotator | None
+    annotator: Annotator | None  # None -> resolved from the shared context
 
 
 def _run_learn_task(task: _LearnTask) -> SiteOutcome:
@@ -190,10 +270,14 @@ def _run_learn_task(task: _LearnTask) -> SiteOutcome:
         site = _resolve_site(task.item)
         labels = task.labels
         if labels is None:
-            if task.annotator is None:
+            annotator = task.annotator or _SHARED.get("annotator")
+            if annotator is None:
                 raise ValueError("no labels and no annotator for this site")
-            labels = task.annotator.annotate(site)
-        artifact = task.extractor.learn(site, labels, site_name=task.name)
+            labels = annotator.annotate(site)
+        extractor = task.extractor or _SHARED.get("extractor")
+        if extractor is None:
+            raise ValueError("no extractor for this task")
+        artifact = extractor.learn(site, labels, site_name=task.name)
         return SiteOutcome(
             index=task.index, site=task.name, ok=True, artifact=artifact
         )
@@ -243,43 +327,68 @@ def learn_many(
     sites: Sequence[SiteLike],
     labels: Sequence[Labels] | None = None,
     annotator: Annotator | None = None,
-    executor: "Executor | str | None" = None,
+    executor: "Executor | WorkerPool | str | None" = None,
 ) -> BatchResult:
     """Learn one wrapper artifact per site.
 
     Labels come either from ``labels`` (one set per site, positional) or
     from ``annotator`` (run inside each site's isolated task).  Outcomes
-    are returned in input order; failures never abort the batch.
+    are returned in input order; failures never abort the batch.  A
+    :class:`~repro.api.scheduler.WorkerPool` executor (or the ``"pool"``
+    shorthand) runs the batch through the site-affine scheduler.
     """
     sites = list(sites)
     if labels is not None and len(labels) != len(sites):
         raise ValueError(
             f"labels ({len(labels)}) and sites ({len(sites)}) must pair up"
         )
+    resolved = resolve_executor(executor)
+    if hasattr(resolved, "iter_learn_outcomes"):  # WorkerPool routing
+        try:
+            return resolved.learn(
+                extractor, sites, labels=labels, annotator=annotator
+            )
+        finally:
+            if resolved is not executor:  # "pool" shorthand: we own it
+                resolved.close()
+    shared_capable = getattr(resolved, "ships_shared", False)
     tasks = [
         _LearnTask(
             index=index,
             name=site_name(item, index),
-            extractor=extractor,
+            extractor=None if shared_capable else extractor,
             item=item,
             labels=labels[index] if labels is not None else None,
-            annotator=annotator if labels is None else None,
+            annotator=(
+                None
+                if shared_capable or labels is not None
+                else annotator
+            ),
         )
         for index, item in enumerate(sites)
     ]
-    outcomes = resolve_executor(executor).map(_run_learn_task, tasks)
+    if shared_capable:
+        shared = {
+            "extractor": extractor,
+            "annotator": annotator if labels is None else None,
+        }
+        outcomes = resolved.map_tasks(_run_learn_task, tasks, shared)
+    else:
+        outcomes = resolved.map(_run_learn_task, tasks)
     return BatchResult(outcomes=sorted(outcomes, key=lambda o: o.index))
 
 
 def apply_many(
     artifacts: Sequence[WrapperArtifact],
     sites: Sequence[SiteLike],
-    executor: "Executor | str | None" = None,
+    executor: "Executor | WorkerPool | str | None" = None,
 ) -> BatchResult:
     """Apply saved artifacts to sites (paired positionally).
 
     Re-extraction only — no learning machinery is touched.  Outcomes are
-    returned in input order with per-site error isolation.
+    returned in input order with per-site error isolation.  A
+    :class:`~repro.api.scheduler.WorkerPool` executor (or ``"pool"``)
+    runs the batch through the site-affine scheduler.
     """
     artifacts = list(artifacts)
     sites = list(sites)
@@ -287,6 +396,13 @@ def apply_many(
         raise ValueError(
             f"artifacts ({len(artifacts)}) and sites ({len(sites)}) must pair up"
         )
+    resolved = resolve_executor(executor)
+    if hasattr(resolved, "iter_apply_outcomes"):  # WorkerPool routing
+        try:
+            return resolved.apply(artifacts, sites)
+        finally:
+            if resolved is not executor:  # "pool" shorthand: we own it
+                resolved.close()
     tasks = [
         _ApplyTask(
             index=index,
@@ -296,5 +412,5 @@ def apply_many(
         )
         for index, (artifact, item) in enumerate(zip(artifacts, sites))
     ]
-    outcomes = resolve_executor(executor).map(_run_apply_task, tasks)
+    outcomes = resolved.map(_run_apply_task, tasks)
     return BatchResult(outcomes=sorted(outcomes, key=lambda o: o.index))

@@ -51,7 +51,8 @@ from repro.api import (
     load_artifacts,
     load_dataset,
 )
-from repro.api.batch import ProcessPoolExecutor, SerialExecutor
+from repro.api.batch import SerialExecutor
+from repro.api.scheduler import WorkerPool
 from repro.api.registry import RegistryError, site_inductor_names
 from repro.enumeration import enumerate_bottom_up, enumerate_top_down
 from repro.enumeration.naive import naive_call_count
@@ -70,7 +71,16 @@ def _dataset_or_exit(name: str, sites: int, pages: int, seed: int):
 
 
 def _executor_for(workers: int):
-    return ProcessPoolExecutor(max_workers=workers) if workers > 1 else SerialExecutor()
+    """The batch executor for ``--workers``: a site-affine pool when
+    parallel (persistent warm workers across the command's batches),
+    serial otherwise.  Callers close pools via ``_close_executor``."""
+    return WorkerPool(max_workers=workers) if workers > 1 else SerialExecutor()
+
+
+def _close_executor(executor) -> None:
+    close = getattr(executor, "close", None)
+    if close is not None:
+        close()
 
 
 def cmd_demo(_: argparse.Namespace) -> int:
@@ -138,12 +148,16 @@ def cmd_learn(args: argparse.Namespace) -> int:
         raise SystemExit(str(error)) from None
     if args.method != "naive":
         extractor.fit(train, bundle.annotator, bundle.gold_type)
-    result = learn_many(
-        extractor,
-        targets,
-        annotator=bundle.annotator,
-        executor=_executor_for(args.workers),
-    )
+    executor = _executor_for(args.workers)
+    try:
+        result = learn_many(
+            extractor,
+            targets,
+            annotator=bundle.annotator,
+            executor=executor,
+        )
+    finally:
+        _close_executor(executor)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     for outcome in result.successes:
@@ -178,7 +192,11 @@ def cmd_apply(args: argparse.Namespace) -> int:
         )
     artifacts = [artifacts_by_site[name] for name in matched]
     targets = [sites_by_name[name] for name in matched]
-    result = apply_many(artifacts, targets, executor=_executor_for(args.workers))
+    executor = _executor_for(args.workers)
+    try:
+        result = apply_many(artifacts, targets, executor=executor)
+    finally:
+        _close_executor(executor)
     scores = []
     for outcome in result.outcomes:
         if not outcome.ok:
@@ -222,7 +240,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         bundle.sites, bundle.annotator, inductor, gold_type=bundle.gold_type
     )
     methods = tuple(args.methods.split(","))
-    outcomes = experiment.run(methods=methods, evaluate_on=args.evaluate_on)
+    executor = _executor_for(args.workers)
+    try:
+        outcomes = experiment.run(
+            methods=methods, evaluate_on=args.evaluate_on, executor=executor
+        )
+    finally:
+        _close_executor(executor)
     print(
         format_prf_table(
             outcomes,
@@ -313,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--inductor", default="xpath", choices=inductor_choices)
     exp.add_argument("--methods", default="naive,ntw")
     exp.add_argument("--evaluate-on", default="test", choices=("test", "all"))
+    exp.add_argument("--workers", type=int, default=1)
     exp.add_argument("--per-site", action="store_true")
     exp.set_defaults(func=cmd_experiment)
 

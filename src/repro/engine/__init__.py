@@ -6,6 +6,7 @@ See :mod:`repro.engine.core` for the cache hierarchy and lifecycle and
 evaluate enumerated candidate sets in batch.
 """
 
+from repro.engine.config import EngineConfig, configure, get_config
 from repro.engine.core import (
     EvaluationEngine,
     SiteCache,
@@ -17,10 +18,13 @@ from repro.engine.core import (
 from repro.engine.trie import FeatureTrie, build_postings
 
 __all__ = [
+    "EngineConfig",
     "EvaluationEngine",
     "FeatureTrie",
     "SiteCache",
     "build_postings",
+    "configure",
+    "get_config",
     "get_engine",
     "register_extractor",
     "resolve_engine",

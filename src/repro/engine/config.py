@@ -1,0 +1,71 @@
+"""Tunables of the engine's cache hierarchy, in one place.
+
+Every bounded cache the evaluation engine maintains — posting-trie
+nodes, per-engine site memo tables, the sites a warm scheduler worker
+keeps interned — reads its bound from the process-wide
+:class:`EngineConfig` instead of a scattering of module constants.
+Long-running services can widen the bounds (more memory, warmer
+caches); test suites can narrow them to exercise eviction.
+
+The config is deliberately tiny and mutable in place:
+:func:`get_config` returns the live instance, :func:`configure` updates
+named fields and returns it.  Bounds are read at *use* time, so a
+``configure`` call affects caches that already exist (an oversized trie
+shrinks on its next lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["EngineConfig", "configure", "get_config"]
+
+
+@dataclass(slots=True)
+class EngineConfig:
+    """Bounds of the engine's cache hierarchy.
+
+    Attributes:
+        trie_node_bound: max nodes of one site's posting
+            :class:`~repro.engine.trie.FeatureTrie` before its
+            least-recently-used leaves are evicted.
+        site_cache_bound: max per-site extraction-memo tables one
+            :class:`~repro.engine.core.EvaluationEngine` holds before
+            the table is cleared wholesale.
+        interned_site_bound: max sites a warm scheduler worker
+            (:mod:`repro.api.scheduler`) keeps interned, LRU-evicted
+            with all their derived caches.
+    """
+
+    trie_node_bound: int = 65536
+    site_cache_bound: int = 64
+    interned_site_bound: int = 32
+
+
+_CONFIG = EngineConfig()
+
+_FIELDS = frozenset(f.name for f in fields(EngineConfig))
+
+
+def get_config() -> EngineConfig:
+    """The live process-wide engine configuration."""
+    return _CONFIG
+
+
+def configure(**overrides: int) -> EngineConfig:
+    """Update named fields of the live config; returns it.
+
+    Unknown field names and non-positive bounds are rejected — a zero
+    bound would turn every cache into a rebuild-per-use path.
+    """
+    for name, value in overrides.items():
+        if name not in _FIELDS:
+            raise ValueError(
+                f"unknown engine config field {name!r} "
+                f"(known: {', '.join(sorted(_FIELDS))})"
+            )
+        if not isinstance(value, int) or value <= 0:
+            raise ValueError(f"{name} must be a positive integer; got {value!r}")
+    for name, value in overrides.items():
+        setattr(_CONFIG, name, value)
+    return _CONFIG

@@ -37,14 +37,12 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import Any
 
+from repro.engine.config import get_config
 from repro.htmldom.dom import Document, Node
 from repro.site import Site
 from repro.wrappers.base import Labels, Wrapper
 from repro.xpathlang.ast import LocationPath
 from repro.xpathlang.compiled import CompiledPath, compile_xpath
-
-#: Max per-site memo tables per engine before the table is cleared wholesale.
-_MAX_SITE_CACHES = 64
 
 #: Wrapper class -> compiled extractor ``(site, wrapper) -> Labels``.
 _EXTRACTORS: dict[type, Callable[[Any, Any], Labels]] = {}
@@ -117,7 +115,7 @@ class EvaluationEngine:
         cached = self._site_caches.get(id(site))
         if cached is not None and cached.site is site:
             return cached
-        if len(self._site_caches) >= _MAX_SITE_CACHES:
+        if len(self._site_caches) >= get_config().site_cache_bound:
             self._site_caches.clear()
         cache = SiteCache(site)
         self._site_caches[id(site)] = cache

@@ -16,6 +16,13 @@ passed through to the inductor), candidates are formed as combinations,
 and ranking multiplies the per-type annotation terms and computes
 ``P(X)`` on record segments bounded by the primary type with typed
 tokens enforcing the joint alignment constraint.
+
+Candidate evaluation is batched *across types*: every type's candidate
+set goes through one :meth:`~repro.engine.EvaluationEngine.batch_extract`
+pass per site before the combination loop, so posting-trie prefixes
+shared between the types' rule families (which overlap heavily — both
+describe paths into the same templates) are intersected once instead of
+once per type, and the combination loop is pure dictionary lookups.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.enumeration import enumerate_top_down
 from repro.htmldom.dom import NodeId
 from repro.ranking.annotation import AnnotationModel
@@ -153,12 +161,14 @@ class MultiTypeNTW:
         publication_model: PublicationModel | None,
         primary: str,
         max_labels: int = 40,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.inductor = inductor
         self.annotation_models = annotation_models
         self.publication_model = publication_model
         self.primary = primary
         self.max_labels = max_labels
+        self.engine = resolve_engine(engine)
 
     def learn(
         self, site: Site, labels_by_type: dict[str, Labels]
@@ -177,18 +187,32 @@ class MultiTypeNTW:
             spaces[type_name] = candidates
 
         type_names = sorted(spaces)
+        if any(not candidates for candidates in spaces.values()):
+            # No combination can form; skip the candidate evaluation pass.
+            return MultiTypeResult(best=None, best_score=float("-inf"))
         best: MultiTypeWrapper | None = None
         best_score = float("-inf")
         best_extractions: dict[str, Labels] = {}
-        extraction_cache: dict[tuple[str, Wrapper], Labels] = {}
+        # One engine pass over every type's candidate set: cross-type
+        # batching shares posting-trie prefixes between the types' rule
+        # families, and the combination loop below never extracts.
+        flat = [
+            (type_name, wrapper)
+            for type_name in type_names
+            for wrapper in spaces[type_name]
+        ]
+        extracted_list = self.engine.batch_extract(
+            site, [wrapper for _, wrapper in flat]
+        )
+        extraction_cache: dict[tuple[str, Wrapper], Labels] = {
+            key: extracted for key, extracted in zip(flat, extracted_list)
+        }
 
         for combo in itertools.product(*(spaces[t] for t in type_names)):
-            extractions: dict[str, Labels] = {}
-            for type_name, wrapper in zip(type_names, combo):
-                key = (type_name, wrapper)
-                if key not in extraction_cache:
-                    extraction_cache[key] = wrapper.extract(site)
-                extractions[type_name] = extraction_cache[key]
+            extractions: dict[str, Labels] = {
+                type_name: extraction_cache[(type_name, wrapper)]
+                for type_name, wrapper in zip(type_names, combo)
+            }
             score = self._score(site, labels_by_type, extractions)
             if score > best_score:
                 best_score = score

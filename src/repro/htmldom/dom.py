@@ -169,6 +169,7 @@ class Document:
         "source",
         "page_index",
         "nodes",
+        "xpath_memo",
         "_by_id",
         "_text_by_span",
         "_elements_by_tag",
@@ -186,6 +187,11 @@ class Document:
         self.root = root
         self.source = source
         self.page_index = page_index
+        #: Compiled-xpath result memo, keyed by the *location path* (a
+        #: stable value key, unlike transient ``CompiledPath`` object or
+        #: document identities) — see :mod:`repro.xpathlang.compiled`.
+        #: Lives and dies with the page; never pickled.
+        self.xpath_memo: dict = {}
         self.nodes: list[Node] = list(root.iter_preorder())
         self._by_id: dict[NodeId, Node] = {}
         self._text_by_span: dict[tuple[int, int], TextNode] = {}
@@ -260,6 +266,21 @@ class Document:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Document page={self.page_index} nodes={len(self.nodes)}>"
+
+    # The xpath memo holds evaluation results (node tuples) that any
+    # compiled path may have cached; it is acceleration state, never
+    # payload, so documents cross process boundaries without it.
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "xpath_memo"
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self.xpath_memo = {}
 
     def node(self, node_id: NodeId) -> Node:
         """Look up a node by its id (must belong to this page)."""

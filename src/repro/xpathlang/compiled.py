@@ -8,6 +8,15 @@ freeze time — per-tag element lists with subtree range queries (bisect
 over pre-order indexes), ``(parent, tag)`` child groups, and the
 attribute-value index — and memoizes results per ``(path, page)``.
 
+The memo lives on the *document* (``Document.xpath_memo``), keyed by
+the location path: a stable value key, where the previous id-keyed
+global table tied hits to transient ``CompiledPath`` and document
+identities.  A warm worker that keeps a site's documents interned
+therefore serves re-applied artifacts from the memo even when the
+artifact recompiles its rule into a fresh ``CompiledPath``; and when a
+site dies, its memos die with it instead of pinning dead pages in a
+process-wide table.
+
 The interpreter stays untouched as the reference oracle: for every path
 in the fragment the compiled evaluator returns node-for-node identical
 results (the equivalence test suite enforces this on generated pages).
@@ -36,7 +45,7 @@ from repro.xpathlang.ast import (
 from repro.xpathlang.evaluator import _apply_predicates
 from repro.xpathlang.parser import parse_xpath
 
-#: Bound on per-path page memos and on the compiled-path cache; caches
+#: Bound on one page's path memos and on the compiled-path cache; caches
 #: are cleared wholesale when they outgrow it (same policy as the site
 #: caches in :mod:`repro.engine`).
 _CACHE_LIMIT = 256
@@ -47,11 +56,12 @@ class CompiledPath:
 
     Instances are cheap, immutable and safe to share; obtain them
     through :func:`compile_xpath`, which deduplicates by path.  Results
-    are memoized per page (keyed by document identity), so re-applying
-    one compiled path across a site's pages does the work once per page.
+    are memoized on each page under the location path itself, so
+    re-applying a rule across a site's pages does the work once per
+    page — whichever ``CompiledPath`` instance carries the rule.
     """
 
-    __slots__ = ("path", "_steps", "_positional", "_memo")
+    __slots__ = ("path", "_steps", "_positional")
 
     def __init__(self, path: LocationPath) -> None:
         self.path = path
@@ -63,7 +73,6 @@ class CompiledPath:
             any(isinstance(p, PositionPredicate) for p in step.predicates)
             for step in self._steps
         )
-        self._memo: dict[int, tuple[Document, tuple[Node, ...]]] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledPath({str(self.path)!r})"
@@ -74,14 +83,14 @@ class CompiledPath:
 
     def evaluate_cached(self, document: Document) -> tuple[Node, ...]:
         """Memoized evaluation — the shared tuple, do not mutate."""
-        key = id(document)
-        hit = self._memo.get(key)
-        if hit is not None and hit[0] is document:
-            return hit[1]
+        memo = document.xpath_memo
+        hit = memo.get(self.path)
+        if hit is not None:
+            return hit
         result = tuple(self._evaluate(document))
-        if len(self._memo) >= _CACHE_LIMIT:
-            self._memo.clear()
-        self._memo[key] = (document, result)
+        if len(memo) >= _CACHE_LIMIT:
+            memo.clear()
+        memo[self.path] = result
         return result
 
     # -- evaluation ---------------------------------------------------------

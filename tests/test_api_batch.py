@@ -121,3 +121,12 @@ class TestExecutors:
     def test_resolve_rejects_garbage(self):
         with pytest.raises(ValueError, match="executor"):
             resolve_executor(42)
+
+    def test_chunksize_scales_with_batch(self):
+        """Chunks scale to len(items) / workers (4 chunks per worker)
+        instead of concurrent.futures' default of 1."""
+        pool = ProcessPoolExecutor(max_workers=4)
+        assert pool._chunksize(1) == 1
+        assert pool._chunksize(16) == 1
+        assert pool._chunksize(64) == 4
+        assert pool._chunksize(1000) == 63  # ceil(1000 / 16)

@@ -1,0 +1,384 @@
+"""Site-affine scheduler: determinism, affinity, streaming, isolation."""
+
+import pytest
+
+from repro.api import (
+    Extractor,
+    ExtractorConfig,
+    SerialExecutor,
+    WorkerPool,
+    apply_many,
+    apply_stream,
+    learn_many,
+    learn_stream,
+    load_dataset,
+    resolve_executor,
+)
+from repro.api.scheduler import _site_key
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("dealers", sites=6, pages=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def fitted_extractor(bundle):
+    train = bundle.sites[::2]
+    extractor = Extractor(ExtractorConfig(inductor="xpath", method="ntw"))
+    return extractor.fit(train, bundle.annotator, bundle.gold_type)
+
+
+@pytest.fixture(scope="module")
+def test_sites(bundle):
+    return bundle.sites[1::2]
+
+
+@pytest.fixture(scope="module")
+def serial_rules(fitted_extractor, bundle, test_sites):
+    result = learn_many(
+        fitted_extractor, test_sites, annotator=bundle.annotator,
+        executor=SerialExecutor(),
+    )
+    assert not result.failures
+    return [outcome.artifact.rule for outcome in result.outcomes]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_outcomes_in_input_order_any_worker_count(
+        self, fitted_extractor, bundle, test_sites, serial_rules, workers
+    ):
+        with WorkerPool(max_workers=workers) as pool:
+            result = pool.learn(
+                fitted_extractor, test_sites, annotator=bundle.annotator
+            )
+        assert [o.index for o in result.outcomes] == list(range(len(test_sites)))
+        assert [o.site for o in result.outcomes] == [s.name for s in test_sites]
+        assert [o.artifact.rule for o in result.outcomes] == serial_rules
+
+    def test_learn_many_routes_through_pool(
+        self, fitted_extractor, bundle, test_sites, serial_rules
+    ):
+        with WorkerPool(max_workers=2) as pool:
+            result = learn_many(
+                fitted_extractor,
+                test_sites,
+                annotator=bundle.annotator,
+                executor=pool,
+            )
+        assert [o.artifact.rule for o in result.outcomes] == serial_rules
+
+    def test_apply_matches_serial(self, fitted_extractor, bundle, test_sites):
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        serial = apply_many(learned.artifacts, test_sites)
+        with WorkerPool(max_workers=2) as pool:
+            pooled = apply_many(learned.artifacts, test_sites, executor=pool)
+        assert [o.extracted for o in pooled.outcomes] == [
+            o.extracted for o in serial.outcomes
+        ]
+
+    def test_pool_shorthand(self, fitted_extractor, bundle, test_sites):
+        result = learn_many(
+            fitted_extractor,
+            test_sites[:1],
+            annotator=bundle.annotator,
+            executor="pool",
+        )
+        assert result.summary() == "1/1 sites ok"
+        assert isinstance(resolve_executor("pool"), WorkerPool)
+
+
+class TestShardAffinity:
+    def test_sites_ship_once_per_pool(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """Without stealing, a site's payload crosses to exactly one
+        worker, once — re-running batches on the pool ships nothing."""
+        with WorkerPool(max_workers=2, work_stealing=False) as pool:
+            first = pool.learn(
+                fitted_extractor, test_sites, annotator=bundle.annotator
+            )
+            assert not first.failures
+            after_first = dict(pool.stats.shipments)
+            assert all(count == 1 for count in after_first.values())
+            assert len(after_first) == len(test_sites)
+            # Second learn batch and an apply batch: all warm, no shipping.
+            second = pool.learn(
+                fitted_extractor, test_sites, annotator=bundle.annotator
+            )
+            applied = pool.apply(first.artifacts, test_sites)
+            assert not second.failures and not applied.failures
+            assert dict(pool.stats.shipments) == after_first
+
+    def test_inline_pool_interns_sites(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        with WorkerPool(max_workers=1) as pool:
+            pool.learn(fitted_extractor, test_sites, annotator=bundle.annotator)
+            pool.learn(fitted_extractor, test_sites, annotator=bundle.annotator)
+            assert all(c == 1 for c in pool.stats.shipments.values())
+            # The warm worker resolved each site exactly once.
+            assert pool._inline.sites_resolved == len(test_sites)
+
+    def test_site_keys_are_content_stable(self, test_sites):
+        a = _site_key(test_sites[0], 0)
+        b = _site_key(test_sites[0].site, 7)  # same content, any position
+        assert a == b
+        assert a != _site_key(test_sites[1], 0)
+        # Same name, different content: never aliased.
+        raw_one = ("twin", ["<p>one</p>"])
+        raw_two = ("twin", ["<p>two</p>"])
+        assert _site_key(raw_one, 0) != _site_key(raw_two, 0)
+
+
+class TestStreaming:
+    def test_stream_yields_every_outcome(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        seen = []
+        for outcome in learn_stream(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        ):
+            seen.append(outcome)
+        assert sorted(o.index for o in seen) == list(range(len(test_sites)))
+        assert all(o.ok for o in seen)
+
+    def test_stream_isolates_broken_sites(self, fitted_extractor, bundle, test_sites):
+        mixed = [test_sites[0], ("broken", [None]), test_sites[1]]
+        with WorkerPool(max_workers=2) as pool:
+            outcomes = list(
+                pool.iter_learn_outcomes(
+                    fitted_extractor, mixed, annotator=bundle.annotator
+                )
+            )
+        by_index = {o.index: o for o in outcomes}
+        assert len(by_index) == 3
+        assert by_index[0].ok and by_index[2].ok
+        assert not by_index[1].ok
+        assert by_index[1].site == "broken"
+        assert by_index[1].error
+
+    def test_repeated_jobs_for_broken_site_fail_consistently(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """Later tasks touching a site that failed to parse report the
+        recorded error instead of crashing the worker."""
+        learned = learn_many(
+            fitted_extractor, test_sites[:2], annotator=bundle.annotator
+        )
+        broken = ("broken", [None])
+        with WorkerPool(max_workers=1) as pool:
+            result = pool.apply(
+                [learned.artifacts[0], learned.artifacts[1]], [broken, broken]
+            )
+        assert [o.ok for o in result.outcomes] == [False, False]
+        assert result.outcomes[0].error == result.outcomes[1].error
+
+    def test_apply_stream(self, fitted_extractor, bundle, test_sites):
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        extracted = {
+            o.index: o.extracted
+            for o in apply_stream(learned.artifacts, test_sites)
+        }
+        direct = apply_many(learned.artifacts, test_sites)
+        assert extracted == {o.index: o.extracted for o in direct.outcomes}
+
+
+class TestPoolLifecycle:
+    def test_closed_pool_rejects_batches(self, fitted_extractor, test_sites):
+        pool = WorkerPool(max_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.learn(fitted_extractor, test_sites, labels=[frozenset()] * 3)
+
+    def test_empty_batch(self, fitted_extractor):
+        with WorkerPool(max_workers=2) as pool:
+            assert len(pool.learn(fitted_extractor, [])) == 0
+            assert len(pool.apply([], [])) == 0
+
+    def test_mismatched_pairing_rejected(self, fitted_extractor, test_sites):
+        with WorkerPool(max_workers=1) as pool:
+            with pytest.raises(ValueError, match="must pair up"):
+                pool.learn(fitted_extractor, test_sites, labels=[frozenset()])
+            with pytest.raises(ValueError, match="must pair up"):
+                pool.apply([], test_sites)
+
+    def test_intern_eviction_reships_instead_of_failing(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """With an intern bound smaller than the fleet, the parent's
+        ship ledger mirrors each worker's LRU: revisited sites are
+        re-shipped, never referenced as interned when they are not."""
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        with WorkerPool(
+            max_workers=2, work_stealing=False, intern_bound=1
+        ) as pool:
+            first = pool.apply(learned.artifacts, test_sites)
+            second = pool.apply(learned.artifacts, test_sites)
+        assert not first.failures
+        assert not second.failures
+        assert [o.extracted for o in first.outcomes] == [
+            o.extracted for o in second.outcomes
+        ]
+        # The bound forced re-shipping on revisits (> 1 shipment for
+        # any site sharing a worker with another site).
+        assert sum(pool.stats.shipments.values()) >= len(test_sites)
+
+    def test_overlapping_streams_rejected(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """A second stream started while one is mid-flight must raise,
+        even though both iterators were created before consumption."""
+        with WorkerPool(max_workers=2) as pool:
+            it1 = pool.iter_learn_outcomes(
+                fitted_extractor, test_sites, annotator=bundle.annotator
+            )
+            it2 = pool.iter_learn_outcomes(
+                fitted_extractor, test_sites, annotator=bundle.annotator
+            )
+            next(it1)
+            with pytest.raises(RuntimeError, match="already streaming"):
+                next(it2)
+            # The surviving stream keeps working to completion.
+            rest = list(it1)
+            assert len(rest) == len(test_sites) - 1
+
+    def test_warm_apply_reuses_interned_site_memos(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """Second apply of the same artifact on a warm inline worker is
+        a pure memo hit: identical frozenset object, no new resolution."""
+        learned = learn_many(
+            fitted_extractor, test_sites[:1], annotator=bundle.annotator
+        )
+        with WorkerPool(max_workers=1) as pool:
+            first = pool.apply(learned.artifacts, test_sites[:1])
+            resolved = pool._inline.sites_resolved
+            second = pool.apply(learned.artifacts, test_sites[:1])
+            assert pool._inline.sites_resolved == resolved
+        assert first.outcomes[0].extracted is second.outcomes[0].extracted
+
+
+class TestSharedContextExecutors:
+    def test_tasks_resolve_extractor_from_shared_context(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """Executors that ship across processes get extractor-free tasks
+        (the extractor ships once per worker, not once per task)."""
+        from repro.api.batch import _map_with_shared
+
+        captured = {}
+
+        class Spy:
+            ships_shared = True
+
+            def map(self, fn, items):  # pragma: no cover - protocol only
+                return [fn(item) for item in items]
+
+            def map_tasks(self, fn, items, shared):
+                captured["tasks"] = list(items)
+                captured["shared"] = shared
+                return _map_with_shared(fn, captured["tasks"], shared)
+
+        result = learn_many(
+            fitted_extractor,
+            test_sites,
+            annotator=bundle.annotator,
+            executor=Spy(),
+        )
+        assert not result.failures
+        assert all(task.extractor is None for task in captured["tasks"])
+        assert all(task.annotator is None for task in captured["tasks"])
+        assert captured["shared"]["extractor"] is fitted_extractor
+        assert captured["shared"]["annotator"] is bundle.annotator
+
+    def test_serial_learn_many_is_thread_safe(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """The default serial path keeps tasks self-contained — two
+        threads running batches concurrently never share context."""
+        import threading
+
+        results = {}
+
+        def run(slot):
+            results[slot] = learn_many(
+                fitted_extractor, test_sites, annotator=bundle.annotator
+            )
+
+        threads = [
+            threading.Thread(target=run, args=(slot,)) for slot in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for slot in range(2):
+            assert not results[slot].failures
+
+    def test_inline_pool_does_not_mutate_callers_extractor(
+        self, bundle, test_sites
+    ):
+        """A one-worker pool runs the caller's own Extractor object; its
+        configured engine must survive the batch untouched."""
+        from repro.engine import EvaluationEngine
+
+        engine = EvaluationEngine()
+        extractor = Extractor(
+            ExtractorConfig(inductor="xpath", method="ntw"), engine=engine
+        ).fit(bundle.sites[::2], bundle.annotator, bundle.gold_type)
+        with WorkerPool(max_workers=1) as pool:
+            result = pool.learn(
+                extractor, test_sites, annotator=bundle.annotator
+            )
+        assert not result.failures
+        assert extractor.engine is engine
+
+    def test_refit_extractor_is_reshipped(self, bundle, test_sites):
+        """Refitting mutates the extractor in place (new model objects);
+        a persistent pool must detect that and re-ship, not serve the
+        stale models."""
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="ntw"))
+        extractor.fit(bundle.sites[::2], bundle.annotator, bundle.gold_type)
+        with WorkerPool(max_workers=1) as pool:
+            pool.learn(extractor, test_sites[:1], annotator=bundle.annotator)
+            shipped_model = pool._inline.extractor.publication_model
+            extractor.fit(
+                bundle.sites[1::2], bundle.annotator, bundle.gold_type
+            )
+            pool.learn(extractor, test_sites[:1], annotator=bundle.annotator)
+            assert pool._inline.extractor.publication_model is not shipped_model
+            assert (
+                pool._inline.extractor.publication_model
+                is extractor.publication_model
+            )
+
+    def test_plain_map_executors_get_self_contained_tasks(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """Third-party executors exposing only .map still work: tasks
+        carry the extractor themselves."""
+        captured = {}
+
+        class Plain:
+            def map(self, fn, items):
+                captured["tasks"] = list(items)
+                return [fn(item) for item in captured["tasks"]]
+
+        result = learn_many(
+            fitted_extractor,
+            test_sites,
+            annotator=bundle.annotator,
+            executor=Plain(),
+        )
+        assert not result.failures
+        assert all(
+            task.extractor is fitted_extractor for task in captured["tasks"]
+        )

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pickle
 
+import pytest
+
 from repro.engine import (
     EvaluationEngine,
     FeatureTrie,
@@ -11,7 +13,7 @@ from repro.engine import (
     get_engine,
     resolve_engine,
 )
-from repro.engine.core import _MAX_SITE_CACHES
+from repro.engine.config import get_config
 from repro.htmldom.dom import NodeId
 from repro.site import Site
 from repro.wrappers.xpath_inductor import XPathInductor
@@ -41,7 +43,7 @@ class TestSiteCaches:
 
     def test_site_cache_bound_clears_wholesale(self):
         engine = EvaluationEngine()
-        sites = [_site(f"s{i}") for i in range(_MAX_SITE_CACHES + 1)]
+        sites = [_site(f"s{i}") for i in range(get_config().site_cache_bound + 1)]
         caches = [engine.site_cache(site) for site in sites]
         # The over-bound insertion cleared the table; the newest slot
         # survives and earlier sites get fresh slots on re-request.
@@ -180,6 +182,97 @@ class TestFeatureTrie:
         postings = build_postings(feature_sets)
         assert postings["a"] == {n[0], n[1], n[2], n[3]}
         assert postings["d"] == {n[5]}
+
+
+class TestFeatureTrieLRU:
+    def _trie(self, node_bound):
+        n = [NodeId(0, i) for i in range(4)]
+        feature_sets = {
+            n[0]: frozenset({"a", "b"}),
+            n[1]: frozenset({"a"}),
+            n[2]: frozenset({"b"}),
+            n[3]: frozenset({f"x{i}" for i in range(40)}),
+        }
+        return n, FeatureTrie(
+            build_postings(feature_sets), frozenset(n), node_bound=node_bound
+        )
+
+    def test_node_count_stays_bounded(self):
+        _, trie = self._trie(node_bound=10)
+        for i in range(40):
+            trie.lookup({f"x{i}"})
+        assert trie.node_count <= 10
+
+    def test_hot_prefixes_survive_eviction(self):
+        """LRU eviction peels cold leaves; a prefix refreshed between
+        evictions keeps serving the same cached set object."""
+        n, trie = self._trie(node_bound=10)
+        hot = trie.lookup({"a", "b"})
+        assert hot == {n[0]}
+        for i in range(40):
+            trie.lookup({"a", "b"})  # keep the prefix hot
+            trie.lookup({f"x{i}"})  # churn cold leaves past the bound
+        assert trie.lookup({"a", "b"}) is hot
+        assert trie.node_count <= 10
+
+    def test_evicted_lookups_recompute_correctly(self):
+        n, trie = self._trie(node_bound=6)
+        expected = {f"x{i}": trie.lookup({f"x{i}"}) for i in range(20)}
+        # Every early leaf has been evicted by now; recomputed results
+        # must still be the exact posting intersections.
+        for item, result in expected.items():
+            assert trie.lookup({item}) == result == {n[3]}
+
+    def test_bound_from_engine_config(self):
+        from repro.engine import configure, get_config
+
+        previous = get_config().trie_node_bound
+        try:
+            configure(trie_node_bound=8)
+            _, trie = self._trie(node_bound=None)
+            for i in range(40):
+                trie.lookup({f"x{i}"})
+            assert trie.node_count <= 8
+        finally:
+            configure(trie_node_bound=previous)
+
+    def test_configure_rejects_garbage(self):
+        from repro.engine import configure
+
+        with pytest.raises(ValueError, match="unknown engine config field"):
+            configure(nope=3)
+        with pytest.raises(ValueError, match="positive integer"):
+            configure(trie_node_bound=0)
+
+
+class TestDocumentPathMemo:
+    def test_memo_is_stable_across_compiled_instances(self):
+        """Two CompiledPath objects for one location path share the
+        document-held memo — the stable per-site key the warm workers
+        rely on when artifacts recompile their rules."""
+        from repro.xpathlang.compiled import CompiledPath
+        from repro.xpathlang.parser import parse_xpath
+
+        site = _site()
+        page = site.pages[0]
+        first = CompiledPath(parse_xpath("//td/u/text()"))
+        second = CompiledPath(parse_xpath("//td/u/text()"))
+        assert first is not second
+        assert first.evaluate_cached(page) is second.evaluate_cached(page)
+
+    def test_memo_never_pickled(self):
+        import pickle
+
+        from repro.xpathlang.compiled import evaluate_compiled
+
+        site = _site()
+        assert evaluate_compiled("//td/u/text()", site.pages[0])
+        assert site.pages[0].xpath_memo
+        clone = pickle.loads(pickle.dumps(site))
+        assert clone.pages[0].xpath_memo == {}
+        assert [n.text for n in evaluate_compiled("//td/u/text()", clone.pages[0])] == [
+            n.text for n in evaluate_compiled("//td/u/text()", site.pages[0])
+        ]
 
 
 class TestEngineThreading:

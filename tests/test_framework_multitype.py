@@ -154,6 +154,41 @@ class TestMultiTypeLearning:
         ).learn(generated.site, {"name": frozenset(), "zipcode": frozenset()})
         assert result.best is None
 
+    def test_cross_type_batched_ranking_matches_per_type_extraction(
+        self, zipped_dataset
+    ):
+        """The one-pass cross-type batch must select the same wrapper,
+        score and extractions as extracting each type independently."""
+        from repro.engine import EvaluationEngine
+
+        name_ann, zip_ann, annotation, publication = _models(zipped_dataset)
+        generated = zipped_dataset.sites[4]
+        labels = {
+            "name": name_ann.annotate(generated.site),
+            "zipcode": zip_ann.annotate(generated.site),
+        }
+        learner = MultiTypeNTW(
+            XPathInductor(),
+            annotation,
+            publication,
+            primary="name",
+            engine=EvaluationEngine(),
+        )
+        result = learner.learn(generated.site, labels)
+        assert result.best is not None
+        # Per-type reference path: each selected rule extracted directly
+        # (wrapper.extract, no cross-type batching) must agree node for
+        # node with what ranking saw.
+        assert result.extractions == result.best.extractions(generated.site)
+        # And the joint score recomputed from per-type extractions matches.
+        assert result.best_score == pytest.approx(
+            learner._score(
+                generated.site,
+                labels,
+                result.best.extractions(generated.site),
+            )
+        )
+
     def test_wrapper_rule_mentions_types(self):
         from repro.wrappers.xpath_inductor import XPathWrapper
 
