@@ -1,0 +1,164 @@
+"""Crawler-shaped streaming ingestion: lean shipping + live-pool feed.
+
+Two things are measured against the ``apply_many`` batch baseline on
+the same generated DEALERS fleet:
+
+1. **payload bytes** — what one site costs to put on the wire.  The
+   lean ship-sources-and-refreeze path (parsed
+   :class:`~repro.htmldom.dom.Document` pickles as raw HTML and
+   re-freezes on arrival) is compared against the legacy full-state
+   pickle (every frozen index slot serialized); the acceptance bar is
+   a >= 4x cut.
+2. **streaming throughput** — sites fed one at a time through an
+   :class:`~repro.api.ingest.IngestSession` (results consumed
+   interleaved, crawler-style) vs the all-up-front batch path, in
+   pages/sec, with extraction equality asserted bitwise.
+
+Results go to ``results/ingest_stream.txt`` and a run is appended to
+the ``results/BENCH_ingest.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pickle
+import time
+
+from _harness import FULL_SCALE, RESULTS_DIR, write_result
+
+from repro.api import (
+    Extractor,
+    ExtractorConfig,
+    IngestSession,
+    apply_many,
+    learn_many,
+    load_dataset,
+)
+
+#: (n_sites, pages_per_site) of the generated fleet; extraction runs on
+#: the odd half (the even half fits the models).
+FLEET_SCALE = (96, 8) if FULL_SCALE else (48, 6)
+
+INGEST_WORKERS = 2
+
+
+def _timed(fn):
+    gc.collect()
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _legacy_payload_bytes(site) -> int:
+    """Size of the pre-PR-4 wire format: every Document slot except the
+    xpath memo, pickled as-is (index-heavy)."""
+    pages = [
+        {
+            slot: getattr(page, slot)
+            for slot in type(page).__slots__
+            if slot != "xpath_memo"
+        }
+        for page in site.pages
+    ]
+    return len(pickle.dumps({"name": site.name, "pages": pages}))
+
+
+def test_ingest_stream():
+    n_sites, pages = FLEET_SCALE
+    bundle = load_dataset("dealers", sites=n_sites, pages=pages, seed=11)
+    train, fleet = bundle.sites[::2], bundle.sites[1::2]
+    extractor = Extractor(
+        ExtractorConfig(inductor="xpath", method="ntw")
+    ).fit(train, bundle.annotator, bundle.gold_type)
+    learned = learn_many(extractor, fleet, annotator=bundle.annotator)
+    assert not learned.failures
+    artifacts = learned.artifacts
+    total_pages = sum(len(generated.site.pages) for generated in fleet)
+    raw_fleet = [
+        (generated.name, [page.source for page in generated.site.pages])
+        for generated in fleet
+    ]
+    lines = [f"fleet: {len(fleet)} sites, {total_pages} pages"]
+    record: dict = {
+        "timestamp": time.time(),
+        "fleet_sites": len(fleet),
+        "fleet_pages": total_pages,
+    }
+
+    # -- payload bytes: lean ship-sources-and-refreeze vs legacy pickle -----
+    lean_bytes = sum(
+        len(pickle.dumps(generated.site)) for generated in fleet
+    )
+    legacy_bytes = sum(
+        _legacy_payload_bytes(generated.site) for generated in fleet
+    )
+    source_bytes = sum(
+        len(page.source.encode()) for g in fleet for page in g.site.pages
+    )
+    shrink = legacy_bytes / lean_bytes
+    record["payload_bytes"] = {
+        "source": source_bytes,
+        "lean": lean_bytes,
+        "legacy": legacy_bytes,
+        "shrink": shrink,
+    }
+    lines.append(
+        f"payload  raw html    {source_bytes / len(fleet):9.0f} B/site"
+    )
+    lines.append(
+        f"payload  lean ship   {lean_bytes / len(fleet):9.0f} B/site"
+    )
+    lines.append(
+        f"payload  legacy      {legacy_bytes / len(fleet):9.0f} B/site  "
+        f"({shrink:.1f}x lean)"
+    )
+    # Acceptance: lean shipping cuts per-site payload >= 4x.
+    assert shrink >= 4.0, (
+        f"lean shipping only cut payloads {shrink:.1f}x (< 4x): "
+        f"{legacy_bytes}B -> {lean_bytes}B"
+    )
+
+    # -- baseline: the whole fleet up front ---------------------------------
+    batch, batch_s = _timed(lambda: apply_many(artifacts, list(raw_fleet)))
+    assert not batch.failures
+    record["apply_pages_per_s"] = {"batch-serial": total_pages / batch_s}
+    lines.append(
+        f"apply    batch serial {total_pages / batch_s:8.1f} pages/s  "
+        f"({batch_s:.3f}s)"
+    )
+
+    # -- streaming ingestion: one site at a time into a live pool -----------
+    def crawl() -> dict[int, object]:
+        streamed: dict[int, object] = {}
+        with IngestSession(max_workers=INGEST_WORKERS) as session:
+            for artifact, (name, pages_html) in zip(artifacts, raw_fleet):
+                session.submit_html(name, pages_html, artifact=artifact)
+                for outcome in session.results():
+                    streamed[outcome.index] = outcome
+            for outcome in session.iter_results():
+                streamed[outcome.index] = outcome
+        return streamed
+
+    streamed, stream_s = _timed(crawl)
+    rate = total_pages / stream_s
+    record["apply_pages_per_s"][f"ingest-x{INGEST_WORKERS}"] = rate
+    lines.append(
+        f"apply    ingest x{INGEST_WORKERS}   {rate:8.1f} pages/s  "
+        f"({stream_s:.3f}s, incremental submission)"
+    )
+
+    # Acceptance: streaming extractions are bitwise-identical to the
+    # batch path over the same fleet.
+    assert sorted(streamed) == list(range(len(fleet)))
+    for index, reference in enumerate(batch.outcomes):
+        assert streamed[index].ok
+        assert streamed[index].extracted == reference.extracted
+
+    write_result("ingest_stream", lines)
+    trajectory = RESULTS_DIR / "BENCH_ingest.json"
+    history = (
+        json.loads(trajectory.read_text()) if trajectory.exists() else []
+    )
+    history.append(record)
+    trajectory.write_text(json.dumps(history, indent=2) + "\n")

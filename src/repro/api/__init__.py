@@ -15,7 +15,11 @@ examples, downstream code) builds on:
   pluggable executors and per-site error isolation;
 - **scheduler** (:mod:`repro.api.scheduler`): the site-affine
   :class:`WorkerPool` — persistent warm-engine workers, sharded
-  dispatch, streaming ``learn_stream``/``apply_stream`` outcomes.
+  dispatch, streaming ``learn_stream``/``apply_stream`` outcomes;
+- **ingest** (:mod:`repro.api.ingest`): streaming crawler ingestion —
+  :class:`IngestSession` (and the ``asyncio`` adapter
+  :class:`AsyncIngestSession`) accepts sites incrementally into a live
+  pool with bounded in-flight backpressure and out-of-order results.
 
 Quickstart::
 
@@ -53,6 +57,10 @@ from repro.api.extractor import (
     ExtractorConfig,
     ExtractorError,
 )
+from repro.api.ingest import (
+    AsyncIngestSession,
+    IngestSession,
+)
 from repro.api.registry import (
     ANNOTATORS,
     DATASETS,
@@ -73,6 +81,7 @@ from repro.api.scheduler import (
 __all__ = [
     "ANNOTATORS",
     "ArtifactError",
+    "AsyncIngestSession",
     "BatchResult",
     "DATASETS",
     "DatasetBundle",
@@ -81,6 +90,7 @@ __all__ = [
     "ExtractorConfig",
     "ExtractorError",
     "INDUCTORS",
+    "IngestSession",
     "METHODS",
     "ProcessPoolExecutor",
     "Registry",

@@ -35,6 +35,13 @@ sites pickle without derived state; caches are acceleration, not
 payload.  A :class:`~repro.api.scheduler.WorkerPool` goes further:
 persistent workers keep warm engines and interned sites between tasks
 and between batches, with shard-affine dispatch.
+
+Every entry point here assumes the fleet is known up front.  For
+crawler-fed pipelines — pages arriving incrementally, results consumed
+while the crawl is still running — use the input-side streaming layer
+instead: :class:`repro.api.ingest.IngestSession` (and its ``asyncio``
+adapter) submits :data:`SiteLike` inputs one at a time into a live
+pool and yields the same :class:`SiteOutcome` records out of order.
 """
 
 from __future__ import annotations

@@ -1,0 +1,382 @@
+"""Streaming crawler ingestion: pages arrive incrementally, results
+stream back out-of-order.
+
+The batch entry points (:func:`~repro.api.batch.learn_many`,
+:func:`~repro.api.batch.apply_many` and the ``*_stream`` helpers) all
+assume the fleet is known up front.  A crawler does not work like that:
+pages trickle in site by site, and the pipeline must keep extracting
+while the crawl is still running.  :class:`IngestSession` is the
+input-side counterpart of the output-side streaming added in PR 3 — it
+holds a live :class:`~repro.api.scheduler.WorkerPool` and accepts work
+incrementally:
+
+- :meth:`IngestSession.submit` / :meth:`IngestSession.submit_html`
+  enqueue a site (learn or apply) while earlier results are still
+  streaming back; submissions dispatch immediately to the site's
+  owning worker (one-site chunks), and pages ship lean — raw HTML out,
+  refreeze on arrival (see :meth:`repro.htmldom.dom.Document.__reduce_ex__`);
+- **bounded in-flight backpressure** — ``max_inflight`` caps the jobs
+  the *pool* still has to finish; a ``submit`` past the cap blocks,
+  pumping completions into the ready buffer until there is room (so a
+  fast crawler cannot flood the pool's dispatch queues — completed
+  outcomes awaiting the consumer are not capped; drain them with
+  ``results()``/``advance()``);
+- **out-of-order completion** — :meth:`results` yields whatever has
+  completed so far without blocking; :meth:`iter_results` blocks until
+  every submitted job has been yielded (the end-of-crawl drain);
+- :class:`AsyncIngestSession` is a thin ``asyncio`` adapter for async
+  crawlers: same API with ``await`` / ``async for``, all pool access
+  serialized on one executor thread.
+
+Sync usage::
+
+    with IngestSession(extractor=extractor, annotator=annotator,
+                       max_workers=4) as session:
+        for name, pages in crawl():
+            session.submit_html(name, pages)
+            for outcome in session.advance():   # interleaved drain
+                handle(outcome)
+        for outcome in session.iter_results():  # final blocking drain
+            handle(outcome)
+
+(``advance`` drains like the pure-probe ``results`` but also runs
+one-worker inline jobs now, so outcomes flow per submission on any
+pool size.)
+
+Apply-mode sessions pass ``artifact=`` per submission (or a default for
+the whole session) and need no extractor.  Outcome ``index`` is the
+submission number, so callers can pair results with submissions however
+far out of order they complete.
+"""
+
+from __future__ import annotations
+
+from collections.abc import AsyncIterator, Iterator, Sequence
+
+from repro.annotators.base import Annotator
+from repro.api.artifacts import WrapperArtifact
+from repro.api.batch import SiteLike, SiteOutcome, site_name
+from repro.api.extractor import Extractor
+from repro.api.scheduler import (
+    _RESULT_POLL_SECONDS,
+    WorkerPool,
+    _Job,
+    _payload_for,
+    _site_key,
+)
+from repro.wrappers.base import Labels
+
+__all__ = ["AsyncIngestSession", "IngestSession"]
+
+#: Default in-flight bound: enough to keep every worker's dispatch
+#: window full.  It caps the jobs the *pool* has not yet finished —
+#: completed outcomes buffered for the consumer are parent-side memory
+#: and remain the consumer's to drain (results()/advance()); a
+#: consumer that never drains grows the ready buffer, not the pool.
+_DEFAULT_INFLIGHT_PER_WORKER = 8
+
+
+class IngestSession:
+    """Incremental submission into a live worker pool.
+
+    Args:
+        extractor: the shared :class:`Extractor` for learn submissions
+            (optional for apply-only sessions).
+        annotator: session annotator for learn submissions that carry
+            no explicit labels.
+        artifact: default artifact for apply submissions (a per-submit
+            ``artifact=`` overrides it).
+        pool: an existing :class:`WorkerPool` to run on; the caller
+            keeps ownership (the pool survives the session).  When
+            omitted the session owns a fresh pool of ``max_workers``
+            workers and closes it with the session.
+        max_workers: worker count for an owned pool (ignored when
+            ``pool`` is given); defaults to the CPU count.
+        max_inflight: backpressure bound on jobs the pool has not yet
+            finished (completed outcomes buffered for the consumer do
+            not count toward it); defaults to ``8 × workers``.
+
+    A session is the pool's single live stream (starting a batch on the
+    pool while a session is open raises, and vice versa); close the
+    session to release the stream.  Not thread-safe — one producer
+    thread, which may also consume, or use :class:`AsyncIngestSession`.
+    """
+
+    def __init__(
+        self,
+        extractor: Extractor | None = None,
+        annotator: Annotator | None = None,
+        artifact: WrapperArtifact | None = None,
+        pool: WorkerPool | None = None,
+        max_workers: int | None = None,
+        max_inflight: int | None = None,
+    ) -> None:
+        self.extractor = extractor
+        self.annotator = annotator
+        self.artifact = artifact
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else WorkerPool(max_workers)
+        workers = self.pool.max_workers
+        self.max_inflight = (
+            max_inflight
+            if max_inflight is not None
+            else _DEFAULT_INFLIGHT_PER_WORKER * workers
+        )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1; got {self.max_inflight}"
+            )
+        shared = None
+        if extractor is not None:
+            shared = {"extractor": extractor, "annotator": annotator}
+        self._session = self.pool._open_session(shared)
+        self._submitted = 0
+        self._yielded = 0
+        self._closed = False
+
+    # -- submission ---------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Submissions not yet surfaced through ``results``."""
+        return self._submitted - self._yielded
+
+    def submit(
+        self,
+        site: SiteLike,
+        labels: Labels | None = None,
+        artifact: WrapperArtifact | None = None,
+        name: str | None = None,
+    ) -> int:
+        """Enqueue one site; returns its submission index.
+
+        With ``artifact`` (or a session-default artifact) this is an
+        apply job; otherwise a learn job using the session's extractor
+        and ``labels`` or the session annotator.  Blocks while the
+        in-flight bound is reached, pumping completions into the ready
+        buffer (drain them with :meth:`results`).
+        """
+        if self._closed:
+            raise RuntimeError("IngestSession is closed")
+        index = self._submitted
+        artifact = artifact if artifact is not None else self.artifact
+        if artifact is None and self.extractor is None:
+            raise ValueError(
+                "submission needs an artifact (apply) or a session "
+                "extractor (learn)"
+            )
+        # Backpressure: cap the jobs the *pool* still has to finish.
+        # Completions pumped here land in the session's ready buffer
+        # (drained by results()); what a stalled consumer leaves there
+        # is parent-side memory, not pool-queue pressure.
+        while self._session.uncompleted >= self.max_inflight:
+            self._session.pump(_RESULT_POLL_SECONDS)
+        key = _site_key(site, index)
+        if artifact is not None:
+            job = _Job(
+                index=index,
+                kind="apply",
+                name=name or site_name(site, index),
+                site_key=key,
+                field=artifact.method or "apply",
+                artifact=artifact,
+            )
+        else:
+            job = _Job(
+                index=index,
+                kind="learn",
+                name=name or site_name(site, index),
+                site_key=key,
+                field=(
+                    f"{self.extractor.config.inductor}"
+                    f"/{self.extractor.config.method}"
+                ),
+                labels=labels,
+            )
+        self._session.add([job], {key: _payload_for(site)})
+        self._submitted += 1
+        return index
+
+    def submit_html(
+        self,
+        name: str,
+        sources: Sequence[str],
+        labels: Labels | None = None,
+        artifact: WrapperArtifact | None = None,
+    ) -> int:
+        """Enqueue raw crawler pages for one site (parsed on the owning
+        worker, so parse failures are per-site outcomes)."""
+        return self.submit(
+            (name, list(sources)), labels=labels, artifact=artifact, name=name
+        )
+
+    # -- consumption --------------------------------------------------------
+
+    def results(self) -> Iterator[SiteOutcome]:
+        """Yield every outcome that has already completed; never blocks
+        beyond a zero-timeout poll.  Safe to call between submissions."""
+        if self._closed:
+            return
+        while True:
+            outcome = self._session.next_outcome(0.0)
+            if outcome is None:
+                return
+            self._yielded += 1
+            yield outcome
+
+    def advance(self) -> Iterator[SiteOutcome]:
+        """Like :meth:`results`, but first make the session progress.
+
+        On a multi-worker pool this is exactly :meth:`results` (work
+        progresses in the workers on its own); on a one-worker inline
+        pool it runs the queued jobs *now*, so a producer loop that
+        calls ``advance`` after each submission emits outcomes as
+        extractions complete instead of deferring them all to the final
+        drain.  The preferred interleave call for crawler loops.
+        """
+        if self._closed:
+            return
+        self._session.drive()
+        yield from self.results()
+
+    def iter_results(self) -> Iterator[SiteOutcome]:
+        """Yield outcomes until everything submitted has been yielded.
+
+        This is the end-of-crawl drain; it blocks while work is in
+        flight.  Submitting more while iterating is allowed (the
+        iterator simply has more to wait for).
+        """
+        while not self._closed and self.in_flight:
+            outcome = self._session.next_outcome(_RESULT_POLL_SECONDS)
+            if outcome is not None:
+                self._yielded += 1
+                yield outcome
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """End the stream; unconsumed results are discarded.
+
+        An owned pool is closed outright; a caller-supplied pool is
+        released back for batch use (its warm workers keep their
+        interned sites and memos).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool:
+            self.pool.close()
+        else:
+            self._session.close()
+
+    def __enter__(self) -> "IngestSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncIngestSession:
+    """``asyncio`` adapter over :class:`IngestSession`.
+
+    Built for async crawlers: ``await submit(...)`` applies the same
+    backpressure without blocking the event loop, and ``async for
+    outcome in session.iter_results()`` drains completions.  All pool
+    access runs on one single-thread executor, so the underlying
+    session never sees concurrent calls::
+
+        async with AsyncIngestSession(artifact=artifact) as session:
+            async for name, pages in crawl():
+                await session.submit_html(name, pages)
+                for outcome in await session.completed():
+                    handle(outcome)
+            async for outcome in session.iter_results():
+                handle(outcome)
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+        self._session: IngestSession | None = None
+        self._executor = None
+        self._session_lock = None
+
+    async def _call(self, fn, *args, **kwargs):
+        import asyncio
+        import concurrent.futures
+
+        if self._executor is None:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-ingest"
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, lambda: fn(*args, **kwargs)
+        )
+
+    async def _ensure_session(self) -> IngestSession:
+        import asyncio
+
+        # The lock guards the check-then-create across the await: two
+        # producer tasks submitting concurrently before first use must
+        # share one session, not leak a second pool.  (No await between
+        # the None-check and the assignment, so lazy lock creation on
+        # one event loop is itself race-free.)
+        if self._session_lock is None:
+            self._session_lock = asyncio.Lock()
+        async with self._session_lock:
+            if self._session is None:
+                self._session = await self._call(IngestSession, **self._kwargs)
+        return self._session
+
+    @property
+    def in_flight(self) -> int:
+        return self._session.in_flight if self._session is not None else 0
+
+    async def submit(self, site: SiteLike, **kwargs) -> int:
+        session = await self._ensure_session()
+        return await self._call(session.submit, site, **kwargs)
+
+    async def submit_html(
+        self, name: str, sources: Sequence[str], **kwargs
+    ) -> int:
+        session = await self._ensure_session()
+        return await self._call(session.submit_html, name, sources, **kwargs)
+
+    async def completed(self) -> list[SiteOutcome]:
+        """Everything that has completed so far (non-blocking drain)."""
+        session = await self._ensure_session()
+        return await self._call(lambda: list(session.results()))
+
+    async def advance(self) -> list[SiteOutcome]:
+        """Drive session-owned work, then drain completions (the
+        interleave call — see ``IngestSession.advance``)."""
+        session = await self._ensure_session()
+        return await self._call(lambda: list(session.advance()))
+
+    async def iter_results(self) -> AsyncIterator[SiteOutcome]:
+        """Async end-of-crawl drain (see ``IngestSession.iter_results``)."""
+        session = await self._ensure_session()
+        done = object()
+        iterator = session.iter_results()
+
+        def pull():
+            return next(iterator, done)
+
+        while True:
+            outcome = await self._call(pull)
+            if outcome is done:
+                return
+            yield outcome
+
+    async def close(self) -> None:
+        if self._session is not None:
+            await self._call(self._session.close)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+
+    async def __aenter__(self) -> "AsyncIngestSession":
+        await self._ensure_session()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

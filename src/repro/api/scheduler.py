@@ -43,6 +43,20 @@ fallback when no pool is supplied.  ``repro.api.batch.learn_many`` and
 ``apply_many`` route through a :class:`WorkerPool` automatically when
 one is passed as the executor (shorthand: ``executor="pool"``).
 
+Dispatch runs through *stream sessions* (the pool's re-entrancy guard
+is the session handle): jobs may be **added while earlier results are
+still streaming back**, which is what the batch entry points, the
+``*_stream`` helpers and the input-side
+:class:`~repro.api.ingest.IngestSession` all share.  Results travel
+one queue per worker, forwarded by parent-side reader threads into a
+local queue — a worker killed mid-flush can only wedge its own (daemon)
+reader, never a sibling's puts — so worker crashes are survivable
+(unacknowledged chunks retry on survivors, index-keyed dedupe keeps
+outcomes exactly-once) and :meth:`WorkerPool.close` is deterministic
+even mid-stream.  Site payloads ship lean: parsed pages cross the
+process boundary as raw HTML and refreeze on arrival (see
+:meth:`repro.htmldom.dom.Document.__reduce_ex__`).
+
 Per-site error isolation matches the batch layer: a site whose pages
 fail to parse (or whose learning blows up) is a failed outcome, and
 later tasks for that site fail with the same recorded error instead of
@@ -72,7 +86,7 @@ from repro.api.extractor import Extractor
 from repro.datasets.sitegen import GeneratedSite
 from repro.engine import EvaluationEngine
 from repro.engine.config import get_config
-from repro.site import Site
+from repro.site import Site, digest_framed
 from repro.wrappers.base import Labels
 
 __all__ = [
@@ -112,23 +126,28 @@ class _Job:
 def _site_key(item: SiteLike, index: int) -> str:
     """Stable intern key of a site input: name plus a content digest.
 
-    The digest covers the page sources, so two batches naming different
-    content the same way never alias one interned site; inputs without
-    readable sources get a per-position key (shipped every time, never
-    aliased).
+    The digest covers the page *content* (via
+    :meth:`~repro.site.Site.content_fingerprint`, which hashes tree
+    structure when a page's source cannot vouch for it), so two sites
+    sharing a bare ``name`` — in one batch or across batches — never
+    alias one interned copy in the ship-once payload ledger or a
+    worker's intern LRU.  Inputs without readable content get a
+    per-position key (shipped every time, never aliased).
     """
     try:
         if isinstance(item, GeneratedSite):
             item = item.site
         if isinstance(item, Site):
-            name, sources = item.name, (page.source for page in item.pages)
-        elif isinstance(item, tuple) and len(item) == 2:
+            return f"{item.name}\x00{item.content_fingerprint()}"
+        if isinstance(item, tuple) and len(item) == 2:
             name, sources = str(item[0]), (str(page) for page in item[1])
         else:
             return f"unkeyed-{index}"
         digest = hashlib.blake2b(digest_size=10)
         for source in sources:
-            digest.update(source.encode("utf-8", "replace"))
+            # Shared framing means a raw pair and its parsed Site
+            # intern as the same payload.
+            digest_framed(digest, source)
             digest.update(b"\x00")
         return f"{name}\x00{digest.hexdigest()}"
     except Exception:
@@ -270,7 +289,10 @@ def _worker_main(worker_id: int, inbox, outbox, intern_bound: int) -> None:
     """Child-process loop: apply shared updates, run job chunks.
 
     ``intern_bound`` is frozen by the parent at pool construction so the
-    parent's ship ledger can mirror this worker's LRU exactly.
+    parent's ship ledger can mirror this worker's LRU exactly.  The
+    outbox is *this worker's own* queue (drained by a parent-side reader
+    thread), so a sibling killed mid-flush can never wedge this worker's
+    puts, and the final ``None`` releases the reader on clean exit.
     """
     worker = _WarmWorker(intern_bound)
     while True:
@@ -284,6 +306,27 @@ def _worker_main(worker_id: int, inbox, outbox, intern_bound: int) -> None:
             outbox.put(
                 (worker_id, batch, [worker.run_job(job) for job in payload])
             )
+    outbox.put(None)
+
+
+def _forward_results(outbox, results) -> None:
+    """Parent-side reader-thread loop: one worker's outbox -> the local
+    result queue.
+
+    Per-worker outboxes isolate crash damage: a worker killed while
+    writing a result can only truncate *its own* pipe (wedging only its
+    own reader thread, a daemon), while survivors keep flowing — with a
+    single shared queue, a writer killed holding the shared lock would
+    deadlock every other worker's flush and hang the whole stream.
+    """
+    while True:
+        try:
+            item = outbox.get()
+        except Exception:  # pragma: no cover - teardown races
+            break
+        if item is None:
+            break
+        results.put(item)
 
 
 # -- the pool ----------------------------------------------------------------
@@ -353,6 +396,8 @@ class WorkerPool:
         self.stats = SchedulerStats()
         self._processes: list | None = None
         self._inboxes: list = []
+        self._outboxes: list = []
+        self._readers: list = []
         self._results = None
         self._alive: list[bool] = []
         # Per worker: an LRU OrderedDict replaying exactly the insert /
@@ -364,7 +409,10 @@ class WorkerPool:
         self._shipped: list[OrderedDict] = []
         self._last_shared: tuple = ()
         self._inline: _WarmWorker | None = None
-        self._active = False
+        # The live stream session, if any: jobs may still be added to it
+        # and results are still streaming back.  One at a time — this is
+        # the re-entrancy guard that used to be a bare `_active` bool.
+        self._session: "_StreamSession | None" = None
         self._batch_seq = 0
         self._closed = False
 
@@ -468,24 +516,56 @@ class WorkerPool:
             self._ensure_started()
         return self
 
-    def close(self) -> None:
-        """Shut the workers down; the pool cannot be reused afterwards."""
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the workers down; the pool cannot be reused afterwards.
+
+        Deterministic even mid-stream: an active session is abandoned
+        (its iterator raises on the next pull instead of hanging),
+        workers drain naturally — reader threads empty their outboxes
+        continuously, so a worker can never sit blocked on a full
+        result pipe — and any worker still alive at ``timeout`` is
+        terminated.  Safe from ``__del__`` / interpreter shutdown:
+        queue feeder threads are cancelled so teardown never blocks on
+        undelivered buffers.
+        """
         if self._closed:
             return
         self._closed = True
+        session, self._session = self._session, None
+        if session is not None:
+            session.abandon()
         if self._processes is None:
             return
+        from time import monotonic
+
         for worker_id, inbox in enumerate(self._inboxes):
             if self._alive[worker_id]:
                 try:
                     inbox.put(None)
                 except Exception:  # pragma: no cover - teardown races
                     pass
+        # Workers cannot block flushing results (their reader threads
+        # drain continuously), so a worker that misses the deadline is
+        # stuck in a job, not in IPC — terminate it.
+        deadline = monotonic() + timeout
         for process in self._processes:
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - stuck worker
+            process.join(timeout=max(0.0, deadline - monotonic()))
+            if process.is_alive():
                 process.terminate()
                 process.join(timeout=1)
+        for outbox in self._outboxes:
+            try:
+                outbox.put(None)  # release the reader thread
+            except Exception:  # pragma: no cover - teardown races
+                pass
+        for reader in self._readers:
+            reader.join(timeout=1)
+        for channel in (*self._inboxes, *self._outboxes):
+            try:
+                channel.cancel_join_thread()
+                channel.close()
+            except Exception:  # pragma: no cover - teardown races
+                pass
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -506,18 +586,52 @@ class WorkerPool:
     ) -> Iterator[SiteOutcome]:
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
-        if self._active:
+        if self._session is not None:
             raise RuntimeError(
                 "a batch is already streaming on this pool; exhaust or close "
                 "its iterator before starting another"
             )
-        self.stats.jobs += len(jobs)
-        self.stats.fields.update(job.field for job in jobs)
         if not jobs:
             return iter(())
+        return self._execute_stream(jobs, payloads, shared)
+
+    def _execute_stream(
+        self, jobs: list[_Job], payloads: dict[str, object], shared: dict | None
+    ) -> Iterator[SiteOutcome]:
+        # Generator body: _open_session re-checks re-entrancy at
+        # iteration time — the check in _execute runs at call time,
+        # before iteration starts.
+        session = self._open_session(shared)
+        try:
+            session.add(jobs, payloads)
+            while session.outstanding:
+                outcome = session.next_outcome()
+                if outcome is not None:
+                    yield outcome
+        finally:
+            session.close()
+
+    def _open_session(self, shared: dict | None) -> "_StreamSession":
+        """Open the pool's single live stream session.
+
+        The session is the incremental feeder behind every stream: the
+        batch entry points add all their jobs up front and drain; an
+        :class:`~repro.api.ingest.IngestSession` keeps the session open
+        and interleaves ``add`` with result consumption.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._session is not None:
+            raise RuntimeError(
+                "a batch is already streaming on this pool; exhaust or close "
+                "its iterator before starting another"
+            )
         if self.max_workers == 1:
-            return self._execute_inline(jobs, payloads, shared)
-        return self._execute_pooled(jobs, payloads, shared)
+            session: _StreamSession = _InlineSession(self, shared)
+        else:
+            session = _PooledSession(self, shared)
+        self._session = session
+        return session
 
     def _shared_changed(self, shared: dict | None) -> bool:
         """Whether the batch's shared context must be (re)shipped.
@@ -550,52 +664,41 @@ class WorkerPool:
         self._last_shared = fingerprint
         return True
 
-    def _execute_inline(
-        self, jobs: list[_Job], payloads: dict[str, object], shared: dict | None
-    ) -> Iterator[SiteOutcome]:
-        # Generator body: this is the authoritative re-entrancy check —
-        # the one in _execute runs at call time, before iteration starts.
-        if self._active:
-            raise RuntimeError(
-                "a batch is already streaming on this pool; exhaust or close "
-                "its iterator before starting another"
-            )
-        if self._inline is None:
-            self._inline = _WarmWorker(self.intern_bound)
-        worker = self._inline
-        if self._shared_changed(shared):
-            worker.set_shared(**shared, adopt_engine=True)
-        self._active = True
-        try:
-            for job in jobs:
-                known = (
-                    job.site_key in worker.sites or job.site_key in worker.failed
-                )
-                if not known:
-                    job.payload = payloads[job.site_key]
-                    self.stats.shipments[job.site_key] += 1
-                yield worker.run_job(job)
-        finally:
-            self._active = False
-
     def _ensure_started(self) -> None:
         if self._processes is not None:
             return
         import multiprocessing
+        import queue as queue_mod
+        import threading
 
         context = multiprocessing.get_context()
-        self._results = context.Queue()
+        # Results land in an in-process queue fed by one reader thread
+        # per worker (see _forward_results): workers never contend on a
+        # shared cross-process lock, and never block on a full pipe —
+        # the readers drain continuously, which is what makes close()
+        # and crash recovery deterministic.
+        self._results = queue_mod.Queue()
         self._processes = []
         for worker_id in range(self.max_workers):
             inbox = context.Queue()
+            outbox = context.Queue()
             process = context.Process(
                 target=_worker_main,
-                args=(worker_id, inbox, self._results, self.intern_bound),
+                args=(worker_id, inbox, outbox, self.intern_bound),
                 daemon=True,
                 name=f"repro-scheduler-{worker_id}",
             )
             process.start()
+            reader = threading.Thread(
+                target=_forward_results,
+                args=(outbox, self._results),
+                daemon=True,
+                name=f"repro-scheduler-reader-{worker_id}",
+            )
+            reader.start()
             self._inboxes.append(inbox)
+            self._outboxes.append(outbox)
+            self._readers.append(reader)
             self._processes.append(process)
             self._alive.append(True)
             self._shipped.append(OrderedDict())
@@ -609,139 +712,341 @@ class WorkerPool:
             return target
         return alive[crc % len(alive)]
 
-    def _execute_pooled(
-        self, jobs: list[_Job], payloads: dict[str, object], shared: dict | None
-    ) -> Iterator[SiteOutcome]:
+# -- stream sessions ---------------------------------------------------------
+
+
+class _StreamSession:
+    """A live handle on one stream of jobs through a pool.
+
+    Jobs may be added *while results stream back*: the batch entry
+    points add everything up front and drain, an
+    :class:`~repro.api.ingest.IngestSession` interleaves ``add`` with
+    consumption (crawler-fed ingestion).  Exactly one session is open
+    per pool at a time (the pool's re-entrancy guard *is* the session
+    handle).
+
+    Interface: ``add(jobs, payloads)`` enqueues work;
+    ``next_outcome()`` returns one completed outcome (or ``None`` on a
+    quiet poll); ``outstanding`` counts added-but-unconsumed jobs;
+    ``close()`` detaches from the pool; ``abandon()`` marks the session
+    dead when the pool closes mid-stream.
+    """
+
+    __slots__ = ("pool", "ready", "abandoned")
+
+    def __init__(self, pool: "WorkerPool") -> None:
+        self.pool = pool
+        #: Completed outcomes awaiting consumption.
+        self.ready: deque[SiteOutcome] = deque()
+        self.abandoned = False
+
+    def _count(self, jobs: list[_Job]) -> None:
+        self.pool.stats.jobs += len(jobs)
+        self.pool.stats.fields.update(job.field for job in jobs)
+
+    @property
+    def uncompleted(self) -> int:
+        """Jobs the pool still has to finish (excludes the ready
+        buffer) — the quantity backpressure bounds."""
+        return 0
+
+    def pump(self, timeout: float) -> None:
+        """Wait up to ``timeout`` for completions to reach ready."""
+        self._check_abandoned()
+
+    def drive(self) -> None:
+        """Run work the session must execute itself.
+
+        Pooled sessions make progress in their workers (no-op here);
+        the inline session runs its queued jobs now — this is what lets
+        a producer loop emit outcomes between submissions on a
+        one-worker pool instead of deferring everything to the final
+        drain.
+        """
+        self._check_abandoned()
+
+    def _check_abandoned(self) -> None:
+        if self.abandoned:
+            raise RuntimeError(
+                "the WorkerPool was closed while this stream was active"
+            )
+
+    def abandon(self) -> None:
+        self.abandoned = True
+
+    def close(self) -> None:
+        if self.pool._session is self:
+            self.pool._session = None
+
+
+class _InlineSession(_StreamSession):
+    """One-worker session: jobs run synchronously in the caller's
+    process on the pool's warm inline worker — same intern semantics,
+    no child processes.
+
+    Execution is *lazy*: ``add`` only queues, and each ``next_outcome``
+    pull (or backpressure ``pump``) runs one job — so the streaming
+    entry points really stream on a one-worker pool (a consumer that
+    stops after the first outcome pays for one job, not the batch).
+    """
+
+    __slots__ = ("queue",)
+
+    def __init__(self, pool: "WorkerPool", shared: dict | None) -> None:
+        super().__init__(pool)
+        if pool._inline is None:
+            pool._inline = _WarmWorker(pool.intern_bound)
+        if pool._shared_changed(shared):
+            pool._inline.set_shared(**shared, adopt_engine=True)
+        self.queue: deque[_Job] = deque()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.queue) + len(self.ready)
+
+    @property
+    def uncompleted(self) -> int:
+        return len(self.queue)
+
+    def add(self, jobs: list[_Job], payloads: dict[str, object]) -> None:
+        self._check_abandoned()
+        self._count(jobs)
+        for job in jobs:
+            # Inline payloads are plain references (nothing crosses a
+            # process boundary), so each job just carries its own; the
+            # ship-once ledger check happens at run time against the
+            # warm worker's intern table.
+            job.payload = payloads[job.site_key]
+            self.queue.append(job)
+
+    def _run_one(self) -> None:
+        job = self.queue.popleft()
+        worker = self.pool._inline
+        known = job.site_key in worker.sites or job.site_key in worker.failed
+        if not known:
+            self.pool.stats.shipments[job.site_key] += 1
+        self.ready.append(worker.run_job(job))
+
+    def pump(self, timeout: float) -> None:
+        self._check_abandoned()
+        if self.queue:
+            self._run_one()
+
+    def drive(self) -> None:
+        self._check_abandoned()
+        while self.queue:
+            self._run_one()
+
+    def next_outcome(self, timeout: float | None = None) -> SiteOutcome | None:
+        self._check_abandoned()
+        # A zero-timeout poll is a pure "what has completed" probe
+        # (IngestSession.results()): it must not spend the caller's
+        # time running a job.
+        if not self.ready and self.queue and (timeout is None or timeout > 0):
+            self._run_one()
+        return self.ready.popleft() if self.ready else None
+
+
+class _PooledSession(_StreamSession):
+    """Multi-worker session: incremental site-affine dispatch.
+
+    Each ``add`` call shards its jobs to the workers owning their
+    sites, chunks them (chunk size scales to the add's batch, so
+    one-site ingest submissions dispatch immediately) and feeds every
+    worker up to the dispatch window; ``next_outcome`` polls the shared
+    result queue, refeeds the acknowledging worker, and reaps crashed
+    workers when the queue goes quiet.  Completion is tracked by job
+    index, not by counting results: a worker that crashes *after*
+    flushing its last result may have that chunk retried on a survivor,
+    and index-keyed tracking makes the duplicate a no-op instead of a
+    double count.
+    """
+
+    __slots__ = (
+        "seq",
+        "pending",
+        "backlog",
+        "sent",
+        "inflight",
+        "payloads",
+        "payload_refs",
+        "keys",
+    )
+
+    def __init__(self, pool: "WorkerPool", shared: dict | None) -> None:
+        super().__init__(pool)
+        pool._ensure_started()
+        pool._batch_seq += 1
+        self.seq = pool._batch_seq
+        if pool._shared_changed(shared):
+            for worker_id, inbox in enumerate(pool._inboxes):
+                if pool._alive[worker_id]:
+                    inbox.put(("shared", self.seq, shared))
+        workers = pool.max_workers
+        #: Indices of jobs added but not yet completed.
+        self.pending: set[int] = set()
+        self.backlog: list[deque[list[_Job]]] = [deque() for _ in range(workers)]
+        self.sent: list[deque[list[_Job]]] = [deque() for _ in range(workers)]
+        self.inflight = [0] * workers
+        #: Site payloads for jobs still pending — needed for steals and
+        #: crash retries, freed as soon as a site's last job completes
+        #: (so a long ingest session does not accumulate every page it
+        #: ever saw).
+        self.payloads: dict[str, object] = {}
+        self.payload_refs: Counter = Counter()
+        #: Job index -> site key, for payload release on completion.
+        self.keys: dict[int, str] = {}
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.pending) + len(self.ready)
+
+    @property
+    def uncompleted(self) -> int:
+        return len(self.pending)
+
+    def pump(self, timeout: float) -> None:
+        self._check_abandoned()
+        if self.pending:
+            self._pump(timeout)
+
+    def add(self, jobs: list[_Job], payloads: dict[str, object]) -> None:
+        self._check_abandoned()
+        self._count(jobs)
+        pool = self.pool
+        alive = [w for w in range(pool.max_workers) if pool._alive[w]]
+        if not alive:
+            raise RuntimeError("all pool workers have died")
+        self.payloads.update(payloads)
+        for job in jobs:
+            self.pending.add(job.index)
+            self.payload_refs[job.site_key] += 1
+            self.keys[job.index] = job.site_key
+        chunksize = pool.chunksize or max(
+            1, -(-len(jobs) // (pool.max_workers * _CHUNKS_PER_WORKER))
+        )
+        # Shard assignment: site-major, input order preserved per
+        # worker; sites sharded to dead workers remap to survivors.
+        per_worker: list[list[_Job]] = [[] for _ in range(pool.max_workers)]
+        for job in jobs:
+            per_worker[pool._assign_worker(job.site_key, alive)].append(job)
+        for worker_id, assigned in enumerate(per_worker):
+            for start in range(0, len(assigned), chunksize):
+                self.backlog[worker_id].append(assigned[start : start + chunksize])
+        for worker_id in range(pool.max_workers):
+            self._feed(worker_id)
+
+    def next_outcome(
+        self, timeout: float = _RESULT_POLL_SECONDS
+    ) -> SiteOutcome | None:
+        """One completed outcome, or ``None`` after a quiet poll."""
+        self._check_abandoned()
+        if self.ready:
+            return self.ready.popleft()
+        if not self.pending:
+            return None
+        self._pump(timeout)
+        return self.ready.popleft() if self.ready else None
+
+    def _pump(self, timeout: float) -> None:
+        """Poll the result queue once; buffer completions into ready."""
         import queue as queue_mod
 
-        # Generator body: this is the authoritative re-entrancy check —
-        # the one in _execute runs at call time, before iteration starts.
-        if self._active:
-            raise RuntimeError(
-                "a batch is already streaming on this pool; exhaust or close "
-                "its iterator before starting another"
-            )
-        self._active = True
-        # Completion is tracked by job index, not by counting results: a
-        # worker that crashes *after* flushing its last result may have
-        # that chunk retried on a survivor, and index-keyed tracking
-        # makes the duplicate a no-op instead of a double count.
-        pending = {job.index for job in jobs}
-        inflight = [0] * self.max_workers
         try:
-            self._ensure_started()
-            self._batch_seq += 1
-            batch = self._batch_seq
-            if self._shared_changed(shared):
-                for worker_id, inbox in enumerate(self._inboxes):
-                    if self._alive[worker_id]:
-                        inbox.put(("shared", batch, shared))
-            workers = self.max_workers
-            alive = [w for w in range(workers) if self._alive[w]]
-            if not alive:
-                raise RuntimeError("all pool workers have died")
-            chunksize = self.chunksize or max(
-                1, -(-len(jobs) // (workers * _CHUNKS_PER_WORKER))
+            worker_id, result_seq, outcomes = self.pool._results.get(
+                timeout=timeout
             )
-            # Shard assignment: site-major, input order preserved per
-            # worker; sites sharded to dead workers remap to survivors.
-            per_worker: list[list[_Job]] = [[] for _ in range(workers)]
-            for job in jobs:
-                per_worker[self._assign_worker(job.site_key, alive)].append(job)
-            backlog: list[deque[list[_Job]]] = [
-                deque(
-                    assigned[start : start + chunksize]
-                    for start in range(0, len(assigned), chunksize)
-                )
-                for assigned in per_worker
-            ]
-            sent: list[deque[list[_Job]]] = [deque() for _ in range(workers)]
-            for worker_id in range(workers):
-                self._feed(worker_id, backlog, inflight, sent, payloads)
-            while pending:
-                try:
-                    worker_id, result_batch, outcomes = self._results.get(
-                        timeout=_RESULT_POLL_SECONDS
-                    )
-                except queue_mod.Empty:
-                    failed = self._reap_dead_workers(
-                        backlog, inflight, sent, payloads
-                    )
-                    for outcome in failed:
-                        if outcome.index in pending:
-                            pending.discard(outcome.index)
-                            yield outcome
-                    continue
-                if result_batch != batch:
-                    continue  # stale result of an abandoned stream
-                inflight[worker_id] -= 1
-                if sent[worker_id]:
-                    sent[worker_id].popleft()
-                self._feed(worker_id, backlog, inflight, sent, payloads)
-                for outcome in outcomes:
-                    if outcome.index in pending:  # retried chunks may dupe
-                        pending.discard(outcome.index)
-                        yield outcome
-        finally:
-            self._active = False
-            if pending:
-                self._drain(sum(inflight))
-
-    def _feed(
-        self,
-        worker_id: int,
-        backlog: list[deque[list[_Job]]],
-        inflight: list[int],
-        sent: list[deque[list[_Job]]],
-        payloads: dict[str, object],
-    ) -> None:
-        if not self._alive[worker_id]:
+        except queue_mod.Empty:
+            # Reap only after a real quiet wait: zero-timeout polls
+            # (IngestSession.results()) must not treat a crashed
+            # worker's still-in-transit results as never completed.
+            if timeout > 0:
+                for outcome in self._reap_dead_workers():
+                    self._complete(outcome)
             return
-        while inflight[worker_id] < _DISPATCH_WINDOW:
+        if result_seq != self.seq:
+            return  # stale result of an abandoned stream
+        if self.pool._alive[worker_id]:
+            self.inflight[worker_id] -= 1
+            if self.sent[worker_id]:
+                self.sent[worker_id].popleft()
+            self._feed(worker_id)
+        # A result landing *after* its worker was reaped (it was in
+        # transit through the reader thread) still completes outcomes —
+        # but the reap already zeroed that worker's bookkeeping, so no
+        # inflight/sent accounting remains to unwind.
+        for outcome in outcomes:
+            self._complete(outcome)
+
+    def _complete(self, outcome: SiteOutcome) -> None:
+        if outcome.index not in self.pending:  # retried chunks may dupe
+            return
+        self.pending.discard(outcome.index)
+        self._release_payload(self.keys.pop(outcome.index))
+        self.ready.append(outcome)
+
+    def _release_payload(self, site_key: str) -> None:
+        count = self.payload_refs[site_key] - 1
+        if count <= 0:
+            del self.payload_refs[site_key]
+            self.payloads.pop(site_key, None)
+        else:
+            self.payload_refs[site_key] = count
+
+    def _feed(self, worker_id: int) -> None:
+        pool = self.pool
+        if not pool._alive[worker_id]:
+            return
+        while self.inflight[worker_id] < _DISPATCH_WINDOW:
             chunk = None
-            if backlog[worker_id]:
-                chunk = backlog[worker_id].popleft()
-            elif self.work_stealing:
+            if self.backlog[worker_id]:
+                chunk = self.backlog[worker_id].popleft()
+            elif pool.work_stealing:
                 victim = max(
-                    (v for v in range(self.max_workers) if backlog[v]),
-                    key=lambda v: len(backlog[v]),
+                    (v for v in range(pool.max_workers) if self.backlog[v]),
+                    key=lambda v: len(self.backlog[v]),
                     default=None,
                 )
                 if victim is not None:
                     # Steal from the tail: the victim keeps the chunks
                     # whose sites it has already warmed up.
-                    chunk = backlog[victim].pop()
-                    self.stats.steals += 1
+                    chunk = self.backlog[victim].pop()
+                    pool.stats.steals += 1
             if chunk is None:
                 return
-            self._send_chunk(worker_id, chunk, payloads)
-            inflight[worker_id] += 1
-            sent[worker_id].append(chunk)
+            sent_chunk = self._send_chunk(worker_id, chunk)
+            if sent_chunk is None:
+                continue  # chunk fully completed by a late duplicate
+            self.inflight[worker_id] += 1
+            self.sent[worker_id].append(sent_chunk)
 
     def _send_chunk(
-        self, worker_id: int, chunk: list[_Job], payloads: dict[str, object]
-    ) -> None:
-        ledger = self._shipped[worker_id]
+        self, worker_id: int, chunk: list[_Job]
+    ) -> list[_Job] | None:
+        pool = self.pool
+        # A reap-requeued chunk may race a late duplicate result that
+        # already completed its jobs (and freed their payloads): only
+        # still-pending jobs are sent — a pending job always has a live
+        # payload ref — and a fully-completed chunk is dropped.
+        chunk = [job for job in chunk if job.index in self.pending]
+        if not chunk:
+            return None
+        ledger = pool._shipped[worker_id]
         for job in chunk:
             if job.site_key in ledger:
                 ledger.move_to_end(job.site_key)
                 job.payload = None
             else:
-                job.payload = payloads[job.site_key]
+                job.payload = self.payloads[job.site_key]
                 ledger[job.site_key] = True
-                self.stats.shipments[job.site_key] += 1
-                while len(ledger) > self.intern_bound:
+                pool.stats.shipments[job.site_key] += 1
+                while len(ledger) > pool.intern_bound:
                     ledger.popitem(last=False)
-        self.stats.chunks += 1
-        self._inboxes[worker_id].put(("jobs", self._batch_seq, chunk))
+        pool.stats.chunks += 1
+        pool._inboxes[worker_id].put(("jobs", self.seq, chunk))
+        return chunk
 
-    def _reap_dead_workers(
-        self,
-        backlog: list[deque[list[_Job]]],
-        inflight: list[int],
-        sent: list[deque[list[_Job]]],
-        payloads: dict[str, object],
-    ) -> list[SiteOutcome]:  # pragma: no cover - exercised only on crashes
+    def _reap_dead_workers(self) -> list[SiteOutcome]:
         """Requeue a crashed worker's jobs on survivors; fail only when
         nobody is left.
 
@@ -750,25 +1055,28 @@ class WorkerPool:
         still unacknowledged in ``sent`` were never completed — they are
         retried, not failed.
         """
+        pool = self.pool
         failed: list[SiteOutcome] = []
-        for worker_id, process in enumerate(self._processes):
-            if not self._alive[worker_id] or process.is_alive():
+        for worker_id, process in enumerate(pool._processes):
+            if not pool._alive[worker_id] or process.is_alive():
                 continue
-            self._alive[worker_id] = False
-            inflight[worker_id] = 0
+            pool._alive[worker_id] = False
+            self.inflight[worker_id] = 0
             orphaned: deque[list[_Job]] = deque()
-            while sent[worker_id]:
-                orphaned.append(sent[worker_id].popleft())
-            orphaned.extend(backlog[worker_id])
-            backlog[worker_id] = deque()
-            survivors = [v for v in range(self.max_workers) if self._alive[v]]
+            while self.sent[worker_id]:
+                orphaned.append(self.sent[worker_id].popleft())
+            orphaned.extend(self.backlog[worker_id])
+            self.backlog[worker_id] = deque()
+            survivors = [
+                v for v in range(pool.max_workers) if pool._alive[v]
+            ]
             if survivors:
                 rotation = itertools.cycle(survivors)
                 while orphaned:
-                    backlog[next(rotation)].append(orphaned.popleft())
+                    self.backlog[next(rotation)].append(orphaned.popleft())
                 for survivor in survivors:
-                    self._feed(survivor, backlog, inflight, sent, payloads)
-            else:
+                    self._feed(survivor)
+            else:  # pragma: no cover - total pool loss
                 while orphaned:
                     for job in orphaned.popleft():
                         failed.append(
@@ -786,14 +1094,17 @@ class WorkerPool:
                         )
         return failed
 
-    def _drain(self, expected: int) -> None:
-        """Discard results of an abandoned stream so the next batch
-        starts from a clean queue."""
+    def close(self) -> None:
+        """Detach from the pool, draining leftovers of an abandoned
+        stream so the next session starts from a clean queue."""
         import queue as queue_mod
 
-        for _ in range(expected):
+        super().close()
+        if self.abandoned or self.pool._closed:
+            return  # pool teardown already owns the queues
+        for _ in range(sum(self.inflight)):
             try:
-                self._results.get(timeout=_RESULT_POLL_SECONDS)
+                self.pool._results.get(timeout=_RESULT_POLL_SECONDS)
             except queue_mod.Empty:  # pragma: no cover - dead worker
                 break
 

@@ -10,7 +10,10 @@ Subcommands
 ``apply``
     Load saved artifacts and re-extract from (re)generated sites
     without relearning: ``repro apply --artifacts wrappers/ --dataset
-    dealers``.
+    dealers``.  With ``--stream``, read NDJSON page records from stdin
+    (crawler-fed ingestion) and emit NDJSON outcomes as extractions
+    complete: ``crawler | repro apply --artifacts wrappers/ --stream
+    --workers 4``.
 
 ``list-components``
     Show every registered inductor, annotator, enumerator and dataset.
@@ -170,18 +173,127 @@ def cmd_learn(args: argparse.Namespace) -> int:
     return 0 if result.successes else 1
 
 
-def cmd_apply(args: argparse.Namespace) -> int:
-    """Load saved artifacts and re-extract from regenerated sites."""
+def _artifacts_or_exit(directory: str):
     from repro.api import ArtifactError
 
     try:
-        artifacts_by_site = load_artifacts(args.artifacts)
+        artifacts_by_site = load_artifacts(directory)
     except ArtifactError as error:
-        raise SystemExit(f"cannot load artifacts from {args.artifacts!r}: {error}") from None
+        raise SystemExit(f"cannot load artifacts from {directory!r}: {error}") from None
     except OSError as error:
-        raise SystemExit(f"cannot read {args.artifacts!r}: {error}") from None
+        raise SystemExit(f"cannot read {directory!r}: {error}") from None
     if not artifacts_by_site:
-        raise SystemExit(f"no artifacts found in {args.artifacts!r}")
+        raise SystemExit(f"no artifacts found in {directory!r}")
+    return artifacts_by_site
+
+
+def cmd_apply_stream(args: argparse.Namespace) -> int:
+    """``apply --stream``: crawler-fed extraction over stdin/stdout.
+
+    Reads NDJSON page records — one ``{"site": name, "pages": [html,
+    ...]}`` object per line — from stdin, routes each through a
+    streaming :class:`~repro.api.ingest.IngestSession` against the
+    artifact saved for that site, and emits one NDJSON outcome line per
+    record *as extractions complete* (out of submission order under
+    ``--workers``; pair lines to inputs by ``"index"``, the 0-based
+    submission number — ``"site"`` alone is ambiguous when a site is
+    crawled more than once).  Outcome lines carry ``ok`` plus either
+    sorted ``[page, preorder]`` node ids (``nodes``, with ``texts``
+    when ``--texts`` re-resolves them) or ``error``.  Records rejected
+    before submission (unparseable line, unknown site) carry ``line``
+    (the 1-based stdin line number) instead of ``index``.
+    """
+    import json
+
+    from repro.api.ingest import IngestSession
+    from repro.site import Site
+
+    artifacts_by_site = _artifacts_or_exit(args.artifacts)
+    ok_count = 0
+    held: dict[int, tuple[str, list[str]]] = {}
+
+    def emit(record: dict) -> None:
+        print(json.dumps(record, sort_keys=True), flush=True)
+
+    def emit_outcome(outcome) -> None:
+        nonlocal ok_count
+        record: dict = {
+            "index": outcome.index,
+            "site": outcome.site,
+            "ok": outcome.ok,
+        }
+        if outcome.ok:
+            ok_count += 1
+            node_ids = sorted(outcome.extracted)
+            record["count"] = len(node_ids)
+            record["nodes"] = [
+                [node_id.page, node_id.preorder] for node_id in node_ids
+            ]
+            if args.texts:
+                name, sources = held[outcome.index]
+                # Re-parse locally to resolve texts: parsing is
+                # deterministic, so worker-side node ids land on the
+                # same nodes here.
+                site = Site.from_html(name, sources)
+                record["texts"] = [
+                    site.text_node(node_id).text for node_id in node_ids
+                ]
+        else:
+            record["error"] = outcome.error
+        held.pop(outcome.index, None)
+        emit(record)
+
+    with IngestSession(max_workers=args.workers) as session:
+        for line_number, line in enumerate(sys.stdin, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                name = str(record["site"])
+                if not isinstance(record["pages"], list):
+                    raise TypeError(
+                        "'pages' must be a list of HTML strings, "
+                        f"not {type(record['pages']).__name__}"
+                    )
+                pages = [str(page) for page in record["pages"]]
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                emit(
+                    {
+                        "line": line_number,
+                        "ok": False,
+                        "error": f"bad page record ({error})",
+                    }
+                )
+                continue
+            artifact = artifacts_by_site.get(name)
+            if artifact is None:
+                emit(
+                    {
+                        "line": line_number,
+                        "site": name,
+                        "ok": False,
+                        "error": "no artifact for this site",
+                    }
+                )
+                continue
+            index = session.submit_html(name, pages, artifact=artifact)
+            if args.texts:
+                held[index] = (name, pages)
+            # advance(): with one worker this runs the queued job now,
+            # so outcomes flow per record instead of at the EOF drain.
+            for outcome in session.advance():
+                emit_outcome(outcome)
+        for outcome in session.iter_results():
+            emit_outcome(outcome)
+    return 0 if ok_count else 1
+
+
+def cmd_apply(args: argparse.Namespace) -> int:
+    """Load saved artifacts and re-extract from regenerated sites."""
+    if args.stream:
+        return cmd_apply_stream(args)
+    artifacts_by_site = _artifacts_or_exit(args.artifacts)
     bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
     sites_by_name = {generated.name: generated for generated in bundle.sites}
     matched = sorted(set(artifacts_by_site) & set(sites_by_name))
@@ -325,6 +437,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts", required=True, help="directory of artifact JSON files"
     )
     apply_.add_argument("--workers", type=int, default=1)
+    apply_.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "read NDJSON page records ({'site': name, 'pages': [html, ...]} "
+            "per line) from stdin and emit one NDJSON outcome per line as "
+            "extractions complete (dataset options are ignored)"
+        ),
+    )
+    apply_.add_argument(
+        "--texts",
+        action="store_true",
+        help="with --stream, include extracted node texts in each outcome",
+    )
     apply_.set_defaults(func=cmd_apply)
 
     components = sub.add_parser(

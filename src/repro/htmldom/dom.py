@@ -168,6 +168,7 @@ class Document:
         "root",
         "source",
         "page_index",
+        "from_source",
         "nodes",
         "xpath_memo",
         "_by_id",
@@ -183,10 +184,24 @@ class Document:
         "_all_element_preorders",
     )
 
-    def __init__(self, root: ElementNode, source: str, page_index: int = 0) -> None:
+    def __init__(
+        self,
+        root: ElementNode,
+        source: str,
+        page_index: int = 0,
+        from_source: bool = False,
+    ) -> None:
         self.root = root
         self.source = source
         self.page_index = page_index
+        #: True only when ``source`` fully determines the tree (set by
+        #: :func:`~repro.htmldom.treebuilder.parse_html`, whose parse is
+        #: deterministic).  Such documents pickle *lean*: the payload is
+        #: the raw HTML, and unpickling re-parses and re-freezes — an
+        #: order of magnitude smaller than serializing every index slot.
+        #: Hand-built trees (arbitrary ``source``) keep full-state
+        #: pickling; the source cannot vouch for them.
+        self.from_source = from_source
         #: Compiled-xpath result memo, keyed by the *location path* (a
         #: stable value key, unlike transient ``CompiledPath`` object or
         #: document identities) — see :mod:`repro.xpathlang.compiled`.
@@ -266,6 +281,18 @@ class Document:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Document page={self.page_index} nodes={len(self.nodes)}>"
+
+    # Parsed documents ship lean: raw HTML out, re-parse + re-freeze on
+    # arrival (bitwise-identical tree — the parse is deterministic and
+    # node ids are assigned by pre-order position).  This is the
+    # scheduler's ship-sources-and-refreeze path: a site's payload is
+    # its page sources, not the ~8x larger frozen-index state.
+    def __reduce_ex__(self, protocol):
+        if self.from_source:
+            from repro.htmldom.treebuilder import parse_html
+
+            return (parse_html, (self.source, self.page_index))
+        return super().__reduce_ex__(protocol)
 
     # The xpath memo holds evaluation results (node tuples) that any
     # compiled path may have cached; it is acceleration state, never

@@ -103,9 +103,18 @@ def _decode_reference(body: str) -> str | None:
                 code = int(digits, 10)
         except ValueError:
             return None
-        if 0 < code <= 0x10FFFF:
-            return chr(code)
-        return None
+        if code < 0:  # "&#-5;" is not a reference at all: pass through
+            return None
+        # Null, out-of-range and surrogate code points decode to U+FFFD
+        # (the WHATWG rule for these classes; the C1 windows-1252
+        # remapping of 0x80-0x9F is intentionally not implemented —
+        # lenient pass-through of chr() is kept there).  Surrogates
+        # especially must never reach the DOM as lone chr() output —
+        # downstream UTF-8 encoding (artifact JSON, payload digests)
+        # would blow up on them long after the parse.
+        if code == 0 or code > 0x10FFFF or 0xD800 <= code <= 0xDFFF:
+            return "�"
+        return chr(code)
     return NAMED_ENTITIES.get(body)
 
 

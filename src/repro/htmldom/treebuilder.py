@@ -80,8 +80,8 @@ def parse_html(html: str, page_index: int = 0) -> Document:
         only = root.children[0]
         if isinstance(only, ElementNode) and only.tag == "html":
             only.parent = None
-            return Document(only, html, page_index=page_index)
-    return Document(root, html, page_index=page_index)
+            return Document(only, html, page_index=page_index, from_source=True)
+    return Document(root, html, page_index=page_index, from_source=True)
 
 
 def _append_text(parent: ElementNode, token: Token) -> None:

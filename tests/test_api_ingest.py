@@ -1,0 +1,279 @@
+"""Streaming ingestion: incremental submission, backpressure, asyncio."""
+
+import asyncio
+
+import pytest
+
+from repro.api import (
+    AsyncIngestSession,
+    Extractor,
+    ExtractorConfig,
+    IngestSession,
+    WorkerPool,
+    apply_many,
+    learn_many,
+    load_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("dealers", sites=6, pages=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def fitted_extractor(bundle):
+    extractor = Extractor(ExtractorConfig(inductor="xpath", method="ntw"))
+    return extractor.fit(bundle.sites[::2], bundle.annotator, bundle.gold_type)
+
+
+@pytest.fixture(scope="module")
+def fleet(bundle):
+    return bundle.sites[1::2]
+
+
+@pytest.fixture(scope="module")
+def raw_fleet(fleet):
+    return [
+        (generated.name, [page.source for page in generated.site.pages])
+        for generated in fleet
+    ]
+
+
+@pytest.fixture(scope="module")
+def learned(fitted_extractor, bundle, fleet):
+    result = learn_many(fitted_extractor, fleet, annotator=bundle.annotator)
+    assert not result.failures
+    return result
+
+
+class TestIncrementalApply:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_interleaved_submit_and_consume_matches_apply_many(
+        self, learned, fleet, raw_fleet, workers
+    ):
+        """The acceptance scenario: feed sites one at a time while
+        consuming, assert bitwise-identical extractions to apply_many
+        over the same fleet."""
+        batch = apply_many(learned.artifacts, fleet)
+        streamed = {}
+        with IngestSession(max_workers=workers) as session:
+            for artifact, (name, pages) in zip(learned.artifacts, raw_fleet):
+                index = session.submit_html(name, pages, artifact=artifact)
+                assert index == len(streamed) + session.in_flight - 1
+                for outcome in session.results():  # interleaved, non-blocking
+                    streamed[outcome.index] = outcome
+            for outcome in session.iter_results():  # end-of-crawl drain
+                streamed[outcome.index] = outcome
+        assert sorted(streamed) == list(range(len(fleet)))
+        for index, reference in enumerate(batch.outcomes):
+            assert streamed[index].ok
+            assert streamed[index].extracted == reference.extracted
+            assert streamed[index].site == reference.site
+
+    def test_advance_emits_per_record_on_inline_pool(
+        self, learned, raw_fleet
+    ):
+        """On the default one-worker pool, advance() after each submit
+        yields that record's outcome immediately — outcomes flow with
+        the crawl, not at the end-of-crawl drain."""
+        with IngestSession(max_workers=1) as session:
+            for position, (artifact, (name, pages)) in enumerate(
+                zip(learned.artifacts, raw_fleet)
+            ):
+                session.submit_html(name, pages, artifact=artifact)
+                outcomes = list(session.advance())
+                assert [o.index for o in outcomes] == [position]
+            assert list(session.iter_results()) == []  # nothing deferred
+
+    def test_results_is_a_pure_probe_on_inline_pool(self, learned, raw_fleet):
+        with IngestSession(max_workers=1) as session:
+            name, pages = raw_fleet[0]
+            session.submit_html(name, pages, artifact=learned.artifacts[0])
+            assert list(session.results()) == []  # no work done
+            assert session.pool._inline.sites_resolved == 0
+            assert [o.ok for o in session.advance()] == [True]
+
+    def test_submit_parsed_sites(self, learned, fleet):
+        batch = apply_many(learned.artifacts, fleet)
+        with IngestSession(max_workers=2) as session:
+            for artifact, generated in zip(learned.artifacts, fleet):
+                session.submit(generated, artifact=artifact)
+            outcomes = {o.index: o for o in session.iter_results()}
+        assert [outcomes[i].extracted for i in range(len(fleet))] == [
+            o.extracted for o in batch.outcomes
+        ]
+
+    def test_session_default_artifact(self, learned, raw_fleet):
+        artifact = learned.artifacts[0]
+        name, pages = raw_fleet[0]
+        with IngestSession(artifact=artifact, max_workers=1) as session:
+            session.submit_html(name, pages)
+            outcome = next(session.iter_results())
+        assert outcome.ok
+        assert outcome.artifact is artifact
+
+
+class TestIncrementalLearn:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_streaming_learn_matches_learn_many(
+        self, fitted_extractor, bundle, fleet, raw_fleet, workers
+    ):
+        batch = learn_many(fitted_extractor, fleet, annotator=bundle.annotator)
+        with IngestSession(
+            extractor=fitted_extractor,
+            annotator=bundle.annotator,
+            max_workers=workers,
+        ) as session:
+            for name, pages in raw_fleet:
+                session.submit_html(name, pages)
+            outcomes = {o.index: o for o in session.iter_results()}
+        assert sorted(outcomes) == list(range(len(fleet)))
+        assert [outcomes[i].artifact.rule for i in range(len(fleet))] == [
+            o.artifact.rule for o in batch.outcomes
+        ]
+
+    def test_explicit_labels_ride_the_submission(
+        self, fitted_extractor, bundle, fleet
+    ):
+        generated = fleet[0]
+        labels = bundle.annotator.annotate(generated.site)
+        with IngestSession(
+            extractor=fitted_extractor, max_workers=1
+        ) as session:
+            session.submit(generated, labels=labels)
+            outcome = next(session.iter_results())
+        assert outcome.ok
+
+    def test_learnless_artifactless_submission_rejected(self, fleet):
+        with IngestSession(max_workers=1) as session:
+            with pytest.raises(ValueError, match="artifact .* or a session"):
+                session.submit(fleet[0])
+
+
+class TestBackpressureAndIsolation:
+    def test_inflight_bound_is_enforced_on_the_pool(self, learned, raw_fleet):
+        """With max_inflight=1 the pool never holds more than one
+        unfinished job; everything still completes exactly once."""
+        submitted = 0
+        with IngestSession(max_workers=2, max_inflight=1) as session:
+            for artifact, (name, pages) in zip(
+                learned.artifacts * 3, raw_fleet * 3
+            ):
+                session.submit_html(name, pages, artifact=artifact)
+                submitted += 1
+                assert session._session.uncompleted <= 1
+            outcomes = list(session.iter_results())
+        assert len(outcomes) == submitted
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_bad_inflight_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            IngestSession(max_workers=1, max_inflight=0)
+
+    def test_broken_page_is_an_outcome_not_a_crash(self, learned, raw_fleet):
+        with IngestSession(max_workers=2) as session:
+            session.submit(("broken", [None]), artifact=learned.artifacts[0])
+            name, pages = raw_fleet[0]
+            session.submit_html(name, pages, artifact=learned.artifacts[0])
+            outcomes = {o.index: o for o in session.iter_results()}
+        assert not outcomes[0].ok and outcomes[0].error
+        assert outcomes[1].ok
+
+    def test_closed_session_rejects_submissions(self, learned, raw_fleet):
+        session = IngestSession(max_workers=1)
+        session.close()
+        name, pages = raw_fleet[0]
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit_html(name, pages, artifact=learned.artifacts[0])
+
+
+class TestPoolSharing:
+    def test_caller_pool_survives_the_session(self, learned, fleet, raw_fleet):
+        """A session on a caller-owned pool releases the stream on
+        close; the pool keeps serving batches with its warm state."""
+        with WorkerPool(max_workers=2) as pool:
+            with IngestSession(pool=pool) as session:
+                for artifact, (name, pages) in zip(
+                    learned.artifacts, raw_fleet
+                ):
+                    session.submit_html(name, pages, artifact=artifact)
+                streamed = {o.index: o for o in session.iter_results()}
+            after = pool.apply(learned.artifacts, fleet)
+            assert not after.failures
+        assert [streamed[i].extracted for i in range(len(fleet))] == [
+            o.extracted for o in after.outcomes
+        ]
+
+    def test_session_is_the_pools_single_stream(self, learned, fleet):
+        with WorkerPool(max_workers=2) as pool:
+            with IngestSession(pool=pool) as session:
+                session.submit(fleet[0], artifact=learned.artifacts[0])
+                with pytest.raises(RuntimeError, match="already streaming"):
+                    pool.apply(learned.artifacts, fleet)
+                list(session.iter_results())
+
+
+class TestAsyncAdapter:
+    def test_async_session_matches_batch(self, learned, fleet, raw_fleet):
+        batch = apply_many(learned.artifacts, fleet)
+
+        async def crawl():
+            collected = {}
+            async with AsyncIngestSession(max_workers=2) as session:
+                for artifact, (name, pages) in zip(
+                    learned.artifacts, raw_fleet
+                ):
+                    await session.submit_html(name, pages, artifact=artifact)
+                    for outcome in await session.completed():
+                        collected[outcome.index] = outcome
+                async for outcome in session.iter_results():
+                    collected[outcome.index] = outcome
+            return collected
+
+        collected = asyncio.run(crawl())
+        assert sorted(collected) == list(range(len(fleet)))
+        assert [collected[i].extracted for i in range(len(fleet))] == [
+            o.extracted for o in batch.outcomes
+        ]
+
+    def test_concurrent_first_submits_share_one_session(
+        self, learned, raw_fleet
+    ):
+        """Two producer tasks racing the lazy session creation must
+        land on a single underlying session/pool (no leaked workers,
+        unified submission accounting)."""
+
+        async def run():
+            session = AsyncIngestSession(
+                artifact=learned.artifacts[0], max_workers=1
+            )
+            name, pages = raw_fleet[0]
+            indices = await asyncio.gather(
+                session.submit_html(name, pages),
+                session.submit_html(name, pages),
+            )
+            results = [o async for o in session.iter_results()]
+            underlying = session._session
+            await session.close()
+            return indices, results, underlying
+
+        indices, results, underlying = asyncio.run(run())
+        assert sorted(indices) == [0, 1]  # one shared index sequence
+        assert len(results) == 2
+        assert underlying is not None and underlying._closed
+
+    def test_async_submit_returns_indices(self, learned, raw_fleet):
+        async def run():
+            async with AsyncIngestSession(
+                artifact=learned.artifacts[0], max_workers=1
+            ) as session:
+                name, pages = raw_fleet[0]
+                first = await session.submit_html(name, pages)
+                second = await session.submit_html(name, pages)
+                results = [o async for o in session.iter_results()]
+            return first, second, results
+
+        first, second, results = asyncio.run(run())
+        assert (first, second) == (0, 1)
+        assert len(results) == 2

@@ -133,6 +133,74 @@ class TestShardAffinity:
         raw_two = ("twin", ["<p>two</p>"])
         assert _site_key(raw_one, 0) != _site_key(raw_two, 0)
 
+    @staticmethod
+    def _hand_built_site(name, text):
+        """A Site whose pages carry no faithful source string."""
+        from repro.htmldom.dom import Document, ElementNode, TextNode
+        from repro.site import Site
+
+        root = ElementNode("html")
+        paragraph = ElementNode("p")
+        root.append(paragraph)
+        paragraph.append(TextNode(text))
+        return Site(name, [Document(root, "", page_index=0)])
+
+    def test_same_named_hand_built_sites_never_alias(self):
+        """Regression: two distinct Sites sharing a name (with empty
+        page sources) used to collide in the ship-once ledger and the
+        worker intern LRU — the digest degenerated to the bare name."""
+        one = self._hand_built_site("twin", "one")
+        two = self._hand_built_site("twin", "two")
+        assert _site_key(one, 0) != _site_key(two, 1)
+
+    def test_structural_digest_frames_tags_and_attrs(self):
+        """Adjacent strings must never blur: <pa x=1> vs <p ax=1> and
+        split-vs-merged attribute values are distinct contents."""
+        from repro.htmldom.dom import Document, ElementNode
+        from repro.site import Site
+
+        def attr_site(tag, attrs):
+            root = ElementNode("html")
+            root.append(ElementNode(tag, attrs))
+            return Site("twin", [Document(root, "", page_index=0)])
+
+        assert _site_key(attr_site("pa", {"x": "1"}), 0) != _site_key(
+            attr_site("p", {"ax": "1"}), 1
+        )
+        assert _site_key(attr_site("p", {"x": "1ay=2"}), 0) != _site_key(
+            attr_site("p", {"x": "1", "y": "2"}), 1
+        )
+
+    def test_raw_pair_and_parsed_site_share_a_key(self):
+        """Identical content interned once whichever way it arrives."""
+        from repro.site import Site
+
+        html = "<div><p>alpha</p></div>"
+        assert _site_key(("shop", [html]), 0) == _site_key(
+            Site.from_html("shop", [html]), 1
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_same_named_sites_extract_their_own_content(self, workers):
+        """End to end: same-name sites in one batch each get their own
+        interned copy, so extractions come from the right trees."""
+        from repro.api import WrapperArtifact
+
+        one = self._hand_built_site("twin", "one")
+        two = self._hand_built_site("twin", "two")
+        artifact = WrapperArtifact(
+            wrapper_spec={"kind": "xpath", "features": [[1, "tag", "p"]]},
+            rule="//p/text()",
+        )
+        with WorkerPool(max_workers=workers) as pool:
+            result = pool.apply([artifact, artifact], [one, two])
+        assert not result.failures
+        extracted_one, extracted_two = (
+            outcome.extracted for outcome in result.outcomes
+        )
+        assert {one.text_node(n).text for n in extracted_one} == {"one"}
+        assert {two.text_node(n).text for n in extracted_two} == {"two"}
+
 
 class TestStreaming:
     def test_stream_yields_every_outcome(
@@ -176,6 +244,19 @@ class TestStreaming:
             )
         assert [o.ok for o in result.outcomes] == [False, False]
         assert result.outcomes[0].error == result.outcomes[1].error
+
+    def test_inline_stream_is_lazy(self, fitted_extractor, bundle, test_sites):
+        """A one-worker pool streams one job per pull: a consumer that
+        stops after the first outcome pays for one job, not the batch."""
+        with WorkerPool(max_workers=1) as pool:
+            iterator = pool.iter_learn_outcomes(
+                fitted_extractor, test_sites, annotator=bundle.annotator
+            )
+            first = next(iterator)
+            assert first.ok
+            assert pool._inline.sites_resolved == 1  # others untouched
+            assert len(list(iterator)) == len(test_sites) - 1
+            assert pool._inline.sites_resolved == len(test_sites)
 
     def test_apply_stream(self, fitted_extractor, bundle, test_sites):
         learned = learn_many(
@@ -382,3 +463,115 @@ class TestSharedContextExecutors:
         assert all(
             task.extractor is fitted_extractor for task in captured["tasks"]
         )
+
+
+class TestCloseDrainOrTerminate:
+    def test_close_mid_stream_returns_promptly_and_kills_workers(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """close() while a stream has in-flight chunks must drain or
+        terminate deterministically — not hang joining workers."""
+        import time
+
+        pool = WorkerPool(max_workers=2)
+        iterator = pool.iter_learn_outcomes(
+            fitted_extractor, test_sites * 3, annotator=bundle.annotator
+        )
+        next(iterator)  # stream is live, chunks in flight
+        start = time.monotonic()
+        pool.close(timeout=3.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0
+        assert all(not process.is_alive() for process in pool._processes)
+        # The abandoned stream fails fast instead of hanging.
+        with pytest.raises(RuntimeError, match="closed while this stream"):
+            next(iterator)
+
+    def test_close_is_idempotent_after_mid_stream_close(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        pool = WorkerPool(max_workers=2)
+        iterator = pool.iter_learn_outcomes(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        next(iterator)
+        pool.close(timeout=3.0)
+        pool.close(timeout=3.0)  # second close is a no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.learn(fitted_extractor, test_sites[:1], labels=[frozenset()])
+
+    def test_del_time_close_does_not_hang(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """GC-time close (no explicit close call) with an abandoned
+        stream must come back, not deadlock on a full outbox."""
+        import time
+
+        pool = WorkerPool(max_workers=2)
+        iterator = pool.iter_learn_outcomes(
+            fitted_extractor, test_sites * 2, annotator=bundle.annotator
+        )
+        next(iterator)
+        del iterator
+        start = time.monotonic()
+        pool.__del__()
+        assert time.monotonic() - start < 15.0
+        assert all(not process.is_alive() for process in pool._processes)
+
+
+class TestWorkerCrashRecovery:
+    def test_survivors_retry_a_killed_workers_jobs(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """Kill a worker mid-batch: survivors must retry its unacked
+        chunks with no duplicate and no lost outcomes."""
+        import os
+        import signal
+
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        fleet = test_sites * 3  # enough jobs to keep backlogs non-empty
+        artifacts = learned.artifacts * 3
+        serial = apply_many(learned.artifacts, test_sites)
+        expected = {
+            index: serial.outcomes[index % len(test_sites)].extracted
+            for index in range(len(fleet))
+        }
+        # chunksize=1 + no stealing keeps a backlog parked on each
+        # worker, so the kill always orphans work that must be retried.
+        with WorkerPool(
+            max_workers=2, chunksize=1, work_stealing=False
+        ) as pool:
+            iterator = pool.iter_apply_outcomes(artifacts, fleet)
+            outcomes = [next(iterator)]
+            os.kill(pool._processes[0].pid, signal.SIGKILL)
+            outcomes.extend(iterator)
+        indices = [outcome.index for outcome in outcomes]
+        assert sorted(indices) == list(range(len(fleet)))  # none lost
+        assert len(indices) == len(set(indices))  # none duplicated
+        assert all(outcome.ok for outcome in outcomes)
+        assert {o.index: o.extracted for o in outcomes} == expected
+        assert pool._alive.count(True) == 1
+
+    def test_batch_after_crash_remaps_to_survivors(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        """A pool that lost a worker keeps serving later batches on the
+        survivors (sites remap stably)."""
+        import os
+        import signal
+
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        with WorkerPool(max_workers=2, chunksize=1) as pool:
+            iterator = pool.iter_apply_outcomes(
+                learned.artifacts * 2, test_sites * 2
+            )
+            first = next(iterator)
+            os.kill(pool._processes[1].pid, signal.SIGKILL)
+            rest = list(iterator)
+            assert len([first, *rest]) == len(test_sites) * 2
+            again = pool.apply(learned.artifacts, test_sites)
+        assert not again.failures

@@ -149,6 +149,146 @@ class TestLearnApply:
             )
 
 
+class TestApplyStream:
+    """apply --stream: NDJSON page records in, NDJSON outcomes out."""
+
+    @pytest.fixture()
+    def artifact_dir(self, tmp_path):
+        """One saved artifact for a tiny hand-rolled site."""
+        from repro.annotators.dictionary import DictionaryAnnotator
+        from repro.api import Extractor, ExtractorConfig
+        from repro.site import Site
+
+        site = Site.from_html("shop", [self.page("ALPHA", "BETA")])
+        labels = DictionaryAnnotator(["ALPHA", "BETA"]).annotate(site)
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        artifact = extractor.learn(site, labels, site_name="shop")
+        out_dir = tmp_path / "wrappers"
+        out_dir.mkdir()
+        artifact.save(out_dir / "shop.json")
+        return out_dir
+
+    @staticmethod
+    def page(*names):
+        rows = "".join(f"<tr><td><u>{name}</u></td></tr>" for name in names)
+        return f"<div class='x'><table>{rows}</table></div>"
+
+    def run_stream(self, monkeypatch, capsys, artifact_dir, lines, extra=()):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        code = main(
+            ["apply", "--artifacts", str(artifact_dir), "--stream", *extra]
+        )
+        out = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        return code, out
+
+    def test_stream_extracts_per_record(
+        self, monkeypatch, capsys, artifact_dir
+    ):
+        import json
+
+        lines = [
+            json.dumps({"site": "shop", "pages": [self.page("GAMMA", "DELTA")]}),
+            json.dumps({"site": "shop", "pages": [self.page("EPSILON")]}),
+        ]
+        code, out = self.run_stream(monkeypatch, capsys, artifact_dir, lines)
+        assert code == 0
+        assert [record["ok"] for record in out] == [True, True]
+        assert sorted(record["count"] for record in out) == [1, 2]
+        for record in out:
+            assert all(
+                isinstance(pair, list) and len(pair) == 2
+                for pair in record["nodes"]
+            )
+
+    def test_stream_texts_resolves_extractions(
+        self, monkeypatch, capsys, artifact_dir
+    ):
+        import json
+
+        lines = [
+            json.dumps({"site": "shop", "pages": [self.page("GAMMA", "DELTA")]})
+        ]
+        code, out = self.run_stream(
+            monkeypatch, capsys, artifact_dir, lines, extra=["--texts"]
+        )
+        assert code == 0
+        assert out[0]["texts"] == ["GAMMA", "DELTA"]
+
+    def test_stream_isolates_bad_lines_and_unknown_sites(
+        self, monkeypatch, capsys, artifact_dir
+    ):
+        import json
+
+        lines = [
+            "not json at all",
+            json.dumps({"site": "never-learned", "pages": ["<p>x</p>"]}),
+            json.dumps({"site": "shop", "pages": [self.page("ZETA")]}),
+        ]
+        code, out = self.run_stream(monkeypatch, capsys, artifact_dir, lines)
+        assert code == 0  # the good record succeeded
+        by_ok = {record["ok"] for record in out}
+        assert by_ok == {True, False}
+        errors = [record["error"] for record in out if not record["ok"]]
+        assert any("bad page record" in error for error in errors)
+        assert any("no artifact" in error for error in errors)
+        # Pre-submission rejects carry the stdin line number instead of
+        # a submission index.
+        assert sorted(
+            record["line"] for record in out if not record["ok"]
+        ) == [1, 2]
+        assert [record["index"] for record in out if record["ok"]] == [0]
+
+    def test_stream_all_failures_exit_nonzero(
+        self, monkeypatch, capsys, artifact_dir
+    ):
+        code, out = self.run_stream(
+            monkeypatch, capsys, artifact_dir, ["{broken"]
+        )
+        assert code == 1
+        assert not out[0]["ok"]
+
+    def test_stream_rejects_non_list_pages(
+        self, monkeypatch, capsys, artifact_dir
+    ):
+        """A string 'pages' value must be a bad-record error, not be
+        iterated character by character into garbage pages."""
+        import json
+
+        lines = [json.dumps({"site": "shop", "pages": "<p>x</p>"})]
+        code, out = self.run_stream(monkeypatch, capsys, artifact_dir, lines)
+        assert code == 1
+        assert not out[0]["ok"]
+        assert "must be a list" in out[0]["error"]
+
+    def test_stream_parallel_workers_cover_every_record(
+        self, monkeypatch, capsys, artifact_dir
+    ):
+        import json
+
+        lines = [
+            json.dumps({"site": "shop", "pages": [self.page(f"NAME{i}")]})
+            for i in range(6)
+        ]
+        code, out = self.run_stream(
+            monkeypatch, capsys, artifact_dir, lines, extra=["--workers", "2"]
+        )
+        assert code == 0
+        assert len(out) == 6
+        assert all(record["ok"] and record["count"] == 1 for record in out)
+        # Submission indices pair outcomes to inputs even when the same
+        # site name recurs and completions interleave across workers.
+        assert sorted(record["index"] for record in out) == list(range(6))
+
+
 class TestListComponents:
     def test_lists_all_registries(self, capsys):
         assert main(["list-components"]) == 0

@@ -192,3 +192,77 @@ class TestTextNodeContaining:
         assert starts == sorted(starts)
         for start, end, node in spans:
             assert (node.start, node.end) == (start, end)
+
+
+class TestLeanPickling:
+    """Parsed documents ship as raw HTML and refreeze on arrival."""
+
+    HTML = (
+        "<div class='dealerlinks'><table>"
+        "<tr><td><u>PORTER &amp; SONS</u><br>201 HWY. 30</td></tr>"
+        "<tr><td><u>LULLABY LANE</u><br>532 SAN MATEO</td></tr>"
+        "</table></div>"
+    )
+
+    def test_parsed_document_pickles_lean(self):
+        import pickle
+
+        parsed = parse_html(self.HTML, page_index=3)
+        assert parsed.from_source
+        payload = pickle.dumps(parsed)
+        # The payload is the source plus small overhead, not the frozen
+        # index state (which is several times the source size).
+        assert len(payload) < 2 * len(self.HTML) + 256
+
+    def test_refreeze_rebuilds_identical_tree(self):
+        import pickle
+
+        parsed = parse_html(self.HTML, page_index=3)
+        clone = pickle.loads(pickle.dumps(parsed))
+        assert clone is not parsed
+        assert clone.source == parsed.source
+        assert clone.page_index == parsed.page_index
+        assert clone.from_source
+        assert [n.node_id for n in clone.nodes] == [
+            n.node_id for n in parsed.nodes
+        ]
+        assert [
+            (n.tag if not isinstance(n, TextNode) else n.text)
+            for n in clone.nodes
+        ] == [
+            (n.tag if not isinstance(n, TextNode) else n.text)
+            for n in parsed.nodes
+        ]
+        # Frozen indexes are rebuilt, not shipped.
+        assert clone.elements_with_tag("td")[0].node_id == (
+            parsed.elements_with_tag("td")[0].node_id
+        )
+        assert clone.text_spans() == [
+            (s, e, clone.node(n.node_id))
+            for s, e, n in parsed.text_spans()
+        ]
+
+    def test_hand_built_document_keeps_full_state_pickling(self):
+        import pickle
+
+        from repro.htmldom.dom import Document
+
+        root = ElementNode("html")
+        p = ElementNode("p")
+        root.append(p)
+        p.append(TextNode("hand-built"))
+        manual = Document(root, "", page_index=0)
+        assert not manual.from_source
+        clone = pickle.loads(pickle.dumps(manual))
+        assert not clone.from_source
+        assert clone.root.text_content() == "hand-built"
+        assert [n.node_id for n in clone.nodes] == [
+            n.node_id for n in manual.nodes
+        ]
+
+    def test_xpath_memo_never_shipped_on_either_path(self):
+        import pickle
+
+        parsed = parse_html(self.HTML)
+        parsed.xpath_memo["poison"] = ["stale"]
+        assert pickle.loads(pickle.dumps(parsed)).xpath_memo == {}

@@ -43,11 +43,39 @@ class TestDecodeEntities:
     def test_reference_without_semicolon(self):
         assert decode_entities("&ampx") == "&ampx"
 
-    def test_out_of_range_numeric_left_verbatim(self):
-        assert decode_entities("&#1114112;") == "&#1114112;"
+    def test_out_of_range_numeric_becomes_replacement_char(self):
+        # WHATWG: code points past U+10FFFF decode to U+FFFD instead of
+        # crashing chr() or leaking the raw reference downstream.
+        assert decode_entities("&#1114112;") == "�"
+        assert decode_entities("a&#x110000;b") == "a�b"
 
-    def test_zero_numeric_left_verbatim(self):
-        assert decode_entities("&#0;") == "&#0;"
+    def test_zero_numeric_becomes_replacement_char(self):
+        assert decode_entities("&#0;") == "�"
+        assert decode_entities("&#x0;") == "�"
+
+    def test_surrogate_numeric_becomes_replacement_char(self):
+        # A lone surrogate from chr(0xD800) is unencodable as UTF-8 and
+        # would crash artifact JSON writes and payload digests later.
+        assert decode_entities("&#xD800;") == "�"
+        assert decode_entities("&#xDFFF;") == "�"
+        assert decode_entities("&#55296;") == "�"
+
+    def test_boundary_codepoints_still_decode(self):
+        assert decode_entities("&#x10FFFF;") == "\U0010ffff"
+        assert decode_entities("&#xD7FF;") == "퟿"
+        assert decode_entities("&#xE000;") == ""
+
+    def test_negative_numeric_left_verbatim(self):
+        # "-" is not a digit: the body is malformed, not a code point
+        # (and must never reach chr(), which rejects negatives).
+        assert decode_entities("&#-5;") == "&#-5;"
+        assert decode_entities("&#x-5;") == "&#x-5;"
+
+    @given(st.integers(min_value=-0x200000, max_value=0x200000))
+    def test_numeric_references_never_produce_surrogates(self, code):
+        decoded = decode_entities(f"&#{code};")
+        assert all(not 0xD800 <= ord(ch) <= 0xDFFF for ch in decoded)
+        decoded.encode("utf-8")  # always encodable
 
     def test_adjacent_references(self):
         assert decode_entities("&lt;&gt;&amp;") == "<>&"

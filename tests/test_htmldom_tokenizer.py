@@ -46,6 +46,27 @@ class TestBasicTokens:
         tokens = tokenize("<p>Smith &amp; Sons</p>")
         assert tokens[1].data == "Smith & Sons"
 
+    def test_out_of_range_numeric_reference_is_replacement_char(self):
+        tokens = tokenize("<p>x&#x110000;y</p>")
+        assert tokens[1].data == "x�y"
+
+    def test_surrogate_numeric_reference_is_replacement_char(self):
+        tokens = tokenize("<p>x&#xD800;y&#xDFFF;z</p>")
+        assert tokens[1].data == "x�y�z"
+        tokens[1].data.encode("utf-8")  # no lone surrogates survive
+
+    def test_null_numeric_reference_is_replacement_char(self):
+        tokens = tokenize("<p>a&#0;b</p>")
+        assert tokens[1].data == "a�b"
+
+    def test_huge_decimal_reference_is_replacement_char(self):
+        tokens = tokenize("<p>a&#99999999;b</p>")
+        assert tokens[1].data == "a�b"
+
+    def test_attribute_value_bad_reference_is_replacement_char(self):
+        tokens = tokenize('<a title="x&#xDABC;y">')
+        assert tokens[0].attrs == {"title": "x�y"}
+
     def test_comment(self):
         tokens = tokenize("<!-- hello -->")
         assert kinds(tokens) == [TokenKind.COMMENT]
