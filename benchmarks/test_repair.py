@@ -1,0 +1,230 @@
+"""Wrapper lifecycle benchmark: detection latency, repair success,
+post-repair throughput.
+
+A learned DEALERS fleet (one wrapper per site, per family) is drifted
+at each severity of the template-drift generator, then pushed through
+the lifecycle:
+
+1. **detection latency** — pages observed (one page per observation,
+   the streaming cadence) before the :class:`~repro.lifecycle.monitor.
+   DriftDetector` fires on a drifted site, plus the false-alarm count
+   over the undrifted fleet (must be zero);
+2. **repair success by severity** — fraction of drifted sites the
+   :class:`~repro.lifecycle.repair.RepairPolicy` cascade restores to
+   >= pre-drift F1, split by strategy (ranked-alternate promotion vs
+   facade relearn), plus mean repair wall-time;
+3. **post-repair throughput** — pages/sec re-applying the repaired
+   artifacts over the drifted fleet on a cold engine (the steady state
+   after recovery, which must look like the steady state before drift).
+
+Two wrapper families stress different drift classes: ``xpath`` rules
+break on class renames and wrapper-div insertion (structural drift),
+``lr`` delimiters additionally break on attribute churn (character-
+context drift) — so every severity has a non-vacuous row.
+
+Results go to ``results/repair.txt`` and a run is appended to the
+``results/BENCH_repair.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+
+from _harness import FULL_SCALE, RESULTS_DIR, write_result
+
+from repro.api import Extractor, ExtractorConfig, load_dataset
+from repro.datasets.sitegen import DRIFT_SEVERITIES, drift_site
+from repro.evaluation.metrics import prf
+from repro.lifecycle import (
+    DriftDetector,
+    RepairPolicy,
+    ThresholdPolicy,
+    page_counts,
+)
+
+#: (n_sites, pages_per_site); the odd half is the monitored fleet.
+FLEET_SCALE = (48, 8) if FULL_SCALE else (16, 6)
+
+FAMILIES = ("xpath", "lr")
+
+DRIFT_SEED = 1
+
+#: Streaming detectors see one page per observation, so the page-level
+#: record-count variance (DEALERS pages hold 4-10 records) must be
+#: debounced: a verdict needs at least this many pages in the window.
+MIN_OBSERVATIONS = 3
+
+
+def _detector(artifact):
+    return DriftDetector(
+        artifact.baseline,
+        policy=ThresholdPolicy(min_observations=MIN_OBSERVATIONS),
+        window=8,
+    )
+
+
+def _timed(fn):
+    gc.collect()
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _bench_family(family, bundle, lines, record):
+    train, fleet = bundle.sites[::2], bundle.sites[1::2]
+    annotator = bundle.annotator
+    extractor = Extractor(
+        ExtractorConfig(inductor=family, method="ntw")
+    ).fit(train, annotator, bundle.gold_type)
+
+    artifacts, pre_f1 = {}, {}
+    for generated in fleet:
+        artifact = extractor.learn(
+            generated.site,
+            annotator.annotate(generated.site),
+            site_name=generated.name,
+        )
+        artifacts[generated.name] = artifact
+        pre_f1[generated.name] = prf(
+            artifact.apply(generated.site), generated.gold["name"]
+        ).f1
+
+    total_pages = sum(len(g.site.pages) for g in fleet)
+    family_record: dict = {"severities": {}}
+    record[family] = family_record
+
+    # -- false alarms on the healthy fleet ----------------------------------
+    false_alarms = 0
+    for generated in fleet:
+        detector = _detector(artifacts[generated.name])
+        extracted = artifacts[generated.name].apply(generated.site)
+        for count in page_counts(extracted, len(generated.site.pages)):
+            if detector.observe_counts([count]).drifted:
+                false_alarms += 1
+                break
+    family_record["false_alarms"] = false_alarms
+    lines.append(
+        f"{family:6s} healthy  false alarms: {false_alarms}/{len(fleet)} "
+        "sites (page-by-page stream)"
+    )
+    assert false_alarms == 0, f"{family}: detector fired on healthy fleet"
+
+    # -- per severity: detect, repair, re-apply -----------------------------
+    for severity in DRIFT_SEVERITIES:
+        drifted = {
+            g.name: drift_site(g, severity=severity, seed=DRIFT_SEED)
+            for g in fleet
+        }
+        broke, latencies = [], []
+        for name, generated in drifted.items():
+            artifact = artifacts[name]
+            extracted = artifact.apply(generated.site)
+            post = prf(extracted, generated.gold["name"]).f1
+            if post >= pre_f1[name]:
+                continue  # this severity left the wrapper intact
+            broke.append(name)
+            detector = _detector(artifact)
+            fired_at = None
+            counts = page_counts(extracted, len(generated.site.pages))
+            for page_index, count in enumerate(counts):
+                if detector.observe_counts([count]).drifted:
+                    fired_at = page_index + 1
+                    break
+            assert fired_at is not None, (family, severity, name, "undetected")
+            latencies.append(fired_at)
+
+        policy = RepairPolicy(annotator=annotator, extractor=extractor)
+        strategies = {"alternate": 0, "relearn": 0, "failed": 0}
+        repaired_artifacts = {}
+
+        def run_repairs():
+            for name in broke:
+                report = policy.repair(artifacts[name], drifted[name].site)
+                strategies[report.strategy] += 1
+                if report.ok:
+                    repaired_artifacts[name] = report.artifact
+
+        _, repair_s = _timed(run_repairs)
+        recovered = 0
+        for name, artifact in repaired_artifacts.items():
+            fixed = prf(
+                artifact.apply(drifted[name].site), drifted[name].gold["name"]
+            ).f1
+            if fixed >= pre_f1[name] - 1e-9:
+                recovered += 1
+
+        # Post-repair steady state: pages/sec over the drifted fleet
+        # with the repaired (or still-healthy) artifacts, cold engine.
+        serve = {
+            name: repaired_artifacts.get(name, artifacts[name])
+            for name in drifted
+        }
+        raw = {
+            name: (name, [p.source for p in generated.site.pages])
+            for name, generated in drifted.items()
+        }
+
+        def apply_all():
+            from repro.api.batch import _resolve_site
+            from repro.engine import EvaluationEngine
+
+            engine = EvaluationEngine()
+            for name, payload in raw.items():
+                serve[name].apply(_resolve_site(payload), engine=engine)
+
+        _, apply_s = _timed(apply_all)
+        rate = total_pages / apply_s
+        mean_latency = (
+            sum(latencies) / len(latencies) if latencies else float("nan")
+        )
+        success = recovered / len(broke) if broke else 1.0
+        family_record["severities"][severity] = {
+            "drifted_sites": len(broke),
+            "mean_detection_pages": mean_latency if latencies else None,
+            "repair_success_rate": success,
+            "strategies": dict(strategies),
+            "mean_repair_s": repair_s / len(broke) if broke else 0.0,
+            "post_repair_pages_per_s": rate,
+        }
+        lines.append(
+            f"{family:6s} {severity:6s}  broke {len(broke):2d}/{len(fleet)} "
+            f"sites  detect@{mean_latency:4.1f} pages  "
+            f"repair {recovered}/{len(broke) or 1} ok "
+            f"(alt={strategies['alternate']} relearn={strategies['relearn']} "
+            f"failed={strategies['failed']})  "
+            f"{repair_s / (len(broke) or 1) * 1000:6.1f} ms/repair  "
+            f"post-repair {rate:7.1f} pages/s"
+        )
+        # Acceptance: every broken wrapper is repaired back to its
+        # pre-drift F1 at every severity.
+        assert success == 1.0, (family, severity, strategies)
+        if severity in ("medium", "high"):
+            assert broke, f"{family}/{severity} broke nothing; row is vacuous"
+
+
+def test_repair():
+    n_sites, pages = FLEET_SCALE
+    bundle = load_dataset("dealers", sites=n_sites, pages=pages, seed=11)
+    fleet = bundle.sites[1::2]
+    total_pages = sum(len(g.site.pages) for g in fleet)
+    lines = [
+        f"fleet: {len(fleet)} sites, {total_pages} pages; "
+        f"families: {', '.join(FAMILIES)} (ntw)"
+    ]
+    record: dict = {
+        "timestamp": time.time(),
+        "fleet_sites": len(fleet),
+        "fleet_pages": total_pages,
+    }
+    for family in FAMILIES:
+        _bench_family(family, bundle, lines, record)
+
+    write_result("repair", lines)
+    trajectory = RESULTS_DIR / "BENCH_repair.json"
+    history = (
+        json.loads(trajectory.read_text()) if trajectory.exists() else []
+    )
+    history.append(record)
+    trajectory.write_text(json.dumps(history, indent=2) + "\n")

@@ -9,21 +9,46 @@ score decomposition that selected it, and enough provenance to audit or
 reproduce the learning run.  Artifacts round-trip through JSON under a
 versioned schema, and :meth:`WrapperArtifact.apply` re-extracts from any
 site without touching the learning machinery.
+
+Since schema v2 an artifact also carries its own *lifecycle kit*
+(see :mod:`repro.lifecycle`):
+
+- ``alternates`` — the ranked runner-up wrappers the scorer already
+  paid to evaluate at learn time, each with its rule and score
+  decomposition.  They are the self-repair ladder: when the winning
+  rule drifts, :class:`repro.lifecycle.repair.RepairPolicy` promotes
+  the first alternate that still validates on the drifted pages.
+- ``baseline`` — the learn-time health profile
+  (:class:`repro.lifecycle.monitor.HealthBaseline` as a dict) that
+  :class:`repro.lifecycle.monitor.DriftDetector` compares live apply
+  results against.
+
+Versioning is forward-compatible by design: ``schema_version`` is the
+*major* version, bumped only on reads this library could misinterpret.
+Minor additions are plain extra keys — the loader preserves unknown
+top-level keys (round-tripping them through ``extras``) and accepts
+every major version back to :data:`MIN_SCHEMA_VERSION`, so v1 artifacts
+load and apply unchanged (they simply have no alternates ladder and no
+baseline).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 
 from repro.engine import EvaluationEngine, resolve_engine
 from repro.site import Site
 from repro.wrappers.base import Labels, Wrapper, wrapper_from_spec
 
-#: Version of the artifact JSON schema.  Bump on incompatible change;
-#: loading rejects any other version rather than guessing.
-SCHEMA_VERSION = 1
+#: Major version of the artifact JSON schema.  Bump only on changes a
+#: reader of this version would misinterpret; additive keys are minor
+#: revisions and ship without a bump (the loader keeps unknown keys).
+SCHEMA_VERSION = 2
+
+#: Oldest major version this library still reads.
+MIN_SCHEMA_VERSION = 1
 
 
 class ArtifactError(ValueError):
@@ -31,7 +56,7 @@ class ArtifactError(ValueError):
 
 
 class SchemaVersionError(ArtifactError):
-    """An artifact written under a different schema version."""
+    """An artifact written under an unsupported major schema version."""
 
 
 @dataclass(slots=True)
@@ -48,7 +73,18 @@ class WrapperArtifact:
             methods that do not rank, i.e. ``naive``).
         provenance: free-form learning context (config, label counts,
             wrapper-space size, library version).
-        schema_version: artifact schema version (see :data:`SCHEMA_VERSION`).
+        alternates: ranked runner-up wrappers, best first — each a dict
+            with ``wrapper_spec``, ``rule`` and ``score`` — the
+            self-repair fallback ladder (empty for unranked methods and
+            for v1 artifacts).
+        baseline: learn-time health profile for drift detection
+            (:meth:`repro.lifecycle.monitor.HealthBaseline.to_dict`
+            payload; empty for v1 artifacts).
+        extras: unknown top-level keys found at load time, preserved
+            verbatim so minor-revision artifacts survive a load/save
+            round-trip through this version.
+        schema_version: artifact schema major version (see
+            :data:`SCHEMA_VERSION`).
     """
 
     wrapper_spec: dict
@@ -58,6 +94,9 @@ class WrapperArtifact:
     method: str = ""
     score: dict = field(default_factory=dict)
     provenance: dict = field(default_factory=dict)
+    alternates: list = field(default_factory=list)
+    baseline: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- execution ---------------------------------------------------------
@@ -65,6 +104,17 @@ class WrapperArtifact:
     def wrapper(self) -> Wrapper:
         """Rebuild the concrete wrapper from the stored spec."""
         return wrapper_from_spec(self.wrapper_spec)
+
+    def alternate_wrappers(self) -> list[Wrapper]:
+        """Rebuild the runner-up wrappers, ladder order (best first)."""
+        return [wrapper_from_spec(alt["wrapper_spec"]) for alt in self.alternates]
+
+    def health_baseline(self):
+        """The learn-time :class:`~repro.lifecycle.monitor.HealthBaseline`,
+        or ``None`` for artifacts learned before baselines (schema v1)."""
+        from repro.lifecycle.monitor import HealthBaseline
+
+        return HealthBaseline.from_dict(self.baseline)
 
     def apply(self, site: Site, engine: EvaluationEngine | None = None) -> Labels:
         """Extract from ``site`` with the stored rule — no relearning.
@@ -79,33 +129,73 @@ class WrapperArtifact:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        import copy
+
+        # Deep-copied (like dataclasses.asdict) so callers can edit the
+        # payload — derive a variant, annotate provenance — without
+        # mutating this artifact's live state through shared sub-dicts.
+        payload = copy.deepcopy(self.extras)
+        for spec in fields(self):
+            if spec.name != "extras":
+                payload[spec.name] = copy.deepcopy(getattr(self, spec.name))
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "WrapperArtifact":
         if not isinstance(payload, dict):
             raise ArtifactError(f"artifact payload must be a dict; got {type(payload).__name__}")
         version = payload.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if not isinstance(version, int) or not (
+            MIN_SCHEMA_VERSION <= version <= SCHEMA_VERSION
+        ):
             raise SchemaVersionError(
                 f"artifact schema version {version!r} is not supported "
-                f"(this library reads version {SCHEMA_VERSION})"
+                f"(this library reads majors {MIN_SCHEMA_VERSION}"
+                f"..{SCHEMA_VERSION}; minor additions need no bump)"
             )
         spec = payload.get("wrapper_spec")
         if not isinstance(spec, dict) or "kind" not in spec:
             raise ArtifactError("artifact is missing a wrapper_spec with a 'kind'")
+        alternates = payload.get("alternates") or []
+        if not isinstance(alternates, list):
+            raise ArtifactError("artifact 'alternates' must be a list")
+        for position, alternate in enumerate(alternates):
+            if (
+                not isinstance(alternate, dict)
+                or not isinstance(alternate.get("wrapper_spec"), dict)
+                or "kind" not in alternate["wrapper_spec"]
+            ):
+                raise ArtifactError(
+                    f"alternate {position} is missing a wrapper_spec with a 'kind'"
+                )
+        baseline = payload.get("baseline") or {}
+        if not isinstance(baseline, dict):
+            raise ArtifactError("artifact 'baseline' must be a dict")
+        import copy
+
+        known = {field_spec.name for field_spec in fields(cls)}
+        extras = {
+            key: value for key, value in payload.items() if key not in known
+        }
+        # Deep-copied so the artifact never aliases the caller's payload
+        # (a caller reusing/mutating its dict must not corrupt the rule).
         artifact = cls(
-            wrapper_spec=spec,
+            wrapper_spec=copy.deepcopy(spec),
             rule=str(payload.get("rule", "")),
             site=str(payload.get("site", "")),
             inductor=str(payload.get("inductor", "")),
             method=str(payload.get("method", "")),
-            score=dict(payload.get("score") or {}),
-            provenance=dict(payload.get("provenance") or {}),
-            schema_version=SCHEMA_VERSION,
+            score=copy.deepcopy(dict(payload.get("score") or {})),
+            provenance=copy.deepcopy(dict(payload.get("provenance") or {})),
+            alternates=copy.deepcopy(list(alternates)),
+            baseline=copy.deepcopy(dict(baseline)),
+            extras=copy.deepcopy(extras),
+            schema_version=version,
         )
-        # Fail on unknown spec kinds at load time, not first apply().
+        # Fail on unknown spec kinds at load time, not first apply() —
+        # for the winner and the whole fallback ladder.
         artifact.wrapper()
+        artifact.alternate_wrappers()
         return artifact
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -68,7 +68,14 @@ SiteLike = Site | GeneratedSite | tuple[str, Sequence[str]]
 
 @dataclass(slots=True)
 class SiteOutcome:
-    """Result of one site's task: success payload or recorded failure."""
+    """Result of one site's task: success payload or recorded failure.
+
+    ``texts`` is filled only when an apply task was submitted with
+    ``resolve_texts`` (scheduler/ingest paths): the extracted nodes'
+    texts resolved *worker-side* — the worker already holds the parsed
+    site interned, so the parent never re-parses pages just to read
+    text.  Entries pair with ``sorted(extracted)``.
+    """
 
     index: int
     site: str
@@ -76,6 +83,7 @@ class SiteOutcome:
     artifact: WrapperArtifact | None = None
     extracted: Labels | None = None
     error: str | None = None
+    texts: list[str] | None = None
 
 
 @dataclass(slots=True)

@@ -30,6 +30,7 @@ from repro.datasets.sitegen import GeneratedSite
 from repro.engine import EvaluationEngine, resolve_engine
 from repro.framework.naive import NaiveWrapperLearner
 from repro.framework.ntw import MAX_ENUMERATION_LABELS, NoiseTolerantWrapper
+from repro.lifecycle.monitor import baseline_from_extraction
 from repro.ranking.annotation import AnnotationModel
 from repro.ranking.content import ContentModel
 from repro.ranking.publication import PublicationModel
@@ -61,6 +62,9 @@ class ExtractorConfig:
         annotation_p / annotation_r: fallback annotator noise profile,
             used when no annotation model has been fitted or supplied.
         annotation_weight / publication_weight: scorer term weights.
+        keep_alternates: how many ranked runner-up wrappers each learned
+            artifact carries as its self-repair fallback ladder
+            (0 disables; unranked methods never have alternates).
     """
 
     inductor: str = "xpath"
@@ -71,6 +75,7 @@ class ExtractorConfig:
     annotation_r: float = 0.5
     annotation_weight: float = 1.0
     publication_weight: float = 1.0
+    keep_alternates: int = 3
 
     def validate(self, known_inductor: bool = True) -> None:
         """Check the config; ``known_inductor=False`` skips the registry
@@ -89,6 +94,10 @@ class ExtractorConfig:
         if self.max_labels <= 0:
             raise ValueError(
                 f"max_labels must be a positive integer; got {self.max_labels}"
+            )
+        if self.keep_alternates < 0:
+            raise ValueError(
+                f"keep_alternates must be >= 0; got {self.keep_alternates}"
             )
 
     def to_dict(self) -> dict:
@@ -217,9 +226,11 @@ class Extractor:
             "n_pages": len(site),
             "repro_version": _library_version(),
         }
+        alternates: list[dict] = []
         if self.config.method == "naive":
             wrapper = NaiveWrapperLearner(self.inductor).learn(site, labels)
             score: dict = {}
+            extracted = self.engine.extract(site, wrapper)
         else:
             learner = NoiseTolerantWrapper(
                 self.inductor,
@@ -234,15 +245,24 @@ class Extractor:
                     f"no wrapper survived ranking on site {name!r}"
                 )
             wrapper = result.best.wrapper
-            score = {
-                "total": result.best.score,
-                "log_annotation": result.best.log_annotation,
-                "log_publication": result.best.log_publication,
-                "log_content": result.best.log_content,
-            }
+            score = result.best.score_dict()
+            extracted = result.best.extracted
+            # The runner-up wrappers the ranker already scored become
+            # the artifact's self-repair ladder (see repro.lifecycle).
+            alternates = [
+                {
+                    "wrapper_spec": runner_up.wrapper.to_spec(),
+                    "rule": runner_up.wrapper.rule(),
+                    "score": runner_up.score_dict(),
+                }
+                for runner_up in WrapperScorer.alternates(
+                    result.ranked, self.config.keep_alternates
+                )
+            ]
             if result.enumeration is not None:
                 provenance["wrapper_space"] = result.enumeration.size
                 provenance["inductor_calls"] = result.enumeration.inductor_calls
+        baseline = baseline_from_extraction(extracted, len(site), labels=labels)
         return WrapperArtifact(
             wrapper_spec=wrapper.to_spec(),
             rule=wrapper.rule(),
@@ -251,6 +271,8 @@ class Extractor:
             method=self.config.method,
             score=score,
             provenance=provenance,
+            alternates=alternates,
+            baseline=baseline.to_dict(),
         )
 
     def annotate_and_learn(

@@ -147,6 +147,7 @@ class IngestSession:
         labels: Labels | None = None,
         artifact: WrapperArtifact | None = None,
         name: str | None = None,
+        resolve_texts: bool = False,
     ) -> int:
         """Enqueue one site; returns its submission index.
 
@@ -154,7 +155,10 @@ class IngestSession:
         apply job; otherwise a learn job using the session's extractor
         and ``labels`` or the session annotator.  Blocks while the
         in-flight bound is reached, pumping completions into the ready
-        buffer (drain them with :meth:`results`).
+        buffer (drain them with :meth:`results`).  ``resolve_texts``
+        makes apply outcomes carry the extracted nodes' texts, resolved
+        on the worker that already holds the parsed site (see
+        :attr:`~repro.api.batch.SiteOutcome.texts`).
         """
         if self._closed:
             raise RuntimeError("IngestSession is closed")
@@ -180,6 +184,7 @@ class IngestSession:
                 site_key=key,
                 field=artifact.method or "apply",
                 artifact=artifact,
+                resolve_texts=resolve_texts,
             )
         else:
             job = _Job(
@@ -203,11 +208,55 @@ class IngestSession:
         sources: Sequence[str],
         labels: Labels | None = None,
         artifact: WrapperArtifact | None = None,
+        resolve_texts: bool = False,
     ) -> int:
         """Enqueue raw crawler pages for one site (parsed on the owning
         worker, so parse failures are per-site outcomes)."""
         return self.submit(
-            (name, list(sources)), labels=labels, artifact=artifact, name=name
+            (name, list(sources)),
+            labels=labels,
+            artifact=artifact,
+            name=name,
+            resolve_texts=resolve_texts,
+        )
+
+    def update_shared(
+        self,
+        extractor: Extractor | None = None,
+        annotator: Annotator | None = None,
+        artifact: WrapperArtifact | None = None,
+    ) -> bool:
+        """Hot-swap session context mid-stream — no session restart.
+
+        The redeploy half of the wrapper lifecycle: after
+        :mod:`repro.lifecycle.repair` produces a refit extractor (or a
+        repaired artifact), ship it through the *live* stream session.
+        Arguments left ``None`` keep their current value.
+
+        - ``extractor`` / ``annotator`` update the session's learn
+          context and are re-shipped to the pool's live workers through
+          their normal inboxes (fingerprint-gated — see
+          :meth:`~repro.api.scheduler.WorkerPool.update_shared`), so
+          they apply to jobs the workers receive after the swap;
+        - ``artifact`` replaces the session-default artifact used by
+          submissions that pass none (artifacts ride per job, so no
+          re-ship is involved — the swap is immediate for later
+          submissions).
+
+        Returns whether an extractor re-ship actually happened.
+        """
+        if self._closed:
+            raise RuntimeError("IngestSession is closed")
+        if artifact is not None:
+            self.artifact = artifact
+        if annotator is not None:
+            self.annotator = annotator
+        if extractor is not None:
+            self.extractor = extractor
+        if self.extractor is None:
+            return False
+        return self.pool.update_shared(
+            extractor=self.extractor, annotator=self.annotator
         )
 
     # -- consumption --------------------------------------------------------
@@ -341,6 +390,11 @@ class AsyncIngestSession:
     ) -> int:
         session = await self._ensure_session()
         return await self._call(session.submit_html, name, sources, **kwargs)
+
+    async def update_shared(self, **kwargs) -> bool:
+        """Hot-swap session context (see ``IngestSession.update_shared``)."""
+        session = await self._ensure_session()
+        return await self._call(session.update_shared, **kwargs)
 
     async def completed(self) -> list[SiteOutcome]:
         """Everything that has completed so far (non-blocking drain)."""

@@ -121,6 +121,7 @@ class _Job:
     payload: object | None = None  # SiteLike; attached at dispatch time
     labels: Labels | None = None
     artifact: WrapperArtifact | None = None
+    resolve_texts: bool = False  # apply jobs: resolve node texts worker-side
 
 
 def _site_key(item: SiteLike, index: int) -> str:
@@ -249,12 +250,21 @@ class _WarmWorker:
                 if job.artifact is None:
                     raise ValueError("apply job carries no artifact")
                 extracted = job.artifact.apply(site, engine=self.engine)
+                texts = None
+                if job.resolve_texts:
+                    # The worker holds the parsed site interned; resolving
+                    # texts here spares the parent a full re-parse.
+                    texts = [
+                        site.text_node(node_id).text
+                        for node_id in sorted(extracted)
+                    ]
                 return SiteOutcome(
                     index=job.index,
                     site=job.name,
                     ok=True,
                     artifact=job.artifact,
                     extracted=extracted,
+                    texts=texts,
                 )
             labels = job.labels
             if labels is None:
@@ -285,6 +295,13 @@ class _WarmWorker:
             )
 
 
+#: Outcomes a worker may coalesce into one flush message.  Bounds both
+#: flush latency (the parent sees nothing until the flush) and message
+#: size; extraction-only ingest chunks are often single jobs, so small
+#: fleets still coalesce several chunks per IPC round-trip.
+_COALESCE_MAX_OUTCOMES = 64
+
+
 def _worker_main(worker_id: int, inbox, outbox, intern_bound: int) -> None:
     """Child-process loop: apply shared updates, run job chunks.
 
@@ -293,19 +310,50 @@ def _worker_main(worker_id: int, inbox, outbox, intern_bound: int) -> None:
     outbox is *this worker's own* queue (drained by a parent-side reader
     thread), so a sibling killed mid-flush can never wedge this worker's
     puts, and the final ``None`` releases the reader on clean exit.
+
+    **Result batching:** extraction-only (apply) outcomes are tiny, and
+    ingest-fed chunks often hold a single job — so after running a
+    chunk of apply jobs, the worker opportunistically drains whatever
+    further apply chunks of the same batch are *already queued* in its
+    inbox (``get_nowait``, never waiting) and flushes their outcomes in
+    one message.  Each flush carries the number of chunks it covers, so
+    the parent's per-chunk dispatch accounting stays exact.  Learn
+    outcomes (artifact payloads) and shared updates always flush the
+    fold, preserving the swap-then-submit ordering of
+    :meth:`WorkerPool.update_shared`.
     """
+    import queue as queue_mod
+
+    no_message = object()  # "nothing held" (None is the stop sentinel)
     worker = _WarmWorker(intern_bound)
-    while True:
-        message = inbox.get()
-        if message is None:
-            break
+    message = inbox.get()
+    while message is not None:
         tag, batch, payload = message
         if tag == "shared":
             worker.set_shared(**payload)
-        else:
-            outbox.put(
-                (worker_id, batch, [worker.run_job(job) for job in payload])
-            )
+            message = inbox.get()
+            continue
+        outcomes = [worker.run_job(job) for job in payload]
+        chunks = 1
+        held = no_message
+        coalescing = all(job.kind == "apply" for job in payload)
+        while coalescing and len(outcomes) < _COALESCE_MAX_OUTCOMES:
+            try:
+                queued = inbox.get_nowait()
+            except queue_mod.Empty:
+                break
+            if (
+                queued is None
+                or queued[0] != "jobs"
+                or queued[1] != batch
+                or not all(job.kind == "apply" for job in queued[2])
+            ):
+                held = queued  # handle after this flush
+                break
+            outcomes.extend(worker.run_job(job) for job in queued[2])
+            chunks += 1
+        outbox.put((worker_id, batch, outcomes, chunks))
+        message = inbox.get() if held is no_message else held
     outbox.put(None)
 
 
@@ -433,9 +481,16 @@ class WorkerPool:
         self,
         artifacts: Sequence[WrapperArtifact],
         sites: Sequence[SiteLike],
+        resolve_texts: bool = False,
     ) -> BatchResult:
-        """Apply artifacts to sites (paired positionally); ordered."""
-        outcomes = list(self.iter_apply_outcomes(artifacts, sites))
+        """Apply artifacts to sites (paired positionally); ordered.
+
+        ``resolve_texts`` resolves extracted node texts worker-side
+        (see :attr:`~repro.api.batch.SiteOutcome.texts`).
+        """
+        outcomes = list(
+            self.iter_apply_outcomes(artifacts, sites, resolve_texts)
+        )
         return BatchResult(outcomes=sorted(outcomes, key=lambda o: o.index))
 
     def iter_learn_outcomes(
@@ -476,6 +531,7 @@ class WorkerPool:
         self,
         artifacts: Sequence[WrapperArtifact],
         sites: Sequence[SiteLike],
+        resolve_texts: bool = False,
     ) -> Iterator[SiteOutcome]:
         """Stream apply outcomes in completion order."""
         artifacts = list(artifacts)
@@ -497,6 +553,7 @@ class WorkerPool:
                     site_key=key,
                     field=artifact.method or "apply",
                     artifact=artifact,
+                    resolve_texts=resolve_texts,
                 )
             )
         return self._execute(jobs, payloads, shared=None)
@@ -515,6 +572,70 @@ class WorkerPool:
         if self.max_workers > 1:
             self._ensure_started()
         return self
+
+    def update_shared(
+        self,
+        extractor: Extractor | None = None,
+        annotator: Annotator | None = None,
+    ) -> bool:
+        """Hot-swap the shared extractor/annotator on the *live* pool.
+
+        The swap rides the normal per-worker inboxes, so it is ordered
+        with dispatch: jobs the workers receive after the swap run under
+        the new context, earlier ones under the old — no session
+        restart, no cache loss (each worker re-points the incoming
+        extractor at its long-lived engine, exactly as at batch open).
+        This is the redeploy half of the wrapper lifecycle: a refit
+        extractor produced by :mod:`repro.lifecycle.repair` reaches a
+        streaming :class:`~repro.api.ingest.IngestSession` mid-crawl.
+
+        Arguments left ``None`` keep the last-shipped value (swapping
+        in a refit extractor must not silently wipe the annotator learn
+        jobs rely on); clearing a slot is not expressible here — open a
+        fresh batch/session for that.  Fingerprint-gated like batch
+        opens (:meth:`_shared_changed`): re-shipping an unchanged
+        extractor is a no-op.  Returns whether a re-ship actually
+        happened — ``False`` also when nothing is live yet (no workers
+        spawned, no inline worker), in which case the fingerprint is
+        left untouched so the next session opening ships the new
+        context itself.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._last_shared:
+            if extractor is None:
+                extractor = self._last_shared[0]
+            if annotator is None:
+                annotator = self._last_shared[1]
+        shared = {"extractor": extractor, "annotator": annotator}
+        if self.max_workers == 1:
+            if self._inline is None:
+                return False
+            if not self._shared_changed(shared):
+                return False
+            if isinstance(self._session, _InlineSession):
+                # Inline jobs run lazily at drain time; run what is
+                # already queued under the OLD context now, so the swap
+                # orders with dispatch exactly like the pooled inbox
+                # FIFO does — same program, same artifacts, whatever
+                # the worker count.  (Outcomes land in the session's
+                # ready buffer for the consumer to drain as usual.)
+                self._session.drive()
+            self._inline.set_shared(**shared, adopt_engine=True)
+            return True
+        if self._processes is None:
+            return False
+        if not self._shared_changed(shared):
+            return False
+        seq = (
+            self._session.seq
+            if isinstance(self._session, _PooledSession)
+            else self._batch_seq
+        )
+        for worker_id, inbox in enumerate(self._inboxes):
+            if self._alive[worker_id]:
+                inbox.put(("shared", seq, shared))
+        return True
 
     def close(self, timeout: float = 5.0) -> None:
         """Shut the workers down; the pool cannot be reused afterwards.
@@ -953,7 +1074,7 @@ class _PooledSession(_StreamSession):
         import queue as queue_mod
 
         try:
-            worker_id, result_seq, outcomes = self.pool._results.get(
+            worker_id, result_seq, outcomes, chunks = self.pool._results.get(
                 timeout=timeout
             )
         except queue_mod.Empty:
@@ -967,8 +1088,9 @@ class _PooledSession(_StreamSession):
         if result_seq != self.seq:
             return  # stale result of an abandoned stream
         if self.pool._alive[worker_id]:
-            self.inflight[worker_id] -= 1
-            if self.sent[worker_id]:
+            # One flush may cover several coalesced chunks.
+            self.inflight[worker_id] = max(0, self.inflight[worker_id] - chunks)
+            for _ in range(min(chunks, len(self.sent[worker_id]))):
                 self.sent[worker_id].popleft()
             self._feed(worker_id)
         # A result landing *after* its worker was reaped (it was in
@@ -1102,11 +1224,14 @@ class _PooledSession(_StreamSession):
         super().close()
         if self.abandoned or self.pool._closed:
             return  # pool teardown already owns the queues
-        for _ in range(sum(self.inflight)):
+        remaining = sum(self.inflight)
+        while remaining > 0:
             try:
-                self.pool._results.get(timeout=_RESULT_POLL_SECONDS)
+                message = self.pool._results.get(timeout=_RESULT_POLL_SECONDS)
             except queue_mod.Empty:  # pragma: no cover - dead worker
                 break
+            # A coalesced flush acknowledges several in-flight chunks.
+            remaining -= message[3]
 
 
 # -- module-level streaming helpers -----------------------------------------

@@ -13,7 +13,16 @@ Subcommands
     dealers``.  With ``--stream``, read NDJSON page records from stdin
     (crawler-fed ingestion) and emit NDJSON outcomes as extractions
     complete: ``crawler | repro apply --artifacts wrappers/ --stream
-    --workers 4``.
+    --workers 4``.  With ``--self-repair``, drifted wrappers are
+    repaired in place — ranked-alternate promotion first, full relearn
+    as fallback (dataset mode) — and the repaired artifact serves every
+    later page of that site without restarting the session.
+
+``monitor``
+    Wrapper health check: apply saved artifacts and compare extraction
+    health against each artifact's learn-time baseline (``--drift``
+    mutates the regenerated sites first — a drift drill): ``repro
+    monitor --artifacts wrappers/ --dataset dealers --drift medium``.
 
 ``list-components``
     Show every registered inductor, annotator, enumerator and dataset.
@@ -57,6 +66,7 @@ from repro.api import (
 from repro.api.batch import SerialExecutor
 from repro.api.scheduler import WorkerPool
 from repro.api.registry import RegistryError, site_inductor_names
+from repro.datasets.sitegen import DRIFT_SEVERITIES
 from repro.enumeration import enumerate_bottom_up, enumerate_top_down
 from repro.enumeration.naive import naive_call_count
 from repro.evaluation.metrics import prf
@@ -187,6 +197,27 @@ def _artifacts_or_exit(directory: str):
     return artifacts_by_site
 
 
+def _artifact_source_paths(directory: str) -> dict:
+    """Site name -> the JSON file it was loaded from.
+
+    Mirrors :func:`repro.api.load_artifacts` keying (``site`` field,
+    file stem as fallback) so ``--save-repaired`` overwrites the file a
+    wrapper actually came from — writing ``{site}.json`` blindly could
+    leave two files claiming one site (e.g. next to ``site--name.json``)
+    and make the directory unloadable.
+    """
+    import json
+
+    paths: dict = {}
+    for path in sorted(Path(directory).glob("*.json")):
+        try:
+            key = json.loads(path.read_text(encoding="utf-8")).get("site")
+        except Exception:  # pragma: no cover - load_artifacts vetted these
+            key = None
+        paths.setdefault(key or path.stem, path)
+    return paths
+
+
 def cmd_apply_stream(args: argparse.Namespace) -> int:
     """``apply --stream``: crawler-fed extraction over stdin/stdout.
 
@@ -199,21 +230,79 @@ def cmd_apply_stream(args: argparse.Namespace) -> int:
     submission number — ``"site"`` alone is ambiguous when a site is
     crawled more than once).  Outcome lines carry ``ok`` plus either
     sorted ``[page, preorder]`` node ids (``nodes``, with ``texts``
-    when ``--texts`` re-resolves them) or ``error``.  Records rejected
-    before submission (unparseable line, unknown site) carry ``line``
-    (the 1-based stdin line number) instead of ``index``.
+    when ``--texts`` asks the workers to resolve them — the worker
+    already holds the parsed site, so the parent never re-parses) or
+    ``error``.  Records rejected before submission (unparseable line,
+    unknown site) carry ``line`` (the 1-based stdin line number)
+    instead of ``index``.
+
+    With ``--self-repair``, each site's outcomes feed a
+    :class:`~repro.lifecycle.monitor.DriftDetector` against the
+    artifact's learn-time baseline; on drift, the ranked-alternate
+    ladder is validated against the drifted pages (structural
+    validation — no annotator is available on a raw stream) and the
+    first passing alternate is promoted.  The repaired artifact serves
+    every later record of that site through the *same live session* —
+    no restart — and a ``{"repair": ...}`` NDJSON line documents the
+    swap (or its failure).
     """
     import json
 
     from repro.api.ingest import IngestSession
+    from repro.lifecycle import DriftDetector, RepairPolicy
     from repro.site import Site
 
     artifacts_by_site = _artifacts_or_exit(args.artifacts)
     ok_count = 0
+    #: index -> (site, pages) while in flight (self-repair needs the
+    #: drifted pages to validate the alternate ladder against).
     held: dict[int, tuple[str, list[str]]] = {}
+    detectors: dict[str, DriftDetector] = {}
+    #: Sites whose cascade already failed: without an annotator or an
+    #: extractor a retry cannot go differently, so later records skip
+    #: the (page re-parse + ladder) cost and the duplicate NDJSON line.
+    unrepairable: set[str] = set()
+    repair_policy = RepairPolicy() if args.self_repair else None
 
     def emit(record: dict) -> None:
         print(json.dumps(record, sort_keys=True), flush=True)
+
+    def maybe_repair(outcome) -> None:
+        """Detect drift on one outcome; promote an alternate if needed."""
+        name, pages = held[outcome.index]
+        artifact = artifacts_by_site.get(name)
+        if artifact is None or not artifact.baseline or name in unrepairable:
+            return  # v1 artifact (no baseline) or already given up
+        if (
+            outcome.artifact is None
+            or outcome.artifact.wrapper_spec != artifact.wrapper_spec
+        ):
+            # Stale outcome: produced by a wrapper this session already
+            # swapped out (records in flight when the repair landed).
+            # Its signals describe the OLD rule — feeding them to the
+            # repaired artifact's detector would fire a bogus second
+            # cascade.  (Specs compare by value: outcome artifacts
+            # cross a process boundary under --workers.)
+            return
+        detector = detectors.get(name)
+        if detector is None:
+            detector = detectors[name] = DriftDetector(artifact.baseline)
+        verdict = detector.observe(outcome.extracted, len(pages))
+        if not verdict.drifted:
+            return
+        report = repair_policy.repair(
+            artifact,
+            Site.from_html(name, pages),
+            drift=verdict,
+        )
+        emit({"repair": report.to_dict(), "site": name})
+        if report.ok:
+            # Hot-swap: later records of this site apply the repaired
+            # artifact through the same live session.
+            artifacts_by_site[name] = report.artifact
+            detectors[name] = DriftDetector(report.artifact.baseline)
+        else:
+            unrepairable.add(name)
 
     def emit_outcome(outcome) -> None:
         nonlocal ok_count
@@ -230,14 +319,9 @@ def cmd_apply_stream(args: argparse.Namespace) -> int:
                 [node_id.page, node_id.preorder] for node_id in node_ids
             ]
             if args.texts:
-                name, sources = held[outcome.index]
-                # Re-parse locally to resolve texts: parsing is
-                # deterministic, so worker-side node ids land on the
-                # same nodes here.
-                site = Site.from_html(name, sources)
-                record["texts"] = [
-                    site.text_node(node_id).text for node_id in node_ids
-                ]
+                record["texts"] = outcome.texts
+            if repair_policy is not None:
+                maybe_repair(outcome)
         else:
             record["error"] = outcome.error
         held.pop(outcome.index, None)
@@ -277,8 +361,10 @@ def cmd_apply_stream(args: argparse.Namespace) -> int:
                     }
                 )
                 continue
-            index = session.submit_html(name, pages, artifact=artifact)
-            if args.texts:
+            index = session.submit_html(
+                name, pages, artifact=artifact, resolve_texts=args.texts
+            )
+            if args.self_repair:
                 held[index] = (name, pages)
             # advance(): with one worker this runs the queued job now,
             # so outcomes flow per record instead of at the EOF drain.
@@ -289,10 +375,43 @@ def cmd_apply_stream(args: argparse.Namespace) -> int:
     return 0 if ok_count else 1
 
 
+def _repair_extractor(artifact, models):
+    """The relearn-fallback extractor for one artifact: its own learn
+    config (from provenance) re-armed with freshly fitted models."""
+    payload = dict((artifact.provenance or {}).get("config") or {})
+    try:
+        config = ExtractorConfig.from_dict(payload)
+    except Exception:
+        config = ExtractorConfig(
+            inductor=artifact.inductor or "xpath",
+            method=artifact.method or "ntw",
+        )
+    return Extractor(
+        config,
+        annotation_model=models.annotation,
+        publication_model=models.publication,
+    )
+
+
 def cmd_apply(args: argparse.Namespace) -> int:
     """Load saved artifacts and re-extract from regenerated sites."""
     if args.stream:
+        # Dataset-mode-only flags must fail loudly, not silently no-op
+        # (a user expecting a drift drill or written-back repairs would
+        # otherwise see a healthy stream and exit 0).
+        if args.drift != "none":
+            raise SystemExit(
+                "--drift is a dataset-mode drill; --stream extracts the "
+                "pages it is fed (drift your crawler input instead)"
+            )
+        if args.save_repaired:
+            raise SystemExit(
+                "--save-repaired needs dataset mode; stream-mode repairs "
+                "are emitted as NDJSON {\"repair\": ...} records"
+            )
         return cmd_apply_stream(args)
+    from repro.lifecycle import DriftDetector, RepairPolicy
+
     artifacts_by_site = _artifacts_or_exit(args.artifacts)
     bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
     sites_by_name = {generated.name: generated for generated in bundle.sites}
@@ -302,6 +421,16 @@ def cmd_apply(args: argparse.Namespace) -> int:
             f"no artifact matches a site of dataset {args.dataset!r} "
             f"(artifacts: {', '.join(sorted(artifacts_by_site))})"
         )
+    if args.drift != "none":
+        # Drift drill: mutate the matched sites through the template-
+        # drift generator (gold remaps with them) so --self-repair has
+        # something real to recover from.
+        from repro.datasets.sitegen import drift_site
+
+        for name in matched:
+            sites_by_name[name] = drift_site(
+                sites_by_name[name], severity=args.drift, seed=args.drift_seed
+            )
     artifacts = [artifacts_by_site[name] for name in matched]
     targets = [sites_by_name[name] for name in matched]
     executor = _executor_for(args.workers)
@@ -309,28 +438,156 @@ def cmd_apply(args: argparse.Namespace) -> int:
         result = apply_many(artifacts, targets, executor=executor)
     finally:
         _close_executor(executor)
+    source_paths = (
+        _artifact_source_paths(args.artifacts) if args.save_repaired else {}
+    )
+    repair_models = None
+
+    def _repair_models():
+        """Fit the relearn models once, and only when drift is found —
+        the healthy-fleet apply never pays for model fitting."""
+        nonlocal repair_models
+        if repair_models is None:
+            from repro.evaluation.runner import fit_models
+
+            train, _ = split_sites(bundle.sites)
+            repair_models = fit_models(
+                train, bundle.annotator, bundle.gold_type
+            )
+        return repair_models
+
     scores = []
+    repaired_count = 0
     for outcome in result.outcomes:
         if not outcome.ok:
             print(f"  {outcome.site}: FAILED ({outcome.error})")
             continue
         generated = sites_by_name[outcome.site]
+        artifact = artifacts_by_site[outcome.site]
+        extracted = outcome.extracted
+        suffix = ""
+        if args.self_repair and artifact.baseline:
+            labels = bundle.annotator.annotate(generated.site)
+            verdict = DriftDetector(artifact.baseline).observe(
+                extracted, len(generated.site), labels=labels
+            )
+            if verdict.drifted:
+                policy = RepairPolicy(
+                    annotator=bundle.annotator,
+                    extractor=_repair_extractor(artifact, _repair_models()),
+                )
+                report = policy.repair(
+                    artifact, generated.site, labels=labels, drift=verdict
+                )
+                if report.ok:
+                    repaired_count += 1
+                    extracted = report.artifact.apply(generated.site)
+                    suffix = f"  [repaired: {report.strategy}]"
+                    artifacts_by_site[outcome.site] = report.artifact
+                    if args.save_repaired:
+                        path = report.artifact.save(
+                            source_paths.get(
+                                outcome.site,
+                                Path(args.artifacts) / f"{outcome.site}.json",
+                            )
+                        )
+                        suffix += f" -> {path.name}"
+                else:
+                    suffix = f"  [repair failed: {report.error}]"
         gold = generated.gold.get(bundle.gold_type, frozenset())
-        line = f"  {outcome.site}: {len(outcome.extracted)} nodes"
+        line = f"  {outcome.site}: {len(extracted)} nodes"
         if gold:
-            score = prf(outcome.extracted, gold)
+            score = prf(extracted, gold)
             scores.append(score)
             line += (
                 f"  (P={score.precision:.2f} R={score.recall:.2f} "
                 f"F1={score.f1:.2f})"
             )
-        print(line)
+        print(line + suffix)
+    tail = f"; repaired {repaired_count} drifted" if repaired_count else ""
     if scores:
         mean_f1 = sum(score.f1 for score in scores) / len(scores)
-        print(f"applied {result.summary()}; mean F1 vs gold: {mean_f1:.2f}")
+        print(f"applied {result.summary()}; mean F1 vs gold: {mean_f1:.2f}{tail}")
     else:
-        print(f"applied {result.summary()}")
+        print(f"applied {result.summary()}{tail}")
     return 0 if result.successes else 1
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Wrapper health check: saved artifacts vs (optionally drifted)
+    regenerated sites, judged against each artifact's stored baseline.
+
+    ``--drift <severity>`` mutates the regenerated sites through the
+    template-drift generator first — a *drift drill* proving the
+    detector catches the mutation classes it claims to.  Exit code is
+    the number of drifted (or unmonitorable) wrappers, capped at 1 —
+    cron-friendly: nonzero means "somebody should look".
+    """
+    import json
+
+    from repro.datasets.sitegen import drift_site
+    from repro.lifecycle import DriftDetector
+
+    artifacts_by_site = _artifacts_or_exit(args.artifacts)
+    bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
+    sites_by_name = {generated.name: generated for generated in bundle.sites}
+    matched = sorted(set(artifacts_by_site) & set(sites_by_name))
+    if not matched:
+        raise SystemExit(
+            f"no artifact matches a site of dataset {args.dataset!r} "
+            f"(artifacts: {', '.join(sorted(artifacts_by_site))})"
+        )
+    drifted_count = 0
+    if not args.json:
+        print(
+            f"{'site':16s} {'nodes/pg':>8s} {'empty%':>7s} "
+            f"{'agree':>6s} {'ratio':>6s}  status"
+        )
+    for name in matched:
+        artifact = artifacts_by_site[name]
+        generated = sites_by_name[name]
+        if args.drift != "none":
+            generated = drift_site(
+                generated, severity=args.drift, seed=args.drift_seed
+            )
+        if not artifact.baseline:
+            drifted_count += 1
+            if args.json:
+                print(json.dumps({"site": name, "status": "no-baseline"}))
+            else:
+                print(f"{name:16s} {'-':>8s} {'-':>7s} {'-':>6s} {'-':>6s}  NO-BASELINE (schema v1; relearn to monitor)")
+            continue
+        extracted = artifact.apply(generated.site)
+        detector = DriftDetector(artifact.baseline)
+        report = detector.observe_site(
+            generated.site, extracted, annotator=bundle.annotator
+        )
+        if report.drifted:
+            drifted_count += 1
+        if args.json:
+            print(json.dumps({"site": name, **report.to_dict()}, sort_keys=True))
+        else:
+            signals = report.signals
+            agree = (
+                f"{signals.agreement:.2f}" if signals.agreement is not None else "-"
+            )
+            status = (
+                "DRIFTED: " + "; ".join(report.reasons) if report.drifted else "ok"
+            )
+            print(
+                f"{name:16s} {signals.mean_per_page:8.2f} "
+                f"{signals.empty_page_rate * 100:6.1f}% {agree:>6s} "
+                f"{signals.count_ratio:6.2f}  {status}"
+            )
+    healthy = len(matched) - drifted_count
+    summary = (
+        f"monitored {len(matched)} wrappers: {healthy} healthy, "
+        f"{drifted_count} drifted"
+    )
+    # --json promises NDJSON on stdout; the human summary goes to
+    # stderr so `... --json | jq` never chokes on a prose line.
+    print(summary, file=sys.stderr if args.json else sys.stdout)
+    return 1 if drifted_count else 0
 
 
 def cmd_list_components(_: argparse.Namespace) -> int:
@@ -449,9 +706,65 @@ def build_parser() -> argparse.ArgumentParser:
     apply_.add_argument(
         "--texts",
         action="store_true",
-        help="with --stream, include extracted node texts in each outcome",
+        help=(
+            "with --stream, include extracted node texts in each outcome "
+            "(resolved worker-side on the interned parsed site)"
+        ),
     )
+    apply_.add_argument(
+        "--self-repair",
+        action="store_true",
+        help=(
+            "detect wrapper drift against each artifact's learn-time "
+            "baseline and repair in place: promote the first ranked "
+            "alternate that validates on the drifted pages, or (dataset "
+            "mode) relearn with the dataset annotator; repaired "
+            "artifacts serve all later pages of the site"
+        ),
+    )
+    apply_.add_argument(
+        "--save-repaired",
+        action="store_true",
+        help=(
+            "with --self-repair (dataset mode), write repaired "
+            "artifacts back into the --artifacts directory"
+        ),
+    )
+    apply_.add_argument(
+        "--drift",
+        default="none",
+        choices=("none", *DRIFT_SEVERITIES),
+        help=(
+            "dataset mode: mutate the regenerated sites through the "
+            "template-drift generator first (a self-repair drill)"
+        ),
+    )
+    apply_.add_argument("--drift-seed", type=int, default=1)
     apply_.set_defaults(func=cmd_apply)
+
+    monitor = sub.add_parser(
+        "monitor", help="wrapper drift health check against baselines"
+    )
+    _add_dataset_args(monitor, sites=8, pages=6)
+    monitor.add_argument(
+        "--artifacts", required=True, help="directory of artifact JSON files"
+    )
+    monitor.add_argument(
+        "--drift",
+        default="none",
+        choices=("none", *DRIFT_SEVERITIES),
+        help=(
+            "mutate the regenerated sites through the template-drift "
+            "generator before checking (a detector drill)"
+        ),
+    )
+    monitor.add_argument("--drift-seed", type=int, default=1)
+    monitor.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one NDJSON health report per site instead of the table",
+    )
+    monitor.set_defaults(func=cmd_monitor)
 
     components = sub.add_parser(
         "list-components", help="show registered components"

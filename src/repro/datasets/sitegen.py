@@ -5,12 +5,24 @@ span of every gold value they write.  After parsing, each span is
 resolved to the text node containing it, giving exact gold label sets
 per type — the ground truth the paper obtained by manually writing a
 correct rule per website.
+
+This module also hosts the *template-drift mutation generator*
+(:func:`drift_site` / :func:`drift_html`): deterministic, text-
+preserving rewrites of a generated site's rendering — CSS class
+renames, wrapper-div insertion, systematic attribute churn — that
+simulate the site redesigns a deployed wrapper must survive.  Because
+the mutations never touch character data, gold labels carry over to the
+mutated pages by text-node position, giving drift scenarios with exact
+ground truth (see :mod:`repro.lifecycle` for the detect/repair side).
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+import random
+import re
+import zlib
+from dataclasses import dataclass, field, replace
 
 from repro.datasets.templates import GoldSpan
 from repro.htmldom.dom import NodeId, TextNode
@@ -94,3 +106,247 @@ def assemble_site(
     return GeneratedSite(
         spec=spec, site=site, gold=gold, metadata=metadata or {}
     )
+
+
+# -- template drift mutations -------------------------------------------------
+
+#: Named severity presets of :meth:`DriftConfig.for_severity`.
+DRIFT_SEVERITIES = ("low", "medium", "high")
+
+#: Tags whose open tags may receive churned attributes.  All are
+#: container/inline tags the generated layouts use; mutating them never
+#: changes text content or tag nesting validity.
+_CHURN_TAGS = (
+    "div", "table", "tr", "td", "ul", "li", "dl", "dt", "dd",
+    "span", "p", "h1", "h3", "h4", "b", "u", "strong", "em", "a",
+)
+
+_CLASS_ATTR_RE = re.compile(r'class="([^"]*)"')
+_BODY_OPEN_RE = re.compile(r"<body\b[^>]*>", re.IGNORECASE)
+_BODY_CLOSE_RE = re.compile(r"</body\s*>", re.IGNORECASE)
+
+
+class DriftError(RuntimeError):
+    """A mutation broke the text-node alignment gold remapping needs."""
+
+
+@dataclass(frozen=True, slots=True)
+class DriftConfig:
+    """Knobs of the template-drift generator.
+
+    All mutations are *systematic* — applied template-wide, consistently
+    across every page of the site — because real drift is a rendering-
+    script change, not per-page noise (and a post-drift relearn must
+    still find a template-consistent rule).
+
+    Attributes:
+        class_rename_rate: fraction of distinct CSS class values renamed
+            site-wide (breaks rules and delimiters keyed on classes).
+        attribute_churn_rate: fraction of eligible tag *names* whose
+            every open tag gains a new synthetic attribute (breaks
+            character-context delimiters; structure-only rules survive).
+        wrapper_depth: nested ``<div>`` wrappers inserted around each
+            page's body content (shifts ancestor paths and depths).
+    """
+
+    class_rename_rate: float = 0.0
+    attribute_churn_rate: float = 0.0
+    wrapper_depth: int = 0
+
+    @classmethod
+    def for_severity(cls, severity: str) -> "DriftConfig":
+        """Preset mutation mixes of increasing violence.
+
+        ``low`` churns attributes only (character contexts move, tree
+        structure intact); ``medium`` additionally renames most classes
+        (attribute-keyed rules break); ``high`` also wraps the body in
+        new container divs (ancestor paths shift).
+        """
+        presets = {
+            "low": cls(attribute_churn_rate=0.35),
+            "medium": cls(attribute_churn_rate=0.5, class_rename_rate=0.7),
+            "high": cls(
+                attribute_churn_rate=0.8,
+                class_rename_rate=1.0,
+                wrapper_depth=2,
+            ),
+        }
+        try:
+            return presets[severity]
+        except KeyError:
+            raise ValueError(
+                f"unknown drift severity {severity!r} "
+                f"(choose from {', '.join(DRIFT_SEVERITIES)})"
+            ) from None
+
+
+def drift_html(
+    sources: list[str],
+    severity: str = "medium",
+    seed: int = 0,
+    config: DriftConfig | None = None,
+) -> list[str]:
+    """Mutate the pages of one site, template-consistently.
+
+    The same rename map, churn plan and wrapper chrome apply to every
+    page (the mutation is a rendering-script update).  Text content is
+    never modified, so extraction ground truth carries over by text-node
+    position — :func:`drift_site` does that remap for generated sites.
+    Deterministic in ``(severity, seed, sources)``.
+    """
+    if config is None:
+        config = DriftConfig.for_severity(severity)
+    rng = random.Random(f"drift:{severity}:{seed}")
+    renames = _class_rename_map(sources, rng, config.class_rename_rate)
+    churn = _churn_plan(sources, rng, config.attribute_churn_rate)
+    mutated = []
+    for source in sources:
+        if renames:
+            source = _CLASS_ATTR_RE.sub(
+                lambda match: f'class="{renames.get(match.group(1), match.group(1))}"',
+                source,
+            )
+        for tag, attribute in churn:
+            source = re.sub(rf"<{tag}(?=[\s>])", f"<{tag} {attribute}", source)
+        if config.wrapper_depth > 0:
+            source = _wrap_body(source, config.wrapper_depth)
+        mutated.append(source)
+    return mutated
+
+
+def drift_site(
+    generated: GeneratedSite,
+    severity: str = "medium",
+    seed: int = 0,
+    config: DriftConfig | None = None,
+) -> GeneratedSite:
+    """A drifted copy of a generated site with gold labels remapped.
+
+    Page sources are mutated via :func:`drift_html`, reparsed, and every
+    gold node id (and gold variant) is carried over by per-page
+    text-node position — mutations never touch character data, so the
+    alignment is exact (verified text-for-text; :class:`DriftError`
+    otherwise).  The returned site keeps the original name (a drifted
+    site is *the same site*, later in time) and records the mutation in
+    ``metadata["drift"]``.
+    """
+    site = generated.site
+    sources = [page.source for page in site.pages]
+    if any(not source for source in sources):
+        raise DriftError(
+            f"site {site.name!r} has pages without HTML sources; "
+            "drift mutations rewrite page sources"
+        )
+    drifted = Site.from_html(
+        site.name, drift_html(sources, severity=severity, seed=seed, config=config)
+    )
+    remap = _text_node_alignment(site, drifted)
+    gold = {
+        type_name: frozenset(remap[node_id] for node_id in labels)
+        for type_name, labels in generated.gold.items()
+    }
+    gold_variants = {
+        type_name: [
+            frozenset(remap[node_id] for node_id in variant)
+            for variant in variants
+        ]
+        for type_name, variants in generated.gold_variants.items()
+    }
+    metadata = dict(generated.metadata)
+    metadata["drift"] = {"severity": severity, "seed": seed}
+    return GeneratedSite(
+        spec=replace(generated.spec),
+        site=drifted,
+        gold=gold,
+        gold_variants=gold_variants,
+        metadata=metadata,
+    )
+
+
+def _class_rename_map(
+    sources: list[str], rng: random.Random, rate: float
+) -> dict[str, str]:
+    """Site-wide rename map over distinct ``class`` attribute values."""
+    if rate <= 0:
+        return {}
+    values = sorted(
+        {
+            match.group(1)
+            for source in sources
+            for match in _CLASS_ATTR_RE.finditer(source)
+        }
+    )
+    return {
+        value: f"v2-{zlib.crc32(value.encode('utf-8')) & 0xFFFF:04x}"
+        for value in values
+        if rng.random() < rate
+    }
+
+
+def _churn_plan(
+    sources: list[str], rng: random.Random, rate: float
+) -> list[tuple[str, str]]:
+    """Which tag names gain which synthetic attribute, site-wide."""
+    if rate <= 0:
+        return []
+    present = [
+        tag
+        for tag in _CHURN_TAGS
+        if any(re.search(rf"<{tag}[\s>]", source) for source in sources)
+    ]
+    plan = []
+    for tag in present:
+        if rng.random() < rate:
+            plan.append((tag, f'data-c{rng.randrange(10, 100)}="{rng.randrange(1000)}"'))
+    return plan
+
+
+def _wrap_body(source: str, depth: int) -> str:
+    """Nest each page's body content inside ``depth`` new wrapper divs."""
+    opens = "".join(f'<div class="skin-l{level}">' for level in range(depth))
+    closes = "</div>" * depth
+    open_match = _BODY_OPEN_RE.search(source)
+    close_match = None
+    for close_match in _BODY_CLOSE_RE.finditer(source):
+        pass  # keep the last </body>
+    if open_match is None:
+        return opens + source + closes
+    head = source[: open_match.end()]
+    if close_match is None or close_match.start() < open_match.end():
+        return head + opens + source[open_match.end() :] + closes
+    return (
+        head
+        + opens
+        + source[open_match.end() : close_match.start()]
+        + closes
+        + source[close_match.start() :]
+    )
+
+
+def _text_node_alignment(
+    old_site: Site, new_site: Site
+) -> dict[NodeId, NodeId]:
+    """Old -> new text-node id map by per-page document position.
+
+    Valid because drift mutations never create, remove, split or edit
+    text nodes; verified text-for-text so a mutation that ever did would
+    fail loudly instead of silently corrupting gold.
+    """
+    remap: dict[NodeId, NodeId] = {}
+    for old_page, new_page in zip(old_site.pages, new_site.pages):
+        old_nodes = [n for n in old_page.nodes if isinstance(n, TextNode)]
+        new_nodes = [n for n in new_page.nodes if isinstance(n, TextNode)]
+        if len(old_nodes) != len(new_nodes):
+            raise DriftError(
+                f"page {old_page.page_index}: text-node count changed "
+                f"{len(old_nodes)} -> {len(new_nodes)} under mutation"
+            )
+        for old_node, new_node in zip(old_nodes, new_nodes):
+            if old_node.text != new_node.text:
+                raise DriftError(
+                    f"page {old_page.page_index}: text node content "
+                    f"changed under mutation ({old_node.text!r} -> "
+                    f"{new_node.text!r})"
+                )
+            remap[old_node.node_id] = new_node.node_id
+    return remap

@@ -1,0 +1,60 @@
+"""``repro.lifecycle`` — keeping deployed wrappers healthy over time.
+
+Learning a wrapper is a one-shot event; *serving* it is not.  Sites
+redesign, CMS upgrades rename CSS classes, ad frameworks wrap listings
+in new container divs — and a deployed :class:`~repro.api.artifacts.
+WrapperArtifact` keeps matching whatever its rule still matches,
+silently extracting garbage (or nothing).  Ferrara & Baumgartner's
+adaptable-wrapper line of work frames the fix as a lifecycle:
+**detect** that extractions have drifted from the learn-time profile,
+**repair** automatically from knowledge the learner already paid for,
+and **redeploy** without stopping the pipeline.
+
+This package is that lifecycle for the ranked wrapper space of the
+paper:
+
+- :mod:`repro.lifecycle.monitor` — :class:`DriftDetector` compares
+  per-apply health signals (extraction-count distribution, empty-page
+  rate, annotator re-agreement) against the learn-time
+  :class:`HealthBaseline` stored in every artifact, over rolling
+  windows, with a pluggable :class:`ThresholdPolicy`;
+- :mod:`repro.lifecycle.repair` — :class:`RepairPolicy` cascades
+  through the artifact's *ranked alternates* (the runner-up wrappers
+  the scorer already ranked at learn time), validating each against
+  weak annotations on the drifted pages, and falls back to a full
+  facade relearn when the ladder is exhausted; every attempt is
+  recorded in a structured :class:`RepairReport`.
+
+Redeployment is the live half: :meth:`repro.api.scheduler.WorkerPool.
+update_shared` / :meth:`repro.api.ingest.IngestSession.update_shared`
+ship a refit extractor through the live stream session, and repaired
+artifacts ride ordinary apply submissions — no session restart.
+"""
+
+from repro.lifecycle.monitor import (
+    DriftDetector,
+    DriftReport,
+    HealthBaseline,
+    HealthSignals,
+    ThresholdPolicy,
+    baseline_from_extraction,
+    page_counts,
+)
+from repro.lifecycle.repair import (
+    AlternateAttempt,
+    RepairPolicy,
+    RepairReport,
+)
+
+__all__ = [
+    "AlternateAttempt",
+    "DriftDetector",
+    "DriftReport",
+    "HealthBaseline",
+    "HealthSignals",
+    "RepairPolicy",
+    "RepairReport",
+    "ThresholdPolicy",
+    "baseline_from_extraction",
+    "page_counts",
+]

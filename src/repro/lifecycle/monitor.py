@@ -1,0 +1,390 @@
+"""Drift detection: per-apply health signals vs a learn-time baseline.
+
+A wrapper's learn-time behaviour is a statistical profile, not just a
+rule: how many nodes it extracts per page, how often a page yields
+nothing, and how much of the weak annotator's evidence it captures.
+:func:`baseline_from_extraction` freezes that profile into a
+:class:`HealthBaseline` (serialized into every artifact — see
+:attr:`repro.api.artifacts.WrapperArtifact.baseline`), and a
+:class:`DriftDetector` replays the same measurements over live apply
+results, in a rolling window, asking a pluggable
+:class:`ThresholdPolicy` whether the profile has moved enough to call
+the wrapper *drifted*.
+
+Three signal families, mirroring the self-repairing-wrapper literature
+(Ferrara & Baumgartner):
+
+- **extraction-count distribution** — mean/std nodes-per-page against
+  the baseline (a template change typically collapses the extraction to
+  zero or explodes it onto chrome nodes);
+- **empty-page rate** — the fraction of pages yielding nothing (the
+  most common drift smell: the rule simply stops matching);
+- **annotator re-agreement** — when the caller can re-annotate sampled
+  pages, the fraction of weak labels the extraction still covers (the
+  content-level check: structure may match while meaning moved).
+
+Signals are cheap (set arithmetic over already-computed extractions),
+so a detector can ride every apply outcome of a streaming session.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.wrappers.base import Labels
+
+__all__ = [
+    "DriftDetector",
+    "DriftReport",
+    "HealthBaseline",
+    "HealthSignals",
+    "ThresholdPolicy",
+    "baseline_from_extraction",
+    "page_counts",
+]
+
+
+def page_counts(extracted: Labels, n_pages: int) -> list[int]:
+    """Extraction counts per page (node ids carry their page index).
+
+    Node ids must index the observed pages ``0..n_pages-1`` — true for
+    any whole-site apply (ingest submissions parse each batch of pages
+    as its own site, so their ids always start at page 0).  An
+    out-of-range page raises instead of being dropped: silently reading
+    a mis-windowed observation as "empty pages" would fabricate drift.
+    """
+    counts = [0] * n_pages
+    for node_id in extracted:
+        if not 0 <= node_id.page < n_pages:
+            raise ValueError(
+                f"extraction references page {node_id.page} but the "
+                f"observation covers {n_pages} page(s); pass per-page "
+                "counts via observe_counts() for partial windows"
+            )
+        counts[node_id.page] += 1
+    return counts
+
+
+def _mean_std(counts: list[int]) -> tuple[float, float]:
+    if not counts:
+        return 0.0, 0.0
+    mean = sum(counts) / len(counts)
+    variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+    return mean, variance**0.5
+
+
+def agreement_score(extracted: Labels, labels: Labels | None) -> float | None:
+    """Fraction of weak labels the extraction covers (``None`` if no labels).
+
+    Weak annotators in this codebase are precision-heavy (the paper's
+    dictionary profile is p≈0.95, r≈0.24), so a healthy wrapper's
+    extraction *contains* most labels; losing them means the rule no
+    longer lands on the labeled content.
+    """
+    if not labels:
+        return None
+    return len(extracted & labels) / len(labels)
+
+
+@dataclass(slots=True)
+class HealthBaseline:
+    """The learn-time health profile serialized into artifacts.
+
+    Attributes:
+        pages: pages the wrapper was learned over.
+        mean_per_page / std_per_page: extraction-count distribution.
+        empty_page_rate: fraction of learn pages yielding nothing.
+        agreement: learn-time annotator agreement (``None`` when the
+            wrapper was learned without weak labels to compare against).
+        n_labels: size of the weak label set at learn time (context for
+            interpreting ``agreement``; 0 when unknown).
+    """
+
+    pages: int
+    mean_per_page: float
+    std_per_page: float
+    empty_page_rate: float
+    agreement: float | None = None
+    n_labels: int = 0
+
+    def to_dict(self) -> dict:
+        payload = {
+            "pages": self.pages,
+            "mean_per_page": self.mean_per_page,
+            "std_per_page": self.std_per_page,
+            "empty_page_rate": self.empty_page_rate,
+            "n_labels": self.n_labels,
+        }
+        if self.agreement is not None:
+            payload["agreement"] = self.agreement
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HealthBaseline | None":
+        """Rebuild a baseline; ``None`` for empty/absent payloads (old
+        artifacts carry no baseline).  Unknown keys are ignored so
+        baselines written by newer minor revisions stay readable."""
+        if not payload:
+            return None
+        try:
+            return cls(
+                pages=int(payload["pages"]),
+                mean_per_page=float(payload["mean_per_page"]),
+                std_per_page=float(payload["std_per_page"]),
+                empty_page_rate=float(payload["empty_page_rate"]),
+                agreement=(
+                    float(payload["agreement"])
+                    if payload.get("agreement") is not None
+                    else None
+                ),
+                n_labels=int(payload.get("n_labels", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"malformed health baseline: {error}") from error
+
+
+def baseline_from_extraction(
+    extracted: Labels, n_pages: int, labels: Labels | None = None
+) -> HealthBaseline:
+    """Freeze the health profile of one learn-time extraction."""
+    counts = page_counts(extracted, n_pages)
+    mean, std = _mean_std(counts)
+    empty_rate = (
+        sum(1 for c in counts if c == 0) / len(counts) if counts else 0.0
+    )
+    return HealthBaseline(
+        pages=n_pages,
+        mean_per_page=mean,
+        std_per_page=std,
+        empty_page_rate=empty_rate,
+        agreement=agreement_score(extracted, labels),
+        n_labels=len(labels) if labels else 0,
+    )
+
+
+@dataclass(slots=True)
+class HealthSignals:
+    """Windowed health measurements of a deployed wrapper."""
+
+    observations: int
+    pages: int
+    mean_per_page: float
+    std_per_page: float
+    empty_page_rate: float
+    count_ratio: float
+    agreement: float | None
+
+    def to_dict(self) -> dict:
+        import math
+
+        return {
+            "observations": self.observations,
+            "pages": self.pages,
+            "mean_per_page": self.mean_per_page,
+            "std_per_page": self.std_per_page,
+            "empty_page_rate": self.empty_page_rate,
+            # A zero-mean baseline makes the ratio inf; json.dumps would
+            # emit the non-standard `Infinity` token, so NDJSON surfaces
+            # (monitor --json, stream repair records) get null instead.
+            "count_ratio": (
+                self.count_ratio if math.isfinite(self.count_ratio) else None
+            ),
+            "agreement": self.agreement,
+        }
+
+
+@dataclass(slots=True)
+class DriftReport:
+    """One ``observe`` verdict: the signals plus the policy's reasons."""
+
+    drifted: bool
+    signals: HealthSignals
+    reasons: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "drifted": self.drifted,
+            "reasons": list(self.reasons),
+            "signals": self.signals.to_dict(),
+        }
+
+
+@dataclass(slots=True)
+class ThresholdPolicy:
+    """The default drift decision: fixed thresholds on each signal.
+
+    The policy is the pluggable half of the detector: subclass and
+    override :meth:`evaluate` (return the list of human-readable reasons
+    the window looks drifted, empty for healthy) to swap in CUSUM,
+    quantile tests, or learned detectors without touching the windowing.
+
+    Attributes:
+        min_count_ratio / max_count_ratio: acceptable band of the
+            windowed mean-nodes-per-page relative to the baseline mean.
+        max_empty_rate_jump: largest tolerated *absolute* increase of
+            the empty-page rate over the baseline rate.
+        min_agreement: absolute floor on annotator re-agreement, used
+            only when the baseline recorded no agreement to compare
+            against (drift is *change*: a wrapper whose learn-time
+            agreement was already poor has not drifted by staying poor).
+        max_agreement_drop: largest tolerated *relative* drop of
+            agreement vs the baseline agreement.
+        min_observations: observations required before the policy may
+            fire at all (debounces one-page blips on small windows).
+    """
+
+    min_count_ratio: float = 0.5
+    max_count_ratio: float = 2.0
+    max_empty_rate_jump: float = 0.25
+    min_agreement: float = 0.5
+    max_agreement_drop: float = 0.5
+    min_observations: int = 1
+
+    def evaluate(
+        self, signals: HealthSignals, baseline: HealthBaseline
+    ) -> list[str]:
+        if signals.observations < self.min_observations:
+            return []
+        reasons: list[str] = []
+        if signals.count_ratio < self.min_count_ratio:
+            reasons.append(
+                f"extraction collapsed: {signals.mean_per_page:.2f} "
+                f"nodes/page vs baseline {baseline.mean_per_page:.2f} "
+                f"(ratio {signals.count_ratio:.2f} < {self.min_count_ratio})"
+            )
+        elif signals.count_ratio > self.max_count_ratio:
+            reasons.append(
+                f"extraction exploded: {signals.mean_per_page:.2f} "
+                f"nodes/page vs baseline {baseline.mean_per_page:.2f} "
+                f"(ratio {signals.count_ratio:.2f} > {self.max_count_ratio})"
+            )
+        jump = signals.empty_page_rate - baseline.empty_page_rate
+        if jump > self.max_empty_rate_jump:
+            reasons.append(
+                f"empty-page rate jumped {baseline.empty_page_rate:.2f} -> "
+                f"{signals.empty_page_rate:.2f} (+{jump:.2f} > "
+                f"{self.max_empty_rate_jump})"
+            )
+        if signals.agreement is not None:
+            if baseline.agreement is not None:
+                floor = baseline.agreement * (1.0 - self.max_agreement_drop)
+            else:
+                floor = self.min_agreement
+            if signals.agreement < floor:
+                reasons.append(
+                    f"annotator re-agreement {signals.agreement:.2f} fell "
+                    f"below {floor:.2f} (baseline "
+                    f"{baseline.agreement if baseline.agreement is not None else 'n/a'})"
+                )
+        return reasons
+
+
+class DriftDetector:
+    """Rolling-window drift detection for one deployed wrapper.
+
+    Feed every apply result through :meth:`observe`; the detector keeps
+    the last ``window`` observations, aggregates them into
+    :class:`HealthSignals`, and asks the policy for a verdict.  One
+    detector per (artifact, site) stream — signals from different sites
+    must not share a window.
+
+    Args:
+        baseline: the artifact's learn-time profile (a
+            :class:`HealthBaseline` or its ``to_dict`` payload).
+        policy: threshold policy; default :class:`ThresholdPolicy`.
+        window: observations aggregated per verdict (rolling).
+    """
+
+    def __init__(
+        self,
+        baseline: HealthBaseline | dict,
+        policy: ThresholdPolicy | None = None,
+        window: int = 8,
+    ) -> None:
+        if isinstance(baseline, dict):
+            baseline = HealthBaseline.from_dict(baseline)
+        if baseline is None:
+            raise ValueError(
+                "DriftDetector needs a health baseline; this artifact "
+                "predates baselines (schema v1) — relearn to get one"
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1; got {window}")
+        self.baseline = baseline
+        self.policy = policy if policy is not None else ThresholdPolicy()
+        self.window = window
+        self._counts: deque[list[int]] = deque(maxlen=window)
+        self._agreements: deque[tuple[int, int] | None] = deque(maxlen=window)
+
+    def observe(
+        self, extracted: Labels, n_pages: int, labels: Labels | None = None
+    ) -> DriftReport:
+        """Record one apply result; return the windowed verdict.
+
+        ``extracted`` must cover pages ``0..n_pages-1`` (any whole-site
+        apply does; see :func:`page_counts`).  ``labels`` are optional
+        fresh weak annotations of the same pages (the re-agreement
+        signal is skipped when omitted — sampling a subset of outcomes
+        for re-annotation is the intended cadence).
+        """
+        counts = page_counts(extracted, n_pages)
+        agreement = (
+            (len(extracted & labels), len(labels)) if labels else None
+        )
+        return self.observe_counts(counts, agreement=agreement)
+
+    def observe_counts(
+        self,
+        counts: list[int],
+        agreement: tuple[int, int] | None = None,
+    ) -> DriftReport:
+        """Record one observation as raw per-page counts.
+
+        The low-level feed for callers windowing pages themselves (e.g.
+        a monitor slicing one site apply into page-sized observations,
+        where absolute node ids cannot be renumbered).  ``agreement``
+        is an optional ``(labels_covered, labels_total)`` pair.
+        """
+        self._counts.append(list(counts))
+        self._agreements.append(agreement)
+        return self._verdict()
+
+    def observe_site(self, site, extracted: Labels, annotator=None) -> DriftReport:
+        """:meth:`observe` convenience for a full :class:`~repro.site.Site`
+        apply — re-annotates with ``annotator`` when one is given."""
+        labels = annotator.annotate(site) if annotator is not None else None
+        return self.observe(extracted, len(site), labels=labels)
+
+    def _verdict(self) -> DriftReport:
+        counts = [c for obs in self._counts for c in obs]
+        mean, std = _mean_std(counts)
+        empty_rate = (
+            sum(1 for c in counts if c == 0) / len(counts) if counts else 0.0
+        )
+        if self.baseline.mean_per_page > 0:
+            ratio = mean / self.baseline.mean_per_page
+        else:
+            ratio = 1.0 if mean == 0 else float("inf")
+        measured = [pair for pair in self._agreements if pair is not None]
+        agreement: float | None = None
+        if measured:
+            covered = sum(pair[0] for pair in measured)
+            total = sum(pair[1] for pair in measured)
+            agreement = covered / total if total else None
+        signals = HealthSignals(
+            observations=len(self._counts),
+            pages=len(counts),
+            mean_per_page=mean,
+            std_per_page=std,
+            empty_page_rate=empty_rate,
+            count_ratio=ratio,
+            agreement=agreement,
+        )
+        reasons = self.policy.evaluate(signals, self.baseline)
+        return DriftReport(drifted=bool(reasons), signals=signals, reasons=reasons)
+
+    def reset(self) -> None:
+        """Forget the window (e.g. right after a repair is deployed)."""
+        self._counts.clear()
+        self._agreements.clear()

@@ -1,0 +1,405 @@
+"""Self-repair: cascade through the ranked-alternate ladder, then relearn.
+
+At learn time the ranker scores an entire wrapper space and keeps one
+winner; since schema v2 the artifact also carries the top runner-ups
+(:attr:`~repro.api.artifacts.WrapperArtifact.alternates`).  When the
+winner drifts, those alternates are the cheapest possible repair: rules
+the learner already certified as near-best on this site, re-validated
+against the *drifted* pages in one shared-engine batch — no enumeration,
+no ranking, no annotator sweep.
+
+:class:`RepairPolicy` runs the cascade:
+
+1. **validate each alternate** (ladder order) on the drifted pages —
+   against fresh weak annotations when available (the annotator is
+   still the ground-truth proxy the paper trusts), and against the
+   artifact's health baseline structurally (count ratio, emptiness)
+   either way;
+2. **promote the first that passes** into a new artifact: same
+   provenance lineage, refreshed baseline measured on the drifted
+   pages, remaining alternates kept as the next ladder;
+3. **fall back to a full facade relearn** through
+   :class:`~repro.api.extractor.Extractor` when the ladder is
+   exhausted — the paper's one-shot induction re-run on the new
+   template, using the same weak supervision that built the original.
+
+Every attempt is recorded in a structured :class:`RepairReport`, so
+operations can audit why a wrapper was swapped (and monitoring can
+count alternate-promotions vs relearns — the repair benchmark does
+exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.api.artifacts import WrapperArtifact
+from repro.engine import EvaluationEngine, resolve_engine
+from repro.lifecycle.monitor import (
+    DriftReport,
+    HealthBaseline,
+    agreement_score,
+    baseline_from_extraction,
+    page_counts,
+)
+from repro.site import Site
+from repro.wrappers.base import Labels, wrapper_from_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.annotators.base import Annotator
+    from repro.api.extractor import Extractor
+
+__all__ = ["AlternateAttempt", "RepairPolicy", "RepairReport"]
+
+
+@dataclass(slots=True)
+class AlternateAttempt:
+    """Validation record of one ladder rung on the drifted pages."""
+
+    rank: int
+    rule: str
+    promoted: bool
+    extracted: int
+    agreement: float | None = None
+    count_ratio: float | None = None
+    reasons: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "rule": self.rule,
+            "promoted": self.promoted,
+            "extracted": self.extracted,
+            "agreement": self.agreement,
+            "count_ratio": self.count_ratio,
+            "reasons": list(self.reasons),
+        }
+
+
+@dataclass(slots=True)
+class RepairReport:
+    """Structured outcome of one repair cascade."""
+
+    site: str
+    strategy: str  # "alternate" | "relearn" | "failed"
+    old_rule: str
+    new_rule: str | None = None
+    artifact: WrapperArtifact | None = None
+    attempts: list[AlternateAttempt] = field(default_factory=list)
+    promoted_rank: int | None = None
+    error: str | None = None
+    drift: DriftReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.artifact is not None
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the repaired artifact itself is omitted —
+        serialize it separately via ``artifact.to_dict()``)."""
+        payload: dict = {
+            "site": self.site,
+            "ok": self.ok,
+            "strategy": self.strategy,
+            "old_rule": self.old_rule,
+            "new_rule": self.new_rule,
+            "promoted_rank": self.promoted_rank,
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.drift is not None:
+            payload["drift"] = self.drift.to_dict()
+        return payload
+
+
+class RepairPolicy:
+    """Validate-and-promote over an artifact's ranked-alternate ladder.
+
+    Args:
+        annotator: weak annotator used to (re)label the drifted pages
+            when the caller supplies no explicit labels.  Without either,
+            validation is structural only (against the artifact's
+            baseline) and the relearn fallback is unavailable.
+        extractor: :class:`~repro.api.extractor.Extractor` used for the
+            full-relearn fallback when the ladder is exhausted (omit to
+            disable relearning).
+        engine: shared evaluation engine for alternate validation (the
+            process default when omitted) — validating a ladder is one
+            batch-extract on the drifted site.
+        min_agreement: weak-label coverage an alternate must reach on
+            the drifted pages when the baseline recorded no learn-time
+            agreement to compare against.
+        agreement_drop_tolerance: how far an alternate's weak-label
+            coverage may fall *below* the learn-time coverage — losing
+            much more means the rule no longer lands on the labeled
+            content.
+        agreement_gain_tolerance: how far it may rise *above* it — a
+            deliberately tight bound, because the learn-time winner's
+            coverage is what the ranker certified: labels it excluded
+            are (statistically) the annotator's noise, and an alternate
+            that suddenly covers them is scooping up chrome (the
+            match-everything trap covers every label trivially).
+        min_count_ratio / max_count_ratio: acceptable band of the
+            alternate's nodes-per-page relative to the baseline mean
+            (checked only when the artifact carries a baseline) — the
+            structural half of the same trap guard.
+    """
+
+    def __init__(
+        self,
+        annotator: "Annotator | None" = None,
+        extractor: "Extractor | None" = None,
+        engine: EvaluationEngine | None = None,
+        min_agreement: float = 0.6,
+        agreement_drop_tolerance: float = 0.15,
+        agreement_gain_tolerance: float = 0.05,
+        min_count_ratio: float = 0.5,
+        max_count_ratio: float = 2.0,
+    ) -> None:
+        self.annotator = annotator
+        self.extractor = extractor
+        self.engine = resolve_engine(engine)
+        self.min_agreement = min_agreement
+        self.agreement_drop_tolerance = agreement_drop_tolerance
+        self.agreement_gain_tolerance = agreement_gain_tolerance
+        self.min_count_ratio = min_count_ratio
+        self.max_count_ratio = max_count_ratio
+
+    # -- the cascade --------------------------------------------------------
+
+    def repair(
+        self,
+        artifact: WrapperArtifact,
+        site: Site,
+        labels: Labels | None = None,
+        drift: DriftReport | None = None,
+    ) -> RepairReport:
+        """Run the cascade for ``artifact`` on the drifted ``site``.
+
+        ``labels`` are weak annotations of the drifted pages (computed
+        via the policy's annotator when omitted).  ``drift`` optionally
+        attaches the detection verdict that triggered the repair to the
+        report.  Never raises for a failed repair — the report's
+        ``strategy`` is ``"failed"`` and ``error`` says why.
+        """
+        site = _as_site(site)
+        if labels is None and self.annotator is not None:
+            try:
+                labels = self.annotator.annotate(site)
+            except Exception as error:
+                return RepairReport(
+                    site=site.name,
+                    strategy="failed",
+                    old_rule=artifact.rule,
+                    error=f"annotator failed on drifted pages: "
+                    f"{type(error).__name__}: {error}",
+                    drift=drift,
+                )
+        baseline = artifact.health_baseline()
+        if not labels and baseline is None:
+            return RepairReport(
+                site=site.name,
+                strategy="failed",
+                old_rule=artifact.rule,
+                error=(
+                    "nothing to validate against: no weak labels (pass "
+                    "labels= or an annotator) and no stored baseline "
+                    "(schema v1 artifact)"
+                ),
+                drift=drift,
+            )
+        attempts: list[AlternateAttempt] = []
+        # One shared-engine batch over the whole ladder: alternates
+        # evaluated during an earlier cascade are memo hits.
+        wrappers = [
+            wrapper_from_spec(alt["wrapper_spec"]) for alt in artifact.alternates
+        ]
+        extractions = self.engine.batch_extract(site, wrappers)
+        for rank, (alternate, extracted) in enumerate(
+            zip(artifact.alternates, extractions), start=1
+        ):
+            attempt = self._validate(
+                rank, alternate, extracted, len(site), labels, baseline
+            )
+            attempts.append(attempt)
+            if attempt.promoted:
+                return RepairReport(
+                    site=site.name,
+                    strategy="alternate",
+                    old_rule=artifact.rule,
+                    new_rule=attempt.rule,
+                    artifact=self._promote(artifact, site, rank, extracted, labels),
+                    attempts=attempts,
+                    promoted_rank=rank,
+                    drift=drift,
+                )
+        return self._relearn(artifact, site, labels, attempts, drift)
+
+    # -- steps --------------------------------------------------------------
+
+    def _validate(
+        self,
+        rank: int,
+        alternate: dict,
+        extracted: Labels,
+        n_pages: int,
+        labels: Labels | None,
+        baseline: HealthBaseline | None,
+    ) -> AlternateAttempt:
+        reasons: list[str] = []
+        agreement = agreement_score(extracted, labels)
+        ratio: float | None = None
+        if not extracted:
+            reasons.append("extracts nothing on the drifted pages")
+        if agreement is not None:
+            expected = baseline.agreement if baseline is not None else None
+            if expected is None:
+                if agreement < self.min_agreement:
+                    reasons.append(
+                        f"weak-label agreement {agreement:.2f} < "
+                        f"{self.min_agreement}"
+                    )
+            elif agreement < expected - self.agreement_drop_tolerance:
+                reasons.append(
+                    f"weak-label agreement {agreement:.2f} fell more than "
+                    f"{self.agreement_drop_tolerance} below the learn-time "
+                    f"{expected:.2f} (lost labeled content)"
+                )
+            elif agreement > expected + self.agreement_gain_tolerance:
+                reasons.append(
+                    f"weak-label agreement {agreement:.2f} rose more than "
+                    f"{self.agreement_gain_tolerance} above the learn-time "
+                    f"{expected:.2f} (covers annotator noise the learn-time "
+                    "ranker excluded)"
+                )
+        if baseline is not None and baseline.mean_per_page > 0:
+            counts = page_counts(extracted, n_pages)
+            mean = sum(counts) / len(counts) if counts else 0.0
+            ratio = mean / baseline.mean_per_page
+            if not (self.min_count_ratio <= ratio <= self.max_count_ratio):
+                reasons.append(
+                    f"nodes/page ratio {ratio:.2f} outside "
+                    f"[{self.min_count_ratio}, {self.max_count_ratio}]"
+                )
+        return AlternateAttempt(
+            rank=rank,
+            rule=str(alternate.get("rule", "")),
+            promoted=not reasons,
+            extracted=len(extracted),
+            agreement=agreement,
+            count_ratio=ratio,
+            reasons=reasons,
+        )
+
+    def _promote(
+        self,
+        artifact: WrapperArtifact,
+        site: Site,
+        rank: int,
+        extracted: Labels,
+        labels: Labels | None,
+    ) -> WrapperArtifact:
+        """Build the repaired artifact around the promoted alternate.
+
+        The remaining rungs (including ones that failed *this* drift —
+        they may pass the next) stay on as the new ladder; the demoted
+        winner is dropped, since it just demonstrably broke.  The
+        baseline is re-measured on the drifted pages, so the next
+        detector compares against the post-repair profile.
+        """
+        promoted = artifact.alternates[rank - 1]
+        remaining = [
+            alt for index, alt in enumerate(artifact.alternates)
+            if index != rank - 1
+        ]
+        provenance = dict(artifact.provenance)
+        repairs = list(provenance.get("repairs") or [])
+        repairs.append(
+            {
+                "strategy": "alternate",
+                "promoted_rank": rank,
+                "previous_rule": artifact.rule,
+            }
+        )
+        provenance["repairs"] = repairs
+        baseline = baseline_from_extraction(extracted, len(site), labels=labels)
+        return WrapperArtifact(
+            wrapper_spec=dict(promoted["wrapper_spec"]),
+            rule=str(promoted.get("rule", "")),
+            site=artifact.site or site.name,
+            inductor=artifact.inductor,
+            method=artifact.method,
+            score=dict(promoted.get("score") or {}),
+            provenance=provenance,
+            alternates=remaining,
+            baseline=baseline.to_dict(),
+        )
+
+    def _relearn(
+        self,
+        artifact: WrapperArtifact,
+        site: Site,
+        labels: Labels | None,
+        attempts: list[AlternateAttempt],
+        drift: DriftReport | None,
+    ) -> RepairReport:
+        ladder = (
+            f"ladder exhausted ({len(attempts)} alternates rejected)"
+            if attempts
+            else "artifact carries no alternates"
+        )
+        if self.extractor is None:
+            return RepairReport(
+                site=site.name,
+                strategy="failed",
+                old_rule=artifact.rule,
+                attempts=attempts,
+                error=f"{ladder} and no extractor for relearning",
+                drift=drift,
+            )
+        if not labels:
+            return RepairReport(
+                site=site.name,
+                strategy="failed",
+                old_rule=artifact.rule,
+                attempts=attempts,
+                error=f"{ladder} and no weak labels to relearn from",
+                drift=drift,
+            )
+        try:
+            relearned = self.extractor.learn(
+                site, labels, site_name=artifact.site or site.name
+            )
+        except Exception as error:
+            return RepairReport(
+                site=site.name,
+                strategy="failed",
+                old_rule=artifact.rule,
+                attempts=attempts,
+                error=f"relearn failed: {type(error).__name__}: {error}",
+                drift=drift,
+            )
+        provenance = dict(relearned.provenance)
+        repairs = list(artifact.provenance.get("repairs") or [])
+        repairs.append(
+            {"strategy": "relearn", "previous_rule": artifact.rule}
+        )
+        provenance["repairs"] = repairs
+        relearned.provenance = provenance
+        return RepairReport(
+            site=site.name,
+            strategy="relearn",
+            old_rule=artifact.rule,
+            new_rule=relearned.rule,
+            artifact=relearned,
+            attempts=attempts,
+            drift=drift,
+        )
+
+
+def _as_site(site) -> Site:
+    """Accept a bare site or a dataset's generated site."""
+    inner = getattr(site, "site", None)
+    return inner if isinstance(inner, Site) else site

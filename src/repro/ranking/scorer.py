@@ -36,6 +36,15 @@ class RankedWrapper:
     def score(self) -> float:
         return self.log_annotation + self.log_publication + self.log_content
 
+    def score_dict(self) -> dict:
+        """The score decomposition as a JSON-safe dict (artifact form)."""
+        return {
+            "total": self.score,
+            "log_annotation": self.log_annotation,
+            "log_publication": self.log_publication,
+            "log_content": self.log_content,
+        }
+
 
 class WrapperScorer:
     """Ranks candidate wrappers for one site.
@@ -158,3 +167,19 @@ class WrapperScorer:
         ]
         keyed.sort(key=lambda entry: entry[:2])
         return [rw for _, _, rw in keyed]
+
+    @staticmethod
+    def alternates(
+        ranked: list[RankedWrapper], k: int
+    ) -> list[RankedWrapper]:
+        """The top-``k`` runner-ups of a :meth:`rank` result.
+
+        These are the wrappers the ranker already paid to score; the
+        artifact layer serializes them as the self-repair fallback
+        ladder (see :mod:`repro.lifecycle.repair`).  Runner-ups whose
+        extraction is empty are skipped — an empty extraction can never
+        validate on drifted pages, so shipping it wastes ladder slots.
+        """
+        if k <= 0:
+            return []
+        return [rw for rw in ranked[1:] if rw.extracted][:k]

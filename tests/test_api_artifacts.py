@@ -167,6 +167,121 @@ class TestArtifactSchema:
         with pytest.raises(SchemaVersionError):
             WrapperArtifact.from_dict(payload)
 
+    def test_non_integer_version_rejected(self, dealer_site, labels):
+        payload = self._payload(dealer_site, labels)
+        payload["schema_version"] = "2.1"
+        with pytest.raises(SchemaVersionError):
+            WrapperArtifact.from_dict(payload)
+
+    def test_v1_artifact_loads_and_applies(self, dealer_site, labels):
+        """Backward compat: artifacts written before alternates/baseline
+        (schema v1) load and apply unchanged."""
+        payload = self._payload(dealer_site, labels)
+        del payload["alternates"]
+        del payload["baseline"]
+        payload["schema_version"] = 1
+        artifact = WrapperArtifact.from_dict(payload)
+        assert artifact.schema_version == 1
+        assert artifact.alternates == [] and artifact.baseline == {}
+        wrapper = XPathInductor().induce(dealer_site, labels)
+        assert artifact.apply(dealer_site) == wrapper.extract(dealer_site)
+
+    def test_forward_compatible_extra_keys_roundtrip(
+        self, dealer_site, labels
+    ):
+        """Minor additions are plain extra keys: accepted at load and
+        preserved verbatim through a load/save round-trip."""
+        payload = self._payload(dealer_site, labels)
+        payload["future_minor_key"] = {"nested": [1, 2]}
+        artifact = WrapperArtifact.from_dict(payload)
+        assert artifact.extras == {"future_minor_key": {"nested": [1, 2]}}
+        rebuilt = WrapperArtifact.from_json(artifact.to_json())
+        assert rebuilt.extras == artifact.extras
+        assert rebuilt.to_dict()["future_minor_key"] == {"nested": [1, 2]}
+
+    def test_extras_never_shadow_known_fields(self, dealer_site, labels):
+        payload = self._payload(dealer_site, labels)
+        artifact = WrapperArtifact.from_dict(payload)
+        assert artifact.extras == {}
+        assert "extras" not in artifact.to_dict()
+
+    def test_malformed_alternates_rejected(self, dealer_site, labels):
+        payload = self._payload(dealer_site, labels)
+        payload["alternates"] = [{"rule": "orphan, no spec"}]
+        with pytest.raises(ArtifactError, match="alternate 0"):
+            WrapperArtifact.from_dict(payload)
+        payload["alternates"] = "not-a-list"
+        with pytest.raises(ArtifactError, match="must be a list"):
+            WrapperArtifact.from_dict(payload)
+
+    def test_unknown_alternate_kind_rejected_at_load(
+        self, dealer_site, labels
+    ):
+        payload = self._payload(dealer_site, labels)
+        payload["alternates"] = [
+            {"wrapper_spec": {"kind": "quantum"}, "rule": "?", "score": {}}
+        ]
+        with pytest.raises(ValueError, match="unknown wrapper spec kind"):
+            WrapperArtifact.from_dict(payload)
+
+
+class TestLifecycleKit:
+    """Learned artifacts carry their own fallback ladder and baseline."""
+
+    def test_ntw_artifact_carries_alternates_and_baseline(
+        self, dealer_site, labels, publication_model
+    ):
+        extractor = Extractor(
+            ExtractorConfig(method="ntw", keep_alternates=3),
+            publication_model=publication_model,
+        )
+        artifact = extractor.learn(dealer_site, labels)
+        assert 0 < len(artifact.alternates) <= 3
+        for alternate in artifact.alternates:
+            assert alternate["rule"]
+            assert "total" in alternate["score"]
+        rebuilt = artifact.alternate_wrappers()
+        assert [w.rule() for w in rebuilt] == [
+            a["rule"] for a in artifact.alternates
+        ]
+        baseline = artifact.health_baseline()
+        assert baseline is not None and baseline.pages == len(dealer_site)
+        assert baseline.mean_per_page > 0
+
+    def test_keep_alternates_zero_disables_ladder(
+        self, dealer_site, labels, publication_model
+    ):
+        extractor = Extractor(
+            ExtractorConfig(method="ntw", keep_alternates=0),
+            publication_model=publication_model,
+        )
+        artifact = extractor.learn(dealer_site, labels)
+        assert artifact.alternates == []
+        assert artifact.baseline  # the baseline is always measured
+
+    def test_naive_artifact_has_baseline_but_no_ladder(
+        self, dealer_site, labels
+    ):
+        extractor = Extractor(ExtractorConfig(method="naive"))
+        artifact = extractor.learn(dealer_site, labels)
+        assert artifact.alternates == []
+        assert artifact.health_baseline() is not None
+
+    def test_negative_keep_alternates_rejected(self):
+        with pytest.raises(ValueError, match="keep_alternates"):
+            ExtractorConfig(keep_alternates=-1).validate()
+
+    def test_alternates_survive_json_roundtrip(
+        self, dealer_site, labels, publication_model
+    ):
+        extractor = Extractor(
+            ExtractorConfig(method="ntw"), publication_model=publication_model
+        )
+        artifact = extractor.learn(dealer_site, labels)
+        rebuilt = WrapperArtifact.from_json(artifact.to_json())
+        assert rebuilt.alternates == artifact.alternates
+        assert rebuilt.baseline == artifact.baseline
+
     def test_missing_spec_rejected(self):
         with pytest.raises(ArtifactError, match="wrapper_spec"):
             WrapperArtifact.from_dict({"schema_version": SCHEMA_VERSION})
@@ -184,3 +299,31 @@ class TestArtifactSchema:
                     "rule": "?",
                 }
             )
+
+
+class TestSerializationIsolation:
+    """to_dict/from_dict never alias live mutable state (asdict parity)."""
+
+    def test_to_dict_is_a_deep_copy(self, dealer_site, labels):
+        wrapper = XPathInductor().induce(dealer_site, labels)
+        artifact = WrapperArtifact(
+            wrapper_spec=wrapper.to_spec(),
+            rule=wrapper.rule(),
+            provenance={"config": {"inductor": "xpath"}},
+        )
+        payload = artifact.to_dict()
+        payload["provenance"]["config"]["inductor"] = "tampered"
+        payload["wrapper_spec"]["features"].append([1, "tag", "evil"])
+        assert artifact.provenance["config"]["inductor"] == "xpath"
+        assert artifact.wrapper_spec == wrapper.to_spec()
+
+    def test_from_dict_does_not_alias_the_payload(self, dealer_site, labels):
+        wrapper = XPathInductor().induce(dealer_site, labels)
+        payload = WrapperArtifact(
+            wrapper_spec=wrapper.to_spec(), rule=wrapper.rule()
+        ).to_dict()
+        artifact = WrapperArtifact.from_dict(payload)
+        payload["wrapper_spec"]["features"].append([1, "tag", "evil"])
+        payload["score"]["total"] = -1
+        assert artifact.wrapper_spec == wrapper.to_spec()
+        assert artifact.score == {}

@@ -277,3 +277,121 @@ class TestAsyncAdapter:
         first, second, results = asyncio.run(run())
         assert (first, second) == (0, 1)
         assert len(results) == 2
+
+
+class TestHotSwap:
+    """update_shared: live mid-stream context swap, no session restart."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_refit_extractor_applies_to_later_submissions(
+        self, bundle, fleet, workers
+    ):
+        """The swap orders with dispatch on ANY pool size: jobs
+        submitted before it run under the old context (the inline pool
+        drains its lazy queue at swap time to match the pooled inbox
+        FIFO), jobs after it under the new."""
+        first = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        refit = Extractor(ExtractorConfig(inductor="lr", method="naive"))
+        with IngestSession(
+            extractor=first, annotator=bundle.annotator, max_workers=workers
+        ) as session:
+            session.submit(fleet[0].site)
+            assert session.update_shared(extractor=refit) is True
+            session.submit(fleet[1].site)
+            outcomes = {o.index: o for o in session.iter_results()}
+        assert outcomes[0].ok and outcomes[0].artifact.inductor == "xpath"
+        assert outcomes[1].ok and outcomes[1].artifact.inductor == "lr"
+
+    def test_swap_is_fingerprint_gated(self, bundle, fleet):
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        other = Extractor(ExtractorConfig(inductor="lr", method="naive"))
+        with IngestSession(
+            extractor=extractor, annotator=bundle.annotator, max_workers=1
+        ) as session:
+            session.submit(fleet[0].site)
+            list(session.advance())
+            assert session.update_shared(extractor=other) is True
+            assert session.update_shared(extractor=other) is False  # unchanged
+            assert session.update_shared(extractor=extractor) is True
+
+    def test_default_artifact_swap_changes_later_submissions(
+        self, learned, raw_fleet
+    ):
+        art_a, art_b = learned.artifacts[0], learned.artifacts[1]
+        name, pages = raw_fleet[0]
+        with IngestSession(artifact=art_a, max_workers=1) as session:
+            session.submit_html(name, pages)
+            session.update_shared(artifact=art_b)
+            session.submit_html(name, pages)
+            outcomes = {o.index: o for o in session.iter_results()}
+        assert outcomes[0].artifact is art_a
+        assert outcomes[1].artifact is art_b
+
+    def test_swap_can_arm_an_apply_only_session_for_learning(
+        self, bundle, fleet, learned
+    ):
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        with IngestSession(artifact=learned.artifacts[0], max_workers=1) as session:
+            session.submit(fleet[0].site)  # apply via default artifact
+            session.update_shared(
+                extractor=extractor, annotator=bundle.annotator
+            )
+            session.artifact = None
+            session.submit(fleet[1].site)  # now a learn job
+            outcomes = {o.index: o for o in session.iter_results()}
+        assert outcomes[0].extracted is not None
+        assert outcomes[1].artifact.method == "naive"
+
+    def test_update_shared_on_closed_session_raises(self, learned):
+        session = IngestSession(artifact=learned.artifacts[0], max_workers=1)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.update_shared(artifact=learned.artifacts[0])
+
+    def test_async_update_shared(self, bundle, fleet):
+        first = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        refit = Extractor(ExtractorConfig(inductor="lr", method="naive"))
+
+        async def run():
+            async with AsyncIngestSession(
+                extractor=first, annotator=bundle.annotator, max_workers=1
+            ) as session:
+                await session.submit(fleet[0].site)
+                await session.update_shared(extractor=refit)
+                await session.submit(fleet[1].site)
+                return [o async for o in session.iter_results()]
+
+        outcomes = asyncio.run(run())
+        assert all(o.ok for o in outcomes)
+        # Same dispatch ordering as the sync session: pre-swap
+        # submission under the old context, post-swap under the new.
+        by_index = {o.index: o.artifact.inductor for o in outcomes}
+        assert by_index == {0: "xpath", 1: "lr"}
+
+
+class TestWorkerSideTextResolution:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_submission_texts_match_parent_resolution(
+        self, learned, fleet, raw_fleet, workers
+    ):
+        with IngestSession(max_workers=workers) as session:
+            for artifact, (name, pages) in zip(learned.artifacts, raw_fleet):
+                session.submit_html(
+                    name, pages, artifact=artifact, resolve_texts=True
+                )
+            outcomes = {o.index: o for o in session.iter_results()}
+        for index, generated in enumerate(fleet):
+            outcome = outcomes[index]
+            assert outcome.ok
+            expected = [
+                generated.site.text_node(node_id).text
+                for node_id in sorted(outcome.extracted)
+            ]
+            assert outcome.texts == expected
+
+    def test_texts_absent_without_flag(self, learned, raw_fleet):
+        name, pages = raw_fleet[0]
+        with IngestSession(max_workers=1) as session:
+            session.submit_html(name, pages, artifact=learned.artifacts[0])
+            outcome = next(iter(session.iter_results()))
+        assert outcome.texts is None

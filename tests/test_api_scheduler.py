@@ -575,3 +575,182 @@ class TestWorkerCrashRecovery:
             assert len([first, *rest]) == len(test_sites) * 2
             again = pool.apply(learned.artifacts, test_sites)
         assert not again.failures
+
+
+class TestWorkerSideTexts:
+    """Apply outcomes resolve node texts on the worker's interned site."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_apply_resolve_texts_matches_parent_resolution(
+        self, fitted_extractor, bundle, test_sites, workers
+    ):
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        with WorkerPool(max_workers=workers) as pool:
+            result = pool.apply(
+                learned.artifacts, test_sites, resolve_texts=True
+            )
+        assert not result.failures
+        for outcome, generated in zip(result.outcomes, test_sites):
+            expected = [
+                generated.site.text_node(node_id).text
+                for node_id in sorted(outcome.extracted)
+            ]
+            assert outcome.texts == expected
+
+    def test_texts_default_off(self, fitted_extractor, bundle, test_sites):
+        learned = learn_many(
+            fitted_extractor, test_sites[:1], annotator=bundle.annotator
+        )
+        with WorkerPool(max_workers=1) as pool:
+            result = pool.apply(learned.artifacts, test_sites[:1])
+        assert result.outcomes[0].texts is None
+
+
+class TestResultCoalescing:
+    """Workers fold queued extraction-only chunks into one flush."""
+
+    @staticmethod
+    def _apply_job(index, artifact, payload):
+        from repro.api.scheduler import _Job, _site_key
+
+        job = _Job(
+            index=index,
+            kind="apply",
+            name=f"shop-{index}",
+            site_key=_site_key(payload, index),
+            field="apply",
+            artifact=artifact,
+        )
+        job.payload = payload
+        return job
+
+    @pytest.fixture()
+    def tiny_artifact(self):
+        from repro.annotators.dictionary import DictionaryAnnotator
+        from repro.api import Extractor, ExtractorConfig
+        from repro.site import Site
+
+        page = "<div><table><tr><td><u>ALPHA</u></td></tr></table></div>"
+        site = Site.from_html("shop", [page])
+        labels = DictionaryAnnotator(["ALPHA"]).annotate(site)
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        return extractor.learn(site, labels, site_name="shop")
+
+    def _run_worker(self, messages):
+        import queue
+
+        from repro.api.scheduler import _worker_main
+
+        inbox, outbox = queue.Queue(), queue.Queue()
+        for message in messages:
+            inbox.put(message)
+        inbox.put(None)
+        _worker_main(0, inbox, outbox, intern_bound=8)
+        flushes = []
+        while True:
+            item = outbox.get_nowait()
+            if item is None:
+                return flushes
+            flushes.append(item)
+
+    def _page(self, name):
+        return f"<div><table><tr><td><u>{name}</u></td></tr></table></div>"
+
+    def test_queued_apply_chunks_coalesce_into_one_flush(self, tiny_artifact):
+        messages = [
+            (
+                "jobs",
+                1,
+                [
+                    self._apply_job(
+                        index, tiny_artifact, (f"s{index}", [self._page("ALPHA")])
+                    )
+                ],
+            )
+            for index in range(4)
+        ]
+        flushes = self._run_worker(messages)
+        # All four single-job chunks were already queued, so they fold
+        # into one message covering four chunks.
+        assert len(flushes) == 1
+        worker_id, batch, outcomes, chunks = flushes[0]
+        assert (worker_id, batch, chunks) == (0, 1, 4)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.ok for o in outcomes)
+
+    def test_learn_chunks_do_not_coalesce(self, fitted_extractor, bundle):
+        from repro.api.scheduler import _Job, _site_key
+
+        site = bundle.sites[1]
+        jobs = []
+        for index in range(3):
+            job = _Job(
+                index=index,
+                kind="learn",
+                name=site.name,
+                site_key=_site_key(site, index),
+                field="xpath/ntw",
+                labels=bundle.annotator.annotate(site.site),
+            )
+            job.payload = site.site
+            jobs.append(job)
+        messages = [
+            ("shared", 1, {"extractor": fitted_extractor, "annotator": None}),
+            *[("jobs", 1, [job]) for job in jobs],
+        ]
+        flushes = self._run_worker(messages)
+        assert len(flushes) == 3
+        assert all(flush[3] == 1 for flush in flushes)
+
+    def test_shared_update_breaks_the_fold(self, tiny_artifact):
+        """A queued shared update must not be folded past: it flushes
+        the batch so far and applies before later chunks run."""
+        messages = [
+            ("jobs", 1, [self._apply_job(0, tiny_artifact, ("a", [self._page("X")]))]),
+            ("shared", 1, {"extractor": None, "annotator": None}),
+            ("jobs", 1, [self._apply_job(1, tiny_artifact, ("b", [self._page("Y")]))]),
+        ]
+        flushes = self._run_worker(messages)
+        assert [flush[3] for flush in flushes] == [1, 1]
+        assert [o.index for flush in flushes for o in flush[2]] == [0, 1]
+
+    def test_coalescing_respects_outcome_bound(self, tiny_artifact):
+        from repro.api.scheduler import _COALESCE_MAX_OUTCOMES
+
+        count = _COALESCE_MAX_OUTCOMES + 10
+        messages = [
+            (
+                "jobs",
+                1,
+                [
+                    self._apply_job(
+                        index, tiny_artifact, (f"s{index}", [self._page("A")])
+                    )
+                ],
+            )
+            for index in range(count)
+        ]
+        flushes = self._run_worker(messages)
+        assert len(flushes) == 2
+        assert sum(flush[3] for flush in flushes) == count
+        assert sorted(
+            o.index for flush in flushes for o in flush[2]
+        ) == list(range(count))
+
+    @pytest.mark.parametrize("workers", [2])
+    def test_live_pool_outcomes_survive_coalescing(
+        self, fitted_extractor, bundle, test_sites, workers
+    ):
+        """End to end on real processes: per-site single-job chunks,
+        exactly-once outcomes whatever the fold pattern."""
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        fleet = test_sites * 4
+        artifacts = learned.artifacts * 4
+        with WorkerPool(max_workers=workers, chunksize=1) as pool:
+            result = pool.apply(artifacts, fleet)
+        assert not result.failures
+        assert [o.index for o in result.outcomes] == list(range(len(fleet)))

@@ -298,3 +298,360 @@ class TestListComponents:
         assert "xpath" in out
         assert "dealers" in out
         assert "ntw" in out
+
+
+class TestLifecycleCommands:
+    """monitor + apply --self-repair: the wrapper lifecycle from the shell."""
+
+    DATASET_ARGS = ["--dataset", "dealers", "--sites", "6", "--pages", "5"]
+
+    @pytest.fixture(scope="class")
+    def artifact_dir(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("lifecycle-artifacts")
+        assert main(["learn", *self.DATASET_ARGS, "--out", str(out_dir)]) == 0
+        return out_dir
+
+    def test_monitor_healthy_exits_zero(self, capsys, artifact_dir):
+        code = main(
+            ["monitor", *self.DATASET_ARGS, "--artifacts", str(artifact_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 drifted" in out
+        assert "ok" in out
+
+    def test_monitor_drift_drill_exits_nonzero(self, capsys, artifact_dir):
+        code = main(
+            [
+                "monitor",
+                *self.DATASET_ARGS,
+                "--artifacts",
+                str(artifact_dir),
+                "--drift",
+                "medium",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DRIFTED" in out
+
+    def test_monitor_json_mode(self, capsys, artifact_dir):
+        import json
+
+        code = main(
+            [
+                "monitor",
+                *self.DATASET_ARGS,
+                "--artifacts",
+                str(artifact_dir),
+                "--drift",
+                "high",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        # NDJSON contract: every stdout line parses; prose goes to stderr.
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert records and all(record["drifted"] for record in records)
+        assert all("signals" in record for record in records)
+        assert "monitored" in captured.err
+
+    def test_apply_self_repair_drill_restores_f1(self, capsys, artifact_dir):
+        """The CLI acceptance loop: drift the dataset, self-repair, and
+        the post-repair mean F1 matches the healthy apply."""
+        assert (
+            main(
+                ["apply", *self.DATASET_ARGS, "--artifacts", str(artifact_dir)]
+            )
+            == 0
+        )
+        healthy = capsys.readouterr().out
+        code = main(
+            [
+                "apply",
+                *self.DATASET_ARGS,
+                "--artifacts",
+                str(artifact_dir),
+                "--drift",
+                "medium",
+                "--self-repair",
+            ]
+        )
+        repaired = capsys.readouterr().out
+        assert code == 0
+        assert "[repaired:" in repaired
+        assert "repaired" in repaired.splitlines()[-1]
+
+        def mean_f1(text):
+            for line in text.splitlines():
+                if "mean F1 vs gold:" in line:
+                    return float(line.split("mean F1 vs gold:")[1].split(";")[0])
+            raise AssertionError(f"no mean F1 in {text!r}")
+
+        assert mean_f1(repaired) >= mean_f1(healthy) - 1e-9
+
+    def test_apply_drift_without_repair_degrades(self, capsys, artifact_dir):
+        code = main(
+            [
+                "apply",
+                *self.DATASET_ARGS,
+                "--artifacts",
+                str(artifact_dir),
+                "--drift",
+                "medium",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # extraction "succeeds" — that is the problem
+        assert "[repaired" not in out
+        assert "F1=0.00" in out  # silently extracting garbage
+
+    def test_save_repaired_writes_back(
+        self, capsys, artifact_dir, tmp_path
+    ):
+        import shutil
+
+        work = tmp_path / "artifacts"
+        shutil.copytree(artifact_dir, work)
+        before = {p.name: p.read_text() for p in work.glob("*.json")}
+        code = main(
+            [
+                "apply",
+                *self.DATASET_ARGS,
+                "--artifacts",
+                str(work),
+                "--drift",
+                "medium",
+                "--self-repair",
+                "--save-repaired",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        after = {p.name: p.read_text() for p in work.glob("*.json")}
+        assert set(after) == set(before)
+        assert any(after[name] != before[name] for name in after)
+        # Repaired artifacts record their lineage.
+        import json
+
+        repaired = [
+            json.loads(text)
+            for name, text in after.items()
+            if text != before[name]
+        ]
+        assert all(
+            payload["provenance"]["repairs"][-1]["strategy"]
+            in ("alternate", "relearn")
+            for payload in repaired
+        )
+
+
+class TestStreamSelfRepair:
+    """apply --stream --self-repair: structural ladder repair mid-crawl."""
+
+    @staticmethod
+    def page(cls, *names):
+        rows = "".join(
+            f"<tr><td class='{cls}'><u>{name}</u></td></tr>" for name in names
+        )
+        return f"<html><body><table>{rows}</table></body></html>"
+
+    @pytest.fixture()
+    def laddered_artifact_dir(self, tmp_path):
+        """A class-keyed winner with a structure-keyed alternate: the
+        redesign drill the ladder exists for."""
+        from repro.annotators.dictionary import DictionaryAnnotator
+        from repro.api import WrapperArtifact
+        from repro.lifecycle import baseline_from_extraction
+        from repro.site import Site
+        from repro.wrappers.xpath_inductor import XPathWrapper
+
+        site = Site.from_html(
+            "shop", [self.page("item", "ALPHA", "BETA"), self.page("item", "GAMMA")]
+        )
+        labels = DictionaryAnnotator(["ALPHA", "GAMMA"]).annotate(site)
+        winner = XPathWrapper(
+            features=frozenset(
+                {((1, "tag"), "u"), ((2, "tag"), "td"), ((2, "@class"), "item")}
+            )
+        )
+        alternate = XPathWrapper(features=frozenset({((1, "tag"), "u")}))
+        artifact = WrapperArtifact(
+            wrapper_spec=winner.to_spec(),
+            rule=winner.rule(),
+            site="shop",
+            inductor="xpath",
+            method="ntw",
+            alternates=[
+                {
+                    "wrapper_spec": alternate.to_spec(),
+                    "rule": alternate.rule(),
+                    "score": {},
+                }
+            ],
+            baseline=baseline_from_extraction(
+                winner.extract(site), len(site), labels=labels
+            ).to_dict(),
+        )
+        out_dir = tmp_path / "wrappers"
+        out_dir.mkdir()
+        artifact.save(out_dir / "shop.json")
+        return out_dir
+
+    def run_stream(self, monkeypatch, capsys, artifact_dir, lines, extra=()):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        code = main(
+            ["apply", "--artifacts", str(artifact_dir), "--stream", *extra]
+        )
+        out = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        return code, out
+
+    def test_drifted_stream_promotes_alternate_and_recovers(
+        self, monkeypatch, capsys, laddered_artifact_dir
+    ):
+        import json
+
+        lines = [
+            json.dumps({"site": "shop", "pages": [self.page("item", "ONE", "TWO")]}),
+            # The redesign: the winner's class key is renamed.
+            json.dumps({"site": "shop", "pages": [self.page("cell", "THREE", "FOUR")]}),
+            json.dumps({"site": "shop", "pages": [self.page("cell", "FIVE", "SIX")]}),
+        ]
+        code, out = self.run_stream(
+            monkeypatch, capsys, laddered_artifact_dir, lines,
+            extra=["--self-repair", "--texts"],
+        )
+        assert code == 0
+        repairs = [record for record in out if "repair" in record]
+        outcomes = {
+            record["index"]: record for record in out if "index" in record
+        }
+        assert len(repairs) == 1
+        assert repairs[0]["repair"]["ok"]
+        assert repairs[0]["repair"]["strategy"] == "alternate"
+        assert outcomes[0]["texts"] == ["ONE", "TWO"]       # healthy
+        assert outcomes[1]["count"] == 0                    # the drifted miss
+        assert outcomes[2]["texts"] == ["FIVE", "SIX"]      # repaired, live
+
+    def test_healthy_stream_never_repairs(
+        self, monkeypatch, capsys, laddered_artifact_dir
+    ):
+        import json
+
+        lines = [
+            json.dumps({"site": "shop", "pages": [self.page("item", "ONE")]})
+            for _ in range(3)
+        ]
+        code, out = self.run_stream(
+            monkeypatch, capsys, laddered_artifact_dir, lines,
+            extra=["--self-repair"],
+        )
+        assert code == 0
+        assert not [record for record in out if "repair" in record]
+
+    def test_failed_repair_backs_off(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        """An unrepairable site pays the cascade once, not per record."""
+        import json
+
+        from repro.annotators.dictionary import DictionaryAnnotator
+        from repro.api import WrapperArtifact
+        from repro.lifecycle import baseline_from_extraction
+        from repro.site import Site
+        from repro.wrappers.xpath_inductor import XPathWrapper
+
+        site = Site.from_html("shop", [self.page("item", "ALPHA", "BETA")])
+        labels = DictionaryAnnotator(["ALPHA"]).annotate(site)
+        winner = XPathWrapper(
+            features=frozenset({((1, "tag"), "u"), ((2, "@class"), "item")})
+        )
+        dead = XPathWrapper(
+            features=frozenset({((1, "tag"), "u"), ((1, "childnum"), 99)})
+        )
+        artifact = WrapperArtifact(
+            wrapper_spec=winner.to_spec(),
+            rule=winner.rule(),
+            site="shop",
+            alternates=[
+                {"wrapper_spec": dead.to_spec(), "rule": dead.rule(), "score": {}}
+            ],
+            baseline=baseline_from_extraction(
+                winner.extract(site), len(site), labels=labels
+            ).to_dict(),
+        )
+        out_dir = tmp_path / "wrappers"
+        out_dir.mkdir()
+        artifact.save(out_dir / "shop.json")
+        lines = [
+            json.dumps({"site": "shop", "pages": [self.page("cell", "X", "Y")]})
+            for _ in range(3)
+        ]
+        code, out = self.run_stream(
+            monkeypatch, capsys, out_dir, lines, extra=["--self-repair"]
+        )
+        assert code == 0
+        repairs = [record for record in out if "repair" in record]
+        assert len(repairs) == 1  # one failed cascade, then back off
+        assert not repairs[0]["repair"]["ok"]
+
+
+class TestSaveRepairedPaths:
+    def test_save_repaired_overwrites_source_file(self, capsys, tmp_path):
+        """Repaired artifacts go back to the file they were loaded from
+        — not a site-named sibling that would make the directory claim
+        one site twice and fail the next load."""
+        from repro.api import load_artifacts
+
+        args = ["--dataset", "dealers", "--sites", "4", "--pages", "4"]
+        learn_dir = tmp_path / "learned"
+        assert main(["learn", *args, "--out", str(learn_dir)]) == 0
+        capsys.readouterr()
+        work = tmp_path / "odd-names"
+        work.mkdir()
+        for index, path in enumerate(sorted(learn_dir.glob("*.json"))):
+            (work / f"w{index}--name.json").write_text(path.read_text())
+        code = main(
+            [
+                "apply",
+                *args,
+                "--artifacts",
+                str(work),
+                "--drift",
+                "medium",
+                "--self-repair",
+                "--save-repaired",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        # No site-named siblings appeared; the directory still loads.
+        assert sorted(p.name for p in work.glob("*.json")) == [
+            "w0--name.json",
+            "w1--name.json",
+        ]
+        load_artifacts(work)
+
+
+class TestStreamFlagGuards:
+    def test_stream_rejects_dataset_only_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--drift is a dataset-mode"):
+            main(
+                ["apply", "--artifacts", str(tmp_path), "--stream",
+                 "--drift", "medium"]
+            )
+        with pytest.raises(SystemExit, match="--save-repaired needs"):
+            main(
+                ["apply", "--artifacts", str(tmp_path), "--stream",
+                 "--self-repair", "--save-repaired"]
+            )

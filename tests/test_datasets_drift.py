@@ -1,0 +1,201 @@
+"""Template-drift mutations: text preservation, gold remap, scenarios.
+
+The drift generator simulates site redesigns without touching character
+data, so gold labels carry over exactly — which is what makes the
+detect/repair scenarios in this file checkable against ground truth:
+for every (wrapper family x severity) cell, either the mutation broke
+the wrapper (then the detector must fire and the repair cascade must
+restore seed-equivalent extraction quality) or it did not (then the
+detector must stay quiet).
+"""
+
+import pytest
+
+from repro.api import Extractor, ExtractorConfig
+from repro.datasets.sitegen import (
+    DRIFT_SEVERITIES,
+    DriftConfig,
+    DriftError,
+    drift_html,
+    drift_site,
+)
+from repro.evaluation.metrics import prf
+from repro.htmldom.dom import TextNode
+from repro.lifecycle import DriftDetector, RepairPolicy
+
+
+@pytest.fixture(scope="module")
+def fleet(small_dealers):
+    """(train, test) halves of the shared small DEALERS dataset."""
+    sites = small_dealers.sites
+    return sites[::2], sites[1::2]
+
+
+def _texts(site):
+    return [
+        node.text
+        for page in site.pages
+        for node in page.nodes
+        if isinstance(node, TextNode)
+    ]
+
+
+class TestMutations:
+    def test_mutations_preserve_text_nodes(self, small_dealers):
+        generated = small_dealers.sites[0]
+        for severity in DRIFT_SEVERITIES:
+            drifted = drift_site(generated, severity=severity, seed=3)
+            assert _texts(drifted.site) == _texts(generated.site)
+
+    def test_mutations_are_deterministic(self, small_dealers):
+        sources = [p.source for p in small_dealers.sites[0].site.pages]
+        assert drift_html(sources, severity="medium", seed=5) == drift_html(
+            sources, severity="medium", seed=5
+        )
+        assert drift_html(sources, severity="medium", seed=5) != drift_html(
+            sources, severity="medium", seed=6
+        )
+
+    def test_severities_mutate_increasingly(self, small_dealers):
+        source = small_dealers.sites[0].site.pages[0].source
+        low, medium, high = (
+            drift_html([source], severity=severity, seed=1)[0]
+            for severity in DRIFT_SEVERITIES
+        )
+        assert low != source  # attribute churn happened
+        assert 'class="v2-' not in low  # no renames at low severity
+        assert 'class="v2-' in medium  # renames kick in at medium
+        assert "skin-l0" not in medium
+        assert "skin-l0" in high and "skin-l1" in high  # body wrappers
+
+    def test_renames_are_site_consistent(self, small_dealers):
+        generated = small_dealers.sites[0]
+        sources = [p.source for p in generated.site.pages]
+        mutated = drift_html(
+            sources, seed=1, config=DriftConfig(class_rename_rate=1.0)
+        )
+        # Every original class value is gone from every page.
+        import re
+
+        originals = {
+            m.group(1)
+            for src in sources
+            for m in re.finditer(r'class="([^"]*)"', src)
+        }
+        for new_source in mutated:
+            for value in originals:
+                assert f'class="{value}"' not in new_source
+
+    def test_gold_remaps_to_same_text(self, small_dealers):
+        generated = small_dealers.sites[1]
+        drifted = drift_site(generated, severity="high", seed=2)
+        for type_name, labels in generated.gold.items():
+            remapped = drifted.gold[type_name]
+            assert len(remapped) == len(labels)
+            old_texts = sorted(
+                generated.site.text_node(n).text for n in labels
+            )
+            new_texts = sorted(drifted.site.text_node(n).text for n in remapped)
+            assert old_texts == new_texts
+
+    def test_drift_metadata_and_identity(self, small_dealers):
+        generated = small_dealers.sites[0]
+        drifted = drift_site(generated, severity="low", seed=9)
+        assert drifted.name == generated.name  # same site, later in time
+        assert drifted.metadata["drift"] == {"severity": "low", "seed": 9}
+        assert generated.metadata.get("drift") is None  # original untouched
+
+    def test_unknown_severity_rejected(self, small_dealers):
+        with pytest.raises(ValueError, match="unknown drift severity"):
+            drift_site(small_dealers.sites[0], severity="catastrophic")
+
+    def test_sourceless_site_rejected(self):
+        from repro.datasets.sitegen import GeneratedSite, SiteSpec
+        from repro.htmldom.dom import Document, ElementNode, TextNode as TN
+        from repro.site import Site
+
+        root = ElementNode("html")
+        root.append(TN("hello"))
+        site = Site("built", [Document(root, "", page_index=0)])
+        generated = GeneratedSite(
+            spec=SiteSpec(name="built", domain="t", seed=0), site=site, gold={}
+        )
+        with pytest.raises(DriftError, match="without HTML sources"):
+            drift_site(generated)
+
+
+class TestDriftScenarios:
+    """severity x wrapper-family matrix: detect fires iff the wrapper
+    broke, and the repair cascade restores seed-equivalent extraction."""
+
+    FAMILIES = ("xpath", "lr", "hlrt")
+
+    @pytest.fixture(scope="class")
+    def extractors(self, small_dealers, fleet):
+        train, _ = fleet
+        annotator = small_dealers.annotator()
+        return {
+            family: Extractor(
+                ExtractorConfig(inductor=family, method="ntw")
+            ).fit(train, annotator, "name")
+            for family in self.FAMILIES
+        }
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("severity", DRIFT_SEVERITIES)
+    def test_detect_and_repair_restore_seed_quality(
+        self, small_dealers, fleet, extractors, family, severity
+    ):
+        annotator = small_dealers.annotator()
+        extractor = extractors[family]
+        checked = broke = 0
+        for generated in fleet[1][:2]:
+            labels = annotator.annotate(generated.site)
+            artifact = extractor.learn(
+                generated.site, labels, site_name=generated.name
+            )
+            gold = generated.gold["name"]
+            pre = prf(artifact.apply(generated.site), gold)
+            drifted = drift_site(generated, severity=severity, seed=1)
+            extracted = artifact.apply(drifted.site)
+            post = prf(extracted, drifted.gold["name"])
+            verdict = DriftDetector(artifact.baseline).observe_site(
+                drifted.site, extracted, annotator=annotator
+            )
+            checked += 1
+            if post.f1 >= pre.f1:
+                # The mutation did not break this wrapper: a repair
+                # would be wrong, so the detector must stay quiet.
+                assert not verdict.drifted, (family, severity, verdict.reasons)
+                continue
+            broke += 1
+            assert verdict.drifted, (family, severity, pre.f1, post.f1)
+            report = RepairPolicy(
+                annotator=annotator, extractor=extractor
+            ).repair(artifact, drifted.site, drift=verdict)
+            assert report.ok, (family, severity, report.error)
+            assert report.strategy in ("alternate", "relearn")
+            fixed = prf(
+                report.artifact.apply(drifted.site), drifted.gold["name"]
+            )
+            # Seed-equivalent: repaired quality matches the pre-drift
+            # wrapper (tiny epsilon for relearn tie-breaks).
+            assert fixed.f1 >= pre.f1 - 1e-9, (
+                family,
+                severity,
+                report.strategy,
+                pre.f1,
+                fixed.f1,
+            )
+            # The repaired artifact carries a refreshed baseline: a
+            # detector seeded from it sees the repaired stream healthy.
+            assert not DriftDetector(report.artifact.baseline).observe_site(
+                drifted.site,
+                report.artifact.apply(drifted.site),
+                annotator=annotator,
+            ).drifted
+        assert checked == 2
+        if severity in ("medium", "high"):
+            # The heavier severities must actually break these families
+            # (otherwise this matrix tests nothing).
+            assert broke > 0, (family, severity)

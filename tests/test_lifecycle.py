@@ -1,0 +1,441 @@
+"""Wrapper lifecycle: drift detection, ranked-alternate repair, hot-swap.
+
+Covers the three legs of ``repro.lifecycle`` plus the acceptance
+end-to-end: a fleet of drifted sites streamed through a live
+:class:`~repro.api.ingest.IngestSession` recovers its pre-drift
+extraction F1 via the repair cascade, with repaired extractors/artifacts
+hot-swapped into the running pool — no session restart.
+"""
+
+import pytest
+
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.api import Extractor, ExtractorConfig, IngestSession, WrapperArtifact
+from repro.datasets.sitegen import DriftConfig, drift_site
+from repro.evaluation.metrics import prf
+from repro.lifecycle import (
+    DriftDetector,
+    HealthBaseline,
+    RepairPolicy,
+    ThresholdPolicy,
+    baseline_from_extraction,
+    page_counts,
+)
+from repro.site import Site
+from repro.wrappers.xpath_inductor import XPathWrapper
+
+
+def _page(cls, *names):
+    rows = "".join(
+        f"<tr><td class='{cls}'><u>{name}</u></td></tr>" for name in names
+    )
+    return (
+        "<html><body><p>Welcome to the shop</p>"
+        f"<table>{rows}</table>"
+        "<p>Call us today</p></body></html>"
+    )
+
+
+@pytest.fixture()
+def shop_site():
+    return Site.from_html(
+        "shop", [_page("item", "ALPHA", "BETA"), _page("item", "GAMMA")]
+    )
+
+
+@pytest.fixture()
+def shop_labels(shop_site):
+    return DictionaryAnnotator(["ALPHA", "GAMMA"]).annotate(shop_site)
+
+
+def _class_keyed_wrapper():
+    return XPathWrapper(
+        features=frozenset(
+            {((1, "tag"), "u"), ((2, "tag"), "td"), ((2, "@class"), "item")}
+        )
+    )
+
+
+def _tag_only_wrapper():
+    return XPathWrapper(features=frozenset({((1, "tag"), "u")}))
+
+
+def _dead_wrapper():
+    return XPathWrapper(
+        features=frozenset({((1, "tag"), "u"), ((1, "childnum"), 99)})
+    )
+
+
+def _greedy_wrapper():
+    # No features: matches every text node — the match-everything trap.
+    return XPathWrapper(features=frozenset())
+
+
+def _alt(wrapper):
+    return {"wrapper_spec": wrapper.to_spec(), "rule": wrapper.rule(), "score": {}}
+
+
+def _artifact(site, labels, alternates=()):
+    winner = _class_keyed_wrapper()
+    extracted = winner.extract(site)
+    return WrapperArtifact(
+        wrapper_spec=winner.to_spec(),
+        rule=winner.rule(),
+        site=site.name,
+        inductor="xpath",
+        method="ntw",
+        alternates=[_alt(w) for w in alternates],
+        baseline=baseline_from_extraction(
+            extracted, len(site), labels=labels
+        ).to_dict(),
+    )
+
+
+class TestHealthBaseline:
+    def test_from_extraction_profile(self, shop_site, shop_labels):
+        extracted = _class_keyed_wrapper().extract(shop_site)
+        baseline = baseline_from_extraction(
+            extracted, len(shop_site), labels=shop_labels
+        )
+        assert baseline.pages == 2
+        assert baseline.mean_per_page == pytest.approx(1.5)
+        assert baseline.empty_page_rate == 0.0
+        assert baseline.agreement == 1.0  # both labels extracted
+        assert baseline.n_labels == 2
+
+    def test_dict_roundtrip(self, shop_site, shop_labels):
+        baseline = baseline_from_extraction(
+            _class_keyed_wrapper().extract(shop_site), 2, labels=shop_labels
+        )
+        assert HealthBaseline.from_dict(baseline.to_dict()) == baseline
+
+    def test_empty_payload_is_none(self):
+        assert HealthBaseline.from_dict({}) is None
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError, match="malformed health baseline"):
+            HealthBaseline.from_dict({"pages": "many"})
+
+    def test_page_counts(self, shop_site):
+        extracted = _class_keyed_wrapper().extract(shop_site)
+        assert page_counts(extracted, 2) == [2, 1]
+
+
+class TestDriftDetector:
+    def test_healthy_stream_stays_quiet(self, shop_site, shop_labels):
+        artifact = _artifact(shop_site, shop_labels)
+        detector = DriftDetector(artifact.baseline)
+        extracted = artifact.apply(shop_site)
+        for _ in range(5):
+            report = detector.observe(extracted, 2, labels=shop_labels)
+            assert not report.drifted
+
+    def test_collapse_fires(self, shop_site, shop_labels):
+        detector = DriftDetector(_artifact(shop_site, shop_labels).baseline)
+        report = detector.observe(frozenset(), 2)
+        assert report.drifted
+        assert any("collapsed" in reason for reason in report.reasons)
+        assert any("empty-page" in reason for reason in report.reasons)
+
+    def test_explosion_fires(self, shop_site, shop_labels):
+        detector = DriftDetector(_artifact(shop_site, shop_labels).baseline)
+        everything = shop_site.text_node_ids()
+        report = detector.observe(everything, 2)
+        assert report.drifted
+        assert any("exploded" in reason for reason in report.reasons)
+
+    def test_agreement_drop_fires(self, shop_site, shop_labels):
+        detector = DriftDetector(_artifact(shop_site, shop_labels).baseline)
+        # Counts look fine (3 nodes), but none are the labeled ones.
+        wrong = frozenset(
+            sorted(shop_site.text_node_ids() - shop_labels)[:3]
+        )
+        report = detector.observe(wrong, 2, labels=shop_labels)
+        assert report.drifted
+        assert any("re-agreement" in reason for reason in report.reasons)
+
+    def test_born_bad_wrapper_has_not_drifted(self, shop_site, shop_labels):
+        """Zero agreement at learn time means zero agreement later is
+        *not* drift — drift is change relative to the baseline."""
+        baseline = baseline_from_extraction(
+            frozenset(sorted(shop_site.text_node_ids() - shop_labels)[:3]),
+            2,
+            labels=shop_labels,
+        )
+        assert baseline.agreement == 0.0
+        detector = DriftDetector(baseline)
+        report = detector.observe(
+            frozenset(sorted(shop_site.text_node_ids() - shop_labels)[:3]),
+            2,
+            labels=shop_labels,
+        )
+        assert not report.drifted
+
+    def test_window_rolls_past_a_blip(self, shop_site, shop_labels):
+        artifact = _artifact(shop_site, shop_labels)
+        detector = DriftDetector(artifact.baseline, window=3)
+        healthy = artifact.apply(shop_site)
+        assert detector.observe(frozenset(), 2).drifted  # the blip
+        detector.observe(healthy, 2)
+        detector.observe(healthy, 2)
+        # Blip still in window (1 of 3 observations empty -> empty rate .33).
+        report = detector.observe(healthy, 2)
+        assert not report.drifted  # blip aged out of the window
+
+    def test_reset_clears_window(self, shop_site, shop_labels):
+        detector = DriftDetector(
+            _artifact(shop_site, shop_labels).baseline, window=8
+        )
+        for _ in range(4):
+            detector.observe(frozenset(), 2)
+        detector.reset()
+        healthy = _class_keyed_wrapper().extract(shop_site)
+        assert not detector.observe(healthy, 2).drifted
+
+    def test_min_observations_debounce(self, shop_site, shop_labels):
+        policy = ThresholdPolicy(min_observations=2)
+        detector = DriftDetector(
+            _artifact(shop_site, shop_labels).baseline, policy=policy
+        )
+        assert not detector.observe(frozenset(), 2).drifted  # too early
+        assert detector.observe(frozenset(), 2).drifted
+
+    def test_pluggable_policy(self, shop_site, shop_labels):
+        class Paranoid(ThresholdPolicy):
+            def evaluate(self, signals, baseline):
+                return ["always drifted"]
+
+        detector = DriftDetector(
+            _artifact(shop_site, shop_labels).baseline, policy=Paranoid()
+        )
+        healthy = _class_keyed_wrapper().extract(shop_site)
+        report = detector.observe(healthy, 2)
+        assert report.drifted and report.reasons == ["always drifted"]
+
+    def test_v1_artifact_has_no_baseline(self):
+        with pytest.raises(ValueError, match="predates baselines"):
+            DriftDetector({})
+
+
+class TestRepairPolicy:
+    def _drifted(self, shop_site):
+        """The shop after a CSS-class redesign (winner's key renamed)."""
+        return Site.from_html(
+            "shop",
+            drift_sources := [
+                page.source.replace("class='item'", "class='cell'")
+                for page in shop_site.pages
+            ],
+        )
+
+    def test_ladder_promotion_skips_dead_rungs(self, shop_site, shop_labels):
+        artifact = _artifact(
+            shop_site, shop_labels, alternates=[_dead_wrapper(), _tag_only_wrapper()]
+        )
+        drifted = self._drifted(shop_site)
+        labels = DictionaryAnnotator(["ALPHA", "GAMMA"]).annotate(drifted)
+        report = RepairPolicy().repair(artifact, drifted, labels=labels)
+        assert report.ok and report.strategy == "alternate"
+        assert report.promoted_rank == 2
+        assert [a.promoted for a in report.attempts] == [False, True]
+        assert "extracts nothing" in report.attempts[0].reasons[0]
+        # The repaired artifact extracts the full listing again.
+        assert len(report.artifact.apply(drifted)) == 3
+        # Ladder bookkeeping: promoted rung removed, dead rung kept,
+        # demoted winner dropped, baseline refreshed on drifted pages.
+        assert len(report.artifact.alternates) == 1
+        assert report.artifact.alternates[0]["rule"] == _dead_wrapper().rule()
+        assert report.artifact.baseline["mean_per_page"] == pytest.approx(1.5)
+        assert report.artifact.provenance["repairs"][0]["strategy"] == "alternate"
+
+    def test_match_everything_alternate_rejected(self, shop_site, shop_labels):
+        artifact = _artifact(shop_site, shop_labels, alternates=[_greedy_wrapper()])
+        drifted = self._drifted(shop_site)
+        labels = DictionaryAnnotator(["ALPHA", "GAMMA"]).annotate(drifted)
+        report = RepairPolicy().repair(artifact, drifted, labels=labels)
+        # Covers every label, but the count-ratio guard catches it.
+        assert not report.ok and report.strategy == "failed"
+        attempt = report.attempts[0]
+        assert attempt.agreement == 1.0
+        assert any("ratio" in reason for reason in attempt.reasons)
+
+    def test_structural_validation_without_labels(self, shop_site, shop_labels):
+        """No annotator, no labels: the baseline alone still gates the
+        ladder (the stream-mode self-repair path)."""
+        artifact = _artifact(
+            shop_site, shop_labels, alternates=[_tag_only_wrapper()]
+        )
+        report = RepairPolicy().repair(artifact, self._drifted(shop_site))
+        assert report.ok and report.strategy == "alternate"
+
+    def test_nothing_to_validate_against_fails(self, shop_site, shop_labels):
+        artifact = _artifact(shop_site, shop_labels, alternates=[_tag_only_wrapper()])
+        artifact.baseline = {}
+        report = RepairPolicy().repair(artifact, self._drifted(shop_site))
+        assert not report.ok
+        assert "nothing to validate against" in report.error
+
+    def test_exhausted_ladder_without_extractor_fails(
+        self, shop_site, shop_labels
+    ):
+        artifact = _artifact(shop_site, shop_labels, alternates=[_dead_wrapper()])
+        drifted = self._drifted(shop_site)
+        labels = DictionaryAnnotator(["ALPHA", "GAMMA"]).annotate(drifted)
+        report = RepairPolicy().repair(artifact, drifted, labels=labels)
+        assert not report.ok and report.strategy == "failed"
+        assert "ladder exhausted" in report.error
+        assert "no extractor" in report.error
+
+    def test_relearn_fallback(self, shop_site, shop_labels):
+        annotator = DictionaryAnnotator(["ALPHA", "GAMMA"])
+        artifact = _artifact(shop_site, shop_labels, alternates=[_dead_wrapper()])
+        drifted = self._drifted(shop_site)
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        report = RepairPolicy(annotator=annotator, extractor=extractor).repair(
+            artifact, drifted
+        )
+        assert report.ok and report.strategy == "relearn"
+        assert len(report.artifact.apply(drifted)) >= 2
+        assert report.artifact.provenance["repairs"][-1]["strategy"] == "relearn"
+        assert report.artifact.provenance["repairs"][-1]["previous_rule"] == artifact.rule
+
+    def test_report_is_json_safe(self, shop_site, shop_labels):
+        import json
+
+        artifact = _artifact(shop_site, shop_labels, alternates=[_tag_only_wrapper()])
+        drifted = self._drifted(shop_site)
+        detector = DriftDetector(artifact.baseline)
+        verdict = detector.observe(artifact.apply(drifted), len(drifted))
+        report = RepairPolicy().repair(artifact, drifted, drift=verdict)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] and payload["strategy"] == "alternate"
+        assert payload["drift"]["drifted"] is True
+
+
+class TestEndToEndStreamSelfRepair:
+    """Acceptance: a drifted fleet streamed through a live IngestSession
+    recovers >= pre-drift F1 via the repair cascade, hot-swapped into
+    the running pool — and old (v1) artifacts keep loading and applying.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_drifted_fleet_recovers_f1_in_live_session(
+        self, small_dealers, workers
+    ):
+        annotator = small_dealers.annotator()
+        train, fleet = small_dealers.sites[::2], small_dealers.sites[1::2]
+        extractor = Extractor(
+            ExtractorConfig(inductor="xpath", method="ntw")
+        ).fit(train, annotator, "name")
+        artifacts, pre_f1 = {}, {}
+        for generated in fleet:
+            artifact = extractor.learn(
+                generated.site,
+                annotator.annotate(generated.site),
+                site_name=generated.name,
+            )
+            artifacts[generated.name] = artifact
+            pre_f1[generated.name] = prf(
+                artifact.apply(generated.site), generated.gold["name"]
+            ).f1
+        drifted = {
+            generated.name: drift_site(generated, severity="medium", seed=1)
+            for generated in fleet
+        }
+        policy = RepairPolicy(annotator=annotator, extractor=extractor)
+        repaired_f1: dict[str, float] = {}
+        repairs = 0
+        with IngestSession(max_workers=workers) as session:
+            submitted: dict[int, str] = {}
+            for name, generated in drifted.items():
+                index = session.submit(generated.site, artifact=artifacts[name])
+                submitted[index] = name
+            resubmitted: dict[int, str] = {}
+            for outcome in session.iter_results():
+                if outcome.index in resubmitted:
+                    name = resubmitted[outcome.index]
+                    repaired_f1[name] = prf(
+                        outcome.extracted, drifted[name].gold["name"]
+                    ).f1
+                    continue
+                name = submitted[outcome.index]
+                generated = drifted[name]
+                assert outcome.ok
+                verdict = DriftDetector(
+                    artifacts[name].baseline
+                ).observe_site(generated.site, outcome.extracted, annotator=annotator)
+                if not verdict.drifted:
+                    repaired_f1[name] = prf(
+                        outcome.extracted, generated.gold["name"]
+                    ).f1
+                    continue
+                report = policy.repair(
+                    artifacts[name], generated.site, drift=verdict
+                )
+                assert report.ok, (name, report.error)
+                repairs += 1
+                # Hot-swap: the repaired artifact rides the SAME live
+                # session; no restart, the worker's interned site is warm.
+                index = session.submit(generated.site, artifact=report.artifact)
+                resubmitted[index] = name
+        assert set(repaired_f1) == set(drifted)
+        assert repairs > 0  # medium drift must actually break wrappers
+        for name, f1 in repaired_f1.items():
+            assert f1 >= pre_f1[name] - 1e-9, (name, pre_f1[name], f1)
+
+    def test_refit_extractor_hot_swaps_into_live_learn_stream(
+        self, small_dealers
+    ):
+        """update_shared ships a refit extractor through the live pool:
+        jobs the workers receive after the swap use the new config."""
+        annotator = small_dealers.annotator()
+        first = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        refit = Extractor(ExtractorConfig(inductor="lr", method="naive"))
+        sites = [g.site for g in small_dealers.sites[1::2]]
+        with IngestSession(
+            extractor=first, annotator=annotator, max_workers=2
+        ) as session:
+            session.submit(sites[0])
+            before = next(iter(session.iter_results()))
+            assert session.update_shared(extractor=refit) is True
+            # Unchanged context: the fingerprint gate skips the re-ship.
+            assert session.update_shared(extractor=refit) is False
+            session.submit(sites[1])
+            after = next(iter(session.iter_results()))
+        assert before.ok and before.artifact.inductor == "xpath"
+        assert after.ok and after.artifact.inductor == "lr"
+
+    def test_v1_artifact_loads_and_applies_unchanged(self, small_dealers):
+        annotator = small_dealers.annotator()
+        generated = small_dealers.sites[1]
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        artifact = extractor.learn(
+            generated.site,
+            annotator.annotate(generated.site),
+            site_name=generated.name,
+        )
+        payload = artifact.to_dict()
+        # What a v1 writer produced: no alternates, no baseline.
+        del payload["alternates"]
+        del payload["baseline"]
+        payload["schema_version"] = 1
+        old = WrapperArtifact.from_dict(payload)
+        assert old.schema_version == 1
+        assert old.apply(generated.site) == artifact.apply(generated.site)
+        assert old.alternates == [] and old.baseline == {}
+        assert old.health_baseline() is None
+
+
+class TestJsonSafety:
+    def test_infinite_count_ratio_serializes_as_null(self):
+        """A zero-mean baseline makes the ratio infinite; NDJSON
+        surfaces must get null, not the invalid `Infinity` token."""
+        import json
+
+        baseline = baseline_from_extraction(frozenset(), 2)
+        assert baseline.mean_per_page == 0.0
+        detector = DriftDetector(baseline)
+        report = detector.observe_counts([5])
+        assert report.signals.count_ratio == float("inf")
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["signals"]["count_ratio"] is None
