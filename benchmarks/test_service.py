@@ -1,0 +1,157 @@
+"""Extraction-as-a-service throughput: the daemon under tenant load.
+
+A persistent :class:`~repro.service.server.ExtractionServer` (one
+shared worker pool, wrapper registry in front) serves a generated
+DEALERS fleet to a growing number of concurrent clients.  Measured:
+
+1. **learn-on-miss population** — the cold phase: every site's first
+   apply triggers exactly one learn; the registry must end with one
+   version per fingerprint.
+2. **requests/s vs client count** — every client pipelines one apply
+   per site (exact fingerprint hits, the steady-state serve path);
+   throughput is aggregate responses over wall-clock.
+3. **registry hit rate** — resolve hits over total resolves after the
+   storm; the steady state must be registry-hit dominated.
+
+Results go to ``results/service.txt`` and a run is appended to the
+``results/BENCH_service.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from _harness import FULL_SCALE, RESULTS_DIR, write_result
+
+from repro.api import Extractor, ExtractorConfig, load_dataset
+from repro.evaluation.runner import split_sites
+from repro.service import ExtractionServer, ServiceClient
+
+#: (n_sites, pages_per_site) of the served fleet.
+FLEET_SCALE = (24, 8) if FULL_SCALE else (12, 6)
+
+CLIENT_COUNTS = (1, 2, 4)
+SERVICE_WORKERS = 2
+
+
+def _storm(address, raw_fleet, n_clients: int) -> float:
+    """Every client pipelines one apply per site; returns elapsed s."""
+    barrier = threading.Barrier(n_clients + 1)
+    failures: list[Exception] = []
+
+    def tenant() -> None:
+        try:
+            with ServiceClient(address, timeout=300) as client:
+                barrier.wait()
+                ids = [
+                    client.submit("apply", site=name, pages=pages)
+                    for name, pages in raw_fleet
+                ]
+                for request_id in ids:
+                    response = client.wait(request_id)
+                    assert response["ok"], response
+                    assert response["source"] == "fingerprint", response
+        except Exception as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+
+    threads = [threading.Thread(target=tenant) for _ in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - start
+    assert not failures, failures
+    return elapsed
+
+
+def test_service_throughput():
+    n_sites, pages = FLEET_SCALE
+    bundle = load_dataset("dealers", sites=n_sites, pages=pages, seed=11)
+    train, fleet = split_sites(bundle.sites)
+    extractor = Extractor(
+        ExtractorConfig(inductor="xpath", method="ntw")
+    ).fit(train, bundle.annotator, bundle.gold_type)
+    raw_fleet = [
+        (generated.name, [page.source for page in generated.site.pages])
+        for generated in fleet
+    ]
+    lines = [f"fleet: {len(raw_fleet)} sites x {pages} pages"]
+    record: dict = {
+        "timestamp": time.time(),
+        "fleet_sites": len(raw_fleet),
+        "fleet_pages": pages,
+        "workers": SERVICE_WORKERS,
+    }
+
+    with ExtractionServer(
+        "memory",
+        extractor=extractor,
+        annotator=bundle.annotator,
+        max_workers=SERVICE_WORKERS,
+    ) as server:
+        # -- cold phase: learn-on-miss populates the registry ---------------
+        start = time.perf_counter()
+        with ServiceClient(server.address, timeout=300) as client:
+            for name, site_pages in raw_fleet:
+                response = client.apply(name, site_pages)
+                assert response["ok"] and response["source"] == "learned"
+        learn_s = time.perf_counter() - start
+        assert server.registry.learned == len(raw_fleet)
+        # Every fingerprint carries exactly one version (no double learns).
+        assert all(
+            len(server.registry.versions(fp)) == 1
+            for fp in server.registry.fingerprints()
+        )
+        record["learn_on_miss"] = {
+            "sites": len(raw_fleet),
+            "seconds": learn_s,
+            "sites_per_s": len(raw_fleet) / learn_s,
+        }
+        lines.append(
+            f"learn-on-miss  {len(raw_fleet) / learn_s:8.1f} sites/s  "
+            f"({learn_s:.3f}s cold)"
+        )
+
+        # -- steady state: requests/s vs client count -----------------------
+        record["requests_per_s"] = {}
+        for n_clients in CLIENT_COUNTS:
+            elapsed = _storm(server.address, raw_fleet, n_clients)
+            total = n_clients * len(raw_fleet)
+            rate = total / elapsed
+            record["requests_per_s"][str(n_clients)] = rate
+            lines.append(
+                f"serve x{n_clients} clients {rate:8.1f} req/s  "
+                f"({total} requests, {elapsed:.3f}s)"
+            )
+
+        stats = server.registry.stats()
+
+    resolves = stats["resolve_hits"] + stats["resolve_misses"]
+    hit_rate = stats["resolve_hits"] / resolves if resolves else 0.0
+    record["registry"] = {
+        "hit_rate": hit_rate,
+        "resolve_hits": stats["resolve_hits"],
+        "resolve_misses": stats["resolve_misses"],
+        "hot": stats["hot"],
+        "fingerprints": stats["fingerprints"],
+    }
+    lines.append(
+        f"registry hit rate {hit_rate:6.1%}  "
+        f"({stats['resolve_hits']} hits / {resolves} resolves)"
+    )
+    # Steady state is registry-hit dominated: only the cold phase missed.
+    expected_misses = len(raw_fleet)
+    assert stats["resolve_misses"] == expected_misses
+    assert hit_rate >= 0.5
+
+    write_result("service", lines)
+    trajectory = RESULTS_DIR / "BENCH_service.json"
+    history = (
+        json.loads(trajectory.read_text()) if trajectory.exists() else []
+    )
+    history.append(record)
+    trajectory.write_text(json.dumps(history, indent=2) + "\n")

@@ -31,6 +31,7 @@ from repro.engine import EvaluationEngine, resolve_engine
 from repro.framework.naive import NaiveWrapperLearner
 from repro.framework.ntw import MAX_ENUMERATION_LABELS, NoiseTolerantWrapper
 from repro.lifecycle.monitor import baseline_from_extraction
+from repro.lifecycle.repair import select_diverse
 from repro.ranking.annotation import AnnotationModel
 from repro.ranking.content import ContentModel
 from repro.ranking.publication import PublicationModel
@@ -249,14 +250,20 @@ class Extractor:
             extracted = result.best.extracted
             # The runner-up wrappers the ranker already scored become
             # the artifact's self-repair ladder (see repro.lifecycle).
+            # Diversity pruning: a rung whose feature set subsumes the
+            # winner (or a kept rung) fails whenever they do, so ladder
+            # slots go to structurally distinct repair paths first.
+            candidates = [rw for rw in result.ranked[1:] if rw.extracted]
+            winner_spec = wrapper.to_spec()
+            specs = [rw.wrapper.to_spec() for rw in candidates]
             alternates = [
                 {
-                    "wrapper_spec": runner_up.wrapper.to_spec(),
-                    "rule": runner_up.wrapper.rule(),
-                    "score": runner_up.score_dict(),
+                    "wrapper_spec": specs[index],
+                    "rule": candidates[index].wrapper.rule(),
+                    "score": candidates[index].score_dict(),
                 }
-                for runner_up in WrapperScorer.alternates(
-                    result.ranked, self.config.keep_alternates
+                for index in select_diverse(
+                    winner_spec, specs, self.config.keep_alternates
                 )
             ]
             if result.enumeration is not None:

@@ -65,7 +65,6 @@ crashing the worker.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import os
 import zlib
@@ -86,7 +85,7 @@ from repro.api.extractor import Extractor
 from repro.datasets.sitegen import GeneratedSite
 from repro.engine import EvaluationEngine
 from repro.engine.config import get_config
-from repro.site import Site, digest_framed
+from repro.site import Site, sources_fingerprint
 from repro.wrappers.base import Labels
 
 __all__ = [
@@ -141,16 +140,10 @@ def _site_key(item: SiteLike, index: int) -> str:
         if isinstance(item, Site):
             return f"{item.name}\x00{item.content_fingerprint()}"
         if isinstance(item, tuple) and len(item) == 2:
-            name, sources = str(item[0]), (str(page) for page in item[1])
-        else:
-            return f"unkeyed-{index}"
-        digest = hashlib.blake2b(digest_size=10)
-        for source in sources:
             # Shared framing means a raw pair and its parsed Site
             # intern as the same payload.
-            digest_framed(digest, source)
-            digest.update(b"\x00")
-        return f"{name}\x00{digest.hexdigest()}"
+            return f"{item[0]}\x00{sources_fingerprint(item[1])}"
+        return f"unkeyed-{index}"
     except Exception:
         return f"unkeyed-{index}"
 

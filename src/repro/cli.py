@@ -6,6 +6,16 @@ Subcommands
 ``learn``
     Learn one wrapper per site and save the artifacts as JSON:
     ``repro learn --dataset dealers --inductor xpath --out wrappers/``.
+    With ``--registry DIR``, artifacts are stored in a versioned
+    wrapper registry (keyed by site content fingerprint) instead of
+    bare files.
+
+``serve``
+    Run the persistent extraction daemon: one shared worker pool, an
+    NDJSON-over-socket front end, wrappers resolved through a registry
+    with learn-on-miss: ``repro serve --registry wrappers.reg
+    --dataset dealers --workers 4 --port 7331``.  A restarted daemon
+    resumes serving every registered wrapper without relearning.
 
 ``apply``
     Load saved artifacts and re-extract from (re)generated sites
@@ -171,15 +181,29 @@ def cmd_learn(args: argparse.Namespace) -> int:
         )
     finally:
         _close_executor(executor)
-    out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    for outcome in result.successes:
-        path = outcome.artifact.save(out_dir / f"{outcome.site}.json")
-        print(f"  {outcome.site}: {outcome.artifact.rule}")
-        print(f"    -> {path}")
+    if args.registry:
+        from repro.service import WrapperRegistry, fingerprint_of
+
+        registry = WrapperRegistry(args.registry)
+        fingerprints = {g.name: fingerprint_of(g) for g in targets}
+        for outcome in result.successes:
+            record = registry.put(
+                fingerprints[outcome.site], outcome.artifact, origin="learn"
+            )
+            print(f"  {outcome.site}: {outcome.artifact.rule}")
+            print(f"    -> {record.fingerprint} v{record.version}")
+        destination = f"registry {args.registry}/"
+    else:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for outcome in result.successes:
+            path = outcome.artifact.save(out_dir / f"{outcome.site}.json")
+            print(f"  {outcome.site}: {outcome.artifact.rule}")
+            print(f"    -> {path}")
+        destination = f"{out_dir}/"
     for outcome in result.failures:
         print(f"  {outcome.site}: FAILED ({outcome.error})")
-    print(f"learned {result.summary()}; artifacts in {out_dir}/")
+    print(f"learned {result.summary()}; artifacts in {destination}")
     return 0 if result.successes else 1
 
 
@@ -195,6 +219,35 @@ def _artifacts_or_exit(directory: str):
     if not artifacts_by_site:
         raise SystemExit(f"no artifacts found in {directory!r}")
     return artifacts_by_site
+
+
+def _fleet_or_exit(args):
+    """The wrapper fleet for apply/monitor: ``(artifacts_by_site,
+    registry)``.
+
+    ``--registry DIR`` loads the latest version per site from the
+    wrapper registry (``registry`` is returned for write-back flows);
+    otherwise ``--artifacts DIR`` reads bare JSON files (registry is
+    ``None``).
+    """
+    if getattr(args, "registry", None):
+        from repro.service import RegistryError, WrapperRegistry
+
+        try:
+            registry = WrapperRegistry(args.registry)
+            artifacts_by_site = registry.artifacts_by_site()
+        except RegistryError as error:
+            raise SystemExit(
+                f"cannot load registry {args.registry!r}: {error}"
+            ) from None
+        if not artifacts_by_site:
+            raise SystemExit(
+                f"no wrappers registered in {args.registry!r}"
+            )
+        return artifacts_by_site, registry
+    if not args.artifacts:
+        raise SystemExit("pass --artifacts DIR or --registry DIR")
+    return _artifacts_or_exit(args.artifacts), None
 
 
 def _artifact_source_paths(directory: str) -> dict:
@@ -252,7 +305,7 @@ def cmd_apply_stream(args: argparse.Namespace) -> int:
     from repro.lifecycle import DriftDetector, RepairPolicy
     from repro.site import Site
 
-    artifacts_by_site = _artifacts_or_exit(args.artifacts)
+    artifacts_by_site, _ = _fleet_or_exit(args)
     ok_count = 0
     #: index -> (site, pages) while in flight (self-repair needs the
     #: drifted pages to validate the alternate ladder against).
@@ -412,7 +465,7 @@ def cmd_apply(args: argparse.Namespace) -> int:
         return cmd_apply_stream(args)
     from repro.lifecycle import DriftDetector, RepairPolicy
 
-    artifacts_by_site = _artifacts_or_exit(args.artifacts)
+    artifacts_by_site, registry = _fleet_or_exit(args)
     bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
     sites_by_name = {generated.name: generated for generated in bundle.sites}
     matched = sorted(set(artifacts_by_site) & set(sites_by_name))
@@ -439,7 +492,9 @@ def cmd_apply(args: argparse.Namespace) -> int:
     finally:
         _close_executor(executor)
     source_paths = (
-        _artifact_source_paths(args.artifacts) if args.save_repaired else {}
+        _artifact_source_paths(args.artifacts)
+        if args.save_repaired and registry is None
+        else {}
     )
     repair_models = None
 
@@ -484,7 +539,19 @@ def cmd_apply(args: argparse.Namespace) -> int:
                     extracted = report.artifact.apply(generated.site)
                     suffix = f"  [repaired: {report.strategy}]"
                     artifacts_by_site[outcome.site] = report.artifact
-                    if args.save_repaired:
+                    if args.save_repaired and registry is not None:
+                        # Repairs append a new registry version; the
+                        # drifted wrapper stays in the lineage chain.
+                        from repro.service import fingerprint_of
+
+                        fingerprint = registry.site_fingerprint(
+                            outcome.site
+                        ) or fingerprint_of(generated)
+                        record = registry.put(
+                            fingerprint, report.artifact, origin="repair"
+                        )
+                        suffix += f" -> registry v{record.version}"
+                    elif args.save_repaired:
                         path = report.artifact.save(
                             source_paths.get(
                                 outcome.site,
@@ -528,7 +595,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     from repro.datasets.sitegen import drift_site
     from repro.lifecycle import DriftDetector
 
-    artifacts_by_site = _artifacts_or_exit(args.artifacts)
+    artifacts_by_site, _ = _fleet_or_exit(args)
     bundle = _dataset_or_exit(args.dataset, args.sites, args.pages, args.seed)
     sites_by_name = {generated.name: generated for generated in bundle.sites}
     matched = sorted(set(artifacts_by_site) & set(sites_by_name))
@@ -588,6 +655,80 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     # stderr so `... --json | jq` never chokes on a prose line.
     print(summary, file=sys.stderr if args.json else sys.stdout)
     return 1 if drifted_count else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent extraction daemon (see :mod:`repro.service`).
+
+    The daemon owns one shared worker pool and serves every connected
+    client's NDJSON request stream over it with per-tenant admission
+    control.  Wrappers are resolved through the ``--registry`` store
+    (falling back to an in-memory registry, useful only for smoke
+    tests); with ``--dataset``, the daemon is armed for learn-on-miss
+    using that dataset's annotator and models fitted on its training
+    split.  Prints ``serving on <host>:<port>`` (or the socket path)
+    once ready, then blocks until interrupted.
+    """
+    from repro.service import ExtractionServer, WrapperRegistry
+    from repro.service import RegistryError as ServiceRegistryError
+
+    try:
+        registry = WrapperRegistry(args.registry if args.registry else "memory")
+        registry.fingerprints()
+    except ServiceRegistryError as error:
+        raise SystemExit(
+            f"cannot open registry {args.registry!r}: {error}"
+        ) from None
+    extractor = None
+    annotator = None
+    if args.dataset != "none":
+        bundle = _dataset_or_exit(
+            args.dataset, args.sites, args.pages, args.seed
+        )
+        config = ExtractorConfig(inductor=args.inductor, method=args.method)
+        try:
+            extractor = Extractor(config)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        if args.method != "naive":
+            train, _ = split_sites(bundle.sites)
+            extractor.fit(train, bundle.annotator, bundle.gold_type)
+        annotator = bundle.annotator
+    server = ExtractionServer(
+        registry,
+        extractor=extractor,
+        annotator=annotator,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket or None,
+        max_workers=args.workers,
+        max_inflight_per_client=args.max_inflight_per_client,
+    )
+    # SIGTERM (the polite kill an operator or supervisor sends) must run
+    # the same clean shutdown as Ctrl-C: without it the interpreter dies
+    # before the worker pool is closed, orphaning the forked workers.
+    import signal
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _terminate)
+    server.start()
+    address = server.address
+    where = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+    print(f"serving on {where}", flush=True)
+    print(
+        f"registry: {args.registry or 'memory'} "
+        f"({len(registry.fingerprints())} wrappers); "
+        f"workers: {args.workers}; "
+        f"learn-on-miss: {'armed' if extractor is not None else 'disabled'}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        signal.signal(signal.SIGTERM, previous_handler)
+    return 0
 
 
 def cmd_list_components(_: argparse.Namespace) -> int:
@@ -686,12 +827,29 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument(
         "--out", default="artifacts", help="directory for artifact JSON files"
     )
+    learn.add_argument(
+        "--registry",
+        default=None,
+        help=(
+            "store artifacts in a wrapper-registry directory (versioned, "
+            "keyed by site content fingerprint) instead of --out"
+        ),
+    )
     learn.set_defaults(func=cmd_learn)
 
     apply_ = sub.add_parser("apply", help="apply saved artifacts, no relearning")
     _add_dataset_args(apply_, sites=8, pages=6)
     apply_.add_argument(
-        "--artifacts", required=True, help="directory of artifact JSON files"
+        "--artifacts", help="directory of artifact JSON files"
+    )
+    apply_.add_argument(
+        "--registry",
+        default=None,
+        help=(
+            "load wrappers from a registry directory (latest version per "
+            "site) instead of --artifacts; with --save-repaired, repairs "
+            "append new versions to the registry"
+        ),
     )
     apply_.add_argument("--workers", type=int, default=1)
     apply_.add_argument(
@@ -747,7 +905,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_args(monitor, sites=8, pages=6)
     monitor.add_argument(
-        "--artifacts", required=True, help="directory of artifact JSON files"
+        "--artifacts", help="directory of artifact JSON files"
+    )
+    monitor.add_argument(
+        "--registry",
+        default=None,
+        help=(
+            "load wrappers from a registry directory (latest version per "
+            "site) instead of --artifacts"
+        ),
     )
     monitor.add_argument(
         "--drift",
@@ -765,6 +931,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one NDJSON health report per site instead of the table",
     )
     monitor.set_defaults(func=cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent multi-tenant extraction daemon"
+    )
+    serve.add_argument(
+        "--registry",
+        default=None,
+        help=(
+            "wrapper-registry directory backing the daemon (durable: a "
+            "restarted daemon resumes from it without relearning); "
+            "defaults to an in-memory registry"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        help="serve on this AF_UNIX socket path instead of TCP",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="extraction worker processes shared by all clients",
+    )
+    serve.add_argument(
+        "--max-inflight-per-client",
+        type=int,
+        default=8,
+        help="per-tenant admission budget (outstanding jobs per client)",
+    )
+    serve.add_argument(
+        "--dataset",
+        default="none",
+        help=(
+            "arm learn-on-miss with this dataset's annotator (and models "
+            "fitted on its training split); 'none' serves registry "
+            "wrappers only"
+        ),
+    )
+    serve.add_argument("--sites", type=int, default=8)
+    serve.add_argument("--pages", type=int, default=6)
+    serve.add_argument("--seed", type=int, default=11)
+    serve.add_argument("--inductor", default="xpath", choices=inductor_choices)
+    serve.add_argument("--method", default="ntw", choices=METHODS)
+    serve.set_defaults(func=cmd_serve)
 
     components = sub.add_parser(
         "list-components", help="show registered components"

@@ -50,7 +50,76 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.annotators.base import Annotator
     from repro.api.extractor import Extractor
 
-__all__ = ["AlternateAttempt", "RepairPolicy", "RepairReport"]
+__all__ = [
+    "AlternateAttempt",
+    "RepairPolicy",
+    "RepairReport",
+    "rung_features",
+    "select_diverse",
+]
+
+
+def rung_features(spec: dict) -> frozenset | None:
+    """The structural feature set of a wrapper spec, or ``None``.
+
+    Feature-conjunction wrappers (the xpath family) serialize as
+    ``{"kind": ..., "features": [[position, kind, value], ...]}``;
+    the rows come back as a hashable frozenset for subset comparison.
+    Specs of other shapes are incomparable: return ``None`` so
+    :func:`select_diverse` leaves them alone.
+    """
+    if not isinstance(spec, dict):
+        return None
+    rows = spec.get("features")
+    if not isinstance(rows, list) or not rows:
+        return None
+    try:
+        return frozenset(tuple(row) for row in rows)
+    except TypeError:
+        return None
+
+
+def select_diverse(
+    winner_spec: dict, specs: list[dict], k: int
+) -> list[int]:
+    """Indices of up to ``k`` specs forming a diversity-pruned ladder.
+
+    The alternates ladder exists to survive drifts that kill the
+    winner, so rungs must *fail differently* from it.  For
+    feature-conjunction wrappers the features are ANDed constraints:
+    a rung whose feature set is a superset of the winner's (or of a
+    higher-ranked kept rung's) extracts a subset of that wrapper's
+    nodes on every page — whenever the subsumed wrapper drifts to an
+    empty extraction, the superset rung is empty too.  Such a rung can
+    never repair the drift that broke what it subsumes; keeping it
+    burns a ladder slot on a redundant failure mode.
+
+    Candidates are scanned in ranked order and kept unless their
+    feature set subsumes the winner's or an already-kept rung's.
+    Incomparable specs (no feature rows) are always kept.  If pruning
+    would leave free slots, the pruned rungs backfill in rank order —
+    a redundant rung still beats an empty slot.
+    """
+    if k <= 0:
+        return []
+    winner = rung_features(winner_spec)
+    kept: list[int] = []
+    kept_features: list[frozenset] = [winner] if winner is not None else []
+    pruned: list[int] = []
+    for index, spec in enumerate(specs):
+        features = rung_features(spec)
+        if features is not None and any(
+            features >= shadow for shadow in kept_features
+        ):
+            pruned.append(index)
+            continue
+        kept.append(index)
+        if features is not None:
+            kept_features.append(features)
+        if len(kept) == k:
+            return kept
+    kept.extend(pruned[: k - len(kept)])
+    return sorted(kept)
 
 
 @dataclass(slots=True)

@@ -1,0 +1,54 @@
+"""Extraction-as-a-service: the wrapper registry and the daemon.
+
+The library layers below this package are per-process: every consumer
+builds its own :class:`~repro.api.ingest.IngestSession` and loads
+artifacts from loose files.  ``repro.service`` turns that into a
+*service*:
+
+- :mod:`.registry` — a versioned wrapper store keyed by site content
+  fingerprint, with pluggable memory/file backends, atomic durable
+  writes, a hot-artifact LRU and single-flight learn-on-miss;
+- :mod:`.protocol` — the NDJSON-over-socket wire format (the module
+  docstring is the spec);
+- :mod:`.server` — :class:`ExtractionServer`, a persistent daemon that
+  owns one shared :class:`~repro.api.scheduler.WorkerPool`, multiplexes
+  many concurrent client streams over it with per-tenant admission
+  control and round-robin fairness, and resolves wrappers through the
+  registry — so a restarted node resumes serving its fleet from the
+  file store without relearning;
+- :mod:`.client` — :class:`ServiceClient`, the thin blocking/pipelined
+  client library.
+
+CLI: ``repro serve`` runs the daemon; ``learn``/``apply``/``monitor``
+take ``--registry DIR`` to read and write wrappers through the store.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import MAX_FRAME_BYTES, OPS, ProtocolError
+from repro.service.registry import (
+    ArtifactRecord,
+    FileBackend,
+    MemoryBackend,
+    RegistryBackend,
+    RegistryError,
+    WrapperRegistry,
+    fingerprint_of,
+)
+from repro.service.server import ExtractionServer, ServerError
+
+__all__ = [
+    "ArtifactRecord",
+    "ExtractionServer",
+    "FileBackend",
+    "MAX_FRAME_BYTES",
+    "MemoryBackend",
+    "OPS",
+    "ProtocolError",
+    "RegistryBackend",
+    "RegistryError",
+    "ServerError",
+    "ServiceClient",
+    "ServiceError",
+    "WrapperRegistry",
+    "fingerprint_of",
+]

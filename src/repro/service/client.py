@@ -1,0 +1,164 @@
+"""Thin client for the extraction service (see :mod:`.protocol`).
+
+:class:`ServiceClient` speaks the NDJSON wire format over TCP or an
+``AF_UNIX`` socket.  Two usage styles:
+
+- **blocking** — :meth:`apply` / :meth:`learn` / :meth:`stats` /
+  :meth:`ping` send one request and wait for *its* response (responses
+  for other in-flight requests received meanwhile are buffered, not
+  lost);
+- **pipelined** — :meth:`submit` returns the request id immediately;
+  :meth:`wait` collects a specific response and :meth:`drain` collects
+  everything outstanding, in arrival order.  This is how a tenant
+  saturates its admission budget.
+
+One client is one tenant: the server's per-client fairness budget
+applies per connection.  Not thread-safe — use one client per thread
+(cheap) or serialize externally.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A failed request (``ok: false``) or a broken connection."""
+
+    def __init__(self, message: str, response: dict | None = None) -> None:
+        super().__init__(message)
+        self.response = response
+
+
+class ServiceClient:
+    """Blocking/pipelined NDJSON client for one server connection.
+
+    Args:
+        address: ``(host, port)`` tuple, or a filesystem path string
+            for an ``AF_UNIX`` socket (matches
+            :attr:`ExtractionServer.address`).
+        timeout: socket timeout in seconds for connect and reads.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int] | str,
+        timeout: float = 60.0,
+    ) -> None:
+        self.address = address
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(
+                address if isinstance(address, str) else tuple(address)
+            )
+        except OSError as error:
+            self._sock.close()
+            raise ServiceError(
+                f"cannot connect to extraction service at {address!r}: {error}"
+            ) from error
+        self._frames = protocol.read_frames(self._sock)
+        self._pending: dict[object, dict] = {}
+        self._next_id = 0
+        self._closed = False
+
+    # -- pipelined API -----------------------------------------------------
+
+    def submit(self, op: str, **fields) -> int:
+        """Send one request without waiting; returns its request id."""
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        record = {"op": op, "id": request_id, **fields}
+        protocol.validate_request(record)
+        try:
+            self._sock.sendall(protocol.encode_frame(record))
+        except OSError as error:
+            raise ServiceError(f"send failed: {error}") from error
+        return request_id
+
+    def recv(self) -> dict:
+        """The next response off the wire (whatever request it answers)."""
+        try:
+            return next(self._frames)
+        except StopIteration:
+            raise ServiceError("server closed the connection") from None
+        except (OSError, protocol.ProtocolError) as error:
+            raise ServiceError(f"receive failed: {error}") from error
+
+    def wait(self, request_id: int) -> dict:
+        """Block until the response for ``request_id`` arrives."""
+        response = self._pending.pop(request_id, None)
+        while response is None:
+            record = self.recv()
+            if record.get("id") == request_id:
+                response = record
+            else:
+                self._pending[record.get("id")] = record
+        return response
+
+    def drain(self, count: int) -> list[dict]:
+        """Collect ``count`` responses (buffered first, then the wire)."""
+        collected: list[dict] = []
+        while self._pending and len(collected) < count:
+            collected.append(self._pending.pop(next(iter(self._pending))))
+        while len(collected) < count:
+            collected.append(self.recv())
+        return collected
+
+    # -- blocking API ------------------------------------------------------
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one request, wait for its response, raise on failure."""
+        response = self.wait(self.submit(op, **fields))
+        if not response.get("ok"):
+            raise ServiceError(
+                str(response.get("error", "request failed")), response
+            )
+        return response
+
+    def apply(self, site: str, pages: list[str], texts: bool = False) -> dict:
+        """Extract from ``pages``; the server resolves (or learns) the
+        wrapper.  Returns the apply response payload."""
+        fields = {"site": site, "pages": list(pages)}
+        if texts:
+            fields["texts"] = True
+        return self.request("apply", **fields)
+
+    def learn(self, site: str, pages: list[str], force: bool = False) -> dict:
+        """Ensure a wrapper is registered for ``pages``."""
+        fields = {"site": site, "pages": list(pages)}
+        if force:
+            fields["force"] = True
+        return self.request("learn", **fields)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("ok"))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,189 @@
+"""The extraction service wire format: newline-delimited JSON (NDJSON).
+
+This module is the protocol's normative spec; the server
+(:mod:`repro.service.server`) and client (:mod:`repro.service.client`)
+are both written against it.
+
+Transport
+---------
+
+A connection is a byte stream (TCP on localhost or an ``AF_UNIX``
+socket).  Each direction carries a sequence of **frames**: one JSON
+object per line, UTF-8 encoded, terminated by ``\\n``, at most
+:data:`MAX_FRAME_BYTES` bytes.  Clients may pipeline: many requests can
+be in flight at once, and responses arrive **out of request order** —
+every response echoes the request's ``id``, which is how the client
+pairs them.  ``id`` is an arbitrary JSON string or integer chosen by
+the client, unique among that client's in-flight requests.
+
+Requests (client -> server)
+---------------------------
+
+``{"op": "apply", "id": .., "site": name, "pages": [html, ...]}``
+    Extract from the given pages.  The server fingerprints the pages
+    (:func:`repro.site.sources_fingerprint`), resolves a wrapper
+    through its registry (exact fingerprint, then latest for ``site``),
+    and — when the server is armed for learning — learns on miss,
+    storing the new wrapper before answering.  Optional fields:
+    ``"texts": true`` asks for the extracted nodes' text contents.
+
+``{"op": "learn", "id": .., "site": name, "pages": [html, ...]}``
+    Learn (or fetch) the wrapper for these pages without applying it.
+    Returns the stored wrapper's metadata; if the fingerprint is
+    already registered the stored version is returned unchanged unless
+    ``"force": true``, which learns anew and appends a version.
+
+``{"op": "stats", "id": ..}``
+    Server and registry counters (see below).
+
+``{"op": "ping", "id": ..}``
+    Liveness probe; answered immediately.
+
+Responses (server -> client)
+----------------------------
+
+Every response carries ``"id"`` (echoed; ``null`` when the request
+line was unparseable and no id could be recovered) and ``"ok"``.
+
+Success payloads by op:
+
+``apply``
+    ``{"id", "ok": true, "op": "apply", "site", "fingerprint",
+    "source", "version", "count", "nodes": [[page, preorder], ...],
+    "texts": [...]?}`` — ``nodes`` are sorted node ids;
+    ``source`` says how the wrapper was found: ``"fingerprint"``
+    (exact content hit), ``"site"`` (same site, newer pages) or
+    ``"learned"`` (learn-on-miss populated the registry during this
+    request); ``version`` is the registry version that served it.
+
+``learn``
+    ``{"id", "ok": true, "op": "learn", "site", "fingerprint",
+    "version", "rule", "created"}`` — ``created`` is false when an
+    already-registered wrapper was returned.
+
+``stats``
+    ``{"id", "ok": true, "op": "stats", "registry": {...},
+    "server": {...}}``.
+
+``ping``
+    ``{"id", "ok": true, "op": "ping"}``.
+
+Failures: ``{"id", "ok": false, "error": "..."}`` (plus ``"op"``
+and ``"site"`` when known).  A failure is per request — the connection
+stays usable.
+
+Fairness & admission control
+----------------------------
+
+The server owns one shared worker pool.  Each connection (tenant) has
+a bounded admission queue and a bounded in-flight budget; requests
+beyond the queue bound are simply not read from the socket (TCP
+backpressure), and the dispatcher drains tenants round-robin, so a
+tenant flooding requests cannot starve another tenant's throughput.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "read_frames",
+]
+
+#: Hard bound on one frame (request or response line), bytes including
+#: the newline.  Generous — pages ride in frames — but finite, so a
+#: stray non-protocol peer cannot buffer the server into the ground.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The request operations the protocol defines.
+OPS = ("apply", "learn", "stats", "ping")
+
+
+class ProtocolError(ValueError):
+    """A frame that violates the wire format."""
+
+
+def encode_frame(record: dict) -> bytes:
+    """Serialize one frame: compact JSON + newline, UTF-8."""
+    data = json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return data
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one frame into a dict (raises :class:`ProtocolError`)."""
+    try:
+        record = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(record, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object; got {type(record).__name__}"
+        )
+    return record
+
+
+def validate_request(record: dict) -> dict:
+    """Check a decoded request frame; returns it (raises on violation)."""
+    op = record.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (valid: {', '.join(OPS)})"
+        )
+    if "id" not in record or isinstance(record["id"], (dict, list)):
+        raise ProtocolError("request needs a scalar 'id'")
+    if op in ("apply", "learn"):
+        if not isinstance(record.get("site"), str) or not record["site"]:
+            raise ProtocolError(f"{op} request needs a non-empty 'site'")
+        pages = record.get("pages")
+        if not isinstance(pages, list) or not pages:
+            raise ProtocolError(
+                f"{op} request needs 'pages': a non-empty list of HTML "
+                "strings"
+            )
+    return record
+
+
+def iter_lines(sock):
+    """Yield raw frame lines from a socket until EOF.
+
+    Enforces :data:`MAX_FRAME_BYTES`; raises :class:`ProtocolError` on
+    an over-long line (the caller should drop the connection — framing
+    is lost).  Blank lines are skipped.
+    """
+    buffer = bytearray()
+    while True:
+        newline = buffer.find(b"\n")
+        while newline < 0:
+            if len(buffer) > MAX_FRAME_BYTES:
+                raise ProtocolError("frame exceeds MAX_FRAME_BYTES")
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                if buffer.strip():
+                    yield bytes(buffer)
+                return
+            buffer.extend(chunk)
+            newline = buffer.find(b"\n")
+        line = bytes(buffer[:newline])
+        del buffer[: newline + 1]
+        if line.strip():
+            yield line
+
+
+def read_frames(sock):
+    """Yield decoded frames from a socket until EOF.
+
+    Raises :class:`ProtocolError` on an over-long line or a line that
+    is not a JSON object (a server that wants to answer instead of
+    drop should iterate :func:`iter_lines` and decode per line).
+    """
+    for line in iter_lines(sock):
+        yield decode_frame(line)

@@ -1,0 +1,571 @@
+"""The wrapper registry: a versioned artifact store keyed by site content.
+
+The paper's economics assume wrappers are *learned once and applied at
+scale* — which only works if "once" is global, not per consumer.  The
+registry is that global half: a durable store of
+:class:`~repro.api.artifacts.WrapperArtifact` payloads keyed by the
+site's :func:`~repro.site.sources_fingerprint` /
+:meth:`~repro.site.Site.content_fingerprint`, with
+
+- **versioned lineage** — every store is a new
+  :class:`ArtifactRecord` appended to the fingerprint's version chain;
+  repairs record their parent version, so the provenance trail the
+  lifecycle layer keeps inside the artifact (``provenance["repairs"]``)
+  is mirrored by a queryable chain of whole artifacts;
+- **pluggable backends** — :class:`MemoryBackend` for tests and
+  embedded use, :class:`FileBackend` for durability (one JSON document
+  per fingerprint, written atomically: temp file + fsync + rename, so
+  a crash mid-write can never leave a torn document behind);
+- a **hot-artifact LRU** — deserialized artifacts for the most
+  recently served fingerprints stay in memory (``hot_capacity``), so
+  the steady-state serve path never touches the backend or re-parses
+  JSON;
+- **learn-on-miss with single-flight** — :meth:`WrapperRegistry.get_or_learn`
+  runs the learner at most once per fingerprint however many threads
+  race on the miss (per-fingerprint locks), and every racer gets the
+  one stored artifact;
+- a **site-name secondary index** — crawls produce fresh pages, so an
+  exact fingerprint hit is the fast path but not the only one;
+  :meth:`WrapperRegistry.resolve` falls back to the latest artifact
+  learned under the same site name.
+
+The registry is thread-safe; it is the shared store behind
+:class:`repro.service.server.ExtractionServer` and the ``--registry``
+CLI flows, and a fresh process pointed at the same :class:`FileBackend`
+directory resumes serving every previously learned wrapper without
+relearning.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.artifacts import ArtifactError, WrapperArtifact
+from repro.site import Site, sources_fingerprint
+
+__all__ = [
+    "ArtifactRecord",
+    "FileBackend",
+    "MemoryBackend",
+    "RegistryBackend",
+    "RegistryError",
+    "WrapperRegistry",
+    "fingerprint_of",
+]
+
+
+class RegistryError(RuntimeError):
+    """A registry request that cannot be served."""
+
+
+def fingerprint_of(site) -> str:
+    """Content fingerprint of a site input.
+
+    Accepts a parsed :class:`~repro.site.Site`, a dataset
+    ``GeneratedSite`` (anything with a ``.site``), or a sequence of raw
+    HTML strings; all three hash identically for the same page content
+    (see :func:`repro.site.sources_fingerprint`).
+    """
+    inner = getattr(site, "site", None)
+    if isinstance(inner, Site):
+        site = inner
+    if isinstance(site, Site):
+        return site.content_fingerprint()
+    return sources_fingerprint(site)
+
+
+@dataclass(slots=True)
+class ArtifactRecord:
+    """One stored version of a fingerprint's wrapper.
+
+    Attributes:
+        fingerprint: the site content fingerprint this version serves.
+        version: 1-based position in the fingerprint's version chain.
+        site: site name the artifact was learned on (secondary index).
+        origin: what created this version — ``"learn"`` (fresh
+            induction), ``"repair"`` (lifecycle promotion/relearn) or
+            ``"import"`` (stored by a caller).
+        parent_version: version this one supersedes (``None`` for the
+            chain root); repairs always point at the version they fixed.
+        created_at: POSIX timestamp of the store.
+        artifact: the full :meth:`WrapperArtifact.to_dict` payload.
+    """
+
+    fingerprint: str
+    version: int
+    site: str
+    origin: str
+    parent_version: int | None
+    created_at: float
+    artifact: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "version": self.version,
+            "site": self.site,
+            "origin": self.origin,
+            "parent_version": self.parent_version,
+            "created_at": self.created_at,
+            "artifact": self.artifact,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ArtifactRecord":
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("artifact"), dict
+        ):
+            raise RegistryError(
+                f"malformed registry record: {type(payload).__name__}"
+            )
+        parent = payload.get("parent_version")
+        return cls(
+            fingerprint=str(payload.get("fingerprint", "")),
+            version=int(payload.get("version", 0)),
+            site=str(payload.get("site", "")),
+            origin=str(payload.get("origin", "import")),
+            parent_version=int(parent) if parent is not None else None,
+            created_at=float(payload.get("created_at", 0.0)),
+            artifact=dict(payload["artifact"]),
+        )
+
+    def load_artifact(self) -> WrapperArtifact:
+        """Deserialize (and validate) this version's artifact."""
+        return WrapperArtifact.from_dict(self.artifact)
+
+
+# -- backends ----------------------------------------------------------------
+
+
+class RegistryBackend(abc.ABC):
+    """Durable storage of per-fingerprint version chains.
+
+    A backend stores plain dict payloads (``ArtifactRecord.to_dict``
+    rows) and knows nothing about artifacts; the
+    :class:`WrapperRegistry` owns keying, versioning and caching.
+    Backends must be safe for concurrent calls from multiple threads of
+    one process (the registry additionally serializes writers per
+    fingerprint).
+    """
+
+    @abc.abstractmethod
+    def read(self, fingerprint: str) -> list[dict]:
+        """The fingerprint's version payloads, oldest first (may be [])."""
+
+    @abc.abstractmethod
+    def append(self, fingerprint: str, payload: dict) -> None:
+        """Durably append one version payload to the fingerprint's chain."""
+
+    @abc.abstractmethod
+    def fingerprints(self) -> list[str]:
+        """Every fingerprint with at least one stored version (sorted)."""
+
+
+class MemoryBackend(RegistryBackend):
+    """In-process backend: a dict of version chains (tests, embedding)."""
+
+    def __init__(self) -> None:
+        self._chains: dict[str, list[dict]] = {}
+        self._lock = threading.Lock()
+
+    def read(self, fingerprint: str) -> list[dict]:
+        with self._lock:
+            return [dict(row) for row in self._chains.get(fingerprint, ())]
+
+    def append(self, fingerprint: str, payload: dict) -> None:
+        with self._lock:
+            self._chains.setdefault(fingerprint, []).append(dict(payload))
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._chains)
+
+
+class FileBackend(RegistryBackend):
+    """Directory-of-JSON backend with torn-write-safe persistence.
+
+    Layout: one ``<fingerprint>.json`` document per fingerprint holding
+    ``{"fingerprint": ..., "versions": [record, ...]}``.  Every append
+    rewrites the document *atomically*: the new content goes to a
+    same-directory temp file, is fsynced, and is renamed over the
+    document (``os.replace``), then the directory entry is fsynced.  A
+    process killed at any point leaves either the old complete document
+    or the new complete document — never a torn one; stray temp files
+    from interrupted writes are ignored by readers and swept
+    opportunistically.
+    """
+
+    #: Suffix of in-progress writes (never read as documents).
+    _TMP_SUFFIX = ".tmp"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise RegistryError(
+                f"cannot use {str(self.root)!r} as a registry directory: "
+                f"{error}"
+            ) from error
+        self._lock = threading.Lock()
+
+    def _path(self, fingerprint: str) -> Path:
+        if not fingerprint or any(ch in fingerprint for ch in "/\\\x00."):
+            raise RegistryError(f"unusable fingerprint key: {fingerprint!r}")
+        return self.root / f"{fingerprint}.json"
+
+    def read(self, fingerprint: str) -> list[dict]:
+        path = self._path(fingerprint)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return []
+        except (OSError, json.JSONDecodeError) as error:
+            raise RegistryError(
+                f"unreadable registry document {path.name}: {error}"
+            ) from error
+        versions = document.get("versions")
+        if not isinstance(versions, list):
+            raise RegistryError(
+                f"registry document {path.name} has no version list"
+            )
+        return versions
+
+    def append(self, fingerprint: str, payload: dict) -> None:
+        # One writer at a time per backend: append is read-modify-write
+        # of the whole document.  (The registry also single-flights per
+        # fingerprint; this lock additionally covers distinct
+        # fingerprints only for the directory fsync.)
+        with self._lock:
+            versions = self.read(fingerprint)
+            versions.append(dict(payload))
+            self._write_atomic(
+                self._path(fingerprint),
+                {"fingerprint": fingerprint, "versions": versions},
+            )
+
+    def _write_atomic(self, path: Path, document: dict) -> None:
+        """temp + fsync + rename: crash-safe whole-document replace."""
+        text = json.dumps(document, sort_keys=True)
+        tmp = path.with_name(f"{path.name}{self._TMP_SUFFIX}-{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            # Interrupted mid-write: the target document is untouched;
+            # drop the partial temp so it cannot accumulate.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(fd)
+
+    def fingerprints(self) -> list[str]:
+        return sorted(
+            path.stem
+            for path in self.root.glob("*.json")
+            if self._TMP_SUFFIX not in path.name
+        )
+
+
+def _resolve_backend(backend) -> RegistryBackend:
+    if isinstance(backend, RegistryBackend):
+        return backend
+    if backend in (None, "memory"):
+        return MemoryBackend()
+    if isinstance(backend, (str, Path)):
+        return FileBackend(backend)
+    raise RegistryError(
+        f"backend must be 'memory', a directory path or a RegistryBackend; "
+        f"got {type(backend).__name__}"
+    )
+
+
+# -- the registry ------------------------------------------------------------
+
+
+class WrapperRegistry:
+    """Versioned, LRU-fronted wrapper store keyed by content fingerprint.
+
+    Args:
+        backend: ``"memory"`` (default), a directory path (file
+            backend), or a :class:`RegistryBackend` instance.
+        hot_capacity: fingerprints whose latest deserialized artifact
+            stays pinned in the hot LRU (``0`` disables caching).
+
+    Thread-safe: lookups and stores may race freely;
+    :meth:`get_or_learn` additionally guarantees the learner runs at
+    most once per fingerprint (single-flight).
+    """
+
+    def __init__(self, backend=None, hot_capacity: int = 128) -> None:
+        if hot_capacity < 0:
+            raise RegistryError(
+                f"hot_capacity must be >= 0; got {hot_capacity}"
+            )
+        self.backend = _resolve_backend(backend)
+        self.hot_capacity = hot_capacity
+        self._hot: OrderedDict[str, tuple[int, WrapperArtifact]] = OrderedDict()
+        self._mutex = threading.Lock()
+        self._flights: dict[str, threading.Lock] = {}
+        #: site name -> fingerprint of the latest version stored under it.
+        self._site_index: dict[str, str] | None = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.learned = 0
+        self.resolve_hits = 0
+        self.resolve_misses = 0
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, fingerprint: str) -> WrapperArtifact | None:
+        """Latest artifact for ``fingerprint`` (hot LRU, then backend).
+
+        A hot entry is served without touching the backend at all —
+        in-process stores keep the cache coherent (:meth:`put` installs
+        what it writes), which is the deal the daemon relies on for its
+        steady-state serve path.
+        """
+        with self._mutex:
+            cached = self._hot.get(fingerprint)
+            if cached is not None:
+                self._hot.move_to_end(fingerprint)
+                self.hits += 1
+                return cached[1]
+        record = self.latest(fingerprint)
+        return None if record is None else self._artifact_for(record)
+
+    def latest(self, fingerprint: str) -> ArtifactRecord | None:
+        """Latest stored version record, or ``None`` on a cold miss."""
+        versions = self.versions(fingerprint)
+        return versions[-1] if versions else None
+
+    def versions(self, fingerprint: str) -> list[ArtifactRecord]:
+        """The fingerprint's whole version chain, oldest first."""
+        return [
+            ArtifactRecord.from_dict(payload)
+            for payload in self.backend.read(fingerprint)
+        ]
+
+    def resolve(
+        self, fingerprint: str | None = None, site: str | None = None
+    ) -> tuple[WrapperArtifact | None, str]:
+        """Best stored artifact for a request: ``(artifact, source)``.
+
+        Resolution order: exact ``fingerprint`` hit first (the pages we
+        are being asked about are the pages the wrapper was learned
+        on), then the ``site``-name secondary index (same site, newer
+        crawl — the wrapper still applies because all pages of a site
+        share the template).  ``source`` reports which path served the
+        hit (``"fingerprint"`` / ``"site"``) or ``"miss"``.
+        """
+        if fingerprint:
+            artifact = self.get(fingerprint)
+            if artifact is not None:
+                self.resolve_hits += 1
+                return artifact, "fingerprint"
+        if site:
+            owner = self._index().get(site)
+            if owner is not None and owner != fingerprint:
+                artifact = self.get(owner)
+                if artifact is not None:
+                    self.resolve_hits += 1
+                    return artifact, "site"
+        self.resolve_misses += 1
+        return None, "miss"
+
+    def fingerprints(self) -> list[str]:
+        return self.backend.fingerprints()
+
+    def site_fingerprint(self, site: str) -> str | None:
+        """Fingerprint owning the latest version stored for ``site``."""
+        return self._index().get(site)
+
+    def artifacts_by_site(self) -> dict[str, WrapperArtifact]:
+        """Latest artifact per site name — the whole fleet, loadable by
+        the CLI flows that used to read a directory of bare files."""
+        return {
+            name: artifact
+            for name, owner in sorted(self._index().items())
+            if (artifact := self.get(owner)) is not None
+        }
+
+    # -- stores ------------------------------------------------------------
+
+    def put(
+        self,
+        fingerprint: str,
+        artifact: WrapperArtifact,
+        origin: str = "import",
+        parent_version: int | None = None,
+    ) -> ArtifactRecord:
+        """Append ``artifact`` as the fingerprint's next version.
+
+        ``parent_version`` defaults to the current latest (lineage
+        chains by construction); pass it explicitly when recording a
+        repair of a known version.
+        """
+        if not fingerprint:
+            raise RegistryError("cannot store under an empty fingerprint")
+        with self._flight(fingerprint):
+            return self._put_locked(
+                fingerprint, artifact, origin, parent_version
+            )
+
+    def _put_locked(
+        self,
+        fingerprint: str,
+        artifact: WrapperArtifact,
+        origin: str,
+        parent_version: int | None,
+    ) -> ArtifactRecord:
+        current = self.latest(fingerprint)
+        record = ArtifactRecord(
+            fingerprint=fingerprint,
+            version=(current.version + 1) if current is not None else 1,
+            site=artifact.site,
+            origin=origin,
+            parent_version=(
+                parent_version
+                if parent_version is not None
+                else (current.version if current is not None else None)
+            ),
+            created_at=time.time(),
+            artifact=artifact.to_dict(),
+        )
+        self.backend.append(fingerprint, record.to_dict())
+        with self._mutex:
+            self._cache(fingerprint, record.version, artifact)
+            if self._site_index is not None and artifact.site:
+                self._site_index[artifact.site] = fingerprint
+        return record
+
+    def get_or_learn(
+        self, fingerprint: str, learn, origin: str = "learn"
+    ) -> tuple[WrapperArtifact, bool]:
+        """The learn-on-miss primitive: return the stored artifact, or
+        run ``learn()`` exactly once and store its result.
+
+        Single-flight per fingerprint: concurrent callers racing on the
+        same cold fingerprint serialize on its flight lock; exactly one
+        runs the learner and stores version 1, the rest observe the hit.
+        Returns ``(artifact, created)``.  A learner that raises stores
+        nothing (the next caller retries).
+        """
+        artifact = self.get(fingerprint)
+        if artifact is not None:
+            return artifact, False
+        with self._flight(fingerprint):
+            artifact = self.get(fingerprint)
+            if artifact is not None:
+                return artifact, False
+            artifact = learn()
+            if not isinstance(artifact, WrapperArtifact):
+                raise RegistryError(
+                    "learner must return a WrapperArtifact; got "
+                    f"{type(artifact).__name__}"
+                )
+            self._put_locked(fingerprint, artifact, origin, None)
+            self.learned += 1
+            return artifact, True
+
+    # -- internals ---------------------------------------------------------
+
+    def _flight(self, fingerprint: str) -> threading.Lock:
+        with self._mutex:
+            lock = self._flights.get(fingerprint)
+            if lock is None:
+                lock = self._flights[fingerprint] = threading.Lock()
+            return lock
+
+    def _artifact_for(self, record: ArtifactRecord) -> WrapperArtifact:
+        with self._mutex:
+            cached = self._hot.get(record.fingerprint)
+            if cached is not None and cached[0] == record.version:
+                self._hot.move_to_end(record.fingerprint)
+                self.hits += 1
+                return cached[1]
+            self.misses += 1
+        artifact = record.load_artifact()
+        with self._mutex:
+            self._cache(record.fingerprint, record.version, artifact)
+        return artifact
+
+    def _cache(
+        self, fingerprint: str, version: int, artifact: WrapperArtifact
+    ) -> None:
+        """Install into the hot LRU (mutex held by the caller)."""
+        if self.hot_capacity <= 0:
+            return
+        self._hot[fingerprint] = (version, artifact)
+        self._hot.move_to_end(fingerprint)
+        while len(self._hot) > self.hot_capacity:
+            self._hot.popitem(last=False)
+            self.evictions += 1
+
+    def _index(self) -> dict[str, str]:
+        """Site-name -> fingerprint index (built by scanning the backend
+        once, then maintained incrementally by stores)."""
+        with self._mutex:
+            if self._site_index is not None:
+                return self._site_index
+        index: dict[str, str] = {}
+        pairs: list[tuple[float, str, str]] = []
+        for fingerprint in self.backend.fingerprints():
+            try:
+                record = self.latest(fingerprint)
+            except (RegistryError, ArtifactError):  # skip corrupt chains
+                continue
+            if record is not None and record.site:
+                pairs.append((record.created_at, record.site, fingerprint))
+        # Newest store wins a contested site name.
+        for _, site, fingerprint in sorted(pairs):
+            index[site] = fingerprint
+        with self._mutex:
+            if self._site_index is None:
+                self._site_index = index
+            return self._site_index
+
+    def hot_fingerprints(self) -> list[str]:
+        """Fingerprints currently pinned hot, least recent first."""
+        with self._mutex:
+            return list(self._hot)
+
+    def stats(self) -> dict:
+        """Counters for monitoring (and the service ``stats`` op)."""
+        with self._mutex:
+            hot = len(self._hot)
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "learned": self.learned,
+            "resolve_hits": self.resolve_hits,
+            "resolve_misses": self.resolve_misses,
+            "hot": hot,
+            "fingerprints": len(self.backend.fingerprints()),
+        }

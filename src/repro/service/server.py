@@ -1,0 +1,694 @@
+"""The extraction daemon: one shared worker pool, many client streams.
+
+:class:`ExtractionServer` is the long-running half of
+"extraction-as-a-service": it owns one
+:class:`~repro.api.scheduler.WorkerPool` (warm engines, interned
+sites), multiplexes every connected client's requests over a single
+:class:`~repro.api.ingest.IngestSession`, and resolves wrappers through
+a shared :class:`~repro.service.registry.WrapperRegistry` — learning on
+miss (exactly once per fingerprint) when armed with an extractor and
+annotator, and serving every previously learned wrapper straight from
+the store after a restart.
+
+Threading model
+---------------
+
+- one **accept thread** takes connections and starts a reader per
+  client;
+- each **reader thread** parses NDJSON frames off its socket into the
+  client's bounded admission queue — readers never touch the session
+  or the socket's send side, and a full queue blocks the reader (TCP
+  backpressure toward that tenant only);
+- one **dispatcher thread** owns everything stateful: it drains
+  completed pool outcomes, writes responses, and admits queued
+  requests **round-robin across clients**, at most
+  ``max_inflight_per_client`` pool jobs per tenant.  Admission control
+  is the fairness mechanism: a tenant flooding its queue saturates only
+  its own budget; other tenants' requests keep flowing through their
+  own round-robin turns.
+
+Learn-on-miss runs as a *flight* keyed by fingerprint: the first
+missing request submits the learn job; requests for the same
+fingerprint arriving mid-learn wait on the flight (still counted
+against their tenant's budget) and are served from the one stored
+version when it lands — the registry is populated exactly once per
+fingerprint however the requests race.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.api.ingest import IngestSession
+from repro.api.scheduler import WorkerPool
+from repro.service import protocol
+from repro.service.registry import WrapperRegistry
+from repro.site import sources_fingerprint
+
+__all__ = ["ExtractionServer", "ServerError"]
+
+#: Dispatcher idle poll, seconds (only reached when no outcome and no
+#: admissible request was found on a pass).
+_IDLE_SLEEP = 0.005
+
+
+class ServerError(RuntimeError):
+    """A server that cannot start (bad address, no registry, ...)."""
+
+
+@dataclass(slots=True)
+class _Ticket:
+    """One in-flight pool job (or flight wait) on behalf of a request."""
+
+    client: "_Client"
+    request_id: object
+    op: str  # the op that will be answered: "apply" | "learn"
+    site: str
+    pages: list[str]
+    fingerprint: str
+    texts: bool = False
+    source: str = ""
+    version: int | None = None
+    #: learn jobs triggered by an apply miss answer with an apply.
+    respond_apply: bool = False
+
+
+@dataclass(slots=True)
+class _Flight:
+    """A learn-on-miss in progress for one fingerprint."""
+
+    owner: _Ticket
+    waiters: list[_Ticket] = field(default_factory=list)
+
+
+class _Client:
+    """Per-connection state (reader thread + admission queue)."""
+
+    _ids = iter(range(1, 1 << 62))
+
+    def __init__(self, sock: socket.socket, queue_depth: int) -> None:
+        self.id = next(self._ids)
+        self.sock = sock
+        self.queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self.inflight = 0
+        self.closed = False
+        self.send_lock = threading.Lock()
+        self.reader: threading.Thread | None = None
+
+    def send(self, record: dict) -> None:
+        if self.closed:
+            return
+        try:
+            data = protocol.encode_frame(record)
+        except protocol.ProtocolError:
+            data = protocol.encode_frame(
+                {
+                    "id": record.get("id"),
+                    "ok": False,
+                    "error": "response exceeded the frame bound",
+                }
+            )
+        try:
+            with self.send_lock:
+                self.sock.sendall(data)
+        except OSError:
+            self.closed = True
+
+    def close(self) -> None:
+        self.closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ExtractionServer:
+    """Persistent multi-tenant extraction daemon.
+
+    Args:
+        registry: the shared :class:`WrapperRegistry` (or anything its
+            constructor accepts: ``"memory"`` / a directory path).
+        extractor: the :class:`~repro.api.extractor.Extractor` used for
+            learn ops and learn-on-miss; omit for an apply-only server
+            (misses then fail instead of learning).
+        annotator: weak annotator paired with ``extractor`` — learn
+            jobs annotate worker-side, so the daemon never parses pages
+            in the parent just to label them.
+        host / port: TCP listen address (default localhost, ephemeral
+            port — read :attr:`address` after :meth:`start`).
+        socket_path: listen on an ``AF_UNIX`` socket instead of TCP.
+        pool: an existing :class:`WorkerPool` to serve on (the caller
+            keeps ownership); otherwise the server owns a fresh pool of
+            ``max_workers`` workers.
+        max_workers: worker count for an owned pool.
+        max_inflight_per_client: per-tenant admission budget — pool
+            jobs (and flight waits) one connection may have in flight.
+        queue_depth: per-tenant admission queue bound; a tenant past it
+            stops being read from (socket backpressure).
+    """
+
+    def __init__(
+        self,
+        registry: WrapperRegistry | str | os.PathLike | None = None,
+        extractor=None,
+        annotator=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: str | os.PathLike | None = None,
+        pool: WorkerPool | None = None,
+        max_workers: int | None = None,
+        max_inflight_per_client: int = 8,
+        queue_depth: int = 64,
+    ) -> None:
+        if max_inflight_per_client < 1:
+            raise ServerError(
+                "max_inflight_per_client must be >= 1; got "
+                f"{max_inflight_per_client}"
+            )
+        self.registry = (
+            registry
+            if isinstance(registry, WrapperRegistry)
+            else WrapperRegistry(registry)
+        )
+        self.extractor = extractor
+        self.annotator = annotator
+        self.host = host
+        self.port = port
+        self.socket_path = os.fspath(socket_path) if socket_path else None
+        self.max_inflight_per_client = max_inflight_per_client
+        self.queue_depth = queue_depth
+        self._owns_pool = pool is None
+        self._pool = pool
+        self._max_workers = max_workers
+        self._session: IngestSession | None = None
+        self._listener: socket.socket | None = None
+        self._clients: dict[int, _Client] = {}
+        self._clients_lock = threading.Lock()
+        self._tickets: dict[int, _Ticket] = {}
+        self._flights: dict[str, _Flight] = {}
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+        self.requests: Counter = Counter()
+        self.responses = 0
+        self.errors = 0
+        self.started_at: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int] | str:
+        """Where the server listens: ``(host, port)`` or the socket path."""
+        if self.socket_path is not None:
+            return self.socket_path
+        return (self.host, self.port)
+
+    def start(self) -> "ExtractionServer":
+        """Bind, start the pool/session and the service threads."""
+        if self._started:
+            raise ServerError("server already started")
+        self._started = True
+        self.started_at = time.time()
+        if self.socket_path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            listener.bind(self.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            self.port = listener.getsockname()[1]
+        listener.listen(64)
+        self._listener = listener
+        if self._pool is None:
+            self._pool = WorkerPool(self._max_workers)
+        # The session's own in-flight bound is effectively disabled:
+        # admission control happens per tenant in the dispatcher, whose
+        # budgets bound the pool's total in-flight work.
+        self._session = IngestSession(
+            extractor=self.extractor,
+            annotator=self.annotator,
+            pool=self._pool,
+            max_inflight=1 << 30,
+        )
+        for target, name in (
+            (self._accept_loop, "repro-serve-accept"),
+            (self._dispatch_loop, "repro-serve-dispatch"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self) -> None:
+        """Stop serving: drop clients, close the session (owned pool too)."""
+        if not self._started or self._stop.is_set():
+            self._stop.set()
+            return
+        self._stop.set()
+        if self._listener is not None:
+            # A blocked accept() is not reliably interrupted by closing
+            # the listener from another thread — wake it with a dummy
+            # connection first, then close.
+            try:
+                family = (
+                    socket.AF_UNIX
+                    if self.socket_path is not None
+                    else socket.AF_INET
+                )
+                wake = socket.socket(family, socket.SOCK_STREAM)
+                wake.settimeout(1.0)
+                wake.connect(
+                    self.socket_path
+                    if self.socket_path is not None
+                    else (self.host, self.port)
+                )
+                wake.close()
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        with self._clients_lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        if self._owns_pool:
+            self._pool = None
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`close` (or KeyboardInterrupt)."""
+        if not self._started:
+            self.start()
+        try:
+            while not self._stop.is_set():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def __enter__(self) -> "ExtractionServer":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- accept + reader threads ------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            if self._stop.is_set():  # the close() wake-up connection
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                return
+            client = _Client(sock, self.queue_depth)
+            reader = threading.Thread(
+                target=self._read_loop,
+                args=(client,),
+                name=f"repro-serve-read-{client.id}",
+                daemon=True,
+            )
+            client.reader = reader
+            with self._clients_lock:
+                self._clients[client.id] = client
+            reader.start()
+
+    def _read_loop(self, client: _Client) -> None:
+        """Parse frames into the client's admission queue (backpressure
+        via the bounded queue; malformed frames become error tickets the
+        dispatcher answers, so responses stay single-writer)."""
+        try:
+            for line in protocol.iter_lines(client.sock):
+                try:
+                    record = protocol.validate_request(
+                        protocol.decode_frame(line)
+                    )
+                except protocol.ProtocolError as error:
+                    raw_id = None
+                    try:
+                        raw_id = protocol.decode_frame(line).get("id")
+                    except protocol.ProtocolError:
+                        pass
+                    record = {
+                        "_bad": str(error),
+                        "id": (
+                            raw_id
+                            if not isinstance(raw_id, (dict, list))
+                            else None
+                        ),
+                    }
+                client.queue.put(record)
+        except (protocol.ProtocolError, OSError):
+            pass  # framing lost or connection reset: drop the client
+        finally:
+            client.closed = True
+
+    # -- the dispatcher ----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        session = self._session
+        while not self._stop.is_set():
+            progressed = False
+            for outcome in session.advance():
+                self._complete(outcome)
+                progressed = True
+            for client in self._round_robin():
+                if client.closed and client.queue.empty():
+                    if client.inflight == 0:
+                        self._drop_client(client)
+                    continue
+                if client.inflight >= self.max_inflight_per_client:
+                    continue
+                try:
+                    record = client.queue.get_nowait()
+                except queue.Empty:
+                    continue
+                self._handle(client, record)
+                progressed = True
+            if not progressed:
+                time.sleep(_IDLE_SLEEP)
+
+    def _round_robin(self) -> list[_Client]:
+        with self._clients_lock:
+            return sorted(self._clients.values(), key=lambda c: c.id)
+
+    def _drop_client(self, client: _Client) -> None:
+        with self._clients_lock:
+            self._clients.pop(client.id, None)
+        client.close()
+
+    # -- request handling (dispatcher thread only) -------------------------
+
+    def _handle(self, client: _Client, record: dict) -> None:
+        if "_bad" in record:
+            self.errors += 1
+            client.send(
+                {"id": record.get("id"), "ok": False, "error": record["_bad"]}
+            )
+            return
+        op = record["op"]
+        self.requests[op] += 1
+        if op == "ping":
+            client.send({"id": record["id"], "ok": True, "op": "ping"})
+            self.responses += 1
+            return
+        if op == "stats":
+            client.send(
+                {
+                    "id": record["id"],
+                    "ok": True,
+                    "op": "stats",
+                    "registry": self.registry.stats(),
+                    "server": self._server_stats(),
+                }
+            )
+            self.responses += 1
+            return
+        site = record["site"]
+        pages = [str(page) for page in record["pages"]]
+        fingerprint = sources_fingerprint(pages)
+        if op == "apply":
+            self._handle_apply(client, record, site, pages, fingerprint)
+        else:
+            self._handle_learn(client, record, site, pages, fingerprint)
+
+    def _handle_apply(
+        self,
+        client: _Client,
+        record: dict,
+        site: str,
+        pages: list[str],
+        fingerprint: str,
+    ) -> None:
+        texts = bool(record.get("texts"))
+        artifact, source = self.registry.resolve(fingerprint, site=site)
+        ticket = _Ticket(
+            client=client,
+            request_id=record["id"],
+            op="apply",
+            site=site,
+            pages=pages,
+            fingerprint=fingerprint,
+            texts=texts,
+            source=source,
+        )
+        if artifact is not None:
+            owner = fingerprint if source == "fingerprint" else None
+            latest = self.registry.latest(owner) if owner else None
+            ticket.version = latest.version if latest is not None else None
+            self._submit_apply(ticket, artifact)
+            return
+        if self.extractor is None:
+            self._fail(
+                ticket,
+                "no wrapper registered for this site and the server is "
+                "not armed for learning",
+            )
+            return
+        self._enter_flight(ticket)
+
+    def _handle_learn(
+        self,
+        client: _Client,
+        record: dict,
+        site: str,
+        pages: list[str],
+        fingerprint: str,
+    ) -> None:
+        ticket = _Ticket(
+            client=client,
+            request_id=record["id"],
+            op="learn",
+            site=site,
+            pages=pages,
+            fingerprint=fingerprint,
+        )
+        if self.extractor is None:
+            self._fail(ticket, "server is not armed for learning")
+            return
+        force = bool(record.get("force"))
+        existing = self.registry.latest(fingerprint)
+        if existing is not None and not force:
+            client.send(
+                {
+                    "id": ticket.request_id,
+                    "ok": True,
+                    "op": "learn",
+                    "site": site,
+                    "fingerprint": fingerprint,
+                    "version": existing.version,
+                    "rule": str(existing.artifact.get("rule", "")),
+                    "created": False,
+                }
+            )
+            self.responses += 1
+            return
+        self._enter_flight(ticket)
+
+    def _enter_flight(self, ticket: _Ticket) -> None:
+        """Join (or open) the fingerprint's learn flight."""
+        ticket.client.inflight += 1
+        flight = self._flights.get(ticket.fingerprint)
+        if flight is not None:
+            flight.waiters.append(ticket)
+            return
+        if ticket.op == "apply":
+            ticket.respond_apply = True
+            ticket.op = "learn"
+        self._flights[ticket.fingerprint] = _Flight(owner=ticket)
+        index = self._session.submit_html(ticket.site, ticket.pages)
+        self._tickets[index] = ticket
+
+    def _submit_apply(self, ticket: _Ticket, artifact) -> None:
+        ticket.client.inflight += 1
+        index = self._session.submit_html(
+            ticket.site,
+            ticket.pages,
+            artifact=artifact,
+            resolve_texts=ticket.texts,
+        )
+        self._tickets[index] = ticket
+
+    # -- outcome completion (dispatcher thread only) -----------------------
+
+    def _complete(self, outcome) -> None:
+        ticket = self._tickets.pop(outcome.index, None)
+        if ticket is None:
+            return
+        if ticket.op == "learn":
+            self._complete_learn(ticket, outcome)
+        else:
+            self._complete_apply(ticket, outcome)
+
+    def _complete_learn(self, ticket: _Ticket, outcome) -> None:
+        flight = self._flights.pop(ticket.fingerprint, None)
+        waiters = flight.waiters if flight is not None else []
+        if not outcome.ok or outcome.artifact is None:
+            error = outcome.error or "learning produced no artifact"
+            self._fail(ticket, f"learn failed: {error}", settle=True)
+            for waiter in waiters:
+                self._fail(waiter, f"learn failed: {error}", settle=True)
+            return
+        previous = self.registry.latest(ticket.fingerprint)
+        record = self.registry.put(
+            ticket.fingerprint,
+            outcome.artifact,
+            origin="learn",
+            parent_version=(
+                previous.version if previous is not None else None
+            ),
+        )
+        self.registry.learned += 1
+        artifact = outcome.artifact
+        if ticket.respond_apply:
+            ticket.op = "apply"
+            ticket.source = "learned"
+            ticket.version = record.version
+            # The tenant's budget slot carries over from learn to apply.
+            index = self._session.submit_html(
+                ticket.site,
+                ticket.pages,
+                artifact=artifact,
+                resolve_texts=ticket.texts,
+            )
+            self._tickets[index] = ticket
+        else:
+            ticket.client.inflight -= 1
+            ticket.client.send(
+                {
+                    "id": ticket.request_id,
+                    "ok": True,
+                    "op": "learn",
+                    "site": ticket.site,
+                    "fingerprint": ticket.fingerprint,
+                    "version": record.version,
+                    "rule": artifact.rule,
+                    "created": True,
+                }
+            )
+            self.responses += 1
+        for waiter in waiters:
+            if waiter.op == "apply":
+                waiter.source = "learned"
+                waiter.version = record.version
+                index = self._session.submit_html(
+                    waiter.site,
+                    waiter.pages,
+                    artifact=artifact,
+                    resolve_texts=waiter.texts,
+                )
+                self._tickets[index] = waiter
+            else:
+                waiter.client.inflight -= 1
+                waiter.client.send(
+                    {
+                        "id": waiter.request_id,
+                        "ok": True,
+                        "op": "learn",
+                        "site": waiter.site,
+                        "fingerprint": waiter.fingerprint,
+                        "version": record.version,
+                        "rule": artifact.rule,
+                        "created": False,
+                    }
+                )
+                self.responses += 1
+
+    def _complete_apply(self, ticket: _Ticket, outcome) -> None:
+        ticket.client.inflight -= 1
+        if not outcome.ok:
+            self.errors += 1
+            ticket.client.send(
+                {
+                    "id": ticket.request_id,
+                    "ok": False,
+                    "op": "apply",
+                    "site": ticket.site,
+                    "error": outcome.error or "extraction failed",
+                }
+            )
+            return
+        node_ids = sorted(outcome.extracted)
+        response = {
+            "id": ticket.request_id,
+            "ok": True,
+            "op": "apply",
+            "site": ticket.site,
+            "fingerprint": ticket.fingerprint,
+            "source": ticket.source,
+            "version": ticket.version,
+            "count": len(node_ids),
+            "nodes": [[nid.page, nid.preorder] for nid in node_ids],
+        }
+        if ticket.texts:
+            response["texts"] = outcome.texts
+        ticket.client.send(response)
+        self.responses += 1
+
+    def _fail(
+        self, ticket: _Ticket, error: str, settle: bool = False
+    ) -> None:
+        """Answer a ticket with a failure (``settle`` releases a budget
+        slot already counted for a flight)."""
+        if settle:
+            ticket.client.inflight -= 1
+        self.errors += 1
+        ticket.client.send(
+            {
+                "id": ticket.request_id,
+                "ok": False,
+                "op": "apply" if ticket.respond_apply else ticket.op,
+                "site": ticket.site,
+                "error": error,
+            }
+        )
+
+    def _server_stats(self) -> dict:
+        with self._clients_lock:
+            clients = len(self._clients)
+            inflight = sum(c.inflight for c in self._clients.values())
+        return {
+            "clients": clients,
+            "inflight": inflight,
+            "requests": dict(self.requests),
+            "responses": self.responses,
+            "errors": self.errors,
+            "workers": self._pool.max_workers if self._pool else 0,
+            "flights": len(self._flights),
+            "uptime": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "can_learn": self.extractor is not None,
+        }

@@ -149,6 +149,93 @@ class TestLearnApply:
             )
 
 
+class TestRegistryFlows:
+    """learn/apply/monitor through ``--registry`` (the wrapper store)."""
+
+    DATASET_ARGS = ["--dataset", "dealers", "--sites", "4", "--pages", "4"]
+
+    def test_learn_into_registry_then_apply_and_monitor(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "registry"
+        assert (
+            main(["learn", *self.DATASET_ARGS, "--registry", str(store)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "learned 2/2 sites ok" in out
+        assert f"registry {store}/" in out
+        assert " v1" in out
+
+        from repro.service import WrapperRegistry
+
+        fleet = WrapperRegistry(store).artifacts_by_site()
+        assert sorted(fleet) == ["dealers-001", "dealers-003"]
+
+        assert (
+            main(["apply", *self.DATASET_ARGS, "--registry", str(store)]) == 0
+        )
+        assert "applied 2/2 sites ok" in capsys.readouterr().out
+        assert (
+            main(["monitor", *self.DATASET_ARGS, "--registry", str(store)])
+            == 0
+        )
+        assert "2 healthy" in capsys.readouterr().out
+
+    def test_save_repaired_appends_registry_versions(self, tmp_path, capsys):
+        store = tmp_path / "registry"
+        assert (
+            main(["learn", *self.DATASET_ARGS, "--registry", str(store)]) == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "apply",
+                *self.DATASET_ARGS,
+                "--registry",
+                str(store),
+                "--drift",
+                "high",
+                "--self-repair",
+                "--save-repaired",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-> registry v2" in out
+
+        from repro.service import WrapperRegistry
+
+        registry = WrapperRegistry(store)
+        for fingerprint in registry.fingerprints():
+            chain = registry.versions(fingerprint)
+            assert [r.origin for r in chain] == ["learn", "repair"]
+            assert chain[-1].parent_version == 1
+
+    def test_apply_needs_artifacts_or_registry(self):
+        with pytest.raises(SystemExit, match="--artifacts DIR or --registry"):
+            main(["apply", *self.DATASET_ARGS])
+        with pytest.raises(SystemExit, match="--artifacts DIR or --registry"):
+            main(["monitor", *self.DATASET_ARGS])
+
+    def test_empty_registry_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no wrappers registered"):
+            main(
+                [
+                    "apply",
+                    *self.DATASET_ARGS,
+                    "--registry",
+                    str(tmp_path / "empty"),
+                ]
+            )
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.registry is None and args.dataset == "none"
+        assert args.port == 0 and args.workers == 2
+        assert args.max_inflight_per_client == 8
+
+
 class TestApplyStream:
     """apply --stream: NDJSON page records in, NDJSON outcomes out."""
 

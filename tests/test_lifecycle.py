@@ -312,6 +312,132 @@ class TestRepairPolicy:
         assert payload["drift"]["drifted"] is True
 
 
+def _superset_of(wrapper, *extra):
+    """A wrapper whose features strictly subsume ``wrapper``'s."""
+    return XPathWrapper(features=wrapper.features | frozenset(extra))
+
+
+class TestDiverseAlternates:
+    """Diversity-aware ladder selection (repro.lifecycle.repair)."""
+
+    def test_rung_features_shapes(self):
+        from repro.lifecycle.repair import rung_features
+
+        spec = _class_keyed_wrapper().to_spec()
+        features = rung_features(spec)
+        assert features == frozenset(tuple(row) for row in spec["features"])
+        assert rung_features({"kind": "custom"}) is None
+        assert rung_features("not-a-spec") is None
+        # The match-everything wrapper has no rows: incomparable.
+        assert rung_features(_greedy_wrapper().to_spec()) is None
+
+    def test_superset_rungs_pruned(self):
+        from repro.lifecycle.repair import select_diverse
+
+        winner = _class_keyed_wrapper()
+        shadow = _superset_of(winner, ((3, "tag"), "tr"))
+        diverse = _tag_only_wrapper()
+        specs = [shadow.to_spec(), diverse.to_spec()]
+        # Rank order would keep the shadow; diversity skips it.
+        assert select_diverse(winner.to_spec(), specs, 1) == [1]
+        # A rung subsuming a *kept* rung is pruned too.
+        diverse_shadow = _superset_of(diverse, ((2, "tag"), "td"))
+        specs = [diverse.to_spec(), diverse_shadow.to_spec()]
+        kept = select_diverse(winner.to_spec(), specs, 1)
+        assert kept == [0]
+
+    def test_backfill_when_pruning_leaves_slots(self):
+        from repro.lifecycle.repair import select_diverse
+
+        winner = _class_keyed_wrapper()
+        shadows = [
+            _superset_of(winner, ((3, "tag"), "tr")),
+            _superset_of(winner, ((3, "tag"), "table")),
+        ]
+        specs = [w.to_spec() for w in shadows]
+        # Nothing diverse to keep: redundant rungs backfill in rank
+        # order rather than shipping an empty ladder.
+        assert select_diverse(winner.to_spec(), specs, 2) == [0, 1]
+        assert select_diverse(winner.to_spec(), specs, 0) == []
+
+    def test_promotion_fires_where_relearn_used_to(
+        self, shop_site, shop_labels
+    ):
+        """The headline: with one ladder slot, rank order keeps a rung
+        that drifts with the winner (forcing a full relearn), while
+        diversity selection keeps a structurally distinct rung the
+        cascade can promote."""
+        from repro.lifecycle.repair import select_diverse
+
+        winner = _class_keyed_wrapper()
+        candidates = [
+            _superset_of(winner, ((3, "tag"), "tr")),  # ranked first
+            _tag_only_wrapper(),
+        ]
+        drifted = Site.from_html(
+            "shop",
+            [
+                page.source.replace("class='item'", "class='cell'")
+                for page in shop_site.pages
+            ],
+        )
+        annotator = DictionaryAnnotator(["ALPHA", "GAMMA"])
+        extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+        policy = RepairPolicy(annotator=annotator, extractor=extractor)
+
+        # Old selection: top-k by rank — the shadow rung rides along
+        # and dies with the winner, so the cascade falls through.
+        old = _artifact(shop_site, shop_labels, alternates=candidates[:1])
+        old_report = policy.repair(old, drifted)
+        assert old_report.strategy == "relearn"
+
+        # Diversity selection keeps the tag-only rung instead.
+        specs = [w.to_spec() for w in candidates]
+        kept = select_diverse(winner.to_spec(), specs, 1)
+        new = _artifact(
+            shop_site, shop_labels,
+            alternates=[candidates[index] for index in kept],
+        )
+        new_report = policy.repair(new, drifted)
+        assert new_report.strategy == "alternate"
+        assert new_report.promoted_rank == 1
+        assert len(new_report.artifact.apply(drifted)) == 3
+
+    def test_learn_ships_the_diverse_selection(
+        self, dealer_site, dealer_names, monkeypatch
+    ):
+        """Extractor.learn builds the ladder through select_diverse:
+        the shipped alternates are exactly the rungs it keeps, in
+        order, from the non-empty ranked runner-ups."""
+        import repro.api.extractor as extractor_module
+
+        calls = []
+        real = extractor_module.select_diverse
+
+        def spy(winner_spec, specs, k):
+            kept = real(winner_spec, specs, k)
+            calls.append((winner_spec, list(specs), k, kept))
+            return kept
+
+        monkeypatch.setattr(extractor_module, "select_diverse", spy)
+        # A partial dictionary plus a colliding chrome word: the noisy
+        # labels keep several distinct wrappers alive in the ranking.
+        labels = DictionaryAnnotator(dealer_names[:6] + ["Contact"]).annotate(
+            dealer_site
+        )
+        extractor = Extractor(
+            ExtractorConfig(inductor="xpath", method="ntw-l", keep_alternates=3)
+        )
+        artifact = extractor.learn(dealer_site, labels)
+        assert len(calls) == 1
+        winner_spec, specs, k, kept = calls[0]
+        assert winner_spec == artifact.wrapper_spec and k == 3
+        assert len(specs) > len(kept)  # there was a real pool to choose from
+        assert [a["wrapper_spec"] for a in artifact.alternates] == [
+            specs[index] for index in kept
+        ]
+
+
 class TestEndToEndStreamSelfRepair:
     """Acceptance: a drifted fleet streamed through a live IngestSession
     recovers >= pre-drift F1 via the repair cascade, hot-swapped into

@@ -1,0 +1,317 @@
+"""The wrapper registry: versioned store, atomic persistence, LRU,
+single-flight learn-on-miss (``repro.service.registry``)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.api import WrapperArtifact
+from repro.service import (
+    ArtifactRecord,
+    FileBackend,
+    MemoryBackend,
+    RegistryError,
+    WrapperRegistry,
+    fingerprint_of,
+)
+from repro.site import Site, sources_fingerprint
+from repro.wrappers.xpath_inductor import XPathWrapper
+
+PAGES = [
+    "<html><body><table><tr><td><u>ALPHA</u></td></tr></table></body></html>",
+    "<html><body><table><tr><td><u>BETA</u></td></tr></table></body></html>",
+]
+
+
+def _artifact(site_name="shop", tag="u"):
+    wrapper = XPathWrapper(features=frozenset({((1, "tag"), tag)}))
+    return WrapperArtifact(
+        wrapper_spec=wrapper.to_spec(),
+        rule=wrapper.rule(),
+        site=site_name,
+        inductor="xpath",
+        method="ntw",
+    )
+
+
+class TestFingerprints:
+    def test_raw_sources_and_parsed_site_agree(self):
+        site = Site.from_html("shop", PAGES)
+        assert fingerprint_of(PAGES) == site.content_fingerprint()
+        assert fingerprint_of(site) == site.content_fingerprint()
+        assert fingerprint_of(PAGES) == sources_fingerprint(PAGES)
+
+    def test_generated_site_unwraps(self):
+        site = Site.from_html("shop", PAGES)
+
+        class Wrapped:
+            def __init__(self, inner):
+                self.site = inner
+
+        assert fingerprint_of(Wrapped(site)) == site.content_fingerprint()
+
+    def test_content_change_changes_fingerprint(self):
+        other = [PAGES[0], PAGES[1].replace("BETA", "GAMMA")]
+        assert fingerprint_of(PAGES) != fingerprint_of(other)
+
+
+class TestVersionLineage:
+    def test_put_chains_versions(self):
+        registry = WrapperRegistry()
+        first = registry.put("fp1", _artifact(), origin="learn")
+        second = registry.put("fp1", _artifact(), origin="repair")
+        third = registry.put("fp1", _artifact(), origin="repair")
+        assert [r.version for r in (first, second, third)] == [1, 2, 3]
+        assert first.parent_version is None
+        assert second.parent_version == 1 and third.parent_version == 2
+        assert registry.latest("fp1").version == 3
+
+    def test_explicit_parent_version(self):
+        registry = WrapperRegistry()
+        registry.put("fp1", _artifact(), origin="learn")
+        registry.put("fp1", _artifact(), origin="learn")
+        repair = registry.put(
+            "fp1", _artifact(), origin="repair", parent_version=1
+        )
+        assert repair.version == 3 and repair.parent_version == 1
+
+    def test_lineage_roundtrip_through_file_backend(self, tmp_path):
+        registry = WrapperRegistry(tmp_path / "reg")
+        registry.put("fp1", _artifact("siteA"), origin="learn")
+        registry.put("fp1", _artifact("siteA"), origin="repair")
+
+        reopened = WrapperRegistry(tmp_path / "reg")
+        chain = reopened.versions("fp1")
+        assert [(r.version, r.origin, r.parent_version) for r in chain] == [
+            (1, "learn", None),
+            (2, "repair", 1),
+        ]
+        for record in chain:
+            rebuilt = record.load_artifact()
+            assert rebuilt.rule == _artifact().rule
+        assert ArtifactRecord.from_dict(chain[-1].to_dict()) == chain[-1]
+
+    def test_empty_fingerprint_rejected(self):
+        with pytest.raises(RegistryError, match="empty fingerprint"):
+            WrapperRegistry().put("", _artifact())
+
+
+class TestAtomicPersistence:
+    def test_interrupted_write_leaves_no_torn_document(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash regression: a write killed between temp-write and
+        rename must leave the previous document fully readable and no
+        temp debris that later reads would trip on."""
+        backend = FileBackend(tmp_path / "reg")
+        registry = WrapperRegistry(backend)
+        registry.put("fp1", _artifact(), origin="learn")
+
+        real_replace = os.replace
+
+        def crash(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            backend.append("fp1", {"artifact": {}, "version": 99})
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        # The stored chain is exactly the pre-crash one.
+        reopened = WrapperRegistry(tmp_path / "reg")
+        assert [r.version for r in reopened.versions("fp1")] == [1]
+        # No temp files linger, and the document is valid JSON.
+        assert list((tmp_path / "reg").glob("*.tmp*")) == []
+        document = json.loads(
+            (tmp_path / "reg" / "fp1.json").read_text(encoding="utf-8")
+        )
+        assert len(document["versions"]) == 1
+        # The backend still accepts writes after the failed attempt.
+        reopened.put("fp1", _artifact(), origin="repair")
+        assert reopened.latest("fp1").version == 2
+
+    def test_stray_tmp_files_invisible_to_readers(self, tmp_path):
+        backend = FileBackend(tmp_path / "reg")
+        WrapperRegistry(backend).put("fp1", _artifact())
+        (tmp_path / "reg" / "fp2.json.tmp-123").write_text("{torn", "utf-8")
+        assert backend.fingerprints() == ["fp1"]
+
+    def test_hostile_fingerprint_keys_rejected(self, tmp_path):
+        backend = FileBackend(tmp_path / "reg")
+        for key in ("", "../escape", "a/b", "a\\b", "dotted.name"):
+            with pytest.raises(RegistryError, match="unusable fingerprint"):
+                backend.read(key)
+
+    def test_corrupt_document_reported(self, tmp_path):
+        backend = FileBackend(tmp_path / "reg")
+        (tmp_path / "reg" / "fp1.json").write_text("{torn", "utf-8")
+        with pytest.raises(RegistryError, match="unreadable registry"):
+            backend.read("fp1")
+
+    def test_unusable_root_reported(self, tmp_path):
+        plain_file = tmp_path / "regfile"
+        plain_file.write_text("not a directory", "utf-8")
+        with pytest.raises(RegistryError, match="registry directory"):
+            FileBackend(plain_file)
+        with pytest.raises(RegistryError, match="registry directory"):
+            FileBackend(plain_file / "nested")
+
+
+class TestSingleFlight:
+    @pytest.mark.parametrize("backend", ["memory", "file"])
+    def test_parallel_learn_on_miss_stores_exactly_one_version(
+        self, tmp_path, backend
+    ):
+        registry = WrapperRegistry(
+            "memory" if backend == "memory" else tmp_path / "reg"
+        )
+        learned = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def learner():
+            learned.append(threading.get_ident())
+            return _artifact()
+
+        def racer():
+            barrier.wait()
+            results.append(registry.get_or_learn("fp1", learner))
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(learned) == 1  # the learner ran exactly once
+        assert len(registry.versions("fp1")) == 1  # one stored version
+        assert sum(1 for _, created in results if created) == 1
+        rules = {artifact.rule for artifact, _ in results}
+        assert len(rules) == 1  # every racer got the one artifact
+
+    def test_failed_learner_stores_nothing_and_retries(self):
+        registry = WrapperRegistry()
+
+        def broken():
+            raise RuntimeError("no wrapper survived")
+
+        with pytest.raises(RuntimeError):
+            registry.get_or_learn("fp1", broken)
+        assert registry.versions("fp1") == []
+        artifact, created = registry.get_or_learn("fp1", _artifact)
+        assert created and artifact.rule == _artifact().rule
+
+    def test_learner_must_return_artifact(self):
+        with pytest.raises(RegistryError, match="must return"):
+            WrapperRegistry().get_or_learn("fp1", lambda: {"not": "one"})
+
+
+class TestHotLRU:
+    def test_eviction_order_and_counters(self):
+        registry = WrapperRegistry(hot_capacity=2)
+        for index in range(3):
+            registry.put(f"fp{index}", _artifact(f"site{index}"))
+        # fp0 was pushed out by fp1/fp2.
+        assert registry.hot_fingerprints() == ["fp1", "fp2"]
+        assert registry.evictions == 1
+        # Serving fp0 reloads it from the backend (a cache miss) and
+        # evicts the least recently used survivor, fp1.
+        before = registry.misses
+        assert registry.get("fp0") is not None
+        assert registry.misses == before + 1
+        assert registry.hot_fingerprints() == ["fp2", "fp0"]
+
+    def test_hot_hits_skip_the_backend(self, tmp_path):
+        registry = WrapperRegistry(tmp_path / "reg", hot_capacity=4)
+        registry.put("fp1", _artifact())
+        (tmp_path / "reg" / "fp1.json").unlink()  # prove it's not re-read
+        assert registry.get("fp1") is not None
+        assert registry.hits >= 1
+
+    def test_capacity_zero_disables_cache(self):
+        registry = WrapperRegistry(hot_capacity=0)
+        registry.put("fp1", _artifact())
+        assert registry.hot_fingerprints() == []
+        assert registry.get("fp1") is not None  # still served, just cold
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(RegistryError, match="hot_capacity"):
+            WrapperRegistry(hot_capacity=-1)
+
+
+class TestResolve:
+    def test_fingerprint_hit_then_site_fallback_then_miss(self):
+        registry = WrapperRegistry()
+        registry.put("fp1", _artifact("shop"))
+        artifact, source = registry.resolve("fp1")
+        assert artifact is not None and source == "fingerprint"
+        # A recrawl of the same site hashes differently but resolves
+        # through the site-name index.
+        artifact, source = registry.resolve("fp-new-crawl", site="shop")
+        assert artifact is not None and source == "site"
+        artifact, source = registry.resolve("fp-unknown", site="elsewhere")
+        assert artifact is None and source == "miss"
+        assert registry.resolve_hits == 2 and registry.resolve_misses == 1
+
+    def test_newest_store_wins_site_name(self):
+        registry = WrapperRegistry()
+        registry.put("fp-old", _artifact("shop"))
+        registry.put("fp-new", _artifact("shop"))
+        assert registry.site_fingerprint("shop") == "fp-new"
+
+    def test_artifacts_by_site(self):
+        registry = WrapperRegistry()
+        registry.put("fp1", _artifact("alpha"))
+        registry.put("fp2", _artifact("beta"))
+        fleet = registry.artifacts_by_site()
+        assert sorted(fleet) == ["alpha", "beta"]
+        assert all(isinstance(a, WrapperArtifact) for a in fleet.values())
+
+
+class TestRestartResume:
+    def test_reopened_registry_serves_without_learning(self, tmp_path):
+        first = WrapperRegistry(tmp_path / "reg")
+        first.get_or_learn("fp1", _artifact)
+        assert first.learned == 1
+
+        reopened = WrapperRegistry(tmp_path / "reg")
+
+        def must_not_run():  # pragma: no cover - the assertion is the point
+            raise AssertionError("relearned after restart")
+
+        artifact, created = reopened.get_or_learn("fp1", must_not_run)
+        assert not created and artifact.rule == _artifact().rule
+        assert reopened.learned == 0
+        assert reopened.stats()["fingerprints"] == 1
+
+
+class TestBackendsAndStats:
+    def test_memory_backend_isolates_copies(self):
+        backend = MemoryBackend()
+        payload = {"version": 1, "artifact": {}}
+        backend.append("fp1", payload)
+        payload["version"] = 99  # caller mutation must not leak in
+        assert backend.read("fp1")[0]["version"] == 1
+
+    def test_bad_backend_spec_rejected(self):
+        with pytest.raises(RegistryError, match="backend must be"):
+            WrapperRegistry(backend=42)
+
+    def test_stats_shape(self):
+        registry = WrapperRegistry()
+        registry.put("fp1", _artifact())
+        registry.get("fp1")
+        stats = registry.stats()
+        assert stats["fingerprints"] == 1 and stats["hot"] == 1
+        assert set(stats) == {
+            "hits",
+            "misses",
+            "evictions",
+            "learned",
+            "resolve_hits",
+            "resolve_misses",
+            "hot",
+            "fingerprints",
+        }
