@@ -49,6 +49,117 @@ def products_dataset():
     return generate_products(n_sites=n_sites, pages_per_site=pages, seed=37)
 
 
+def _vm_rss_mb() -> float:
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:  # pragma: no cover - non-procfs platforms
+        pass
+    return 0.0
+
+
+def measure_worker_warmup(pairs, runs: int = 3) -> dict:
+    """Cold-worker warm-up: time to the first extraction on a fresh
+    process image, rebuild vs arena attach.
+
+    ``rebuild`` re-parses raw HTML, refreezes every index and derives
+    postings before applying; ``arena`` mmaps the packed segment and
+    applies, indexes lazy-loading out of the mapping.  ``pairs`` is a
+    list of ``(site, artifact)``; both paths are asserted to extract
+    identically and timed as min-of-``runs``.
+    """
+    import gc
+    import time
+
+    from repro.arena import ensure_arena, load_site
+    from repro.site import Site
+
+    jobs = []
+    for site, artifact in pairs:
+        binding = ensure_arena(site, include_postings=True)
+        jobs.append(
+            (binding.handle, [page.source for page in site.pages], artifact)
+        )
+    expected = [artifact.apply(site) for site, artifact in pairs]
+
+    def rebuild_pass():
+        return [
+            artifact.apply(Site.from_html(handle.name, list(sources)))
+            for handle, sources, artifact in jobs
+        ]
+
+    def arena_pass():
+        return [
+            artifact.apply(load_site(handle))
+            for handle, _sources, artifact in jobs
+        ]
+
+    def best(fn):
+        times = []
+        for _ in range(runs):
+            gc.collect()
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+            assert result == expected
+        return min(times)
+
+    rebuild_s = best(rebuild_pass)
+    arena_s = best(arena_pass)
+    return {
+        "rebuild": rebuild_s,
+        "arena": arena_s,
+        "speedup": rebuild_s / arena_s,
+    }
+
+
+def measure_rss_per_worker(pairs) -> dict:
+    """VmRSS delta (MB) of a forked worker materializing its shard.
+
+    The rebuild child parses and refreezes private copies of every
+    site; the arena child attaches the read-only mappings — its node
+    objects are private but the flat sections stay shared page cache.
+    """
+    import gc
+    import multiprocessing
+
+    from repro.arena import ensure_arena, load_site
+    from repro.site import Site
+
+    jobs = []
+    for site, artifact in pairs:
+        binding = ensure_arena(site, include_postings=True)
+        jobs.append(
+            (binding.handle, [page.source for page in site.pages], artifact)
+        )
+
+    context = multiprocessing.get_context("fork")
+
+    def probe(mode, queue):
+        gc.collect()
+        before = _vm_rss_mb()
+        keep = []
+        for handle, sources, artifact in jobs:
+            if mode == "rebuild":
+                site = Site.from_html(handle.name, list(sources))
+            else:
+                site = load_site(handle)
+            keep.append((site, artifact.apply(site)))
+        gc.collect()
+        queue.put(_vm_rss_mb() - before)
+
+    deltas = {}
+    for mode in ("rebuild", "arena"):
+        queue = context.Queue()
+        process = context.Process(target=probe, args=(mode, queue))
+        process.start()
+        deltas[mode] = queue.get(timeout=120)
+        process.join(timeout=30)
+    return deltas
+
+
 def write_result(name: str, lines: list[str]) -> None:
     """Print the paper-style output and persist it for EXPERIMENTS.md."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -25,12 +25,19 @@ import json
 import pickle
 import time
 
-from _harness import FULL_SCALE, RESULTS_DIR, write_result
+from _harness import (
+    FULL_SCALE,
+    RESULTS_DIR,
+    measure_rss_per_worker,
+    measure_worker_warmup,
+    write_result,
+)
 
 from repro.api import (
     Extractor,
     ExtractorConfig,
     IngestSession,
+    WorkerPool,
     apply_many,
     learn_many,
     load_dataset,
@@ -154,6 +161,70 @@ def test_ingest_stream():
     for index, reference in enumerate(batch.outcomes):
         assert streamed[index].ok
         assert streamed[index].extracted == reference.extracted
+
+    # -- mid-stream growth: resize a live pool while the crawl runs ---------
+    # Parsed sites ship as arena handles, so the workers added half-way
+    # attach shared segments instead of re-parsing anything already on
+    # the wire.
+    def crawl_scaled():
+        streamed_scaled: dict[int, object] = {}
+        with WorkerPool(max_workers=2) as pool:
+            with IngestSession(pool=pool) as session:
+                for position, (artifact, generated) in enumerate(
+                    zip(artifacts, fleet)
+                ):
+                    session.submit(generated.site, artifact=artifact)
+                    if position == len(fleet) // 2:
+                        pool.resize(4)
+                    for outcome in session.results():
+                        streamed_scaled[outcome.index] = outcome
+                for outcome in session.iter_results():
+                    streamed_scaled[outcome.index] = outcome
+        return streamed_scaled, pool
+
+    (streamed_scaled, pool), scaled_s = _timed(crawl_scaled)
+    record["apply_pages_per_s"]["ingest-grow-2to4"] = total_pages / scaled_s
+    lines.append(
+        f"apply    grow 2->4    {total_pages / scaled_s:8.1f} pages/s  "
+        f"({scaled_s:.3f}s, resized mid-stream, "
+        f"{pool.stats.arena_ships} arena ships)"
+    )
+    assert pool.stats.pool_resizes == 1
+    assert pool.stats.arena_ships > 0  # sites crossed as handles
+    assert sorted(streamed_scaled) == list(range(len(fleet)))
+    for index, reference in enumerate(batch.outcomes):
+        assert streamed_scaled[index].ok
+        assert streamed_scaled[index].extracted == reference.extracted
+
+    # -- per-worker warm-up: arena attach vs re-parse + refreeze ------------
+    pairs = [
+        (generated.site, artifact)
+        for generated, artifact in zip(fleet, artifacts)
+    ][:8]
+    warmup = measure_worker_warmup(pairs)
+    rss = measure_rss_per_worker(pairs)
+    record["worker_warmup_s"] = warmup
+    record["rss_per_worker_mb"] = rss
+    lines.append(
+        f"warmup rebuild     {warmup['rebuild'] * 1e3:9.1f} ms/shard "
+        f"({len(pairs)} sites)"
+    )
+    lines.append(
+        f"warmup arena       {warmup['arena'] * 1e3:9.1f} ms/shard  "
+        f"({warmup['speedup']:.1f}x rebuild, target >= 5x)"
+    )
+    lines.append(
+        f"rss/worker rebuild {rss['rebuild']:9.1f} MB   arena "
+        f"{rss['arena']:9.1f} MB"
+    )
+    assert warmup["arena"] < warmup["rebuild"], (
+        f"arena warmup ({warmup['arena']:.4f}s) not below rebuild "
+        f"({warmup['rebuild']:.4f}s)"
+    )
+    assert warmup["speedup"] >= 5.0, (
+        f"arena warmup speedup {warmup['speedup']:.1f}x < the 5x "
+        f"acceptance bar"
+    )
 
     write_result("ingest_stream", lines)
     trajectory = RESULTS_DIR / "BENCH_ingest.json"

@@ -23,7 +23,13 @@ import json
 import os
 import time
 
-from _harness import FULL_SCALE, RESULTS_DIR, write_result
+from _harness import (
+    FULL_SCALE,
+    RESULTS_DIR,
+    measure_rss_per_worker,
+    measure_worker_warmup,
+    write_result,
+)
 
 from repro.api import (
     Extractor,
@@ -153,6 +159,38 @@ def test_throughput_batch():
     lines.append(
         f"apply  pool warm   {total_pages / warm_s:8.1f} pages/s  "
         f"({warm_s:.3f}s, {cold_s / warm_s:.2f}x cold)"
+    )
+
+    # -- per-worker warm-up: arena attach vs re-parse + refreeze ------------
+    pairs = [
+        (generated.site, artifact)
+        for generated, artifact in zip(fleet, artifacts)
+    ][:8]
+    warmup = measure_worker_warmup(pairs)
+    rss = measure_rss_per_worker(pairs)
+    record["worker_warmup_s"] = warmup
+    record["rss_per_worker_mb"] = rss
+    lines.append(
+        f"warmup rebuild     {warmup['rebuild'] * 1e3:8.1f} ms/shard "
+        f"({len(pairs)} sites)"
+    )
+    lines.append(
+        f"warmup arena       {warmup['arena'] * 1e3:8.1f} ms/shard  "
+        f"({warmup['speedup']:.1f}x rebuild, target >= 5x)"
+    )
+    lines.append(
+        f"rss/worker rebuild {rss['rebuild']:8.1f} MB   arena "
+        f"{rss['arena']:8.1f} MB"
+    )
+    # Acceptance: attaching the packed segment must beat re-parsing —
+    # this is the whole point of shipping handles instead of HTML.
+    assert warmup["arena"] < warmup["rebuild"], (
+        f"arena warmup ({warmup['arena']:.4f}s) not below rebuild "
+        f"({warmup['rebuild']:.4f}s)"
+    )
+    assert warmup["speedup"] >= 5.0, (
+        f"arena warmup speedup {warmup['speedup']:.1f}x < the 5x "
+        f"acceptance bar"
     )
 
     # Warm workers must beat the cold pool on the second pass: interned

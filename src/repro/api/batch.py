@@ -261,9 +261,15 @@ def _resolve_site(item: SiteLike) -> Site:
     if isinstance(item, tuple) and len(item) == 2:
         name, pages = item
         return Site.from_html(str(name), list(pages))
+    # Imported here, not at module top: arena payloads only reach
+    # workers whose parent shipped a handle.
+    from repro.arena import ArenaHandle, attach_site
+
+    if isinstance(item, ArenaHandle):
+        return attach_site(item)
     raise TypeError(
         f"cannot interpret {type(item).__name__} as a site "
-        "(expected Site, GeneratedSite, or (name, [html]) pair)"
+        "(expected Site, GeneratedSite, ArenaHandle, or (name, [html]) pair)"
     )
 
 

@@ -13,8 +13,10 @@ incrementally:
 - :meth:`IngestSession.submit` / :meth:`IngestSession.submit_html`
   enqueue a site (learn or apply) while earlier results are still
   streaming back; submissions dispatch immediately to the site's
-  owning worker (one-site chunks), and pages ship lean — raw HTML out,
-  refreeze on arrival (see :meth:`repro.htmldom.dom.Document.__reduce_ex__`);
+  owning worker (one-site chunks), and pages ship lean — parsed sites
+  as shared-memory arena handles (attach on arrival, no re-parse; see
+  :mod:`repro.arena`), raw submissions as HTML that refreezes on
+  arrival (:meth:`repro.htmldom.dom.Document.__reduce_ex__`);
 - **bounded in-flight backpressure** — ``max_inflight`` caps the jobs
   the *pool* still has to finish; a ``submit`` past the cap blocks,
   pumping completions into the ready buffer until there is room (so a
@@ -95,6 +97,11 @@ class IngestSession:
         max_inflight: backpressure bound on jobs the pool has not yet
             finished (completed outcomes buffered for the consumer do
             not count toward it); defaults to ``8 × workers``.
+        scale_max: autoscale ceiling for an owned pool (ignored when
+            ``pool`` is given): under sustained backlog pressure the
+            pool grows one worker at a time up to this many, attaching
+            already-shipped sites from shared arena segments instead of
+            re-parsing (see :meth:`WorkerPool.resize`).
 
     A session is the pool's single live stream (starting a batch on the
     pool while a session is open raises, and vice versa); close the
@@ -110,12 +117,17 @@ class IngestSession:
         pool: WorkerPool | None = None,
         max_workers: int | None = None,
         max_inflight: int | None = None,
+        scale_max: int | None = None,
     ) -> None:
         self.extractor = extractor
         self.annotator = annotator
         self.artifact = artifact
         self._owns_pool = pool is None
-        self.pool = pool if pool is not None else WorkerPool(max_workers)
+        self.pool = (
+            pool
+            if pool is not None
+            else WorkerPool(max_workers, scale_max=scale_max)
+        )
         workers = self.pool.max_workers
         self.max_inflight = (
             max_inflight

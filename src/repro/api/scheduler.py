@@ -53,9 +53,16 @@ local queue — a worker killed mid-flush can only wedge its own (daemon)
 reader, never a sibling's puts — so worker crashes are survivable
 (unacknowledged chunks retry on survivors, index-keyed dedupe keeps
 outcomes exactly-once) and :meth:`WorkerPool.close` is deterministic
-even mid-stream.  Site payloads ship lean: parsed pages cross the
-process boundary as raw HTML and refreeze on arrival (see
-:meth:`repro.htmldom.dom.Document.__reduce_ex__`).
+even mid-stream.  Site payloads ship lean: with site sharing on (the
+default), a parsed site is packed once into a shared-memory arena
+segment and crosses the process boundary as a handle that workers
+attach read-only (:mod:`repro.arena`) — otherwise parsed pages ship as
+raw HTML and refreeze on arrival (see
+:meth:`repro.htmldom.dom.Document.__reduce_ex__`).  Near-zero attach
+cost is also what makes :meth:`WorkerPool.resize` practical: the pool
+can grow (or shrink) mid-stream, manually or automatically under
+backlog pressure (``scale_max``), without re-parsing anything already
+shipped.
 
 Per-site error isolation matches the batch layer: a site whose pages
 fail to parse (or whose learning blows up) is a failed outcome, and
@@ -390,6 +397,12 @@ class SchedulerStats:
     steals: int = 0
     shipments: Counter = field(default_factory=Counter)
     fields: Counter = field(default_factory=Counter)
+    #: Payloads that crossed the wire as arena handles (shared-segment
+    #: attach on the worker) instead of raw HTML.
+    arena_ships: int = 0
+    #: ``resize()`` calls that actually changed the live worker count
+    #: (manual or autoscale).
+    pool_resizes: int = 0
 
 
 class WorkerPool:
@@ -408,6 +421,16 @@ class WorkerPool:
         intern_bound: max sites each worker keeps interned (LRU);
             ``None`` reads ``interned_site_bound`` from the engine
             config.
+        share_sites: ship parsed sites as shared-memory arena handles
+            (:mod:`repro.arena`): the parent packs each site's frozen
+            indexes into one mmap-able segment and workers attach it
+            read-only instead of re-parsing raw HTML.  Off, payloads
+            use the lean ship-sources-and-refreeze path throughout.
+        scale_max: autoscale ceiling for :meth:`resize`: when set, a
+            streaming session that builds up more backlog chunks than
+            the live workers' dispatch windows can absorb grows the
+            pool one worker at a time, up to this many.  ``None``
+            disables autoscaling (``resize`` stays available manually).
 
     Use as a context manager, or call :meth:`close`; a pool survives
     any number of ``learn`` / ``apply`` batches in between, and that
@@ -421,12 +444,18 @@ class WorkerPool:
         chunksize: int | None = None,
         work_stealing: bool = True,
         intern_bound: int | None = None,
+        share_sites: bool = True,
+        scale_max: int | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1; got {max_workers}")
+        if scale_max is not None and scale_max < 1:
+            raise ValueError(f"scale_max must be >= 1; got {scale_max}")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.chunksize = chunksize
         self.work_stealing = work_stealing
+        self.share_sites = share_sites
+        self.scale_max = scale_max
         # Frozen here (not read live) so the parent's ship ledger and
         # every worker's LRU agree on the bound for the pool's lifetime.
         self.intern_bound = (
@@ -781,11 +810,18 @@ class WorkerPool:
     def _ensure_started(self) -> None:
         if self._processes is not None:
             return
-        import multiprocessing
         import queue as queue_mod
-        import threading
 
-        context = multiprocessing.get_context()
+        if self.share_sites:
+            # Housekeeping for the arena layer: segments whose owner
+            # died without running its exit hooks (SIGKILL, hard crash)
+            # would otherwise accumulate in /dev/shm forever.
+            try:
+                from repro.arena import reap_orphans
+
+                reap_orphans()
+            except Exception:  # pragma: no cover - best-effort sweep
+                pass
         # Results land in an in-process queue fed by one reader thread
         # per worker (see _forward_results): workers never contend on a
         # shared cross-process lock, and never block on a full pipe —
@@ -793,29 +829,179 @@ class WorkerPool:
         # and crash recovery deterministic.
         self._results = queue_mod.Queue()
         self._processes = []
-        for worker_id in range(self.max_workers):
-            inbox = context.Queue()
-            outbox = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(worker_id, inbox, outbox, self.intern_bound),
-                daemon=True,
-                name=f"repro-scheduler-{worker_id}",
-            )
-            process.start()
-            reader = threading.Thread(
-                target=_forward_results,
-                args=(outbox, self._results),
-                daemon=True,
-                name=f"repro-scheduler-reader-{worker_id}",
-            )
-            reader.start()
-            self._inboxes.append(inbox)
-            self._outboxes.append(outbox)
-            self._readers.append(reader)
-            self._processes.append(process)
-            self._alive.append(True)
-            self._shipped.append(OrderedDict())
+        for _ in range(self.max_workers):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> int:
+        """Start one worker (plus its reader thread); returns its id.
+
+        Worker ids are slot indexes into the parallel bookkeeping
+        lists; slots of dead or retired workers stay in place, so a
+        grown pool simply appends new slots.
+        """
+        import multiprocessing
+        import threading
+
+        context = multiprocessing.get_context()
+        worker_id = len(self._processes)
+        inbox = context.Queue()
+        outbox = context.Queue()
+        process = context.Process(
+            target=_worker_main,
+            args=(worker_id, inbox, outbox, self.intern_bound),
+            daemon=True,
+            name=f"repro-scheduler-{worker_id}",
+        )
+        process.start()
+        reader = threading.Thread(
+            target=_forward_results,
+            args=(outbox, self._results),
+            daemon=True,
+            name=f"repro-scheduler-reader-{worker_id}",
+        )
+        reader.start()
+        self._inboxes.append(inbox)
+        self._outboxes.append(outbox)
+        self._readers.append(reader)
+        self._processes.append(process)
+        self._alive.append(True)
+        self._shipped.append(OrderedDict())
+        return worker_id
+
+    # -- dynamic sizing -----------------------------------------------------
+
+    @property
+    def workers_alive(self) -> int:
+        """Live worker count (the configured target before spawn)."""
+        if self._processes is None:
+            return self.max_workers
+        return sum(1 for alive in self._alive if alive)
+
+    def resize(self, workers: int) -> int:
+        """Grow or shrink the live worker fleet to ``workers``.
+
+        Works mid-stream: new workers receive the session's shared
+        context, join the shard space immediately and (with work
+        stealing) pull straight from existing backlogs — arena-shipped
+        sites attach from shared memory, so a grown worker is warm
+        after an mmap, not a re-parse.  Shrinking retires the
+        highest-numbered workers cleanly: their queued chunks still
+        complete, their unsent backlog moves to survivors, and the
+        shard space keeps its width (retired slots remap exactly like
+        crashed workers, minus the crash).
+
+        Returns the resulting live worker count.  Before any process
+        has spawned this just retargets ``max_workers``; a one-worker
+        pool with an *open inline session* cannot change execution
+        model mid-stream and raises ``RuntimeError``.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1; got {workers}")
+        if self._processes is None:
+            if self._session is not None and workers != self.max_workers:
+                raise RuntimeError(
+                    "cannot resize an inline session mid-stream; "
+                    "resize before opening it"
+                )
+            self.max_workers = workers
+            if workers > 1:
+                self._inline = None  # superseded by child processes
+            return workers
+        session = (
+            self._session
+            if isinstance(self._session, _PooledSession)
+            else None
+        )
+        current = self.workers_alive
+        if workers > current:
+            for _ in range(workers - current):
+                worker_id = self._spawn_worker()
+                if self._last_shared:
+                    seq = session.seq if session is not None else self._batch_seq
+                    self._inboxes[worker_id].put(
+                        (
+                            "shared",
+                            seq,
+                            {
+                                "extractor": self._last_shared[0],
+                                "annotator": self._last_shared[1],
+                            },
+                        )
+                    )
+                if session is not None:
+                    session.add_worker_slot()
+            self.max_workers = len(self._processes)
+            self.stats.pool_resizes += 1
+            if session is not None:
+                for worker_id in range(self.max_workers):
+                    session._feed(worker_id)
+        elif workers < current:
+            live = [w for w in range(len(self._alive)) if self._alive[w]]
+            for worker_id in live[workers:]:
+                if session is not None:
+                    session.requeue_backlog(worker_id)
+                self._retire_worker(worker_id)
+            self.stats.pool_resizes += 1
+            if session is not None:
+                for worker_id in range(self.max_workers):
+                    session._feed(worker_id)
+        return self.workers_alive
+
+    def _retire_worker(self, worker_id: int) -> None:
+        """Stop one worker cleanly; its already-queued chunks still run.
+
+        The stop sentinel rides the inbox FIFO, so the worker finishes
+        (and flushes) everything dispatched before it, then exits; the
+        parent completes those outcomes through the normal result path.
+        """
+        if not self._alive[worker_id]:
+            return
+        self._alive[worker_id] = False
+        try:
+            self._inboxes[worker_id].put(None)
+        except Exception:  # pragma: no cover - teardown races
+            pass
+
+    def _maybe_autoscale(self, session: "_PooledSession") -> None:
+        """Grow under backlog pressure, one worker per check.
+
+        Pressure means more queued chunks than the live dispatch
+        windows can hold; each growth step re-feeds (and, with work
+        stealing, rebalances), so the loop converges either on a
+        drained backlog or on ``scale_max``.
+        """
+        if not self.scale_max:
+            return
+        while True:
+            alive = self.workers_alive
+            if alive >= self.scale_max:
+                return
+            queued = sum(len(chunks) for chunks in session.backlog)
+            if queued <= alive * _DISPATCH_WINDOW:
+                return
+            self.resize(alive + 1)
+
+    def _ship_payload(self, payload: object) -> object:
+        """Wire form of a site payload for a child worker.
+
+        With site sharing on, parsed sites ship as arena handles: the
+        segment is packed once (memoized on the site) and each worker
+        attaches the read-only mapping instead of re-parsing HTML.
+        Raw ``(name, sources)`` pairs — and sites the arena cannot pack
+        — fall back to the lean ship-sources path unchanged.
+        """
+        if not self.share_sites or not isinstance(payload, Site):
+            return payload
+        try:
+            from repro.arena import ensure_arena
+
+            binding = ensure_arena(payload)
+        except Exception:  # pragma: no cover - defensive fallback
+            return payload
+        self.stats.arena_ships += 1
+        return binding.handle
 
     def _assign_worker(self, site_key: str, alive: list[int]) -> int:
         """Shard target of a site: its hash worker, or — when that
@@ -1049,6 +1235,34 @@ class _PooledSession(_StreamSession):
                 self.backlog[worker_id].append(assigned[start : start + chunksize])
         for worker_id in range(pool.max_workers):
             self._feed(worker_id)
+        pool._maybe_autoscale(self)
+
+    def add_worker_slot(self) -> None:
+        """Extend per-worker bookkeeping for a freshly grown worker."""
+        self.backlog.append(deque())
+        self.sent.append(deque())
+        self.inflight.append(0)
+
+    def requeue_backlog(self, worker_id: int) -> None:
+        """Move a retiring worker's unsent chunks onto live peers.
+
+        Only the *unsent* backlog moves: chunks already in the retiree's
+        inbox run to completion before its stop sentinel (FIFO), so they
+        are never retried and never duplicated.
+        """
+        pool = self.pool
+        survivors = [
+            w
+            for w in range(pool.max_workers)
+            if pool._alive[w] and w != worker_id
+        ]
+        if not survivors:  # pragma: no cover - resize() keeps >= 1 alive
+            return
+        rotation = itertools.cycle(survivors)
+        while self.backlog[worker_id]:
+            self.backlog[next(rotation)].append(
+                self.backlog[worker_id].popleft()
+            )
 
     def next_outcome(
         self, timeout: float = _RESULT_POLL_SECONDS
@@ -1152,7 +1366,7 @@ class _PooledSession(_StreamSession):
                 ledger.move_to_end(job.site_key)
                 job.payload = None
             else:
-                job.payload = self.payloads[job.site_key]
+                job.payload = pool._ship_payload(self.payloads[job.site_key])
                 ledger[job.site_key] = True
                 pool.stats.shipments[job.site_key] += 1
                 while len(ledger) > pool.intern_bound:

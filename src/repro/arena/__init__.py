@@ -1,0 +1,166 @@
+"""Zero-copy shared site memory.
+
+A site's frozen state — per-page DOM indexes, span tables, and the
+site-derived feature postings — is packed once into a flat mmap-able
+segment (:mod:`repro.arena.sitepack`) stored as a file in ``/dev/shm``
+(:mod:`repro.arena.segment`).  Every worker that needs the site then
+*attaches*: an mmap plus eager node-object rebuild, with all query
+indexes materializing lazily out of the mapping.  Compared to the
+ship-sources-and-refreeze path this skips tokenizing, tree
+construction, index building and posting derivation, and the flat
+sections themselves are shared page-cache memory across the fleet.
+
+Public surface:
+
+* :func:`ensure_arena` — pack a site into an owned segment (memoized
+  on the site) and return its binding; the site now pickles as a
+  lightweight :class:`ArenaHandle`.
+* :func:`attach_site` — resolve a handle to a site in this process,
+  with a per-process attach registry (same handle twice -> same site)
+  and a parse-from-source fallback when the segment is gone.
+* :func:`load_site` — uncached attach (benchmark/diagnostic path).
+* :func:`arena_stats`, :func:`reap_orphans` — counters and orphaned
+  segment reclamation (dead-owner files).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.site import Site
+
+from .layout import ArenaError
+from .segment import (
+    arena_dir,
+    arena_stats,
+    count_rebuild_fallback,
+    create_segment,
+    lookup_attached,
+    map_segment,
+    reap_orphans,
+    register_attachment,
+    release_segment,
+)
+from .sitepack import ArenaPostings, pack_site, unpack_site
+
+__all__ = [
+    "ArenaError",
+    "ArenaHandle",
+    "ArenaPostings",
+    "arena_dir",
+    "arena_stats",
+    "attach_site",
+    "ensure_arena",
+    "load_site",
+    "reap_orphans",
+]
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable reference to a packed site segment.
+
+    ``sources`` is the raw-HTML fallback, present only when every page
+    was parsed from source (for hand-built trees, re-parsing unrelated
+    HTML would silently produce a *different* site — failing loudly is
+    the only correct behavior when their segment is gone).
+    """
+
+    path: str
+    fingerprint: str
+    name: str
+    sources: Optional[tuple[str, ...]] = None
+
+
+class ArenaBinding:
+    """Per-process link between a :class:`Site` and its segment.
+
+    The owner's binding (``owned=True``) has no mapping of its own —
+    the owner already holds the dict-backed site — and unlinks the
+    segment file when the site is garbage collected.  An attached
+    binding keeps the reader (and therefore the mapping) alive exactly
+    as long as the site.
+    """
+
+    __slots__ = ("handle", "reader", "pool", "owned")
+
+    def __init__(self, handle, reader, pool, owned):
+        self.handle = handle
+        self.reader = reader
+        self.pool = pool
+        self.owned = owned
+
+
+def ensure_arena(
+    site: Site,
+    directory: Optional[str] = None,
+    include_postings="auto",
+) -> ArenaBinding:
+    """Pack *site* into an owned segment once; return its binding.
+
+    Memoized on the site: repeated ships of the same site reuse one
+    segment.  After this call the site pickles as its handle (see
+    :meth:`repro.site.Site.__reduce_ex__`), so every pool worker
+    attaches instead of re-parsing.
+    """
+    binding = site._arena
+    if binding is not None:
+        return binding
+    data = pack_site(site, include_postings=include_postings)
+    fingerprint = site.content_fingerprint()
+    path = create_segment(data, fingerprint, directory)
+    sources = None
+    if all(page.from_source for page in site.pages):
+        sources = tuple(page.source for page in site.pages)
+    handle = ArenaHandle(
+        path=path, fingerprint=fingerprint, name=site.name, sources=sources
+    )
+    binding = ArenaBinding(handle, reader=None, pool=None, owned=True)
+    site._arena = binding
+    # The segment lives exactly as long as the owning site object (and
+    # never longer than the owning process: segment.py's pid-guarded
+    # atexit sweep and reap_orphans() cover orderly and abnormal exit).
+    weakref.finalize(site, release_segment, path)
+    return binding
+
+
+def _attach_fresh(handle: ArenaHandle) -> Site:
+    reader, nbytes = map_segment(handle.path)
+    if reader.meta.get("fingerprint") != handle.fingerprint:
+        raise ArenaError(
+            f"arena segment {handle.path!r} does not match handle fingerprint"
+        )
+    site, pool = unpack_site(reader)
+    site._arena = ArenaBinding(handle, reader=reader, pool=pool, owned=False)
+    return site, nbytes
+
+
+def load_site(handle: ArenaHandle) -> Site:
+    """Attach a segment without consulting or filling the registry."""
+    site, _ = _attach_fresh(handle)
+    return site
+
+
+def attach_site(handle: ArenaHandle) -> Site:
+    """Resolve a handle to a site in this process.
+
+    One mapping per segment per process: a second attach of the same
+    handle returns the already-attached site (an *attach hit* — this is
+    what makes re-shipped payloads free for warm workers).  If the
+    segment vanished (owner died and was reaped), falls back to
+    re-parsing the handle's page sources when available.
+    """
+    site = lookup_attached(handle.path, handle.fingerprint)
+    if site is not None:
+        return site
+    try:
+        site, nbytes = _attach_fresh(handle)
+    except (OSError, ArenaError):
+        if handle.sources is None:
+            raise
+        count_rebuild_fallback()
+        return Site.from_html(handle.name, list(handle.sources))
+    register_attachment(handle.path, handle.fingerprint, site, nbytes)
+    return site

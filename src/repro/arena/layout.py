@@ -1,0 +1,138 @@
+"""Flat section layout for arena segments.
+
+An arena segment is one contiguous byte buffer laid out as::
+
+    magic (8 bytes)  b"RARENA1\\n"
+    toc length (8 bytes, little-endian unsigned)
+    toc (UTF-8 JSON: {"meta": {...}, "sections": {name: [offset, length]}})
+    padding to the next 8-byte boundary
+    section payloads, each starting on an 8-byte boundary
+
+Integer sections are arrays of signed 64-bit little-endian values and
+are read back as zero-copy ``memoryview.cast("q")`` views over the
+mapped buffer — no deserialization pass, no per-element objects until a
+value is actually indexed.  Byte sections (string pools, page sources)
+are plain slices of the mapping.
+
+:class:`ArenaWriter` builds a segment in memory; :class:`ArenaReader`
+parses the TOC from any buffer (``bytes``, ``mmap``, ``memoryview``)
+and hands out typed views.  Neither knows anything about sites or
+documents — that vocabulary lives in :mod:`repro.arena.sitepack`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from array import array
+from typing import Any, Iterable, Mapping
+
+MAGIC = b"RARENA1\n"
+_HEADER = struct.Struct("<8sQ")
+
+
+class ArenaError(RuntimeError):
+    """A segment is missing, truncated, or fails validation."""
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+class ArenaWriter:
+    """Accumulates named sections and serializes them into one buffer."""
+
+    def __init__(self) -> None:
+        self._sections: dict[str, bytes] = {}
+
+    def add_ints(self, name: str, values: Iterable[int]) -> None:
+        self._sections[name] = array("q", values).tobytes()
+
+    def add_bytes(self, name: str, data: bytes) -> None:
+        self._sections[name] = bytes(data)
+
+    def add_text(self, name: str, text: str) -> None:
+        self._sections[name] = text.encode("utf-8", "surrogatepass")
+
+    def finish(self, meta: Mapping[str, Any]) -> bytes:
+        toc_sections: dict[str, list[int]] = {}
+        # Reserve the header + TOC region first; section offsets depend on
+        # the TOC size, which depends on the offsets' digit counts — fix
+        # the layout by computing offsets against a worst-case TOC and
+        # re-encoding until stable (converges in <= 2 rounds in practice).
+        payload_order = list(self._sections.items())
+        toc_json = b""
+        base = 0
+        for _ in range(4):
+            offset = _pad8(_HEADER.size + len(toc_json))
+            trial: dict[str, list[int]] = {}
+            for name, data in payload_order:
+                trial[name] = [offset, len(data)]
+                offset = _pad8(offset + len(data))
+            encoded = json.dumps(
+                {"meta": dict(meta), "sections": trial},
+                separators=(",", ":"),
+                ensure_ascii=True,
+            ).encode("utf-8")
+            if len(encoded) == len(toc_json):
+                toc_sections = trial
+                toc_json = encoded
+                base = _pad8(_HEADER.size + len(toc_json))
+                break
+            toc_json = encoded
+        else:  # pragma: no cover - digit-count growth settles immediately
+            raise ArenaError("arena TOC failed to stabilize")
+
+        out = bytearray(_HEADER.pack(MAGIC, len(toc_json)))
+        out += toc_json
+        out += b"\0" * (base - len(out))
+        for name, data in payload_order:
+            offset, length = toc_sections[name]
+            out += b"\0" * (offset - len(out))
+            out += data
+        return bytes(out)
+
+
+class ArenaReader:
+    """Zero-copy typed views over a serialized arena buffer."""
+
+    __slots__ = ("_buf", "_meta", "_sections")
+
+    def __init__(self, buffer) -> None:
+        buf = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+        if len(buf) < _HEADER.size:
+            raise ArenaError("arena segment truncated (no header)")
+        magic, toc_len = _HEADER.unpack_from(buf, 0)
+        if magic != MAGIC:
+            raise ArenaError("bad arena magic")
+        end = _HEADER.size + toc_len
+        if end > len(buf):
+            raise ArenaError("arena segment truncated (TOC out of range)")
+        try:
+            toc = json.loads(bytes(buf[_HEADER.size:end]).decode("utf-8"))
+        except ValueError as exc:
+            raise ArenaError(f"corrupt arena TOC: {exc}") from exc
+        self._buf = buf
+        self._meta = toc["meta"]
+        self._sections = toc["sections"]
+        for name, (offset, length) in self._sections.items():
+            if offset + length > len(buf):
+                raise ArenaError(f"arena section {name!r} out of range")
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        return self._meta
+
+    def has(self, name: str) -> bool:
+        return name in self._sections
+
+    def raw(self, name: str) -> memoryview:
+        offset, length = self._sections[name]
+        return self._buf[offset:offset + length]
+
+    def ints(self, name: str) -> memoryview:
+        """A signed 64-bit integer view; indexing yields Python ints."""
+        return self.raw(name).cast("q")
+
+    def text(self, name: str) -> str:
+        return str(self.raw(name), "utf-8", "surrogatepass")

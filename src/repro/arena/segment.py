@@ -1,0 +1,232 @@
+"""Arena segment files: creation, attachment, and reclamation.
+
+Segments are mmap'd *files* rather than ``multiprocessing.shared_memory``
+blocks: on this interpreter the resource tracker unlinks a named block
+as soon as any attaching process exits, which is exactly wrong for a
+segment shared by a churning worker fleet.  Files in ``/dev/shm`` give
+the same page-cache-backed zero-copy mapping with a lifecycle we
+control.
+
+Naming encodes ownership: ``repro-arena-{owner_pid}-{seq}-{fingerprint}``.
+The owner unlinks its own files at interpreter exit (pid-guarded, so a
+forked worker inheriting the atexit hook never deletes its parent's
+segments), and :func:`reap_orphans` deletes any segment whose embedded
+owner pid is no longer alive — covering SIGKILLed owners that never ran
+their exit hooks.
+
+Attachment is process-local and refcount-by-liveness: one read-only
+mapping per path, registered under a weakref to the attached ``Site``.
+Re-attaching the same handle returns the live site (an *attach hit*);
+when the last reference to the site dies the mapping is released by the
+ordinary ``memoryview -> mmap`` dealloc chain and the registry entry is
+dropped by a ``weakref.finalize``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import errno
+import itertools
+import mmap
+import os
+import tempfile
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .layout import ArenaError, ArenaReader
+
+_FILE_PREFIX = "repro-arena-"
+_FILE_SUFFIX = ".arena"
+_ENV_DIR = "REPRO_ARENA_DIR"
+
+_lock = threading.Lock()
+_seq = itertools.count()
+
+# path -> owner pid recorded at creation; consulted (and pid-guarded)
+# by every cleanup path so forked children never unlink parent segments.
+_owned: dict[str, int] = {}
+_atexit_registered = False
+
+
+@dataclass
+class _Stats:
+    built: int = 0
+    attaches: int = 0
+    attach_hits: int = 0
+    rebuild_fallbacks: int = 0
+
+
+_stats = _Stats()
+
+
+@dataclass
+class _Attachment:
+    site_ref: weakref.ref
+    fingerprint: str
+    nbytes: int
+
+
+# path -> _Attachment for segments mapped by this process.
+_attached: dict[str, _Attachment] = {}
+
+
+def arena_dir() -> str:
+    """Directory for new segments: $REPRO_ARENA_DIR, /dev/shm, or tmp."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return override
+    shm = "/dev/shm"
+    if os.path.isdir(shm) and os.access(shm, os.W_OK):
+        return shm
+    return tempfile.gettempdir()
+
+
+def _cleanup_owned() -> None:
+    pid = os.getpid()
+    for path, owner in list(_owned.items()):
+        if owner != pid:
+            continue
+        _owned.pop(path, None)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def create_segment(data: bytes, fingerprint: str, directory: Optional[str] = None) -> str:
+    """Write *data* as a new owned segment file; returns its path."""
+    global _atexit_registered
+    base = directory or arena_dir()
+    with _lock:
+        seq = next(_seq)
+        if not _atexit_registered:
+            atexit.register(_cleanup_owned)
+            _atexit_registered = True
+    name = f"{_FILE_PREFIX}{os.getpid()}-{seq}-{fingerprint}{_FILE_SUFFIX}"
+    path = os.path.join(base, name)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.rename(tmp, path)
+    _owned[path] = os.getpid()
+    _stats.built += 1
+    return path
+
+
+def release_segment(path: str) -> None:
+    """Unlink an owned segment; a no-op in processes that don't own it."""
+    if _owned.get(path) != os.getpid():
+        return
+    _owned.pop(path, None)
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def map_segment(path: str) -> tuple[ArenaReader, int]:
+    """mmap *path* read-only and parse it; returns (reader, nbytes).
+
+    The mapping's lifetime follows the reader: the reader holds the only
+    memoryview over the mmap, and CPython unmaps on dealloc, so dropping
+    the reader releases the segment without any explicit close (which a
+    live exported buffer would refuse anyway).
+    """
+    with open(path, "rb") as handle:
+        try:
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # zero-length / truncated file
+            raise ArenaError(f"unmappable arena segment {path!r}: {exc}") from exc
+    try:
+        reader = ArenaReader(memoryview(mapping))
+    except ArenaError:
+        mapping.close()
+        raise
+    return reader, len(mapping)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError as exc:
+        if exc.errno == errno.ESRCH:
+            return False
+        return True  # EPERM etc: exists, not ours
+    return True
+
+
+def _owner_pid(filename: str) -> Optional[int]:
+    if not filename.startswith(_FILE_PREFIX) or not filename.endswith(_FILE_SUFFIX):
+        return None
+    stem = filename[len(_FILE_PREFIX):-len(_FILE_SUFFIX)]
+    pid_part = stem.split("-", 1)[0]
+    return int(pid_part) if pid_part.isdigit() else None
+
+
+def reap_orphans(directory: Optional[str] = None) -> list[str]:
+    """Delete segments whose embedded owner pid is dead; returns paths."""
+    base = directory or arena_dir()
+    reaped: list[str] = []
+    try:
+        names = os.listdir(base)
+    except OSError:
+        return reaped
+    for filename in names:
+        pid = _owner_pid(filename)
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            continue
+        path = os.path.join(base, filename)
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        _attached.pop(path, None)
+        reaped.append(path)
+    return reaped
+
+
+def _drop_attachment(path: str) -> None:
+    entry = _attached.get(path)
+    if entry is not None and entry.site_ref() is None:
+        _attached.pop(path, None)
+
+
+def lookup_attached(path: str, fingerprint: str):
+    """Return the live attached site for *path*, or None."""
+    entry = _attached.get(path)
+    if entry is None or entry.fingerprint != fingerprint:
+        return None
+    site = entry.site_ref()
+    if site is None:
+        _attached.pop(path, None)
+        return None
+    _stats.attach_hits += 1
+    return site
+
+
+def register_attachment(path: str, fingerprint: str, site, nbytes: int) -> None:
+    _attached[path] = _Attachment(weakref.ref(site), fingerprint, nbytes)
+    weakref.finalize(site, _drop_attachment, path)
+    _stats.attaches += 1
+
+
+def count_rebuild_fallback() -> None:
+    _stats.rebuild_fallbacks += 1
+
+
+def arena_stats() -> dict[str, int]:
+    """Process-local arena counters (shape is the stats-wire contract)."""
+    pid = os.getpid()
+    live_attached = [e for e in _attached.values() if e.site_ref() is not None]
+    owned_live = [p for p, owner in _owned.items() if owner == pid and os.path.exists(p)]
+    return {
+        "segments_owned": len(owned_live),
+        "segments_attached": len(live_attached),
+        "bytes_mapped": sum(e.nbytes for e in live_attached),
+        "built": _stats.built,
+        "attaches": _stats.attaches,
+        "attach_hits": _stats.attach_hits,
+        "rebuild_fallbacks": _stats.rebuild_fallbacks,
+    }

@@ -1,0 +1,678 @@
+"""Packing sites into arena segments and attaching them back.
+
+``pack_site`` re-lays a frozen :class:`~repro.site.Site` as flat
+sections (see :mod:`repro.arena.layout`):
+
+* one deduplicated UTF-8 **string pool** (tags, attribute names/values,
+  text runs) shared by every page,
+* per page: a stride-9 **node record** array (tag/parent/subtree-end/
+  child-no/text/start/end/attr-range), a flattened attribute-pair
+  array, the sorted text-span order, per-tag and per-attribute posting
+  indexes (distinct key -> pre-order list), and the raw source,
+* optionally the site-derived **feature postings** behind the xpath
+  inductor's trie (packed when the parent has already derived them, so
+  workers skip the posting-build pass entirely).
+
+``unpack_site`` rebuilds the object view: node objects and tree wiring
+are materialized eagerly (the engine walks them directly), while every
+per-page query index is a :class:`_LazyIndex` — a dict that fills
+itself from the mapped arrays on first query — and the posting store is
+a :class:`ArenaPostings` that materializes one frozenset per feature on
+demand.  The page source stays in the segment until an LR wrapper
+actually asks for it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.htmldom.dom import Document, ElementNode, Node, NodeId, TextNode
+from repro.site import Site
+
+from .layout import ArenaError, ArenaReader, ArenaWriter
+
+_PAGE_SHIFT = 32
+_REC_STRIDE = 9
+
+
+# ---------------------------------------------------------------------------
+# packing
+
+
+class _PoolBuilder:
+    """Deduplicating string-pool accumulator."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._chunks: list[bytes] = []
+        self._offsets: list[int] = [0]
+
+    def sid(self, text: str) -> int:
+        sid = self._ids.get(text)
+        if sid is None:
+            sid = len(self._ids)
+            self._ids[text] = sid
+            data = text.encode("utf-8", "surrogatepass")
+            self._chunks.append(data)
+            self._offsets.append(self._offsets[-1] + len(data))
+        return sid
+
+    def write(self, writer: ArenaWriter) -> None:
+        writer.add_bytes("pool", b"".join(self._chunks))
+        writer.add_ints("pool.offs", self._offsets)
+
+
+def _pack_page(writer: ArenaWriter, pool: _PoolBuilder, page: Document) -> dict:
+    prefix = f"p{page.page_index}"
+    records: list[int] = []
+    attr_pairs: list[int] = []
+    for node in page.nodes:
+        parent = node.parent
+        parent_pre = parent.node_id.preorder if parent is not None else -1
+        if isinstance(node, ElementNode):
+            lo = len(attr_pairs) // 2
+            for name, value in node.attrs.items():
+                attr_pairs.append(pool.sid(name))
+                attr_pairs.append(pool.sid(value))
+            records += (
+                pool.sid(node.tag),
+                parent_pre,
+                node._subtree_end,
+                node._child_no or 0,
+                0,
+                0,
+                0,
+                lo,
+                len(attr_pairs) // 2,
+            )
+        else:
+            assert isinstance(node, TextNode)
+            records += (
+                -1,
+                parent_pre,
+                0,
+                0,
+                pool.sid(node.text),
+                node.start,
+                node.end,
+                0,
+                0,
+            )
+    writer.add_ints(f"{prefix}.rec", records)
+    writer.add_ints(f"{prefix}.attrs", attr_pairs)
+    writer.add_ints(
+        f"{prefix}.spans",
+        [node.node_id.preorder for _, _, node in page.text_spans()],
+    )
+    # All text-node preorders (spanless hand-built nodes included):
+    # the attach side serves the extraction universe straight from
+    # this array instead of walking the rebuilt node objects.
+    writer.add_ints(
+        f"{prefix}.texts",
+        [
+            node.node_id.preorder
+            for node in page.nodes
+            if isinstance(node, TextNode)
+        ],
+    )
+
+    tag_ids: list[int] = []
+    tag_offs: list[int] = [0]
+    tag_posts: list[int] = []
+    for tag, preorders in page._preorders_by_tag.items():
+        tag_ids.append(pool.sid(tag))
+        tag_posts.extend(preorders)
+        tag_offs.append(len(tag_posts))
+    writer.add_ints(f"{prefix}.tag.ids", tag_ids)
+    writer.add_ints(f"{prefix}.tag.offs", tag_offs)
+    writer.add_ints(f"{prefix}.tag.posts", tag_posts)
+
+    attr_keys: list[int] = []
+    attr_offs: list[int] = [0]
+    attr_posts: list[int] = []
+    for (name, value), preorders in page._preorders_by_attr.items():
+        attr_keys.append(pool.sid(name))
+        attr_keys.append(pool.sid(value))
+        attr_posts.extend(preorders)
+        attr_offs.append(len(attr_posts))
+    writer.add_ints(f"{prefix}.attr.keys", attr_keys)
+    writer.add_ints(f"{prefix}.attr.offs", attr_offs)
+    writer.add_ints(f"{prefix}.attr.posts", attr_posts)
+
+    writer.add_text(f"{prefix}.src", page.source)
+    return {"from_source": page.from_source, "nodes": len(page.nodes)}
+
+
+def _encode_node_id(node_id: NodeId) -> int:
+    return (node_id.page << _PAGE_SHIFT) | node_id.preorder
+
+
+def _postings_for_pack(site: Site, include) -> Optional[dict]:
+    """Feature postings to pack, or None.
+
+    ``include="auto"`` packs only what the owner already derived —
+    packing must never pull posting-build work into the parent's
+    dispatch path for workloads that never touch the xpath family.
+    ``include=True`` forces a derive (benchmarks, equivalence tests).
+    """
+    if include is False:
+        return None
+    trie = site._derived.get("xpath.trie")
+    if trie is not None and isinstance(getattr(trie, "postings", None), dict):
+        return trie.postings
+    index = site._derived.get("xpath.features")
+    if index is None and include is True:
+        from repro.wrappers.xpath_inductor import _index_for
+
+        index = _index_for(site)
+    if index is None:
+        return None
+    from repro.engine.trie import build_postings
+
+    return build_postings(index.as_set)
+
+
+def _pack_postings(writer: ArenaWriter, pool: _PoolBuilder, postings: dict) -> bool:
+    items: list[int] = []
+    offs: list[int] = [0]
+    posts: list[int] = []
+    # Canonical order (posting size, then repr) keeps the layout
+    # deterministic across runs regardless of derive order.
+    for item, nodes in sorted(
+        postings.items(), key=lambda kv: (len(kv[1]), repr(kv[0]))
+    ):
+        try:
+            (position, kind), value = item
+        except (TypeError, ValueError):
+            return False  # unknown feature shape: skip postings wholesale
+        if not isinstance(position, int) or not isinstance(kind, str):
+            return False
+        if isinstance(value, int) and not isinstance(value, bool):
+            items += (position, pool.sid(kind), 1, value)
+        elif isinstance(value, str):
+            items += (position, pool.sid(kind), 0, pool.sid(value))
+        else:
+            return False
+        posts.extend(sorted(_encode_node_id(n) for n in nodes))
+        offs.append(len(posts))
+    writer.add_ints("feat.items", items)
+    writer.add_ints("feat.offs", offs)
+    writer.add_ints("feat.posts", posts)
+    return True
+
+
+def pack_site(site: Site, include_postings="auto") -> bytes:
+    """Serialize a site's frozen state into one arena buffer."""
+    writer = ArenaWriter()
+    pool = _PoolBuilder()
+    page_meta = [_pack_page(writer, pool, page) for page in site.pages]
+    has_postings = False
+    postings = _postings_for_pack(site, include_postings)
+    if postings is not None:
+        has_postings = _pack_postings(writer, pool, postings)
+    pool.write(writer)
+    meta = {
+        "version": 1,
+        "name": site.name,
+        "fingerprint": site.content_fingerprint(),
+        "pages": page_meta,
+        "sources_ok": all(page.from_source for page in site.pages),
+        "has_postings": has_postings,
+    }
+    return writer.finish(meta)
+
+
+# ---------------------------------------------------------------------------
+# attaching
+
+
+class _StringPool:
+    """Lazy per-process decode cache over the pooled strings."""
+
+    __slots__ = ("_blob", "_offs", "_cache", "_all")
+
+    def __init__(self, reader: ArenaReader) -> None:
+        self._blob = reader.raw("pool")
+        self._offs = reader.ints("pool.offs")
+        self._cache: dict[int, str] = {}
+        self._all: Optional[list[str]] = None
+
+    def strings(self) -> list[str]:
+        """Every pooled string, decoded once — plain list indexing for
+        the attach-critical node rebuild loop."""
+        decoded = self._all
+        if decoded is None:
+            blob, offs = self._blob, self._offs
+            decoded = [
+                str(blob[offs[sid]:offs[sid + 1]], "utf-8", "surrogatepass")
+                for sid in range(len(offs) - 1)
+            ]
+            self._all = decoded
+        return decoded
+
+    def __getitem__(self, sid: int) -> str:
+        if self._all is not None:
+            return self._all[sid]
+        text = self._cache.get(sid)
+        if text is None:
+            text = str(
+                self._blob[self._offs[sid]:self._offs[sid + 1]],
+                "utf-8",
+                "surrogatepass",
+            )
+            self._cache[sid] = text
+        return text
+
+
+class _LazyIndex(dict):
+    """A dict index that fills itself from the arena on first query.
+
+    ``load(store, key)`` resolves one key against the mapped arrays,
+    installs any values it materialized (possibly into sibling indexes
+    too, via closures), and returns this store's value or None for a
+    definitive miss.  Misses are cached so absent keys stay O(1).
+    ``load_all`` materializes every entry — the pickling path, where a
+    mapped-segment loader must not leak into the stream.
+    """
+
+    __slots__ = ("_load", "_load_all", "_miss")
+
+    def __init__(self, load, load_all) -> None:
+        super().__init__()
+        self._load = load
+        self._load_all = load_all
+        self._miss: set = set()
+
+    def _fill(self, key):
+        if key in self._miss:
+            return None
+        try:
+            value = self._load(self, key)
+        except TypeError:  # unhashable or malformed key
+            return None
+        if value is None:
+            self._miss.add(key)
+        return value
+
+    def __missing__(self, key):
+        value = self._fill(key)
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def get(self, key, default=None):
+        if key in self:
+            return dict.__getitem__(self, key)
+        value = self._fill(key)
+        return default if value is None else value
+
+    def materialize(self) -> dict:
+        self._load_all(self)
+        return dict(self)
+
+    def __reduce__(self):
+        return (dict, (self.materialize(),))
+
+
+class ArenaPostings:
+    """Lazy feature-posting store over the packed ``feat.*`` sections.
+
+    Quacks like the dict produced by
+    :func:`repro.engine.trie.build_postings` as far as
+    :class:`~repro.engine.trie.FeatureTrie` needs — ``get(item)``
+    materializes (and caches) one posting per feature, and
+    :meth:`order_keys` yields the trie's insertion-order keys without
+    materializing any posting — with one deliberate twist: postings are
+    ``frozenset[int]`` of the *packed* node codes
+    (``page << 32 | preorder``), not :class:`NodeId` sets.  Hashing and
+    intersecting plain ints is several times cheaper than dataclass
+    instances, and a wrapper evaluation only ever surfaces its final
+    (small) intersection, so the boundary decodes with
+    :meth:`decode_result` instead of every posting decoding itself.
+    """
+
+    __slots__ = ("_pool", "_items", "_offs", "_posts", "_rows", "_cache")
+
+    def __init__(self, reader: ArenaReader, pool: _StringPool) -> None:
+        self._pool = pool
+        self._items = reader.ints("feat.items")
+        self._offs = reader.ints("feat.offs")
+        self._posts = reader.ints("feat.posts")
+        self._rows: Optional[dict] = None
+        self._cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._offs) - 1
+
+    def _decode_item(self, row: int):
+        base = row * 4
+        position = self._items[base]
+        kind = self._pool[self._items[base + 1]]
+        if self._items[base + 2]:
+            value = self._items[base + 3]
+        else:
+            value = self._pool[self._items[base + 3]]
+        return ((position, kind), value)
+
+    def _index(self) -> dict:
+        rows = self._rows
+        if rows is None:
+            rows = {self._decode_item(row): row for row in range(len(self))}
+            self._rows = rows
+        return rows
+
+    def order_keys(self) -> dict:
+        """``item -> (posting size, repr(item))`` for trie ordering."""
+        offs = self._offs
+        return {
+            item: (offs[row + 1] - offs[row], repr(item))
+            for item, row in self._index().items()
+        }
+
+    def get(self, item, default=None):
+        posting = self._cache.get(item)
+        if posting is not None:
+            return posting
+        row = self._index().get(item)
+        if row is None:
+            return default
+        posting = frozenset(
+            self._posts[self._offs[row]:self._offs[row + 1]].tolist()
+        )
+        self._cache[item] = posting
+        return posting
+
+    @staticmethod
+    def decode_result(values) -> frozenset:
+        """Packed node codes -> the public ``frozenset[NodeId]``."""
+        shift = _PAGE_SHIFT
+        mask = (1 << shift) - 1
+        node_id = NodeId
+        return frozenset(
+            node_id(value >> shift, value & mask) for value in values
+        )
+
+    def items(self):
+        for item in self._index():
+            yield item, self.get(item)
+
+
+def arena_text_universe(reader: ArenaReader) -> frozenset:
+    """Every text node of the packed site as raw node codes.
+
+    This is the int-space twin of :meth:`repro.site.Site.text_node_ids`
+    — the trie universe for arena-backed extraction, read straight from
+    the per-page ``texts`` arrays without touching node objects.
+    """
+    codes: list[int] = []
+    for page_index in range(len(reader.meta.get("pages", ()))):
+        base = page_index << _PAGE_SHIFT
+        codes.extend(
+            base | preorder
+            for preorder in reader.ints(f"p{page_index}.texts").tolist()
+        )
+    return frozenset(codes)
+
+
+class _LazyArenaPage(Document):
+    """Arena page whose tree materializes on first touch.
+
+    The shell carries only ``page_index``, ``from_source``, the source
+    loader and the xpath memo; the node objects and query-index slots
+    are built from the mapped segment the first time any of them is
+    read (``__getattr__`` fires on the unset parent slots).  The
+    compiled-xpath apply path runs entirely off the arena posting trie,
+    so workers that only extract never pay the per-page node rebuild.
+    """
+
+    __slots__ = ("_thunk",)
+
+    def __getattr__(self, name):
+        try:
+            thunk = object.__getattribute__(self, "_thunk")
+        except AttributeError:
+            thunk = None
+        if thunk is None:
+            raise AttributeError(name)
+        thunk(self)
+        self._thunk = None
+        return getattr(self, name)
+
+    # ``Document.__getstate__`` iterates ``self.__slots__``, which for
+    # this subclass names only ``_thunk`` — pickle the hydrated parent
+    # slots instead (full-state path; lean from_source pickling never
+    # gets here).
+    def __getstate__(self):
+        state = {
+            slot: getattr(self, slot)
+            for slot in Document.__slots__
+            if slot != "xpath_memo"
+        }
+        state["_source_data"] = self.source
+        return state
+
+
+def _lazy_page(
+    reader: ArenaReader, pool: _StringPool, page_index: int, meta: dict
+) -> Document:
+    page = _LazyArenaPage.__new__(_LazyArenaPage)
+    page._source_data = lambda: reader.text(f"p{page_index}.src")
+    page.page_index = page_index
+    page.from_source = bool(meta["from_source"])
+    page.xpath_memo = {}
+    page._thunk = lambda doc: _hydrate_page(doc, reader, pool, page_index, meta)
+    return page
+
+
+def _hydrate_page(
+    doc: Document, reader: ArenaReader, pool: _StringPool, page_index: int, meta: dict
+) -> None:
+    prefix = f"p{page_index}"
+    # Bulk-decode the record array once: list indexing beats repeated
+    # memoryview item access in this (attach-critical) rebuild loop.
+    records = reader.ints(f"{prefix}.rec").tolist()
+    attr_pairs = reader.ints(f"{prefix}.attrs").tolist()
+    total = len(records) // _REC_STRIDE
+    nodes: list[Node] = [None] * total  # type: ignore[list-item]
+    all_elements: list[ElementNode] = []
+    all_preorders: list[int] = []
+    strings = pool.strings()
+    new_element = ElementNode.__new__
+    new_text = TextNode.__new__
+    node_id = NodeId
+    for preorder in range(total):
+        base = preorder * _REC_STRIDE
+        tag_sid = records[base]
+        if tag_sid >= 0:
+            node = new_element(ElementNode)
+            node.tag = strings[tag_sid]
+            lo = records[base + 7]
+            hi = records[base + 8]
+            if lo < hi:
+                node.attrs = {
+                    strings[attr_pairs[2 * pair]]: strings[
+                        attr_pairs[2 * pair + 1]
+                    ]
+                    for pair in range(lo, hi)
+                }
+            else:
+                node.attrs = {}
+            node.children = []
+            node._subtree_end = records[base + 2]
+            node._child_no = records[base + 3]
+            all_elements.append(node)
+            all_preorders.append(preorder)
+        else:
+            node = new_text(TextNode)
+            node.text = strings[records[base + 4]]
+            node.start = records[base + 5]
+            node.end = records[base + 6]
+        node.node_id = node_id(page_index, preorder)
+        parent_pre = records[base + 1]
+        if parent_pre >= 0:
+            parent = nodes[parent_pre]
+            node.parent = parent
+            parent.children.append(node)
+        else:
+            node.parent = None
+        nodes[preorder] = node
+
+    span_nodes: list[tuple[int, int, TextNode]] = []
+    span_starts: list[int] = []
+    for preorder in reader.ints(f"{prefix}.spans"):
+        text_node = nodes[preorder]
+        span_nodes.append((text_node.start, text_node.end, text_node))
+        span_starts.append(text_node.start)
+
+    # -- lazy index loaders -------------------------------------------------
+    tag_ids = reader.ints(f"{prefix}.tag.ids")
+    tag_offs = reader.ints(f"{prefix}.tag.offs")
+    tag_posts = reader.ints(f"{prefix}.tag.posts")
+    attr_keys = reader.ints(f"{prefix}.attr.keys")
+    attr_offs = reader.ints(f"{prefix}.attr.offs")
+    attr_posts = reader.ints(f"{prefix}.attr.posts")
+    slot_maps: dict[str, dict] = {}
+
+    def tag_slots() -> dict:
+        slots = slot_maps.get("tag")
+        if slots is None:
+            slots = {pool[tag_ids[k]]: k for k in range(len(tag_ids))}
+            slot_maps["tag"] = slots
+        return slots
+
+    def attr_slots() -> dict:
+        slots = slot_maps.get("attr")
+        if slots is None:
+            slots = {
+                (pool[attr_keys[2 * k]], pool[attr_keys[2 * k + 1]]): k
+                for k in range(len(attr_offs) - 1)
+            }
+            slot_maps["attr"] = slots
+        return slots
+
+    def fill_tag(tag: str) -> bool:
+        if tag in elements_by_tag:
+            return True
+        slot = tag_slots().get(tag)
+        if slot is None:
+            return False
+        preorders = tag_posts[tag_offs[slot]:tag_offs[slot + 1]].tolist()
+        dict.__setitem__(preorders_by_tag, tag, preorders)
+        dict.__setitem__(
+            elements_by_tag, tag, [nodes[p] for p in preorders]
+        )
+        return True
+
+    def fill_attr(key: tuple) -> bool:
+        if key in by_attr:
+            return True
+        slot = attr_slots().get(key)
+        if slot is None:
+            return False
+        preorders = attr_posts[attr_offs[slot]:attr_offs[slot + 1]].tolist()
+        dict.__setitem__(preorders_by_attr, key, preorders)
+        dict.__setitem__(by_attr, key, [nodes[p] for p in preorders])
+        return True
+
+    def make_pair(fill, primary_all_keys):
+        def load(this, key):
+            return dict.__getitem__(this, key) if fill(key) else None
+
+        def load_all(_this):
+            for key in primary_all_keys():
+                fill(key)
+
+        return load, load_all
+
+    load_tag, load_tag_all = make_pair(
+        fill_tag, lambda: [pool[tag_ids[k]] for k in range(len(tag_ids))]
+    )
+    load_attr, load_attr_all = make_pair(fill_attr, lambda: list(attr_slots()))
+    elements_by_tag = _LazyIndex(load_tag, load_tag_all)
+    preorders_by_tag = _LazyIndex(load_tag, load_tag_all)
+    by_attr = _LazyIndex(load_attr, load_attr_all)
+    preorders_by_attr = _LazyIndex(load_attr, load_attr_all)
+
+    def load_children(this, key):
+        parent_pre, tag = key
+        if not isinstance(parent_pre, int) or not (0 <= parent_pre < total):
+            return None
+        parent = nodes[parent_pre]
+        if not isinstance(parent, ElementNode):
+            return None
+        group = [
+            child
+            for child in parent.children
+            if isinstance(child, ElementNode) and child.tag == tag
+        ]
+        if not group:
+            return None
+        dict.__setitem__(this, key, group)
+        return group
+
+    def load_children_all(this) -> None:
+        for element in all_elements:
+            preorder = element.node_id.preorder
+            for child in element.children:
+                if isinstance(child, ElementNode):
+                    key = (preorder, child.tag)
+                    if key not in this:
+                        load_children(this, key)
+
+    def load_by_id(this, key):
+        if not isinstance(key, NodeId) or key.page != page_index:
+            return None
+        if not (0 <= key.preorder < total):
+            return None
+        node = nodes[key.preorder]
+        dict.__setitem__(this, key, node)
+        return node
+
+    def load_by_id_all(this) -> None:
+        for node in nodes:
+            dict.__setitem__(this, node.node_id, node)
+
+    def load_span(this, key):
+        if len(this) != len(span_nodes):
+            for start, end, text_node in span_nodes:
+                dict.__setitem__(this, (start, end), text_node)
+        return dict.get(this, key)
+
+    def load_span_all(this) -> None:
+        load_span(this, None)
+
+    doc.root = nodes[0]
+    doc.nodes = nodes
+    doc._by_id = _LazyIndex(load_by_id, load_by_id_all)
+    doc._text_by_span = _LazyIndex(load_span, load_span_all)
+    doc._elements_by_tag = elements_by_tag
+    doc._preorders_by_tag = preorders_by_tag
+    doc._children_by_tag = _LazyIndex(load_children, load_children_all)
+    doc._by_attr = by_attr
+    doc._preorders_by_attr = preorders_by_attr
+    doc._span_starts = span_starts
+    doc._span_nodes = span_nodes
+    doc._all_elements = all_elements
+    doc._all_element_preorders = all_preorders
+
+
+def unpack_site(reader: ArenaReader) -> tuple[Site, _StringPool]:
+    """Rebuild the object view of a mapped segment.
+
+    Returns the site plus the shared string pool (the arena binding
+    keeps the pool so site-derived consumers — the xpath trie — can
+    decode postings from the same cache).
+    """
+    meta = reader.meta
+    if meta.get("version") != 1:
+        raise ArenaError(f"unsupported arena version {meta.get('version')!r}")
+    pool = _StringPool(reader)
+    pages = [
+        _lazy_page(reader, pool, index, page_meta)
+        for index, page_meta in enumerate(meta["pages"])
+    ]
+    site = Site(meta["name"], pages)
+    # The fingerprint was digested at pack time from identical content;
+    # pre-seeding saves every worker a full-content rehash.
+    site._derived["content_fingerprint"] = meta["fingerprint"]
+    return site, pool

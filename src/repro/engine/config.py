@@ -31,7 +31,7 @@ class EngineConfig:
             least-recently-used leaves are evicted.
         site_cache_bound: max per-site extraction-memo tables one
             :class:`~repro.engine.core.EvaluationEngine` holds before
-            the table is cleared wholesale.
+            the least-recently-used site's memo is evicted.
         interned_site_bound: max sites a warm scheduler worker
             (:mod:`repro.api.scheduler`) keeps interned, LRU-evicted
             with all their derived caches.

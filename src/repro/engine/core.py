@@ -34,6 +34,7 @@ state, never payload.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -102,7 +103,7 @@ class EvaluationEngine:
     __slots__ = ("_site_caches",)
 
     def __init__(self) -> None:
-        self._site_caches: dict[int, SiteCache] = {}
+        self._site_caches: OrderedDict[int, SiteCache] = OrderedDict()
 
     # Engines ride along on picklable pipeline objects (Extractor) into
     # process pools; memos are identity-keyed and transient, so an
@@ -111,14 +112,22 @@ class EvaluationEngine:
         return (EvaluationEngine, ())
 
     def site_cache(self, site: Site) -> SiteCache:
-        """The memo slot for ``site`` (created on first use)."""
-        cached = self._site_caches.get(id(site))
+        """The memo slot for ``site`` (created on first use).
+
+        Bounded LRU: when ``site_cache_bound`` is reached, only the
+        stalest site's memo is evicted — one over-bound insert must not
+        cold-start every other site a warm worker is serving.
+        """
+        key = id(site)
+        cached = self._site_caches.get(key)
         if cached is not None and cached.site is site:
+            self._site_caches.move_to_end(key)
             return cached
-        if len(self._site_caches) >= get_config().site_cache_bound:
-            self._site_caches.clear()
+        bound = get_config().site_cache_bound
+        while len(self._site_caches) >= bound:
+            self._site_caches.popitem(last=False)
         cache = SiteCache(site)
-        self._site_caches[id(site)] = cache
+        self._site_caches[key] = cache
         return cache
 
     # -- wrapper extraction -------------------------------------------------

@@ -80,10 +80,21 @@ class FeatureTrie:
         self.node_bound = node_bound
         # Canonical total order: ascending posting size, then a stable
         # textual key (items mix tuple shapes, so they are not directly
-        # comparable).
-        self._order_keys: dict[Hashable, tuple[int, str]] = {
-            item: (len(nodes), repr(item)) for item, nodes in postings.items()
-        }
+        # comparable).  Lazy posting stores (the arena's
+        # :class:`~repro.arena.sitepack.ArenaPostings`) expose the same
+        # keys through ``order_keys()`` without materializing a single
+        # posting frozenset — sizes come straight from the packed
+        # offset table.
+        order_keys = getattr(postings, "order_keys", None)
+        if order_keys is not None:
+            self._order_keys: dict[Hashable, tuple[int, str]] = dict(
+                order_keys()
+            )
+        else:
+            self._order_keys = {
+                item: (len(nodes), repr(item))
+                for item, nodes in postings.items()
+            }
         self._root: list = [universe, {}, None, None, 0]
         self._nodes = 1
         self._tick = 0

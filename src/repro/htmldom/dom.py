@@ -18,6 +18,16 @@ children grouped by ``(parent, tag)``, an attribute-value index, a
 sorted text-span table, plus cached child numbers and subtree spans on
 every element.  The tree is immutable after freezing, so the indexes
 never go stale.
+
+Documents are normally frozen by :meth:`Document.__init__` (two O(n)
+passes over a freshly parsed tree).  The shared-memory arena layer
+(:mod:`repro.arena`) instead re-lays the frozen state as flat
+array/offset sections and rebuilds documents through
+:meth:`Document.adopt_frozen`, which accepts the index structures
+ready-made — including *lazy* dict views that materialize per-tag /
+per-attribute lists straight from the mapped arena on first query.
+The accessors below only ever touch the index slots through ``get`` /
+``[]``, which is the contract those lazy views implement.
 """
 
 from __future__ import annotations
@@ -166,7 +176,7 @@ class Document:
 
     __slots__ = (
         "root",
-        "source",
+        "_source_data",
         "page_index",
         "from_source",
         "nodes",
@@ -192,7 +202,7 @@ class Document:
         from_source: bool = False,
     ) -> None:
         self.root = root
-        self.source = source
+        self._source_data = source
         self.page_index = page_index
         #: True only when ``source`` fully determines the tree (set by
         #: :func:`~repro.htmldom.treebuilder.parse_html`, whose parse is
@@ -279,6 +289,64 @@ class Document:
         while stack:
             stack.pop()._subtree_end = total
 
+    @property
+    def source(self) -> str:
+        """The page source; decoded on first access for arena pages.
+
+        Normal documents store the string directly.  Arena-backed
+        documents (see :meth:`adopt_frozen`) store a zero-argument
+        loader that decodes the source out of the mapped segment — LR
+        wrappers are the only consumers, so tag-only workloads never
+        pay for a per-process copy of the HTML.
+        """
+        data = self._source_data
+        if type(data) is not str:
+            data = data()
+            self._source_data = data
+        return data
+
+    @classmethod
+    def adopt_frozen(
+        cls,
+        root: ElementNode,
+        source,
+        page_index: int,
+        from_source: bool,
+        nodes: list[Node],
+        indexes: dict,
+    ) -> "Document":
+        """Build a document from already-frozen parts, skipping indexing.
+
+        This is the arena attach path (:mod:`repro.arena.sitepack`):
+        the tree arrives pre-wired with node ids, child numbers and
+        subtree spans, and ``indexes`` supplies the query-index slots
+        (``_by_id``, ``_elements_by_tag``, ...) — typically lazy dict
+        views that fill themselves from the mapped segment on first
+        query.  ``source`` may be the string or a zero-argument loader.
+        """
+        doc = cls.__new__(cls)
+        doc.root = root
+        doc._source_data = source
+        doc.page_index = page_index
+        doc.from_source = from_source
+        doc.nodes = nodes
+        doc.xpath_memo = {}
+        for slot in (
+            "_by_id",
+            "_text_by_span",
+            "_elements_by_tag",
+            "_preorders_by_tag",
+            "_children_by_tag",
+            "_by_attr",
+            "_preorders_by_attr",
+            "_span_starts",
+            "_span_nodes",
+            "_all_elements",
+            "_all_element_preorders",
+        ):
+            setattr(doc, slot, indexes[slot])
+        return doc
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Document page={self.page_index} nodes={len(self.nodes)}>"
 
@@ -296,13 +364,17 @@ class Document:
 
     # The xpath memo holds evaluation results (node tuples) that any
     # compiled path may have cached; it is acceleration state, never
-    # payload, so documents cross process boundaries without it.
+    # payload, so documents cross process boundaries without it.  The
+    # source is materialized first: a lazy arena loader must not leak
+    # into the pickle stream.
     def __getstate__(self):
-        return {
+        state = {
             slot: getattr(self, slot)
             for slot in self.__slots__
             if slot != "xpath_memo"
         }
+        state["_source_data"] = self.source
+        return state
 
     def __setstate__(self, state):
         for slot, value in state.items():

@@ -676,19 +676,29 @@ class ExtractionServer:
         )
 
     def _server_stats(self) -> dict:
+        from repro.arena import arena_stats
+
         with self._clients_lock:
             clients = len(self._clients)
             inflight = sum(c.inflight for c in self._clients.values())
+        pool = self._pool
         return {
             "clients": clients,
             "inflight": inflight,
             "requests": dict(self.requests),
             "responses": self.responses,
             "errors": self.errors,
-            "workers": self._pool.max_workers if self._pool else 0,
+            "workers": pool.workers_alive if pool else 0,
             "flights": len(self._flights),
             "uptime": (
                 time.time() - self.started_at if self.started_at else 0.0
             ),
             "can_learn": self.extractor is not None,
+            # Shared site memory: daemon-side segment counters plus the
+            # pool's handle-shipping tally (worker-side attach hits live
+            # in the workers; the daemon reports what it owns and ships).
+            "arena": dict(
+                arena_stats(),
+                handle_ships=pool.stats.arena_ships if pool else 0,
+            ),
         }

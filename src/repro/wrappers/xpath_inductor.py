@@ -95,6 +95,25 @@ class _FeatureIndex:
 
 
 def _build_trie(site: Site) -> FeatureTrie:
+    # Arena-attached sites ship their feature postings pre-packed in the
+    # mapped segment: serve the trie straight off those flat arrays —
+    # no feature-map pass, no posting inversion, postings materialize
+    # lazily per item on first lookup.
+    binding = getattr(site, "_arena", None)
+    if (
+        binding is not None
+        and binding.reader is not None
+        and binding.reader.has("feat.offs")
+    ):
+        from repro.arena.sitepack import ArenaPostings, arena_text_universe
+
+        # Postings and universe stay in packed int space (page<<32|pre):
+        # the trie intersects plain int frozensets at C speed and the
+        # engine decodes only the final (small) result set to NodeIds.
+        return FeatureTrie(
+            ArenaPostings(binding.reader, binding.pool),
+            universe=arena_text_universe(binding.reader),
+        )
     index = _index_for(site)
     return FeatureTrie(
         build_postings(index.as_set), universe=frozenset(index.as_set)
@@ -207,7 +226,12 @@ class XPathWrapper(Wrapper):
 def _extract_xpath(site: Site, wrapper: XPathWrapper) -> Labels:
     """Compiled extraction: intersect the posting sets of the rule's
     features via the site's shared prefix trie."""
-    return _site_trie(site).lookup(wrapper.features)
+    trie = _site_trie(site)
+    result = trie.lookup(wrapper.features)
+    # Arena tries intersect packed int codes; decode the final (small)
+    # result set back to NodeIds at this one boundary.
+    decode = getattr(trie.postings, "decode_result", None)
+    return decode(result) if decode is not None else result
 
 
 class XPathInductor(FeatureBasedInductor):

@@ -214,6 +214,48 @@ class TestPoolSharing:
                 list(session.iter_results())
 
 
+class TestDynamicScaling:
+    def test_pool_grows_mid_stream_without_reparsing(self, learned, fleet):
+        """Grow a live pool mid-stream: sites already submitted shipped
+        as arena handles, so the added workers attach shared memory
+        instead of re-parsing, and extractions match the batch path."""
+        batch = apply_many(learned.artifacts, fleet)
+        sites = [generated.site for generated in fleet]
+        with WorkerPool(max_workers=2) as pool:
+            with IngestSession(pool=pool) as session:
+                session.submit(sites[0], artifact=learned.artifacts[0])
+                assert pool.resize(4) == 4
+                assert pool.workers_alive == 4
+                for artifact, site in zip(learned.artifacts[1:], sites[1:]):
+                    session.submit(site, artifact=artifact)
+                outcomes = {o.index: o for o in session.iter_results()}
+        assert sorted(outcomes) == list(range(len(fleet)))
+        for index, reference in enumerate(batch.outcomes):
+            assert outcomes[index].ok
+            assert outcomes[index].extracted == reference.extracted
+        assert pool.stats.pool_resizes == 1
+        # Every parsed site crossed as a handle, and packing is
+        # memoized per site: grown workers attached, never re-parsed.
+        assert pool.stats.arena_ships > 0
+        assert all(site._arena is not None for site in sites)
+
+    def test_session_scale_max_reaches_the_owned_pool(
+        self, learned, raw_fleet
+    ):
+        submitted = 0
+        with IngestSession(max_workers=2, scale_max=4) as session:
+            for artifact, (name, pages) in zip(
+                learned.artifacts * 10, raw_fleet * 10
+            ):
+                session.submit_html(name, pages, artifact=artifact)
+                submitted += 1
+            assert session.pool.scale_max == 4
+            assert 2 <= session.pool.workers_alive <= 4
+            outcomes = list(session.iter_results())
+        assert len(outcomes) == submitted
+        assert all(outcome.ok for outcome in outcomes)
+
+
 class TestAsyncAdapter:
     def test_async_session_matches_batch(self, learned, fleet, raw_fleet):
         batch = apply_many(learned.artifacts, fleet)

@@ -576,6 +576,179 @@ class TestWorkerCrashRecovery:
             again = pool.apply(learned.artifacts, test_sites)
         assert not again.failures
 
+    def test_killed_workers_leave_no_orphan_segments(
+        self, fitted_extractor, bundle, test_sites, tmp_path, monkeypatch
+    ):
+        """SIGKILLed workers must not strand arena segments: attachers
+        never own segment files, so every file left behind belongs to
+        the live parent and the orphan sweep finds nothing to reap."""
+        import os
+        import signal
+
+        from repro.arena import reap_orphans
+        from repro.arena.segment import _owner_pid
+        from repro.site import Site
+
+        monkeypatch.setenv("REPRO_ARENA_DIR", str(tmp_path))
+        # Fresh parses: module-fixture sites may already be bound to
+        # segments packed under the default arena directory.
+        fresh = [
+            Site.from_html(g.name, [p.source for p in g.site.pages])
+            for g in test_sites
+        ]
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        serial = apply_many(learned.artifacts, test_sites)
+        fleet = fresh * 3
+        expected = {
+            index: serial.outcomes[index % len(fresh)].extracted
+            for index in range(len(fleet))
+        }
+        with WorkerPool(
+            max_workers=2, chunksize=1, work_stealing=False
+        ) as pool:
+            iterator = pool.iter_apply_outcomes(learned.artifacts * 3, fleet)
+            outcomes = [next(iterator)]
+            os.kill(pool._processes[0].pid, signal.SIGKILL)
+            outcomes.extend(iterator)
+        assert sorted(o.index for o in outcomes) == list(range(len(fleet)))
+        assert all(outcome.ok for outcome in outcomes)
+        assert {o.index: o.extracted for o in outcomes} == expected
+        assert pool.stats.arena_ships > 0  # sites crossed as handles
+        leftover = os.listdir(tmp_path)
+        assert leftover  # the live parent's segments are still in place
+        assert all(_owner_pid(name) == os.getpid() for name in leftover)
+        assert reap_orphans(str(tmp_path)) == []
+
+
+class TestDynamicPool:
+    """resize()/autoscale: grow and shrink a live fleet mid-stream."""
+
+    def test_resize_before_spawn_retargets_max_workers(self):
+        pool = WorkerPool(max_workers=2)
+        try:
+            assert pool.resize(3) == 3
+            assert pool.max_workers == 3
+            assert pool.workers_alive == 3
+            with pytest.raises(ValueError, match=">= 1"):
+                pool.resize(0)
+        finally:
+            pool.close()
+
+    def test_resize_on_closed_pool_raises(self):
+        pool = WorkerPool(max_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.resize(2)
+
+    def test_scale_max_validated(self):
+        with pytest.raises(ValueError, match="scale_max"):
+            WorkerPool(max_workers=2, scale_max=0)
+
+    def test_grow_and_shrink_between_batches(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        serial = apply_many(learned.artifacts, test_sites)
+        expected = [o.extracted for o in serial.outcomes]
+        with WorkerPool(max_workers=2) as pool:
+            results = [pool.apply(learned.artifacts, test_sites)]
+            assert pool.resize(4) == 4
+            assert pool.workers_alive == 4
+            results.append(pool.apply(learned.artifacts, test_sites))
+            assert pool.resize(1) == 1
+            assert pool.workers_alive == 1
+            results.append(pool.apply(learned.artifacts, test_sites))
+        for result in results:
+            assert not result.failures
+            assert [o.extracted for o in result.outcomes] == expected
+        assert pool.stats.pool_resizes == 2
+
+    def test_grow_mid_stream(self, fitted_extractor, bundle, test_sites):
+        """Workers added while a stream is draining pick up the shared
+        context and the backlog; outcomes stay exactly-once and equal
+        to serial."""
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        serial = apply_many(learned.artifacts, test_sites)
+        fleet = test_sites * 4
+        artifacts = learned.artifacts * 4
+        expected = {
+            index: serial.outcomes[index % len(test_sites)].extracted
+            for index in range(len(fleet))
+        }
+        with WorkerPool(max_workers=2, chunksize=1) as pool:
+            iterator = pool.iter_apply_outcomes(artifacts, fleet)
+            outcomes = [next(iterator)]
+            assert pool.resize(4) == 4
+            assert pool.workers_alive == 4
+            outcomes.extend(iterator)
+        indices = [outcome.index for outcome in outcomes]
+        assert sorted(indices) == list(range(len(fleet)))
+        assert len(indices) == len(set(indices))
+        assert {o.index: o.extracted for o in outcomes} == expected
+        assert pool.stats.pool_resizes == 1
+
+    def test_shrink_mid_stream(self, fitted_extractor, bundle, test_sites):
+        """Retired workers finish their queued chunks; their unsent
+        backlog moves to survivors — nothing lost, nothing doubled."""
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        serial = apply_many(learned.artifacts, test_sites)
+        fleet = test_sites * 4
+        artifacts = learned.artifacts * 4
+        expected = {
+            index: serial.outcomes[index % len(test_sites)].extracted
+            for index in range(len(fleet))
+        }
+        with WorkerPool(max_workers=3, chunksize=1) as pool:
+            iterator = pool.iter_apply_outcomes(artifacts, fleet)
+            outcomes = [next(iterator)]
+            assert pool.resize(1) == 1
+            outcomes.extend(iterator)
+            assert pool._alive.count(True) == 1
+        indices = [outcome.index for outcome in outcomes]
+        assert sorted(indices) == list(range(len(fleet)))
+        assert len(indices) == len(set(indices))
+        assert {o.index: o.extracted for o in outcomes} == expected
+
+    def test_autoscale_grows_under_backlog(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        serial = apply_many(learned.artifacts, test_sites)
+        fleet = test_sites * 8
+        artifacts = learned.artifacts * 8
+        with WorkerPool(max_workers=2, chunksize=1, scale_max=4) as pool:
+            result = pool.apply(artifacts, fleet)
+            grown = pool.workers_alive
+        assert not result.failures
+        assert [o.extracted for o in result.outcomes] == [
+            serial.outcomes[index % len(test_sites)].extracted
+            for index in range(len(fleet))
+        ]
+        assert 2 < grown <= 4
+        assert pool.stats.pool_resizes >= 1
+
+    def test_autoscale_off_without_scale_max(
+        self, fitted_extractor, bundle, test_sites
+    ):
+        learned = learn_many(
+            fitted_extractor, test_sites, annotator=bundle.annotator
+        )
+        with WorkerPool(max_workers=2, chunksize=1) as pool:
+            result = pool.apply(learned.artifacts * 8, test_sites * 8)
+            assert pool.workers_alive == 2
+        assert not result.failures
+        assert pool.stats.pool_resizes == 0
+
 
 class TestWorkerSideTexts:
     """Apply outcomes resolve node texts on the worker's interned site."""

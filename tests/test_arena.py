@@ -1,0 +1,332 @@
+"""Zero-copy site arena: pack/attach lifecycle, fallbacks, reclamation.
+
+Covers the shared-memory segment contract end to end:
+
+- pack -> attach structural equivalence (generated and hand-built
+  trees), bitwise-identical extraction vs the dict-backed site;
+- the per-process attach registry (double-attach returns the same
+  object, registry entries follow site liveness);
+- segment lifetime (owner gc unlinks, attachers never do) and the
+  parse-from-source fallback when a segment vanished;
+- pickle round-trips: arena-bound sites ship as handles, raw sites
+  keep the ship-sources path, both reconstruct identical extractions;
+- orphan reclamation after a SIGKILLed owner (the abnormal-exit path
+  that atexit hooks never see).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.arena import (
+    ArenaError,
+    ArenaHandle,
+    arena_stats,
+    attach_site,
+    ensure_arena,
+    load_site,
+    reap_orphans,
+)
+from repro.engine import EvaluationEngine
+from repro.site import Site
+from repro.wrappers.hlrt import HLRTInductor
+from repro.wrappers.lr import LRInductor
+from repro.wrappers.xpath_inductor import XPathInductor
+
+PAGES = [
+    "<html><body><div class='x'><table>"
+    "<tr><td><u>ALPHA</u></td><td>one</td></tr>"
+    "<tr><td><u>BETA</u></td><td>two</td></tr>"
+    "</table></div></body></html>",
+    "<html><body><div class='x'><table>"
+    "<tr><td><u>GAMMA</u></td><td>three</td></tr>"
+    "</table></div></body></html>",
+]
+
+
+def _site(name="arena-site"):
+    return Site.from_html(name, PAGES)
+
+
+def _hand_built_site(name="hand-built"):
+    """A Site whose pages carry no faithful source string."""
+    from repro.htmldom.dom import Document, ElementNode, TextNode
+
+    root = ElementNode("html")
+    body = ElementNode("body", {"class": "hand"})
+    root.append(body)
+    for text in ("one", "two", "three"):
+        paragraph = ElementNode("p")
+        body.append(paragraph)
+        paragraph.append(TextNode(text))
+    return Site(name, [Document(root, "", page_index=0)])
+
+
+def _assert_sites_equivalent(original, attached):
+    """Structure, spans, and node identity layout must round-trip."""
+    assert attached.name == original.name
+    assert len(attached.pages) == len(original.pages)
+    for ours, theirs in zip(original.pages, attached.pages):
+        ours_nodes, theirs_nodes = ours.nodes, theirs.nodes
+        assert len(ours_nodes) == len(theirs_nodes)
+        for a, b in zip(ours_nodes, theirs_nodes):
+            assert type(a) is type(b)
+            assert a.node_id == b.node_id
+            assert getattr(a, "tag", None) == getattr(b, "tag", None)
+            assert dict(getattr(a, "attrs", {}) or {}) == dict(
+                getattr(b, "attrs", {}) or {}
+            )
+            assert getattr(a, "text", None) == getattr(b, "text", None)
+            assert getattr(a, "start", None) == getattr(b, "start", None)
+            assert getattr(a, "end", None) == getattr(b, "end", None)
+    assert attached.text_node_ids() == original.text_node_ids()
+    for node_id in original.text_node_ids():
+        assert attached.text_node(node_id).text == original.text_node(node_id).text
+
+
+class TestPackAttachEquivalence:
+    def test_attached_site_mirrors_the_original(self, tmp_path):
+        site = _site()
+        binding = ensure_arena(site, directory=str(tmp_path))
+        assert binding is site._arena and binding.owned
+        attached = load_site(binding.handle)
+        assert attached is not site
+        _assert_sites_equivalent(site, attached)
+
+    def test_hand_built_trees_round_trip(self, tmp_path):
+        site = _hand_built_site()
+        binding = ensure_arena(site, directory=str(tmp_path))
+        assert binding.handle.sources is None  # no faithful HTML fallback
+        attached = load_site(binding.handle)
+        _assert_sites_equivalent(site, attached)
+
+    @pytest.mark.parametrize(
+        "inductor",
+        [XPathInductor(), LRInductor(), HLRTInductor()],
+        ids=["xpath", "lr", "hlrt"],
+    )
+    def test_extraction_is_bitwise_identical(self, tmp_path, inductor):
+        site = _site()
+        labels = frozenset(list(sorted(site.text_node_ids()))[:3])
+        wrapper = inductor.induce(site, labels)
+        expected = EvaluationEngine().extract(site, wrapper)
+        binding = ensure_arena(site, directory=str(tmp_path), include_postings=True)
+        attached = load_site(binding.handle)
+        assert EvaluationEngine().extract(attached, wrapper) == expected
+        assert wrapper.extract(attached) == expected
+
+    def test_ensure_arena_is_memoized(self, tmp_path):
+        site = _site()
+        first = ensure_arena(site, directory=str(tmp_path))
+        second = ensure_arena(site, directory=str(tmp_path))
+        assert first is second
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_handle_is_a_small_picklable_value(self, tmp_path):
+        site = _site()
+        binding = ensure_arena(site, directory=str(tmp_path))
+        wire = pickle.dumps(binding.handle)
+        assert len(wire) < 1024
+        assert pickle.loads(wire) == binding.handle
+
+
+class TestAttachRegistry:
+    def test_double_attach_returns_the_same_site(self, tmp_path):
+        site = _site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        before = arena_stats()
+        first = attach_site(handle)
+        second = attach_site(handle)
+        assert first is second
+        after = arena_stats()
+        assert after["attaches"] - before["attaches"] == 1
+        assert after["attach_hits"] - before["attach_hits"] == 1
+        assert after["segments_attached"] >= 1
+        assert after["bytes_mapped"] > 0
+
+    def test_load_site_bypasses_the_registry(self, tmp_path):
+        site = _site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        assert load_site(handle) is not load_site(handle)
+
+    def test_registry_entry_follows_site_liveness(self, tmp_path):
+        site = _site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        before = arena_stats()["segments_attached"]
+        attached = attach_site(handle)
+        assert arena_stats()["segments_attached"] == before + 1
+        del attached
+        gc.collect()
+        assert arena_stats()["segments_attached"] == before
+        # The segment file itself is the *owner's*: still on disk.
+        assert os.path.exists(handle.path)
+        # A fresh attach maps it again rather than hitting the registry.
+        hits_before = arena_stats()["attach_hits"]
+        assert attach_site(handle) is not None
+        assert arena_stats()["attach_hits"] == hits_before
+
+    def test_owner_gc_unlinks_the_segment(self, tmp_path):
+        site = _site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        assert os.path.exists(handle.path)
+        del site
+        gc.collect()
+        assert not os.path.exists(handle.path)
+
+    def test_attacher_never_unlinks(self, tmp_path):
+        site = _site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        attached = attach_site(handle)
+        del attached
+        gc.collect()
+        assert os.path.exists(handle.path)
+
+
+class TestAttachFallback:
+    def test_vanished_segment_falls_back_to_sources(self, tmp_path):
+        site = _site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        os.unlink(handle.path)
+        before = arena_stats()["rebuild_fallbacks"]
+        rebuilt = attach_site(handle)
+        assert arena_stats()["rebuild_fallbacks"] == before + 1
+        _assert_sites_equivalent(site, rebuilt)
+
+    def test_vanished_segment_without_sources_raises(self, tmp_path):
+        site = _hand_built_site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        os.unlink(handle.path)
+        with pytest.raises((OSError, ArenaError)):
+            attach_site(handle)
+
+    def test_fingerprint_mismatch_is_an_arena_error(self, tmp_path):
+        site = _site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        forged = ArenaHandle(
+            path=handle.path,
+            fingerprint="not-the-fingerprint",
+            name=handle.name,
+            sources=None,
+        )
+        with pytest.raises(ArenaError, match="fingerprint"):
+            load_site(forged)
+
+
+class TestPickleRoundTrips:
+    def test_arena_bound_site_pickles_as_handle(self, tmp_path):
+        site = _site()
+        raw_wire = pickle.dumps(site)  # ship-sources path
+        binding = ensure_arena(site, directory=str(tmp_path))
+        reduced = site.__reduce_ex__(2)
+        assert reduced[0] is attach_site
+        assert reduced[1] == (binding.handle,)
+        via_arena = pickle.loads(pickle.dumps(site))
+        via_sources = pickle.loads(raw_wire)
+        _assert_sites_equivalent(via_sources, via_arena)
+
+    @pytest.mark.parametrize(
+        "inductor",
+        [XPathInductor(), LRInductor(), HLRTInductor()],
+        ids=["xpath", "lr", "hlrt"],
+    )
+    def test_arena_shipped_extraction_matches_raw_shipped(
+        self, tmp_path, inductor
+    ):
+        site = _site()
+        labels = frozenset(list(sorted(site.text_node_ids()))[:3])
+        wrapper = inductor.induce(site, labels)
+        via_sources = pickle.loads(pickle.dumps(site))
+        ensure_arena(site, directory=str(tmp_path))
+        via_arena = pickle.loads(pickle.dumps(site))
+        assert via_arena.pages[0] is not site.pages[0]
+        assert (
+            wrapper.extract(via_arena)
+            == wrapper.extract(via_sources)
+            == wrapper.extract(site)
+        )
+
+    def test_same_process_unpickle_is_an_attach_hit(self, tmp_path):
+        site = _site()
+        ensure_arena(site, directory=str(tmp_path))
+        first = pickle.loads(pickle.dumps(site))
+        second = pickle.loads(pickle.dumps(site))
+        assert first is second  # registry resolved the re-attach
+
+    def test_attached_document_repickles_faithfully(self, tmp_path):
+        """A page lifted out of the mapping survives another hop: the
+        lazy source and lazy indexes materialize into the wire form."""
+        site = _site()
+        ensure_arena(site, directory=str(tmp_path))
+        attached = load_site(site._arena.handle)
+        page = attached.pages[0]
+        clone = pickle.loads(pickle.dumps(page))
+        assert clone.source == site.pages[0].source
+        assert [type(n).__name__ for n in clone.nodes] == [
+            type(n).__name__ for n in site.pages[0].nodes
+        ]
+
+    def test_hand_built_attached_page_full_state_pickle(self, tmp_path):
+        site = _hand_built_site()
+        ensure_arena(site, directory=str(tmp_path))
+        attached = load_site(site._arena.handle)
+        clone = pickle.loads(pickle.dumps(attached.pages[0]))
+        texts = lambda doc: [
+            n.text for n in doc.nodes if getattr(n, "text", None) is not None
+        ]
+        assert texts(clone) == texts(site.pages[0])
+
+
+class TestOrphanReclamation:
+    def test_sigkilled_owner_segments_are_reaped(self, tmp_path):
+        """An owner that dies without running atexit leaves its segment
+        behind; any later pool start sweeps it (reap_orphans)."""
+        script = textwrap.dedent(
+            """
+            import os, signal, sys
+            from repro.arena import ensure_arena
+            from repro.site import Site
+
+            site = Site.from_html("doomed", ["<p>gone</p>"])
+            binding = ensure_arena(site)
+            print(binding.handle.path, flush=True)
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        env = dict(os.environ)
+        env["REPRO_ARENA_DIR"] = str(tmp_path)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.abspath("src"), env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        path = proc.stdout.strip()
+        assert path and os.path.exists(path)  # atexit never ran
+        reaped = reap_orphans(str(tmp_path))
+        assert path in reaped
+        assert not os.path.exists(path)
+
+    def test_live_owner_segments_are_never_reaped(self, tmp_path):
+        site = _site()
+        handle = ensure_arena(site, directory=str(tmp_path)).handle
+        assert reap_orphans(str(tmp_path)) == []
+        assert os.path.exists(handle.path)
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        stray = tmp_path / "not-an-arena.txt"
+        stray.write_text("keep me")
+        assert reap_orphans(str(tmp_path)) == []
+        assert stray.exists()

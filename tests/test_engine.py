@@ -41,14 +41,21 @@ class TestSiteCaches:
         assert cache is engine.site_cache(site)
         assert cache.site is site
 
-    def test_site_cache_bound_clears_wholesale(self):
+    def test_site_cache_bound_evicts_lru_only(self):
         engine = EvaluationEngine()
-        sites = [_site(f"s{i}") for i in range(get_config().site_cache_bound + 1)]
-        caches = [engine.site_cache(site) for site in sites]
-        # The over-bound insertion cleared the table; the newest slot
-        # survives and earlier sites get fresh slots on re-request.
-        assert engine.site_cache(sites[-1]) is caches[-1]
-        assert engine.site_cache(sites[0]) is not caches[0]
+        bound = get_config().site_cache_bound
+        sites = [_site(f"s{i}") for i in range(bound + 1)]
+        caches = [engine.site_cache(site) for site in sites[:bound]]
+        # Touch the oldest site so it is warm again; the over-bound
+        # insert must evict only the *stalest* slot (sites[1]), leaving
+        # every other warm memo in place.
+        assert engine.site_cache(sites[0]) is caches[0]
+        over = engine.site_cache(sites[bound])
+        assert engine.site_cache(sites[0]) is caches[0]
+        assert engine.site_cache(sites[bound]) is over
+        for index in range(2, bound):
+            assert engine.site_cache(sites[index]) is caches[index]
+        assert engine.site_cache(sites[1]) is not caches[1]
 
     def test_extraction_memo_hits_across_equal_wrappers(self):
         engine = EvaluationEngine()

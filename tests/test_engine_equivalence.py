@@ -250,6 +250,41 @@ def test_engine_extraction_matches_seed_semantics(inductor, oracle):
             assert wrapper.extract(site) == expected
 
 
+@pytest.mark.parametrize(
+    "inductor,oracle",
+    [
+        (XPathInductor(), _seed_xpath_extract),
+        (LRInductor(), _seed_lr_extract),
+        (HLRTInductor(), _seed_hlrt_extract),
+    ],
+    ids=["xpath", "lr", "hlrt"],
+)
+def test_arena_backed_extraction_matches_dict_backed(tmp_path, inductor, oracle):
+    """The PR-7 correctness bar: a site attached from its packed arena
+    segment must extract bitwise-identically to the dict-backed site —
+    and both must match the seed oracles run over the attached pages."""
+    from repro.arena import ensure_arena, load_site
+
+    engine = EvaluationEngine()
+    for site in _sample_sites():
+        universe = sorted(inductor.candidates(site))
+        rng = random.Random(8765)
+        wrappers = [
+            inductor.induce(site, frozenset(rng.sample(universe, k=k)))
+            for k in (1, 2, 3, 5)
+        ]
+        expected = [engine.extract(site, wrapper) for wrapper in wrappers]
+        binding = ensure_arena(
+            site, directory=str(tmp_path), include_postings=True
+        )
+        attached = load_site(binding.handle)
+        arena_engine = EvaluationEngine()
+        for wrapper, reference in zip(wrappers, expected):
+            assert arena_engine.extract(attached, wrapper) == reference
+            assert wrapper.extract(attached) == reference
+            assert oracle(wrapper, attached) == reference
+
+
 def test_empty_feature_wrapper_extracts_every_text_node():
     """No constraints -> the whole candidate universe (seed behavior)."""
     from repro.wrappers.xpath_inductor import XPathWrapper
