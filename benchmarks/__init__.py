@@ -1,0 +1,2 @@
+"""Figure/throughput benches; a package so bench modules may share
+basenames with the unit-test modules under ``tests/``."""

@@ -1,0 +1,202 @@
+"""Chaos bench: the service under a seeded fault plan.
+
+A 200-request client run against a live :class:`ExtractionServer`
+while a deterministic :class:`~repro.faults.FaultPlan` injects worker
+SIGKILLs, connection drops and a poison site, and the daemon itself is
+drained and replaced by a successor generation mid-run.  Measured:
+
+1. **requests lost** — every submitted request must be answered
+   exactly once (ok or structured failure); acknowledged results must
+   survive the restart.  The contract is zero lost, zero duplicated.
+2. **recovery latency** — wall-clock from the start of the drain to
+   the first successful response served by the successor generation,
+   and the client-visible cost of each injected connection drop.
+3. **tail latency under chaos** — p50/p95/max per-request latency of
+   the full run, crashes and restart included.
+
+Results go to ``results/faults.txt`` and a run is appended to the
+``results/BENCH_faults.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from _harness import RESULTS_DIR, write_result
+
+from repro import faults
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.api import Extractor, ExtractorConfig
+from repro.service import (
+    ExtractionServer,
+    ServiceClient,
+    ServiceError,
+    WrapperRegistry,
+)
+
+REQUESTS = 200
+FLEET_SITES = 10
+RESTART_AT = 100  # drain gen1 / boot gen2 after this many requests
+POISON_AT = 5  # the one request aimed at the poison site
+
+NAMES = [f"PRODUCT-{index:02d}" for index in range(40)]
+
+
+def _page(names) -> str:
+    rows = "".join(
+        f"<tr><td class='item'><u>{name}</u></td></tr>" for name in names
+    )
+    return (
+        "<html><body><p>Welcome to the shop</p>"
+        f"<table>{rows}</table>"
+        "<p>Call us today</p></body></html>"
+    )
+
+
+def _site_pages(seed: int) -> list[str]:
+    first = NAMES[seed % 20], NAMES[(seed + 1) % 20]
+    second = (NAMES[(seed + 2) % 20],)
+    return [_page(first), _page(second)]
+
+
+def _server(registry, path):
+    return ExtractionServer(
+        registry,
+        extractor=Extractor(ExtractorConfig(inductor="xpath", method="naive")),
+        annotator=DictionaryAnnotator(NAMES),
+        socket_path=path,
+        max_workers=2,
+        crash_retry_limit=1,
+    )
+
+
+def _chaos_plan() -> faults.FaultPlan:
+    """SIGKILLs, connection drops and one poison site, all seeded.
+
+    Worker rules count hits per forked worker process, so each
+    generation's w0/w1 take one kill apiece; the connection-drop rule
+    counts in the daemon process, so ``at=[40, 150]`` lands one drop
+    in each generation of a 200-request run.
+    """
+    plan = faults.FaultPlan(seed=13)
+    plan.add(faults.WORKER_CRASH, at=[1], match=":poison")
+    plan.add(faults.WORKER_CRASH, at=[3], match="w0:apply")
+    plan.add(faults.WORKER_CRASH, at=[2], match="w1:apply")
+    plan.add(faults.CONN_DROP, at=[40, 150], match="apply:")
+    return plan
+
+
+def test_chaos_run(tmp_path):
+    path = str(tmp_path / "chaos.sock")
+    registry = WrapperRegistry("memory")
+    fleet = [(f"fleet-{n}", _site_pages(n)) for n in range(FLEET_SITES)]
+
+    faults.install(_chaos_plan())  # before start(): workers fork the plan
+    gen1 = _server(registry, path).start()
+    gen2 = None
+    client = ServiceClient(path, timeout=120, retries=8, backoff=0.05)
+    latencies: list[float] = []
+    ok = quarantined = 0
+    drain_s = recovery_s = None
+    awaiting_recovery = False
+    restart_t0 = 0.0
+    gen1_stats: dict = {}
+    try:
+        for index in range(REQUESTS):
+            if index == POISON_AT:
+                name, pages = "poison", _site_pages(33)
+            else:
+                name, pages = fleet[index % FLEET_SITES]
+            start = time.perf_counter()
+            try:
+                response = client.apply(name, pages)
+            except ServiceError as error:
+                response = error.response or {}
+                assert response.get("code") == "quarantined", error
+                assert name == "poison"
+                quarantined += 1
+            else:
+                assert response["ok"], response
+                ok += 1
+                if awaiting_recovery:
+                    recovery_s = time.perf_counter() - restart_t0
+                    awaiting_recovery = False
+            latencies.append(time.perf_counter() - start)
+
+            if index + 1 == RESTART_AT:
+                gen1_stats = client.stats()["server"]
+                restart_t0 = time.perf_counter()
+                assert gen1.drain(timeout=60) is True
+                drain_s = time.perf_counter() - restart_t0
+                gen2 = _server(registry, path).start()
+                awaiting_recovery = True
+
+        gen2_stats = client.stats()["server"]
+        # Exactly-once at the client boundary: everything answered,
+        # nothing unanswered, nothing duplicated.
+        assert ok + quarantined == REQUESTS
+        assert quarantined == 1
+        assert not client._sent and not client._pending
+        assert recovery_s is not None and drain_s is not None
+        assert client.reconnects >= 3  # two drops + the restart
+        assert gen1_stats["worker_deaths"] >= 3  # poison x2 + w0/w1 kills
+        assert gen1_stats["quarantined"] == 1
+        assert gen2_stats["worker_deaths"] >= 1
+        reconnects, replays = client.reconnects, client.replays
+    finally:
+        faults.clear()
+        client.close()
+        if gen2 is not None:
+            gen2.close()
+        gen1.close()
+
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p95 = latencies[int(len(latencies) * 0.95)]
+    record = {
+        "timestamp": time.time(),
+        "requests": REQUESTS,
+        "ok": ok,
+        "quarantined": quarantined,
+        "lost": REQUESTS - ok - quarantined,
+        "reconnects": reconnects,
+        "replays": replays,
+        "restart": {
+            "drain_seconds": drain_s,
+            "recovery_seconds": recovery_s,
+        },
+        "worker_deaths": {
+            "gen1": gen1_stats["worker_deaths"],
+            "gen2": gen2_stats["worker_deaths"],
+        },
+        "respawns": {
+            "gen1": gen1_stats["respawns"],
+            "gen2": gen2_stats["respawns"],
+        },
+        "latency_seconds": {
+            "p50": p50,
+            "p95": p95,
+            "max": latencies[-1],
+        },
+    }
+    lines = [
+        f"chaos run: {REQUESTS} requests, fleet of {FLEET_SITES} sites",
+        f"answered {ok} ok + {quarantined} quarantined, "
+        f"{record['lost']} lost",
+        f"reconnects {reconnects}  replays {replays}",
+        f"restart: drain {drain_s:.3f}s, recovery {recovery_s:.3f}s",
+        f"worker deaths gen1={gen1_stats['worker_deaths']} "
+        f"gen2={gen2_stats['worker_deaths']}  "
+        f"respawns gen1={gen1_stats['respawns']} "
+        f"gen2={gen2_stats['respawns']}",
+        f"latency p50 {p50 * 1e3:.1f}ms  p95 {p95 * 1e3:.1f}ms  "
+        f"max {latencies[-1] * 1e3:.1f}ms",
+    ]
+    write_result("faults", lines)
+    trajectory = RESULTS_DIR / "BENCH_faults.json"
+    history = (
+        json.loads(trajectory.read_text()) if trajectory.exists() else []
+    )
+    history.append(record)
+    trajectory.write_text(json.dumps(history, indent=2) + "\n")

@@ -285,6 +285,22 @@ class IngestSession:
             self._yielded += 1
             yield outcome
 
+    def pump(self, timeout: float = _RESULT_POLL_SECONDS) -> None:
+        """Give the stream one real timed wait.
+
+        Zero-timeout polls (:meth:`results` / :meth:`advance`) never
+        reap crashed workers — a result still in transit must not be
+        mistaken for a loss — so a dispatcher that only ever calls them
+        would wait forever on a dead worker's jobs.  Calling ``pump``
+        whenever the stream goes quiet waits up to ``timeout`` for a
+        completion and, on silence, runs worker health checks: crashed
+        workers are reaped, their chunks retried (or quarantined), and
+        — on pools with respawn enabled — replacements spawned.
+        """
+        if self._closed:
+            return
+        self._session.pump(timeout)
+
     def advance(self) -> Iterator[SiteOutcome]:
         """Like :meth:`results`, but first make the session progress.
 

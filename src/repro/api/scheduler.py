@@ -79,6 +79,7 @@ from collections import Counter, OrderedDict, deque
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.annotators.base import Annotator
 from repro.api.artifacts import WrapperArtifact
 from repro.api.batch import (
@@ -110,6 +111,13 @@ _CHUNKS_PER_WORKER = 4
 
 #: Seconds to wait for one result before re-checking worker health.
 _RESULT_POLL_SECONDS = 1.0
+
+#: Rapid-death detection: this many worker deaths inside the window
+#: triggers exponential respawn backoff (a crash loop should not spin
+#: the fork machinery at full speed).
+_RAPID_DEATH_COUNT = 3
+_RAPID_DEATH_WINDOW_SECONDS = 5.0
+_RESPAWN_BACKOFF_MAX_SECONDS = 10.0
 
 
 # -- jobs --------------------------------------------------------------------
@@ -302,7 +310,9 @@ class _WarmWorker:
 _COALESCE_MAX_OUTCOMES = 64
 
 
-def _worker_main(worker_id: int, inbox, outbox, intern_bound: int) -> None:
+def _worker_main(
+    worker_id: int, inbox, outbox, intern_bound: int, marker=None
+) -> None:
     """Child-process loop: apply shared updates, run job chunks.
 
     ``intern_bound`` is frozen by the parent at pool construction so the
@@ -321,8 +331,34 @@ def _worker_main(worker_id: int, inbox, outbox, intern_bound: int) -> None:
     outcomes (artifact payloads) and shared updates always flush the
     fold, preserving the swap-then-submit ordering of
     :meth:`WorkerPool.update_shared`.
+
+    Every job passes a fault-injection boundary first
+    (:func:`repro.faults.perturb_worker`, context
+    ``w<id>:<kind>:<site>``) — a no-op unless a :class:`FaultPlan` was
+    armed in the parent (inherited over fork) or via ``REPRO_FAULTS``.
+
+    ``marker`` (a shared int, when the parent provides one) is stamped
+    with each job's index just before it runs and reset to ``-1`` after
+    every flush: if this process dies, the parent reads the marker to
+    blame exactly the job that was executing — crash attribution that
+    stays sharp even when coalescing folds many chunks into one flush.
     """
     import queue as queue_mod
+    import signal
+
+    # A CLI parent (``repro serve``) installs SIGTERM/SIGHUP handlers
+    # that make sense only in the daemon process; forked workers must
+    # not inherit them — pool teardown terminates workers with SIGTERM
+    # and the inherited handler would turn that into traceback noise.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, signal.SIG_DFL)
+
+    def run_job(job):
+        if marker is not None:
+            marker.value = job.index
+        faults.perturb_worker(f"w{worker_id}:{job.kind}:{job.name}")
+        return worker.run_job(job)
 
     no_message = object()  # "nothing held" (None is the stop sentinel)
     worker = _WarmWorker(intern_bound)
@@ -333,7 +369,7 @@ def _worker_main(worker_id: int, inbox, outbox, intern_bound: int) -> None:
             worker.set_shared(**payload)
             message = inbox.get()
             continue
-        outcomes = [worker.run_job(job) for job in payload]
+        outcomes = [run_job(job) for job in payload]
         chunks = 1
         held = no_message
         coalescing = all(job.kind == "apply" for job in payload)
@@ -350,9 +386,11 @@ def _worker_main(worker_id: int, inbox, outbox, intern_bound: int) -> None:
             ):
                 held = queued  # handle after this flush
                 break
-            outcomes.extend(worker.run_job(job) for job in queued[2])
+            outcomes.extend(run_job(job) for job in queued[2])
             chunks += 1
         outbox.put((worker_id, batch, outcomes, chunks))
+        if marker is not None:
+            marker.value = -1
         message = inbox.get() if held is no_message else held
     outbox.put(None)
 
@@ -403,6 +441,12 @@ class SchedulerStats:
     #: ``resize()`` calls that actually changed the live worker count
     #: (manual or autoscale).
     pool_resizes: int = 0
+    #: Worker processes found dead by the reaper (crash, OOM kill...).
+    worker_deaths: int = 0
+    #: Replacement workers spawned by crash respawn (not resize).
+    respawns: int = 0
+    #: Jobs quarantined after exceeding the crash-retry cap.
+    quarantined: int = 0
 
 
 class WorkerPool:
@@ -431,6 +475,18 @@ class WorkerPool:
             the live workers' dispatch windows can absorb grows the
             pool one worker at a time, up to this many.  ``None``
             disables autoscaling (``resize`` stays available manually).
+        crash_retry_limit: how many workers a single job may kill (it
+            was the job executing at each death — attribution is by
+            worker-stamped marker) before it is quarantined — a
+            poison job is emitted as a structured failed
+            :class:`~repro.api.batch.SiteOutcome` (``error`` starting
+            with ``"quarantined"``) instead of killing workers forever.
+        respawn_workers: replace crashed workers to keep the fleet at
+            its configured width (with exponential backoff when deaths
+            come in rapid bursts).  Off by default: batch callers
+            usually prefer shrink-on-crash semantics, long-lived
+            daemons (:class:`repro.service.ExtractionServer`) turn it
+            on.
 
     Use as a context manager, or call :meth:`close`; a pool survives
     any number of ``learn`` / ``apply`` batches in between, and that
@@ -446,16 +502,24 @@ class WorkerPool:
         intern_bound: int | None = None,
         share_sites: bool = True,
         scale_max: int | None = None,
+        crash_retry_limit: int = 3,
+        respawn_workers: bool = False,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1; got {max_workers}")
         if scale_max is not None and scale_max < 1:
             raise ValueError(f"scale_max must be >= 1; got {scale_max}")
+        if crash_retry_limit < 0:
+            raise ValueError(
+                f"crash_retry_limit must be >= 0; got {crash_retry_limit}"
+            )
         self.max_workers = max_workers or os.cpu_count() or 1
         self.chunksize = chunksize
         self.work_stealing = work_stealing
         self.share_sites = share_sites
         self.scale_max = scale_max
+        self.crash_retry_limit = crash_retry_limit
+        self.respawn_workers = respawn_workers
         # Frozen here (not read live) so the parent's ship ledger and
         # every worker's LRU agree on the bound for the pool's lifetime.
         self.intern_bound = (
@@ -468,6 +532,11 @@ class WorkerPool:
         self._inboxes: list = []
         self._outboxes: list = []
         self._readers: list = []
+        # Per worker: a shared int the child stamps with the index of
+        # the job it is about to run (-1 when idle/between batches), so
+        # a crash blames exactly the job that was executing — never the
+        # innocent chunks queued behind it.
+        self._markers: list = []
         self._results = None
         self._alive: list[bool] = []
         # Per worker: an LRU OrderedDict replaying exactly the insert /
@@ -485,6 +554,13 @@ class WorkerPool:
         self._session: "_StreamSession | None" = None
         self._batch_seq = 0
         self._closed = False
+        # Crash-respawn bookkeeping: the width the fleet should hold
+        # (resize retargets it), recent death timestamps for rapid-loop
+        # detection, and the exponential backoff gate.
+        self._target_alive = self.max_workers
+        self._death_times: deque[float] = deque(maxlen=16)
+        self._respawn_delay = 0.0
+        self._respawn_not_before = 0.0
 
     # -- public batch API ---------------------------------------------------
 
@@ -846,9 +922,10 @@ class WorkerPool:
         worker_id = len(self._processes)
         inbox = context.Queue()
         outbox = context.Queue()
+        marker = context.Value("q", -1, lock=False)
         process = context.Process(
             target=_worker_main,
-            args=(worker_id, inbox, outbox, self.intern_bound),
+            args=(worker_id, inbox, outbox, self.intern_bound, marker),
             daemon=True,
             name=f"repro-scheduler-{worker_id}",
         )
@@ -863,6 +940,7 @@ class WorkerPool:
         self._inboxes.append(inbox)
         self._outboxes.append(outbox)
         self._readers.append(reader)
+        self._markers.append(marker)
         self._processes.append(process)
         self._alive.append(True)
         self._shipped.append(OrderedDict())
@@ -906,6 +984,7 @@ class WorkerPool:
                     "resize before opening it"
                 )
             self.max_workers = workers
+            self._target_alive = workers
             if workers > 1:
                 self._inline = None  # superseded by child processes
             return workers
@@ -915,6 +994,7 @@ class WorkerPool:
             else None
         )
         current = self.workers_alive
+        self._target_alive = workers
         if workers > current:
             for _ in range(workers - current):
                 worker_id = self._spawn_worker()
@@ -983,6 +1063,75 @@ class WorkerPool:
                 return
             self.resize(alive + 1)
 
+    def _note_worker_death(self) -> None:
+        """Record one worker death; arm respawn backoff on rapid loops.
+
+        A burst of ``_RAPID_DEATH_COUNT`` deaths inside the detection
+        window doubles the respawn delay (capped) — a poison job or a
+        sick host should not spin the fork machinery at full speed.  A
+        death after a quiet stretch resets the backoff.
+        """
+        import time
+
+        now = time.monotonic()
+        self.stats.worker_deaths += 1
+        if (
+            self._death_times
+            and now - self._death_times[-1] > _RAPID_DEATH_WINDOW_SECONDS
+        ):
+            self._respawn_delay = 0.0
+        self._death_times.append(now)
+        recent = sum(
+            1
+            for stamp in self._death_times
+            if now - stamp <= _RAPID_DEATH_WINDOW_SECONDS
+        )
+        if recent >= _RAPID_DEATH_COUNT:
+            self._respawn_delay = min(
+                self._respawn_delay * 2 or 0.1, _RESPAWN_BACKOFF_MAX_SECONDS
+            )
+            self._respawn_not_before = now + self._respawn_delay
+
+    def _maybe_respawn(self, session: "_PooledSession | None" = None) -> None:
+        """Replace dead workers up to the configured fleet width.
+
+        Mirrors the :meth:`resize` grow path: each replacement gets the
+        current shared context, a session slot, and an immediate feed —
+        arena-shipped sites make it warm after an mmap.  Gated by the
+        rapid-death backoff; callers retry on every reap pass, so a
+        deferred respawn happens as soon as the gate opens.
+        """
+        import time
+
+        if not self.respawn_workers or self._closed or self._processes is None:
+            return
+        if time.monotonic() < self._respawn_not_before:
+            return
+        respawned = False
+        while self.workers_alive < self._target_alive:
+            worker_id = self._spawn_worker()
+            self.stats.respawns += 1
+            respawned = True
+            if self._last_shared:
+                seq = session.seq if session is not None else self._batch_seq
+                self._inboxes[worker_id].put(
+                    (
+                        "shared",
+                        seq,
+                        {
+                            "extractor": self._last_shared[0],
+                            "annotator": self._last_shared[1],
+                        },
+                    )
+                )
+            if session is not None:
+                session.add_worker_slot()
+        if respawned:
+            self.max_workers = len(self._processes)
+            if session is not None:
+                for worker_id in range(self.max_workers):
+                    session._feed(worker_id)
+
     def _ship_payload(self, payload: object) -> object:
         """Wire form of a site payload for a child worker.
 
@@ -1000,6 +1149,12 @@ class WorkerPool:
             binding = ensure_arena(payload)
         except Exception:  # pragma: no cover - defensive fallback
             return payload
+        rule = faults.fire(faults.ARENA_UNLINK, context=getattr(payload, "name", ""))
+        if rule is not None:
+            try:
+                os.unlink(binding.handle.path)
+            except OSError:
+                pass
         self.stats.arena_ships += 1
         return binding.handle
 
@@ -1171,6 +1326,7 @@ class _PooledSession(_StreamSession):
         "payloads",
         "payload_refs",
         "keys",
+        "crashes",
     )
 
     def __init__(self, pool: "WorkerPool", shared: dict | None) -> None:
@@ -1196,6 +1352,9 @@ class _PooledSession(_StreamSession):
         self.payload_refs: Counter = Counter()
         #: Job index -> site key, for payload release on completion.
         self.keys: dict[int, str] = {}
+        #: Job index -> how many worker deaths the job was dispatched
+        #: into (the poison-task quarantine counter).
+        self.crashes: Counter = Counter()
 
     @property
     def outstanding(self) -> int:
@@ -1216,7 +1375,29 @@ class _PooledSession(_StreamSession):
         pool = self.pool
         alive = [w for w in range(pool.max_workers) if pool._alive[w]]
         if not alive:
-            raise RuntimeError("all pool workers have died")
+            # Nothing can be in transit when *every* worker is gone, so
+            # an eager reap here is safe — and with respawn enabled it
+            # rebuilds the fleet instead of refusing the work.
+            for outcome in self._reap_dead_workers():
+                self._complete(outcome)
+            alive = [w for w in range(pool.max_workers) if pool._alive[w]]
+            if not alive and pool.respawn_workers and not pool._closed:
+                # The whole fleet died inside the rapid-death backoff
+                # window: wait the gate out and rebuild rather than
+                # refusing work the pool is still able to do.  No new
+                # deaths can land while zero workers run, so the gate
+                # cannot recede.
+                import time
+
+                delay = pool._respawn_not_before - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                pool._maybe_respawn(self)
+                alive = [
+                    w for w in range(pool.max_workers) if pool._alive[w]
+                ]
+            if not alive:
+                raise RuntimeError("all pool workers have died")
         self.payloads.update(payloads)
         for job in jobs:
             self.pending.add(job.index)
@@ -1311,6 +1492,7 @@ class _PooledSession(_StreamSession):
         if outcome.index not in self.pending:  # retried chunks may dupe
             return
         self.pending.discard(outcome.index)
+        self.crashes.pop(outcome.index, None)
         self._release_payload(self.keys.pop(outcome.index))
         self.ready.append(outcome)
 
@@ -1376,51 +1558,102 @@ class _PooledSession(_StreamSession):
         return chunk
 
     def _reap_dead_workers(self) -> list[SiteOutcome]:
-        """Requeue a crashed worker's jobs on survivors; fail only when
-        nobody is left.
+        """Requeue a crashed worker's jobs on survivors (or respawned
+        replacements); quarantine poison jobs; fail only when nobody is
+        left.
 
         Jobs are pure (learning / extraction, no side effects) and the
         reap only runs once the result queue has gone quiet, so chunks
         still unacknowledged in ``sent`` were never completed — they are
-        retried, not failed.
+        retried, not failed.  Crash *attribution* is exact: each worker
+        stamps a shared marker with the index of the job it is running,
+        so only the job executing at death gets its crash counter
+        bumped — chunk-mates and queued-behind chunks requeue freely,
+        like unsent backlog.  Past ``pool.crash_retry_limit`` the
+        culprit is quarantined as a structured failed outcome instead
+        of being retried — one poison site must not grind the fleet
+        down forever.
         """
         pool = self.pool
         failed: list[SiteOutcome] = []
+        dispatched: deque[list[_Job]] = deque()
+        unsent: deque[list[_Job]] = deque()
+        culprits: set[int] = set()
+        last_death = ""
         for worker_id, process in enumerate(pool._processes):
             if not pool._alive[worker_id] or process.is_alive():
                 continue
             pool._alive[worker_id] = False
+            pool._note_worker_death()
+            last_death = (
+                f"worker {worker_id} died (exit code {process.exitcode})"
+            )
+            running = pool._markers[worker_id].value
+            if running >= 0:
+                culprits.add(running)
             self.inflight[worker_id] = 0
-            orphaned: deque[list[_Job]] = deque()
             while self.sent[worker_id]:
-                orphaned.append(self.sent[worker_id].popleft())
-            orphaned.extend(self.backlog[worker_id])
+                dispatched.append(self.sent[worker_id].popleft())
+            unsent.extend(self.backlog[worker_id])
             self.backlog[worker_id] = deque()
-            survivors = [
-                v for v in range(pool.max_workers) if pool._alive[v]
-            ]
-            if survivors:
-                rotation = itertools.cycle(survivors)
-                while orphaned:
-                    self.backlog[next(rotation)].append(orphaned.popleft())
-                for survivor in survivors:
-                    self._feed(survivor)
-            else:  # pragma: no cover - total pool loss
-                while orphaned:
-                    for job in orphaned.popleft():
-                        failed.append(
-                            SiteOutcome(
-                                index=job.index,
-                                site=job.name,
-                                ok=False,
-                                artifact=job.artifact,
-                                error=(
-                                    f"worker {worker_id} died (exit code "
-                                    f"{process.exitcode}) and no worker "
-                                    "survives to retry"
-                                ),
-                            )
+        # Respawn (when enabled and past any backoff gate) before
+        # requeueing, so orphans can land on the replacements and a
+        # total-loss storm recovers instead of failing every job.
+        pool._maybe_respawn(self)
+        if not dispatched and not unsent:
+            return failed
+        retry: deque[list[_Job]] = deque()
+        for chunk in dispatched:
+            keep: list[_Job] = []
+            for job in chunk:
+                if job.index not in self.pending:
+                    continue  # completed by an in-transit flush
+                if job.index in culprits:
+                    self.crashes[job.index] += 1
+                if self.crashes[job.index] > pool.crash_retry_limit:
+                    pool.stats.quarantined += 1
+                    failed.append(
+                        SiteOutcome(
+                            index=job.index,
+                            site=job.name,
+                            ok=False,
+                            artifact=job.artifact,
+                            error=(
+                                f"quarantined: job for site {job.name!r} "
+                                f"killed {self.crashes[job.index]} workers "
+                                f"(crash_retry_limit="
+                                f"{pool.crash_retry_limit}); last: "
+                                f"{last_death}"
+                            ),
                         )
+                    )
+                else:
+                    keep.append(job)
+            if keep:
+                retry.append(keep)
+        retry.extend(unsent)
+        survivors = [v for v in range(pool.max_workers) if pool._alive[v]]
+        if survivors:
+            rotation = itertools.cycle(survivors)
+            while retry:
+                self.backlog[next(rotation)].append(retry.popleft())
+            for survivor in survivors:
+                self._feed(survivor)
+        else:  # pragma: no cover - total pool loss
+            while retry:
+                for job in retry.popleft():
+                    failed.append(
+                        SiteOutcome(
+                            index=job.index,
+                            site=job.name,
+                            ok=False,
+                            artifact=job.artifact,
+                            error=(
+                                f"{last_death} and no worker survives "
+                                "to retry"
+                            ),
+                        )
+                    )
         return failed
 
     def close(self) -> None:

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.api import (
@@ -668,10 +669,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
     using that dataset's annotator and models fitted on its training
     split.  Prints ``serving on <host>:<port>`` (or the socket path)
     once ready, then blocks until interrupted.
+
+    Signals: SIGTERM / Ctrl-C shut down immediately (clean pool
+    teardown); SIGHUP *drains* — the listener closes at once so a new
+    generation can bind, in-flight requests finish and answer, queued
+    work is refused with a structured ``draining`` error that
+    retrying clients chase to the successor.  ``--request-deadline``
+    bounds every request; ``--faults`` arms a JSON
+    :class:`repro.faults.FaultPlan` (chaos drills — exported to the
+    worker processes too).
     """
     from repro.service import ExtractionServer, WrapperRegistry
     from repro.service import RegistryError as ServiceRegistryError
 
+    if args.faults:
+        from repro import faults as faults_mod
+
+        try:
+            with open(args.faults, "r", encoding="utf-8") as handle:
+                plan = faults_mod.FaultPlan.from_json(handle.read())
+        except (OSError, faults_mod.FaultError) as error:
+            raise SystemExit(
+                f"cannot load fault plan {args.faults!r}: {error}"
+            ) from None
+        faults_mod.install(plan, env=True)
+        print(
+            f"fault plan armed: {len(plan.rules)} rules "
+            f"(seed {plan.seed})",
+            flush=True,
+        )
     try:
         registry = WrapperRegistry(args.registry if args.registry else "memory")
         registry.fingerprints()
@@ -703,16 +729,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         socket_path=args.socket or None,
         max_workers=args.workers,
         max_inflight_per_client=args.max_inflight_per_client,
+        request_deadline=args.request_deadline,
+        reap_interval=args.reap_interval,
     )
     # SIGTERM (the polite kill an operator or supervisor sends) must run
     # the same clean shutdown as Ctrl-C: without it the interpreter dies
     # before the worker pool is closed, orphaning the forked workers.
+    # SIGHUP requests a drain; the handler only sets a flag — drain()
+    # blocks and a signal handler must not.
     import signal
+    import threading
+
+    drain_requested = threading.Event()
 
     def _terminate(signum: int, frame: object) -> None:
         raise KeyboardInterrupt
 
-    previous_handler = signal.signal(signal.SIGTERM, _terminate)
+    def _drain(signum: int, frame: object) -> None:
+        drain_requested.set()
+
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
+    previous_hup = None
+    if hasattr(signal, "SIGHUP"):
+        previous_hup = signal.signal(signal.SIGHUP, _drain)
     server.start()
     address = server.address
     where = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
@@ -724,11 +763,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"learn-on-miss: {'armed' if extractor is not None else 'disabled'}",
         flush=True,
     )
+    drained = True
     try:
-        server.serve_forever()
+        while not server._stop.is_set():
+            if drain_requested.is_set():
+                print("draining: listener closed, finishing in-flight "
+                      "requests", flush=True)
+                drained = server.drain(timeout=args.drain_timeout)
+                print(
+                    "drained cleanly; address released"
+                    if drained
+                    else "drain timed out with work still in flight; "
+                    "closed anyway",
+                    flush=True,
+                )
+                break
+            time.sleep(0.2)
+        else:
+            server.close()
+    except KeyboardInterrupt:
+        server.close()
     finally:
-        signal.signal(signal.SIGTERM, previous_handler)
-    return 0
+        signal.signal(signal.SIGTERM, previous_term)
+        if previous_hup is not None:
+            signal.signal(signal.SIGHUP, previous_hup)
+    return 0 if drained else 1
 
 
 def cmd_list_components(_: argparse.Namespace) -> int:
@@ -967,6 +1026,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="per-tenant admission budget (outstanding jobs per client)",
+    )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        help=(
+            "per-request deadline in seconds: requests not answered in "
+            "time get a structured 'deadline' error instead of hanging "
+            "the client (default: no deadline)"
+        ),
+    )
+    serve.add_argument(
+        "--reap-interval",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds between arena orphan-reap ticks (a reap also runs "
+            "once at startup)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help=(
+            "on SIGHUP drain, wait at most this long for in-flight work "
+            "before closing anyway (default: wait indefinitely)"
+        ),
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help=(
+            "arm a repro.faults.FaultPlan from this JSON file (chaos "
+            "drills); the plan is exported to worker subprocesses via "
+            "the environment"
+        ),
     )
     serve.add_argument(
         "--dataset",

@@ -1,0 +1,283 @@
+"""Deterministic fault injection for resilience tests and chaos runs.
+
+A :class:`FaultPlan` is a seeded list of rules, each bound to a named
+injection point compiled into the production code (worker job loop,
+server send path, registry write, arena shipping).  Code at an
+injection point calls :func:`fire` with the point name and a free-form
+context string; the active plan decides — deterministically, from the
+plan seed and per-rule hit counters — whether the fault triggers.
+
+Activation is process-global.  :func:`install` arms a plan in the
+current process (fork-spawned pool workers inherit it); passing
+``env=True`` also exports the plan as JSON in ``REPRO_FAULTS`` so
+exec'd subprocesses (a real ``repro serve`` daemon) pick it up on
+their first :func:`fire`.  When no plan is armed every hook is a
+cheap ``None`` check.
+
+Determinism notes: ``at=`` rules trigger on exact per-process hit
+counts and are fully reproducible; ``rate=`` rules draw from a
+``random.Random`` seeded from ``(plan.seed, rule index, point)`` via a
+string seed (stable across processes and ``PYTHONHASHSEED``), so the
+*decision sequence* per rule is reproducible even though which worker
+sees which hit can depend on scheduling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ARENA_UNLINK",
+    "CONN_DROP",
+    "CONN_TRUNCATE",
+    "ENV_VAR",
+    "POINTS",
+    "REGISTRY_WRITE",
+    "WORKER_CRASH",
+    "WORKER_HANG",
+    "WORKER_SLOW",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "clear",
+    "fire",
+    "install",
+    "perturb_worker",
+]
+
+#: Environment variable carrying a JSON-encoded plan to subprocesses.
+ENV_VAR = "REPRO_FAULTS"
+
+WORKER_CRASH = "worker.crash"  #: SIGKILL the worker process at a job boundary
+WORKER_HANG = "worker.hang"  #: worker sleeps ``delay`` (default 60s) before the job
+WORKER_SLOW = "worker.slow"  #: worker sleeps ``delay`` (default 50ms) before the job
+CONN_DROP = "conn.drop"  #: server closes the client socket instead of responding
+CONN_TRUNCATE = "conn.truncate"  #: server sends half a response frame, then closes
+REGISTRY_WRITE = "registry.write"  #: registry backend write raises ``OSError``
+ARENA_UNLINK = "arena.unlink"  #: shared arena segment is unlinked after shipping
+
+POINTS = (
+    WORKER_CRASH,
+    WORKER_HANG,
+    WORKER_SLOW,
+    CONN_DROP,
+    CONN_TRUNCATE,
+    REGISTRY_WRITE,
+    ARENA_UNLINK,
+)
+
+
+class FaultError(ValueError):
+    """Raised for malformed fault plans or unknown injection points."""
+
+
+@dataclass
+class FaultRule:
+    """One injected fault: where, when, and how hard.
+
+    ``at`` is a tuple of 1-based hit counts (per process) on which the
+    rule fires; when empty, ``rate`` gives the per-hit probability.
+    ``max_fires`` caps total fires per process; ``match`` restricts the
+    rule to contexts containing the substring; ``delay`` parameterizes
+    slow/hang points (seconds).
+    """
+
+    point: str
+    rate: float = 0.0
+    at: tuple[int, ...] = ()
+    max_fires: int | None = None
+    delay: float = 0.0
+    match: str = ""
+    hits: int = field(default=0, compare=False)
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.point not in POINTS:
+            raise FaultError(
+                f"unknown injection point {self.point!r}; expected one of {POINTS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultError(f"rate must be in [0, 1], got {self.rate!r}")
+        self.at = tuple(int(n) for n in self.at)
+        if any(n < 1 for n in self.at):
+            raise FaultError("at= hit counts are 1-based and must be >= 1")
+
+    def to_dict(self) -> dict:
+        record: dict = {"point": self.point}
+        if self.rate:
+            record["rate"] = self.rate
+        if self.at:
+            record["at"] = list(self.at)
+        if self.max_fires is not None:
+            record["max_fires"] = self.max_fires
+        if self.delay:
+            record["delay"] = self.delay
+        if self.match:
+            record["match"] = self.match
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultRule":
+        try:
+            return cls(
+                point=record["point"],
+                rate=record.get("rate", 0.0),
+                at=tuple(record.get("at", ())),
+                max_fires=record.get("max_fires"),
+                delay=record.get("delay", 0.0),
+                match=record.get("match", ""),
+            )
+        except KeyError as error:
+            raise FaultError(f"fault rule missing field: {error}") from error
+
+    def _triggers(self, rng: random.Random) -> bool:
+        """Advance the hit counter and decide whether this hit fires."""
+        self.hits += 1
+        if self.max_fires is not None and self.fires >= self.max_fires:
+            return False
+        if self.at:
+            hit = self.hits in self.at
+        elif self.rate:
+            hit = rng.random() < self.rate
+        else:
+            hit = False
+        if hit:
+            self.fires += 1
+        return hit
+
+
+class FaultPlan:
+    """A seeded, serializable collection of :class:`FaultRule`."""
+
+    def __init__(self, seed: int = 0, rules: list[FaultRule] | None = None):
+        self.seed = int(seed)
+        self.rules: list[FaultRule] = list(rules or ())
+        self._rngs: dict[int, random.Random] = {}
+
+    def add(
+        self,
+        point: str,
+        *,
+        rate: float = 0.0,
+        at: tuple[int, ...] | list[int] = (),
+        max_fires: int | None = None,
+        delay: float = 0.0,
+        match: str = "",
+    ) -> FaultRule:
+        rule = FaultRule(
+            point=point,
+            rate=rate,
+            at=tuple(at),
+            max_fires=max_fires,
+            delay=delay,
+            match=match,
+        )
+        self.rules.append(rule)
+        return rule
+
+    def fire(self, point: str, context: str = "") -> FaultRule | None:
+        """Return the first rule firing at ``point`` for ``context``."""
+        for index, rule in enumerate(self.rules):
+            if rule.point != point:
+                continue
+            if rule.match and rule.match not in context:
+                continue
+            rng = self._rngs.get(index)
+            if rng is None:
+                # String seeds hash via SHA-512 inside random.seed(), so
+                # the stream is identical across processes regardless of
+                # PYTHONHASHSEED.
+                rng = random.Random(f"{self.seed}:{index}:{rule.point}")
+                self._rngs[index] = rng
+            if rule._triggers(rng):
+                return rule
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FaultPlan":
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise FaultError(f"invalid fault plan JSON: {error}") from error
+        if not isinstance(document, dict):
+            raise FaultError("fault plan JSON must be an object")
+        rules = [FaultRule.from_dict(record) for record in document.get("rules", ())]
+        return cls(seed=document.get("seed", 0), rules=rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"
+
+
+_UNSET = object()
+_active: object = _UNSET
+
+
+def install(plan: FaultPlan | None, env: bool = False) -> None:
+    """Arm ``plan`` process-wide (``None`` disarms).
+
+    With ``env=True`` the plan is also exported via ``REPRO_FAULTS`` so
+    freshly exec'd subprocesses honor it; fork-spawned children always
+    inherit the armed plan object directly.
+    """
+    global _active
+    _active = plan
+    if env:
+        if plan is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = plan.to_json()
+
+
+def clear() -> None:
+    """Disarm any plan and forget cached env state (test teardown)."""
+    global _active
+    _active = _UNSET
+    os.environ.pop(ENV_VAR, None)
+
+
+def active() -> FaultPlan | None:
+    """The armed plan, resolving ``REPRO_FAULTS`` on first use."""
+    global _active
+    if _active is _UNSET:
+        raw = os.environ.get(ENV_VAR)
+        _active = FaultPlan.from_json(raw) if raw else None
+    return _active  # type: ignore[return-value]
+
+
+def fire(point: str, context: str = "") -> FaultRule | None:
+    """Hook entry: fire ``point`` against the armed plan, if any."""
+    plan = active()
+    if plan is None:
+        return None
+    return plan.fire(point, context)
+
+
+def perturb_worker(context: str = "") -> None:
+    """Apply worker-level faults at a job boundary (runs in the child).
+
+    ``worker.crash`` SIGKILLs the process — exactly what an OOM kill or
+    a segfault looks like to the parent.  ``worker.hang`` sleeps long
+    enough to trip request deadlines; ``worker.slow`` adds jitter.
+    """
+    plan = active()
+    if plan is None:
+        return
+    if plan.fire(WORKER_CRASH, context) is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    rule = plan.fire(WORKER_HANG, context)
+    if rule is not None:
+        time.sleep(rule.delay or 60.0)
+    rule = plan.fire(WORKER_SLOW, context)
+    if rule is not None:
+        time.sleep(rule.delay or 0.05)

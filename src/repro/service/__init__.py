@@ -23,8 +23,14 @@ CLI: ``repro serve`` runs the daemon; ``learn``/``apply``/``monitor``
 take ``--registry DIR`` to read and write wrappers through the store.
 """
 
-from repro.service.client import ServiceClient, ServiceError
-from repro.service.protocol import MAX_FRAME_BYTES, OPS, ProtocolError
+from repro.service.client import (
+    RequestTimeout,
+    ServerDraining,
+    ServiceClient,
+    ServiceError,
+    TransportError,
+)
+from repro.service.protocol import ERROR_CODES, MAX_FRAME_BYTES, OPS, ProtocolError
 from repro.service.registry import (
     ArtifactRecord,
     FileBackend,
@@ -38,6 +44,7 @@ from repro.service.server import ExtractionServer, ServerError
 
 __all__ = [
     "ArtifactRecord",
+    "ERROR_CODES",
     "ExtractionServer",
     "FileBackend",
     "MAX_FRAME_BYTES",
@@ -46,9 +53,12 @@ __all__ = [
     "ProtocolError",
     "RegistryBackend",
     "RegistryError",
+    "RequestTimeout",
+    "ServerDraining",
     "ServerError",
     "ServiceClient",
     "ServiceError",
+    "TransportError",
     "WrapperRegistry",
     "fingerprint_of",
 ]

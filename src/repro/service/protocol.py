@@ -70,7 +70,46 @@ Success payloads by op:
 
 Failures: ``{"id", "ok": false, "error": "..."}`` (plus ``"op"``
 and ``"site"`` when known).  A failure is per request — the connection
-stays usable.
+stays usable.  Structured failures additionally carry a
+machine-readable ``"code"`` from :data:`ERROR_CODES`:
+
+``"deadline"``
+    The server's per-request deadline elapsed before the work
+    completed; the work may still finish server-side (and populate the
+    registry) but this request is answered now instead of hanging the
+    client.
+
+``"draining"``
+    The server is draining for restart and refuses new work; in-flight
+    requests still complete.  The request was **not** executed — the
+    client should retry against the next generation to bind the
+    address (:class:`~repro.service.client.ServiceClient` does this
+    automatically while it has retries).
+
+``"quarantined"``
+    The job crashed workers past the pool's crash-retry cap and was
+    quarantined as poison work; retrying the same pages will fail the
+    same way.
+
+``"registry"``
+    The wrapper was learned but could not be durably stored; a retry
+    re-learns (or hits a registry that has recovered).
+
+``"internal"``
+    The dispatcher caught an unexpected exception handling this
+    request; the connection stays usable.
+
+Draining restart
+----------------
+
+A generation that wants to exit cleanly stops accepting connections,
+answers every *queued-but-unstarted* request with a ``"draining"``
+failure, lets in-flight work complete and answer normally, then closes
+every client socket and unbinds.  Because responses carry ids and the
+operations are idempotent (apply is pure; learn deduplicates through
+the registry), a client can replay unanswered ids verbatim against the
+next generation without risking duplicate or lost acknowledged
+results.
 
 Fairness & admission control
 ----------------------------
@@ -87,6 +126,7 @@ from __future__ import annotations
 import json
 
 __all__ = [
+    "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "OPS",
     "ProtocolError",
@@ -102,6 +142,10 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 #: The request operations the protocol defines.
 OPS = ("apply", "learn", "stats", "ping")
+
+#: Machine-readable ``"code"`` values a structured failure may carry
+#: (see the module docstring for semantics).
+ERROR_CODES = ("deadline", "draining", "quarantined", "registry", "internal")
 
 
 class ProtocolError(ValueError):

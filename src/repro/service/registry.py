@@ -253,6 +253,10 @@ class FileBackend(RegistryBackend):
 
     def _write_atomic(self, path: Path, document: dict) -> None:
         """temp + fsync + rename: crash-safe whole-document replace."""
+        from repro import faults
+
+        if faults.fire(faults.REGISTRY_WRITE, context=path.name) is not None:
+            raise OSError(f"injected fault: registry write failure ({path.name})")
         text = json.dumps(document, sort_keys=True)
         tmp = path.with_name(f"{path.name}{self._TMP_SUFFIX}-{os.getpid()}")
         try:

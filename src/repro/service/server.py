@@ -33,6 +33,24 @@ fingerprint arriving mid-learn wait on the flight (still counted
 against their tenant's budget) and are served from the one stored
 version when it lands — the registry is populated exactly once per
 fingerprint however the requests race.
+
+Operating under failure
+-----------------------
+
+The daemon assumes its workers die: the owned pool runs with crash
+respawn (dead workers are replaced up to the configured width, with
+backoff on rapid death loops) and poison-task quarantine (a job that
+keeps killing workers is answered as a structured failure,
+``code: "quarantined"``).  ``request_deadline`` bounds every apply /
+learn request — work that has not answered in time gets a structured
+``code: "deadline"`` error instead of a hung client (the job may still
+finish server-side and populate the registry).  :meth:`drain` (wired
+to SIGHUP by ``repro serve``) stops accepting, refuses queued work
+with ``code: "draining"``, finishes in-flight requests, then exits so
+a new generation can bind the same address; replaying clients lose
+nothing acknowledged.  Startup and a slow periodic tick run
+:func:`repro.arena.reap_orphans` so dead owners' shared-memory
+segments cannot accumulate across generations.
 """
 
 from __future__ import annotations
@@ -45,6 +63,7 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.api.ingest import IngestSession
 from repro.api.scheduler import WorkerPool
 from repro.service import protocol
@@ -77,6 +96,16 @@ class _Ticket:
     version: int | None = None
     #: learn jobs triggered by an apply miss answer with an apply.
     respond_apply: bool = False
+    #: Monotonic instant past which the request is answered with a
+    #: ``code: "deadline"`` error (None: no deadline).
+    deadline: float | None = None
+    #: The response (success or error) has been sent and the budget
+    #: slot released; any further completion for this ticket only
+    #: updates server-side state (flight artifact, registry), never
+    #: the client.
+    answered: bool = False
+    #: The tenant's in-flight budget was charged for this ticket.
+    counted: bool = False
 
 
 @dataclass(slots=True)
@@ -114,6 +143,21 @@ class _Client:
                     "error": "response exceeded the frame bound",
                 }
             )
+        context = f"{record.get('op', '')}:{record.get('site', '')}"
+        if faults.fire(faults.CONN_DROP, context) is not None:
+            # Injected peer loss: the response evaporates and the
+            # connection resets — the client must reconnect and replay.
+            self.close()
+            return
+        if faults.fire(faults.CONN_TRUNCATE, context) is not None:
+            # Injected mid-frame death: half a frame, then reset.
+            try:
+                with self.send_lock:
+                    self.sock.sendall(data[: max(1, len(data) // 2)])
+            except OSError:
+                pass
+            self.close()
+            return
         try:
             with self.send_lock:
                 self.sock.sendall(data)
@@ -155,6 +199,15 @@ class ExtractionServer:
             jobs (and flight waits) one connection may have in flight.
         queue_depth: per-tenant admission queue bound; a tenant past it
             stops being read from (socket backpressure).
+        request_deadline: seconds an admitted apply/learn request may
+            run before being answered with a structured
+            ``code: "deadline"`` error; ``None`` disables deadlines.
+        reap_interval: seconds between periodic
+            :func:`repro.arena.reap_orphans` sweeps (also run once at
+            startup); ``0`` disables the tick.
+        crash_retry_limit: for an owned pool, how many worker deaths a
+            job may cause before quarantine (see
+            :class:`~repro.api.scheduler.WorkerPool`).
     """
 
     def __init__(
@@ -169,11 +222,18 @@ class ExtractionServer:
         max_workers: int | None = None,
         max_inflight_per_client: int = 8,
         queue_depth: int = 64,
+        request_deadline: float | None = None,
+        reap_interval: float = 60.0,
+        crash_retry_limit: int = 3,
     ) -> None:
         if max_inflight_per_client < 1:
             raise ServerError(
                 "max_inflight_per_client must be >= 1; got "
                 f"{max_inflight_per_client}"
+            )
+        if request_deadline is not None and request_deadline <= 0:
+            raise ServerError(
+                f"request_deadline must be positive; got {request_deadline}"
             )
         self.registry = (
             registry
@@ -187,6 +247,9 @@ class ExtractionServer:
         self.socket_path = os.fspath(socket_path) if socket_path else None
         self.max_inflight_per_client = max_inflight_per_client
         self.queue_depth = queue_depth
+        self.request_deadline = request_deadline
+        self.reap_interval = reap_interval
+        self.crash_retry_limit = crash_retry_limit
         self._owns_pool = pool is None
         self._pool = pool
         self._max_workers = max_workers
@@ -199,9 +262,13 @@ class ExtractionServer:
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._started = False
+        self._draining = False
+        self._drained = threading.Event()
         self.requests: Counter = Counter()
         self.responses = 0
         self.errors = 0
+        self.deadline_expired = 0
+        self.arena_reaped = 0
         self.started_at: float | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -233,8 +300,20 @@ class ExtractionServer:
             self.port = listener.getsockname()[1]
         listener.listen(64)
         self._listener = listener
+        # Segments orphaned by a previous generation's crash die here,
+        # before this generation starts packing its own.
+        try:
+            from repro.arena import reap_orphans
+
+            self.arena_reaped += len(reap_orphans())
+        except Exception:  # pragma: no cover - best-effort sweep
+            pass
         if self._pool is None:
-            self._pool = WorkerPool(self._max_workers)
+            self._pool = WorkerPool(
+                self._max_workers,
+                respawn_workers=True,
+                crash_retry_limit=self.crash_retry_limit,
+            )
         # The session's own in-flight bound is effectively disabled:
         # admission control happens per tenant in the dispatcher, whose
         # budgets bound the pool's total in-flight work.
@@ -253,36 +332,68 @@ class ExtractionServer:
             self._threads.append(thread)
         return self
 
+    def _shutdown_listener(self) -> None:
+        """Stop accepting connections (idempotent; any thread).
+
+        A blocked ``accept()`` is not reliably interrupted by closing
+        the listener from another thread — wake it with a dummy
+        connection first, then close.
+        """
+        listener, self._listener = self._listener, None
+        if listener is None:
+            return
+        try:
+            family = (
+                socket.AF_UNIX
+                if self.socket_path is not None
+                else socket.AF_INET
+            )
+            wake = socket.socket(family, socket.SOCK_STREAM)
+            wake.settimeout(1.0)
+            wake.connect(
+                self.socket_path
+                if self.socket_path is not None
+                else (self.host, self.port)
+            )
+            wake.close()
+        except OSError:
+            pass
+        try:
+            listener.close()
+        except OSError:
+            pass
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Hand this generation off: stop accepting, refuse queued work
+        (``code: "draining"``), finish what is in flight, then close.
+
+        The listener is closed *synchronously*, so by the time this
+        returns control between its two phases a new generation may
+        already bind the same address (an ``AF_UNIX`` successor can
+        bind even earlier — it unlinks the stale path itself).  Every
+        in-flight request still answers normally; every queued or
+        newly-arriving request is refused with a structured
+        ``draining`` error that retrying clients chase to the new
+        generation.  Returns ``True`` when everything in flight
+        settled within ``timeout`` (``None``: wait indefinitely);
+        ``False`` means the timeout expired — likely a hung job — and
+        the server was closed anyway.
+        """
+        if not self._started:
+            raise ServerError("server not started")
+        self._draining = True
+        self._shutdown_listener()
+        drained = self._drained.wait(timeout)
+        self.close()
+        return drained
+
     def close(self) -> None:
         """Stop serving: drop clients, close the session (owned pool too)."""
         if not self._started or self._stop.is_set():
             self._stop.set()
             return
         self._stop.set()
-        if self._listener is not None:
-            # A blocked accept() is not reliably interrupted by closing
-            # the listener from another thread — wake it with a dummy
-            # connection first, then close.
-            try:
-                family = (
-                    socket.AF_UNIX
-                    if self.socket_path is not None
-                    else socket.AF_INET
-                )
-                wake = socket.socket(family, socket.SOCK_STREAM)
-                wake.settimeout(1.0)
-                wake.connect(
-                    self.socket_path
-                    if self.socket_path is not None
-                    else (self.host, self.port)
-                )
-                wake.close()
-            except OSError:
-                pass
-            try:
-                self._listener.close()
-            except OSError:
-                pass
+        self._shutdown_listener()
         for thread in self._threads:
             thread.join(timeout=10.0)
         with self._clients_lock:
@@ -323,16 +434,23 @@ class ExtractionServer:
 
     def _accept_loop(self) -> None:
         while not self._stop.is_set():
+            listener = self._listener
+            if listener is None:
+                return  # draining: listener already shut down
             try:
-                sock, _ = self._listener.accept()
+                sock, _ = listener.accept()
             except OSError:
                 return  # listener closed
-            if self._stop.is_set():  # the close() wake-up connection
+            if self._stop.is_set() or self._draining:
+                # The shutdown wake-up connection, or a client racing
+                # the drain: either way, no new tenants.
                 try:
                     sock.close()
                 except OSError:
                     pass
-                return
+                if self._stop.is_set():
+                    return
+                continue
             client = _Client(sock, self.queue_depth)
             reader = threading.Thread(
                 target=self._read_loop,
@@ -379,10 +497,13 @@ class ExtractionServer:
 
     def _dispatch_loop(self) -> None:
         session = self._session
+        last_reap = time.monotonic()
         while not self._stop.is_set():
             progressed = False
             for outcome in session.advance():
                 self._complete(outcome)
+                progressed = True
+            if self._expire_deadlines():
                 progressed = True
             for client in self._round_robin():
                 if client.closed and client.queue.empty():
@@ -395,10 +516,96 @@ class ExtractionServer:
                     record = client.queue.get_nowait()
                 except queue.Empty:
                     continue
-                self._handle(client, record)
+                try:
+                    self._handle(client, record)
+                except Exception as error:
+                    # One bad request (corrupt registry chain, injected
+                    # store failure...) must not take the dispatcher —
+                    # and with it every tenant — down.
+                    self.errors += 1
+                    client.send(
+                        {
+                            "id": record.get("id"),
+                            "ok": False,
+                            "op": record.get("op"),
+                            "site": record.get("site"),
+                            "error": f"internal error: {error}",
+                            "code": "internal",
+                        }
+                    )
                 progressed = True
+            if self.reap_interval and (
+                time.monotonic() - last_reap >= self.reap_interval
+            ):
+                last_reap = time.monotonic()
+                try:
+                    from repro.arena import reap_orphans
+
+                    self.arena_reaped += len(reap_orphans())
+                except Exception:  # pragma: no cover - best-effort sweep
+                    pass
+            if self._draining and not self._drained.is_set():
+                busy = self._flights or any(
+                    not ticket.answered for ticket in self._tickets.values()
+                )
+                if not busy:
+                    self._drained.set()
             if not progressed:
-                time.sleep(_IDLE_SLEEP)
+                # A real timed wait, not a sleep: completions land
+                # immediately, and a quiet wait runs worker health
+                # checks — crashed workers get reaped, retried or
+                # quarantined, and (respawn on) replaced.  A bare
+                # sleep here would leave a dead worker's jobs — and
+                # their clients — hanging forever.
+                session.pump(_IDLE_SLEEP)
+
+    def _expire_deadlines(self) -> bool:
+        """Answer every ticket whose deadline has passed.
+
+        A plain apply ticket is dropped outright (its late outcome, if
+        any, is ignored).  A flight *owner* stays registered answered:
+        the learn must still complete server-side to serve the
+        flight's waiters and populate the registry.  Expired waiters
+        leave their flight.
+        """
+        if self.request_deadline is None:
+            return False
+        now = time.monotonic()
+        progressed = False
+        for index, ticket in list(self._tickets.items()):
+            if (
+                ticket.answered
+                or ticket.deadline is None
+                or now < ticket.deadline
+            ):
+                continue
+            progressed = True
+            self.deadline_expired += 1
+            self._fail(
+                ticket,
+                f"request deadline of {self.request_deadline}s exceeded",
+                code="deadline",
+            )
+            flight = self._flights.get(ticket.fingerprint)
+            if flight is None or flight.owner is not ticket:
+                del self._tickets[index]
+        for flight in self._flights.values():
+            for waiter in list(flight.waiters):
+                if (
+                    waiter.answered
+                    or waiter.deadline is None
+                    or now < waiter.deadline
+                ):
+                    continue
+                progressed = True
+                self.deadline_expired += 1
+                self._fail(
+                    waiter,
+                    f"request deadline of {self.request_deadline}s exceeded",
+                    code="deadline",
+                )
+                flight.waiters.remove(waiter)
+        return progressed
 
     def _round_robin(self) -> list[_Client]:
         with self._clients_lock:
@@ -435,6 +642,22 @@ class ExtractionServer:
                 }
             )
             self.responses += 1
+            return
+        if self._draining:
+            self.errors += 1
+            client.send(
+                {
+                    "id": record.get("id"),
+                    "ok": False,
+                    "op": op,
+                    "site": record.get("site"),
+                    "error": (
+                        "server is draining for restart; retry against "
+                        "the next generation"
+                    ),
+                    "code": "draining",
+                }
+            )
             return
         site = record["site"]
         pages = [str(page) for page in record["pages"]]
@@ -517,9 +740,15 @@ class ExtractionServer:
             return
         self._enter_flight(ticket)
 
+    def _arm_deadline(self, ticket: _Ticket) -> None:
+        if self.request_deadline is not None:
+            ticket.deadline = time.monotonic() + self.request_deadline
+
     def _enter_flight(self, ticket: _Ticket) -> None:
         """Join (or open) the fingerprint's learn flight."""
         ticket.client.inflight += 1
+        ticket.counted = True
+        self._arm_deadline(ticket)
         flight = self._flights.get(ticket.fingerprint)
         if flight is not None:
             flight.waiters.append(ticket)
@@ -533,6 +762,8 @@ class ExtractionServer:
 
     def _submit_apply(self, ticket: _Ticket, artifact) -> None:
         ticket.client.inflight += 1
+        ticket.counted = True
+        self._arm_deadline(ticket)
         index = self._session.submit_html(
             ticket.site,
             ticket.pages,
@@ -547,32 +778,58 @@ class ExtractionServer:
         ticket = self._tickets.pop(outcome.index, None)
         if ticket is None:
             return
-        if ticket.op == "learn":
-            self._complete_learn(ticket, outcome)
-        else:
-            self._complete_apply(ticket, outcome)
+        try:
+            if ticket.op == "learn":
+                self._complete_learn(ticket, outcome)
+            else:
+                self._complete_apply(ticket, outcome)
+        except Exception as error:
+            # Answer rather than kill the dispatcher; _settle is a
+            # no-op for tickets that already went out.
+            self._fail(
+                ticket,
+                f"internal error completing request: {error}",
+                code="internal",
+            )
+
+    @staticmethod
+    def _outcome_code(outcome) -> str | None:
+        if outcome.error and outcome.error.startswith("quarantined"):
+            return "quarantined"
+        return None
 
     def _complete_learn(self, ticket: _Ticket, outcome) -> None:
         flight = self._flights.pop(ticket.fingerprint, None)
         waiters = flight.waiters if flight is not None else []
         if not outcome.ok or outcome.artifact is None:
             error = outcome.error or "learning produced no artifact"
-            self._fail(ticket, f"learn failed: {error}", settle=True)
+            code = self._outcome_code(outcome)
+            self._fail(ticket, f"learn failed: {error}", code=code)
             for waiter in waiters:
-                self._fail(waiter, f"learn failed: {error}", settle=True)
+                self._fail(waiter, f"learn failed: {error}", code=code)
             return
         previous = self.registry.latest(ticket.fingerprint)
-        record = self.registry.put(
-            ticket.fingerprint,
-            outcome.artifact,
-            origin="learn",
-            parent_version=(
-                previous.version if previous is not None else None
-            ),
-        )
+        try:
+            record = self.registry.put(
+                ticket.fingerprint,
+                outcome.artifact,
+                origin="learn",
+                parent_version=(
+                    previous.version if previous is not None else None
+                ),
+            )
+        except Exception as error:
+            # The learn is good but cannot be made durable: answer the
+            # whole flight with a structured, retryable failure instead
+            # of letting the write error kill the dispatcher thread.
+            message = f"wrapper learned but registry store failed: {error}"
+            self._fail(ticket, message, code="registry")
+            for waiter in waiters:
+                self._fail(waiter, message, code="registry")
+            return
         self.registry.learned += 1
         artifact = outcome.artifact
-        if ticket.respond_apply:
+        if ticket.respond_apply and not ticket.answered:
             ticket.op = "apply"
             ticket.source = "learned"
             ticket.version = record.version
@@ -585,8 +842,8 @@ class ExtractionServer:
             )
             self._tickets[index] = ticket
         else:
-            ticket.client.inflight -= 1
-            ticket.client.send(
+            self._settle(
+                ticket,
                 {
                     "id": ticket.request_id,
                     "ok": True,
@@ -596,10 +853,11 @@ class ExtractionServer:
                     "version": record.version,
                     "rule": artifact.rule,
                     "created": True,
-                }
+                },
             )
-            self.responses += 1
         for waiter in waiters:
+            if waiter.answered:
+                continue
             if waiter.op == "apply":
                 waiter.source = "learned"
                 waiter.version = record.version
@@ -611,8 +869,8 @@ class ExtractionServer:
                 )
                 self._tickets[index] = waiter
             else:
-                waiter.client.inflight -= 1
-                waiter.client.send(
+                self._settle(
+                    waiter,
                     {
                         "id": waiter.request_id,
                         "ok": True,
@@ -622,22 +880,15 @@ class ExtractionServer:
                         "version": record.version,
                         "rule": artifact.rule,
                         "created": False,
-                    }
+                    },
                 )
-                self.responses += 1
 
     def _complete_apply(self, ticket: _Ticket, outcome) -> None:
-        ticket.client.inflight -= 1
         if not outcome.ok:
-            self.errors += 1
-            ticket.client.send(
-                {
-                    "id": ticket.request_id,
-                    "ok": False,
-                    "op": "apply",
-                    "site": ticket.site,
-                    "error": outcome.error or "extraction failed",
-                }
+            self._fail(
+                ticket,
+                outcome.error or "extraction failed",
+                code=self._outcome_code(outcome),
             )
             return
         node_ids = sorted(outcome.extracted)
@@ -654,26 +905,37 @@ class ExtractionServer:
         }
         if ticket.texts:
             response["texts"] = outcome.texts
+        self._settle(ticket, response)
+
+    def _settle(self, ticket: _Ticket, response: dict) -> None:
+        """Answer a ticket exactly once: release its budget slot, count
+        it, send.  A ticket already answered (deadline expiry) is a
+        no-op — its slot is gone and its client already has a frame."""
+        if ticket.answered:
+            return
+        ticket.answered = True
+        if ticket.counted:
+            ticket.client.inflight -= 1
+        if response.get("ok"):
+            self.responses += 1
+        else:
+            self.errors += 1
         ticket.client.send(response)
-        self.responses += 1
 
     def _fail(
-        self, ticket: _Ticket, error: str, settle: bool = False
+        self, ticket: _Ticket, error: str, code: str | None = None
     ) -> None:
-        """Answer a ticket with a failure (``settle`` releases a budget
-        slot already counted for a flight)."""
-        if settle:
-            ticket.client.inflight -= 1
-        self.errors += 1
-        ticket.client.send(
-            {
-                "id": ticket.request_id,
-                "ok": False,
-                "op": "apply" if ticket.respond_apply else ticket.op,
-                "site": ticket.site,
-                "error": error,
-            }
-        )
+        """Answer a ticket with a (possibly coded) failure."""
+        response = {
+            "id": ticket.request_id,
+            "ok": False,
+            "op": "apply" if ticket.respond_apply else ticket.op,
+            "site": ticket.site,
+            "error": error,
+        }
+        if code is not None:
+            response["code"] = code
+        self._settle(ticket, response)
 
     def _server_stats(self) -> dict:
         from repro.arena import arena_stats
@@ -694,11 +956,20 @@ class ExtractionServer:
                 time.time() - self.started_at if self.started_at else 0.0
             ),
             "can_learn": self.extractor is not None,
+            "draining": self._draining,
+            "request_deadline": self.request_deadline,
+            "deadline_expired": self.deadline_expired,
+            # Crash resilience: pool-side death/respawn/quarantine
+            # tallies for the shared fleet.
+            "worker_deaths": pool.stats.worker_deaths if pool else 0,
+            "respawns": pool.stats.respawns if pool else 0,
+            "quarantined": pool.stats.quarantined if pool else 0,
             # Shared site memory: daemon-side segment counters plus the
             # pool's handle-shipping tally (worker-side attach hits live
             # in the workers; the daemon reports what it owns and ships).
             "arena": dict(
                 arena_stats(),
                 handle_ships=pool.stats.arena_ships if pool else 0,
+                orphans_reaped=self.arena_reaped,
             ),
         }

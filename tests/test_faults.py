@@ -1,0 +1,161 @@
+"""Deterministic fault injection: plan semantics, activation, hooks."""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """No test leaks an armed plan (or a stale env var) to the next."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFaultRule:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(faults.FaultError, match="unknown injection point"):
+            faults.FaultRule(point="worker.explode")
+
+    def test_rate_bounds_validated(self):
+        with pytest.raises(faults.FaultError, match="rate"):
+            faults.FaultRule(point=faults.WORKER_CRASH, rate=1.5)
+        with pytest.raises(faults.FaultError, match="rate"):
+            faults.FaultRule(point=faults.WORKER_CRASH, rate=-0.1)
+
+    def test_at_is_one_based(self):
+        with pytest.raises(faults.FaultError, match="1-based"):
+            faults.FaultRule(point=faults.WORKER_CRASH, at=(0,))
+
+
+class TestFaultPlanSemantics:
+    def test_at_fires_on_exact_hit_counts(self):
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.CONN_DROP, at=[2, 4])
+        fired = [plan.fire(faults.CONN_DROP) is not None for _ in range(6)]
+        assert fired == [False, True, False, True, False, False]
+
+    def test_match_restricts_and_does_not_consume_hits(self):
+        """Non-matching contexts must not advance the hit counter —
+        ``at=[1]`` means the first *matching* hit, whatever came before."""
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_CRASH, at=[1], match="poison")
+        assert plan.fire(faults.WORKER_CRASH, "w0:apply:healthy") is None
+        assert plan.fire(faults.WORKER_CRASH, "w0:apply:healthy") is None
+        assert plan.fire(faults.WORKER_CRASH, "w0:learn:poison") is not None
+        assert plan.fire(faults.WORKER_CRASH, "w0:learn:poison") is None
+
+    def test_max_fires_caps_a_rate_rule(self):
+        plan = faults.FaultPlan(seed=5)
+        plan.add(faults.CONN_DROP, rate=1.0, max_fires=2)
+        fired = [plan.fire(faults.CONN_DROP) is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_rate_sequence_reproducible_per_seed(self):
+        def sequence(seed):
+            plan = faults.FaultPlan(seed=seed)
+            plan.add(faults.CONN_DROP, rate=0.5)
+            return [
+                plan.fire(faults.CONN_DROP) is not None for _ in range(64)
+            ]
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+        assert any(sequence(7))  # rate=0.5 over 64 draws fires somewhere
+        assert not all(sequence(7))
+
+    def test_first_matching_rule_wins(self):
+        plan = faults.FaultPlan(seed=1)
+        first = plan.add(faults.CONN_DROP, at=[1], match="apply")
+        second = plan.add(faults.CONN_DROP, rate=1.0)
+        assert plan.fire(faults.CONN_DROP, "apply:shop") is first
+        assert plan.fire(faults.CONN_DROP, "learn:shop") is second
+
+    def test_json_round_trip(self):
+        plan = faults.FaultPlan(seed=42)
+        plan.add(faults.WORKER_CRASH, at=[1, 3], match="w0")
+        plan.add(faults.WORKER_HANG, rate=0.25, max_fires=2, delay=1.5)
+        clone = faults.FaultPlan.from_json(plan.to_json())
+        assert clone.seed == 42
+        assert clone.rules == plan.rules
+        # Counters are runtime state, not configuration.
+        document = json.loads(plan.to_json())
+        assert "hits" not in document["rules"][0]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(faults.FaultError, match="invalid fault plan"):
+            faults.FaultPlan.from_json("{torn")
+        with pytest.raises(faults.FaultError, match="object"):
+            faults.FaultPlan.from_json("[1]")
+        with pytest.raises(faults.FaultError, match="missing field"):
+            faults.FaultPlan.from_json('{"rules": [{"rate": 1.0}]}')
+
+
+class TestActivation:
+    def test_no_plan_means_every_hook_is_inert(self):
+        assert faults.active() is None
+        assert faults.fire(faults.CONN_DROP) is None
+        faults.perturb_worker("w0:apply:shop")  # must not raise or sleep
+
+    def test_install_arms_process_wide(self):
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.CONN_DROP, at=[1])
+        faults.install(plan)
+        assert faults.active() is plan
+        assert faults.fire(faults.CONN_DROP) is not None
+        faults.install(None)
+        assert faults.fire(faults.CONN_DROP) is None
+
+    def test_env_round_trip_for_exec_subprocesses(self):
+        plan = faults.FaultPlan(seed=9)
+        plan.add(faults.REGISTRY_WRITE, at=[1])
+        faults.install(plan, env=True)
+        assert faults.ENV_VAR in os.environ
+        # A fresh process resolves the env var on first use.
+        faults.clear()
+        os.environ[faults.ENV_VAR] = plan.to_json()
+        resolved = faults.active()
+        assert resolved is not None
+        assert resolved.rules[0].point == faults.REGISTRY_WRITE
+        # Disarming with env=True also retracts the export.
+        faults.install(None, env=True)
+        assert faults.ENV_VAR not in os.environ
+
+    def test_slow_perturbation_sleeps_its_delay(self):
+        import time
+
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_SLOW, at=[1], delay=0.02)
+        faults.install(plan)
+        start = time.monotonic()
+        faults.perturb_worker("w0:apply:shop")
+        assert time.monotonic() - start >= 0.02
+        # Second hit: rule spent, no sleep.
+        start = time.monotonic()
+        faults.perturb_worker("w0:apply:shop")
+        assert time.monotonic() - start < 0.02
+
+
+class TestRegistryWriteInjection:
+    def test_file_backend_write_fails_on_cue(self, tmp_path):
+        from repro.api import WrapperArtifact
+        from repro.service import WrapperRegistry
+
+        artifact = WrapperArtifact(
+            wrapper_spec={"kind": "xpath", "features": [[1, "tag", "p"]]},
+            rule="//p/text()",
+        )
+        registry = WrapperRegistry(str(tmp_path))
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.REGISTRY_WRITE, at=[1])
+        faults.install(plan)
+        with pytest.raises(OSError, match="injected fault"):
+            registry.put("fp-one", artifact, origin="test")
+        # The rule is spent: the retry lands durably.
+        record = registry.put("fp-one", artifact, origin="test")
+        assert record.version == 1
+        assert registry.fingerprints() == ["fp-one"]

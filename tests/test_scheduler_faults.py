@@ -1,0 +1,171 @@
+"""Worker-pool resilience under injected faults: quarantine, respawn,
+crash-loop backoff, arena-segment loss."""
+
+import time
+from collections import deque
+
+import pytest
+
+from repro import faults
+from repro.api import WorkerPool
+from repro.site import Site
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _page(name: str) -> str:
+    return f"<div><table><tr><td><u>{name}</u></td></tr></table></div>"
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    from repro.annotators.dictionary import DictionaryAnnotator
+    from repro.api import Extractor, ExtractorConfig
+
+    site = Site.from_html("shop", [_page("ALPHA")])
+    labels = DictionaryAnnotator(["ALPHA"]).annotate(site)
+    extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+    return extractor.learn(site, labels, site_name="shop")
+
+
+class TestQuarantine:
+    def test_poison_job_quarantined_after_exactly_n_crashes(self, artifact):
+        """A job that SIGKILLs every worker it lands on is retried
+        ``crash_retry_limit`` times, then quarantined as a structured
+        failure — the pool survives with the workers it has left."""
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_CRASH, at=[1], match="apply:poison")
+        faults.install(plan)  # fork-inherited by the pool workers
+        with WorkerPool(
+            max_workers=4, chunksize=1, crash_retry_limit=2
+        ) as pool:
+            result = pool.apply([artifact], [("poison", [_page("ALPHA")])])
+            outcome = result.outcomes[0]
+            assert not outcome.ok
+            assert outcome.error.startswith("quarantined")
+            assert "crash_retry_limit=2" in outcome.error
+            # Exactly limit+1 deaths: one per retry, then the cap.
+            assert pool.stats.worker_deaths == 3
+            assert pool.stats.quarantined == 1
+            assert pool._alive.count(True) == 1
+            # Survivors keep serving ordinary work on the same pool.
+            again = pool.apply(
+                [artifact] * 3,
+                [(f"healthy-{i}", [_page("ALPHA")]) for i in range(3)],
+            )
+        assert not again.failures
+        assert all(o.ok for o in again.outcomes)
+
+    def test_collateral_jobs_requeue_without_quarantine(self, artifact):
+        """Healthy jobs orphaned by a crash retry freely — only the
+        repeat offender crosses the quarantine threshold."""
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_CRASH, at=[1], match="apply:poison")
+        faults.install(plan)
+        sites = [("poison", [_page("ALPHA")])] + [
+            (f"healthy-{i}", [_page("ALPHA")]) for i in range(6)
+        ]
+        with WorkerPool(
+            max_workers=3, chunksize=1, crash_retry_limit=1
+        ) as pool:
+            result = pool.apply([artifact] * len(sites), sites)
+        by_site = {o.site: o for o in result.outcomes}
+        assert not by_site["poison"].ok
+        assert by_site["poison"].error.startswith("quarantined")
+        healthy = [o for name, o in by_site.items() if name != "poison"]
+        assert len(healthy) == 6
+        assert all(o.ok for o in healthy)
+        # Exactly-once: one outcome per submitted job.
+        assert sorted(o.index for o in result.outcomes) == list(
+            range(len(sites))
+        )
+
+
+class TestRespawn:
+    def test_respawn_restores_fleet_width(self, artifact):
+        """With ``respawn_workers`` on, a crashed worker is replaced;
+        the replacement inherits the shared context and the orphaned
+        backlog, and the batch still completes exactly-once."""
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_CRASH, at=[1], match="w0:")
+        faults.install(plan)
+        sites = [(f"shop-{i}", [_page("ALPHA")]) for i in range(8)]
+        with WorkerPool(
+            max_workers=2, chunksize=1, respawn_workers=True
+        ) as pool:
+            result = pool.apply([artifact] * len(sites), sites)
+            assert not result.failures
+            assert sorted(o.index for o in result.outcomes) == list(
+                range(len(sites))
+            )
+            assert pool.stats.worker_deaths == 1
+            assert pool.stats.respawns == 1
+            assert pool.workers_alive == 2
+            # The respawned pool keeps serving.
+            again = pool.apply([artifact], [("after", [_page("ALPHA")])])
+        assert not again.failures
+
+    def test_respawn_off_by_default(self, artifact):
+        with WorkerPool(max_workers=2) as pool:
+            assert pool.respawn_workers is False
+            pool._maybe_respawn()  # inert without opting in
+            assert pool.stats.respawns == 0
+
+
+class TestRapidDeathBackoff:
+    def test_death_burst_arms_doubling_backoff(self):
+        pool = WorkerPool(max_workers=1)
+        try:
+            pool._note_worker_death()
+            pool._note_worker_death()
+            assert pool._respawn_delay == 0.0  # two deaths: no loop yet
+            pool._note_worker_death()
+            assert pool._respawn_delay == pytest.approx(0.1)
+            assert pool._respawn_not_before > time.monotonic() - 1.0
+            pool._note_worker_death()
+            assert pool._respawn_delay == pytest.approx(0.2)
+            for _ in range(20):
+                pool._note_worker_death()
+            assert pool._respawn_delay <= 10.0
+            assert pool.stats.worker_deaths == 24
+        finally:
+            pool.close()
+
+    def test_quiet_gap_resets_the_loop_detector(self):
+        pool = WorkerPool(max_workers=1)
+        try:
+            for _ in range(3):
+                pool._note_worker_death()
+            assert pool._respawn_delay > 0.0
+            # Fake a long quiet spell since the last death.
+            pool._death_times = deque(
+                [time.monotonic() - 60.0], maxlen=16
+            )
+            pool._note_worker_death()
+            assert pool._respawn_delay == 0.0
+        finally:
+            pool.close()
+
+
+class TestArenaSegmentLoss:
+    def test_unlinked_segments_fall_back_to_sources(self, artifact):
+        """Every shipped arena segment is unlinked before the worker can
+        attach: extraction must fall back to re-parsing the handle's
+        raw sources and still return correct results."""
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.ARENA_UNLINK, rate=1.0)
+        faults.install(plan)
+        sites = [
+            Site.from_html(f"shop-{i}", [_page("ALPHA")]) for i in range(4)
+        ]
+        expected = [artifact.apply(site) for site in sites]
+        with WorkerPool(max_workers=2) as pool:
+            result = pool.apply([artifact] * len(sites), sites)
+            assert pool.stats.arena_ships > 0
+        assert not result.failures
+        assert [o.extracted for o in result.outcomes] == expected

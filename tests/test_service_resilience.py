@@ -1,0 +1,276 @@
+"""End-to-end service resilience under injected faults: reconnect +
+replay, request deadlines, draining restarts, crash storms, quarantine
+over the wire, orphan reaping."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import faults
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.api import Extractor, ExtractorConfig
+from repro.service import (
+    ExtractionServer,
+    RequestTimeout,
+    ServerDraining,
+    ServiceClient,
+    ServiceError,
+    WrapperRegistry,
+)
+
+NAMES = [f"PRODUCT-{index:02d}" for index in range(40)]
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _page(names):
+    rows = "".join(
+        f"<tr><td class='item'><u>{name}</u></td></tr>" for name in names
+    )
+    return (
+        "<html><body><p>Welcome to the shop</p>"
+        f"<table>{rows}</table>"
+        "<p>Call us today</p></body></html>"
+    )
+
+
+def _site_pages(seed: int) -> list[str]:
+    first = NAMES[seed % 20], NAMES[(seed + 1) % 20]
+    second = (NAMES[(seed + 2) % 20],)
+    return [_page(first), _page(second)]
+
+
+def _annotator():
+    return DictionaryAnnotator(NAMES)
+
+
+def _extractor():
+    return Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+
+
+def _server(**overrides):
+    options = dict(
+        extractor=_extractor(), annotator=_annotator(), max_workers=1
+    )
+    options.update(overrides)
+    return ExtractionServer("memory", **options)
+
+
+class TestReconnectReplay:
+    def test_connection_drop_is_ridden_out_by_replay(self):
+        """The server eats the response and resets the connection: the
+        client must reconnect, replay the unanswered request, and hand
+        the caller the (idempotent) result as if nothing happened."""
+        with _server() as server:
+            with ServiceClient(server.address, timeout=30) as client:
+                plan = faults.FaultPlan(seed=1)
+                plan.add(faults.CONN_DROP, at=[1], match="apply:")
+                faults.install(plan)
+                response = client.apply("shop-drop", _site_pages(3))
+                assert response["ok"]
+                assert client.reconnects == 1
+                assert client.replays >= 1
+                # The connection is live again: next request sails.
+                assert client.apply("shop-drop", _site_pages(3))["ok"]
+                assert client.reconnects == 1
+
+    def test_mid_frame_truncation_is_ridden_out(self):
+        """Half a response frame then reset — the torn frame must not
+        be mistaken for an answer; the replay produces a whole one."""
+        with _server() as server:
+            with ServiceClient(server.address, timeout=30) as client:
+                plan = faults.FaultPlan(seed=1)
+                plan.add(faults.CONN_TRUNCATE, at=[1], match="apply:")
+                faults.install(plan)
+                response = client.apply("shop-torn", _site_pages(4))
+                assert response["ok"]
+                assert client.reconnects == 1
+
+    def test_retries_disabled_surfaces_transport_error(self):
+        from repro.service import TransportError
+
+        with _server() as server:
+            with ServiceClient(
+                server.address, timeout=30, retries=0
+            ) as client:
+                plan = faults.FaultPlan(seed=1)
+                plan.add(faults.CONN_DROP, at=[1], match="apply:")
+                faults.install(plan)
+                with pytest.raises(TransportError):
+                    client.apply("shop-raw", _site_pages(5))
+
+
+class TestRequestDeadline:
+    def test_deadline_answers_instead_of_hanging_the_client(self):
+        """A worker hangs mid-learn: the client gets a structured
+        ``deadline`` error when the server's per-request deadline
+        elapses — long before the hang resolves — and the server keeps
+        serving."""
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_HANG, at=[1], match="slowpoke", delay=1.5)
+        faults.install(plan)  # before start(): workers fork the plan
+        # max_workers=2: a one-worker pool executes inline in the
+        # parent, where a hang would stall the dispatcher itself.
+        with _server(request_deadline=0.3, max_workers=2) as server:
+            with ServiceClient(server.address, timeout=30) as client:
+                start = time.monotonic()
+                with pytest.raises(RequestTimeout) as excinfo:
+                    client.apply("slowpoke", _site_pages(6))
+                elapsed = time.monotonic() - start
+                assert elapsed < 1.5  # answered by deadline, not by hang
+                assert excinfo.value.response["code"] == "deadline"
+                # The connection and the server both stay usable.
+                assert client.ping()
+                # Once the hang resolves, the worker serves again (a
+                # request racing the hung worker's queue would get the
+                # same deadline answer — that is the contract).
+                time.sleep(max(0.0, 1.6 - (time.monotonic() - start)))
+                response = client.apply("prompt-site", _site_pages(7))
+                assert response["ok"]
+                stats = client.stats()
+                assert stats["server"]["deadline_expired"] >= 1
+                assert stats["server"]["request_deadline"] == 0.3
+
+
+class TestDraining:
+    def test_draining_refusal_raises_without_retries(self):
+        with _server() as server:
+            with ServiceClient(
+                server.address, timeout=30, retries=0
+            ) as client:
+                assert client.ping()
+                server._draining = True
+                with pytest.raises(ServerDraining):
+                    client.apply("shop-late", _site_pages(8))
+                # Liveness probes still answer during a drain.
+                assert client.ping()
+
+    def test_generation_handoff_loses_no_acknowledged_results(
+        self, tmp_path
+    ):
+        """Kill a generation mid-stream via drain: the successor binds
+        the same AF_UNIX address and shares the registry; a retrying
+        client chases it and every submitted request is answered
+        exactly once."""
+        path = str(tmp_path / "repro-serve.sock")
+        registry = WrapperRegistry("memory")
+        annotator = _annotator()
+        gen1 = ExtractionServer(
+            registry,
+            extractor=_extractor(),
+            annotator=annotator,
+            socket_path=path,
+            max_workers=1,
+        ).start()
+        client = ServiceClient(path, timeout=60, retries=8, backoff=0.05)
+        try:
+            ids = [
+                client.submit("apply", site=f"fleet-{seed}", pages=_site_pages(seed))
+                for seed in range(10)
+            ]
+            collected = {ids[0]: client.wait(ids[0])}
+            assert collected[ids[0]]["ok"]
+            # Old generation hands off: in-flight finishes and answers,
+            # queued work is refused with code "draining".
+            assert gen1.drain(timeout=60) is True
+            gen2 = ExtractionServer(
+                registry,
+                extractor=_extractor(),
+                annotator=annotator,
+                socket_path=path,
+                max_workers=1,
+            ).start()
+            try:
+                for request_id in ids[1:]:
+                    collected[request_id] = client.wait(request_id)
+                assert sorted(collected) == sorted(ids)
+                assert all(r["ok"] for r in collected.values())
+                # Every response answers the request it echoes.
+                assert all(
+                    r["id"] == request_id
+                    for request_id, r in collected.items()
+                )
+                # Exactly-once at the client boundary: nothing is still
+                # unanswered, nothing extra arrived.
+                assert not client._sent
+                assert not client._pending
+                assert client.reconnects >= 1
+            finally:
+                gen2.close()
+        finally:
+            client.close()
+            gen1.close()
+
+
+class TestCrashStorms:
+    def test_sigkill_mid_learn_while_client_waits(self):
+        """Both original workers are killed mid-learn; respawned
+        replacements pick the job up and the blocked client still gets
+        its answer — no hang, no error."""
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_CRASH, at=[1], match="w0:learn")
+        plan.add(faults.WORKER_CRASH, at=[1], match="w1:learn")
+        faults.install(plan)
+        with _server(max_workers=2) as server:
+            with ServiceClient(server.address, timeout=60) as client:
+                response = client.apply("crashy", _site_pages(9))
+                assert response["ok"]
+                stats = client.stats()["server"]
+                assert 1 <= stats["worker_deaths"] <= 2
+                assert stats["respawns"] >= 1
+                assert stats["quarantined"] == 0
+                assert server._pool.workers_alive == 2
+
+    def test_quarantine_surfaces_as_structured_failure(self):
+        """A site whose job kills every worker it touches is reported
+        as a ``quarantined`` failure over the wire; other tenants'
+        sites keep extracting on the respawned fleet."""
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_CRASH, at=[1], match=":poison")
+        faults.install(plan)
+        with _server(max_workers=2, crash_retry_limit=1) as server:
+            with ServiceClient(server.address, timeout=60) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.apply("poison", _site_pages(10))
+                assert excinfo.value.response["code"] == "quarantined"
+                assert "quarantined" in str(excinfo.value)
+                # Survivors (and respawns) keep the service healthy.
+                response = client.apply("bystander", _site_pages(11))
+                assert response["ok"]
+                stats = client.stats()["server"]
+                assert stats["quarantined"] == 1
+                assert stats["worker_deaths"] == 2  # limit + 1
+
+
+class TestOrphanReaping:
+    @staticmethod
+    def _dead_pid() -> int:
+        process = multiprocessing.get_context("fork").Process(target=int)
+        process.start()
+        process.join()
+        return process.pid
+
+    def test_startup_and_periodic_reap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARENA_DIR", str(tmp_path))
+        orphan = tmp_path / f"repro-arena-{self._dead_pid()}-0-feed.arena"
+        orphan.write_bytes(b"stale segment")
+        with _server(extractor=None, annotator=None, reap_interval=0.05) as server:
+            assert not orphan.exists()  # startup sweep got it
+            assert server.arena_reaped >= 1
+            # A segment orphaned while the daemon runs dies on the tick.
+            late = tmp_path / f"repro-arena-{self._dead_pid()}-1-cafe.arena"
+            late.write_bytes(b"stale segment")
+            deadline = time.monotonic() + 10.0
+            while late.exists() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert not late.exists()
+            with ServiceClient(server.address, timeout=30) as client:
+                stats = client.stats()["server"]
+                assert stats["arena"]["orphans_reaped"] >= 2
