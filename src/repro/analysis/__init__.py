@@ -1,0 +1,34 @@
+"""Project-invariant static analysis (``repro lint``).
+
+An AST-walking lint engine whose rules encode invariants this codebase
+has already paid for in runtime bugs: pickle-safety of shipped objects,
+queue/lock discipline, fault-point registry integrity, wire-protocol
+literal consistency, frozen-structure immutability, silent exception
+swallowing in service loops, and resource lifecycles in the daemon
+layers.  Findings are gated through a strictly-ratcheting baseline
+(:mod:`repro.analysis.baseline`): legacy findings never block, new
+ones always do, and the recorded debt can only shrink.
+
+Entry points: ``repro lint`` (CLI subcommand),
+``python -m repro.analysis``, or :func:`run_lint` in-process.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import LintEngine, LintReport, run_lint
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.visitor import ModuleInfo, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "run_lint",
+]

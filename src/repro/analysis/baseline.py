@@ -1,0 +1,139 @@
+"""The strictly-ratcheting finding baseline.
+
+Legacy findings must not block every commit, but new ones always
+should — so the baseline is a checked-in JSON file of per-``rule:path``
+finding *counts*.  A lint run fails only for findings **beyond** the
+baselined count of their bucket; a bucket's count may be re-recorded
+lower (:meth:`Baseline.updated`), never higher.  The effect is a
+one-way ratchet: the debt number can only shrink, and any new finding
+anywhere fails the gate immediately.
+
+Counts (not line numbers) are the baseline unit on purpose: unrelated
+edits move lines constantly, and a line-keyed baseline either goes
+stale on every refactor or quietly grandfathers moved findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file, or an update that would grow it."""
+
+
+class Baseline:
+    """Per-``rule:path`` allowed finding counts."""
+
+    VERSION = 1
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: dict[str, int] = dict(counts or {})
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"baseline {path} is not valid JSON: {error}")
+        if not isinstance(document, dict) or not isinstance(
+            document.get("counts"), dict
+        ):
+            raise BaselineError(
+                f"baseline {path} must be an object with a 'counts' mapping"
+            )
+        counts = {}
+        for key, value in document["counts"].items():
+            if not isinstance(value, int) or value < 1:
+                raise BaselineError(
+                    f"baseline count for {key!r} must be a positive int"
+                )
+            counts[key] = value
+        return cls(counts)
+
+    def save(self, path: str | Path) -> None:
+        document = {
+            "version": self.VERSION,
+            "comment": (
+                "Ratcheting lint baseline: counts may shrink, never grow. "
+                "Regenerate with `repro lint --update-baseline` after "
+                "fixing findings."
+            ),
+            "counts": {key: self.counts[key] for key in sorted(self.counts)},
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+
+    # -- the ratchet -------------------------------------------------------
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition findings into (baselined, new).
+
+        Within one bucket the *first* ``allowed`` findings (in file
+        order) are treated as the legacy ones; everything past the
+        count is new and blocks.
+        """
+        seen: Counter = Counter()
+        baselined: list[Finding] = []
+        fresh: list[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            seen[finding.key] += 1
+            if seen[finding.key] <= self.counts.get(finding.key, 0):
+                baselined.append(finding)
+            else:
+                fresh.append(finding)
+        return baselined, fresh
+
+    def updated(self, findings: list[Finding]) -> "Baseline":
+        """A new baseline recording current counts — refusing growth.
+
+        Raises :class:`BaselineError` if any bucket's count would
+        *increase* (that is a new finding: fix it, do not baseline it).
+        Buckets that shrank or emptied are tightened/dropped.
+        """
+        current: Counter = Counter(finding.key for finding in findings)
+        # An empty baseline is the bootstrap case: record freely.  From
+        # then on, growth in any bucket is refused.
+        grown = (
+            {
+                key: (self.counts.get(key, 0), count)
+                for key, count in current.items()
+                if count > self.counts.get(key, 0)
+            }
+            if self.counts
+            else {}
+        )
+        if grown:
+            detail = ", ".join(
+                f"{key} ({before} -> {after})"
+                for key, (before, after) in sorted(grown.items())
+            )
+            raise BaselineError(
+                "refusing to grow the baseline — fix the new findings "
+                f"instead: {detail}"
+            )
+        return Baseline(dict(current))
+
+    def stale_keys(self, findings: list[Finding]) -> list[str]:
+        """Buckets whose recorded count exceeds the current count — the
+        baseline can (and should) be tightened."""
+        current: Counter = Counter(finding.key for finding in findings)
+        return sorted(
+            key
+            for key, allowed in self.counts.items()
+            if current.get(key, 0) < allowed
+        )

@@ -1,0 +1,148 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit status is the gate contract: ``0`` when every finding is covered
+by the ratcheting baseline, ``1`` when new findings (or unparseable
+files) exist, ``2`` for operator errors (bad baseline file, refused
+baseline growth).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import LintEngine, run_lint
+
+__all__ = ["add_lint_arguments", "main", "run_from_args"]
+
+#: Default baseline location: checked in at the repo root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``lint`` options (shared by ``repro lint`` and ``-m``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="package root findings are reported relative to "
+        "(default: the installed repro package directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"ratchet baseline file (default: ./{DEFAULT_BASELINE} "
+        "when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to current counts (refuses to grow "
+        "any count: the ratchet only tightens)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable report on stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule and exit",
+    )
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    if default.is_file() or args.update_baseline:
+        return default
+    return None
+
+
+def run_from_args(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        engine = LintEngine(root=args.root)
+        for rule in engine.rules:
+            print(f"{rule.id}: {rule.name}", file=out)
+            print(f"    fix: {rule.hint}", file=out)
+        return 0
+    baseline_path = _resolve_baseline_path(args)
+    try:
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path is not None else None
+        )
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = run_lint(
+        root=args.root,
+        paths=args.paths or None,
+        baseline=baseline,
+    )
+    if args.update_baseline:
+        try:
+            updated = (baseline or Baseline()).updated(report.findings)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        updated.save(baseline_path)
+        print(
+            f"baseline {baseline_path} updated: "
+            f"{len(report.findings)} finding(s) across "
+            f"{len(updated.counts)} bucket(s)",
+            file=out,
+        )
+        return 0
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+        return 0 if report.ok else 1
+    for finding in report.new:
+        print(finding.format(), file=out)
+        if finding.hint:
+            print(f"    fix: {finding.hint}", file=out)
+    for error in report.parse_errors:
+        print(f"parse error: {error}", file=out)
+    summary = (
+        f"{report.files_checked} file(s) checked, "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {len(report.new)} new"
+    )
+    print(summary, file=out)
+    if report.stale_baseline_keys:
+        print(
+            f"note: {len(report.stale_baseline_keys)} baseline bucket(s) "
+            "can be tightened — run with --update-baseline",
+            file=out,
+        )
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-invariant static analysis for the repro tree",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The lint engine: file discovery, rule execution, reporting.
+
+:class:`LintEngine` walks a tree (or explicit file list), parses each
+module once, runs every rule over it, filters ``# lint: ignore``
+pragmas, and returns sorted findings.  :func:`run_lint` layers the
+ratcheting baseline on top and produces the report structure the CLI
+and the CI gate consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.visitor import ModuleInfo, Rule
+
+__all__ = ["LintEngine", "LintReport", "run_lint"]
+
+_SKIP_DIRS = {"__pycache__", ".git", "results"}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    stale_baseline_keys: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """The gate: no non-baselined findings and no unparseable files."""
+        return not self.new and not self.parse_errors
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "total_findings": len(self.findings),
+            "baselined": len(self.baselined),
+            "new": [finding.to_dict() for finding in self.new],
+            "parse_errors": list(self.parse_errors),
+            "stale_baseline_keys": list(self.stale_baseline_keys),
+        }
+
+
+class LintEngine:
+    """Runs a rule set over modules.
+
+    Args:
+        root: directory the ``path`` of findings is reported relative
+            to (and the root cross-module rules resolve declarations
+            from).  Defaults to the ``repro`` package directory, so
+            running the engine anywhere lints the shipped source.
+        rules: rule classes (or instances) to run; defaults to
+            :data:`~repro.analysis.rules.ALL_RULES`.
+        project: cross-module context; built from ``root`` when omitted.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        rules: tuple | None = None,
+        project: Project | None = None,
+    ) -> None:
+        if root is None:
+            root = Path(__file__).resolve().parent.parent
+        self.root = Path(root)
+        self.project = project if project is not None else Project(self.root)
+        selected = rules if rules is not None else ALL_RULES
+        self.rules: list[Rule] = [
+            rule if isinstance(rule, Rule) else rule(self.project)
+            for rule in selected
+        ]
+        for rule in self.rules:
+            if rule.project is None:
+                rule.project = self.project
+
+    # -- discovery ---------------------------------------------------------
+
+    def iter_files(self, paths: list[str | Path] | None = None):
+        """Yield python files: the tree under ``root`` by default."""
+        targets = [Path(p) for p in paths] if paths else [self.root]
+        for target in targets:
+            if target.is_file():
+                yield target
+                continue
+            for path in sorted(target.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in path.parts):
+                    yield path
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- execution ---------------------------------------------------------
+
+    def check_source(self, source: str, path: str = "<memory>") -> list[Finding]:
+        """Lint one in-memory module (the fixture-test entry point)."""
+        module = ModuleInfo(path, source)
+        return self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(module):
+                if not module.suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+        return sorted(findings, key=Finding.sort_key)
+
+    def run(self, paths: list[str | Path] | None = None) -> LintReport:
+        report = LintReport()
+        for path in self.iter_files(paths):
+            relpath = self._relpath(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+                module = ModuleInfo(relpath, source)
+            except (OSError, SyntaxError, ValueError) as error:
+                report.parse_errors.append(f"{relpath}: {error}")
+                continue
+            report.files_checked += 1
+            report.findings.extend(self._check_module(module))
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+
+def run_lint(
+    root: str | Path | None = None,
+    paths: list[str | Path] | None = None,
+    baseline: Baseline | str | Path | None = None,
+    rules: tuple | None = None,
+) -> LintReport:
+    """One full lint pass: engine + baseline partition."""
+    engine = LintEngine(root=root, rules=rules)
+    report = engine.run(paths)
+    if baseline is None:
+        baseline = Baseline()
+    elif not isinstance(baseline, Baseline):
+        baseline = Baseline.load(baseline)
+    report.baselined, report.new = baseline.split(report.findings)
+    report.stale_baseline_keys = baseline.stale_keys(report.findings)
+    return report

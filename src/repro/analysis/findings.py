@@ -1,0 +1,56 @@
+"""The finding model: what a lint rule reports and how it is keyed.
+
+A :class:`Finding` pins one rule violation to a file and line, carries
+the human-facing message plus a fix hint, and knows its *baseline key*
+— ``"rule:path"`` — which is the granularity at which the ratcheting
+baseline (:mod:`repro.analysis.baseline`) counts legacy findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes:
+        rule: the rule's stable identifier (e.g. ``"pickle-safety"``).
+        path: repo-relative POSIX path of the offending file.
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: what is wrong, concretely, at this site.
+        hint: how to fix it (rule-level guidance).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = field(default="", compare=False)
+
+    @property
+    def key(self) -> str:
+        """Baseline bucket: one count per ``rule`` per ``path``."""
+        return f"{self.rule}:{self.path}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def format(self) -> str:
+        """One grep-able text line: ``path:line:col: [rule] message``."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)

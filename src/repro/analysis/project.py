@@ -1,0 +1,159 @@
+"""Cross-module facts the project-invariant rules validate against.
+
+Two rules need to see *other* files' declarations:
+
+- **fault-point-integrity** checks every ``fire("...")`` call site
+  against the central fault-point registry declared in
+  :mod:`repro.faults.registry`;
+- **protocol-consistency** checks the server's produced (and the
+  client's consumed) response keys and error codes against the
+  normative constants in :mod:`repro.service.protocol`.
+
+:class:`Project` extracts those declarations **statically** — by
+parsing the declaring modules' ASTs, never importing them — so the
+linter works on a tree that does not import cleanly, and the extracted
+sets stay in lockstep with the checked-in source rather than with
+whatever happens to be on ``sys.path``.  Tests inject their own values
+through the keyword overrides.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.visitor import str_const
+
+__all__ = ["Project"]
+
+#: Where the declaring modules live, relative to the lint root
+#: (the ``repro`` package directory).
+FAULT_REGISTRY_PATH = "faults/registry.py"
+PROTOCOL_PATH = "service/protocol.py"
+
+
+def _module_constants(tree: ast.Module) -> dict[str, object]:
+    """Top-level ``NAME = <literal>`` bindings of a parsed module.
+
+    Strings, and tuples/lists/dicts of strings, are resolved; names
+    bound to anything else are skipped.  Tuples whose elements are
+    references to earlier string constants (``POINTS = (WORKER_CRASH,
+    ...)``) resolve through the accumulated environment.
+    """
+    env: dict[str, object] = {}
+
+    def resolve(node: ast.expr) -> object:
+        value = str_const(node)
+        if value is not None:
+            return value
+        if isinstance(node, ast.Name) and isinstance(env.get(node.id), str):
+            return env[node.id]
+        if isinstance(node, (ast.Tuple, ast.List)):
+            items = [resolve(element) for element in node.elts]
+            if all(isinstance(item, str) for item in items):
+                return tuple(items)
+        if isinstance(node, ast.Dict):
+            keys = [str_const(key) for key in node.keys if key is not None]
+            if keys and all(key is not None for key in keys):
+                return {key: None for key in keys}
+        return None
+
+    for statement in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        if value is None:
+            continue
+        resolved = resolve(value)
+        if resolved is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                env[target.id] = resolved
+    return env
+
+
+class Project:
+    """Lazily extracted cross-module declarations for one lint root."""
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        fault_points: tuple[str, ...] | None = None,
+        fault_constants: dict[str, str] | None = None,
+        error_codes: tuple[str, ...] | None = None,
+        response_keys: tuple[str, ...] | None = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self._fault_points = fault_points
+        self._fault_constants = fault_constants
+        self._error_codes = error_codes
+        self._response_keys = response_keys
+
+    def _constants(self, relpath: str) -> dict[str, object]:
+        if self.root is None:
+            return {}
+        path = self.root / relpath
+        if not path.is_file():
+            return {}
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        return _module_constants(tree)
+
+    # -- fault registry ----------------------------------------------------
+
+    @property
+    def fault_points(self) -> tuple[str, ...]:
+        """Declared injection-point names (``worker.crash``, ...)."""
+        if self._fault_points is None:
+            env = self._constants(FAULT_REGISTRY_PATH)
+            described = env.get("POINT_DESCRIPTIONS")
+            if isinstance(described, dict):
+                self._fault_points = tuple(described)
+            else:
+                points = env.get("POINTS")
+                self._fault_points = points if isinstance(points, tuple) else ()
+        return self._fault_points
+
+    @property
+    def fault_constants(self) -> dict[str, str]:
+        """``WORKER_CRASH``-style constant name → point string."""
+        if self._fault_constants is None:
+            env = self._constants(FAULT_REGISTRY_PATH)
+            self._fault_constants = {
+                name: value
+                for name, value in env.items()
+                if isinstance(value, str) and name.isupper()
+            }
+        return self._fault_constants
+
+    # -- wire protocol -----------------------------------------------------
+
+    @property
+    def error_codes(self) -> tuple[str, ...]:
+        if self._error_codes is None:
+            env = self._constants(PROTOCOL_PATH)
+            codes = env.get("ERROR_CODES")
+            self._error_codes = codes if isinstance(codes, tuple) else ()
+        return self._error_codes
+
+    @property
+    def response_keys(self) -> tuple[str, ...]:
+        if self._response_keys is None:
+            env = self._constants(PROTOCOL_PATH)
+            keys = env.get("RESPONSE_KEYS")
+            self._response_keys = keys if isinstance(keys, tuple) else ()
+        return self._response_keys
+
+    @property
+    def protocol_constants(self) -> dict[str, str]:
+        """Upper-case string constants protocol.py declares (CODE_*)."""
+        env = self._constants(PROTOCOL_PATH)
+        return {
+            name: value
+            for name, value in env.items()
+            if isinstance(value, str) and name.isupper()
+        }

@@ -1,0 +1,869 @@
+"""The project-invariant rules: each one encodes a bug this repo had.
+
+Every rule here is derived from a failure that was actually debugged at
+runtime in an earlier PR (see ``CHANGES.md``): the PR 4 SIGKILL
+queue-lock deadlock became :class:`QueueLockRule`; the PR 8 missing
+``time`` import that a bare ``except`` swallowed became
+:class:`SilentExceptRule`; cache state leaking into shipped pickles —
+the class of bug PR 2/PR 7 engineered around — became
+:class:`PickleSafetyRule`; and so on.  The rules are deliberately
+repo-specific: they know this codebase's names (``WorkerPool``,
+``FaultPlan``, ``Document``/``Site``) and its seams (the NDJSON
+protocol, the fault-point registry), which is what lets them be precise
+where a generic linter has to be vague.
+
+Findings never crash the lint run: anything a rule cannot resolve
+statically (a variable point name, a computed dict key) is skipped, not
+guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.visitor import (
+    ModuleInfo,
+    Rule,
+    call_name,
+    str_const,
+    terminal_name,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "FaultPointRule",
+    "FrozenMutationRule",
+    "PickleSafetyRule",
+    "ProtocolRule",
+    "QueueLockRule",
+    "ResourceLifecycleRule",
+    "SilentExceptRule",
+]
+
+
+def _self_attr_assignments(cls: ast.ClassDef) -> dict[str, ast.stmt]:
+    """``self.X = ...`` statements anywhere in the class, by attr name."""
+    found: dict[str, ast.stmt] = {}
+    for node in ast.walk(cls):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                found.setdefault(target.attr, node)
+    return found
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+# ---------------------------------------------------------------------------
+# 1. pickle-safety
+
+
+class PickleSafetyRule(Rule):
+    """Classes shipped across process boundaries must not pickle live
+    runtime state: locks, queues, sockets, mmaps, engines, caches.
+
+    The scheduler ships extractors, sites and engines to pool workers;
+    a lock or cache riding along either fails to pickle (at runtime,
+    in a worker, long after the bug was written) or silently ships a
+    meaningless copy.  The rule inspects every class that defines
+    ``__getstate__`` and reports unsafe attributes that survive into
+    the returned state.
+    """
+
+    id = "pickle-safety"
+    name = "no runtime state in pickled payloads"
+    hint = (
+        "exclude the attribute in __getstate__ (pop it from the state "
+        "dict) and rebuild it in __setstate__"
+    )
+
+    #: Constructor calls whose results must never ride a pickle.
+    UNSAFE_CONSTRUCTORS = frozenset(
+        {
+            "Lock",
+            "RLock",
+            "Condition",
+            "Semaphore",
+            "BoundedSemaphore",
+            "Event",
+            "Barrier",
+            "Queue",
+            "SimpleQueue",
+            "LifoQueue",
+            "PriorityQueue",
+            "JoinableQueue",
+            "mmap",
+            "socket",
+            "EvaluationEngine",
+        }
+    )
+    #: Attribute names that are runtime acceleration state by convention.
+    UNSAFE_NAME = re.compile(r"(cache|memo)|(_lock|_queue|_rng)$")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = _methods(cls)
+            getstate = methods.get("__getstate__")
+            if getstate is None:
+                continue
+            assigned = _self_attr_assignments(cls)
+            unsafe: dict[str, str] = {}
+            for attr, node in assigned.items():
+                value = getattr(node, "value", None)
+                if isinstance(value, ast.Call) and (
+                    terminal_name(value.func) in self.UNSAFE_CONSTRUCTORS
+                ):
+                    unsafe[attr] = (
+                        f"holds a live {terminal_name(value.func)}()"
+                    )
+                elif self.UNSAFE_NAME.search(attr):
+                    unsafe[attr] = "is runtime cache/acceleration state"
+            if not unsafe:
+                continue
+            state = self._state_keys(getstate, set(assigned))
+            if state is None:
+                continue
+            for attr in sorted(unsafe):
+                if attr in state:
+                    yield self.finding(
+                        module,
+                        getstate,
+                        f"{cls.name}.__getstate__ pickles {attr!r}, which "
+                        f"{unsafe[attr]}; it must not cross a process "
+                        "boundary",
+                    )
+
+    @staticmethod
+    def _state_keys(
+        getstate: ast.FunctionDef, assigned: set[str]
+    ) -> set[str] | None:
+        """Attribute names present in the state ``__getstate__`` returns,
+        or ``None`` when the body is too dynamic to resolve."""
+        explicit: set[str] = set()
+        wholesale = False
+        excluded: set[str] = set()
+        for node in ast.walk(getstate):
+            if isinstance(node, ast.Attribute) and node.attr in (
+                "__dict__",
+                "__slots__",
+            ):
+                wholesale = True
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    key_name = str_const(key)
+                    if key_name is not None:
+                        explicit.add(key_name)
+            if isinstance(node, ast.Call) and terminal_name(node.func) in (
+                "pop",
+                "__delitem__",
+            ):
+                for arg in node.args:
+                    name = str_const(arg)
+                    if name is not None:
+                        excluded.add(name)
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        name = str_const(target.slice)
+                        if name is not None:
+                            excluded.add(name)
+            if isinstance(node, ast.Compare) and len(node.ops) == 1:
+                # Comprehension-filter exclusion idioms:
+                # ``if slot != "x"`` / ``if slot not in ("x", "y")``.
+                op = node.ops[0]
+                comparator = node.comparators[0]
+                if isinstance(op, ast.NotEq):
+                    name = str_const(comparator) or str_const(node.left)
+                    if name is not None:
+                        excluded.add(name)
+                elif isinstance(op, ast.NotIn) and isinstance(
+                    comparator, (ast.Tuple, ast.List, ast.Set)
+                ):
+                    for element in comparator.elts:
+                        name = str_const(element)
+                        if name is not None:
+                            excluded.add(name)
+        if wholesale:
+            return (assigned | explicit) - excluded
+        if explicit:
+            return explicit - excluded
+        return None
+
+
+# ---------------------------------------------------------------------------
+# 2. lock-queue-discipline
+
+
+class QueueLockRule(Rule):
+    """No blocking queue/thread operation while a lock is held.
+
+    PR 4's SIGKILL deadlock: a worker died holding the shared result
+    queue's feeder lock, and every survivor blocked forever in
+    ``Queue.put`` under it.  Any ``get``/``put``/``join`` that can
+    block inside a ``with <lock>:`` body recreates that shape.
+    """
+
+    id = "lock-queue-discipline"
+    name = "no blocking queue ops under a held lock"
+    hint = (
+        "move the blocking get/put/join outside the lock, or use the "
+        "_nowait variant / block=False and handle Empty/Full"
+    )
+
+    LOCKISH = re.compile(r"(lock|mutex)", re.IGNORECASE)
+    JOINISH = re.compile(
+        r"(queue|inbox|outbox|thread|proc|worker|reader|pool)", re.IGNORECASE
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for with_node in ast.walk(module.tree):
+            if not isinstance(with_node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(
+                self.LOCKISH.search(terminal_name(item.context_expr) or "")
+                for item in with_node.items
+            ):
+                continue
+            for statement in with_node.body:
+                for node in ast.walk(statement):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if not isinstance(node.func, ast.Attribute):
+                        continue
+                    attr = node.func.attr
+                    if attr == "get" and not node.args:
+                        if not self._nonblocking(node):
+                            yield self.finding(
+                                module,
+                                node,
+                                "blocking Queue.get() while holding "
+                                f"{self._lock_name(with_node)}; a dead or "
+                                "slow peer wedges every waiter",
+                            )
+                    elif attr == "put":
+                        if not self._nonblocking(node):
+                            yield self.finding(
+                                module,
+                                node,
+                                "blocking Queue.put() while holding "
+                                f"{self._lock_name(with_node)}; a full pipe "
+                                "deadlocks against the lock",
+                            )
+                    elif attr == "join" and not node.args and not node.keywords:
+                        if self.JOINISH.search(
+                            terminal_name(node.func.value) or ""
+                        ):
+                            yield self.finding(
+                                module,
+                                node,
+                                "unbounded join() while holding "
+                                f"{self._lock_name(with_node)}",
+                            )
+
+    @staticmethod
+    def _nonblocking(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == "block":
+                value = keyword.value
+                if isinstance(value, ast.Constant) and value.value is False:
+                    return True
+        return False
+
+    @staticmethod
+    def _lock_name(with_node: ast.With | ast.AsyncWith) -> str:
+        for item in with_node.items:
+            name = terminal_name(item.context_expr)
+            if name:
+                return name
+        return "a lock"
+
+
+# ---------------------------------------------------------------------------
+# 3. fault-point-integrity
+
+
+class FaultPointRule(Rule):
+    """Every fault-injection point name must come from the central
+    registry (:mod:`repro.faults.registry`).
+
+    A typo'd point string compiles, installs, and then silently never
+    fires — the chaos test passes because the fault it thought it was
+    injecting did not exist.  Call sites must use either a declared
+    point literal or a declared ``WORKER_CRASH``-style constant.
+    """
+
+    id = "fault-point-integrity"
+    name = "fault points come from the declared registry"
+    hint = (
+        "use a constant from repro.faults.registry (or declare the new "
+        "point there, with a description)"
+    )
+
+    #: Receivers whose ``.fire(...)`` is the fault hook (not some other
+    #: API that happens to share the method name).
+    FIRE_RECEIVERS = re.compile(r"(faults|plan)$", re.IGNORECASE)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        project = self.project
+        if project is None or not project.fault_points:
+            return
+        points = set(project.fault_points)
+        constants = set(project.fault_constants)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            point_arg = self._point_argument(node)
+            if point_arg is None:
+                continue
+            literal = str_const(point_arg)
+            if literal is not None:
+                if literal not in points:
+                    yield self.finding(
+                        module,
+                        point_arg,
+                        f"unknown fault point {literal!r}; declared points "
+                        f"are {', '.join(sorted(points))}",
+                    )
+                continue
+            name = terminal_name(point_arg)
+            if name and name.isupper() and name not in constants:
+                yield self.finding(
+                    module,
+                    point_arg,
+                    f"fault-point constant {name!r} is not declared in "
+                    "repro.faults.registry",
+                )
+
+    def _point_argument(self, node: ast.Call) -> ast.expr | None:
+        """The expression holding the point name, for calls that take one."""
+        dotted = call_name(node)
+        parts = dotted.split(".")
+        last = parts[-1]
+        receiver = parts[-2] if len(parts) > 1 else ""
+        takes_point = False
+        if last == "fire" and (
+            not receiver or self.FIRE_RECEIVERS.search(receiver)
+        ):
+            takes_point = True
+        elif last == "add" and "plan" in receiver.lower():
+            takes_point = True
+        elif last == "FaultRule":
+            takes_point = True
+        if not takes_point:
+            return None
+        for keyword in node.keywords:
+            if keyword.arg == "point":
+                return keyword.value
+        if node.args:
+            return node.args[0]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# 4. protocol-consistency
+
+
+class ProtocolRule(Rule):
+    """Server-produced and client-consumed wire literals must match the
+    normative spec in :mod:`repro.service.protocol`.
+
+    The NDJSON protocol is stringly typed: a response key the server
+    spells one way and the client another is an eternally-``None``
+    field, and an error ``code`` outside :data:`ERROR_CODES` is a
+    failure no client can classify.  Both sides are checked against
+    the constants the protocol module declares.
+    """
+
+    id = "protocol-consistency"
+    name = "wire literals match the protocol spec"
+    hint = (
+        "use the CODE_* / RESPONSE_KEYS constants from "
+        "repro.service.protocol (and extend the spec first when adding "
+        "a field)"
+    )
+
+    SERVER_SUFFIXES = ("service/server.py",)
+    CLIENT_SUFFIXES = ("service/client.py",)
+    #: Names a decoded frame travels under in client code.
+    FRAME_NAMES = frozenset({"record", "response", "frame", "payload"})
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        project = self.project
+        if project is None or not project.error_codes:
+            return
+        path = module.path
+        if path.endswith(self.SERVER_SUFFIXES):
+            yield from self._check_server(module)
+        elif path.endswith(self.CLIENT_SUFFIXES):
+            yield from self._check_client(module)
+
+    def _check_server(self, module: ModuleInfo) -> Iterator[Finding]:
+        codes = set(self.project.error_codes)
+        keys = set(self.project.response_keys)
+        constants = self.project.protocol_constants
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                literal_keys = {
+                    str_const(key) for key in node.keys if key is not None
+                }
+                literal_keys.discard(None)
+                if not {"id", "ok"} <= literal_keys:
+                    continue  # not a response dict
+                for key_node, value in zip(node.keys, node.values):
+                    key = str_const(key_node)
+                    if key is None:
+                        continue
+                    if key not in keys:
+                        yield self.finding(
+                            module,
+                            key_node,
+                            f"response key {key!r} is not in "
+                            "protocol.RESPONSE_KEYS; the client cannot "
+                            "know to read it",
+                        )
+                    if key == "code":
+                        yield from self._check_code(
+                            module, value, codes, constants
+                        )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "code":
+                        yield from self._check_code(
+                            module, keyword.value, codes, constants
+                        )
+
+    def _check_code(
+        self,
+        module: ModuleInfo,
+        value: ast.expr,
+        codes: set[str],
+        constants: dict[str, str],
+    ) -> Iterator[Finding]:
+        literal = str_const(value)
+        if literal is not None:
+            if literal not in codes:
+                yield self.finding(
+                    module,
+                    value,
+                    f"error code {literal!r} is not in protocol.ERROR_CODES",
+                )
+            return
+        name = terminal_name(value)
+        if name and name.isupper() and constants.get(name) not in codes:
+            yield self.finding(
+                module,
+                value,
+                f"error-code constant {name!r} does not resolve to a "
+                "protocol.ERROR_CODES member",
+            )
+
+    def _check_client(self, module: ModuleInfo) -> Iterator[Finding]:
+        codes = set(self.project.error_codes)
+        keys = set(self.project.response_keys)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                literals = [side for side in sides if str_const(side)]
+                others = [side for side in sides if not str_const(side)]
+                if literals and any(self._is_code_expr(o) for o in others):
+                    for side in literals:
+                        value = str_const(side)
+                        if value not in codes:
+                            yield self.finding(
+                                module,
+                                side,
+                                f"compared error code {value!r} is not in "
+                                "protocol.ERROR_CODES; this branch can "
+                                "never match a spec-conforming server",
+                            )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "get"
+                    and terminal_name(func.value) in self.FRAME_NAMES
+                    and node.args
+                ):
+                    key = str_const(node.args[0])
+                    if key is not None and key not in keys:
+                        yield self.finding(
+                            module,
+                            node.args[0],
+                            f"consumed response key {key!r} is not in "
+                            "protocol.RESPONSE_KEYS; no conforming server "
+                            "produces it",
+                        )
+
+    @staticmethod
+    def _is_code_expr(node: ast.expr) -> bool:
+        """Does this expression plausibly hold a response ``code``?"""
+        if isinstance(node, ast.Call):
+            func = node.func
+            return (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and bool(node.args)
+                and str_const(node.args[0]) == "code"
+            )
+        name = terminal_name(node)
+        return bool(name) and "code" in name.lower()
+
+
+# ---------------------------------------------------------------------------
+# 5. frozen-mutation
+
+
+class FrozenMutationRule(Rule):
+    """``Document``/``Site`` objects are frozen after construction:
+    only builder modules may mutate them.
+
+    The whole engine/arena stack (frozen per-page indexes, derived
+    memos, content fingerprints, packed segments) assumes pages never
+    change after ``freeze()``; a stray ``site.pages.append`` or
+    ``page.attr = ...`` elsewhere invalidates caches that are never
+    recomputed and fingerprints that other processes already trusted.
+    """
+
+    id = "frozen-mutation"
+    name = "no mutation of frozen Document/Site outside builders"
+    hint = (
+        "build a new Site/Document through the builder modules "
+        "(htmldom.treebuilder, datasets, site.py) instead of mutating "
+        "a frozen one in place"
+    )
+
+    #: Modules allowed to mutate (they construct the structures).
+    BUILDER_PREFIXES = ("htmldom/", "datasets/", "arena/", "analysis/")
+    BUILDER_FILES = ("site.py",)
+    #: Local names under which frozen structures travel.
+    FROZEN_NAMES = frozenset({"site", "page", "doc", "document"})
+    MUTATORS = frozenset(
+        {
+            "append",
+            "extend",
+            "insert",
+            "pop",
+            "remove",
+            "clear",
+            "update",
+            "setdefault",
+            "sort",
+            "reverse",
+        }
+    )
+
+    def _is_builder(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        basename = normalized.rsplit("/", 1)[-1]
+        if basename in self.BUILDER_FILES:
+            return True
+        return any(
+            f"/{prefix}" in f"/{normalized}" for prefix in self.BUILDER_PREFIXES
+        )
+
+    def _frozen_base(self, node: ast.expr) -> str | None:
+        """If ``node`` is an attribute path rooted at a frozen-looking
+        local (``site.pages``, ``page.nodes[3]``), the root name."""
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        if isinstance(node, ast.Name) and node.id in self.FROZEN_NAMES:
+            return node.id
+        return None
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if self._is_builder(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    base = self._frozen_base(target)
+                    if base is not None:
+                        yield self.finding(
+                            module,
+                            target,
+                            f"assignment into frozen {base!r} outside a "
+                            "builder module",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self.MUTATORS
+                    and isinstance(func.value, (ast.Attribute, ast.Subscript))
+                ):
+                    base = self._frozen_base(func.value)
+                    if base is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{call_name(node)}(...) mutates frozen "
+                            f"{base!r} outside a builder module",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# 6. silent-except
+
+
+class SilentExceptRule(Rule):
+    """Exception handlers in worker/daemon/reader loops must not
+    swallow silently: log, count, or re-raise.
+
+    PR 8's serve loop crashed on a missing ``time`` import that a
+    pass-only handler had been hiding — the daemon looked healthy
+    while dropping every request.  In a long-running loop, a silent
+    ``except`` converts a crash (diagnosable) into a stall
+    (undiagnosable); the handler must leave a trace.
+    """
+
+    id = "silent-except"
+    name = "no silent exception swallowing in service loops"
+    hint = (
+        "bump a stats counter or log before continuing (a counter is "
+        "enough: it makes the failure visible to `repro serve` stats)"
+    )
+
+    LOOPISH = re.compile(
+        r"(loop|read|run|worker|forward|drain|pump|serve|watch|poll|tick)",
+        re.IGNORECASE,
+    )
+    #: Exception types that are control flow, not failures: swallowing
+    #: these communicates exactly what handling them means.
+    BENIGN = frozenset(
+        {"Empty", "Full", "StopIteration", "GeneratorExit", "KeyboardInterrupt"}
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for handler in ast.walk(module.tree):
+            if not isinstance(handler, ast.ExceptHandler):
+                continue
+            if not self._swallows(handler):
+                continue
+            if self._all_benign(handler):
+                continue
+            function = module.enclosing_function(handler)
+            loopish_name = function is not None and bool(
+                self.LOOPISH.search(function.name)
+            )
+            if not loopish_name and not module.inside_loop(handler):
+                continue
+            caught = self._caught(handler)
+            where = (
+                f"in {function.name}()" if function is not None else "at module level"
+            )
+            yield self.finding(
+                module,
+                handler,
+                f"except {caught}: pass {where} swallows failures "
+                "silently in a service loop",
+            )
+
+    def _all_benign(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return False
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        return all(
+            terminal_name(node) in self.BENIGN for node in types
+        )
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        for statement in handler.body:
+            if isinstance(statement, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    @staticmethod
+    def _caught(handler: ast.ExceptHandler) -> str:
+        if handler.type is None:
+            return "<bare>"
+        return ast.unparse(handler.type)
+
+
+# ---------------------------------------------------------------------------
+# 7. resource-lifecycle
+
+
+class ResourceLifecycleRule(Rule):
+    """Sockets, mmaps and files opened in the service/arena layers need
+    a close path.
+
+    These are the modules that run as daemons: a leaked fd per
+    connection or per segment is a slow death the test suite never
+    sees.  A created resource must be closed in its function, handed
+    off (returned, stored, passed along), or closed/finalized by its
+    owning class.
+    """
+
+    id = "resource-lifecycle"
+    name = "opened resources have a close path"
+    hint = (
+        "close in a finally/with, or hand the resource to an owner "
+        "whose close()/teardown method releases it (weakref.finalize "
+        "for segment-lifetime resources)"
+    )
+
+    SCOPE_PREFIXES = ("service/", "arena/")
+    CREATORS = frozenset({"socket", "mmap", "open", "fdopen", "socketpair"})
+    CLOSERS = frozenset({"close", "shutdown", "detach", "unlink", "__exit__"})
+    TEARDOWN_METHOD = re.compile(
+        r"(close|shutdown|drop|stop|exit|del|teardown|release|unlink)",
+        re.IGNORECASE,
+    )
+
+    def _in_scope(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return any(
+            f"/{prefix}" in f"/{normalized}" for prefix in self.SCOPE_PREFIXES
+        )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self._in_scope(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Call)
+                and terminal_name(value.func) in self.CREATORS
+            ):
+                continue
+            if len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                function = module.enclosing_function(node)
+                if function is not None and not self._local_released(
+                    function, target.id
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{terminal_name(value.func)}() assigned to "
+                        f"{target.id!r} is never closed, returned, or "
+                        "handed off in this function",
+                    )
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                cls = module.enclosing_class(node)
+                if cls is not None and not self._attr_released(
+                    cls, target.attr
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"self.{target.attr} holds an open "
+                        f"{terminal_name(value.func)}() but the class has "
+                        "no close path for it",
+                    )
+
+    def _local_released(self, function: ast.AST, name: str) -> bool:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self.CLOSERS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name
+                ):
+                    return True
+                for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name) and sub.id == name:
+                            return True  # handed to another owner
+            elif isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True  # ownership transferred to caller
+            elif isinstance(node, ast.Assign):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        # stored somewhere longer-lived (self.X = sock)
+                        if any(
+                            not (
+                                isinstance(t, ast.Name) and t.id == name
+                            )
+                            for t in node.targets
+                        ):
+                            return True
+        return False
+
+    def _attr_released(self, cls: ast.ClassDef, attr: str) -> bool:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in self.CLOSERS:
+                    receiver = func.value
+                    if (
+                        isinstance(receiver, ast.Attribute)
+                        and receiver.attr == attr
+                    ):
+                        return True
+                if terminal_name(func) == "finalize":
+                    return True
+        # Hand-off idiom: the attribute is read inside a teardown-named
+        # method (``listener, self._listener = self._listener, None``).
+        for method in _methods(cls).values():
+            if not self.TEARDOWN_METHOD.search(method.name):
+                continue
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == attr
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    return True
+        return False
+
+
+#: Every rule, in reporting order.  The engine instantiates these with
+#: the shared :class:`~repro.analysis.project.Project` context.
+ALL_RULES = (
+    PickleSafetyRule,
+    QueueLockRule,
+    FaultPointRule,
+    ProtocolRule,
+    FrozenMutationRule,
+    SilentExceptRule,
+    ResourceLifecycleRule,
+)

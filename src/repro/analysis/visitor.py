@@ -1,0 +1,182 @@
+"""Visitor framework shared by every lint rule.
+
+Rules subclass :class:`Rule` and implement :meth:`Rule.check` over a
+:class:`ModuleInfo` — a parsed module plus the context rules keep
+reaching for: parent links (``ast`` has none), dotted call names,
+enclosing function/class lookup, and per-line suppression comments
+(``# lint: ignore[rule-id]``).
+
+The framework is deliberately plain ``ast``: no third-party
+dependencies, findings anchored to real lines, and helpers factored
+here so each rule reads as the invariant it protects rather than as
+tree-walking boilerplate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "call_name",
+    "terminal_name",
+    "str_const",
+]
+
+#: ``# lint: ignore`` or ``# lint: ignore[rule-a, rule-b]`` on the
+#: offending line suppresses findings there (all rules when no bracket).
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([^\]]*)\])?")
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target: ``faults.fire``, ``self._fail``.
+
+    Unresolvable pieces (subscripts, nested calls) become ``?``.
+    """
+    return _dotted(node.func)
+
+
+def _dotted(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{_dotted(node.value)}.{node.attr}"
+    return "?"
+
+
+def terminal_name(node: ast.expr) -> str:
+    """Last segment of a dotted expression (``self._out_queue`` → the
+    attribute name); empty for anything unresolvable."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def str_const(node: ast.expr | None) -> str | None:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class ModuleInfo:
+    """One parsed module plus the navigation state rules need."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module | None = None):
+        self.path = path
+        self.source = source
+        self.tree = tree if tree is not None else ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._suppressions: dict[int, frozenset[str] | None] | None = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent links for the whole tree (built lazily)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The chain of enclosing nodes, innermost first."""
+        parents = self.parents
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def inside_loop(self, node: ast.AST, stop: ast.AST | None = None) -> bool:
+        """Is ``node`` lexically inside a ``for``/``while`` (not counting
+        anything at or above ``stop``, typically the enclosing function)?"""
+        for ancestor in self.ancestors(node):
+            if ancestor is stop:
+                return False
+            if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+    # -- suppression -------------------------------------------------------
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """Does ``line`` carry a ``# lint: ignore`` pragma for ``rule``?"""
+        if self._suppressions is None:
+            table: dict[int, frozenset[str] | None] = {}
+            for number, text in enumerate(self.lines, start=1):
+                match = _SUPPRESS_RE.search(text)
+                if match is None:
+                    continue
+                raw = match.group(1)
+                if raw is None:
+                    table[number] = None  # all rules
+                else:
+                    table[number] = frozenset(
+                        part.strip() for part in raw.split(",") if part.strip()
+                    )
+            self._suppressions = table
+        entry = self._suppressions.get(line, ...)
+        if entry is ...:
+            return False
+        return entry is None or rule in entry
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`id` (stable slug used in findings, baselines
+    and suppression pragmas), :attr:`name`, and :attr:`hint` (the
+    rule-level fix guidance stamped on every finding), then implement
+    :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    hint: str = ""
+
+    def __init__(self, project=None) -> None:
+        #: Cross-module context (:class:`repro.analysis.project.Project`)
+        #: for rules that validate against another file's declarations.
+        self.project = project
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+        )

@@ -37,10 +37,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.engine import EvaluationEngine, resolve_engine
 from repro.site import Site
 from repro.wrappers.base import Labels, Wrapper, wrapper_from_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lifecycle.monitor import HealthBaseline
 
 #: Major version of the artifact JSON schema.  Bump only on changes a
 #: reader of this version would misinterpret; additive keys are minor
@@ -109,7 +113,7 @@ class WrapperArtifact:
         """Rebuild the runner-up wrappers, ladder order (best first)."""
         return [wrapper_from_spec(alt["wrapper_spec"]) for alt in self.alternates]
 
-    def health_baseline(self):
+    def health_baseline(self) -> "HealthBaseline | None":
         """The learn-time :class:`~repro.lifecycle.monitor.HealthBaseline`,
         or ``None`` for artifacts learned before baselines (schema v1)."""
         from repro.lifecycle.monitor import HealthBaseline

@@ -209,7 +209,9 @@ class ProcessPoolExecutor:
 Executor = SerialExecutor | ProcessPoolExecutor
 
 
-def resolve_executor(executor: "Executor | WorkerPool | str | None"):
+def resolve_executor(
+    executor: "Executor | WorkerPool | str | None",
+) -> "Executor | WorkerPool":
     """Accept an executor instance, a shorthand string, or None (serial).
 
     The ``"pool"`` shorthand builds a throwaway

@@ -40,8 +40,10 @@ from repro.site import Site
 from repro.wrappers.base import Labels, WrapperInductor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Sequence
+
     from repro.annotators.base import Annotator
-    from repro.api.batch import BatchResult, Executor
+    from repro.api.batch import BatchResult, Executor, SiteLike
 
 #: The learning methods the facade understands (paper Sec. 7.2/7.3).
 METHODS = ("naive", "ntw", "ntw-l", "ntw-x")
@@ -297,7 +299,7 @@ class Extractor:
 
     def learn_many(
         self,
-        sites,
+        sites: "Sequence[SiteLike]",
         labels: list[Labels] | None = None,
         annotator: "Annotator | None" = None,
         executor: "Executor | str | None" = None,
@@ -311,8 +313,8 @@ class Extractor:
 
     def apply_many(
         self,
-        artifacts,
-        sites,
+        artifacts: "Sequence[WrapperArtifact]",
+        sites: "Sequence[SiteLike]",
         executor: "Executor | str | None" = None,
     ) -> "BatchResult":
         """Apply saved artifacts across sites (positional pairing)."""

@@ -441,7 +441,7 @@ class AsyncIngestSession:
         done = object()
         iterator = session.iter_results()
 
-        def pull():
+        def pull() -> object:
             return next(iterator, done)
 
         while True:

@@ -64,7 +64,9 @@ class Registry(Generic[T]):
         self._entries: dict[str, T] = {}
         self._meta: dict[str, dict] = {}
 
-    def register(self, name: str, obj: T | None = None, **meta):
+    def register(
+        self, name: str, obj: T | None = None, **meta: Any
+    ) -> T | Callable[[T], T]:
         """Register ``obj`` under ``name``; usable as a decorator.
 
         Keyword ``meta`` attaches capability metadata to the entry
@@ -110,7 +112,7 @@ class Registry(Generic[T]):
                 f"unknown {self.kind} {name!r} (registered: {known})"
             ) from None
 
-    def create(self, name: str, *args: Any, **kwargs: Any):
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Call the registered factory/class with the given arguments."""
         factory = self.get(name)
         if not callable(factory):

@@ -354,7 +354,7 @@ def _worker_main(
     if hasattr(signal, "SIGHUP"):
         signal.signal(signal.SIGHUP, signal.SIG_DFL)
 
-    def run_job(job):
+    def run_job(job: _Job) -> object:
         if marker is not None:
             marker.value = job.index
         faults.perturb_worker(f"w{worker_id}:{job.kind}:{job.name}")

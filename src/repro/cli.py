@@ -1100,6 +1100,15 @@ def build_parser() -> argparse.ArgumentParser:
     enum.add_argument("--inductor", default="xpath", choices=inductor_choices)
     enum.add_argument("--max-labels", type=int, default=24)
     enum.set_defaults(func=cmd_enumerate)
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (ratcheting baseline gate)",
+    )
+    from repro.analysis.cli import add_lint_arguments, run_from_args
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_from_args)
     return parser
 
 

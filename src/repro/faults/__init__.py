@@ -1,10 +1,17 @@
-"""Deterministic fault injection (see :mod:`repro.faults.plan`)."""
+"""Deterministic fault injection (see :mod:`repro.faults.plan`).
+
+Injection-point names are declared once, in
+:mod:`repro.faults.registry`; plans validate against that registry at
+load time and the ``fault-point-integrity`` lint rule enforces it
+statically across the tree.
+"""
 
 from repro.faults.plan import (
     ARENA_UNLINK,
     CONN_DROP,
     CONN_TRUNCATE,
     ENV_VAR,
+    POINT_DESCRIPTIONS,
     POINTS,
     REGISTRY_WRITE,
     WORKER_CRASH,
@@ -18,6 +25,7 @@ from repro.faults.plan import (
     fire,
     install,
     perturb_worker,
+    validate_point,
 )
 
 __all__ = [
@@ -26,6 +34,7 @@ __all__ = [
     "CONN_TRUNCATE",
     "ENV_VAR",
     "POINTS",
+    "POINT_DESCRIPTIONS",
     "REGISTRY_WRITE",
     "WORKER_CRASH",
     "WORKER_HANG",
@@ -38,4 +47,5 @@ __all__ = [
     "fire",
     "install",
     "perturb_worker",
+    "validate_point",
 ]

@@ -31,12 +31,27 @@ import signal
 import time
 from dataclasses import dataclass, field
 
+from repro.faults.registry import (
+    ARENA_UNLINK,
+    CONN_DROP,
+    CONN_TRUNCATE,
+    POINT_DESCRIPTIONS,
+    POINTS,
+    REGISTRY_WRITE,
+    WORKER_CRASH,
+    WORKER_HANG,
+    WORKER_SLOW,
+    FaultError,
+    validate_point,
+)
+
 __all__ = [
     "ARENA_UNLINK",
     "CONN_DROP",
     "CONN_TRUNCATE",
     "ENV_VAR",
     "POINTS",
+    "POINT_DESCRIPTIONS",
     "REGISTRY_WRITE",
     "WORKER_CRASH",
     "WORKER_HANG",
@@ -49,32 +64,17 @@ __all__ = [
     "fire",
     "install",
     "perturb_worker",
+    "validate_point",
 ]
 
 #: Environment variable carrying a JSON-encoded plan to subprocesses.
 ENV_VAR = "REPRO_FAULTS"
 
-WORKER_CRASH = "worker.crash"  #: SIGKILL the worker process at a job boundary
-WORKER_HANG = "worker.hang"  #: worker sleeps ``delay`` (default 60s) before the job
-WORKER_SLOW = "worker.slow"  #: worker sleeps ``delay`` (default 50ms) before the job
-CONN_DROP = "conn.drop"  #: server closes the client socket instead of responding
-CONN_TRUNCATE = "conn.truncate"  #: server sends half a response frame, then closes
-REGISTRY_WRITE = "registry.write"  #: registry backend write raises ``OSError``
-ARENA_UNLINK = "arena.unlink"  #: shared arena segment is unlinked after shipping
-
-POINTS = (
-    WORKER_CRASH,
-    WORKER_HANG,
-    WORKER_SLOW,
-    CONN_DROP,
-    CONN_TRUNCATE,
-    REGISTRY_WRITE,
-    ARENA_UNLINK,
-)
-
-
-class FaultError(ValueError):
-    """Raised for malformed fault plans or unknown injection points."""
+# The point names themselves live in :mod:`repro.faults.registry` — the
+# single declared registry the lint rule ``fault-point-integrity`` and
+# the load-time validators below both check against.  They are
+# re-exported here (see ``__all__``) so existing ``repro.faults.plan``
+# imports keep working.
 
 
 @dataclass
@@ -98,10 +98,7 @@ class FaultRule:
     fires: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
-        if self.point not in POINTS:
-            raise FaultError(
-                f"unknown injection point {self.point!r}; expected one of {POINTS}"
-            )
+        validate_point(self.point)
         if not 0.0 <= self.rate <= 1.0:
             raise FaultError(f"rate must be in [0, 1], got {self.rate!r}")
         self.at = tuple(int(n) for n in self.at)
@@ -155,7 +152,9 @@ class FaultRule:
 class FaultPlan:
     """A seeded, serializable collection of :class:`FaultRule`."""
 
-    def __init__(self, seed: int = 0, rules: list[FaultRule] | None = None):
+    def __init__(
+        self, seed: int = 0, rules: list[FaultRule] | None = None
+    ) -> None:
         self.seed = int(seed)
         self.rules: list[FaultRule] = list(rules or ())
         self._rngs: dict[int, random.Random] = {}
@@ -212,7 +211,15 @@ class FaultPlan:
             raise FaultError(f"invalid fault plan JSON: {error}") from error
         if not isinstance(document, dict):
             raise FaultError("fault plan JSON must be an object")
-        rules = [FaultRule.from_dict(record) for record in document.get("rules", ())]
+        rules = []
+        for index, record in enumerate(document.get("rules", ())):
+            try:
+                rules.append(FaultRule.from_dict(record))
+            except FaultError as error:
+                # Load-time point validation: a typo'd point in a plan
+                # file must fail the load loudly (listing the valid
+                # points), never arm a rule that silently cannot fire.
+                raise FaultError(f"fault plan rule {index}: {error}") from error
         return cls(seed=document.get("seed", 0), rules=rules)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -229,7 +236,15 @@ def install(plan: FaultPlan | None, env: bool = False) -> None:
     With ``env=True`` the plan is also exported via ``REPRO_FAULTS`` so
     freshly exec'd subprocesses honor it; fork-spawned children always
     inherit the armed plan object directly.
+
+    Every rule's point is re-validated against the central registry
+    here: rules are normally vetted at construction, but a plan whose
+    rules were mutated after the fact must not arm a point that can
+    never fire.
     """
+    if plan is not None:
+        for rule in plan.rules:
+            validate_point(rule.point)
     global _active
     _active = plan
     if env:

@@ -1,0 +1,93 @@
+"""The central registry of fault-injection points.
+
+This module is the **single source of truth** for injection-point
+names: every ``fire("...")`` call site, every :class:`FaultRule`, and
+every serialized :class:`FaultPlan` must name a point declared here.
+The ``fault-point-integrity`` lint rule (:mod:`repro.analysis.rules`)
+enforces that statically over the whole tree, and
+:func:`repro.faults.plan.FaultPlan.from_json` / ``install`` enforce it
+at load time — because a typo'd point is worse than an error: it arms
+a plan that silently never fires, and the chaos test it belongs to
+passes while testing nothing.
+
+To add a point: declare its constant, add it to
+:data:`POINT_DESCRIPTIONS` with one line on where it fires, and wire
+the ``fire()`` hook at the matching production seam.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ARENA_UNLINK",
+    "CONN_DROP",
+    "CONN_TRUNCATE",
+    "FaultError",
+    "POINTS",
+    "POINT_DESCRIPTIONS",
+    "REGISTRY_WRITE",
+    "WORKER_CRASH",
+    "WORKER_HANG",
+    "WORKER_SLOW",
+    "validate_point",
+]
+
+
+class FaultError(ValueError):
+    """Raised for malformed fault plans or unknown injection points."""
+
+
+WORKER_CRASH = "worker.crash"
+WORKER_HANG = "worker.hang"
+WORKER_SLOW = "worker.slow"
+CONN_DROP = "conn.drop"
+CONN_TRUNCATE = "conn.truncate"
+REGISTRY_WRITE = "registry.write"
+ARENA_UNLINK = "arena.unlink"
+
+#: Every declared injection point, with where it fires.  This mapping —
+#: not any copy of its keys — is what the lint rule and the load-time
+#: validators check against.
+POINT_DESCRIPTIONS: dict[str, str] = {
+    WORKER_CRASH: (
+        "SIGKILL the pool worker at a job boundary "
+        "(repro.api.scheduler worker loop)"
+    ),
+    WORKER_HANG: (
+        "worker sleeps `delay` (default 60s) before the job "
+        "(repro.api.scheduler worker loop)"
+    ),
+    WORKER_SLOW: (
+        "worker sleeps `delay` (default 50ms) before the job "
+        "(repro.api.scheduler worker loop)"
+    ),
+    CONN_DROP: (
+        "server closes the client socket instead of responding "
+        "(repro.service.server send path)"
+    ),
+    CONN_TRUNCATE: (
+        "server sends half a response frame, then closes "
+        "(repro.service.server send path)"
+    ),
+    REGISTRY_WRITE: (
+        "registry backend write raises OSError "
+        "(repro.service.registry file store)"
+    ),
+    ARENA_UNLINK: (
+        "shared arena segment is unlinked after shipping "
+        "(repro.api.scheduler arena ship path)"
+    ),
+}
+
+#: Declared point names, in declaration order.
+POINTS: tuple[str, ...] = tuple(POINT_DESCRIPTIONS)
+
+
+def validate_point(point: str) -> str:
+    """Return ``point`` if declared; raise :class:`FaultError` naming
+    every valid point otherwise."""
+    if point not in POINT_DESCRIPTIONS:
+        valid = ", ".join(sorted(POINT_DESCRIPTIONS))
+        raise FaultError(
+            f"unknown injection point {point!r}; valid points are: {valid}"
+        )
+    return point

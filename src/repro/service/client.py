@@ -241,7 +241,7 @@ class ServiceClient:
             # line; the frame never completed, so the request it would
             # have answered stays in the replay log.
             raise TransportError(f"truncated or corrupt frame: {error}") from error
-        if not (record.get("code") == "draining" and self.retries > 0):
+        if not (record.get("code") == protocol.CODE_DRAINING and self.retries > 0):
             # A draining refusal with retries enabled is not an answer —
             # the request stays queued for the next generation.
             self._sent.pop(record.get("id"), None)
@@ -267,7 +267,7 @@ class ServiceClient:
                 self._recover(error, request_id)
                 continue
             rid = record.get("id")
-            if record.get("code") == "draining" and self.retries > 0:
+            if record.get("code") == protocol.CODE_DRAINING and self.retries > 0:
                 # The request was refused, not failed: it is still in
                 # the replay log (recv leaves it there) — reconnect and
                 # chase the next generation, up to ``retries`` episodes.
@@ -315,9 +315,9 @@ class ServiceClient:
         if not response.get("ok"):
             message = str(response.get("error", "request failed"))
             code = response.get("code")
-            if code == "deadline":
+            if code == protocol.CODE_DEADLINE:
                 raise RequestTimeout(message, response, request_id=request_id)
-            if code == "draining":
+            if code == protocol.CODE_DRAINING:
                 raise ServerDraining(message, response, request_id=request_id)
             raise ServiceError(message, response, request_id=request_id)
         return response

@@ -124,11 +124,22 @@ tenant flooding requests cannot starve another tenant's throughput.
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import socket
+    from collections.abc import Iterator
 
 __all__ = [
+    "CODE_DEADLINE",
+    "CODE_DRAINING",
+    "CODE_INTERNAL",
+    "CODE_QUARANTINED",
+    "CODE_REGISTRY",
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "OPS",
+    "RESPONSE_KEYS",
     "ProtocolError",
     "decode_frame",
     "encode_frame",
@@ -143,9 +154,48 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: The request operations the protocol defines.
 OPS = ("apply", "learn", "stats", "ping")
 
+# The machine-readable failure codes, as named constants so the server
+# (producer) and client (consumer) share one spelling.  The
+# ``protocol-consistency`` lint rule checks both sides against
+# :data:`ERROR_CODES` / :data:`RESPONSE_KEYS`, so a new code or key is
+# added *here first*, then used.
+CODE_DEADLINE = "deadline"
+CODE_DRAINING = "draining"
+CODE_QUARANTINED = "quarantined"
+CODE_REGISTRY = "registry"
+CODE_INTERNAL = "internal"
+
 #: Machine-readable ``"code"`` values a structured failure may carry
 #: (see the module docstring for semantics).
-ERROR_CODES = ("deadline", "draining", "quarantined", "registry", "internal")
+ERROR_CODES = (
+    CODE_DEADLINE,
+    CODE_DRAINING,
+    CODE_QUARANTINED,
+    CODE_REGISTRY,
+    CODE_INTERNAL,
+)
+
+#: Every key a spec-conforming response frame may carry, across all
+#: ops.  Normative: the server must not produce a key outside this
+#: tuple, and the client must not read one.
+RESPONSE_KEYS = (
+    "id",
+    "ok",
+    "op",
+    "site",
+    "fingerprint",
+    "source",
+    "version",
+    "count",
+    "nodes",
+    "texts",
+    "rule",
+    "created",
+    "registry",
+    "server",
+    "error",
+    "code",
+)
 
 
 class ProtocolError(ValueError):
@@ -196,7 +246,7 @@ def validate_request(record: dict) -> dict:
     return record
 
 
-def iter_lines(sock):
+def iter_lines(sock: "socket.socket") -> "Iterator[bytes]":
     """Yield raw frame lines from a socket until EOF.
 
     Enforces :data:`MAX_FRAME_BYTES`; raises :class:`ProtocolError` on
@@ -222,7 +272,7 @@ def iter_lines(sock):
             yield line
 
 
-def read_frames(sock):
+def read_frames(sock: "socket.socket") -> "Iterator[dict]":
     """Yield decoded frames from a socket until EOF.
 
     Raises :class:`ProtocolError` on an over-long line or a line that

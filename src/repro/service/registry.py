@@ -44,6 +44,7 @@ import os
 import threading
 import time
 from collections import OrderedDict
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -65,7 +66,7 @@ class RegistryError(RuntimeError):
     """A registry request that cannot be served."""
 
 
-def fingerprint_of(site) -> str:
+def fingerprint_of(site: "Site | Sequence[str] | object") -> str:
     """Content fingerprint of a site input.
 
     Accepts a parsed :class:`~repro.site.Site`, a dataset
@@ -325,7 +326,11 @@ class WrapperRegistry:
     most once per fingerprint (single-flight).
     """
 
-    def __init__(self, backend=None, hot_capacity: int = 128) -> None:
+    def __init__(
+        self,
+        backend: "RegistryBackend | str | Path | None" = None,
+        hot_capacity: int = 128,
+    ) -> None:
         if hot_capacity < 0:
             raise RegistryError(
                 f"hot_capacity must be >= 0; got {hot_capacity}"
@@ -343,6 +348,10 @@ class WrapperRegistry:
         self.learned = 0
         self.resolve_hits = 0
         self.resolve_misses = 0
+        #: Version chains the site-index scan could not load (corrupt
+        #: or truncated store entries).  A wrapper that silently fell
+        #: out of the index is an outage the stats op must surface.
+        self.corrupt_chains = 0
 
     # -- lookups -----------------------------------------------------------
 
@@ -469,7 +478,10 @@ class WrapperRegistry:
         return record
 
     def get_or_learn(
-        self, fingerprint: str, learn, origin: str = "learn"
+        self,
+        fingerprint: str,
+        learn: "Callable[[], WrapperArtifact]",
+        origin: str = "learn",
     ) -> tuple[WrapperArtifact, bool]:
         """The learn-on-miss primitive: return the stored artifact, or
         run ``learn()`` exactly once and store its result.
@@ -542,7 +554,14 @@ class WrapperRegistry:
         for fingerprint in self.backend.fingerprints():
             try:
                 record = self.latest(fingerprint)
-            except (RegistryError, ArtifactError):  # skip corrupt chains
+            except (RegistryError, ArtifactError):
+                # A corrupt chain cannot serve, so it cannot be in the
+                # index — but it must not vanish without a trace: count
+                # it so `stats` shows wrappers that exist in the store
+                # yet are unservable (previously this was a silent
+                # `continue` and the wrapper just disappeared).
+                with self._mutex:
+                    self.corrupt_chains += 1
                 continue
             if record is not None and record.site:
                 pairs.append((record.created_at, record.site, fingerprint))
@@ -572,4 +591,5 @@ class WrapperRegistry:
             "resolve_misses": self.resolve_misses,
             "hot": hot,
             "fingerprints": len(self.backend.fingerprints()),
+            "corrupt_chains": self.corrupt_chains,
         }

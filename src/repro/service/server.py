@@ -63,12 +63,18 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro import faults
 from repro.api.ingest import IngestSession
 from repro.api.scheduler import WorkerPool
 from repro.service import protocol
 from repro.service.registry import WrapperRegistry
 from repro.site import sources_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.annotators.base import Annotator
+    from repro.api.extractor import Extractor
 
 __all__ = ["ExtractionServer", "ServerError"]
 
@@ -213,8 +219,8 @@ class ExtractionServer:
     def __init__(
         self,
         registry: WrapperRegistry | str | os.PathLike | None = None,
-        extractor=None,
-        annotator=None,
+        extractor: "Extractor | None" = None,
+        annotator: "Annotator | None" = None,
         host: str = "127.0.0.1",
         port: int = 0,
         socket_path: str | os.PathLike | None = None,
@@ -269,6 +275,11 @@ class ExtractionServer:
         self.errors = 0
         self.deadline_expired = 0
         self.arena_reaped = 0
+        #: Reader threads that died on a framing/transport error (the
+        #: client was dropped); ``last_read_error`` keeps the most
+        #: recent cause for the stats op.
+        self.dropped_readers = 0
+        self.last_read_error: str | None = None
         self.started_at: float | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -478,7 +489,10 @@ class ExtractionServer:
                     try:
                         raw_id = protocol.decode_frame(line).get("id")
                     except protocol.ProtocolError:
-                        pass
+                        # The line is not even JSON, so there is no id
+                        # to recover; the outer handler already answers
+                        # this frame with a structured error.
+                        pass  # lint: ignore[silent-except]
                     record = {
                         "_bad": str(error),
                         "id": (
@@ -488,8 +502,15 @@ class ExtractionServer:
                         ),
                     }
                 client.queue.put(record)
-        except (protocol.ProtocolError, OSError):
-            pass  # framing lost or connection reset: drop the client
+        except (protocol.ProtocolError, OSError) as error:
+            # Framing lost or connection reset: the client must be
+            # dropped — but never silently.  An operator watching a
+            # daemon whose tenants keep vanishing needs the stats op to
+            # say so (`repro serve` reports ``dropped_readers``); a bare
+            # pass here hid exactly this class of failure before PR 9.
+            with self._clients_lock:
+                self.dropped_readers += 1
+                self.last_read_error = f"{type(error).__name__}: {error}"
         finally:
             client.closed = True
 
@@ -530,7 +551,7 @@ class ExtractionServer:
                             "op": record.get("op"),
                             "site": record.get("site"),
                             "error": f"internal error: {error}",
-                            "code": "internal",
+                            "code": protocol.CODE_INTERNAL,
                         }
                     )
                 progressed = True
@@ -584,7 +605,7 @@ class ExtractionServer:
             self._fail(
                 ticket,
                 f"request deadline of {self.request_deadline}s exceeded",
-                code="deadline",
+                code=protocol.CODE_DEADLINE,
             )
             flight = self._flights.get(ticket.fingerprint)
             if flight is None or flight.owner is not ticket:
@@ -602,7 +623,7 @@ class ExtractionServer:
                 self._fail(
                     waiter,
                     f"request deadline of {self.request_deadline}s exceeded",
-                    code="deadline",
+                    code=protocol.CODE_DEADLINE,
                 )
                 flight.waiters.remove(waiter)
         return progressed
@@ -655,7 +676,7 @@ class ExtractionServer:
                         "server is draining for restart; retry against "
                         "the next generation"
                     ),
-                    "code": "draining",
+                    "code": protocol.CODE_DRAINING,
                 }
             )
             return
@@ -789,13 +810,13 @@ class ExtractionServer:
             self._fail(
                 ticket,
                 f"internal error completing request: {error}",
-                code="internal",
+                code=protocol.CODE_INTERNAL,
             )
 
     @staticmethod
     def _outcome_code(outcome) -> str | None:
         if outcome.error and outcome.error.startswith("quarantined"):
-            return "quarantined"
+            return protocol.CODE_QUARANTINED
         return None
 
     def _complete_learn(self, ticket: _Ticket, outcome) -> None:
@@ -823,9 +844,9 @@ class ExtractionServer:
             # whole flight with a structured, retryable failure instead
             # of letting the write error kill the dispatcher thread.
             message = f"wrapper learned but registry store failed: {error}"
-            self._fail(ticket, message, code="registry")
+            self._fail(ticket, message, code=protocol.CODE_REGISTRY)
             for waiter in waiters:
-                self._fail(waiter, message, code="registry")
+                self._fail(waiter, message, code=protocol.CODE_REGISTRY)
             return
         self.registry.learned += 1
         artifact = outcome.artifact
@@ -959,6 +980,8 @@ class ExtractionServer:
             "draining": self._draining,
             "request_deadline": self.request_deadline,
             "deadline_expired": self.deadline_expired,
+            "dropped_readers": self.dropped_readers,
+            "last_read_error": self.last_read_error,
             # Crash resilience: pool-side death/respawn/quarantine
             # tallies for the shared fleet.
             "worker_deaths": pool.stats.worker_deaths if pool else 0,

@@ -1,0 +1,223 @@
+"""Engine, baseline-ratchet and CLI behaviour — plus the repo gate:
+the shipped tree must lint clean against the checked-in baseline."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.cli import main
+from repro.analysis.engine import LintEngine, run_lint
+from repro.analysis.findings import Finding
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SILENT_EXCEPT = textwrap.dedent(
+    """
+    def read_loop(self):
+        while True:
+            try:
+                self.step()
+            except Exception:
+                pass
+    """
+)
+
+
+def _finding(rule="silent-except", path="a.py", line=1):
+    return Finding(rule=rule, path=path, line=line, col=0, message="m")
+
+
+class TestFindingModel:
+    def test_key_format_and_grepable_line(self):
+        finding = Finding(
+            rule="silent-except", path="x/y.py", line=7, col=4, message="boom"
+        )
+        assert finding.key == "silent-except:x/y.py"
+        assert finding.format() == "x/y.py:7:4: [silent-except] boom"
+        assert finding.to_dict()["line"] == 7
+
+    def test_hint_does_not_affect_identity(self):
+        a = _finding()
+        b = Finding(rule=a.rule, path=a.path, line=a.line, col=0, message="m", hint="h")
+        assert a == b
+
+
+class TestSuppression:
+    def test_pragma_silences_named_rule_on_that_line(self):
+        source = SILENT_EXCEPT.replace(
+            "except Exception:",
+            "except Exception:  # lint: ignore[silent-except]",
+        )
+        engine = LintEngine(root=REPO_ROOT / "src" / "repro")
+        assert engine.check_source(source) == []
+        # The unsuppressed source does fire.
+        assert len(engine.check_source(SILENT_EXCEPT)) == 1
+
+    def test_bare_pragma_silences_all_rules(self):
+        source = SILENT_EXCEPT.replace(
+            "except Exception:", "except Exception:  # lint: ignore"
+        )
+        engine = LintEngine(root=REPO_ROOT / "src" / "repro")
+        assert engine.check_source(source) == []
+
+
+class TestBaselineRatchet:
+    def test_split_counts_per_bucket(self):
+        baseline = Baseline({"silent-except:a.py": 1})
+        found = [_finding(line=3), _finding(line=9), _finding(path="b.py")]
+        old, new = baseline.split(found)
+        assert [f.line for f in old] == [3]  # first in file order is legacy
+        assert {(f.path, f.line) for f in new} == {("a.py", 9), ("b.py", 1)}
+
+    def test_update_refuses_growth(self):
+        baseline = Baseline({"silent-except:a.py": 1})
+        with pytest.raises(BaselineError, match="refusing to grow"):
+            baseline.updated([_finding(line=3), _finding(line=9)])
+        with pytest.raises(BaselineError, match="refusing to grow"):
+            baseline.updated([_finding(path="fresh.py")])
+
+    def test_update_tightens_shrinkage_and_drops_empty_buckets(self):
+        baseline = Baseline({"silent-except:a.py": 2, "silent-except:b.py": 1})
+        tightened = baseline.updated([_finding()])
+        assert tightened.counts == {"silent-except:a.py": 1}
+
+    def test_bootstrap_from_empty_baseline_records_freely(self):
+        assert Baseline().updated([_finding(), _finding(line=5)]).counts == {
+            "silent-except:a.py": 2
+        }
+
+    def test_stale_keys_reported(self):
+        baseline = Baseline({"silent-except:a.py": 3, "silent-except:b.py": 1})
+        assert baseline.stale_keys([_finding(), _finding(path="b.py")]) == [
+            "silent-except:a.py"
+        ]
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline({"r:p.py": 2}).save(path)
+        assert Baseline.load(path).counts == {"r:p.py": 2}
+        assert Baseline.load(tmp_path / "missing.json").counts == {}
+
+    def test_malformed_baselines_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{torn", encoding="utf-8")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            Baseline.load(path)
+        path.write_text(json.dumps({"counts": {"k": 0}}), encoding="utf-8")
+        with pytest.raises(BaselineError, match="positive int"):
+            Baseline.load(path)
+        path.write_text(json.dumps(["nope"]), encoding="utf-8")
+        with pytest.raises(BaselineError, match="'counts' mapping"):
+            Baseline.load(path)
+
+
+class TestEngineRuns:
+    def test_run_reports_relative_paths_and_parse_errors(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text("def broken(:\n", "utf-8")
+        (tmp_path / "pkg" / "loop.py").write_text(SILENT_EXCEPT, "utf-8")
+        report = run_lint(root=tmp_path)
+        assert report.files_checked == 1
+        assert len(report.parse_errors) == 1
+        assert "pkg/bad.py" in report.parse_errors[0]
+        assert [f.path for f in report.new] == ["pkg/loop.py"]
+        assert not report.ok
+
+    def test_skip_dirs_are_not_linted(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "loop.py").write_text(SILENT_EXCEPT, "utf-8")
+        report = run_lint(root=tmp_path)
+        assert report.files_checked == 0
+
+
+class TestCli:
+    def _tree(self, tmp_path, findings=1):
+        source = SILENT_EXCEPT
+        for extra in range(findings - 1):
+            source += SILENT_EXCEPT.replace("read_loop", f"read_loop_{extra}")
+        (tmp_path / "loop.py").write_text(source, "utf-8")
+        return tmp_path
+
+    def test_exit_one_on_new_findings_and_zero_when_clean(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        assert main(["--root", str(root), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "[silent-except]" in out and "1 new" in out
+        (tmp_path / "loop.py").write_text("x = 1\n", "utf-8")
+        assert main(["--root", str(root), "--no-baseline"]) == 0
+
+    def test_update_baseline_then_gate_passes_and_ratchets(self, tmp_path, capsys):
+        root = self._tree(tmp_path, findings=2)
+        baseline = tmp_path / "baseline.json"
+        argv = ["--root", str(root), "--baseline", str(baseline)]
+        assert main(argv + ["--update-baseline"]) == 0
+        assert Baseline.load(baseline).counts == {"silent-except:loop.py": 2}
+        # Gate passes with the baseline in place...
+        assert main(argv) == 0
+        # ...a third finding fails the gate and refuses re-baselining...
+        source = (tmp_path / "loop.py").read_text("utf-8")
+        (tmp_path / "loop.py").write_text(
+            source + SILENT_EXCEPT.replace("read_loop", "read_loop_new"), "utf-8"
+        )
+        capsys.readouterr()
+        assert main(argv) == 1
+        assert "1 new" in capsys.readouterr().out
+        assert main(argv + ["--update-baseline"]) == 2
+        # ...and fixing everything lets the baseline tighten to empty.
+        (tmp_path / "loop.py").write_text("x = 1\n", "utf-8")
+        assert main(argv) == 0  # shrink never blocks
+        assert "can be tightened" in capsys.readouterr().out
+        assert main(argv + ["--update-baseline"]) == 0
+        assert Baseline.load(baseline).counts == {}
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        assert main(["--root", str(root), "--no-baseline", "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["total_findings"] == 1
+        assert report["new"][0]["rule"] == "silent-except"
+        assert report["new"][0]["path"] == "loop.py"
+
+    def test_list_rules_names_every_rule(self, capsys):
+        from repro.analysis.rules import ALL_RULES
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out
+
+    def test_explicit_paths_limit_the_run(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        (tmp_path / "clean.py").write_text("x = 1\n", "utf-8")
+        argv = ["--root", str(root), "--no-baseline", str(tmp_path / "clean.py")]
+        assert main(argv) == 0
+
+
+class TestRepoGate:
+    """The shipped tree itself must pass — the CI contract, e2e."""
+
+    def test_repro_lint_json_passes_against_checked_in_baseline(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--json"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        report = json.loads(result.stdout)
+        assert report["ok"] is True
+        assert report["new"] == []
+        assert report["parse_errors"] == []
+        assert report["files_checked"] > 50
+
+    def test_checked_in_baseline_is_not_stale(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        report = run_lint(baseline=baseline)
+        assert report.stale_baseline_keys == []

@@ -1,0 +1,467 @@
+"""Per-rule fixture tests: one firing and one quiet fixture per rule.
+
+Each fixture is a minimal in-memory module capturing the exact shape
+the rule exists to catch (or the legitimate idiom it must not flag),
+run through :meth:`LintEngine.check_source` with injected cross-module
+context so no real files are parsed.
+"""
+
+import textwrap
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.project import Project
+from repro.analysis.rules import (
+    ALL_RULES,
+    FaultPointRule,
+    FrozenMutationRule,
+    PickleSafetyRule,
+    ProtocolRule,
+    QueueLockRule,
+    ResourceLifecycleRule,
+    SilentExceptRule,
+)
+
+PROJECT = Project(
+    fault_points=("worker.crash", "conn.drop"),
+    fault_constants={"WORKER_CRASH": "worker.crash", "CONN_DROP": "conn.drop"},
+    error_codes=("deadline", "draining"),
+    response_keys=("id", "ok", "op", "error", "code"),
+)
+
+
+def lint(rule, source, path="repro/mod.py"):
+    engine = LintEngine(rules=(rule,), project=PROJECT)
+    return engine.check_source(textwrap.dedent(source), path)
+
+
+class TestPickleSafety:
+    def test_fires_on_pickled_lock_and_cache(self):
+        findings = lint(
+            PickleSafetyRule,
+            """
+            import threading
+
+            class Carrier:
+                def __init__(self):
+                    self.data = 1
+                    self._lock = threading.Lock()
+                    self.xpath_cache = {}
+
+                def __getstate__(self):
+                    return dict(self.__dict__)
+            """,
+        )
+        messages = [f.message for f in findings]
+        assert len(findings) == 2
+        assert any("_lock" in m and "live Lock()" in m for m in messages)
+        assert any("xpath_cache" in m for m in messages)
+
+    def test_quiet_when_state_excludes_runtime_attrs(self):
+        findings = lint(
+            PickleSafetyRule,
+            """
+            import threading
+
+            class Carrier:
+                __slots__ = ("data", "_lock", "xpath_cache")
+
+                def __init__(self):
+                    self.data = 1
+                    self._lock = threading.Lock()
+                    self.xpath_cache = {}
+
+                def __getstate__(self):
+                    state = {
+                        slot: getattr(self, slot)
+                        for slot in self.__slots__
+                        if slot not in ("_lock", "xpath_cache")
+                    }
+                    return state
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_when_popped_from_state_dict(self):
+        findings = lint(
+            PickleSafetyRule,
+            """
+            class Carrier:
+                def __init__(self):
+                    self.data = 1
+                    self.result_memo = {}
+
+                def __getstate__(self):
+                    state = dict(self.__dict__)
+                    state.pop("result_memo", None)
+                    return state
+            """,
+        )
+        assert findings == []
+
+
+class TestQueueLockDiscipline:
+    def test_fires_on_blocking_get_and_put_under_lock(self):
+        findings = lint(
+            QueueLockRule,
+            """
+            def pump(self):
+                with self._lock:
+                    item = self._inbox.get()
+                    self._outbox.put(item)
+            """,
+        )
+        assert len(findings) == 2
+        assert "Queue.get()" in findings[0].message
+        assert "Queue.put()" in findings[1].message
+
+    def test_fires_on_unbounded_join_under_lock(self):
+        findings = lint(
+            QueueLockRule,
+            """
+            def reap(self):
+                with self._mutex:
+                    self._reader_thread.join()
+            """,
+        )
+        assert len(findings) == 1
+        assert "join()" in findings[0].message
+
+    def test_quiet_for_nonblocking_variants_and_outside_lock(self):
+        findings = lint(
+            QueueLockRule,
+            """
+            def pump(self):
+                with self._lock:
+                    item = self._inbox.get(block=False)
+                    self._outbox.put(item, block=False)
+                work = self._inbox.get()
+                self._outbox.put(work)
+            """,
+        )
+        assert findings == []
+
+
+class TestFaultPointIntegrity:
+    def test_fires_on_undeclared_point_literal(self):
+        findings = lint(
+            FaultPointRule,
+            """
+            from repro import faults
+
+            def step():
+                faults.fire("worker.explode")
+            """,
+        )
+        assert len(findings) == 1
+        assert "worker.explode" in findings[0].message
+        assert "worker.crash" in findings[0].message  # lists declared points
+
+    def test_fires_on_undeclared_constant(self):
+        findings = lint(
+            FaultPointRule,
+            """
+            def arm(plan):
+                plan.add(WORKER_EXPLODE, rate=1.0)
+            """,
+        )
+        assert len(findings) == 1
+        assert "WORKER_EXPLODE" in findings[0].message
+
+    def test_quiet_for_declared_points_and_constants(self):
+        findings = lint(
+            FaultPointRule,
+            """
+            from repro import faults
+
+            def step(plan):
+                faults.fire("worker.crash")
+                plan.add(CONN_DROP, rate=0.5)
+                plan.fire("conn.drop", context="c1")
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_for_unrelated_fire_receivers(self):
+        findings = lint(
+            FaultPointRule,
+            """
+            def shoot(cannon):
+                cannon.fire("broadside")
+            """,
+        )
+        assert findings == []
+
+
+class TestProtocolConsistency:
+    def test_server_fires_on_unknown_key_and_code(self):
+        findings = lint(
+            ProtocolRule,
+            """
+            def answer(client, request):
+                client.send({"id": 1, "ok": False, "bogus": 2})
+                client.send({"id": 1, "ok": False, "code": "explode"})
+            """,
+            path="repro/service/server.py",
+        )
+        assert len(findings) == 2
+        assert "'bogus'" in findings[0].message
+        assert "'explode'" in findings[1].message
+
+    def test_server_quiet_for_spec_conforming_frames(self):
+        findings = lint(
+            ProtocolRule,
+            """
+            def answer(client, request):
+                client.send({"id": 1, "ok": True, "op": "ping"})
+                client.send(
+                    {"id": 1, "ok": False, "error": "x", "code": "deadline"}
+                )
+            """,
+            path="repro/service/server.py",
+        )
+        assert findings == []
+
+    def test_client_fires_on_impossible_code_comparison(self):
+        findings = lint(
+            ProtocolRule,
+            """
+            def classify(record):
+                if record.get("code") == "explodey":
+                    return "?"
+            """,
+            path="repro/service/client.py",
+        )
+        assert len(findings) == 1
+        assert "never match" in findings[0].message
+
+    def test_client_quiet_for_spec_codes_and_keys(self):
+        findings = lint(
+            ProtocolRule,
+            """
+            def classify(record):
+                if record.get("code") == "draining":
+                    return record.get("error")
+            """,
+            path="repro/service/client.py",
+        )
+        assert findings == []
+
+    def test_other_modules_not_checked(self):
+        findings = lint(
+            ProtocolRule,
+            """
+            def elsewhere(record):
+                if record.get("code") == "explodey":
+                    return {"id": 1, "ok": True, "bogus": 2}
+            """,
+            path="repro/api/other.py",
+        )
+        assert findings == []
+
+
+class TestFrozenMutation:
+    def test_fires_on_mutation_outside_builders(self):
+        findings = lint(
+            FrozenMutationRule,
+            """
+            def patch(site, page):
+                site.pages = []
+                page.attrs["id"] = "x"
+                site.pages.append(1)
+            """,
+            path="repro/api/patcher.py",
+        )
+        assert len(findings) == 3
+        assert "frozen 'site'" in findings[0].message
+
+    def test_quiet_in_builder_modules(self):
+        source = """
+        def build(site, page):
+            site.pages = []
+            site.pages.append(page)
+        """
+        assert lint(FrozenMutationRule, source, "repro/htmldom/treebuilder.py") == []
+        assert lint(FrozenMutationRule, source, "repro/site.py") == []
+
+    def test_quiet_for_non_frozen_locals(self):
+        findings = lint(
+            FrozenMutationRule,
+            """
+            def accumulate(rows):
+                rows.totals = {}
+                rows.cells.append(1)
+            """,
+            path="repro/api/patcher.py",
+        )
+        assert findings == []
+
+
+class TestSilentExcept:
+    def test_fires_on_pass_in_loopish_function(self):
+        findings = lint(
+            SilentExceptRule,
+            """
+            def read_loop(self):
+                while True:
+                    try:
+                        self.step()
+                    except Exception:
+                        pass
+            """,
+        )
+        assert len(findings) == 1
+        assert "read_loop()" in findings[0].message
+
+    def test_fires_on_continue_inside_any_loop(self):
+        findings = lint(
+            SilentExceptRule,
+            """
+            def harvest(self):
+                for item in self.items:
+                    try:
+                        self.consume(item)
+                    except ValueError:
+                        continue
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_quiet_when_handler_leaves_a_trace(self):
+        findings = lint(
+            SilentExceptRule,
+            """
+            def read_loop(self):
+                while True:
+                    try:
+                        self.step()
+                    except Exception:
+                        self.errors += 1
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_for_control_flow_exceptions(self):
+        findings = lint(
+            SilentExceptRule,
+            """
+            import queue
+
+            def drain_loop(self):
+                while True:
+                    try:
+                        self.advance()
+                    except queue.Empty:
+                        continue
+                    except KeyboardInterrupt:
+                        pass
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_outside_loops_and_loopish_functions(self):
+        findings = lint(
+            SilentExceptRule,
+            """
+            def setup(self):
+                try:
+                    self.optional_feature()
+                except ImportError:
+                    pass
+            """,
+        )
+        assert findings == []
+
+
+class TestResourceLifecycle:
+    def test_fires_on_local_socket_without_close_path(self):
+        findings = lint(
+            ResourceLifecycleRule,
+            """
+            import socket
+
+            def probe(addr):
+                sock = socket.socket()
+                sock.connect(addr)
+            """,
+            path="repro/service/probe.py",
+        )
+        assert len(findings) == 1
+        assert "'sock'" in findings[0].message
+
+    def test_fires_on_self_attr_without_close_path(self):
+        findings = lint(
+            ResourceLifecycleRule,
+            """
+            import socket
+
+            class Conn:
+                def __init__(self):
+                    self.sock = socket.socket()
+            """,
+            path="repro/service/conn.py",
+        )
+        assert len(findings) == 1
+        assert "self.sock" in findings[0].message
+
+    def test_quiet_when_closed_returned_or_owned(self):
+        findings = lint(
+            ResourceLifecycleRule,
+            """
+            import socket
+
+            def probe(addr):
+                sock = socket.socket()
+                try:
+                    sock.connect(addr)
+                finally:
+                    sock.close()
+
+            def make(addr):
+                sock = socket.socket()
+                return sock
+
+            class Conn:
+                def __init__(self):
+                    self.sock = socket.socket()
+
+                def close(self):
+                    self.sock.close()
+            """,
+            path="repro/service/conn.py",
+        )
+        assert findings == []
+
+    def test_quiet_outside_service_and_arena(self):
+        findings = lint(
+            ResourceLifecycleRule,
+            """
+            import socket
+
+            def probe(addr):
+                sock = socket.socket()
+                sock.connect(addr)
+            """,
+            path="repro/api/probe.py",
+        )
+        assert findings == []
+
+
+def test_every_shipped_rule_has_fixture_coverage():
+    """Each rule in ALL_RULES is exercised above (fail on silent gaps
+    when a new rule ships without fixtures)."""
+    covered = {
+        PickleSafetyRule,
+        QueueLockRule,
+        FaultPointRule,
+        ProtocolRule,
+        FrozenMutationRule,
+        SilentExceptRule,
+        ResourceLifecycleRule,
+    }
+    assert set(ALL_RULES) == covered
+
+
+def test_rule_metadata_complete():
+    for rule in ALL_RULES:
+        assert rule.id and rule.name and rule.hint
+    assert len({rule.id for rule in ALL_RULES}) == len(ALL_RULES)

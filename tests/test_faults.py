@@ -159,3 +159,55 @@ class TestRegistryWriteInjection:
         record = registry.put("fp-one", artifact, origin="test")
         assert record.version == 1
         assert registry.fingerprints() == ["fp-one"]
+
+
+class TestPointRegistry:
+    """The central point registry is the single source of truth: every
+    loader and installer validates against it, with actionable errors."""
+
+    def test_every_constant_is_described(self):
+        from repro.faults import registry
+
+        constant_points = {
+            value
+            for name, value in vars(registry).items()
+            if name.isupper() and isinstance(value, str)
+        }
+        assert constant_points == set(registry.POINT_DESCRIPTIONS)
+        assert registry.POINTS == tuple(registry.POINT_DESCRIPTIONS)
+        for point, description in registry.POINT_DESCRIPTIONS.items():
+            assert "." in point
+            assert description  # one line on where it fires
+
+    def test_validate_point_lists_every_valid_point(self):
+        with pytest.raises(faults.FaultError) as excinfo:
+            faults.validate_point("worker.explode")
+        message = str(excinfo.value)
+        assert "worker.explode" in message
+        for point in faults.POINT_DESCRIPTIONS:
+            assert point in message
+
+    def test_from_json_rejects_unknown_point_naming_the_rule(self):
+        raw = json.dumps(
+            {
+                "seed": 3,
+                "rules": [
+                    {"point": faults.WORKER_CRASH, "rate": 1.0},
+                    {"point": "worker.explode", "rate": 1.0},
+                ],
+            }
+        )
+        with pytest.raises(faults.FaultError) as excinfo:
+            faults.FaultPlan.from_json(raw)
+        message = str(excinfo.value)
+        assert message.startswith("fault plan rule 1:")
+        assert "worker.explode" in message
+        assert faults.WORKER_CRASH in message  # lists the valid points
+
+    def test_install_revalidates_mutated_rules(self):
+        plan = faults.FaultPlan(seed=1)
+        rule = plan.add(faults.CONN_DROP, at=[1])
+        object.__setattr__(rule, "point", "conn.explode")
+        with pytest.raises(faults.FaultError, match="conn.explode"):
+            faults.install(plan)
+        assert faults.active() is None  # nothing armed on failure

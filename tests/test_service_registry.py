@@ -314,4 +314,24 @@ class TestBackendsAndStats:
             "resolve_misses",
             "hot",
             "fingerprints",
+            "corrupt_chains",
         }
+
+    def test_corrupt_chain_counted_not_silently_skipped(self, tmp_path):
+        """Regression: a fingerprint whose stored chain cannot load used
+        to vanish from the site index without a trace; it must surface
+        in stats as ``corrupt_chains``."""
+        registry = WrapperRegistry(tmp_path / "reg")
+        registry.put("fpgood", _artifact("siteA"), origin="learn")
+        registry.put("fpbad", _artifact("siteB"), origin="learn")
+        (tmp_path / "reg" / "fpbad.json").write_text(
+            '{"fingerprint": "fpbad", "versions": [{"torn": true}]}', "utf-8"
+        )
+        reopened = WrapperRegistry(tmp_path / "reg")
+        # Building the site index hits the corrupt chain.
+        assert reopened.site_fingerprint("siteA") == "fpgood"
+        assert reopened.site_fingerprint("siteB") is None
+        assert reopened.stats()["corrupt_chains"] == 1
+        # Rebuilds do not double-count: the index is built once.
+        reopened.site_fingerprint("siteB")
+        assert reopened.stats()["corrupt_chains"] == 1

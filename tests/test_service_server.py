@@ -351,3 +351,38 @@ class TestRestartResume:
                 assert served["version"] == learned["version"]
                 assert served["nodes"] == learned["nodes"]
             assert second.registry.learned == 0
+
+
+class TestReaderDropAccounting:
+    def test_transport_error_drops_reader_with_a_trace(self, server, client):
+        """Regression: a reader thread dying on a transport error used
+        to drop the client silently; the stats op must now report the
+        drop and keep the last error for diagnosis."""
+        from repro.service.server import _Client
+
+        class _BrokenSock:
+            def recv(self, size):
+                raise OSError(104, "connection reset by peer")
+
+            def close(self):
+                pass
+
+        before = client.stats()["server"]
+        assert before["dropped_readers"] == 0
+        assert before["last_read_error"] is None
+
+        broken = _Client(_BrokenSock(), 4)
+        server._read_loop(broken)
+
+        assert broken.closed
+        after = client.stats()["server"]
+        assert after["dropped_readers"] == 1
+        assert "ConnectionResetError" in after["last_read_error"]
+        assert "connection reset" in after["last_read_error"]
+
+    def test_clean_eof_is_not_a_dropped_reader(self, server, client):
+        """A client that disconnects normally must not count as
+        dropped: the counter means failures, not goodbyes."""
+        with ServiceClient(server.address) as extra:
+            extra.ping()
+        assert client.stats()["server"]["dropped_readers"] == 0
