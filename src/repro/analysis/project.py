@@ -1,13 +1,17 @@
 """Cross-module facts the project-invariant rules validate against.
 
-Two rules need to see *other* files' declarations:
+Three rules need to see *other* files' declarations:
 
 - **fault-point-integrity** checks every ``fire("...")`` call site
   against the central fault-point registry declared in
   :mod:`repro.faults.registry`;
 - **protocol-consistency** checks the server's produced (and the
   client's consumed) response keys and error codes against the
-  normative constants in :mod:`repro.service.protocol`.
+  normative constants in :mod:`repro.service.protocol`;
+- **telemetry-consistency** checks every ``.counter("...")`` /
+  ``.gauge("...")`` / ``.histogram("...")`` instrumentation site
+  against the metric-name catalogue declared in
+  :mod:`repro.telemetry.names`.
 
 :class:`Project` extracts those declarations **statically** — by
 parsing the declaring modules' ASTs, never importing them — so the
@@ -30,6 +34,7 @@ __all__ = ["Project"]
 #: (the ``repro`` package directory).
 FAULT_REGISTRY_PATH = "faults/registry.py"
 PROTOCOL_PATH = "service/protocol.py"
+TELEMETRY_NAMES_PATH = "telemetry/names.py"
 
 
 def _module_constants(tree: ast.Module) -> dict[str, object]:
@@ -53,8 +58,12 @@ def _module_constants(tree: ast.Module) -> dict[str, object]:
             if all(isinstance(item, str) for item in items):
                 return tuple(items)
         if isinstance(node, ast.Dict):
-            keys = [str_const(key) for key in node.keys if key is not None]
-            if keys and all(key is not None for key in keys):
+            # Catalogue dicts key on earlier constants (``WORKER_CRASH:
+            # "..."``), so keys resolve through the environment too.
+            keys = [
+                resolve(key) for key in node.keys if key is not None
+            ]
+            if keys and all(isinstance(key, str) for key in keys):
                 return {key: None for key in keys}
         return None
 
@@ -87,12 +96,16 @@ class Project:
         fault_constants: dict[str, str] | None = None,
         error_codes: tuple[str, ...] | None = None,
         response_keys: tuple[str, ...] | None = None,
+        metric_names: tuple[str, ...] | None = None,
+        metric_constants: dict[str, str] | None = None,
     ) -> None:
         self.root = Path(root) if root is not None else None
         self._fault_points = fault_points
         self._fault_constants = fault_constants
         self._error_codes = error_codes
         self._response_keys = response_keys
+        self._metric_names = metric_names
+        self._metric_constants = metric_constants
 
     def _constants(self, relpath: str) -> dict[str, object]:
         if self.root is None:
@@ -147,6 +160,33 @@ class Project:
             keys = env.get("RESPONSE_KEYS")
             self._response_keys = keys if isinstance(keys, tuple) else ()
         return self._response_keys
+
+    # -- telemetry metric names --------------------------------------------
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """Declared metric names (``server.requests``, ...)."""
+        if self._metric_names is None:
+            env = self._constants(TELEMETRY_NAMES_PATH)
+            described = env.get("NAME_DESCRIPTIONS")
+            if isinstance(described, dict):
+                self._metric_names = tuple(described)
+            else:
+                names = env.get("NAMES")
+                self._metric_names = names if isinstance(names, tuple) else ()
+        return self._metric_names
+
+    @property
+    def metric_constants(self) -> dict[str, str]:
+        """``SERVER_REQUESTS``-style constant name → metric string."""
+        if self._metric_constants is None:
+            env = self._constants(TELEMETRY_NAMES_PATH)
+            self._metric_constants = {
+                name: value
+                for name, value in env.items()
+                if isinstance(value, str) and name.isupper()
+            }
+        return self._metric_constants
 
     @property
     def protocol_constants(self) -> dict[str, str]:

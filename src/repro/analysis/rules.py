@@ -41,6 +41,7 @@ __all__ = [
     "QueueLockRule",
     "ResourceLifecycleRule",
     "SilentExceptRule",
+    "TelemetryConsistencyRule",
 ]
 
 
@@ -372,6 +373,83 @@ class FaultPointRule(Rule):
             return None
         for keyword in node.keywords:
             if keyword.arg == "point":
+                return keyword.value
+        if node.args:
+            return node.args[0]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# 3b. telemetry-consistency
+
+
+class TelemetryConsistencyRule(Rule):
+    """Every metric name at an instrumentation site must come from the
+    central catalogue (:mod:`repro.telemetry.names`).
+
+    The same failure mode as a typo'd fault point: a counter spelled
+    ``server.reqests`` compiles and increments happily — into a series
+    no dashboard charts and no test asserts on.  Call sites must use a
+    declared name literal or a declared ``SERVER_REQUESTS``-style
+    constant.
+    """
+
+    id = "telemetry-consistency"
+    name = "metric names come from the declared catalogue"
+    hint = (
+        "use a constant from repro.telemetry.names (or declare the new "
+        "metric there, with a description)"
+    )
+
+    #: The instrument-factory methods that take a metric name.
+    INSTRUMENTS = frozenset({"counter", "gauge", "histogram"})
+    #: Receivers whose instrument calls are telemetry (not some other
+    #: API sharing the method names); bare calls (the module-level
+    #: shorthands imported from repro.telemetry) always count.
+    RECEIVERS = re.compile(r"(telemetry|metrics|registry)$", re.IGNORECASE)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        project = self.project
+        if project is None or not project.metric_names:
+            return
+        names = set(project.metric_names)
+        constants = set(project.metric_constants)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name_arg = self._name_argument(node)
+            if name_arg is None:
+                continue
+            literal = str_const(name_arg)
+            if literal is not None:
+                if literal not in names:
+                    yield self.finding(
+                        module,
+                        name_arg,
+                        f"undeclared metric name {literal!r}; declare it "
+                        "in repro.telemetry.names first",
+                    )
+                continue
+            name = terminal_name(name_arg)
+            if name and name.isupper() and name not in constants:
+                yield self.finding(
+                    module,
+                    name_arg,
+                    f"metric-name constant {name!r} is not declared in "
+                    "repro.telemetry.names",
+                )
+
+    def _name_argument(self, node: ast.Call) -> ast.expr | None:
+        """The expression holding the metric name, for instrument calls."""
+        dotted = call_name(node)
+        parts = dotted.split(".")
+        if parts[-1] not in self.INSTRUMENTS:
+            return None
+        receiver = parts[-2] if len(parts) > 1 else ""
+        if receiver and not self.RECEIVERS.search(receiver):
+            return None
+        for keyword in node.keywords:
+            if keyword.arg == "name":
                 return keyword.value
         if node.args:
             return node.args[0]
@@ -862,6 +940,7 @@ ALL_RULES = (
     PickleSafetyRule,
     QueueLockRule,
     FaultPointRule,
+    TelemetryConsistencyRule,
     ProtocolRule,
     FrozenMutationRule,
     SilentExceptRule,

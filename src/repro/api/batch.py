@@ -75,6 +75,11 @@ class SiteOutcome:
     texts resolved *worker-side* — the worker already holds the parsed
     site interned, so the parent never re-parses pages just to read
     text.  Entries pair with ``sorted(extracted)``.
+
+    ``timings`` (scheduler paths) carries the executing worker's stage
+    stamps for request tracing: ``start``/``end`` are system-wide
+    ``time.monotonic()`` instants, ``hydrate_s``/``extract_s`` the
+    in-worker stage durations (see :mod:`repro.telemetry.tracing`).
     """
 
     index: int
@@ -84,6 +89,7 @@ class SiteOutcome:
     extracted: Labels | None = None
     error: str | None = None
     texts: list[str] | None = None
+    timings: dict | None = None
 
 
 @dataclass(slots=True)

@@ -66,6 +66,8 @@ from repro.api.scheduler import (
     _payload_for,
     _site_key,
 )
+from repro.telemetry import counter
+from repro.telemetry import names as metric_names
 from repro.wrappers.base import Labels
 
 __all__ = ["AsyncIngestSession", "IngestSession"]
@@ -212,6 +214,7 @@ class IngestSession:
             )
         self._session.add([job], {key: _payload_for(site)})
         self._submitted += 1
+        counter(metric_names.INGEST_SUBMITTED).inc(kind=job.kind)
         return index
 
     def submit_html(
@@ -283,6 +286,7 @@ class IngestSession:
             if outcome is None:
                 return
             self._yielded += 1
+            counter(metric_names.INGEST_RESULTS).inc(ok=str(outcome.ok).lower())
             yield outcome
 
     def pump(self, timeout: float = _RESULT_POLL_SECONDS) -> None:
@@ -327,6 +331,9 @@ class IngestSession:
             outcome = self._session.next_outcome(_RESULT_POLL_SECONDS)
             if outcome is not None:
                 self._yielded += 1
+                counter(metric_names.INGEST_RESULTS).inc(
+                    ok=str(outcome.ok).lower()
+                )
                 yield outcome
 
     # -- lifecycle ----------------------------------------------------------

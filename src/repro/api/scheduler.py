@@ -74,12 +74,15 @@ from __future__ import annotations
 
 import itertools
 import os
+import time
 import zlib
 from collections import Counter, OrderedDict, deque
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro import faults
+from repro import telemetry
+from repro.telemetry import names as metric_names
 from repro.annotators.base import Annotator
 from repro.api.artifacts import WrapperArtifact
 from repro.api.batch import (
@@ -252,8 +255,32 @@ class _WarmWorker:
         return site
 
     def run_job(self, job: _Job) -> SiteOutcome:
+        start = time.monotonic()
+        hydrate_s = 0.0
+        metrics = telemetry.get_registry()
+
+        def finish(outcome: SiteOutcome) -> SiteOutcome:
+            # Stage timings ride the outcome back to the submitter:
+            # ``start``/``end`` are system-wide CLOCK_MONOTONIC stamps,
+            # comparable across the process boundary, so the parent can
+            # compute queue_wait/result_flush against its own clock.
+            end = time.monotonic()
+            extract_s = max(0.0, end - start - hydrate_s)
+            outcome.timings = {
+                "start": start,
+                "end": end,
+                "hydrate_s": hydrate_s,
+                "extract_s": extract_s,
+            }
+            metrics.counter(metric_names.WORKER_JOBS).inc()
+            metrics.histogram(metric_names.WORKER_HYDRATE_S).observe(hydrate_s)
+            metrics.histogram(metric_names.WORKER_EXTRACT_S).observe(extract_s)
+            return outcome
+
         try:
             site = self._site_for(job)
+            hydrate_s = time.monotonic() - start
+            metrics.counter(metric_names.WORKER_PAGES).inc(len(site))
             if job.kind == "apply":
                 if job.artifact is None:
                     raise ValueError("apply job carries no artifact")
@@ -266,13 +293,15 @@ class _WarmWorker:
                         site.text_node(node_id).text
                         for node_id in sorted(extracted)
                     ]
-                return SiteOutcome(
-                    index=job.index,
-                    site=job.name,
-                    ok=True,
-                    artifact=job.artifact,
-                    extracted=extracted,
-                    texts=texts,
+                return finish(
+                    SiteOutcome(
+                        index=job.index,
+                        site=job.name,
+                        ok=True,
+                        artifact=job.artifact,
+                        extracted=extracted,
+                        texts=texts,
+                    )
                 )
             labels = job.labels
             if labels is None:
@@ -282,24 +311,30 @@ class _WarmWorker:
             if self.extractor is None:
                 raise ValueError("no extractor was shipped for this batch")
             artifact = self.extractor.learn(site, labels, site_name=job.name)
-            return SiteOutcome(
-                index=job.index, site=job.name, ok=True, artifact=artifact
+            return finish(
+                SiteOutcome(
+                    index=job.index, site=job.name, ok=True, artifact=artifact
+                )
             )
         except _SiteUnavailable as error:
-            return SiteOutcome(
-                index=job.index,
-                site=job.name,
-                ok=False,
-                artifact=job.artifact,
-                error=str(error),
+            return finish(
+                SiteOutcome(
+                    index=job.index,
+                    site=job.name,
+                    ok=False,
+                    artifact=job.artifact,
+                    error=str(error),
+                )
             )
         except Exception as error:
-            return SiteOutcome(
-                index=job.index,
-                site=job.name,
-                ok=False,
-                artifact=job.artifact,
-                error=f"{type(error).__name__}: {error}",
+            return finish(
+                SiteOutcome(
+                    index=job.index,
+                    site=job.name,
+                    ok=False,
+                    artifact=job.artifact,
+                    error=f"{type(error).__name__}: {error}",
+                )
             )
 
 
@@ -361,6 +396,10 @@ def _worker_main(
         return worker.run_job(job)
 
     no_message = object()  # "nothing held" (None is the stop sentinel)
+    # A fresh metrics registry: the fork-inherited copy of the parent's
+    # registry holds the *parent's* totals, and flushing those back as
+    # a delta would double-count every parent-side event per worker.
+    worker_metrics = telemetry.set_registry(None)
     worker = _WarmWorker(intern_bound)
     message = inbox.get()
     while message is not None:
@@ -388,7 +427,13 @@ def _worker_main(
                 break
             outcomes.extend(run_job(job) for job in queued[2])
             chunks += 1
-        outbox.put((worker_id, batch, outcomes, chunks))
+        # Piggyback this worker's metrics delta on the flush it already
+        # pays for — pool/worker internals reach the parent with zero
+        # extra IPC.  drain() resets, so deltas merge additively
+        # parent-side whatever the flush interleaving.
+        outbox.put(
+            (worker_id, batch, outcomes, chunks, worker_metrics.drain())
+        )
         if marker is not None:
             marker.value = -1
         message = inbox.get() if held is no_message else held
@@ -762,7 +807,9 @@ class WorkerPool:
                 try:
                     inbox.put(None)
                 except Exception:  # pragma: no cover - teardown races
-                    pass
+                    telemetry.counter(
+                        metric_names.SCHEDULER_SWALLOWED_ERRORS
+                    ).inc(where="close.inbox_stop")
         # Workers cannot block flushing results (their reader threads
         # drain continuously), so a worker that misses the deadline is
         # stuck in a job, not in IPC — terminate it.
@@ -776,7 +823,9 @@ class WorkerPool:
             try:
                 outbox.put(None)  # release the reader thread
             except Exception:  # pragma: no cover - teardown races
-                pass
+                telemetry.counter(
+                    metric_names.SCHEDULER_SWALLOWED_ERRORS
+                ).inc(where="close.outbox_release")
         for reader in self._readers:
             reader.join(timeout=1)
         for channel in (*self._inboxes, *self._outboxes):
@@ -784,7 +833,9 @@ class WorkerPool:
                 channel.cancel_join_thread()
                 channel.close()
             except Exception:  # pragma: no cover - teardown races
-                pass
+                telemetry.counter(
+                    metric_names.SCHEDULER_SWALLOWED_ERRORS
+                ).inc(where="close.channel")
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -1042,7 +1093,9 @@ class WorkerPool:
         try:
             self._inboxes[worker_id].put(None)
         except Exception:  # pragma: no cover - teardown races
-            pass
+            telemetry.counter(
+                metric_names.SCHEDULER_SWALLOWED_ERRORS
+            ).inc(where="retire.inbox_stop")
 
     def _maybe_autoscale(self, session: "_PooledSession") -> None:
         """Grow under backlog pressure, one worker per check.
@@ -1075,6 +1128,7 @@ class WorkerPool:
 
         now = time.monotonic()
         self.stats.worker_deaths += 1
+        telemetry.counter(metric_names.SCHEDULER_WORKER_DEATHS).inc()
         if (
             self._death_times
             and now - self._death_times[-1] > _RAPID_DEATH_WINDOW_SECONDS
@@ -1111,6 +1165,7 @@ class WorkerPool:
         while self.workers_alive < self._target_alive:
             worker_id = self._spawn_worker()
             self.stats.respawns += 1
+            telemetry.counter(metric_names.SCHEDULER_RESPAWNS).inc()
             respawned = True
             if self._last_shared:
                 seq = session.seq if session is not None else self._batch_seq
@@ -1143,6 +1198,7 @@ class WorkerPool:
         """
         if not self.share_sites or not isinstance(payload, Site):
             return payload
+        ship_start = time.monotonic()
         try:
             from repro.arena import ensure_arena
 
@@ -1156,6 +1212,10 @@ class WorkerPool:
             except OSError:
                 pass
         self.stats.arena_ships += 1
+        telemetry.counter(metric_names.SCHEDULER_ARENA_SHIPS).inc()
+        telemetry.histogram(metric_names.SCHEDULER_SHIP_S).observe(
+            time.monotonic() - ship_start
+        )
         return binding.handle
 
     def _assign_worker(self, site_key: str, alive: list[int]) -> int:
@@ -1197,6 +1257,7 @@ class _StreamSession:
 
     def _count(self, jobs: list[_Job]) -> None:
         self.pool.stats.jobs += len(jobs)
+        telemetry.counter(metric_names.SCHEDULER_JOBS).inc(len(jobs))
         self.pool.stats.fields.update(job.field for job in jobs)
 
     @property
@@ -1462,8 +1523,8 @@ class _PooledSession(_StreamSession):
         import queue as queue_mod
 
         try:
-            worker_id, result_seq, outcomes, chunks = self.pool._results.get(
-                timeout=timeout
+            worker_id, result_seq, outcomes, chunks, deltas = (
+                self.pool._results.get(timeout=timeout)
             )
         except queue_mod.Empty:
             # Reap only after a real quiet wait: zero-timeout polls
@@ -1473,6 +1534,9 @@ class _PooledSession(_StreamSession):
                 for outcome in self._reap_dead_workers():
                     self._complete(outcome)
             return
+        # Worker metric deltas merge unconditionally: the series are
+        # process-global, so even a stale flush's work really happened.
+        telemetry.get_registry().merge(deltas)
         if result_seq != self.seq:
             return  # stale result of an abandoned stream
         if self.pool._alive[worker_id]:
@@ -1554,6 +1618,7 @@ class _PooledSession(_StreamSession):
                 while len(ledger) > pool.intern_bound:
                     ledger.popitem(last=False)
         pool.stats.chunks += 1
+        telemetry.counter(metric_names.SCHEDULER_CHUNKS).inc()
         pool._inboxes[worker_id].put(("jobs", self.seq, chunk))
         return chunk
 
@@ -1612,6 +1677,9 @@ class _PooledSession(_StreamSession):
                     self.crashes[job.index] += 1
                 if self.crashes[job.index] > pool.crash_retry_limit:
                     pool.stats.quarantined += 1
+                    telemetry.counter(
+                        metric_names.SCHEDULER_QUARANTINED
+                    ).inc()
                     failed.append(
                         SiteOutcome(
                             index=job.index,
@@ -1672,6 +1740,9 @@ class _PooledSession(_StreamSession):
                 break
             # A coalesced flush acknowledges several in-flight chunks.
             remaining -= message[3]
+            # Abandoned outcomes are dropped, but the worker's metric
+            # deltas describe work that really ran — keep them.
+            telemetry.get_registry().merge(message[4])
 
 
 # -- module-level streaming helpers -----------------------------------------

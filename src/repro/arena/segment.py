@@ -35,6 +35,9 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.telemetry import counter
+from repro.telemetry import names as metric_names
+
 from .layout import ArenaError, ArenaReader
 
 _FILE_PREFIX = "repro-arena-"
@@ -112,6 +115,7 @@ def create_segment(data: bytes, fingerprint: str, directory: Optional[str] = Non
     os.rename(tmp, path)
     _owned[path] = os.getpid()
     _stats.built += 1
+    counter(metric_names.ARENA_BUILT).inc()
     return path
 
 
@@ -203,6 +207,7 @@ def lookup_attached(path: str, fingerprint: str):
         _attached.pop(path, None)
         return None
     _stats.attach_hits += 1
+    counter(metric_names.ARENA_ATTACH_HITS).inc()
     return site
 
 
@@ -210,10 +215,12 @@ def register_attachment(path: str, fingerprint: str, site, nbytes: int) -> None:
     _attached[path] = _Attachment(weakref.ref(site), fingerprint, nbytes)
     weakref.finalize(site, _drop_attachment, path)
     _stats.attaches += 1
+    counter(metric_names.ARENA_ATTACHES).inc()
 
 
 def count_rebuild_fallback() -> None:
     _stats.rebuild_fallbacks += 1
+    counter(metric_names.ARENA_REBUILD_FALLBACKS).inc()
 
 
 def arena_stats() -> dict[str, int]:

@@ -28,6 +28,12 @@ Subcommands
     as fallback (dataset mode) — and the repaired artifact serves every
     later page of that site without restarting the session.
 
+``stats``
+    Live ops view of a running daemon: one rollup (or ``--watch``
+    polling) joining the ``stats`` op's counters with latency
+    quantiles computed from the telemetry snapshot; ``--json`` for
+    machines, ``--prometheus`` to dump exposition text.
+
 ``monitor``
     Wrapper health check: apply saved artifacts and compare extraction
     health against each artifact's learn-time baseline (``--drift``
@@ -731,6 +737,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_inflight_per_client=args.max_inflight_per_client,
         request_deadline=args.request_deadline,
         reap_interval=args.reap_interval,
+        trace_log=args.trace_log,
+        trace_sample=args.trace_sample,
+        trace_seed=args.trace_seed,
     )
     # SIGTERM (the polite kill an operator or supervisor sends) must run
     # the same clean shutdown as Ctrl-C: without it the interpreter dies
@@ -788,6 +797,142 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if previous_hup is not None:
             signal.signal(signal.SIGHUP, previous_hup)
     return 0 if drained else 1
+
+
+def _histogram_rollup(snapshot: dict, name: str) -> dict:
+    """Merged count/sum/p50/p99 over every label series of ``name``."""
+    from repro.telemetry import BUCKET_BOUNDS, quantile_from
+
+    payload = snapshot.get(name) or {}
+    buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+    count = 0
+    total = 0.0
+    for series in (payload.get("values") or {}).values():
+        count += series["count"]
+        total += series["sum"]
+        for index, bucket in enumerate(series["buckets"]):
+            buckets[index] += bucket
+    return {
+        "count": count,
+        "mean_s": (total / count) if count else 0.0,
+        "p50_s": quantile_from(buckets, count, 0.5),
+        "p99_s": quantile_from(buckets, count, 0.99),
+    }
+
+
+def _counter_total(snapshot: dict, name: str) -> float:
+    payload = snapshot.get(name) or {}
+    return sum((payload.get("values") or {}).values())
+
+
+def _stats_rollup(stats: dict, snapshot: dict) -> dict:
+    """The live ops view: one dict joining the stats op's counters with
+    latency quantiles computed from the telemetry snapshot."""
+    from repro.telemetry import names as metric_names
+
+    server = dict(stats.get("server") or {})
+    return {
+        "collected_at": server.get("collected_at"),
+        "uptime_s": server.get("uptime_s"),
+        "server": server,
+        "registry": dict(stats.get("registry") or {}),
+        "latency": {
+            "apply": _histogram_rollup(
+                snapshot, metric_names.SERVER_APPLY_LATENCY
+            ),
+            "learn": _histogram_rollup(
+                snapshot, metric_names.SERVER_LEARN_LATENCY
+            ),
+        },
+        "workers": {
+            "jobs": _counter_total(snapshot, metric_names.WORKER_JOBS),
+            "pages": _counter_total(snapshot, metric_names.WORKER_PAGES),
+            "deaths": _counter_total(
+                snapshot, metric_names.SCHEDULER_WORKER_DEATHS
+            ),
+            "respawns": _counter_total(
+                snapshot, metric_names.SCHEDULER_RESPAWNS
+            ),
+            "quarantined": _counter_total(
+                snapshot, metric_names.SCHEDULER_QUARANTINED
+            ),
+        },
+    }
+
+
+def _render_stats(rollup: dict) -> str:
+    server = rollup["server"]
+    registry = rollup["registry"]
+    pool = server.get("pool") or {}
+    arena = server.get("arena") or {}
+    apply_latency = rollup["latency"]["apply"]
+    workers = rollup["workers"]
+    uptime = rollup.get("uptime_s")
+    lines = [
+        f"uptime {uptime:.1f}s | requests {server.get('requests', 0)} "
+        f"| responses {server.get('responses', 0)} "
+        f"| errors {server.get('errors', 0)} "
+        f"| deadline_expired {server.get('deadline_expired', 0)}"
+        if uptime is not None
+        else f"requests {server.get('requests', 0)}",
+        f"apply latency: p50 {apply_latency['p50_s'] * 1e3:.2f}ms "
+        f"p99 {apply_latency['p99_s'] * 1e3:.2f}ms "
+        f"mean {apply_latency['mean_s'] * 1e3:.2f}ms "
+        f"(n={apply_latency['count']})",
+        f"registry: hits {registry.get('hits', 0)} "
+        f"misses {registry.get('misses', 0)} "
+        f"learned {registry.get('learned', 0)} "
+        f"resolve {registry.get('resolve_hits', 0)}/"
+        f"{registry.get('resolve_hits', 0) + registry.get('resolve_misses', 0)} "
+        f"corrupt_chains {registry.get('corrupt_chains', 0)}",
+        f"pool: jobs {pool.get('jobs', 0)} chunks {pool.get('chunks', 0)} "
+        f"worker jobs {workers['jobs']:.0f} pages {workers['pages']:.0f} "
+        f"deaths {workers['deaths']:.0f} respawns {workers['respawns']:.0f} "
+        f"quarantined {workers['quarantined']:.0f}",
+        f"arena: built {arena.get('built', 0)} "
+        f"attaches {arena.get('attaches', 0)} "
+        f"attach_hits {arena.get('attach_hits', 0)} "
+        f"bytes_mapped {arena.get('bytes_mapped', 0)}",
+    ]
+    return "\n".join(lines)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """One-shot (or ``--watch`` live) ops view of a running daemon.
+
+    Joins the daemon's ``stats`` op (request/registry/pool/arena
+    counters) with its ``metrics`` op (the telemetry snapshot) into a
+    rollup with apply/learn latency quantiles; ``--json`` emits the
+    rollup as one JSON line per poll, ``--prometheus`` dumps the
+    daemon's exposition text verbatim (for scrape debugging).
+    """
+    import json
+
+    from repro.service import ServiceClient
+
+    address = args.socket if args.socket else (args.host, args.port)
+    iterations = args.iterations if args.watch else 1
+    done = 0
+    try:
+        with ServiceClient(address, timeout=args.timeout) as client:
+            while iterations <= 0 or done < iterations:
+                if done and args.watch:
+                    time.sleep(args.interval)
+                if args.prometheus:
+                    print(client.metrics(format="prometheus"), end="")
+                else:
+                    response = client.stats()
+                    rollup = _stats_rollup(response, client.metrics() or {})
+                    if args.json:
+                        print(json.dumps(rollup), flush=True)
+                    else:
+                        if done:
+                            print()
+                        print(_render_stats(rollup), flush=True)
+                done += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def cmd_list_components(_: argparse.Namespace) -> int:
@@ -1066,6 +1211,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append per-request NDJSON trace events (stage timings) to "
+            "this file; slowest requests are re-emitted ranked on "
+            "shutdown"
+        ),
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help=(
+            "fraction of traces written to --trace-log (the slowest-N "
+            "capture sees every request regardless)"
+        ),
+    )
+    serve.add_argument(
+        "--trace-seed",
+        type=int,
+        default=None,
+        help="seed for the trace sampling stream (reproducible drills)",
+    )
+    serve.add_argument(
         "--dataset",
         default="none",
         help=(
@@ -1080,6 +1250,49 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--inductor", default="xpath", choices=inductor_choices)
     serve.add_argument("--method", default="ntw", choices=METHODS)
     serve.set_defaults(func=cmd_serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="live ops view of a running daemon (stats + telemetry)",
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=0)
+    stats.add_argument(
+        "--socket",
+        default=None,
+        help="connect over this AF_UNIX socket path instead of TCP",
+    )
+    stats.add_argument(
+        "--timeout", type=float, default=10.0, help="socket timeout (s)"
+    )
+    stats.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll repeatedly instead of printing one rollup",
+    )
+    stats.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch polls",
+    )
+    stats.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop --watch after this many polls (0 = until Ctrl-C)",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the rollup as one JSON line per poll",
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="dump the daemon's Prometheus exposition text verbatim",
+    )
+    stats.set_defaults(func=cmd_stats)
 
     components = sub.add_parser(
         "list-components", help="show registered components"

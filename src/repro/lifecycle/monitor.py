@@ -32,6 +32,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.telemetry import counter
+from repro.telemetry import names as metric_names
 from repro.wrappers.base import Labels
 
 __all__ = [
@@ -382,6 +384,9 @@ class DriftDetector:
             agreement=agreement,
         )
         reasons = self.policy.evaluate(signals, self.baseline)
+        counter(metric_names.LIFECYCLE_DRIFT_CHECKS).inc()
+        if reasons:
+            counter(metric_names.LIFECYCLE_DRIFT_DETECTED).inc()
         return DriftReport(drifted=bool(reasons), signals=signals, reasons=reasons)
 
     def reset(self) -> None:

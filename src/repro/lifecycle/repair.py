@@ -44,6 +44,8 @@ from repro.lifecycle.monitor import (
     page_counts,
 )
 from repro.site import Site
+from repro.telemetry import counter
+from repro.telemetry import names as metric_names
 from repro.wrappers.base import Labels, wrapper_from_spec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -253,6 +255,19 @@ class RepairPolicy:
         report.  Never raises for a failed repair — the report's
         ``strategy`` is ``"failed"`` and ``error`` says why.
         """
+        report = self._repair(artifact, site, labels, drift)
+        counter(metric_names.LIFECYCLE_REPAIRS).inc(strategy=report.strategy)
+        if report.strategy == "alternate":
+            counter(metric_names.LIFECYCLE_LADDER_HITS).inc()
+        return report
+
+    def _repair(
+        self,
+        artifact: WrapperArtifact,
+        site: Site,
+        labels: Labels | None,
+        drift: DriftReport | None,
+    ) -> RepairReport:
         site = _as_site(site)
         if labels is None and self.annotator is not None:
             try:

@@ -340,6 +340,12 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def metrics(self, format: str | None = None):
+        """The daemon's telemetry snapshot (or, with
+        ``format="prometheus"``, exposition text)."""
+        fields = {"format": format} if format else {}
+        return self.request("metrics", **fields).get("metrics")
+
     def ping(self) -> bool:
         return bool(self.request("ping").get("ok"))
 

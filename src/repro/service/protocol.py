@@ -36,6 +36,12 @@ Requests (client -> server)
 ``{"op": "stats", "id": ..}``
     Server and registry counters (see below).
 
+``{"op": "metrics", "id": ..}``
+    The daemon's telemetry snapshot (:mod:`repro.telemetry`): every
+    counter/gauge/histogram series, worker deltas already merged.
+    Optional ``"format": "prometheus"`` asks for Prometheus
+    exposition text instead of the structured snapshot.
+
 ``{"op": "ping", "id": ..}``
     Liveness probe; answered immediately.
 
@@ -64,6 +70,11 @@ Success payloads by op:
 ``stats``
     ``{"id", "ok": true, "op": "stats", "registry": {...},
     "server": {...}}``.
+
+``metrics``
+    ``{"id", "ok": true, "op": "metrics", "metrics": {...}}`` — the
+    snapshot dict keyed by metric name, or (with ``"format":
+    "prometheus"``) a single exposition-text string.
 
 ``ping``
     ``{"id", "ok": true, "op": "ping"}``.
@@ -152,7 +163,7 @@ __all__ = [
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 #: The request operations the protocol defines.
-OPS = ("apply", "learn", "stats", "ping")
+OPS = ("apply", "learn", "stats", "metrics", "ping")
 
 # The machine-readable failure codes, as named constants so the server
 # (producer) and client (consumer) share one spelling.  The
@@ -193,6 +204,7 @@ RESPONSE_KEYS = (
     "created",
     "registry",
     "server",
+    "metrics",
     "error",
     "code",
 )

@@ -50,6 +50,8 @@ from pathlib import Path
 
 from repro.api.artifacts import ArtifactError, WrapperArtifact
 from repro.site import Site, sources_fingerprint
+from repro.telemetry import counter
+from repro.telemetry import names as metric_names
 
 __all__ = [
     "ArtifactRecord",
@@ -368,6 +370,7 @@ class WrapperRegistry:
             if cached is not None:
                 self._hot.move_to_end(fingerprint)
                 self.hits += 1
+                counter(metric_names.REGISTRY_HITS).inc()
                 return cached[1]
         record = self.latest(fingerprint)
         return None if record is None else self._artifact_for(record)
@@ -400,6 +403,9 @@ class WrapperRegistry:
             artifact = self.get(fingerprint)
             if artifact is not None:
                 self.resolve_hits += 1
+                counter(metric_names.REGISTRY_RESOLVE_HITS).inc(
+                    source="fingerprint"
+                )
                 return artifact, "fingerprint"
         if site:
             owner = self._index().get(site)
@@ -407,8 +413,12 @@ class WrapperRegistry:
                 artifact = self.get(owner)
                 if artifact is not None:
                     self.resolve_hits += 1
+                    counter(metric_names.REGISTRY_RESOLVE_HITS).inc(
+                        source="site"
+                    )
                     return artifact, "site"
         self.resolve_misses += 1
+        counter(metric_names.REGISTRY_RESOLVE_MISSES).inc()
         return None, "miss"
 
     def fingerprints(self) -> list[str]:
@@ -507,6 +517,7 @@ class WrapperRegistry:
                 )
             self._put_locked(fingerprint, artifact, origin, None)
             self.learned += 1
+            counter(metric_names.REGISTRY_LEARNED).inc()
             return artifact, True
 
     # -- internals ---------------------------------------------------------
@@ -524,8 +535,10 @@ class WrapperRegistry:
             if cached is not None and cached[0] == record.version:
                 self._hot.move_to_end(record.fingerprint)
                 self.hits += 1
+                counter(metric_names.REGISTRY_HITS).inc()
                 return cached[1]
             self.misses += 1
+            counter(metric_names.REGISTRY_MISSES).inc()
         artifact = record.load_artifact()
         with self._mutex:
             self._cache(record.fingerprint, record.version, artifact)
@@ -562,6 +575,7 @@ class WrapperRegistry:
                 # `continue` and the wrapper just disappeared).
                 with self._mutex:
                     self.corrupt_chains += 1
+                counter(metric_names.REGISTRY_CORRUPT_CHAINS).inc()
                 continue
             if record is not None and record.site:
                 pairs.append((record.created_at, record.site, fingerprint))

@@ -66,11 +66,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro import faults
+from repro import telemetry
 from repro.api.ingest import IngestSession
 from repro.api.scheduler import WorkerPool
 from repro.service import protocol
 from repro.service.registry import WrapperRegistry
 from repro.site import sources_fingerprint
+from repro.telemetry import names as metric_names
+from repro.telemetry.tracing import TraceRecorder, tile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.annotators.base import Annotator
@@ -81,6 +84,11 @@ __all__ = ["ExtractionServer", "ServerError"]
 #: Dispatcher idle poll, seconds (only reached when no outcome and no
 #: admissible request was found on a pass).
 _IDLE_SLEEP = 0.005
+
+#: How long a ``stats`` snapshot's derived rollups (the arena scan)
+#: stay cached; ``repro stats --watch`` polling inside this window is
+#: answered from the cache instead of re-walking the filesystem.
+_STATS_CACHE_TTL = 1.0
 
 
 class ServerError(RuntimeError):
@@ -112,6 +120,14 @@ class _Ticket:
     answered: bool = False
     #: The tenant's in-flight budget was charged for this ticket.
     counted: bool = False
+    #: Trace timeline (``time.monotonic()`` stamps): when the reader
+    #: thread pulled the frame off the socket, when the dispatcher
+    #: picked it up, and when the wrapper resolve finished; plus the
+    #: worker-side stage timings carried back on the outcome.
+    recv: float | None = None
+    dispatched: float | None = None
+    resolved: float | None = None
+    timings: dict | None = None
 
 
 @dataclass(slots=True)
@@ -214,6 +230,13 @@ class ExtractionServer:
         crash_retry_limit: for an owned pool, how many worker deaths a
             job may cause before quarantine (see
             :class:`~repro.api.scheduler.WorkerPool`).
+        trace_log: append one NDJSON trace event per finished request
+            (per-stage timing breakdown) to this path; ``None``
+            disables the log (latency histograms still record).
+        trace_sample: fraction of finished requests written to the
+            trace log (seeded by ``trace_seed``); the slowest-N
+            capture ignores sampling.
+        trace_seed: seed for the trace sampler (reproducible drills).
     """
 
     def __init__(
@@ -231,6 +254,9 @@ class ExtractionServer:
         request_deadline: float | None = None,
         reap_interval: float = 60.0,
         crash_retry_limit: int = 3,
+        trace_log: str | os.PathLike | None = None,
+        trace_sample: float = 1.0,
+        trace_seed: int | None = None,
     ) -> None:
         if max_inflight_per_client < 1:
             raise ServerError(
@@ -281,6 +307,18 @@ class ExtractionServer:
         self.dropped_readers = 0
         self.last_read_error: str | None = None
         self.started_at: float | None = None
+        self._started_monotonic: float | None = None
+        #: (monotonic stamp, cached arena rollup) — see _server_stats.
+        self._derived_stats: tuple[float, dict] | None = None
+        self._tracer: TraceRecorder | None = (
+            TraceRecorder(
+                os.fspath(trace_log),
+                sample_rate=trace_sample,
+                seed=trace_seed,
+            )
+            if trace_log
+            else None
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -297,6 +335,7 @@ class ExtractionServer:
             raise ServerError("server already started")
         self._started = True
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         if self.socket_path is not None:
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             try:
@@ -417,6 +456,8 @@ class ExtractionServer:
             self._session = None
         if self._owns_pool:
             self._pool = None
+        if self._tracer is not None:
+            self._tracer.close()
         if self.socket_path is not None:
             try:
                 os.unlink(self.socket_path)
@@ -458,7 +499,9 @@ class ExtractionServer:
                 try:
                     sock.close()
                 except OSError:
-                    pass
+                    telemetry.counter(
+                        metric_names.SERVER_SWALLOWED_ERRORS
+                    ).inc(where="accept.close")
                 if self._stop.is_set():
                     return
                 continue
@@ -480,6 +523,7 @@ class ExtractionServer:
         dispatcher answers, so responses stay single-writer)."""
         try:
             for line in protocol.iter_lines(client.sock):
+                recv = time.monotonic()
                 try:
                     record = protocol.validate_request(
                         protocol.decode_frame(line)
@@ -491,8 +535,11 @@ class ExtractionServer:
                     except protocol.ProtocolError:
                         # The line is not even JSON, so there is no id
                         # to recover; the outer handler already answers
-                        # this frame with a structured error.
-                        pass  # lint: ignore[silent-except]
+                        # this frame with a structured error — but the
+                        # swallow itself must stay visible to ops.
+                        telemetry.counter(
+                            metric_names.SERVER_SWALLOWED_ERRORS
+                        ).inc(where="read.unrecoverable_id")
                     record = {
                         "_bad": str(error),
                         "id": (
@@ -501,7 +548,7 @@ class ExtractionServer:
                             else None
                         ),
                     }
-                client.queue.put(record)
+                client.queue.put((record, recv))
         except (protocol.ProtocolError, OSError) as error:
             # Framing lost or connection reset: the client must be
             # dropped — but never silently.  An operator watching a
@@ -511,6 +558,7 @@ class ExtractionServer:
             with self._clients_lock:
                 self.dropped_readers += 1
                 self.last_read_error = f"{type(error).__name__}: {error}"
+            telemetry.counter(metric_names.SERVER_DROPPED_READERS).inc()
         finally:
             client.closed = True
 
@@ -534,16 +582,16 @@ class ExtractionServer:
                 if client.inflight >= self.max_inflight_per_client:
                     continue
                 try:
-                    record = client.queue.get_nowait()
+                    record, recv = client.queue.get_nowait()
                 except queue.Empty:
                     continue
                 try:
-                    self._handle(client, record)
+                    self._handle(client, record, recv)
                 except Exception as error:
                     # One bad request (corrupt registry chain, injected
                     # store failure...) must not take the dispatcher —
                     # and with it every tenant — down.
-                    self.errors += 1
+                    self._count_response(ok=False)
                     client.send(
                         {
                             "id": record.get("id"),
@@ -562,9 +610,16 @@ class ExtractionServer:
                 try:
                     from repro.arena import reap_orphans
 
-                    self.arena_reaped += len(reap_orphans())
+                    reaped = len(reap_orphans())
+                    self.arena_reaped += reaped
+                    if reaped:
+                        telemetry.counter(
+                            metric_names.SERVER_ARENA_REAPED
+                        ).inc(reaped)
                 except Exception:  # pragma: no cover - best-effort sweep
-                    pass
+                    telemetry.counter(
+                        metric_names.SERVER_SWALLOWED_ERRORS
+                    ).inc(where="dispatch.reap")
             if self._draining and not self._drained.is_set():
                 busy = self._flights or any(
                     not ticket.answered for ticket in self._tickets.values()
@@ -602,6 +657,7 @@ class ExtractionServer:
                 continue
             progressed = True
             self.deadline_expired += 1
+            telemetry.counter(metric_names.SERVER_DEADLINE_EXPIRED).inc()
             self._fail(
                 ticket,
                 f"request deadline of {self.request_deadline}s exceeded",
@@ -620,6 +676,7 @@ class ExtractionServer:
                     continue
                 progressed = True
                 self.deadline_expired += 1
+                telemetry.counter(metric_names.SERVER_DEADLINE_EXPIRED).inc()
                 self._fail(
                     waiter,
                     f"request deadline of {self.request_deadline}s exceeded",
@@ -639,18 +696,21 @@ class ExtractionServer:
 
     # -- request handling (dispatcher thread only) -------------------------
 
-    def _handle(self, client: _Client, record: dict) -> None:
+    def _handle(
+        self, client: _Client, record: dict, recv: float | None = None
+    ) -> None:
         if "_bad" in record:
-            self.errors += 1
+            self._count_response(ok=False)
             client.send(
                 {"id": record.get("id"), "ok": False, "error": record["_bad"]}
             )
             return
         op = record["op"]
         self.requests[op] += 1
+        telemetry.counter(metric_names.SERVER_REQUESTS).inc(op=op)
         if op == "ping":
             client.send({"id": record["id"], "ok": True, "op": "ping"})
-            self.responses += 1
+            self._count_response(ok=True)
             return
         if op == "stats":
             client.send(
@@ -662,10 +722,27 @@ class ExtractionServer:
                     "server": self._server_stats(),
                 }
             )
-            self.responses += 1
+            self._count_response(ok=True)
+            return
+        if op == "metrics":
+            snapshot = telemetry.get_registry().snapshot()
+            payload: object = (
+                telemetry.render_prometheus(snapshot)
+                if record.get("format") == "prometheus"
+                else snapshot
+            )
+            client.send(
+                {
+                    "id": record["id"],
+                    "ok": True,
+                    "op": "metrics",
+                    "metrics": payload,
+                }
+            )
+            self._count_response(ok=True)
             return
         if self._draining:
-            self.errors += 1
+            self._count_response(ok=False)
             client.send(
                 {
                     "id": record.get("id"),
@@ -680,13 +757,18 @@ class ExtractionServer:
                 }
             )
             return
+        dispatched = time.monotonic()
         site = record["site"]
         pages = [str(page) for page in record["pages"]]
         fingerprint = sources_fingerprint(pages)
         if op == "apply":
-            self._handle_apply(client, record, site, pages, fingerprint)
+            self._handle_apply(
+                client, record, site, pages, fingerprint, recv, dispatched
+            )
         else:
-            self._handle_learn(client, record, site, pages, fingerprint)
+            self._handle_learn(
+                client, record, site, pages, fingerprint, recv, dispatched
+            )
 
     def _handle_apply(
         self,
@@ -695,6 +777,8 @@ class ExtractionServer:
         site: str,
         pages: list[str],
         fingerprint: str,
+        recv: float | None = None,
+        dispatched: float | None = None,
     ) -> None:
         texts = bool(record.get("texts"))
         artifact, source = self.registry.resolve(fingerprint, site=site)
@@ -707,6 +791,9 @@ class ExtractionServer:
             fingerprint=fingerprint,
             texts=texts,
             source=source,
+            recv=recv,
+            dispatched=dispatched,
+            resolved=time.monotonic(),
         )
         if artifact is not None:
             owner = fingerprint if source == "fingerprint" else None
@@ -730,6 +817,8 @@ class ExtractionServer:
         site: str,
         pages: list[str],
         fingerprint: str,
+        recv: float | None = None,
+        dispatched: float | None = None,
     ) -> None:
         ticket = _Ticket(
             client=client,
@@ -738,6 +827,8 @@ class ExtractionServer:
             site=site,
             pages=pages,
             fingerprint=fingerprint,
+            recv=recv,
+            dispatched=dispatched,
         )
         if self.extractor is None:
             self._fail(ticket, "server is not armed for learning")
@@ -757,7 +848,7 @@ class ExtractionServer:
                     "created": False,
                 }
             )
-            self.responses += 1
+            self._count_response(ok=True)
             return
         self._enter_flight(ticket)
 
@@ -799,6 +890,9 @@ class ExtractionServer:
         ticket = self._tickets.pop(outcome.index, None)
         if ticket is None:
             return
+        timings = getattr(outcome, "timings", None)
+        if timings is not None:
+            ticket.timings = timings
         try:
             if ticket.op == "learn":
                 self._complete_learn(ticket, outcome)
@@ -937,11 +1031,76 @@ class ExtractionServer:
         ticket.answered = True
         if ticket.counted:
             ticket.client.inflight -= 1
-        if response.get("ok"):
+        ok = bool(response.get("ok"))
+        self._count_response(ok=ok)
+        self._finish_trace(ticket, str(response.get("op") or ticket.op), ok)
+        ticket.client.send(response)
+
+    def _count_response(self, *, ok: bool) -> None:
+        if ok:
             self.responses += 1
+            telemetry.counter(metric_names.SERVER_RESPONSES).inc()
         else:
             self.errors += 1
-        ticket.client.send(response)
+            telemetry.counter(metric_names.SERVER_ERRORS).inc()
+
+    def _finish_trace(self, ticket: _Ticket, op: str, ok: bool) -> None:
+        """Close a ticket's timing span: record latency + per-stage
+        histograms, and emit the trace event when a recorder is armed.
+
+        The stage timeline *tiles* the request's wall-clock exactly —
+        each stage runs from the previous boundary stamp to its own —
+        so the stage durations sum to the total by construction:
+
+        ``admission_wait`` (socket read -> dispatcher pickup),
+        ``resolve`` (fingerprint + registry resolve),
+        ``queue_wait`` (pool submit/ship -> worker job start),
+        ``hydrate`` (worker site attach/parse),
+        ``extract`` (wrapper application + outcome packing),
+        ``result_flush`` (worker flush -> response settle).
+        """
+        if ticket.recv is None:
+            return
+        now = time.monotonic()
+        total = now - ticket.recv
+        latency = (
+            metric_names.SERVER_APPLY_LATENCY
+            if op == "apply"
+            else metric_names.SERVER_LEARN_LATENCY
+        )
+        telemetry.histogram(latency).observe(total)
+        timings = ticket.timings or {}
+        worker_start = timings.get("start")
+        hydrate_s = timings.get("hydrate_s")
+        marks: list[tuple[str, float | None]] = [
+            ("admission_wait", ticket.dispatched),
+            ("resolve", ticket.resolved),
+            ("queue_wait", worker_start),
+            (
+                "hydrate",
+                (
+                    worker_start + hydrate_s
+                    if worker_start is not None and hydrate_s is not None
+                    else None
+                ),
+            ),
+            ("extract", timings.get("end")),
+            ("result_flush", now),
+        ]
+        stages = tile(ticket.recv, marks)
+        stage_histogram = telemetry.histogram(metric_names.SERVER_STAGE)
+        for name, _, duration in stages:
+            stage_histogram.observe(duration, stage=name)
+        if self._tracer is not None:
+            self._tracer.record(
+                request_id=ticket.request_id,
+                op=op,
+                site=ticket.site,
+                ok=ok,
+                start=ticket.recv,
+                stages=stages,
+                total_s=total,
+            )
 
     def _fail(
         self, ticket: _Ticket, error: str, code: str | None = None
@@ -958,13 +1117,31 @@ class ExtractionServer:
             response["code"] = code
         self._settle(ticket, response)
 
-    def _server_stats(self) -> dict:
+    def _derived_rollups(self, now: float) -> dict:
+        """The expensive snapshot parts (the arena scan walks the
+        segment directory), cached for :data:`_STATS_CACHE_TTL` so a
+        ``repro stats --watch`` poller cannot perturb the daemon by
+        re-deriving them on every tick."""
+        cached = self._derived_stats
+        if cached is not None and now - cached[0] < _STATS_CACHE_TTL:
+            return cached[1]
         from repro.arena import arena_stats
 
+        derived = arena_stats()
+        self._derived_stats = (now, derived)
+        return derived
+
+    def _server_stats(self) -> dict:
         with self._clients_lock:
             clients = len(self._clients)
             inflight = sum(c.inflight for c in self._clients.values())
         pool = self._pool
+        now = time.monotonic()
+        uptime_s = (
+            now - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
         return {
             "clients": clients,
             "inflight": inflight,
@@ -976,6 +1153,11 @@ class ExtractionServer:
             "uptime": (
                 time.time() - self.started_at if self.started_at else 0.0
             ),
+            # Monotonic uptime plus the wall-clock collection stamp:
+            # pollers diff `uptime_s` for rates without trusting the
+            # host clock, and `collected_at` dates the snapshot.
+            "uptime_s": uptime_s,
+            "collected_at": time.time(),
             "can_learn": self.extractor is not None,
             "draining": self._draining,
             "request_deadline": self.request_deadline,
@@ -991,7 +1173,7 @@ class ExtractionServer:
             # pool's handle-shipping tally (worker-side attach hits live
             # in the workers; the daemon reports what it owns and ships).
             "arena": dict(
-                arena_stats(),
+                self._derived_rollups(now),
                 handle_ships=pool.stats.arena_ships if pool else 0,
                 orphans_reaped=self.arena_reaped,
             ),

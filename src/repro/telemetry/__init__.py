@@ -1,0 +1,71 @@
+"""Unified telemetry: metrics, request tracing, and exposition.
+
+One coherent, queryable surface over the whole extraction stack:
+
+- :mod:`repro.telemetry.names` — the central metric-name registry
+  (every series declared and described in one place; enforced by the
+  ``telemetry-consistency`` lint rule);
+- :mod:`repro.telemetry.metrics` — process-local counters / gauges /
+  fixed log-bucket histograms with drain/merge for worker deltas and
+  Prometheus-text rendering;
+- :mod:`repro.telemetry.tracing` — per-request stage timelines and
+  the NDJSON :class:`TraceRecorder` with slowest-N capture.
+
+Convenience module-level ``counter`` / ``gauge`` / ``histogram``
+shorthands bind to the process-global registry.
+"""
+
+from repro.telemetry import names
+from repro.telemetry.metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    quantile_from,
+    render_prometheus,
+    set_registry,
+)
+from repro.telemetry.names import (
+    NAME_DESCRIPTIONS,
+    NAMES,
+    TelemetryError,
+    validate_name,
+)
+from repro.telemetry.tracing import TraceRecorder, tile
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NAME_DESCRIPTIONS",
+    "NAMES",
+    "TelemetryError",
+    "TraceRecorder",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "names",
+    "quantile_from",
+    "render_prometheus",
+    "set_registry",
+    "tile",
+    "validate_name",
+]
+
+
+def counter(name: str) -> Counter:
+    """``get_registry().counter(name)`` — the global-registry shorthand."""
+    return get_registry().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return get_registry().gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return get_registry().histogram(name)

@@ -1,0 +1,397 @@
+"""The metrics core: counters, gauges and log-bucket histograms.
+
+Design constraints, in order:
+
+- **Cheap on the hot path.**  An increment is a dict lookup and an
+  int add — no locks, no allocation after the first observation of a
+  labelset.  Instruments are *single-writer*: each process mutates only
+  its own registry (workers their fork-local one, the daemon its own),
+  and the GIL makes the individual ``+=`` safe against the snapshot
+  readers, so there is nothing to lock.
+- **Mergeable.**  Worker processes :meth:`~MetricsRegistry.drain` their
+  registry (read-and-reset) and the parent :meth:`~MetricsRegistry.merge`
+  the delta into its own.  Counters and histogram buckets add, so merge
+  is associative and commutative — deltas may arrive late, coalesced,
+  or not at all (a crashed worker's unflushed tail is simply lost).
+- **Fixed log-scale histogram buckets.**  Every histogram shares one
+  bucket scheme (powers of two from 1µs), so any two histograms —
+  from any process, any PR, any machine — merge exactly, and quantile
+  estimation needs no per-series configuration.
+
+Metric names must be declared in :mod:`repro.telemetry.names`;
+emitting an undeclared name raises
+:class:`~repro.telemetry.names.TelemetryError`.
+
+The process-global default registry (:func:`get_registry`) honors the
+``REPRO_TELEMETRY`` environment variable: ``0``/``off``/``false``
+installs a disabled registry whose instruments are shared no-ops —
+the kill switch the overhead benchmark measures against.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Optional
+
+from repro.telemetry.names import validate_name
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "quantile_from",
+    "render_prometheus",
+    "set_registry",
+]
+
+#: The shared histogram bucket upper bounds, seconds: ``1e-6 * 2**i``
+#: (1µs .. ~67s).  Observations above the last bound land in one
+#: overflow bucket, so every histogram carries
+#: ``len(BUCKET_BOUNDS) + 1`` counts.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(27))
+
+_ENV_SWITCH = "REPRO_TELEMETRY"
+
+
+def _label_key(labels: dict) -> str:
+    """Canonical labelset encoding: ``""`` or ``"k=v,k2=v2"`` sorted."""
+    if not labels:
+        return ""
+    return ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+
+
+class Counter:
+    """A monotonically increasing sum, per labelset."""
+
+    __slots__ = ("name", "_values")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: dict[str, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every labelset."""
+        return sum(self._values.values())
+
+
+class Gauge:
+    """A point-in-time value, per labelset (merge takes the incoming)."""
+
+    __slots__ = ("name", "_values")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: dict[str, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = value
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+
+class Histogram:
+    """Fixed log-bucket distribution of seconds, per labelset."""
+
+    __slots__ = ("name", "_series")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: labelset -> [count, sum, bucket_counts list]
+        self._series: dict[str, list] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = [0, 0.0, [0] * (len(BUCKET_BOUNDS) + 1)]
+        series[0] += 1
+        series[1] += value
+        series[2][bisect_left(BUCKET_BOUNDS, value)] += 1
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(_label_key(labels))
+        return series[0] if series else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        return series[1] if series else 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        if not series or not series[0]:
+            return 0.0
+        return quantile_from(series[2], series[0], q)
+
+
+def quantile_from(buckets: list, count: int, q: float) -> float:
+    """Estimate the q-quantile (0..1) from shared-scheme bucket counts.
+
+    Returns the upper bound of the bucket holding the target rank —
+    a conservative (over-)estimate with bounded relative error 2x,
+    the bucket growth factor.  Works on raw snapshot data, so remote
+    consumers (the ``repro stats`` CLI) can compute p50/p99 from the
+    wire payload without reconstructing Histogram objects.
+    """
+    if count <= 0:
+        return 0.0
+    target = max(1, int(q * count + 0.5))
+    cumulative = 0
+    for index, bucket_count in enumerate(buckets):
+        cumulative += bucket_count
+        if cumulative >= target:
+            return BUCKET_BOUNDS[min(index, len(BUCKET_BOUNDS) - 1)]
+    return BUCKET_BOUNDS[-1]
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        pass
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+    def value(self, **labels: object) -> float:
+        return 0
+
+    def total(self) -> float:
+        return 0
+
+    def count(self, **labels: object) -> int:
+        return 0
+
+    def sum(self, **labels: object) -> float:
+        return 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        return 0.0
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A named bag of instruments with snapshot / drain / merge.
+
+    One registry per process role: the daemon's (and any parent
+    process's) global registry plus one fresh registry per worker
+    child.  Families are memoized by name, so the hot path after the
+    first call is two dict lookups and an add.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: dict[str, object] = {}
+
+    def _family(self, name: str, factory: type):
+        family = self._families.get(name)
+        if family is None:
+            validate_name(name)
+            family = self._families[name] = factory(name)
+        return family
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            validate_name(name)
+            return _NULL  # type: ignore[return-value]
+        return self._family(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            validate_name(name)
+            return _NULL  # type: ignore[return-value]
+        return self._family(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            validate_name(name)
+            return _NULL  # type: ignore[return-value]
+        return self._family(name, Histogram)
+
+    # -- aggregation -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every series (JSON-serializable)."""
+        out: dict = {}
+        for name, family in sorted(self._families.items()):
+            if isinstance(family, Histogram):
+                values = {
+                    key: {
+                        "count": series[0],
+                        "sum": series[1],
+                        "buckets": list(series[2]),
+                    }
+                    for key, series in family._series.items()
+                }
+            else:
+                values = dict(family._values)  # type: ignore[union-attr]
+            if values:
+                out[name] = {"type": family.kind, "values": values}
+        return out
+
+    def drain(self) -> dict:
+        """Snapshot, then reset — the worker-side delta flush."""
+        delta = self.snapshot()
+        for family in self._families.values():
+            if isinstance(family, Histogram):
+                family._series.clear()
+            else:
+                family._values.clear()  # type: ignore[union-attr]
+        return delta
+
+    def merge(self, delta: Optional[dict]) -> None:
+        """Fold a :meth:`snapshot`/:meth:`drain` payload into this
+        registry: counters and histogram buckets add, gauges take the
+        incoming value.  Addition makes merge associative, so deltas
+        from many workers in any interleaving converge to the same
+        totals."""
+        if not delta:
+            return
+        for name, payload in delta.items():
+            kind = payload.get("type")
+            values = payload.get("values") or {}
+            if kind == "histogram":
+                family = self.histogram(name)
+                if family is _NULL:
+                    continue
+                for key, series in values.items():
+                    mine = family._series.get(key)
+                    if mine is None:
+                        mine = family._series[key] = [
+                            0,
+                            0.0,
+                            [0] * (len(BUCKET_BOUNDS) + 1),
+                        ]
+                    mine[0] += series["count"]
+                    mine[1] += series["sum"]
+                    buckets = series["buckets"]
+                    mine_buckets = mine[2]
+                    for index in range(min(len(buckets), len(mine_buckets))):
+                        mine_buckets[index] += buckets[index]
+            elif kind == "gauge":
+                family = self.gauge(name)
+                if family is _NULL:
+                    continue
+                family._values.update(values)
+            else:
+                family = self.counter(name)
+                if family is _NULL:
+                    continue
+                for key, value in values.items():
+                    family._values[key] = family._values.get(key, 0) + value
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(key: str, extra: str = "") -> str:
+    parts = [extra] if extra else []
+    if key:
+        for pair in key.split(","):
+            label, _, value = pair.partition("=")
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            parts.append(f'{label}="{escaped}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: dict, descriptions: Optional[dict] = None) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Dots become underscores under a ``repro_`` prefix; histograms
+    render cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``, the exposition-format contract scrapers expect.
+    """
+    if descriptions is None:
+        from repro.telemetry.names import NAME_DESCRIPTIONS
+
+        descriptions = NAME_DESCRIPTIONS
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload.get("type", "counter")
+        values = payload.get("values") or {}
+        prom = _prom_name(name)
+        help_text = descriptions.get(name)
+        if help_text:
+            lines.append(f"# HELP {prom} {help_text}")
+        lines.append(f"# TYPE {prom} {kind}")
+        if kind == "histogram":
+            for key in sorted(values):
+                series = values[key]
+                cumulative = 0
+                for index, bucket_count in enumerate(series["buckets"]):
+                    cumulative += bucket_count
+                    bound = (
+                        f"{BUCKET_BOUNDS[index]:.9g}"
+                        if index < len(BUCKET_BOUNDS)
+                        else "+Inf"
+                    )
+                    le = 'le="' + bound + '"'
+                    lines.append(
+                        f"{prom}_bucket{_prom_labels(key, le)} {cumulative}"
+                    )
+                lines.append(f"{prom}_sum{_prom_labels(key)} {series['sum']:.9g}")
+                lines.append(f"{prom}_count{_prom_labels(key)} {series['count']}")
+        else:
+            for key in sorted(values):
+                lines.append(f"{prom}{_prom_labels(key)} {values[key]:.9g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_registry: Optional[MetricsRegistry] = None
+
+
+def _default_enabled() -> bool:
+    return os.environ.get(_ENV_SWITCH, "").lower() not in (
+        "0",
+        "off",
+        "false",
+        "disabled",
+    )
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (created lazily, env-gated)."""
+    global _registry
+    if _registry is None:
+        _registry = MetricsRegistry(enabled=_default_enabled())
+    return _registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install (or with ``None``, re-create) the process-global registry.
+
+    Worker children call this at startup with a fresh registry so the
+    fork-inherited copy of the parent's totals is never flushed back
+    upstream as a delta (which would double-count every parent-side
+    event once per worker)."""
+    global _registry
+    _registry = registry if registry is not None else MetricsRegistry(
+        enabled=_default_enabled()
+    )
+    return _registry

@@ -1,0 +1,154 @@
+"""The central metric-name registry: every series the stack emits.
+
+This module is the single source of truth for telemetry metric names,
+exactly as :mod:`repro.faults.registry` is for fault injection points.
+Instrumentation sites spell names through the constants below; the
+``telemetry-consistency`` lint rule statically checks every
+``.counter("...")`` / ``.gauge("...")`` / ``.histogram("...")`` call
+site in the tree against :data:`NAMES`, so a dashboard can never end
+up charting a name no code actually emits (or vice versa).
+
+Adding a metric is a two-line change **here first**: a constant and a
+:data:`NAME_DESCRIPTIONS` entry.  Emitting an undeclared name raises
+:class:`TelemetryError` at runtime and fails lint at review time.
+
+Naming convention: ``<subsystem>.<what>`` with a ``_s`` suffix for
+histograms of seconds.  Label keys ride separately (``site=...``,
+``stage=...``, ``where=...``, ``strategy=...``) and are free-form.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NAME_DESCRIPTIONS",
+    "NAMES",
+    "TelemetryError",
+    "validate_name",
+]
+
+
+class TelemetryError(ValueError):
+    """An undeclared metric name (or otherwise invalid telemetry use)."""
+
+
+# -- service front end -------------------------------------------------------
+
+SERVER_REQUESTS = "server.requests"
+SERVER_RESPONSES = "server.responses"
+SERVER_ERRORS = "server.errors"
+SERVER_DEADLINE_EXPIRED = "server.deadline_expired"
+SERVER_DROPPED_READERS = "server.dropped_readers"
+SERVER_SWALLOWED_ERRORS = "server.swallowed_errors"
+SERVER_ARENA_REAPED = "server.arena_reaped"
+SERVER_APPLY_LATENCY = "server.apply_latency_s"
+SERVER_LEARN_LATENCY = "server.learn_latency_s"
+SERVER_STAGE = "server.stage_s"
+
+# -- worker pool (parent side) ----------------------------------------------
+
+SCHEDULER_JOBS = "scheduler.jobs"
+SCHEDULER_CHUNKS = "scheduler.chunks"
+SCHEDULER_ARENA_SHIPS = "scheduler.arena_ships"
+SCHEDULER_SHIP_S = "scheduler.ship_s"
+SCHEDULER_WORKER_DEATHS = "scheduler.worker_deaths"
+SCHEDULER_RESPAWNS = "scheduler.respawns"
+SCHEDULER_QUARANTINED = "scheduler.quarantined"
+SCHEDULER_SWALLOWED_ERRORS = "scheduler.swallowed_errors"
+
+# -- worker processes (merged parent-side via outbox flush deltas) -----------
+
+WORKER_JOBS = "worker.jobs"
+WORKER_PAGES = "worker.pages"
+WORKER_HYDRATE_S = "worker.hydrate_s"
+WORKER_EXTRACT_S = "worker.extract_s"
+
+# -- wrapper registry --------------------------------------------------------
+
+REGISTRY_HITS = "registry.hits"
+REGISTRY_MISSES = "registry.misses"
+REGISTRY_LEARNED = "registry.learned"
+REGISTRY_RESOLVE_HITS = "registry.resolve_hits"
+REGISTRY_RESOLVE_MISSES = "registry.resolve_misses"
+REGISTRY_CORRUPT_CHAINS = "registry.corrupt_chains"
+
+# -- shared-memory arena -----------------------------------------------------
+
+ARENA_BUILT = "arena.built"
+ARENA_ATTACHES = "arena.attaches"
+ARENA_ATTACH_HITS = "arena.attach_hits"
+ARENA_REBUILD_FALLBACKS = "arena.rebuild_fallbacks"
+
+# -- streaming ingestion -----------------------------------------------------
+
+INGEST_SUBMITTED = "ingest.submitted"
+INGEST_RESULTS = "ingest.results"
+
+# -- wrapper lifecycle -------------------------------------------------------
+
+LIFECYCLE_DRIFT_CHECKS = "lifecycle.drift_checks"
+LIFECYCLE_DRIFT_DETECTED = "lifecycle.drift_detected"
+LIFECYCLE_REPAIRS = "lifecycle.repairs"
+LIFECYCLE_LADDER_HITS = "lifecycle.ladder_hits"
+
+
+#: Name -> one-line description; the normative catalogue.  ``NAMES``
+#: (what the lint rule and ``validate_name`` check) derives from it so
+#: a name cannot be declared without documenting what it measures.
+NAME_DESCRIPTIONS: dict[str, str] = {
+    SERVER_REQUESTS: "requests read off client sockets, by op",
+    SERVER_RESPONSES: "responses written back to clients",
+    SERVER_ERRORS: "failure responses written back to clients",
+    SERVER_DEADLINE_EXPIRED: "requests answered with a deadline error",
+    SERVER_DROPPED_READERS: "client reader threads that died on an error",
+    SERVER_SWALLOWED_ERRORS: (
+        "exceptions intentionally swallowed in server loops, by where="
+    ),
+    SERVER_ARENA_REAPED: "orphaned arena segments reaped by this daemon",
+    SERVER_APPLY_LATENCY: "apply request wall-clock seconds, accept to answer",
+    SERVER_LEARN_LATENCY: "learn request wall-clock seconds, accept to answer",
+    SERVER_STAGE: "per-stage request seconds, by stage= (trace tiling)",
+    SCHEDULER_JOBS: "jobs submitted to the worker pool",
+    SCHEDULER_CHUNKS: "job chunks shipped to workers",
+    SCHEDULER_ARENA_SHIPS: "payloads shipped as arena segment handles",
+    SCHEDULER_SHIP_S: "seconds packing/shipping one payload to a worker",
+    SCHEDULER_WORKER_DEATHS: "worker processes found dead",
+    SCHEDULER_RESPAWNS: "worker processes respawned after a death",
+    SCHEDULER_QUARANTINED: "jobs quarantined as poison work",
+    SCHEDULER_SWALLOWED_ERRORS: (
+        "exceptions intentionally swallowed in pool teardown, by where="
+    ),
+    WORKER_JOBS: "jobs completed inside worker processes",
+    WORKER_PAGES: "pages extracted inside worker processes",
+    WORKER_HYDRATE_S: "seconds resolving/hydrating a site in a worker",
+    WORKER_EXTRACT_S: "seconds applying the wrapper in a worker",
+    REGISTRY_HITS: "hot-LRU artifact cache hits",
+    REGISTRY_MISSES: "hot-LRU artifact cache misses (backend loads)",
+    REGISTRY_LEARNED: "wrappers learned and stored via learn-on-miss",
+    REGISTRY_RESOLVE_HITS: "resolve() calls answered from the registry",
+    REGISTRY_RESOLVE_MISSES: "resolve() calls with no usable wrapper",
+    REGISTRY_CORRUPT_CHAINS: "version chains skipped as corrupt",
+    ARENA_BUILT: "arena segments packed and written",
+    ARENA_ATTACHES: "arena segments mapped by this process",
+    ARENA_ATTACH_HITS: "arena attaches served by a live mapping",
+    ARENA_REBUILD_FALLBACKS: "sites rebuilt from sources (arena miss)",
+    INGEST_SUBMITTED: "records submitted through ingest sessions",
+    INGEST_RESULTS: "outcomes yielded by ingest sessions",
+    LIFECYCLE_DRIFT_CHECKS: "drift detector verdicts computed",
+    LIFECYCLE_DRIFT_DETECTED: "drift detector verdicts that flagged drift",
+    LIFECYCLE_REPAIRS: "repair attempts, by strategy= (incl. failed)",
+    LIFECYCLE_LADDER_HITS: "repairs served by alternate-ladder promotion",
+}
+
+#: Every declared metric name, in declaration order.
+NAMES: tuple[str, ...] = tuple(NAME_DESCRIPTIONS)
+
+
+def validate_name(name: str) -> str:
+    """Return *name* if declared; raise :class:`TelemetryError` if not."""
+    if name not in NAME_DESCRIPTIONS:
+        known = ", ".join(NAMES)
+        raise TelemetryError(
+            f"undeclared metric name {name!r}; declare it in "
+            f"repro.telemetry.names first (declared: {known})"
+        )
+    return name

@@ -1,0 +1,156 @@
+"""Request tracing: per-stage timing spans over existing request ids.
+
+A *trace* is the timing breakdown of one service request, identified
+by the request id the client already chose — no new correlation token
+rides the wire.  The server stamps a monotonic timeline as the request
+crosses each boundary (socket read, dispatch, pool submit, worker
+start/hydrate/extract, settle); :func:`tile` turns that timeline into
+contiguous named stages whose durations sum to the request's
+wall-clock by construction, so "where did this slow apply spend its
+time?" has an exact answer, not a sampled guess.
+
+Worker-side stamps use ``time.monotonic()``: on Linux that is
+``CLOCK_MONOTONIC``, one system-wide clock, so a parent-side stamp
+minus a worker-side stamp is a real duration (``perf_counter`` is
+per-process and would not be).
+
+:class:`TraceRecorder` is the sink: it appends one NDJSON ``trace``
+event per finished request to an optional log file (seeded sampling
+via ``sample_rate``) and always keeps the full span tree of the
+slowest ``slow_keep`` requests in memory, flushed as ``slow`` events
+on close — the capture that makes tail latency debuggable even when
+sampling would have dropped the interesting request.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import random
+import threading
+import time
+from typing import IO, Optional
+
+__all__ = ["TraceRecorder", "tile"]
+
+
+def tile(
+    start: float, marks: list[tuple[str, Optional[float]]]
+) -> list[tuple[str, float, float]]:
+    """Contiguous stages from a monotonic timeline.
+
+    ``marks`` is ``[(stage_name, end_stamp), ...]`` in timeline order;
+    a ``None`` stamp skips its stage.  Returns ``[(name, start, dur),
+    ...]`` tiling ``start .. last_stamp`` exactly: each stage begins
+    where the previous ended, so the durations sum to the covered
+    wall-clock with no gaps or overlaps (clock skew clamps to 0).
+    """
+    stages: list[tuple[str, float, float]] = []
+    previous = start
+    for name, stamp in marks:
+        if stamp is None:
+            continue
+        stages.append((name, previous, max(0.0, stamp - previous)))
+        previous = max(previous, stamp)
+    return stages
+
+
+class TraceRecorder:
+    """NDJSON trace sink with seeded sampling and slowest-N capture."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        sample_rate: float = 1.0,
+        seed: Optional[int] = None,
+        slow_keep: int = 5,
+    ) -> None:
+        self.path = path
+        self.sample_rate = sample_rate
+        self.slow_keep = slow_keep
+        self.sampled = 0
+        self.dropped = 0
+        self._rng = random.Random(seed)
+        self._seq = itertools.count()
+        #: min-heap of (total_s, seq, record) — root is the fastest of
+        #: the kept-slow set, evicted first.
+        self._slow: list[tuple[float, int, dict]] = []
+        self._lock = threading.Lock()
+        self._file: Optional[IO[str]] = (
+            open(path, "a", encoding="utf-8") if path else None
+        )
+
+    def record(
+        self,
+        *,
+        request_id: object,
+        op: str,
+        site: Optional[str],
+        ok: bool,
+        start: float,
+        stages: list[tuple[str, float, float]],
+        total_s: float,
+    ) -> None:
+        """Finish one request's trace.  ``stages`` is :func:`tile`
+        output; ``start`` is the request's first monotonic stamp (stage
+        starts are emitted relative to it)."""
+        event = {
+            "event": "trace",
+            "id": request_id,
+            "op": op,
+            "site": site,
+            "ok": ok,
+            "total_s": total_s,
+            "stages": [
+                {
+                    "stage": name,
+                    "start_s": round(stage_start - start, 9),
+                    "dur_s": round(dur, 9),
+                }
+                for name, stage_start, dur in stages
+            ],
+            "ts": time.time(),
+        }
+        with self._lock:
+            if self.slow_keep > 0:
+                entry = (total_s, next(self._seq), event)
+                if len(self._slow) < self.slow_keep:
+                    heapq.heappush(self._slow, entry)
+                elif total_s > self._slow[0][0]:
+                    heapq.heapreplace(self._slow, entry)
+            if self._file is None:
+                return
+            if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+                self.dropped += 1
+                return
+            self.sampled += 1
+            self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+            self._file.flush()
+
+    def slowest(self) -> list[dict]:
+        """The kept slow-request traces, slowest first."""
+        with self._lock:
+            return [
+                entry[2]
+                for entry in sorted(self._slow, key=lambda e: -e[0])
+            ]
+
+    def close(self) -> None:
+        """Flush the slowest-N span trees as ``slow`` events and close."""
+        with self._lock:
+            file = self._file
+            self._file = None
+            slow = [e[2] for e in sorted(self._slow, key=lambda e: -e[0])]
+        if file is None:
+            return
+        for rank, event in enumerate(slow, 1):
+            file.write(
+                json.dumps(
+                    {**event, "event": "slow", "rank": rank},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+        file.close()

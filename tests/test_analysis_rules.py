@@ -19,6 +19,7 @@ from repro.analysis.rules import (
     QueueLockRule,
     ResourceLifecycleRule,
     SilentExceptRule,
+    TelemetryConsistencyRule,
 )
 
 PROJECT = Project(
@@ -26,6 +27,11 @@ PROJECT = Project(
     fault_constants={"WORKER_CRASH": "worker.crash", "CONN_DROP": "conn.drop"},
     error_codes=("deadline", "draining"),
     response_keys=("id", "ok", "op", "error", "code"),
+    metric_names=("server.requests", "worker.jobs"),
+    metric_constants={
+        "SERVER_REQUESTS": "server.requests",
+        "WORKER_JOBS": "worker.jobs",
+    },
 )
 
 
@@ -187,6 +193,59 @@ class TestFaultPointIntegrity:
             """
             def shoot(cannon):
                 cannon.fire("broadside")
+            """,
+        )
+        assert findings == []
+
+
+class TestTelemetryConsistency:
+    def test_fires_on_undeclared_name_literal(self):
+        findings = lint(
+            TelemetryConsistencyRule,
+            """
+            from repro import telemetry
+
+            def handle(self):
+                telemetry.counter("server.reqests").inc()
+            """,
+        )
+        assert len(findings) == 1
+        assert "server.reqests" in findings[0].message
+
+    def test_fires_on_undeclared_constant(self):
+        findings = lint(
+            TelemetryConsistencyRule,
+            """
+            def observe(metrics, value):
+                metrics.histogram(SERVER_LATENCY_X).observe(value)
+            """,
+        )
+        assert len(findings) == 1
+        assert "SERVER_LATENCY_X" in findings[0].message
+
+    def test_quiet_for_declared_names_and_constants(self):
+        findings = lint(
+            TelemetryConsistencyRule,
+            """
+            from repro import telemetry
+            from repro.telemetry import counter
+            from repro.telemetry import names as metric_names
+
+            def handle(self, metrics):
+                telemetry.counter("server.requests").inc(op="apply")
+                counter(metric_names.WORKER_JOBS).inc()
+                metrics.gauge("worker.jobs").set(3)
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_for_unrelated_receivers(self):
+        findings = lint(
+            TelemetryConsistencyRule,
+            """
+            def tally(collections, sketch):
+                collections.counter("whatever")
+                sketch.histogram("of.pixels")
             """,
         )
         assert findings == []
@@ -453,6 +512,7 @@ def test_every_shipped_rule_has_fixture_coverage():
         PickleSafetyRule,
         QueueLockRule,
         FaultPointRule,
+        TelemetryConsistencyRule,
         ProtocolRule,
         FrozenMutationRule,
         SilentExceptRule,

@@ -848,10 +848,15 @@ class TestResultCoalescing:
         # All four single-job chunks were already queued, so they fold
         # into one message covering four chunks.
         assert len(flushes) == 1
-        worker_id, batch, outcomes, chunks = flushes[0]
+        worker_id, batch, outcomes, chunks, deltas = flushes[0]
         assert (worker_id, batch, chunks) == (0, 1, 4)
         assert [o.index for o in outcomes] == [0, 1, 2, 3]
         assert all(o.ok for o in outcomes)
+        # The coalesced flush piggybacks the worker's metric deltas.
+        from repro.telemetry import names as metric_names
+
+        jobs = deltas[metric_names.WORKER_JOBS]["values"][""]
+        assert jobs == 4
 
     def test_learn_chunks_do_not_coalesce(self, fitted_extractor, bundle):
         from repro.api.scheduler import _Job, _site_key

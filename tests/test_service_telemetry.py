@@ -1,0 +1,330 @@
+"""Observability end to end: request traces over a live daemon, the
+``metrics`` op, the enriched ``stats`` op, and the ``repro stats``
+CLI contract."""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.annotators.dictionary import DictionaryAnnotator
+from repro.api import Extractor, ExtractorConfig
+from repro.cli import main
+from repro.service import ExtractionServer, ServiceClient
+
+NAMES = [f"PRODUCT-{index:02d}" for index in range(20)]
+
+TRACE_STAGES = {
+    "admission_wait",
+    "resolve",
+    "queue_wait",
+    "hydrate",
+    "extract",
+    "result_flush",
+}
+
+
+def _page(names):
+    rows = "".join(
+        f"<tr><td class='item'><u>{name}</u></td></tr>" for name in names
+    )
+    return f"<html><body><table>{rows}</table></body></html>"
+
+
+def _extractor():
+    return Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    telemetry.set_registry(None)
+    yield
+    telemetry.set_registry(None)
+
+
+@pytest.fixture()
+def traced_server(tmp_path):
+    trace_path = tmp_path / "trace.ndjson"
+    with ExtractionServer(
+        "memory",
+        extractor=_extractor(),
+        annotator=DictionaryAnnotator(NAMES),
+        max_workers=1,
+        trace_log=str(trace_path),
+        trace_seed=0,
+    ) as server:
+        server._trace_path = trace_path
+        yield server
+
+
+@pytest.fixture()
+def client(traced_server):
+    with ServiceClient(traced_server.address) as cli:
+        yield cli
+
+
+def _trace_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestRequestTracing:
+    def test_warm_apply_trace_tiles_the_wall_clock(
+        self, traced_server, client
+    ):
+        """The acceptance bar: a warm apply's trace names >= 5 stages
+        and their durations sum to the request wall-clock (exact tiling,
+        asserted within 10%)."""
+        pages = [_page(NAMES[:2]), _page(NAMES[2:3])]
+        first = client.apply("shop", pages)
+        assert first["ok"] and first["source"] == "learned"
+        warm = client.apply("shop", pages)
+        assert warm["ok"] and warm["source"] == "fingerprint"
+
+        events = _trace_events(traced_server._trace_path)
+        traces = [e for e in events if e["event"] == "trace"]
+        assert len(traces) == 2
+        trace = traces[-1]
+        assert trace["op"] == "apply"
+        assert trace["ok"] is True
+        assert trace["site"] == "shop"
+        stages = trace["stages"]
+        assert len(stages) >= 5
+        assert {s["stage"] for s in stages} <= TRACE_STAGES
+        total = trace["total_s"]
+        assert total > 0
+        tiled = sum(s["dur_s"] for s in stages)
+        assert tiled == pytest.approx(total, rel=0.10)
+        # Tiling is contiguous: each stage starts where the previous
+        # ended, relative to the request's first stamp.
+        edge = 0.0
+        for stage in stages:
+            assert stage["start_s"] == pytest.approx(edge, abs=1e-6)
+            edge += stage["dur_s"]
+
+    def test_slowest_requests_flush_ranked_on_close(self, tmp_path):
+        trace_path = tmp_path / "trace.ndjson"
+        server = ExtractionServer(
+            "memory",
+            extractor=_extractor(),
+            annotator=DictionaryAnnotator(NAMES),
+            max_workers=1,
+            trace_log=str(trace_path),
+        )
+        server.start()
+        try:
+            with ServiceClient(server.address) as cli:
+                for index in range(3):
+                    response = cli.apply(
+                        f"shop-{index}", [_page(NAMES[index : index + 2])]
+                    )
+                    assert response["ok"]
+        finally:
+            server.close()
+        events = _trace_events(trace_path)
+        slow = [e for e in events if e["event"] == "slow"]
+        assert slow, "close() must flush the slowest-N capture"
+        assert [e["rank"] for e in slow] == list(range(1, len(slow) + 1))
+        totals = [e["total_s"] for e in slow]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestMetricsOp:
+    def test_snapshot_counts_the_requests_that_produced_it(self, client):
+        response = client.apply("shop", [_page(NAMES[:2])])
+        assert response["ok"]
+        snapshot = client.metrics()
+        requests = snapshot["server.requests"]
+        assert requests["type"] == "counter"
+        assert requests["values"].get("op=apply") == 1
+        latency = snapshot["server.apply_latency_s"]
+        assert latency["type"] == "histogram"
+        series = latency["values"][""]
+        assert series["count"] == 1
+        assert series["sum"] > 0
+        stage = snapshot["server.stage_s"]
+        assert set(stage["values"]) <= {
+            f"stage={name}" for name in TRACE_STAGES
+        }
+
+    def test_prometheus_format_renders_exposition_text(self, client):
+        client.apply("shop", [_page(NAMES[:2])])
+        text = client.metrics(format="prometheus")
+        assert isinstance(text, str)
+        assert "# TYPE repro_server_requests counter" in text
+        assert "# TYPE repro_server_apply_latency_s histogram" in text
+        assert 'repro_server_apply_latency_s_bucket{le="+Inf"} 1' in text
+        assert "# HELP repro_server_requests" in text
+
+
+class TestStatsOp:
+    def test_stats_carry_uptime_and_collection_stamp(self, client):
+        before = time.time()
+        stats = client.stats()["server"]
+        assert stats["uptime_s"] >= 0.0
+        assert stats["uptime_s"] < 300.0
+        assert abs(stats["collected_at"] - before) < 60.0
+
+    def test_derived_rollups_are_cached_between_polls(self, traced_server):
+        now = time.monotonic()
+        first = traced_server._derived_rollups(now)
+        second = traced_server._derived_rollups(now + 0.5)
+        assert second is first  # served from the ~1s cache
+        third = traced_server._derived_rollups(now + 10.0)
+        assert third is not first
+
+
+class TestStatsCli:
+    def test_json_rollup_reports_nonzero_latency_quantiles(
+        self, traced_server, client, capsys
+    ):
+        pages = [_page(NAMES[:2])]
+        client.apply("shop", pages)
+        client.apply("shop", pages)
+        host, port = traced_server.address
+        assert (
+            main(
+                ["stats", "--host", host, "--port", str(port), "--json"]
+            )
+            == 0
+        )
+        rollup = json.loads(capsys.readouterr().out)
+        apply_latency = rollup["latency"]["apply"]
+        assert apply_latency["count"] == 2
+        assert apply_latency["p50_s"] > 0
+        assert apply_latency["p99_s"] >= apply_latency["p50_s"] > 0
+        assert apply_latency["mean_s"] > 0
+        assert rollup["uptime_s"] >= 0.0
+        assert rollup["server"]["responses"] == 2
+        assert rollup["workers"]["jobs"] >= 2
+        assert rollup["workers"]["deaths"] == 0
+
+    def test_watch_emits_one_line_per_iteration(
+        self, traced_server, client, capsys
+    ):
+        client.apply("shop", [_page(NAMES[:2])])
+        host, port = traced_server.address
+        assert (
+            main(
+                [
+                    "stats",
+                    "--host",
+                    host,
+                    "--port",
+                    str(port),
+                    "--json",
+                    "--watch",
+                    "--iterations",
+                    "2",
+                    "--interval",
+                    "0.01",
+                ]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        polls = [json.loads(line) for line in lines]
+        assert polls[1]["uptime_s"] >= polls[0]["uptime_s"]
+
+    def test_human_view_renders_the_headline_lines(
+        self, traced_server, client, capsys
+    ):
+        client.apply("shop", [_page(NAMES[:2])])
+        host, port = traced_server.address
+        assert main(["stats", "--host", host, "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "apply latency: p50" in out
+        assert "registry:" in out
+        assert "uptime" in out
+
+    def test_prometheus_passthrough(self, traced_server, client, capsys):
+        client.apply("shop", [_page(NAMES[:2])])
+        host, port = traced_server.address
+        assert (
+            main(
+                [
+                    "stats",
+                    "--host",
+                    host,
+                    "--port",
+                    str(port),
+                    "--prometheus",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# TYPE repro_server_requests counter" in out
+
+
+class TestServeSubprocess:
+    def test_live_daemon_writes_traces_and_serves_stats(self, tmp_path):
+        """`repro serve --trace-log` as a real OS process: warm apply
+        through the daemon, `repro stats --json` against it, and the
+        NDJSON trace on disk after a clean SIGTERM shutdown."""
+        trace_path = tmp_path / "serve-trace.ndjson"
+        daemon = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--workers",
+                "1",
+                "--dataset",
+                "dealers",
+                "--sites",
+                "2",
+                "--pages",
+                "2",
+                "--trace-log",
+                str(trace_path),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = daemon.stdout.readline().strip()
+            match = re.match(r"serving on (.+):(\d+)", banner)
+            assert match, f"daemon failed to start: {banner!r}"
+            address = (match.group(1), int(match.group(2)))
+            from repro.api import load_dataset
+
+            bundle = load_dataset("dealers", sites=2, pages=2, seed=11)
+            group = bundle.sites[0]
+            site = group.name
+            pages = [page.source for page in group.site.pages]
+            with ServiceClient(address, timeout=120) as cli:
+                first = cli.apply(site, pages)
+                assert first["ok"] and first["source"] == "learned"
+                warm = cli.apply(site, pages)
+                assert warm["ok"] and warm["source"] == "fingerprint"
+                snapshot = cli.metrics()
+                assert snapshot["server.requests"]["values"]["op=apply"] == 2
+            host, port = address
+            code = main(
+                ["stats", "--host", host, "--port", str(port), "--json"]
+            )
+            assert code == 0
+        finally:
+            daemon.send_signal(signal.SIGTERM)
+            try:
+                daemon.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.wait(timeout=10)
+        traces = [
+            e for e in _trace_events(trace_path) if e["event"] == "trace"
+        ]
+        assert len(traces) == 2
+        warm_trace = traces[-1]
+        assert len(warm_trace["stages"]) >= 5
+        assert sum(
+            s["dur_s"] for s in warm_trace["stages"]
+        ) == pytest.approx(warm_trace["total_s"], rel=0.10)

@@ -1,0 +1,346 @@
+"""repro.telemetry unit coverage: instruments, bucket math, merge
+algebra, exposition, tracing, and worker-delta piggybacking."""
+
+import json
+import math
+
+import pytest
+
+from repro import faults, telemetry
+from repro.api import WorkerPool
+from repro.site import Site
+from repro.telemetry import (
+    BUCKET_BOUNDS,
+    MetricsRegistry,
+    TelemetryError,
+    TraceRecorder,
+    quantile_from,
+    render_prometheus,
+    tile,
+    validate_name,
+)
+from repro.telemetry import names as metric_names
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry(monkeypatch):
+    """Each test gets an isolated process-global registry."""
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    telemetry.set_registry(None)
+    yield
+    telemetry.set_registry(None)
+
+
+class TestNames:
+    def test_catalogue_is_described_and_dotted(self):
+        assert len(metric_names.NAMES) >= 30
+        for name in metric_names.NAMES:
+            assert "." in name
+            assert metric_names.NAME_DESCRIPTIONS[name].strip()
+
+    def test_validate_name_accepts_declared(self):
+        assert validate_name("server.requests") == "server.requests"
+
+    def test_validate_name_rejects_undeclared(self):
+        with pytest.raises(TelemetryError, match="undeclared metric name"):
+            validate_name("server.reqests")
+
+    def test_registry_rejects_undeclared_even_when_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        with pytest.raises(TelemetryError):
+            registry.counter("not.a.metric")
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        counter = telemetry.counter(metric_names.SERVER_REQUESTS)
+        counter.inc(op="apply")
+        counter.inc(2, op="apply")
+        counter.inc(op="learn")
+        assert counter.value(op="apply") == 3
+        assert counter.value(op="learn") == 1
+        assert counter.total() == 4
+
+    def test_same_name_returns_same_family(self):
+        a = telemetry.counter(metric_names.SERVER_REQUESTS)
+        b = telemetry.counter(metric_names.SERVER_REQUESTS)
+        assert a is b
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = telemetry.gauge(metric_names.SERVER_REQUESTS)
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value() == 1.5
+
+
+class TestHistogramBuckets:
+    def test_bounds_are_log_scale_and_cover_microseconds_to_minutes(self):
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-6)
+        assert BUCKET_BOUNDS[-1] > 60.0
+        ratios = [
+            BUCKET_BOUNDS[i + 1] / BUCKET_BOUNDS[i]
+            for i in range(len(BUCKET_BOUNDS) - 1)
+        ]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_observations_land_in_the_tightest_bucket(self):
+        histogram = telemetry.histogram(metric_names.SERVER_APPLY_LATENCY)
+        histogram.observe(0.5e-6)  # below the first bound
+        histogram.observe(1e-6)  # exactly on a bound counts under it
+        histogram.observe(3e-6)  # between bounds: next bound up
+        histogram.observe(1e9)  # beyond every bound: overflow bucket
+        series = histogram._series[""]
+        buckets = series[2]
+        assert buckets[0] == 2
+        assert buckets[2] == 1  # 3e-6 <= 4e-6
+        assert buckets[-1] == 1
+        assert series[0] == 4
+        assert series[1] == pytest.approx(0.5e-6 + 1e-6 + 3e-6 + 1e9)
+
+    def test_quantiles_return_bucket_upper_bounds(self):
+        histogram = telemetry.histogram(metric_names.SERVER_APPLY_LATENCY)
+        for _ in range(99):
+            histogram.observe(0.010)  # -> bucket bound 0.016384
+        histogram.observe(10.0)
+        count, buckets = histogram._series[""][0], histogram._series[""][2]
+        p50 = quantile_from(buckets, count, 0.5)
+        p99 = quantile_from(buckets, count, 0.99)
+        assert p50 == pytest.approx(0.016384)
+        assert 0.010 <= p50 < 0.033
+        assert p99 == pytest.approx(0.016384)
+        assert quantile_from(buckets, count, 1.0) > 10.0
+
+    def test_quantile_of_empty_series_is_zero(self):
+        assert quantile_from([0] * (len(BUCKET_BOUNDS) + 1), 0, 0.5) == 0.0
+
+
+class TestMergeAlgebra:
+    @staticmethod
+    def _registry(observations):
+        registry = MetricsRegistry()
+        for value in observations:
+            registry.counter(metric_names.WORKER_JOBS).inc()
+            registry.histogram(metric_names.WORKER_EXTRACT_S).observe(value)
+            registry.gauge(metric_names.SERVER_REQUESTS).set(value)
+        return registry
+
+    def test_merge_is_associative_and_commutative_for_counters(self):
+        parts = [[0.001, 0.2], [0.5], [3.0, 7e-6, 0.04]]
+        left = MetricsRegistry()
+        for part in parts:
+            left.merge(self._registry(part).snapshot())
+        right = MetricsRegistry()
+        for part in reversed(parts):
+            right.merge(self._registry(part).snapshot())
+        a, b = left.snapshot(), right.snapshot()
+        # Gauges are last-writer-wins (not order-free); counters and
+        # histogram series must agree exactly under any merge order.
+        a.pop(metric_names.SERVER_REQUESTS)
+        b.pop(metric_names.SERVER_REQUESTS)
+        assert a == b
+        jobs = a[metric_names.WORKER_JOBS]["values"][""]
+        assert jobs == 6
+
+    def test_drain_then_merge_reconstructs_the_original(self):
+        source = self._registry([0.001, 0.2, 5.0])
+        expected = source.snapshot()
+        delta = source.drain()
+        assert source.snapshot() == {}
+        sink = MetricsRegistry()
+        sink.merge(delta)
+        assert sink.snapshot() == expected
+
+    def test_merge_tolerates_empty_delta(self):
+        registry = MetricsRegistry()
+        registry.merge({})
+        assert registry.snapshot() == {}
+
+
+class TestDisabledRegistry:
+    def test_env_switch_disables_collection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        registry = telemetry.set_registry(None)
+        registry.counter(metric_names.SERVER_REQUESTS).inc()
+        registry.histogram(metric_names.SERVER_APPLY_LATENCY).observe(1.0)
+        assert registry.snapshot() == {}
+
+    def test_disabled_null_instrument_absorbs_every_call(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        registry = telemetry.set_registry(None)
+        instrument = registry.counter(metric_names.SERVER_REQUESTS)
+        instrument.inc(5, op="apply")
+        assert instrument.value(op="apply") == 0
+
+
+class TestPrometheusRendering:
+    def test_counter_and_histogram_exposition(self):
+        telemetry.counter(metric_names.SERVER_REQUESTS).inc(op="apply")
+        telemetry.histogram(metric_names.SERVER_APPLY_LATENCY).observe(0.01)
+        text = render_prometheus(telemetry.get_registry().snapshot())
+        assert '# TYPE repro_server_requests counter' in text
+        assert 'repro_server_requests{op="apply"} 1' in text
+        assert "# TYPE repro_server_apply_latency_s histogram" in text
+        assert 'repro_server_apply_latency_s_bucket{le="+Inf"} 1' in text
+        assert "repro_server_apply_latency_s_count 1" in text
+        assert "# HELP repro_server_requests" in text
+
+    def test_bucket_series_is_cumulative(self):
+        histogram = telemetry.histogram(metric_names.SERVER_APPLY_LATENCY)
+        histogram.observe(1e-6)
+        histogram.observe(1.0)
+        text = render_prometheus(telemetry.get_registry().snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if "_bucket{" in line
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 2
+
+
+class TestTiling:
+    def test_stages_tile_the_wall_clock_exactly(self):
+        stages = tile(
+            10.0,
+            [
+                ("admission_wait", 10.1),
+                ("resolve", 10.3),
+                ("queue_wait", None),  # unstamped stages are skipped
+                ("extract", 10.9),
+                ("result_flush", 11.0),
+            ],
+        )
+        assert [name for name, _, _ in stages] == [
+            "admission_wait",
+            "resolve",
+            "extract",
+            "result_flush",
+        ]
+        assert sum(duration for _, _, duration in stages) == pytest.approx(
+            1.0
+        )
+
+    def test_out_of_order_stamps_clamp_to_zero(self):
+        stages = tile(0.0, [("a", 2.0), ("b", 1.0), ("c", 3.0)])
+        durations = {name: duration for name, _, duration in stages}
+        assert durations["b"] == 0.0
+        assert sum(durations.values()) == pytest.approx(3.0)
+
+
+class TestTraceRecorder:
+    def test_writes_ndjson_and_ranked_slow_events(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        recorder = TraceRecorder(str(path), slow_keep=2)
+        for index, total in enumerate([0.01, 0.5, 0.02, 0.9]):
+            recorder.record(
+                request_id=index,
+                op="apply",
+                site=f"shop-{index}",
+                ok=True,
+                start=100.0,
+                stages=[("extract", 100.0, total)],
+                total_s=total,
+            )
+        recorder.close()
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        traces = [e for e in events if e["event"] == "trace"]
+        slow = [e for e in events if e["event"] == "slow"]
+        assert len(traces) == 4
+        assert [e["rank"] for e in slow] == [1, 2]
+        assert slow[0]["total_s"] == pytest.approx(0.9)
+        assert slow[1]["total_s"] == pytest.approx(0.5)
+        stage = traces[0]["stages"][0]
+        assert stage["stage"] == "extract"
+        assert {"id", "op", "site", "ok", "total_s", "ts"} <= set(traces[0])
+
+    def test_sampling_drops_file_writes_but_keeps_slowest(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        recorder = TraceRecorder(
+            str(path), sample_rate=0.0, seed=7, slow_keep=3
+        )
+        for index in range(10):
+            recorder.record(
+                request_id=index,
+                op="apply",
+                site="shop",
+                ok=True,
+                start=0.0,
+                stages=[],
+                total_s=index / 10.0,
+            )
+        assert recorder.dropped == 10
+        recorder.close()
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert [e["event"] for e in events] == ["slow"] * 3
+        assert [e["total_s"] for e in events] == [0.9, 0.8, 0.7]
+
+
+def _page(name: str) -> str:
+    return f"<div><table><tr><td><u>{name}</u></td></tr></table></div>"
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    from repro.annotators.dictionary import DictionaryAnnotator
+    from repro.api import Extractor, ExtractorConfig
+
+    site = Site.from_html("shop", [_page("ALPHA")])
+    labels = DictionaryAnnotator(["ALPHA"]).annotate(site)
+    extractor = Extractor(ExtractorConfig(inductor="xpath", method="naive"))
+    return extractor.learn(site, labels, site_name="shop")
+
+
+class TestWorkerDeltaMerge:
+    def test_pool_apply_merges_worker_metrics_into_parent(self, artifact):
+        sites = [(f"shop-{i}", [_page("ALPHA")]) for i in range(6)]
+        with WorkerPool(max_workers=2) as pool:
+            result = pool.apply([artifact] * len(sites), sites)
+        assert not result.failures
+        registry = telemetry.get_registry()
+        assert registry.counter(metric_names.WORKER_JOBS).total() == 6
+        assert registry.counter(metric_names.WORKER_PAGES).total() == 6
+        assert registry.counter(metric_names.SCHEDULER_JOBS).total() == 6
+        hydrate = registry.histogram(metric_names.WORKER_HYDRATE_S)
+        extract = registry.histogram(metric_names.WORKER_EXTRACT_S)
+        assert hydrate.count() == 6
+        assert extract.count() == 6
+        assert math.isfinite(extract._series[""][1])
+
+    def test_inline_pool_counts_without_ipc(self, artifact):
+        with WorkerPool(max_workers=1) as pool:
+            result = pool.apply([artifact], [("shop", [_page("ALPHA")])])
+        assert not result.failures
+        registry = telemetry.get_registry()
+        assert registry.counter(metric_names.WORKER_JOBS).total() == 1
+
+    def test_deltas_survive_worker_crash_and_respawn(self, artifact):
+        faults.clear()
+        plan = faults.FaultPlan(seed=1)
+        plan.add(faults.WORKER_CRASH, at=[1], match="w0:")
+        faults.install(plan)
+        try:
+            sites = [(f"shop-{i}", [_page("ALPHA")]) for i in range(8)]
+            with WorkerPool(
+                max_workers=2, chunksize=1, respawn_workers=True
+            ) as pool:
+                result = pool.apply([artifact] * len(sites), sites)
+                assert not result.failures
+                assert pool.stats.worker_deaths == 1
+            registry = telemetry.get_registry()
+            # Every completed job's delta reached the parent; the job
+            # killed mid-run may or may not have flushed, so the total
+            # is bounded, not exact.
+            jobs = registry.counter(metric_names.WORKER_JOBS).total()
+            assert 8 <= jobs <= 9
+            deaths = registry.counter(metric_names.SCHEDULER_WORKER_DEATHS)
+            assert deaths.total() == 1
+            respawns = registry.counter(metric_names.SCHEDULER_RESPAWNS)
+            assert respawns.total() == 1
+        finally:
+            faults.clear()
